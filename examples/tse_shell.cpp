@@ -1,0 +1,206 @@
+// An interactive TSE shell: drive transparent schema evolution with the
+// paper's textual operator syntax. Reads commands from stdin (or runs a
+// scripted demo when stdin is not a TTY and no input arrives).
+//
+//   build/examples/tse_shell
+//   > add_attribute register:bool to Student
+//   > add_method is_adult = age >= 18 to Person
+//   > show
+//   > history
+//
+// Extra shell commands: `show` (current view), `extents`, `history`,
+// `objects <Class>`, `new <Class>`, `set <oid> <Class> <attr> <expr>`,
+// `get <oid> <Class> <attr>`, `quit`.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "evolution/change_parser.h"
+#include "evolution/tse_manager.h"
+#include "objmodel/expr_parser.h"
+#include "update/update_engine.h"
+
+using namespace tse;
+using namespace tse::evolution;
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+namespace {
+
+struct Shell {
+  schema::SchemaGraph schema;
+  objmodel::SlicingStore store;
+  view::ViewManager views{&schema};
+  TseManager tse{&schema, &store, &views};
+  update::UpdateEngine db{&schema, &store,
+                          update::ValueClosurePolicy::kAllow};
+  ViewId current;
+
+  Shell() {
+    ClassId person =
+        schema
+            .AddBaseClass("Person", {},
+                          {PropertySpec::Attribute("name",
+                                                   ValueType::kString),
+                           PropertySpec::Attribute("age", ValueType::kInt)})
+            .value();
+    ClassId student =
+        schema
+            .AddBaseClass("Student", {person},
+                          {PropertySpec::Attribute("major",
+                                                   ValueType::kString)})
+            .value();
+    ClassId ta = schema.AddBaseClass("TA", {student}, {}).value();
+    db.Create(student, {{"name", Value::Str("alice")},
+                        {"age", Value::Int(20)}})
+        .value();
+    db.Create(ta, {{"name", Value::Str("carol")}, {"age", Value::Int(24)}})
+        .value();
+    current = tse.CreateView("Shell", {{person, ""},
+                                       {student, ""},
+                                       {ta, ""}})
+                  .value();
+  }
+
+  void Show() {
+    std::cout << views.GetView(current).value()->ToString() << "\n";
+  }
+
+  void Extents() {
+    const view::ViewSchema* vs = views.GetView(current).value();
+    for (ClassId cls : vs->classes()) {
+      auto extent = db.extents().Extent(cls).value();
+      std::cout << vs->DisplayName(cls).value() << " (#" << extent.size()
+                << "):";
+      for (Oid oid : extent) std::cout << " " << oid.ToString();
+      std::cout << "\n";
+    }
+  }
+
+  void History() {
+    for (const std::string& name : views.ViewNames()) {
+      std::cout << name << ": " << views.History(name).size()
+                << " version(s)\n";
+    }
+  }
+
+  bool Handle(const std::string& line) {
+    std::istringstream in(line);
+    std::string head;
+    in >> head;
+    if (head.empty()) return true;
+    if (head == "quit" || head == "exit") return false;
+    if (head == "show") {
+      Show();
+      return true;
+    }
+    if (head == "extents") {
+      Extents();
+      return true;
+    }
+    if (head == "history") {
+      History();
+      return true;
+    }
+    if (head == "new") {
+      std::string cls_name;
+      in >> cls_name;
+      auto vs = views.GetView(current).value();
+      auto cls = vs->Resolve(cls_name);
+      if (!cls.ok()) {
+        std::cout << "error: " << cls.status().ToString() << "\n";
+        return true;
+      }
+      auto oid = db.Create(cls.value(), {});
+      std::cout << (oid.ok() ? "created object " + oid.value().ToString()
+                             : "error: " + oid.status().ToString())
+                << "\n";
+      return true;
+    }
+    if (head == "set" || head == "get") {
+      uint64_t raw;
+      std::string cls_name, attr;
+      in >> raw >> cls_name >> attr;
+      auto vs = views.GetView(current).value();
+      auto cls = vs->Resolve(cls_name);
+      if (!cls.ok()) {
+        std::cout << "error: " << cls.status().ToString() << "\n";
+        return true;
+      }
+      if (head == "get") {
+        auto v = db.accessor().Read(Oid(raw), cls.value(), attr);
+        std::cout << (v.ok() ? v.value().ToString()
+                             : "error: " + v.status().ToString())
+                  << "\n";
+        return true;
+      }
+      std::string expr_text;
+      std::getline(in, expr_text);
+      auto expr = objmodel::ParseExpr(expr_text);
+      if (!expr.ok()) {
+        std::cout << "error: " << expr.status().ToString() << "\n";
+        return true;
+      }
+      auto value = expr.value()->Evaluate(
+          Oid(raw), db.accessor().ResolverFor(Oid(raw), cls.value()));
+      if (!value.ok()) {
+        std::cout << "error: " << value.status().ToString() << "\n";
+        return true;
+      }
+      Status s = db.Set(Oid(raw), cls.value(), attr, value.value());
+      std::cout << (s.ok() ? "ok" : "error: " + s.ToString()) << "\n";
+      return true;
+    }
+    // Everything else is a schema-change command.
+    auto change = ParseChange(line);
+    if (!change.ok()) {
+      std::cout << "error: " << change.status().ToString() << "\n";
+      return true;
+    }
+    auto next = tse.ApplyChange(current, change.value());
+    if (!next.ok()) {
+      std::cout << "rejected: " << next.status().ToString() << "\n";
+      return true;
+    }
+    current = next.value();
+    std::cout << "ok — view now at version "
+              << views.GetView(current).value()->version() << "\n";
+    return true;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  std::cout << "TSE shell — initial view:\n";
+  shell.Show();
+
+  // Scripted demo when requested (also exercised by the test drive).
+  if (argc > 1 && std::string(argv[1]) == "--demo") {
+    const char* script[] = {
+        "add_attribute register:bool to Student",
+        "add_method is_adult = age >= 18 to Person",
+        "show",
+        "get 0 Person is_adult",
+        "insert_class SeniorStudent between Student-TA",
+        "show",
+        "history",
+    };
+    for (const char* line : script) {
+      std::cout << "> " << line << "\n";
+      shell.Handle(line);
+    }
+    return 0;
+  }
+
+  std::string line;
+  std::cout << "> " << std::flush;
+  while (std::getline(std::cin, line)) {
+    if (!shell.Handle(line)) break;
+    std::cout << "> " << std::flush;
+  }
+  return 0;
+}

@@ -1,0 +1,181 @@
+#include "algebra/extent_eval.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace tse::algebra {
+
+using objmodel::Value;
+using schema::ClassNode;
+using schema::DerivationOp;
+
+void ExtentEvaluator::ValidateCache() const {
+  if (cached_mutations_ != store_->mutation_count() ||
+      cached_generation_ != schema_->generation()) {
+    cache_.clear();
+    cached_mutations_ = store_->mutation_count();
+    cached_generation_ = schema_->generation();
+  }
+}
+
+Result<std::set<Oid>> ExtentEvaluator::Extent(ClassId cls) const {
+  ValidateCache();
+  std::set<ClassId> in_progress;
+  return EvalWithMemo(cls, &in_progress);
+}
+
+Result<bool> ExtentEvaluator::IsMember(Oid oid, ClassId cls) const {
+  std::set<ClassId> in_progress;
+  return IsMemberImpl(oid, cls, &in_progress);
+}
+
+Result<bool> ExtentEvaluator::IsMemberImpl(
+    Oid oid, ClassId cls, std::set<ClassId>* in_progress) const {
+  if (!in_progress->insert(cls).second) {
+    return Status::FailedPrecondition("cyclic derivation in member test");
+  }
+  TSE_ASSIGN_OR_RETURN(const ClassNode* node, schema_->GetClass(cls));
+  Result<bool> result = false;
+  switch (node->derivation.op) {
+    case DerivationOp::kBase: {
+      bool member = false;
+      for (ClassId direct : store_->DirectClasses(oid)) {
+        if (schema_->ExtentSubsumedBy(direct, cls)) {
+          member = true;
+          break;
+        }
+      }
+      result = member;
+      break;
+    }
+    case DerivationOp::kSelect: {
+      result = IsMemberImpl(oid, node->derivation.sources[0], in_progress);
+      if (result.ok() && result.value()) {
+        auto verdict = node->derivation.predicate->Evaluate(
+            oid, accessor_.ResolverFor(oid, node->derivation.sources[0]));
+        if (!verdict.ok()) {
+          result = verdict.status();
+        } else {
+          result = verdict.value().AsBool();
+        }
+      }
+      break;
+    }
+    case DerivationOp::kHide:
+    case DerivationOp::kRefine:
+      result = IsMemberImpl(oid, node->derivation.sources[0], in_progress);
+      break;
+    case DerivationOp::kUnion: {
+      result = IsMemberImpl(oid, node->derivation.sources[0], in_progress);
+      if (result.ok() && !result.value()) {
+        result = IsMemberImpl(oid, node->derivation.sources[1], in_progress);
+      }
+      break;
+    }
+    case DerivationOp::kIntersect: {
+      result = IsMemberImpl(oid, node->derivation.sources[0], in_progress);
+      if (result.ok() && result.value()) {
+        result = IsMemberImpl(oid, node->derivation.sources[1], in_progress);
+      }
+      break;
+    }
+    case DerivationOp::kDifference: {
+      result = IsMemberImpl(oid, node->derivation.sources[0], in_progress);
+      if (result.ok() && result.value()) {
+        auto in_second =
+            IsMemberImpl(oid, node->derivation.sources[1], in_progress);
+        if (!in_second.ok()) {
+          result = in_second.status();
+        } else {
+          result = !in_second.value();
+        }
+      }
+      break;
+    }
+  }
+  in_progress->erase(cls);
+  return result;
+}
+
+Result<std::set<Oid>> ExtentEvaluator::EvalWithMemo(
+    ClassId cls, std::set<ClassId>* in_progress) const {
+  auto hit = cache_.find(cls);
+  if (hit != cache_.end()) return hit->second;
+  if (!in_progress->insert(cls).second) {
+    return Status::FailedPrecondition("cyclic derivation in extent eval");
+  }
+  TSE_ASSIGN_OR_RETURN(const ClassNode* node, schema_->GetClass(cls));
+  std::set<Oid> out;
+  switch (node->derivation.op) {
+    case DerivationOp::kBase: {
+      // Union of direct extents of all base classes subsumed by cls.
+      for (ClassId other : schema_->AllClasses()) {
+        auto other_node = schema_->GetClass(other);
+        if (!other_node.ok() || !other_node.value()->is_base()) continue;
+        if (!schema_->ExtentSubsumedBy(other, cls)) continue;
+        const std::set<Oid>& direct = store_->DirectExtent(other);
+        out.insert(direct.begin(), direct.end());
+      }
+      break;
+    }
+    case DerivationOp::kSelect: {
+      TSE_ASSIGN_OR_RETURN(
+          std::set<Oid> source,
+          EvalWithMemo(node->derivation.sources[0], in_progress));
+      for (Oid oid : source) {
+        TSE_ASSIGN_OR_RETURN(
+            Value verdict,
+            node->derivation.predicate->Evaluate(
+                oid, accessor_.ResolverFor(oid, node->derivation.sources[0])));
+        TSE_ASSIGN_OR_RETURN(bool keep, verdict.AsBool());
+        if (keep) out.insert(oid);
+      }
+      break;
+    }
+    case DerivationOp::kHide:
+    case DerivationOp::kRefine: {
+      TSE_ASSIGN_OR_RETURN(
+          out, EvalWithMemo(node->derivation.sources[0], in_progress));
+      break;
+    }
+    case DerivationOp::kUnion: {
+      TSE_ASSIGN_OR_RETURN(
+          std::set<Oid> a,
+          EvalWithMemo(node->derivation.sources[0], in_progress));
+      TSE_ASSIGN_OR_RETURN(
+          std::set<Oid> b,
+          EvalWithMemo(node->derivation.sources[1], in_progress));
+      out = std::move(a);
+      out.insert(b.begin(), b.end());
+      break;
+    }
+    case DerivationOp::kIntersect: {
+      TSE_ASSIGN_OR_RETURN(
+          std::set<Oid> a,
+          EvalWithMemo(node->derivation.sources[0], in_progress));
+      TSE_ASSIGN_OR_RETURN(
+          std::set<Oid> b,
+          EvalWithMemo(node->derivation.sources[1], in_progress));
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::inserter(out, out.begin()));
+      break;
+    }
+    case DerivationOp::kDifference: {
+      TSE_ASSIGN_OR_RETURN(
+          std::set<Oid> a,
+          EvalWithMemo(node->derivation.sources[0], in_progress));
+      TSE_ASSIGN_OR_RETURN(
+          std::set<Oid> b,
+          EvalWithMemo(node->derivation.sources[1], in_progress));
+      std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                          std::inserter(out, out.begin()));
+      break;
+    }
+  }
+  in_progress->erase(cls);
+  cache_[cls] = out;
+  return out;
+}
+
+}  // namespace tse::algebra

@@ -1,0 +1,61 @@
+#ifndef TSE_ALGEBRA_EXTENT_EVAL_H_
+#define TSE_ALGEBRA_EXTENT_EVAL_H_
+
+#include <map>
+#include <set>
+
+#include "algebra/object_accessor.h"
+#include "common/result.h"
+#include "objmodel/slicing_store.h"
+#include "schema/schema_graph.h"
+
+namespace tse::algebra {
+
+/// Computes class extents over the live database.
+///
+/// Base class extents are the union of the direct extents of every base
+/// class provably subsumed by it (objects record direct memberships on
+/// base classes only — the update layer guarantees that invariant).
+/// Virtual class extents are evaluated from the defining algebra
+/// expression, exactly per the operator semantics of Section 3.2.
+///
+/// Evaluated extents are cached and keyed on the store's mutation
+/// counter and the schema's generation: any data write or structural
+/// change invalidates the whole cache. This is the first step of the
+/// "optimization strategies for update propagation" the paper lists as
+/// future work (Section 9) — repeated evaluation through long virtual
+/// class chains amortizes to a lookup.
+class ExtentEvaluator {
+ public:
+  ExtentEvaluator(const schema::SchemaGraph* schema,
+                  objmodel::SlicingStore* store)
+      : schema_(schema), store_(store), accessor_(schema, store) {}
+
+  /// The global extent of `cls`.
+  Result<std::set<Oid>> Extent(ClassId cls) const;
+
+  /// Membership test. Walks the derivation per object — O(derivation
+  /// depth), not O(extent) — so the update operators' value-closure and
+  /// membership checks stay cheap on large databases.
+  Result<bool> IsMember(Oid oid, ClassId cls) const;
+
+ private:
+  Result<bool> IsMemberImpl(Oid oid, ClassId cls,
+                            std::set<ClassId>* in_progress) const;
+  Result<std::set<Oid>> EvalWithMemo(ClassId cls,
+                                     std::set<ClassId>* in_progress) const;
+
+  /// Drops the cache when the underlying store or schema moved on.
+  void ValidateCache() const;
+
+  const schema::SchemaGraph* schema_;
+  objmodel::SlicingStore* store_;
+  ObjectAccessor accessor_;
+  mutable std::map<ClassId, std::set<Oid>> cache_;
+  mutable uint64_t cached_mutations_ = 0;
+  mutable uint64_t cached_generation_ = 0;
+};
+
+}  // namespace tse::algebra
+
+#endif  // TSE_ALGEBRA_EXTENT_EVAL_H_

@@ -1,0 +1,60 @@
+#ifndef TSE_ALGEBRA_OBJECT_ACCESSOR_H_
+#define TSE_ALGEBRA_OBJECT_ACCESSOR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "objmodel/slicing_store.h"
+#include "schema/schema_graph.h"
+
+namespace tse::algebra {
+
+/// Schema-aware attribute and method access on objects.
+///
+/// Given a class context (the class through which the user addresses the
+/// object — typically a view class), a property name resolves through
+/// the class's effective type to its definition; stored attributes are
+/// read from the definer's implementation object, methods are evaluated
+/// with attribute reads bound to the same context.
+class ObjectAccessor {
+ public:
+  ObjectAccessor(const schema::SchemaGraph* schema,
+                 objmodel::SlicingStore* store)
+      : schema_(schema), store_(store) {}
+
+  /// Reads property `name` of `oid` in the context of `cls`. Methods are
+  /// evaluated; attributes are fetched from storage (Null when unset).
+  ///
+  /// `name` may be a dotted path over Ref attributes ("advisor.name"):
+  /// each prefix must resolve to a Ref-typed attribute whose declared
+  /// target class provides the context for the next segment. A Null
+  /// reference anywhere along the path reads as Null.
+  Result<objmodel::Value> Read(Oid oid, ClassId cls,
+                               const std::string& name) const;
+
+  /// Resolves `name` (single segment) at `cls` on `oid`, following the
+  /// object's own most specific definition when several classes the
+  /// object belongs to redefine the property — the paper's "upwards
+  /// method resolution" (Section 6.2.3 footnote). Falls back to the
+  /// static context when the object carries no overriding definition.
+  Result<objmodel::Value> ReadDynamic(Oid oid, ClassId cls,
+                                      const std::string& name) const;
+
+  /// Writes stored attribute `name`; rejects methods and hidden names.
+  Status Write(Oid oid, ClassId cls, const std::string& name,
+               objmodel::Value value);
+
+  /// An AttrResolver bound to (oid, cls), for predicate/method bodies.
+  objmodel::AttrResolver ResolverFor(Oid oid, ClassId cls) const;
+
+  const schema::SchemaGraph* schema() const { return schema_; }
+  objmodel::SlicingStore* store() const { return store_; }
+
+ private:
+  const schema::SchemaGraph* schema_;
+  objmodel::SlicingStore* store_;
+};
+
+}  // namespace tse::algebra
+
+#endif  // TSE_ALGEBRA_OBJECT_ACCESSOR_H_

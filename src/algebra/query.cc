@@ -1,0 +1,87 @@
+#include "algebra/query.h"
+
+#include "common/str_util.h"
+
+namespace tse::algebra {
+
+Query::Ptr Query::Class(std::string name) {
+  auto q = std::shared_ptr<Query>(new Query(Kind::kClassRef));
+  q->class_name_ = std::move(name);
+  return q;
+}
+
+Query::Ptr Query::Select(Ptr source, objmodel::MethodExpr::Ptr predicate) {
+  auto q = std::shared_ptr<Query>(new Query(Kind::kSelect));
+  q->children_ = {std::move(source)};
+  q->predicate_ = std::move(predicate);
+  return q;
+}
+
+Query::Ptr Query::Hide(Ptr source, std::vector<std::string> names) {
+  auto q = std::shared_ptr<Query>(new Query(Kind::kHide));
+  q->children_ = {std::move(source)};
+  q->hidden_ = std::move(names);
+  return q;
+}
+
+Query::Ptr Query::Refine(
+    Ptr source, std::vector<schema::PropertySpec> specs,
+    std::vector<std::pair<std::string, std::string>> imports) {
+  auto q = std::shared_ptr<Query>(new Query(Kind::kRefine));
+  q->children_ = {std::move(source)};
+  q->specs_ = std::move(specs);
+  q->imports_ = std::move(imports);
+  return q;
+}
+
+Query::Ptr Query::Union(Ptr a, Ptr b) {
+  auto q = std::shared_ptr<Query>(new Query(Kind::kUnion));
+  q->children_ = {std::move(a), std::move(b)};
+  return q;
+}
+
+Query::Ptr Query::Intersect(Ptr a, Ptr b) {
+  auto q = std::shared_ptr<Query>(new Query(Kind::kIntersect));
+  q->children_ = {std::move(a), std::move(b)};
+  return q;
+}
+
+Query::Ptr Query::Difference(Ptr a, Ptr b) {
+  auto q = std::shared_ptr<Query>(new Query(Kind::kDifference));
+  q->children_ = {std::move(a), std::move(b)};
+  return q;
+}
+
+std::string Query::ToString() const {
+  switch (kind_) {
+    case Kind::kClassRef:
+      return class_name_;
+    case Kind::kSelect:
+      return StrCat("(select ", children_[0]->ToString(), " where ",
+                    predicate_ ? predicate_->ToString() : "?", ")");
+    case Kind::kHide:
+      return StrCat("(hide ", Join(hidden_, ","), " from ",
+                    children_[0]->ToString(), ")");
+    case Kind::kRefine: {
+      std::vector<std::string> names;
+      for (const auto& spec : specs_) names.push_back(spec.name);
+      for (const auto& [cls, prop] : imports_) {
+        names.push_back(StrCat(cls, ":", prop));
+      }
+      return StrCat("(refine ", Join(names, ","), " for ",
+                    children_[0]->ToString(), ")");
+    }
+    case Kind::kUnion:
+      return StrCat("(union ", children_[0]->ToString(), " and ",
+                    children_[1]->ToString(), ")");
+    case Kind::kIntersect:
+      return StrCat("(intersect ", children_[0]->ToString(), " and ",
+                    children_[1]->ToString(), ")");
+    case Kind::kDifference:
+      return StrCat("(difference ", children_[0]->ToString(), " and ",
+                    children_[1]->ToString(), ")");
+  }
+  return "?";
+}
+
+}  // namespace tse::algebra

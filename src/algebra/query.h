@@ -1,0 +1,80 @@
+#ifndef TSE_ALGEBRA_QUERY_H_
+#define TSE_ALGEBRA_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "objmodel/method.h"
+#include "schema/property.h"
+
+namespace tse::algebra {
+
+/// One node of a `defineVC <name> as <query>` expression: MultiView
+/// allows arbitrary nesting of the object-algebra operators, exactly as
+/// relational view definitions nest (Section 3.2).
+class Query {
+ public:
+  using Ptr = std::shared_ptr<const Query>;
+
+  enum class Kind : uint8_t {
+    kClassRef,   ///< an existing class by name
+    kSelect,
+    kHide,
+    kRefine,
+    kUnion,
+    kIntersect,
+    kDifference,
+  };
+
+  /// `<class>` — reference an existing (base or virtual) class.
+  static Ptr Class(std::string name);
+
+  /// `select from <q> where <predicate>`.
+  static Ptr Select(Ptr source, objmodel::MethodExpr::Ptr predicate);
+
+  /// `hide <names> from <q>`.
+  static Ptr Hide(Ptr source, std::vector<std::string> names);
+
+  /// `refine <property-defs> for <q>` — capacity-augmenting: specs may
+  /// declare stored attributes as well as methods. `imports` carries the
+  /// `refine C1:x for C2` inheritance form: (class name, property name)
+  /// pairs whose definitions are shared, not re-allocated.
+  static Ptr Refine(Ptr source, std::vector<schema::PropertySpec> specs,
+                    std::vector<std::pair<std::string, std::string>> imports =
+                        {});
+
+  /// `union <q1> and <q2>` etc.
+  static Ptr Union(Ptr a, Ptr b);
+  static Ptr Intersect(Ptr a, Ptr b);
+  static Ptr Difference(Ptr a, Ptr b);
+
+  Kind kind() const { return kind_; }
+  const std::string& class_name() const { return class_name_; }
+  const std::vector<Ptr>& children() const { return children_; }
+  const objmodel::MethodExpr::Ptr& predicate() const { return predicate_; }
+  const std::vector<std::string>& hidden() const { return hidden_; }
+  const std::vector<schema::PropertySpec>& specs() const { return specs_; }
+  const std::vector<std::pair<std::string, std::string>>& imports() const {
+    return imports_;
+  }
+
+  /// "(select Student where (major == \"cs\"))" — for diagnostics.
+  std::string ToString() const;
+
+ private:
+  explicit Query(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string class_name_;
+  std::vector<Ptr> children_;
+  objmodel::MethodExpr::Ptr predicate_;
+  std::vector<std::string> hidden_;
+  std::vector<schema::PropertySpec> specs_;
+  std::vector<std::pair<std::string, std::string>> imports_;
+};
+
+}  // namespace tse::algebra
+
+#endif  // TSE_ALGEBRA_QUERY_H_

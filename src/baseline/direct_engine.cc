@@ -1,0 +1,340 @@
+#include "baseline/direct_engine.h"
+
+#include <deque>
+
+#include "common/str_util.h"
+
+namespace tse::baseline {
+
+using objmodel::Value;
+using schema::PropertyKind;
+using schema::PropertySpec;
+
+DirectEngine::DirectEngine() {
+  ClassInfo root;
+  root.name = "OBJECT";
+  classes_.emplace("OBJECT", std::move(root));
+}
+
+Result<const DirectEngine::ClassInfo*> DirectEngine::Find(
+    const std::string& name) const {
+  auto it = classes_.find(name);
+  if (it == classes_.end() || !it->second.visible) {
+    return Status::NotFound(StrCat("class ", name));
+  }
+  return &it->second;
+}
+
+Result<DirectEngine::ClassInfo*> DirectEngine::Find(const std::string& name) {
+  auto it = classes_.find(name);
+  if (it == classes_.end() || !it->second.visible) {
+    return Status::NotFound(StrCat("class ", name));
+  }
+  return &it->second;
+}
+
+Status DirectEngine::AddClass(const std::string& name,
+                              const std::vector<std::string>& supers,
+                              const std::vector<PropertySpec>& props) {
+  if (classes_.count(name)) {
+    return Status::AlreadyExists(StrCat("class ", name));
+  }
+  ClassInfo info;
+  info.name = name;
+  std::vector<std::string> parents = supers;
+  if (parents.empty()) parents.push_back("OBJECT");
+  for (const std::string& sup : parents) {
+    TSE_RETURN_IF_ERROR(Find(sup).status());
+    info.supers.insert(sup);
+  }
+  for (const PropertySpec& spec : props) {
+    info.local_props[spec.name] =
+        PropertyInfo{spec.kind, StrCat(name, "::", spec.name)};
+  }
+  classes_.emplace(name, std::move(info));
+  for (const std::string& sup : parents) {
+    classes_.at(sup).subs.insert(name);
+  }
+  return Status::OK();
+}
+
+Result<std::map<std::string, DirectEngine::PropertyInfo>>
+DirectEngine::Effective(const std::string& cls) const {
+  TSE_ASSIGN_OR_RETURN(const ClassInfo* info, Find(cls));
+  std::map<std::string, PropertyInfo> out;
+  for (const std::string& sup : info->supers) {
+    TSE_ASSIGN_OR_RETURN(auto inherited, Effective(sup));
+    for (const auto& [name, prop] : inherited) {
+      out[name] = prop;  // later supers win on conflicts; fine for oracle
+    }
+  }
+  for (const auto& [name, prop] : info->local_props) {
+    out[name] = prop;  // local overrides inherited
+  }
+  return out;
+}
+
+std::set<std::string> DirectEngine::SubtreeOf(const std::string& cls) const {
+  std::set<std::string> out;
+  std::deque<std::string> queue{cls};
+  while (!queue.empty()) {
+    std::string cur = queue.front();
+    queue.pop_front();
+    if (!out.insert(cur).second) continue;
+    auto it = classes_.find(cur);
+    if (it == classes_.end()) continue;
+    for (const std::string& sub : it->second.subs) queue.push_back(sub);
+  }
+  return out;
+}
+
+void DirectEngine::ChargeMigration(const std::string& cls) {
+  auto extent = Extent(cls);
+  if (extent.ok()) migrated_objects_ += extent.value().size();
+}
+
+Status DirectEngine::AddAttribute(const std::string& cls,
+                                  const PropertySpec& spec) {
+  TSE_ASSIGN_OR_RETURN(auto effective, Effective(cls));
+  if (effective.count(spec.name)) {
+    return Status::Rejected(
+        StrCat("property '", spec.name, "' already exists in ", cls));
+  }
+  TSE_ASSIGN_OR_RETURN(ClassInfo * info, Find(cls));
+  info->local_props[spec.name] =
+      PropertyInfo{spec.kind, StrCat(cls, "::", spec.name)};
+  // In-place semantics: every existing member's representation is
+  // restructured to carry the new attribute.
+  if (spec.kind == PropertyKind::kStoredAttribute) {
+    TSE_ASSIGN_OR_RETURN(std::set<Oid> extent, Extent(cls));
+    for (Oid oid : extent) {
+      objects_.at(oid.value()).values.emplace(spec.name, Value::Null());
+    }
+    migrated_objects_ += extent.size();
+  }
+  return Status::OK();
+}
+
+Status DirectEngine::DeleteAttribute(const std::string& cls,
+                                     const std::string& name) {
+  TSE_ASSIGN_OR_RETURN(ClassInfo * info, Find(cls));
+  auto local = info->local_props.find(name);
+  if (local == info->local_props.end()) {
+    // Only locally defined properties may be deleted (full inheritance).
+    TSE_ASSIGN_OR_RETURN(auto effective, Effective(cls));
+    if (effective.count(name)) {
+      return Status::Rejected(
+          StrCat("property '", name, "' is inherited, not local to ", cls));
+    }
+    return Status::NotFound(StrCat("no property '", name, "' in ", cls));
+  }
+  bool was_attribute = local->second.kind == PropertyKind::kStoredAttribute;
+  info->local_props.erase(local);
+  if (was_attribute) {
+    // Drop the stored values from members that no longer see the name.
+    for (const std::string& sub : SubtreeOf(cls)) {
+      auto effective = Effective(sub);
+      if (!effective.ok() || effective.value().count(name)) continue;
+      auto it = classes_.find(sub);
+      for (Oid oid : it->second.local_extent) {
+        objects_.at(oid.value()).values.erase(name);
+        ++migrated_objects_;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DirectEngine::AddMethod(const std::string& cls,
+                               const PropertySpec& spec) {
+  return AddAttribute(cls, spec);
+}
+
+Status DirectEngine::DeleteMethod(const std::string& cls,
+                                  const std::string& name) {
+  return DeleteAttribute(cls, name);
+}
+
+Status DirectEngine::AddEdge(const std::string& sup, const std::string& sub) {
+  TSE_ASSIGN_OR_RETURN(ClassInfo * sup_info, Find(sup));
+  TSE_ASSIGN_OR_RETURN(ClassInfo * sub_info, Find(sub));
+  TSE_ASSIGN_OR_RETURN(bool cycle, Reaches(sup, sub));
+  if (cycle) {
+    return Status::Rejected(
+        StrCat("edge ", sup, "-", sub, " would create a cycle"));
+  }
+  sub_info->supers.insert(sup);
+  sup_info->subs.insert(sub);
+  // Members of sub acquire sup's attributes.
+  ChargeMigration(sub);
+  return Status::OK();
+}
+
+Status DirectEngine::DeleteEdge(const std::string& sup, const std::string& sub,
+                                const std::string& connected_to) {
+  TSE_ASSIGN_OR_RETURN(ClassInfo * sup_info, Find(sup));
+  TSE_ASSIGN_OR_RETURN(ClassInfo * sub_info, Find(sub));
+  if (!sub_info->supers.count(sup)) {
+    return Status::NotFound(StrCat("no is-a edge ", sup, "-", sub));
+  }
+  sub_info->supers.erase(sup);
+  sup_info->subs.erase(sub);
+  if (sub_info->supers.empty()) {
+    std::string target = connected_to.empty() ? "OBJECT" : connected_to;
+    TSE_ASSIGN_OR_RETURN(ClassInfo * target_info, Find(target));
+    sub_info->supers.insert(target);
+    target_info->subs.insert(sub);
+  }
+  ChargeMigration(sub);
+  return Status::OK();
+}
+
+Status DirectEngine::AddLeafClass(const std::string& name,
+                                  const std::string& sup) {
+  return AddClass(name, {sup.empty() ? "OBJECT" : sup}, {});
+}
+
+Status DirectEngine::DeleteClassOrion(const std::string& name) {
+  TSE_ASSIGN_OR_RETURN(ClassInfo * info, Find(name));
+  if (name == "OBJECT") {
+    return Status::InvalidArgument("cannot delete the root class");
+  }
+  // Subclasses reconnect to the deleted class's superclasses; the local
+  // extent becomes invisible (the paper's delete_class_2 semantics).
+  std::set<std::string> supers = info->supers;
+  std::set<std::string> subs = info->subs;
+  for (const std::string& sub : subs) {
+    ClassInfo& sub_info = classes_.at(sub);
+    sub_info.supers.erase(name);
+    for (const std::string& sup : supers) {
+      if (sup == "OBJECT" && !sub_info.supers.empty()) continue;
+      sub_info.supers.insert(sup);
+      classes_.at(sup).subs.insert(sub);
+    }
+    if (sub_info.supers.empty()) {
+      sub_info.supers.insert("OBJECT");
+      classes_.at("OBJECT").subs.insert(sub);
+    }
+    ChargeMigration(sub);
+  }
+  for (const std::string& sup : supers) {
+    classes_.at(sup).subs.erase(name);
+  }
+  // Objects of the class become unreachable (Orion would drop or orphan
+  // them); keep the records but hide the class.
+  info->supers.clear();
+  info->subs.clear();
+  info->visible = false;
+  return Status::OK();
+}
+
+Status DirectEngine::RemoveFromSchema(const std::string& name) {
+  TSE_ASSIGN_OR_RETURN(ClassInfo * info, Find(name));
+  if (name == "OBJECT") {
+    return Status::InvalidArgument("cannot remove the root class");
+  }
+  // The user no longer sees the class, but extent/properties keep
+  // flowing: leave the node in place, flag it invisible to ClassNames /
+  // lookups done via the oracle surface... For the oracle we keep the
+  // node fully functional and merely exclude it from ClassNames().
+  info->visible = true;  // stays functional
+  hidden_from_user_.insert(name);
+  return Status::OK();
+}
+
+Result<Oid> DirectEngine::CreateObject(const std::string& cls) {
+  TSE_ASSIGN_OR_RETURN(ClassInfo * info, Find(cls));
+  TSE_ASSIGN_OR_RETURN(auto effective, Effective(cls));
+  Oid oid = oid_alloc_.Allocate();
+  ObjectRec rec;
+  rec.oid = oid;
+  rec.cls = cls;
+  for (const auto& [name, prop] : effective) {
+    if (prop.kind == PropertyKind::kStoredAttribute) {
+      rec.values.emplace(name, Value::Null());
+    }
+  }
+  objects_.emplace(oid.value(), std::move(rec));
+  info->local_extent.insert(oid);
+  return oid;
+}
+
+Status DirectEngine::SetValue(Oid oid, const std::string& attr, Value value) {
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  TSE_ASSIGN_OR_RETURN(auto effective, Effective(it->second.cls));
+  if (!effective.count(attr)) {
+    return Status::NotFound(StrCat("attribute ", attr, " not visible"));
+  }
+  it->second.values[attr] = std::move(value);
+  return Status::OK();
+}
+
+Result<Value> DirectEngine::GetValue(Oid oid, const std::string& attr) const {
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  auto vit = it->second.values.find(attr);
+  if (vit == it->second.values.end()) {
+    return Status::NotFound(StrCat("attribute ", attr, " not stored"));
+  }
+  return vit->second;
+}
+
+bool DirectEngine::HasClass(const std::string& name) const {
+  return Find(name).ok() && !hidden_from_user_.count(name);
+}
+
+Result<std::set<std::string>> DirectEngine::TypeNames(
+    const std::string& cls) const {
+  TSE_ASSIGN_OR_RETURN(auto effective, Effective(cls));
+  std::set<std::string> out;
+  for (const auto& [name, _] : effective) out.insert(name);
+  return out;
+}
+
+Result<std::set<Oid>> DirectEngine::Extent(const std::string& cls) const {
+  TSE_RETURN_IF_ERROR(Find(cls).status());
+  std::set<Oid> out;
+  for (const std::string& sub : SubtreeOf(cls)) {
+    auto it = classes_.find(sub);
+    if (it == classes_.end() || !it->second.visible) continue;
+    out.insert(it->second.local_extent.begin(),
+               it->second.local_extent.end());
+  }
+  return out;
+}
+
+Result<bool> DirectEngine::Reaches(const std::string& sub,
+                                   const std::string& sup) const {
+  TSE_RETURN_IF_ERROR(Find(sub).status());
+  TSE_RETURN_IF_ERROR(Find(sup).status());
+  std::deque<std::string> queue{sub};
+  std::set<std::string> seen;
+  while (!queue.empty()) {
+    std::string cur = queue.front();
+    queue.pop_front();
+    if (cur == sup) return true;
+    if (!seen.insert(cur).second) continue;
+    auto it = classes_.find(cur);
+    if (it == classes_.end()) continue;
+    for (const std::string& s : it->second.supers) queue.push_back(s);
+  }
+  return false;
+}
+
+std::vector<std::string> DirectEngine::ClassNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, info] : classes_) {
+    if (name == "OBJECT" || !info.visible || hidden_from_user_.count(name)) {
+      continue;
+    }
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace tse::baseline

@@ -1,0 +1,126 @@
+#ifndef TSE_BASELINE_DIRECT_ENGINE_H_
+#define TSE_BASELINE_DIRECT_ENGINE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "objmodel/value.h"
+#include "schema/property.h"
+
+namespace tse::baseline {
+
+/// The conventional OODB schema-evolution engine: changes are applied
+/// *destructively* to the one schema, and instances are migrated in
+/// place (Orion-style semantics, Banerjee et al. [4]). It plays two
+/// roles in this repo:
+///
+///   1. **Correctness oracle** — the paper's verification propositions
+///      (S'' = S') state that the view TSE computes equals the schema a
+///      normal modification would produce. Tests drive this engine and
+///      TSE with the same population and the same change, then compare
+///      visible types, extents and hierarchy (see oracle.h).
+///   2. **Baseline** — the cost of in-place change (instance migration
+///      touches every member) versus TSE's virtual change, and the
+///      breakage of old programs, for the benchmarks.
+///
+/// Classes are identified by name; objects by Oid from this engine's own
+/// allocator (tests keep a bijection with TSE oids).
+class DirectEngine {
+ public:
+  DirectEngine();
+
+  /// Defines a base class. Empty `supers` attaches to "OBJECT".
+  Status AddClass(const std::string& name,
+                  const std::vector<std::string>& supers,
+                  const std::vector<schema::PropertySpec>& props);
+
+  // --- Schema change operators (in-place) -------------------------------
+
+  Status AddAttribute(const std::string& cls, const schema::PropertySpec& spec);
+  Status DeleteAttribute(const std::string& cls, const std::string& name);
+  Status AddMethod(const std::string& cls, const schema::PropertySpec& spec);
+  Status DeleteMethod(const std::string& cls, const std::string& name);
+  Status AddEdge(const std::string& sup, const std::string& sub);
+  Status DeleteEdge(const std::string& sup, const std::string& sub,
+                    const std::string& connected_to = "");
+  /// "add_class C connected_to P" (leaf class, type of P, empty extent).
+  Status AddLeafClass(const std::string& name, const std::string& sup);
+  /// Orion-semantics class deletion (the delete_class_2 macro): local
+  /// extent becomes invisible, local properties stop being inherited,
+  /// subclasses reconnect to the deleted class's superclasses.
+  Status DeleteClassOrion(const std::string& name);
+  /// View-semantics removal: the class merely disappears from the user's
+  /// schema; its extent stays visible to supers and its properties stay
+  /// inherited by subs.
+  Status RemoveFromSchema(const std::string& name);
+
+  // --- Objects ------------------------------------------------------------
+
+  Result<Oid> CreateObject(const std::string& cls);
+  Status SetValue(Oid oid, const std::string& attr, objmodel::Value value);
+  Result<objmodel::Value> GetValue(Oid oid, const std::string& attr) const;
+
+  // --- Introspection (the oracle surface) -----------------------------------
+
+  bool HasClass(const std::string& name) const;
+  /// Visible property names (attributes + methods) of the class.
+  Result<std::set<std::string>> TypeNames(const std::string& cls) const;
+  /// Global extent (members of the class and its subclasses).
+  Result<std::set<Oid>> Extent(const std::string& cls) const;
+  /// True when `sub` reaches `sup` through is-a edges.
+  Result<bool> Reaches(const std::string& sub, const std::string& sup) const;
+  /// All user classes (excluding OBJECT and invisible ones).
+  std::vector<std::string> ClassNames() const;
+
+  /// Objects touched by instance migrations so far (the cost the paper's
+  /// subschema-evolution argument is about).
+  size_t migrated_objects() const { return migrated_objects_; }
+
+ private:
+  struct PropertyInfo {
+    schema::PropertyKind kind;
+    /// Identity token for override tracking: "class::name" of the
+    /// definition site.
+    std::string origin;
+  };
+  struct ClassInfo {
+    std::string name;
+    std::map<std::string, PropertyInfo> local_props;
+    std::set<std::string> supers;
+    std::set<std::string> subs;
+    std::set<Oid> local_extent;
+    bool visible = true;
+  };
+  struct ObjectRec {
+    Oid oid;
+    std::string cls;
+    std::map<std::string, objmodel::Value> values;
+  };
+
+  Result<const ClassInfo*> Find(const std::string& name) const;
+  Result<ClassInfo*> Find(const std::string& name);
+  /// Effective property map of a class: name -> origin token.
+  Result<std::map<std::string, PropertyInfo>> Effective(
+      const std::string& cls) const;
+  /// All classes at or below `cls`.
+  std::set<std::string> SubtreeOf(const std::string& cls) const;
+  /// Charge an instance migration for every member of `cls`'s extent.
+  void ChargeMigration(const std::string& cls);
+
+  std::map<std::string, ClassInfo> classes_;
+  /// Classes removed from the user's perception (view-style removal)
+  /// while staying functional in the hierarchy.
+  std::set<std::string> hidden_from_user_;
+  std::map<uint64_t, ObjectRec> objects_;
+  IdAllocator<Oid> oid_alloc_;
+  size_t migrated_objects_ = 0;
+};
+
+}  // namespace tse::baseline
+
+#endif  // TSE_BASELINE_DIRECT_ENGINE_H_

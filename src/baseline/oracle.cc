@@ -1,0 +1,103 @@
+#include "baseline/oracle.h"
+
+#include "common/str_util.h"
+
+namespace tse::baseline {
+
+Result<Oid> OidBijection::ToDirect(Oid tse) const {
+  auto it = tse_to_direct_.find(tse);
+  if (it == tse_to_direct_.end()) {
+    return Status::NotFound(StrCat("no direct twin for tse oid ",
+                                   tse.ToString()));
+  }
+  return it->second;
+}
+
+Result<Oid> OidBijection::ToTse(Oid direct) const {
+  auto it = direct_to_tse_.find(direct);
+  if (it == direct_to_tse_.end()) {
+    return Status::NotFound(StrCat("no tse twin for direct oid ",
+                                   direct.ToString()));
+  }
+  return it->second;
+}
+
+Status CheckEquivalence(const schema::SchemaGraph& schema,
+                        objmodel::SlicingStore* store,
+                        const view::ViewSchema& view,
+                        const DirectEngine& direct,
+                        const OidBijection& oids) {
+  // --- Class sets ---------------------------------------------------------
+  std::vector<std::string> direct_names = direct.ClassNames();
+  std::set<std::string> direct_set(direct_names.begin(), direct_names.end());
+  std::set<std::string> view_set;
+  for (ClassId cls : view.classes()) {
+    TSE_ASSIGN_OR_RETURN(std::string display, view.DisplayName(cls));
+    view_set.insert(display);
+  }
+  if (view_set != direct_set) {
+    std::vector<std::string> only_view, only_direct;
+    for (const std::string& n : view_set) {
+      if (!direct_set.count(n)) only_view.push_back(n);
+    }
+    for (const std::string& n : direct_set) {
+      if (!view_set.count(n)) only_direct.push_back(n);
+    }
+    return Status::FailedPrecondition(
+        StrCat("class sets differ; only in view: [", Join(only_view, ", "),
+               "], only in direct: [", Join(only_direct, ", "), "]"));
+  }
+
+  algebra::ExtentEvaluator extents(&schema, store);
+  for (ClassId cls : view.classes()) {
+    TSE_ASSIGN_OR_RETURN(std::string display, view.DisplayName(cls));
+
+    // --- Types (visible names) --------------------------------------------
+    TSE_ASSIGN_OR_RETURN(schema::TypeSet type, schema.EffectiveType(cls));
+    std::set<std::string> view_names;
+    for (const std::string& n : type.Names()) view_names.insert(n);
+    TSE_ASSIGN_OR_RETURN(std::set<std::string> direct_props,
+                         direct.TypeNames(display));
+    if (view_names != direct_props) {
+      return Status::FailedPrecondition(
+          StrCat("type of ", display, " differs; view = {",
+                 Join({view_names.begin(), view_names.end()}, ","),
+                 "}, direct = {",
+                 Join({direct_props.begin(), direct_props.end()}, ","), "}"));
+    }
+
+    // --- Extents -------------------------------------------------------------
+    TSE_ASSIGN_OR_RETURN(std::set<Oid> view_extent, extents.Extent(cls));
+    TSE_ASSIGN_OR_RETURN(std::set<Oid> direct_extent, direct.Extent(display));
+    std::set<Oid> mapped;
+    for (Oid oid : view_extent) {
+      TSE_ASSIGN_OR_RETURN(Oid twin, oids.ToDirect(oid));
+      mapped.insert(twin);
+    }
+    if (mapped != direct_extent) {
+      return Status::FailedPrecondition(
+          StrCat("extent of ", display, " differs (view has ",
+                 view_extent.size(), " members, direct has ",
+                 direct_extent.size(), ")"));
+    }
+
+    // --- Hierarchy (reachability) -----------------------------------------------
+    std::set<ClassId> view_supers = view.TransitiveSupers(cls);
+    for (ClassId other : view.classes()) {
+      if (other == cls) continue;
+      TSE_ASSIGN_OR_RETURN(std::string other_name, view.DisplayName(other));
+      bool in_view = view_supers.count(other) != 0;
+      TSE_ASSIGN_OR_RETURN(bool in_direct,
+                           direct.Reaches(display, other_name));
+      if (in_view != in_direct) {
+        return Status::FailedPrecondition(
+            StrCat("hierarchy differs: ", display, " -> ", other_name,
+                   " is ", in_view ? "present" : "absent", " in view but ",
+                   in_direct ? "present" : "absent", " in direct schema"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tse::baseline

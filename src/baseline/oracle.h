@@ -1,0 +1,50 @@
+#ifndef TSE_BASELINE_ORACLE_H_
+#define TSE_BASELINE_ORACLE_H_
+
+#include <map>
+#include <string>
+
+#include "algebra/extent_eval.h"
+#include "baseline/direct_engine.h"
+#include "common/status.h"
+#include "objmodel/slicing_store.h"
+#include "schema/schema_graph.h"
+#include "view/view_schema.h"
+
+namespace tse::baseline {
+
+/// Bijection between TSE oids and DirectEngine oids, maintained by test
+/// harnesses that populate both systems in lockstep.
+class OidBijection {
+ public:
+  void Link(Oid tse, Oid direct) {
+    tse_to_direct_[tse] = direct;
+    direct_to_tse_[direct] = tse;
+  }
+  Result<Oid> ToDirect(Oid tse) const;
+  Result<Oid> ToTse(Oid direct) const;
+  size_t size() const { return tse_to_direct_.size(); }
+
+ private:
+  std::map<Oid, Oid> tse_to_direct_;
+  std::map<Oid, Oid> direct_to_tse_;
+};
+
+/// Checks the paper's S'' = S' verification propositions: the view
+/// schema TSE computed must coincide with the state the DirectEngine
+/// reached by normal in-place modification —
+///   V'' = V' : same class set (by display name), same visible type
+///              names per class, same extents (through the bijection);
+///   E'' = E' : same is-a reachability between every pair of classes.
+///
+/// Returns OK when equivalent; otherwise a FailedPrecondition status
+/// whose message pinpoints the first divergence.
+Status CheckEquivalence(const schema::SchemaGraph& schema,
+                        objmodel::SlicingStore* store,
+                        const view::ViewSchema& view,
+                        const DirectEngine& direct,
+                        const OidBijection& oids);
+
+}  // namespace tse::baseline
+
+#endif  // TSE_BASELINE_ORACLE_H_

@@ -1,0 +1,396 @@
+#include "baseline/versioning_sims.h"
+
+#include "common/str_util.h"
+
+namespace tse::baseline {
+
+using objmodel::Value;
+
+// --- OrionVersioning ---------------------------------------------------------
+
+OrionVersioning::OrionVersioning(VersionedSchema initial) {
+  schemas_.push_back(std::move(initial));
+}
+
+int OrionVersioning::DeriveVersion(
+    const std::function<void(VersionedSchema*)>& mutate) {
+  VersionedSchema next = schemas_.back();  // snapshot copy
+  mutate(&next);
+  schemas_.push_back(std::move(next));
+  return current_version();
+}
+
+Result<OrionVersioning::Instance*> OrionVersioning::Find(Oid oid) {
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  return &it->second;
+}
+
+Result<Oid> OrionVersioning::CreateObject(int version,
+                                          const std::string& cls) {
+  if (version < 1 || version > current_version()) {
+    return Status::InvalidArgument("unknown schema version");
+  }
+  const VersionedSchema& schema = schemas_[static_cast<size_t>(version - 1)];
+  auto cit = schema.classes.find(cls);
+  if (cit == schema.classes.end()) {
+    return Status::NotFound(StrCat("class ", cls, " in version ", version));
+  }
+  Oid oid = oid_alloc_.Allocate();
+  Instance inst;
+  inst.cls = cls;
+  inst.bound_version = version;
+  for (const std::string& attr : cit->second) {
+    inst.values.emplace(attr, Value::Null());
+  }
+  objects_.emplace(oid.value(), std::move(inst));
+  return oid;
+}
+
+bool OrionVersioning::Visible(int version, Oid oid) const {
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) return false;
+  const Instance& inst = it->second;
+  // Objects are visible in their own and older versions, minus versions
+  // that deleted them. No forward migration without conversion.
+  if (inst.deleted_in.count(version)) return false;
+  return version >= inst.bound_version ||
+         // Old versions still "see" the object (it was never converted
+         // away) — the no-backward-propagation anomaly.
+         version < inst.bound_version;
+}
+
+Result<Value> OrionVersioning::Read(int version, Oid oid,
+                                    const std::string& attr) {
+  TSE_ASSIGN_OR_RETURN(Instance * inst, Find(oid));
+  if (inst->deleted_in.count(version)) {
+    return Status::NotFound("object deleted in this version");
+  }
+  if (version < 1 || version > current_version()) {
+    return Status::InvalidArgument("unknown schema version");
+  }
+  if (version > inst->bound_version) {
+    // Cross-version access: Orion copies/converts the instance into the
+    // reader's version.
+    const VersionedSchema& target =
+        schemas_[static_cast<size_t>(version - 1)];
+    auto cit = target.classes.find(inst->cls);
+    if (cit == target.classes.end()) {
+      ++stats_.accesses_refused;
+      return Status::FailedPrecondition(
+          StrCat("class ", inst->cls, " absent from version ", version));
+    }
+    std::map<std::string, Value> converted;
+    for (const std::string& a : cit->second) {
+      auto vit = inst->values.find(a);
+      converted.emplace(a, vit == inst->values.end() ? Value::Null()
+                                                     : vit->second);
+    }
+    inst->values = std::move(converted);
+    inst->bound_version = version;
+    ++stats_.instances_copied;
+  } else if (version < inst->bound_version) {
+    // Old program reading a new-version object: refused (instances are
+    // not shared backwards).
+    ++stats_.accesses_refused;
+    return Status::FailedPrecondition(
+        "object was converted to a newer schema version");
+  }
+  auto vit = inst->values.find(attr);
+  if (vit == inst->values.end()) {
+    return Status::NotFound(StrCat("attribute ", attr));
+  }
+  return vit->second;
+}
+
+Status OrionVersioning::Write(int version, Oid oid, const std::string& attr,
+                              Value value) {
+  TSE_ASSIGN_OR_RETURN(Instance * inst, Find(oid));
+  if (version != inst->bound_version) {
+    if (version < inst->bound_version) {
+      // Old versions are frozen for objects that moved on.
+      ++stats_.accesses_refused;
+      return Status::FailedPrecondition(
+          "old schema versions are frozen for updates");
+    }
+    // Writing through a newer version converts first (same as Read).
+    TSE_RETURN_IF_ERROR(Read(version, oid, attr).status());
+  }
+  auto vit = inst->values.find(attr);
+  if (vit == inst->values.end()) {
+    return Status::NotFound(StrCat("attribute ", attr));
+  }
+  vit->second = std::move(value);
+  return Status::OK();
+}
+
+Status OrionVersioning::Delete(int version, Oid oid) {
+  TSE_ASSIGN_OR_RETURN(Instance * inst, Find(oid));
+  // Deletion applies to this version only; older versions keep seeing
+  // the object (the paper's backward-propagation criticism).
+  inst->deleted_in.insert(version);
+  return Status::OK();
+}
+
+// --- EncoreVersioning ---------------------------------------------------------
+
+EncoreVersioning::EncoreVersioning(VersionedSchema initial) {
+  for (const auto& [cls, attrs] : initial.classes) {
+    class_versions_[cls].push_back(attrs);
+  }
+}
+
+int EncoreVersioning::DeriveClassVersion(
+    const std::string& cls, const std::set<std::string>& new_attrs) {
+  auto& versions = class_versions_[cls];
+  std::set<std::string> next =
+      versions.empty() ? std::set<std::string>{} : versions.back();
+  next.insert(new_attrs.begin(), new_attrs.end());
+  versions.push_back(std::move(next));
+  return static_cast<int>(versions.size());
+}
+
+void EncoreVersioning::RegisterHandler(const std::string& cls,
+                                       const std::string& attr,
+                                       Value fallback) {
+  handlers_[cls][attr] = std::move(fallback);
+  ++stats_.user_artifacts_required;
+}
+
+Result<Oid> EncoreVersioning::CreateObject(const std::string& cls,
+                                           int class_version) {
+  auto it = class_versions_.find(cls);
+  if (it == class_versions_.end() || class_version < 1 ||
+      class_version > static_cast<int>(it->second.size())) {
+    return Status::InvalidArgument("unknown class version");
+  }
+  Oid oid = oid_alloc_.Allocate();
+  Instance inst;
+  inst.cls = cls;
+  inst.class_version = class_version;
+  for (const std::string& attr :
+       it->second[static_cast<size_t>(class_version - 1)]) {
+    inst.values.emplace(attr, Value::Null());
+  }
+  objects_.emplace(oid.value(), std::move(inst));
+  return oid;
+}
+
+Result<Value> EncoreVersioning::Read(Oid oid, int reader_version,
+                                     const std::string& attr) {
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  Instance& inst = it->second;
+  const auto& versions = class_versions_.at(inst.cls);
+  if (reader_version < 1 ||
+      reader_version > static_cast<int>(versions.size())) {
+    return Status::InvalidArgument("unknown reader version");
+  }
+  const std::set<std::string>& reader_type =
+      versions[static_cast<size_t>(reader_version - 1)];
+  if (!reader_type.count(attr)) {
+    return Status::NotFound(StrCat("attribute ", attr, " not in version"));
+  }
+  auto vit = inst.values.find(attr);
+  if (vit != inst.values.end()) return vit->second;
+  // The instance's version lacks the field: run the exception handler.
+  auto hit = handlers_.find(inst.cls);
+  if (hit != handlers_.end()) {
+    auto ait = hit->second.find(attr);
+    if (ait != hit->second.end()) {
+      ++stats_.handlers_invoked;
+      return ait->second;
+    }
+  }
+  ++stats_.accesses_refused;
+  return Status::FailedPrecondition(
+      StrCat("no exception handler for '", attr, "' on old instances of ",
+             inst.cls));
+}
+
+// --- ClosqlVersioning ---------------------------------------------------------
+
+ClosqlVersioning::ClosqlVersioning(VersionedSchema initial) {
+  for (const auto& [cls, attrs] : initial.classes) {
+    class_versions_[cls].push_back(attrs);
+  }
+}
+
+int ClosqlVersioning::DeriveClassVersion(
+    const std::string& cls, const std::set<std::string>& new_attrs,
+    const std::map<std::string, Value>& update_defaults) {
+  auto& versions = class_versions_[cls];
+  std::set<std::string> next =
+      versions.empty() ? std::set<std::string>{} : versions.back();
+  next.insert(new_attrs.begin(), new_attrs.end());
+  versions.push_back(std::move(next));
+  for (const auto& [attr, value] : update_defaults) {
+    updates_[cls][attr] = value;
+    ++stats_.user_artifacts_required;  // each update fn is hand-written
+  }
+  return static_cast<int>(versions.size());
+}
+
+Result<Oid> ClosqlVersioning::CreateObject(const std::string& cls,
+                                           int class_version) {
+  auto it = class_versions_.find(cls);
+  if (it == class_versions_.end() || class_version < 1 ||
+      class_version > static_cast<int>(it->second.size())) {
+    return Status::InvalidArgument("unknown class version");
+  }
+  Oid oid = oid_alloc_.Allocate();
+  Instance inst;
+  inst.cls = cls;
+  inst.class_version = class_version;
+  for (const std::string& attr :
+       it->second[static_cast<size_t>(class_version - 1)]) {
+    inst.values.emplace(attr, Value::Null());
+  }
+  objects_.emplace(oid.value(), std::move(inst));
+  return oid;
+}
+
+Result<Value> ClosqlVersioning::Read(Oid oid, int reader_version,
+                                     const std::string& attr) {
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  Instance& inst = it->second;
+  const auto& versions = class_versions_.at(inst.cls);
+  if (reader_version < 1 ||
+      reader_version > static_cast<int>(versions.size())) {
+    return Status::InvalidArgument("unknown reader version");
+  }
+  const std::set<std::string>& reader_type =
+      versions[static_cast<size_t>(reader_version - 1)];
+  if (!reader_type.count(attr)) {
+    return Status::NotFound(StrCat("attribute ", attr, " not in version"));
+  }
+  auto vit = inst.values.find(attr);
+  if (vit != inst.values.end()) {
+    if (reader_version != inst.class_version) {
+      // Stored format differs from the program's expectation: the
+      // conversion runs on *every* access (instances never migrate).
+      ++stats_.conversions_run;
+    }
+    return vit->second;
+  }
+  // Attribute absent from the stored format: run the update function.
+  auto uit = updates_.find(inst.cls);
+  if (uit != updates_.end()) {
+    auto ait = uit->second.find(attr);
+    if (ait != uit->second.end()) {
+      ++stats_.conversions_run;
+      return ait->second;
+    }
+  }
+  ++stats_.accesses_refused;
+  return Status::FailedPrecondition(
+      StrCat("no update function for '", attr, "'"));
+}
+
+// --- GooseVersioning ---------------------------------------------------------
+
+GooseVersioning::GooseVersioning(VersionedSchema initial) {
+  for (const auto& [cls, attrs] : initial.classes) {
+    class_versions_[cls].push_back(attrs);
+  }
+}
+
+int GooseVersioning::DeriveClassVersion(const std::string& cls,
+                                        const std::set<std::string>& attrs) {
+  auto& versions = class_versions_[cls];
+  versions.push_back(attrs);
+  return static_cast<int>(versions.size());
+}
+
+Result<int> GooseVersioning::ComposeSchema(
+    const std::map<std::string, int>& selection) {
+  // The user keeps track of which class versions make a schema; the
+  // system must verify the composition is consistent.
+  ++stats_.consistency_checks;
+  stats_.user_artifacts_required += selection.size();  // tracking burden
+  for (const auto& [cls, version] : selection) {
+    auto it = class_versions_.find(cls);
+    if (it == class_versions_.end()) {
+      return Status::NotFound(StrCat("class ", cls));
+    }
+    if (version < 1 || version > static_cast<int>(it->second.size())) {
+      return Status::InvalidArgument(
+          StrCat("class ", cls, " has no version ", version));
+    }
+  }
+  compositions_.push_back(selection);
+  return static_cast<int>(compositions_.size());
+}
+
+// --- RoseVersioning ---------------------------------------------------------
+
+RoseVersioning::RoseVersioning(VersionedSchema initial) {
+  schemas_.push_back(std::move(initial));
+}
+
+int RoseVersioning::DeriveVersion(
+    const std::function<void(VersionedSchema*)>& mutate) {
+  VersionedSchema next = schemas_.back();
+  mutate(&next);
+  schemas_.push_back(std::move(next));
+  return static_cast<int>(schemas_.size());
+}
+
+Result<Oid> RoseVersioning::CreateObject(const std::string& cls) {
+  const VersionedSchema& current = schemas_.back();
+  auto cit = current.classes.find(cls);
+  if (cit == current.classes.end()) {
+    return Status::NotFound(StrCat("class ", cls));
+  }
+  Oid oid = oid_alloc_.Allocate();
+  Instance inst;
+  inst.cls = cls;
+  inst.format_version = static_cast<int>(schemas_.size());
+  for (const std::string& attr : cit->second) {
+    inst.values.emplace(attr, Value::Null());
+  }
+  objects_.emplace(oid.value(), std::move(inst));
+  return oid;
+}
+
+Result<Value> RoseVersioning::Read(Oid oid, const std::string& attr) {
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  Instance& inst = it->second;
+  int current = static_cast<int>(schemas_.size());
+  if (inst.format_version != current) {
+    // Lazy upgrade to the newest format on first touch.
+    const VersionedSchema& schema = schemas_.back();
+    auto cit = schema.classes.find(inst.cls);
+    if (cit == schema.classes.end()) {
+      ++stats_.accesses_refused;
+      return Status::FailedPrecondition(
+          StrCat("class ", inst.cls, " no longer exists"));
+    }
+    std::map<std::string, Value> upgraded;
+    for (const std::string& a : cit->second) {
+      auto vit = inst.values.find(a);
+      upgraded.emplace(a, vit == inst.values.end() ? Value::Null()
+                                                   : vit->second);
+    }
+    inst.values = std::move(upgraded);
+    inst.format_version = current;
+    ++stats_.instances_copied;
+  }
+  auto vit = inst.values.find(attr);
+  if (vit == inst.values.end()) {
+    return Status::NotFound(StrCat("attribute ", attr));
+  }
+  return vit->second;
+}
+
+}  // namespace tse::baseline

@@ -1,0 +1,239 @@
+#ifndef TSE_BASELINE_VERSIONING_SIMS_H_
+#define TSE_BASELINE_VERSIONING_SIMS_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "objmodel/value.h"
+
+namespace tse::baseline {
+
+/// Counters every simulation reports, feeding the Table 2 comparison
+/// bench: what each versioning strategy costs and what it breaks.
+struct VersioningStats {
+  /// Instance records duplicated/converted because a schema version
+  /// boundary was crossed.
+  size_t instances_copied = 0;
+  /// Per-access conversion-function invocations (CLOSQL/Rose style).
+  size_t conversions_run = 0;
+  /// Exception-handler invocations (Encore style).
+  size_t handlers_invoked = 0;
+  /// Accesses refused because the object's version is incompatible and
+  /// no recovery mechanism exists (breaks old/new programs).
+  size_t accesses_refused = 0;
+  /// Hand-written artifacts (exception handlers, update/backdate
+  /// functions) the user had to supply — the "effort required" column.
+  size_t user_artifacts_required = 0;
+  /// Consistency checks run when composing schemas from class versions
+  /// (Goose style).
+  size_t consistency_checks = 0;
+};
+
+/// A minimal per-version class layout shared by the simulations: each
+/// schema version assigns each class a set of attribute names.
+struct VersionedSchema {
+  /// class -> attribute names, for this version.
+  std::map<std::string, std::set<std::string>> classes;
+};
+
+/// ---------------------------------------------------------------------------
+/// Orion-style whole-schema versioning (Kim & Chou [8]): every change
+/// snapshots the complete schema; instances are bound to the version
+/// under which they were created. Accessing an old instance from a new
+/// version copies/converts it; old versions are frozen for updates, and
+/// deletes do not propagate backwards (the paper's back-propagation
+/// criticism).
+class OrionVersioning {
+ public:
+  /// Version 1 starts from `initial`.
+  explicit OrionVersioning(VersionedSchema initial);
+
+  /// Derives version N+1 by applying `mutate` to a copy of the current
+  /// schema. Returns the new version number.
+  int DeriveVersion(const std::function<void(VersionedSchema*)>& mutate);
+
+  /// Creates an object bound to `version`.
+  Result<Oid> CreateObject(int version, const std::string& cls);
+
+  /// Reads `attr` of `oid` through `version`. Same version: direct. A
+  /// newer version first converts (copies) the instance into that
+  /// version; older versions refuse new-version objects.
+  Result<objmodel::Value> Read(int version, Oid oid, const std::string& attr);
+
+  /// Writes through `version`: allowed only in the version the object
+  /// is (now) bound to; old frozen versions refuse.
+  Status Write(int version, Oid oid, const std::string& attr,
+               objmodel::Value value);
+
+  /// Deletes through `version`: removes the binding in that version
+  /// only; the object remains visible in older versions (no backward
+  /// propagation — the inconsistency TSE avoids).
+  Status Delete(int version, Oid oid);
+
+  /// True when `oid` is visible through `version`.
+  bool Visible(int version, Oid oid) const;
+
+  int current_version() const { return static_cast<int>(schemas_.size()); }
+  const VersioningStats& stats() const { return stats_; }
+
+ private:
+  struct Instance {
+    std::string cls;
+    int bound_version;
+    std::map<std::string, objmodel::Value> values;
+    std::set<int> deleted_in;  ///< versions that deleted this object
+  };
+
+  Result<Instance*> Find(Oid oid);
+
+  std::vector<VersionedSchema> schemas_;  // index 0 = version 1
+  std::map<uint64_t, Instance> objects_;
+  IdAllocator<Oid> oid_alloc_;
+  VersioningStats stats_;
+};
+
+/// ---------------------------------------------------------------------------
+/// Encore-style type versioning (Skarra & Zdonik [27]): each class has
+/// versioned types; objects bind to the version they were created
+/// under. Reading an attribute the object's version lacks invokes a
+/// user-supplied exception handler (or fails when none was written).
+class EncoreVersioning {
+ public:
+  explicit EncoreVersioning(VersionedSchema initial);
+
+  /// New version of one class's type. The caller must also register
+  /// handlers for attributes new programs may read on old instances.
+  int DeriveClassVersion(const std::string& cls,
+                         const std::set<std::string>& new_attrs);
+
+  /// Registers a hand-written exception handler producing a default for
+  /// `attr` when absent on an instance (counts as user effort).
+  void RegisterHandler(const std::string& cls, const std::string& attr,
+                       objmodel::Value fallback);
+
+  Result<Oid> CreateObject(const std::string& cls, int class_version);
+
+  /// Reads `attr` as seen by `reader_version` of the object's class.
+  Result<objmodel::Value> Read(Oid oid, int reader_version,
+                               const std::string& attr);
+
+  const VersioningStats& stats() const { return stats_; }
+
+ private:
+  struct Instance {
+    std::string cls;
+    int class_version;
+    std::map<std::string, objmodel::Value> values;
+  };
+
+  std::map<std::string, std::vector<std::set<std::string>>> class_versions_;
+  std::map<std::string, std::map<std::string, objmodel::Value>> handlers_;
+  std::map<uint64_t, Instance> objects_;
+  IdAllocator<Oid> oid_alloc_;
+  VersioningStats stats_;
+};
+
+/// ---------------------------------------------------------------------------
+/// CLOSQL-style class versioning (Monk & Sommerville [15]): instances
+/// stay in their stored format; every cross-version access runs
+/// user-written update/backdate functions attribute by attribute.
+class ClosqlVersioning {
+ public:
+  explicit ClosqlVersioning(VersionedSchema initial);
+
+  /// Adds a class version; `update_defaults` are the user-written
+  /// update functions (old->new) for the added attributes.
+  int DeriveClassVersion(
+      const std::string& cls, const std::set<std::string>& new_attrs,
+      const std::map<std::string, objmodel::Value>& update_defaults);
+
+  Result<Oid> CreateObject(const std::string& cls, int class_version);
+
+  /// Reads through `reader_version`: same version direct; otherwise the
+  /// update/backdate chain converts the value on every access.
+  Result<objmodel::Value> Read(Oid oid, int reader_version,
+                               const std::string& attr);
+
+  const VersioningStats& stats() const { return stats_; }
+
+ private:
+  struct Instance {
+    std::string cls;
+    int class_version;
+    std::map<std::string, objmodel::Value> values;
+  };
+
+  std::map<std::string, std::vector<std::set<std::string>>> class_versions_;
+  /// cls -> attr -> update-function default.
+  std::map<std::string, std::map<std::string, objmodel::Value>> updates_;
+  std::map<uint64_t, Instance> objects_;
+  IdAllocator<Oid> oid_alloc_;
+  VersioningStats stats_;
+};
+
+/// ---------------------------------------------------------------------------
+/// Goose-style class versioning (Kim et al. [7,11]): schemas are
+/// compositions of individual class versions; building one requires a
+/// consistency check across the chosen versions, and the user tracks
+/// which class versions belong to which schema.
+class GooseVersioning {
+ public:
+  explicit GooseVersioning(VersionedSchema initial);
+
+  int DeriveClassVersion(const std::string& cls,
+                         const std::set<std::string>& attrs);
+
+  /// Composes a schema from {class -> version}. Runs the consistency
+  /// check (every class present, version in range); the user supplies
+  /// the mapping — counted as tracking effort.
+  Result<int> ComposeSchema(const std::map<std::string, int>& selection);
+
+  size_t schema_count() const { return compositions_.size(); }
+  const VersioningStats& stats() const { return stats_; }
+
+ private:
+  std::map<std::string, std::vector<std::set<std::string>>> class_versions_;
+  std::vector<std::map<std::string, int>> compositions_;
+  VersioningStats stats_;
+};
+
+/// ---------------------------------------------------------------------------
+/// Rose-style lazy conversion (Mehta et al. [14]): objects convert to
+/// the newest format on first access after a change (no user effort,
+/// but a per-object conversion cost and no old-format view afterwards).
+class RoseVersioning {
+ public:
+  explicit RoseVersioning(VersionedSchema initial);
+
+  int DeriveVersion(const std::function<void(VersionedSchema*)>& mutate);
+
+  Result<Oid> CreateObject(const std::string& cls);
+
+  /// Reads through the *current* schema; lazily upgrades stale objects.
+  Result<objmodel::Value> Read(Oid oid, const std::string& attr);
+
+  const VersioningStats& stats() const { return stats_; }
+
+ private:
+  struct Instance {
+    std::string cls;
+    int format_version;
+    std::map<std::string, objmodel::Value> values;
+  };
+
+  std::vector<VersionedSchema> schemas_;
+  std::map<uint64_t, Instance> objects_;
+  IdAllocator<Oid> oid_alloc_;
+  VersioningStats stats_;
+};
+
+}  // namespace tse::baseline
+
+#endif  // TSE_BASELINE_VERSIONING_SIMS_H_

@@ -1,0 +1,118 @@
+#include "classifier/classifier.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace tse::classifier {
+
+using schema::ClassNode;
+
+bool Classifier::IsClassified(ClassId cls) const {
+  auto node = schema_->GetClass(cls);
+  if (!node.ok()) return false;
+  if (node.value()->is_base()) return true;
+  return !node.value()->supers.empty() || !node.value()->subs.empty();
+}
+
+Result<ClassifyResult> Classifier::Classify(ClassId cls) {
+  TSE_ASSIGN_OR_RETURN(const ClassNode* node, schema_->GetClass(cls));
+  ClassifyResult result;
+  result.cls = cls;
+
+  if (node->is_base() && !node->supers.empty()) {
+    // Base classes arrive with their declared edges; nothing to do.
+    return result;
+  }
+
+  // --- 1. Duplicate detection -------------------------------------------
+  for (ClassId other : schema_->AllClasses()) {
+    if (other == cls || !IsClassified(other)) continue;
+    if (schema_->IsDuplicateOf(cls, other)) {
+      // The existing class replaces the newly created duplicate.
+      if (node->is_virtual()) {
+        TSE_RETURN_IF_ERROR(schema_->RemoveClass(cls));
+      }
+      result.cls = other;
+      result.was_duplicate = true;
+      return result;
+    }
+  }
+
+  // --- 2. Candidate supers and subs ---------------------------------------
+  std::vector<ClassId> super_candidates;
+  std::vector<ClassId> sub_candidates;
+  for (ClassId other : schema_->AllClasses()) {
+    if (other == cls || !IsClassified(other)) continue;
+    if (schema_->IsaSubsumedBy(cls, other)) super_candidates.push_back(other);
+    if (schema_->IsaSubsumedBy(other, cls)) sub_candidates.push_back(other);
+  }
+
+  // Direct supers: minimal candidates (no other candidate strictly
+  // between cls and them).
+  std::vector<ClassId> supers;
+  for (ClassId cand : super_candidates) {
+    bool minimal = true;
+    for (ClassId other : super_candidates) {
+      if (other == cand) continue;
+      if (schema_->IsaSubsumedBy(other, cand) &&
+          !schema_->IsaSubsumedBy(cand, other)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) supers.push_back(cand);
+  }
+  // Direct subs: maximal candidates.
+  std::vector<ClassId> subs;
+  for (ClassId cand : sub_candidates) {
+    bool maximal = true;
+    for (ClassId other : sub_candidates) {
+      if (other == cand) continue;
+      if (schema_->IsaSubsumedBy(cand, other) &&
+          !schema_->IsaSubsumedBy(other, cand)) {
+        maximal = false;
+        break;
+      }
+    }
+    if (maximal) subs.push_back(cand);
+  }
+
+  // Fallback: a class with no provable superclass hangs off the root so
+  // the DAG stays connected.
+  if (supers.empty() && cls != schema_->root()) {
+    supers.push_back(schema_->root());
+  }
+
+  // --- 3. Wire edges; reduce transitivity around the insertion ------------
+  for (ClassId sup : supers) {
+    TSE_RETURN_IF_ERROR(schema_->AddIsaEdge(cls, sup));
+  }
+  for (ClassId sub : subs) {
+    TSE_RETURN_IF_ERROR(schema_->AddIsaEdge(sub, cls));
+    // An existing direct edge sub -> sup is now transitive via cls.
+    for (ClassId sup : supers) {
+      auto sub_node = schema_->GetClass(sub);
+      if (sub_node.ok() && sub_node.value()->supers.count(sup)) {
+        TSE_RETURN_IF_ERROR(schema_->RemoveIsaEdge(sub, sup));
+      }
+    }
+  }
+
+  result.supers = std::move(supers);
+  result.subs = std::move(subs);
+  return result;
+}
+
+Result<std::vector<ClassifyResult>> Classifier::ClassifyAll(
+    const std::vector<ClassId>& classes) {
+  std::vector<ClassifyResult> out;
+  out.reserve(classes.size());
+  for (ClassId cls : classes) {
+    TSE_ASSIGN_OR_RETURN(ClassifyResult r, Classify(cls));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace tse::classifier

@@ -1,0 +1,55 @@
+#ifndef TSE_CLASSIFIER_CLASSIFIER_H_
+#define TSE_CLASSIFIER_CLASSIFIER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "schema/schema_graph.h"
+
+namespace tse::classifier {
+
+/// Outcome of classifying one class.
+struct ClassifyResult {
+  /// The class that now represents the input: the input itself, or an
+  /// existing duplicate that replaced it (the duplicate is removed from
+  /// the graph, per Section 7).
+  ClassId cls;
+  bool was_duplicate = false;
+  /// Direct supers / subs wired by this classification.
+  std::vector<ClassId> supers;
+  std::vector<ClassId> subs;
+};
+
+/// The MultiView classification algorithm (Rundensteiner [17]):
+/// positions a virtual class in the one consistent global schema DAG by
+/// intensional subsumption, detects duplicates, and keeps the DAG
+/// transitively reduced around the insertion point.
+class Classifier {
+ public:
+  explicit Classifier(schema::SchemaGraph* schema) : schema_(schema) {}
+
+  /// Integrates `cls` (typically a freshly defined virtual class) into
+  /// the classified DAG:
+  ///   1. If an already-classified class is a structural duplicate
+  ///      (equal provable extent and identical property bindings), `cls`
+  ///      is removed and the existing class returned.
+  ///   2. Otherwise direct supers = minimal classes subsuming `cls`,
+  ///      direct subs = maximal classes subsumed by `cls`; edges are
+  ///      wired and edges that became transitive are removed.
+  Result<ClassifyResult> Classify(ClassId cls);
+
+  /// Classifies a batch in order, returning the representative ids.
+  Result<std::vector<ClassifyResult>> ClassifyAll(
+      const std::vector<ClassId>& classes);
+
+ private:
+  /// True when `cls` participates in the classified DAG (has edges) or
+  /// is a base class (base classes are born classified).
+  bool IsClassified(ClassId cls) const;
+
+  schema::SchemaGraph* schema_;
+};
+
+}  // namespace tse::classifier
+
+#endif  // TSE_CLASSIFIER_CLASSIFIER_H_

@@ -1,0 +1,91 @@
+#ifndef TSE_COMMON_IDS_H_
+#define TSE_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace tse {
+
+/// Strongly-typed integral identifier. `Tag` distinguishes unrelated id
+/// spaces at compile time so an `Oid` can never be passed where a
+/// `ClassId` is expected.
+template <typename Tag>
+class Id {
+ public:
+  /// Constructs the invalid sentinel id.
+  constexpr Id() : value_(kInvalidValue) {}
+  constexpr explicit Id(uint64_t value) : value_(value) {}
+
+  constexpr uint64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+  std::string ToString() const {
+    return valid() ? std::to_string(value_) : "<invalid>";
+  }
+
+  static constexpr uint64_t kInvalidValue = ~uint64_t{0};
+
+ private:
+  uint64_t value_;
+};
+
+struct OidTag {};
+struct ClassIdTag {};
+struct ViewIdTag {};
+struct PropertyDefIdTag {};
+struct PageIdTag {};
+struct TxnIdTag {};
+
+/// Identity of a conceptual object; stable across reclassification.
+using Oid = Id<OidTag>;
+/// Identity of a class (base or virtual) in the global schema.
+using ClassId = Id<ClassIdTag>;
+/// Identity of one registered view-schema version.
+using ViewId = Id<ViewIdTag>;
+/// Identity of a property *definition* (the storage/code-block identity
+/// shared by `refine C1:x for C2`). Distinct from the property name.
+using PropertyDefId = Id<PropertyDefIdTag>;
+/// Identity of a page in the persistent store.
+using PageId = Id<PageIdTag>;
+/// Identity of a transaction in the lock manager.
+using TxnId = Id<TxnIdTag>;
+
+/// Monotonically increasing id allocator (not thread-safe; callers
+/// serialize through the owning catalog).
+template <typename IdType>
+class IdAllocator {
+ public:
+  IdAllocator() : next_(0) {}
+  explicit IdAllocator(uint64_t first) : next_(first) {}
+
+  IdType Allocate() { return IdType(next_++); }
+
+  /// Ensures future ids do not collide with `id` (used when reloading a
+  /// persisted catalog).
+  void BumpPast(IdType id) {
+    if (id.valid() && id.value() >= next_) next_ = id.value() + 1;
+  }
+
+  uint64_t next_raw() const { return next_; }
+
+ private:
+  uint64_t next_;
+};
+
+}  // namespace tse
+
+namespace std {
+template <typename Tag>
+struct hash<tse::Id<Tag>> {
+  size_t operator()(tse::Id<Tag> id) const noexcept {
+    return std::hash<uint64_t>{}(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // TSE_COMMON_IDS_H_

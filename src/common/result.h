@@ -1,0 +1,85 @@
+#ifndef TSE_COMMON_RESULT_H_
+#define TSE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace tse {
+
+/// The value-or-error return type used by all fallible TSE APIs that
+/// produce a value. A `Result<T>` is either OK and holds a `T`, or holds
+/// a non-OK `Status` and no value.
+///
+/// Usage:
+///   Result<ClassId> r = schema.FindClass("Student");
+///   if (!r.ok()) return r.status();
+///   ClassId id = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result. Intentionally implicit so that
+  /// `return value;` works in functions returning `Result<T>`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a failed result from a non-OK status. Intentionally
+  /// implicit so that `return Status::NotFound(...)` works.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  // Returns by value (not T&&): a prvalue is lifetime-extended when a
+  // range-for or reference binds it, so `for (x : f().value())` is safe;
+  // an xvalue into the dying temporary would dangle.
+  T value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when not OK.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, else
+/// assigns the value to `lhs`. `lhs` may include a declaration:
+///   TSE_ASSIGN_OR_RETURN(ClassId id, schema.FindClass("Student"));
+#define TSE_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  TSE_ASSIGN_OR_RETURN_IMPL_(                                   \
+      TSE_STATUS_CONCAT_(_tse_result, __LINE__), lhs, rexpr)
+
+#define TSE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define TSE_STATUS_CONCAT_(a, b) TSE_STATUS_CONCAT_IMPL_(a, b)
+#define TSE_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace tse
+
+#endif  // TSE_COMMON_RESULT_H_

@@ -1,0 +1,106 @@
+#ifndef TSE_COMMON_STATUS_H_
+#define TSE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace tse {
+
+/// Error categories used across all TSE subsystems. Modeled after the
+/// RocksDB / Abseil status idiom: fallible operations return a `Status`
+/// (or a `Result<T>`, see result.h) instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kRejected,        ///< A semantically valid request refused by policy
+                    ///< (e.g. add_attribute with a clashing name).
+  kCorruption,      ///< On-disk data failed a checksum or format check.
+  kIOError,
+  kAborted,         ///< Lock timeout / concurrency conflict.
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns the canonical lowercase name of a status code ("ok",
+/// "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying a `StatusCode` plus a human-readable
+/// message. The OK status carries no message and no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  // Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Rejected(std::string msg) {
+    return Status(StatusCode::kRejected, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsRejected() const { return code_ == StatusCode::kRejected; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define TSE_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::tse::Status _tse_status = (expr);            \
+    if (!_tse_status.ok()) return _tse_status;     \
+  } while (0)
+
+}  // namespace tse
+
+#endif  // TSE_COMMON_STATUS_H_

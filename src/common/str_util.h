@@ -1,0 +1,37 @@
+#ifndef TSE_COMMON_STR_UTIL_H_
+#define TSE_COMMON_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tse {
+
+namespace internal_str {
+inline void AppendAll(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void AppendAll(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  AppendAll(os, rest...);
+}
+}  // namespace internal_str
+
+/// Concatenates the streamable arguments into one string.
+/// `StrCat("class ", name, " has ", n, " members")`.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal_str::AppendAll(os, args...);
+  return os.str();
+}
+
+/// Joins `parts` with `sep` ("a, b, c").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+}  // namespace tse
+
+#endif  // TSE_COMMON_STR_UTIL_H_

@@ -1,0 +1,33 @@
+#ifndef TSE_EVOLUTION_CHANGE_PARSER_H_
+#define TSE_EVOLUTION_CHANGE_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "evolution/schema_change.h"
+
+namespace tse::evolution {
+
+/// Parses the textual schema-change command syntax (the paper's operator
+/// notation) into a SchemaChange, so interactive front ends and scripts
+/// can drive the TSEM directly:
+///
+///   add_attribute <name>:<type> to <Class>         type ∈ int|real|string|bool
+///   delete_attribute <name> from <Class>
+///   add_method <name> = <expr> to <Class>          expr: see objmodel/expr_parser.h
+///   delete_method <name> from <Class>
+///   add_edge <Super>-<Sub>
+///   delete_edge <Super>-<Sub> [connected_to <Upper>]
+///   add_class <Name> [connected_to <Super>]
+///   delete_class <Name>
+///   insert_class <Name> between <Super>-<Sub>
+///   delete_class_2 <Name>
+///   rename_class <Old> to <New>
+///
+/// Class and property identifiers are [A-Za-z_][A-Za-z0-9_']* (primes
+/// allowed because global names use them).
+Result<SchemaChange> ParseChange(const std::string& command);
+
+}  // namespace tse::evolution
+
+#endif  // TSE_EVOLUTION_CHANGE_PARSER_H_

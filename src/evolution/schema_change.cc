@@ -1,0 +1,56 @@
+#include "evolution/schema_change.h"
+
+#include "common/str_util.h"
+
+namespace tse::evolution {
+
+namespace {
+
+struct Renderer {
+  std::string operator()(const AddAttribute& c) const {
+    return StrCat("add_attribute ", c.spec.name, " to ", c.class_name);
+  }
+  std::string operator()(const DeleteAttribute& c) const {
+    return StrCat("delete_attribute ", c.attr_name, " from ", c.class_name);
+  }
+  std::string operator()(const AddMethod& c) const {
+    return StrCat("add_method ", c.spec.name, " to ", c.class_name);
+  }
+  std::string operator()(const DeleteMethod& c) const {
+    return StrCat("delete_method ", c.method_name, " from ", c.class_name);
+  }
+  std::string operator()(const AddEdge& c) const {
+    return StrCat("add_edge ", c.super_name, "-", c.sub_name);
+  }
+  std::string operator()(const DeleteEdge& c) const {
+    std::string out = StrCat("delete_edge ", c.super_name, "-", c.sub_name);
+    if (c.connected_to) out += StrCat(" connected_to ", *c.connected_to);
+    return out;
+  }
+  std::string operator()(const AddClass& c) const {
+    std::string out = StrCat("add_class ", c.new_class_name);
+    if (c.connected_to) out += StrCat(" connected_to ", *c.connected_to);
+    return out;
+  }
+  std::string operator()(const DeleteClass& c) const {
+    return StrCat("delete_class ", c.class_name);
+  }
+  std::string operator()(const InsertClass& c) const {
+    return StrCat("insert_class ", c.new_class_name, " between ",
+                  c.super_name, "-", c.sub_name);
+  }
+  std::string operator()(const DeleteClass2& c) const {
+    return StrCat("delete_class_2 ", c.class_name);
+  }
+  std::string operator()(const RenameClass& c) const {
+    return StrCat("rename_class ", c.old_name, " to ", c.new_name);
+  }
+};
+
+}  // namespace
+
+std::string ToString(const SchemaChange& change) {
+  return std::visit(Renderer{}, change);
+}
+
+}  // namespace tse::evolution

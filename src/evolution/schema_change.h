@@ -1,0 +1,100 @@
+#ifndef TSE_EVOLUTION_SCHEMA_CHANGE_H_
+#define TSE_EVOLUTION_SCHEMA_CHANGE_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "schema/property.h"
+
+namespace tse::evolution {
+
+/// All names below are *display names in the view* the change targets —
+/// the user talks about her own view, never about the global schema.
+
+/// "add_attribute x: attribute-def to C" (Section 6.1).
+struct AddAttribute {
+  std::string class_name;
+  schema::PropertySpec spec;  // kind must be kStoredAttribute
+};
+
+/// "delete_attribute x from C" (Section 6.2).
+struct DeleteAttribute {
+  std::string class_name;
+  std::string attr_name;
+};
+
+/// "add_method m: method-def to C" (Section 6.3).
+struct AddMethod {
+  std::string class_name;
+  schema::PropertySpec spec;  // kind must be kMethod
+};
+
+/// "delete_method m from C" (Section 6.4).
+struct DeleteMethod {
+  std::string class_name;
+  std::string method_name;
+};
+
+/// "add_edge Csup-Csub" (Section 6.5).
+struct AddEdge {
+  std::string super_name;
+  std::string sub_name;
+};
+
+/// "delete_edge Csup-Csub [connected_to Cupper]" (Section 6.6).
+struct DeleteEdge {
+  std::string super_name;
+  std::string sub_name;
+  /// When absent, a disconnected subclass reattaches to ROOT.
+  std::optional<std::string> connected_to;
+};
+
+/// "add_class Cadd [connected_to Csup]" (Section 6.7).
+struct AddClass {
+  std::string new_class_name;
+  /// When absent, the class attaches to ROOT.
+  std::optional<std::string> connected_to;
+};
+
+/// "delete_class C" (Section 6.8): MultiView's removeFromView — the
+/// class simply leaves the view; extent stays visible to superclasses,
+/// properties stay inherited by subclasses.
+struct DeleteClass {
+  std::string class_name;
+};
+
+/// "insert_class Cinsert between Csup-Csub" (Section 6.9.1): macro
+/// composed of add_class + add_edge.
+struct InsertClass {
+  std::string new_class_name;
+  std::string super_name;
+  std::string sub_name;
+};
+
+/// "delete_class_2 C" (Section 6.9.2): the Orion-semantics delete —
+/// subclasses stop inheriting C's local properties, C's local extent
+/// leaves the superclasses; macro composed of edge operations.
+struct DeleteClass2 {
+  std::string class_name;
+};
+
+/// "rename_class C to D": changes the class's display name within the
+/// view context only (Section 7's merge disambiguation aftermath); the
+/// global schema is untouched and other views keep their own names.
+struct RenameClass {
+  std::string old_name;
+  std::string new_name;
+};
+
+using SchemaChange =
+    std::variant<AddAttribute, DeleteAttribute, AddMethod, DeleteMethod,
+                 AddEdge, DeleteEdge, AddClass, DeleteClass, InsertClass,
+                 DeleteClass2, RenameClass>;
+
+/// "add_attribute register to Student", "delete_edge Staff-TA", ...
+std::string ToString(const SchemaChange& change);
+
+}  // namespace tse::evolution
+
+#endif  // TSE_EVOLUTION_SCHEMA_CHANGE_H_

@@ -1,0 +1,279 @@
+#include "objmodel/expr_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace tse::objmodel {
+
+namespace {
+
+/// Recursive-descent parser over a flat character buffer.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<MethodExpr::Ptr> Parse() {
+    TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr e, ParseOr());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument(
+          StrCat("unexpected trailing input at offset ", pos_, ": '",
+                 text_.substr(pos_), "'"));
+    }
+    return e;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeSymbol(const char* sym) {
+    SkipSpace();
+    size_t len = std::strlen(sym);
+    if (text_.compare(pos_, len, sym) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  /// Consumes `word` only when followed by a non-identifier character.
+  bool ConsumeKeyword(const char* word) {
+    SkipSpace();
+    size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    size_t after = pos_ + len;
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_')) {
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  Result<MethodExpr::Ptr> ParseOr() {
+    TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr lhs, ParseAnd());
+    while (ConsumeKeyword("or")) {
+      TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr rhs, ParseAnd());
+      lhs = MethodExpr::Or(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<MethodExpr::Ptr> ParseAnd() {
+    TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr lhs, ParseCmp());
+    while (ConsumeKeyword("and")) {
+      TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr rhs, ParseCmp());
+      lhs = MethodExpr::And(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<MethodExpr::Ptr> ParseCmp() {
+    TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr lhs, ParseConcat());
+    SkipSpace();
+    // Longest-match ordering matters: "<=" before "<".
+    static constexpr struct {
+      const char* sym;
+      ExprOp op;
+    } kOps[] = {
+        {"==", ExprOp::kEq}, {"!=", ExprOp::kNe}, {"<=", ExprOp::kLe},
+        {">=", ExprOp::kGe}, {"<", ExprOp::kLt},  {">", ExprOp::kGt},
+    };
+    for (const auto& candidate : kOps) {
+      if (ConsumeSymbol(candidate.sym)) {
+        TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr rhs, ParseConcat());
+        return MethodExpr::Binary(candidate.op, lhs, rhs);
+      }
+    }
+    return lhs;
+  }
+
+  Result<MethodExpr::Ptr> ParseConcat() {
+    TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr lhs, ParseSum());
+    while (ConsumeSymbol("++")) {
+      TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr rhs, ParseSum());
+      lhs = MethodExpr::Concat(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<MethodExpr::Ptr> ParseSum() {
+    TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr lhs, ParseTerm());
+    for (;;) {
+      SkipSpace();
+      // "++" is concat, not two sums; guard before consuming '+'.
+      if (pos_ + 1 < text_.size() && text_[pos_] == '+' &&
+          text_[pos_ + 1] == '+') {
+        break;
+      }
+      if (ConsumeSymbol("+")) {
+        TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr rhs, ParseTerm());
+        lhs = MethodExpr::Add(lhs, rhs);
+      } else if (ConsumeSymbol("-")) {
+        TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr rhs, ParseTerm());
+        lhs = MethodExpr::Sub(lhs, rhs);
+      } else {
+        break;
+      }
+    }
+    return lhs;
+  }
+
+  Result<MethodExpr::Ptr> ParseTerm() {
+    TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr lhs, ParseUnary());
+    for (;;) {
+      if (ConsumeSymbol("*")) {
+        TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr rhs, ParseUnary());
+        lhs = MethodExpr::Mul(lhs, rhs);
+      } else if (ConsumeSymbol("/")) {
+        TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr rhs, ParseUnary());
+        lhs = MethodExpr::Binary(ExprOp::kDiv, lhs, rhs);
+      } else {
+        break;
+      }
+    }
+    return lhs;
+  }
+
+  Result<MethodExpr::Ptr> ParseUnary() {
+    if (ConsumeKeyword("not")) {
+      TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr operand, ParseUnary());
+      return MethodExpr::Not(operand);
+    }
+    return ParsePrimary();
+  }
+
+  Result<MethodExpr::Ptr> ParsePrimary() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of expression");
+    }
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr e, ParseOr());
+      if (!ConsumeSymbol(")")) {
+        return Status::InvalidArgument("missing ')'");
+      }
+      return e;
+    }
+    if (c == '"') return ParseString();
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      return ParseNumber();
+    }
+    if (ConsumeKeyword("true")) return MethodExpr::Lit(Value::Bool(true));
+    if (ConsumeKeyword("false")) return MethodExpr::Lit(Value::Bool(false));
+    if (ConsumeKeyword("null")) return MethodExpr::Lit(Value::Null());
+    if (ConsumeKeyword("self")) return MethodExpr::Self();
+    if (ConsumeKeyword("if")) {
+      if (!ConsumeSymbol("(")) {
+        return Status::InvalidArgument("if needs '('");
+      }
+      TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr cond, ParseOr());
+      if (!ConsumeSymbol(",")) {
+        return Status::InvalidArgument("if needs ',' after condition");
+      }
+      TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr then_e, ParseOr());
+      if (!ConsumeSymbol(",")) {
+        return Status::InvalidArgument("if needs ',' after then-branch");
+      }
+      TSE_ASSIGN_OR_RETURN(MethodExpr::Ptr else_e, ParseOr());
+      if (!ConsumeSymbol(")")) {
+        return Status::InvalidArgument("if needs ')'");
+      }
+      return MethodExpr::If(cond, then_e, else_e);
+    }
+    return ParseIdentifier();
+  }
+
+  Result<MethodExpr::Ptr> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char next = text_[pos_++];
+        if (next == '"' || next == '\\') {
+          out.push_back(next);
+        } else {
+          return Status::InvalidArgument(
+              StrCat("unknown escape \\", std::string(1, next)));
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unterminated string literal");
+    }
+    ++pos_;  // closing quote
+    return MethodExpr::Lit(Value::Str(std::move(out)));
+  }
+
+  Result<MethodExpr::Ptr> ParseNumber() {
+    size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    bool is_real = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.')) {
+      if (text_[pos_] == '.') is_real = true;
+      ++pos_;
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      return Status::InvalidArgument("malformed number");
+    }
+    char* end = nullptr;
+    if (is_real) {
+      double v = std::strtod(token.c_str(), &end);
+      if (end != token.c_str() + token.size()) {
+        return Status::InvalidArgument(
+            StrCat("malformed number '", token, "'"));
+      }
+      return MethodExpr::Lit(Value::Real(v));
+    }
+    long long v = std::strtoll(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size()) {
+      return Status::InvalidArgument(StrCat("malformed number '", token, "'"));
+    }
+    return MethodExpr::Lit(Value::Int(v));
+  }
+
+  Result<MethodExpr::Ptr> ParseIdentifier() {
+    size_t start = pos_;
+    // Dotted segments navigate Ref attributes ("advisor.name"); the
+    // accessor layer interprets the path.
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' ||
+            (text_[pos_] == '.' && pos_ + 1 < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_ + 1]))))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument(
+          StrCat("unexpected character '", std::string(1, text_[start]),
+                 "' at offset ", start));
+    }
+    return MethodExpr::Attr(text_.substr(start, pos_ - start));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<MethodExpr::Ptr> ParseExpr(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace tse::objmodel

@@ -1,0 +1,35 @@
+#ifndef TSE_OBJMODEL_EXPR_PARSER_H_
+#define TSE_OBJMODEL_EXPR_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "objmodel/method.h"
+
+namespace tse::objmodel {
+
+/// Parses the textual form of the method-expression language into a
+/// MethodExpr tree. Used for method bodies in `add_method` commands and
+/// select predicates in view definitions.
+///
+/// Grammar (precedence low → high):
+///   expr    := or
+///   or      := and ("or" and)*
+///   and     := cmp ("and" cmp)*
+///   cmp     := concat (("=="|"!="|"<"|"<="|">"|">=") concat)?
+///   concat  := sum ("++" sum)*
+///   sum     := term (("+"|"-") term)*
+///   term    := unary (("*"|"/") unary)*
+///   unary   := "not" unary | primary
+///   primary := number | string | "true" | "false" | "null" | "self"
+///            | "if" "(" expr "," expr "," expr ")"
+///            | identifier            (attribute of self)
+///            | "(" expr ")"
+///
+/// Numbers with a '.' parse as reals, otherwise as ints. Strings use
+/// double quotes with backslash escapes for `"` and `\`.
+Result<MethodExpr::Ptr> ParseExpr(const std::string& text);
+
+}  // namespace tse::objmodel
+
+#endif  // TSE_OBJMODEL_EXPR_PARSER_H_

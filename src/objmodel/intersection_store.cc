@@ -1,0 +1,305 @@
+#include "objmodel/intersection_store.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace tse::objmodel {
+
+Result<ClassId> IntersectionStore::DefineClass(
+    const std::string& name, const std::vector<ClassId>& parents,
+    const std::vector<std::string>& attrs) {
+  if (by_name_.count(name)) {
+    return Status::AlreadyExists(StrCat("class ", name));
+  }
+  for (ClassId parent : parents) {
+    TSE_RETURN_IF_ERROR(FindInfo(parent).status());
+  }
+  ClassInfo info;
+  info.id = class_alloc_.Allocate();
+  info.name = name;
+  info.parents = parents;
+  info.local_attrs = attrs;
+  info.user_types = {info.id};
+  BuildLayout(&info);
+  ClassId id = info.id;
+  by_name_[name] = id;
+  classes_.emplace(id.value(), std::move(info));
+  by_signature_[{id.value()}] = id;
+  return id;
+}
+
+Result<ClassId> IntersectionStore::FindClass(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound(StrCat("class ", name));
+  }
+  return it->second;
+}
+
+Result<std::string> IntersectionStore::ClassName(ClassId cls) const {
+  TSE_ASSIGN_OR_RETURN(const ClassInfo* info, FindInfo(cls));
+  return info->name;
+}
+
+Result<std::vector<std::string>> IntersectionStore::AttrsOf(
+    ClassId cls) const {
+  TSE_ASSIGN_OR_RETURN(const ClassInfo* info, FindInfo(cls));
+  return info->layout;
+}
+
+Result<const IntersectionStore::ClassInfo*> IntersectionStore::FindInfo(
+    ClassId cls) const {
+  auto it = classes_.find(cls.value());
+  if (it == classes_.end()) {
+    return Status::NotFound(StrCat("class id ", cls.ToString()));
+  }
+  return &it->second;
+}
+
+Result<IntersectionStore::ClassInfo*> IntersectionStore::FindInfo(
+    ClassId cls) {
+  auto it = classes_.find(cls.value());
+  if (it == classes_.end()) {
+    return Status::NotFound(StrCat("class id ", cls.ToString()));
+  }
+  return &it->second;
+}
+
+void IntersectionStore::BuildLayout(ClassInfo* info) {
+  info->layout.clear();
+  info->layout_index.clear();
+  auto add = [&](const std::string& attr) {
+    if (info->layout_index.count(attr)) return;  // static MI resolution
+    info->layout_index[attr] = info->layout.size();
+    info->layout.push_back(attr);
+  };
+  for (ClassId parent : info->parents) {
+    auto parent_info = FindInfo(parent);
+    if (!parent_info.ok()) continue;
+    for (const std::string& attr : parent_info.value()->layout) add(attr);
+  }
+  for (const std::string& attr : info->local_attrs) add(attr);
+}
+
+bool IntersectionStore::IsSubclassOf(ClassId sub, ClassId sup) const {
+  if (sub == sup) return true;
+  auto info = FindInfo(sub);
+  if (!info.ok()) return false;
+  for (ClassId parent : info.value()->parents) {
+    if (IsSubclassOf(parent, sup)) return true;
+  }
+  return false;
+}
+
+Result<Oid> IntersectionStore::CreateObject(ClassId cls) {
+  TSE_ASSIGN_OR_RETURN(ClassInfo * info, FindInfo(cls));
+  Oid oid = oid_alloc_.Allocate();
+  ObjectRec rec;
+  rec.oid = oid;
+  rec.cls = cls;
+  rec.values.assign(info->layout.size(), Value::Null());
+  objects_.emplace(oid.value(), std::move(rec));
+  info->members.insert(oid);
+  return oid;
+}
+
+Status IntersectionStore::DestroyObject(Oid oid) {
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  auto info = FindInfo(it->second.cls);
+  if (info.ok()) info.value()->members.erase(oid);
+  objects_.erase(it);
+  return Status::OK();
+}
+
+Result<ClassId> IntersectionStore::ClassOf(Oid oid) const {
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  return it->second.cls;
+}
+
+Result<std::vector<ClassId>> IntersectionStore::TypesOf(Oid oid) const {
+  TSE_ASSIGN_OR_RETURN(ClassId cls, ClassOf(oid));
+  TSE_ASSIGN_OR_RETURN(const ClassInfo* info, FindInfo(cls));
+  return std::vector<ClassId>(info->user_types.begin(),
+                              info->user_types.end());
+}
+
+Result<ClassId> IntersectionStore::IntersectionClassFor(
+    const std::set<ClassId>& user_types) {
+  std::vector<uint64_t> signature;
+  for (ClassId t : user_types) signature.push_back(t.value());
+  auto found = by_signature_.find(signature);
+  if (found != by_signature_.end()) return found->second;
+
+  // Create the intersection class: subclass of every user type.
+  ClassInfo info;
+  info.id = class_alloc_.Allocate();
+  std::vector<std::string> names;
+  for (ClassId t : user_types) {
+    TSE_ASSIGN_OR_RETURN(const ClassInfo* parent, FindInfo(t));
+    names.push_back(parent->name);
+    info.parents.push_back(t);
+  }
+  info.name = Join(names, "&");
+  info.user_types = user_types;
+  info.is_intersection = true;
+  BuildLayout(&info);
+  ClassId id = info.id;
+  classes_.emplace(id.value(), std::move(info));
+  by_signature_[signature] = id;
+  return id;
+}
+
+Status IntersectionStore::AddType(Oid oid, ClassId cls) {
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  TSE_ASSIGN_OR_RETURN(const ClassInfo* add_info, FindInfo(cls));
+  if (add_info->is_intersection) {
+    return Status::InvalidArgument(
+        "cannot add an intersection class as a type");
+  }
+  TSE_ASSIGN_OR_RETURN(ClassInfo * cur_info, FindInfo(it->second.cls));
+  std::set<ClassId> types = cur_info->user_types;
+  if (!types.insert(cls).second) return Status::OK();  // already a member
+
+  TSE_ASSIGN_OR_RETURN(ClassId new_cls, IntersectionClassFor(types));
+  TSE_ASSIGN_OR_RETURN(ClassInfo * new_info, FindInfo(new_cls));
+  // Re-fetch cur_info: IntersectionClassFor may rehash the class map.
+  TSE_ASSIGN_OR_RETURN(cur_info, FindInfo(it->second.cls));
+
+  // Create the replacement record, copy shared values, swap identity.
+  ObjectRec replacement;
+  replacement.oid = oid;
+  replacement.cls = new_cls;
+  replacement.values.assign(new_info->layout.size(), Value::Null());
+  for (const auto& [attr, old_index] : cur_info->layout_index) {
+    auto nit = new_info->layout_index.find(attr);
+    if (nit != new_info->layout_index.end()) {
+      replacement.values[nit->second] = it->second.values[old_index];
+    }
+  }
+  ++reclassification_copies_;
+  cur_info->members.erase(oid);
+  new_info->members.insert(oid);
+  it->second = std::move(replacement);
+  return Status::OK();
+}
+
+Status IntersectionStore::RemoveType(Oid oid, ClassId cls) {
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  TSE_ASSIGN_OR_RETURN(ClassInfo * cur_info, FindInfo(it->second.cls));
+  std::set<ClassId> types = cur_info->user_types;
+  if (!types.erase(cls)) {
+    return Status::NotFound(StrCat("object does not have type ",
+                                   cls.ToString()));
+  }
+  if (types.empty()) {
+    return Status::FailedPrecondition(
+        "object must retain at least one type");
+  }
+  TSE_ASSIGN_OR_RETURN(ClassId new_cls, IntersectionClassFor(types));
+  TSE_ASSIGN_OR_RETURN(ClassInfo * new_info, FindInfo(new_cls));
+  TSE_ASSIGN_OR_RETURN(cur_info, FindInfo(it->second.cls));
+
+  ObjectRec replacement;
+  replacement.oid = oid;
+  replacement.cls = new_cls;
+  replacement.values.assign(new_info->layout.size(), Value::Null());
+  for (const auto& [attr, new_index] : new_info->layout_index) {
+    auto oit = cur_info->layout_index.find(attr);
+    if (oit != cur_info->layout_index.end()) {
+      replacement.values[new_index] = it->second.values[oit->second];
+    }
+  }
+  ++reclassification_copies_;
+  cur_info->members.erase(oid);
+  new_info->members.insert(oid);
+  it->second = std::move(replacement);
+  return Status::OK();
+}
+
+Status IntersectionStore::SetValue(Oid oid, const std::string& attr,
+                                   Value value) {
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  TSE_ASSIGN_OR_RETURN(const ClassInfo* info, FindInfo(it->second.cls));
+  auto lit = info->layout_index.find(attr);
+  if (lit == info->layout_index.end()) {
+    return Status::NotFound(StrCat("attribute ", attr, " not in class ",
+                                   info->name));
+  }
+  it->second.values[lit->second] = std::move(value);
+  return Status::OK();
+}
+
+Result<Value> IntersectionStore::GetValue(Oid oid,
+                                          const std::string& attr) const {
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  TSE_ASSIGN_OR_RETURN(const ClassInfo* info, FindInfo(it->second.cls));
+  auto lit = info->layout_index.find(attr);
+  if (lit == info->layout_index.end()) {
+    return Status::NotFound(StrCat("attribute ", attr, " not in class ",
+                                   info->name));
+  }
+  return it->second.values[lit->second];
+}
+
+void IntersectionStore::ForEachMember(
+    ClassId cls,
+    const std::function<void(Oid, const std::vector<Value>&)>& fn) const {
+  for (const auto& [_, info] : classes_) {
+    bool is_member = false;
+    // An intersection class's members carry every type in user_types;
+    // user classes also reach members via is-a.
+    for (ClassId t : info.user_types) {
+      if (IsSubclassOf(t, cls)) {
+        is_member = true;
+        break;
+      }
+    }
+    if (!is_member) continue;
+    for (Oid oid : info.members) {
+      fn(oid, objects_.at(oid.value()).values);
+    }
+  }
+}
+
+size_t IntersectionStore::ExtentSize(ClassId cls) const {
+  size_t n = 0;
+  ForEachMember(cls, [&](Oid, const std::vector<Value>&) { ++n; });
+  return n;
+}
+
+IntersectionStats IntersectionStore::Stats() const {
+  IntersectionStats stats;
+  stats.objects = objects_.size();
+  for (const auto& [_, info] : classes_) {
+    if (info.is_intersection) {
+      ++stats.intersection_classes;
+    } else {
+      ++stats.user_classes;
+    }
+  }
+  stats.total_oids = stats.objects;
+  stats.managerial_bytes = stats.objects * sizeof(uint64_t);
+  stats.reclassification_copies = reclassification_copies_;
+  return stats;
+}
+
+}  // namespace tse::objmodel

@@ -1,0 +1,149 @@
+#ifndef TSE_OBJMODEL_INTERSECTION_STORE_H_
+#define TSE_OBJMODEL_INTERSECTION_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "objmodel/value.h"
+
+namespace tse::objmodel {
+
+/// Aggregate bookkeeping statistics for Table 1 comparisons.
+struct IntersectionStats {
+  size_t objects = 0;
+  size_t user_classes = 0;
+  size_t intersection_classes = 0;
+  /// One oid per object.
+  size_t total_oids = 0;
+  /// sizeOf(oid) per object (Table 1).
+  size_t managerial_bytes = 0;
+  /// Objects copied by dynamic classification so far.
+  size_t reclassification_copies = 0;
+};
+
+/// The intersection-class architecture for multiple classification
+/// (Section 4, Figure 5 (b)) — the baseline TSE argues against.
+///
+/// Every object belongs to exactly one class and stores all attribute
+/// values (own + inherited) contiguously. Making an object a member of
+/// an additional type requires finding-or-creating the intersection
+/// class of its current type set, creating a new record there, copying
+/// values, and swapping identities. The class population can grow toward
+/// 2^N_user_classes (Table 1 "#classes").
+///
+/// The store is self-contained (its own small class registry) because
+/// intersection classes are an implementation artifact that must never
+/// leak into the TSE global schema.
+class IntersectionStore {
+ public:
+  IntersectionStore() = default;
+  IntersectionStore(const IntersectionStore&) = delete;
+  IntersectionStore& operator=(const IntersectionStore&) = delete;
+
+  /// Declares a user class with is-a `parents` and locally-introduced
+  /// attribute names.
+  Result<ClassId> DefineClass(const std::string& name,
+                              const std::vector<ClassId>& parents,
+                              const std::vector<std::string>& attrs);
+
+  Result<ClassId> FindClass(const std::string& name) const;
+  Result<std::string> ClassName(ClassId cls) const;
+
+  /// All attributes (inherited + local) of `cls`, in layout order.
+  Result<std::vector<std::string>> AttrsOf(ClassId cls) const;
+
+  /// True if `sub` is `sup` or inherits from it (transitively).
+  bool IsSubclassOf(ClassId sub, ClassId sup) const;
+
+  /// Creates an object directly in `cls`; all attributes start Null.
+  Result<Oid> CreateObject(ClassId cls);
+
+  Status DestroyObject(Oid oid);
+  bool Exists(Oid oid) const { return objects_.count(oid.value()) != 0; }
+
+  /// The single class the object currently belongs to.
+  Result<ClassId> ClassOf(Oid oid) const;
+
+  /// Dynamic classification: make `oid` additionally a member of `cls`.
+  /// Finds or creates the intersection class of {current user types} ∪
+  /// {cls}, creates a fresh record, copies every shared attribute, and
+  /// swaps identities so `oid` survives (Section 4.2).
+  Status AddType(Oid oid, ClassId cls);
+
+  /// Dynamic classification: drop `cls` from `oid`'s type set.
+  Status RemoveType(Oid oid, ClassId cls);
+
+  /// The set of *user* classes the object's class represents.
+  Result<std::vector<ClassId>> TypesOf(Oid oid) const;
+
+  /// Attribute access: values live contiguously in the object's record,
+  /// so inherited attributes cost the same as local ones (Table 1).
+  Status SetValue(Oid oid, const std::string& attr, Value value);
+  Result<Value> GetValue(Oid oid, const std::string& attr) const;
+
+  /// Scans every object whose class is `cls` or a subclass of it.
+  void ForEachMember(
+      ClassId cls,
+      const std::function<void(Oid, const std::vector<Value>&)>& fn) const;
+
+  /// Extent size of `cls` (members of it and its subclasses).
+  size_t ExtentSize(ClassId cls) const;
+
+  size_t class_count() const { return classes_.size(); }
+  IntersectionStats Stats() const;
+
+ private:
+  struct ClassInfo {
+    ClassId id;
+    std::string name;
+    std::vector<ClassId> parents;
+    std::vector<std::string> local_attrs;
+    /// Full layout: attr name -> index into object record.
+    std::vector<std::string> layout;
+    std::unordered_map<std::string, size_t> layout_index;
+    /// For intersection classes: the user classes combined; for user
+    /// classes: {id}.
+    std::set<ClassId> user_types;
+    bool is_intersection = false;
+    /// Objects currently stored in exactly this class.
+    std::set<Oid> members;
+  };
+
+  struct ObjectRec {
+    Oid oid;
+    ClassId cls;
+    std::vector<Value> values;  // parallel to class layout
+  };
+
+  Result<const ClassInfo*> FindInfo(ClassId cls) const;
+  Result<ClassInfo*> FindInfo(ClassId cls);
+
+  /// Builds the layout of a class from its parents + local attrs
+  /// (duplicate names collapse to one storage location — the statically
+  /// fixed multiple-inheritance resolution Table 1 mentions).
+  void BuildLayout(ClassInfo* info);
+
+  /// Finds or creates the class representing exactly `user_types`.
+  Result<ClassId> IntersectionClassFor(const std::set<ClassId>& user_types);
+
+  IdAllocator<Oid> oid_alloc_;
+  IdAllocator<ClassId> class_alloc_;
+  std::map<uint64_t, ClassInfo> classes_;
+  std::unordered_map<std::string, ClassId> by_name_;
+  /// Signature (sorted user-type ids) -> intersection class.
+  std::map<std::vector<uint64_t>, ClassId> by_signature_;
+  std::unordered_map<uint64_t, ObjectRec> objects_;
+  size_t reclassification_copies_ = 0;
+};
+
+}  // namespace tse::objmodel
+
+#endif  // TSE_OBJMODEL_INTERSECTION_STORE_H_

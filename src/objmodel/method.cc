@@ -1,0 +1,300 @@
+#include "objmodel/method.h"
+
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace tse::objmodel {
+
+MethodExpr::Ptr MethodExpr::Lit(Value v) {
+  return Ptr(new MethodExpr(ExprOp::kLiteral, std::move(v), "", {}));
+}
+
+MethodExpr::Ptr MethodExpr::Attr(std::string name) {
+  return Ptr(new MethodExpr(ExprOp::kAttr, Value::Null(), std::move(name), {}));
+}
+
+MethodExpr::Ptr MethodExpr::Self() {
+  return Ptr(new MethodExpr(ExprOp::kSelf, Value::Null(), "", {}));
+}
+
+MethodExpr::Ptr MethodExpr::Binary(ExprOp op, Ptr lhs, Ptr rhs) {
+  return Ptr(new MethodExpr(op, Value::Null(), "",
+                            {std::move(lhs), std::move(rhs)}));
+}
+
+MethodExpr::Ptr MethodExpr::Not(Ptr operand) {
+  return Ptr(new MethodExpr(ExprOp::kNot, Value::Null(), "",
+                            {std::move(operand)}));
+}
+
+MethodExpr::Ptr MethodExpr::If(Ptr cond, Ptr then_e, Ptr else_e) {
+  return Ptr(new MethodExpr(ExprOp::kIf, Value::Null(), "",
+                            {std::move(cond), std::move(then_e),
+                             std::move(else_e)}));
+}
+
+namespace {
+
+Result<Value> Arith(ExprOp op, const Value& a, const Value& b) {
+  // Integer arithmetic stays integral when both sides are ints.
+  if (a.type() == ValueType::kInt && b.type() == ValueType::kInt) {
+    int64_t x = a.AsInt().value();
+    int64_t y = b.AsInt().value();
+    switch (op) {
+      case ExprOp::kAdd:
+        return Value::Int(x + y);
+      case ExprOp::kSub:
+        return Value::Int(x - y);
+      case ExprOp::kMul:
+        return Value::Int(x * y);
+      case ExprOp::kDiv:
+        if (y == 0) return Status::InvalidArgument("division by zero");
+        return Value::Int(x / y);
+      default:
+        break;
+    }
+  }
+  TSE_ASSIGN_OR_RETURN(double x, a.AsNumber());
+  TSE_ASSIGN_OR_RETURN(double y, b.AsNumber());
+  switch (op) {
+    case ExprOp::kAdd:
+      return Value::Real(x + y);
+    case ExprOp::kSub:
+      return Value::Real(x - y);
+    case ExprOp::kMul:
+      return Value::Real(x * y);
+    case ExprOp::kDiv:
+      if (y == 0) return Status::InvalidArgument("division by zero");
+      return Value::Real(x / y);
+    default:
+      return Status::Internal("non-arithmetic op in Arith");
+  }
+}
+
+Result<Value> Compare(ExprOp op, const Value& a, const Value& b) {
+  if (op == ExprOp::kEq) return Value::Bool(a == b);
+  if (op == ExprOp::kNe) return Value::Bool(a != b);
+  // Ordering comparisons need numbers or strings of matching kind.
+  if (a.type() == ValueType::kString && b.type() == ValueType::kString) {
+    const std::string x = a.AsString().value();
+    const std::string y = b.AsString().value();
+    switch (op) {
+      case ExprOp::kLt:
+        return Value::Bool(x < y);
+      case ExprOp::kLe:
+        return Value::Bool(x <= y);
+      case ExprOp::kGt:
+        return Value::Bool(x > y);
+      case ExprOp::kGe:
+        return Value::Bool(x >= y);
+      default:
+        break;
+    }
+  }
+  TSE_ASSIGN_OR_RETURN(double x, a.AsNumber());
+  TSE_ASSIGN_OR_RETURN(double y, b.AsNumber());
+  switch (op) {
+    case ExprOp::kLt:
+      return Value::Bool(x < y);
+    case ExprOp::kLe:
+      return Value::Bool(x <= y);
+    case ExprOp::kGt:
+      return Value::Bool(x > y);
+    case ExprOp::kGe:
+      return Value::Bool(x >= y);
+    default:
+      return Status::Internal("non-comparison op in Compare");
+  }
+}
+
+const char* OpSymbol(ExprOp op) {
+  switch (op) {
+    case ExprOp::kAdd:
+      return "+";
+    case ExprOp::kSub:
+      return "-";
+    case ExprOp::kMul:
+      return "*";
+    case ExprOp::kDiv:
+      return "/";
+    case ExprOp::kEq:
+      return "==";
+    case ExprOp::kNe:
+      return "!=";
+    case ExprOp::kLt:
+      return "<";
+    case ExprOp::kLe:
+      return "<=";
+    case ExprOp::kGt:
+      return ">";
+    case ExprOp::kGe:
+      return ">=";
+    case ExprOp::kAnd:
+      return "and";
+    case ExprOp::kOr:
+      return "or";
+    case ExprOp::kConcat:
+      return "++";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+Result<Value> MethodExpr::Evaluate(Oid self,
+                                   const AttrResolver& resolver) const {
+  switch (op_) {
+    case ExprOp::kLiteral:
+      return literal_;
+    case ExprOp::kAttr:
+      return resolver(attr_);
+    case ExprOp::kSelf:
+      return Value::Ref(self);
+    case ExprOp::kNot: {
+      TSE_ASSIGN_OR_RETURN(Value v, children_[0]->Evaluate(self, resolver));
+      TSE_ASSIGN_OR_RETURN(bool b, v.AsBool());
+      return Value::Bool(!b);
+    }
+    case ExprOp::kIf: {
+      TSE_ASSIGN_OR_RETURN(Value c, children_[0]->Evaluate(self, resolver));
+      TSE_ASSIGN_OR_RETURN(bool b, c.AsBool());
+      return children_[b ? 1 : 2]->Evaluate(self, resolver);
+    }
+    case ExprOp::kAnd:
+    case ExprOp::kOr: {
+      TSE_ASSIGN_OR_RETURN(Value lv, children_[0]->Evaluate(self, resolver));
+      TSE_ASSIGN_OR_RETURN(bool l, lv.AsBool());
+      // Short-circuit.
+      if (op_ == ExprOp::kAnd && !l) return Value::Bool(false);
+      if (op_ == ExprOp::kOr && l) return Value::Bool(true);
+      TSE_ASSIGN_OR_RETURN(Value rv, children_[1]->Evaluate(self, resolver));
+      TSE_ASSIGN_OR_RETURN(bool r, rv.AsBool());
+      return Value::Bool(r);
+    }
+    case ExprOp::kConcat: {
+      TSE_ASSIGN_OR_RETURN(Value a, children_[0]->Evaluate(self, resolver));
+      TSE_ASSIGN_OR_RETURN(Value b, children_[1]->Evaluate(self, resolver));
+      TSE_ASSIGN_OR_RETURN(std::string x, a.AsString());
+      TSE_ASSIGN_OR_RETURN(std::string y, b.AsString());
+      return Value::Str(x + y);
+    }
+    default: {
+      TSE_ASSIGN_OR_RETURN(Value a, children_[0]->Evaluate(self, resolver));
+      TSE_ASSIGN_OR_RETURN(Value b, children_[1]->Evaluate(self, resolver));
+      switch (op_) {
+        case ExprOp::kAdd:
+        case ExprOp::kSub:
+        case ExprOp::kMul:
+        case ExprOp::kDiv:
+          return Arith(op_, a, b);
+        default:
+          return Compare(op_, a, b);
+      }
+    }
+  }
+}
+
+void MethodExpr::CollectAttrNames(std::vector<std::string>* out) const {
+  if (op_ == ExprOp::kAttr) out->push_back(attr_);
+  for (const Ptr& child : children_) child->CollectAttrNames(out);
+}
+
+void MethodExpr::EncodeTo(std::string* out) const {
+  out->push_back(static_cast<char>(op_));
+  switch (op_) {
+    case ExprOp::kLiteral:
+      literal_.EncodeTo(out);
+      break;
+    case ExprOp::kAttr: {
+      uint32_t len = static_cast<uint32_t>(attr_.size());
+      out->append(reinterpret_cast<const char*>(&len), 4);
+      out->append(attr_);
+      break;
+    }
+    default: {
+      uint8_t n = static_cast<uint8_t>(children_.size());
+      out->push_back(static_cast<char>(n));
+      for (const Ptr& child : children_) child->EncodeTo(out);
+      break;
+    }
+  }
+}
+
+Result<MethodExpr::Ptr> MethodExpr::DecodeFrom(const std::string& data,
+                                               size_t* pos) {
+  if (*pos >= data.size()) {
+    return Status::Corruption("truncated method expression");
+  }
+  ExprOp op = static_cast<ExprOp>(data[(*pos)++]);
+  if (op > ExprOp::kIf) {
+    return Status::Corruption("unknown expression opcode");
+  }
+  switch (op) {
+    case ExprOp::kLiteral: {
+      TSE_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(data, pos));
+      return Lit(std::move(v));
+    }
+    case ExprOp::kAttr: {
+      if (*pos + 4 > data.size()) {
+        return Status::Corruption("truncated attr name length");
+      }
+      uint32_t len;
+      std::memcpy(&len, data.data() + *pos, 4);
+      *pos += 4;
+      if (*pos + len > data.size()) {
+        return Status::Corruption("truncated attr name");
+      }
+      std::string name = data.substr(*pos, len);
+      *pos += len;
+      return Attr(std::move(name));
+    }
+    case ExprOp::kSelf:
+      if (*pos >= data.size()) {
+        return Status::Corruption("truncated expression");
+      }
+      ++*pos;  // child count (0)
+      return Self();
+    default: {
+      if (*pos >= data.size()) {
+        return Status::Corruption("truncated child count");
+      }
+      uint8_t n = static_cast<uint8_t>(data[(*pos)++]);
+      if (n > 3) return Status::Corruption("implausible child count");
+      std::vector<Ptr> children;
+      for (uint8_t i = 0; i < n; ++i) {
+        TSE_ASSIGN_OR_RETURN(Ptr child, DecodeFrom(data, pos));
+        children.push_back(std::move(child));
+      }
+      if (op == ExprOp::kNot && n == 1) return Not(children[0]);
+      if (op == ExprOp::kIf && n == 3) {
+        return If(children[0], children[1], children[2]);
+      }
+      if (n == 2) return Binary(op, children[0], children[1]);
+      return Status::Corruption("child count does not match opcode");
+    }
+  }
+}
+
+std::string MethodExpr::ToString() const {
+  switch (op_) {
+    case ExprOp::kLiteral:
+      return literal_.ToString();
+    case ExprOp::kAttr:
+      return attr_;
+    case ExprOp::kSelf:
+      return "self";
+    case ExprOp::kNot:
+      return StrCat("(not ", children_[0]->ToString(), ")");
+    case ExprOp::kIf:
+      return StrCat("if(", children_[0]->ToString(), ", ",
+                    children_[1]->ToString(), ", ", children_[2]->ToString(),
+                    ")");
+    default:
+      return StrCat("(", children_[0]->ToString(), " ", OpSymbol(op_), " ",
+                    children_[1]->ToString(), ")");
+  }
+}
+
+}  // namespace tse::objmodel

@@ -1,0 +1,101 @@
+#ifndef TSE_OBJMODEL_METHOD_H_
+#define TSE_OBJMODEL_METHOD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "objmodel/value.h"
+
+namespace tse::objmodel {
+
+/// Resolver mapping an attribute name to its value on the receiver
+/// object (supplied by the schema/update layer at call time).
+using AttrResolver = std::function<Result<Value>(const std::string&)>;
+
+/// Operators of the method expression language.
+enum class ExprOp : uint8_t {
+  kLiteral,   ///< constant value
+  kAttr,      ///< read attribute of `self` by name
+  kSelf,      ///< the receiver's Oid as a Ref value
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kConcat,    ///< string concatenation
+  kIf,        ///< if(cond, then, else)
+};
+
+/// An immutable expression tree: the body of a TSE "method". The paper's
+/// methods are Opal (Smalltalk) blocks; this expression language is the
+/// executable stand-in (see DESIGN.md substitutions) — enough to give
+/// add_method / delete_method observable behaviour.
+class MethodExpr {
+ public:
+  using Ptr = std::shared_ptr<const MethodExpr>;
+
+  // Builders.
+  static Ptr Lit(Value v);
+  static Ptr Attr(std::string name);
+  static Ptr Self();
+  static Ptr Binary(ExprOp op, Ptr lhs, Ptr rhs);
+  static Ptr Not(Ptr operand);
+  static Ptr If(Ptr cond, Ptr then_e, Ptr else_e);
+
+  // Convenience builders for the common cases.
+  static Ptr Add(Ptr a, Ptr b) { return Binary(ExprOp::kAdd, a, b); }
+  static Ptr Sub(Ptr a, Ptr b) { return Binary(ExprOp::kSub, a, b); }
+  static Ptr Mul(Ptr a, Ptr b) { return Binary(ExprOp::kMul, a, b); }
+  static Ptr Eq(Ptr a, Ptr b) { return Binary(ExprOp::kEq, a, b); }
+  static Ptr Lt(Ptr a, Ptr b) { return Binary(ExprOp::kLt, a, b); }
+  static Ptr Ge(Ptr a, Ptr b) { return Binary(ExprOp::kGe, a, b); }
+  static Ptr And(Ptr a, Ptr b) { return Binary(ExprOp::kAnd, a, b); }
+  static Ptr Or(Ptr a, Ptr b) { return Binary(ExprOp::kOr, a, b); }
+  static Ptr Concat(Ptr a, Ptr b) { return Binary(ExprOp::kConcat, a, b); }
+
+  /// Evaluates against the receiver described by `self` and `resolver`.
+  Result<Value> Evaluate(Oid self, const AttrResolver& resolver) const;
+
+  /// Names of attributes this expression reads (for dependency checks).
+  void CollectAttrNames(std::vector<std::string>* out) const;
+
+  /// Human-readable rendering ("(age + 1)").
+  std::string ToString() const;
+
+  /// Appends a compact binary encoding (pre-order) to `out`; the schema
+  /// catalog persists method bodies and select predicates this way.
+  void EncodeTo(std::string* out) const;
+
+  /// Decodes an expression from `data` starting at `*pos`.
+  static Result<Ptr> DecodeFrom(const std::string& data, size_t* pos);
+
+  ExprOp op() const { return op_; }
+
+ private:
+  MethodExpr(ExprOp op, Value literal, std::string attr,
+             std::vector<Ptr> children)
+      : op_(op),
+        literal_(std::move(literal)),
+        attr_(std::move(attr)),
+        children_(std::move(children)) {}
+
+  ExprOp op_;
+  Value literal_;
+  std::string attr_;
+  std::vector<Ptr> children_;
+};
+
+}  // namespace tse::objmodel
+
+#endif  // TSE_OBJMODEL_METHOD_H_

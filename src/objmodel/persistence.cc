@@ -1,0 +1,138 @@
+#include "objmodel/persistence.h"
+
+#include <cstring>
+#include <map>
+
+#include "common/result.h"
+#include "common/str_util.h"
+
+namespace tse::objmodel {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+
+Result<uint32_t> ReadU32(const std::string& data, size_t* pos) {
+  if (*pos + 4 > data.size()) return Status::Corruption("truncated u32");
+  uint32_t v;
+  std::memcpy(&v, data.data() + *pos, 4);
+  *pos += 4;
+  return v;
+}
+Result<uint64_t> ReadU64(const std::string& data, size_t* pos) {
+  if (*pos + 8 > data.size()) return Status::Corruption("truncated u64");
+  uint64_t v;
+  std::memcpy(&v, data.data() + *pos, 8);
+  *pos += 8;
+  return v;
+}
+
+}  // namespace
+
+std::string PersistenceBridge::EncodeObject(const SlicingStore& store,
+                                            Oid oid) {
+  std::string out;
+  std::vector<ClassId> memberships = store.DirectClasses(oid);
+  AppendU32(&out, static_cast<uint32_t>(memberships.size()));
+  for (ClassId cls : memberships) AppendU64(&out, cls.value());
+
+  std::vector<ClassId> slice_classes = store.SliceClasses(oid);
+  AppendU32(&out, static_cast<uint32_t>(slice_classes.size()));
+  for (ClassId cls : slice_classes) {
+    AppendU64(&out, cls.value());
+    AppendU64(&out, store.SliceImplOid(oid, cls).value().value());
+    // Deterministic value order for byte-stable records.
+    std::map<uint64_t, Value> sorted;
+    const std::unordered_map<uint64_t, Value> values =
+        store.SliceValues(oid, cls).value();
+    for (const auto& [def, value] : values) {
+      sorted[def] = value;
+    }
+    AppendU32(&out, static_cast<uint32_t>(sorted.size()));
+    for (const auto& [def, value] : sorted) {
+      AppendU64(&out, def);
+      value.EncodeTo(&out);
+    }
+  }
+  return out;
+}
+
+Status PersistenceBridge::SaveObject(const SlicingStore& store, Oid oid,
+                                     storage::RecordStore* db) {
+  if (!store.Exists(oid)) {
+    if (db->Contains(oid.value())) {
+      return db->Delete(oid.value());
+    }
+    return Status::OK();
+  }
+  return db->Put(oid.value(), EncodeObject(store, oid));
+}
+
+Status PersistenceBridge::SaveAll(const SlicingStore& store,
+                                  storage::RecordStore* db) {
+  // Remove records for objects that no longer exist.
+  std::vector<uint64_t> stale;
+  TSE_RETURN_IF_ERROR(db->Scan([&](uint64_t key, const std::string&) {
+    if (!store.Exists(Oid(key))) stale.push_back(key);
+    return Status::OK();
+  }));
+  for (uint64_t key : stale) {
+    TSE_RETURN_IF_ERROR(db->Delete(key));
+  }
+  Status status = Status::OK();
+  store.ForEachObject([&](Oid oid) {
+    if (!status.ok()) return;
+    status = db->Put(oid.value(), EncodeObject(store, oid));
+  });
+  TSE_RETURN_IF_ERROR(status);
+  return db->Commit();
+}
+
+Status PersistenceBridge::DecodeObject(uint64_t key,
+                                       const std::string& payload,
+                                       SlicingStore* store) {
+  Oid oid(key);
+  TSE_RETURN_IF_ERROR(store->CreateObjectWithOid(oid));
+  size_t pos = 0;
+  TSE_ASSIGN_OR_RETURN(uint32_t n_members, ReadU32(payload, &pos));
+  for (uint32_t i = 0; i < n_members; ++i) {
+    TSE_ASSIGN_OR_RETURN(uint64_t cls, ReadU64(payload, &pos));
+    TSE_RETURN_IF_ERROR(store->AddMembership(oid, ClassId(cls)));
+  }
+  TSE_ASSIGN_OR_RETURN(uint32_t n_slices, ReadU32(payload, &pos));
+  for (uint32_t i = 0; i < n_slices; ++i) {
+    TSE_ASSIGN_OR_RETURN(uint64_t cls_raw, ReadU64(payload, &pos));
+    TSE_ASSIGN_OR_RETURN(uint64_t impl_raw, ReadU64(payload, &pos));
+    ClassId cls(cls_raw);
+    TSE_RETURN_IF_ERROR(store->AddSliceWithImplOid(oid, cls, Oid(impl_raw)));
+    TSE_ASSIGN_OR_RETURN(uint32_t n_values, ReadU32(payload, &pos));
+    for (uint32_t v = 0; v < n_values; ++v) {
+      TSE_ASSIGN_OR_RETURN(uint64_t def, ReadU64(payload, &pos));
+      TSE_ASSIGN_OR_RETURN(Value value, Value::DecodeFrom(payload, &pos));
+      TSE_RETURN_IF_ERROR(
+          store->SetValue(oid, cls, PropertyDefId(def), std::move(value)));
+    }
+  }
+  if (pos != payload.size()) {
+    return Status::Corruption(
+        StrCat("trailing bytes in record for object ", key));
+  }
+  return Status::OK();
+}
+
+Status PersistenceBridge::LoadAll(storage::RecordStore* db,
+                                  SlicingStore* store) {
+  if (store->object_count() != 0) {
+    return Status::FailedPrecondition("target store must be empty");
+  }
+  return db->Scan([&](uint64_t key, const std::string& payload) {
+    return DecodeObject(key, payload, store);
+  });
+}
+
+}  // namespace tse::objmodel

@@ -1,0 +1,42 @@
+#ifndef TSE_OBJMODEL_PERSISTENCE_H_
+#define TSE_OBJMODEL_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "objmodel/slicing_store.h"
+#include "storage/record_store.h"
+
+namespace tse::objmodel {
+
+/// Serializes and restores a SlicingStore through the persistent
+/// RecordStore substrate — the bridge between the TSE object model and
+/// the storage layer standing in for GemStone (Figure 6).
+///
+/// Record layout (key = conceptual oid):
+///   n_memberships(u32) [class(u64)]...
+///   n_slices(u32) [class(u64) impl_oid(u64)
+///                  n_values(u32) [def(u64) value]...]...
+class PersistenceBridge {
+ public:
+  /// Writes every object of `store` into `db` and commits. Existing
+  /// records for destroyed objects are removed.
+  static Status SaveAll(const SlicingStore& store, storage::RecordStore* db);
+
+  /// Writes a single object's current state (or deletes its record when
+  /// the object no longer exists).
+  static Status SaveObject(const SlicingStore& store, Oid oid,
+                           storage::RecordStore* db);
+
+  /// Rebuilds `store` (which must be empty) from `db`.
+  static Status LoadAll(storage::RecordStore* db, SlicingStore* store);
+
+ private:
+  static std::string EncodeObject(const SlicingStore& store, Oid oid);
+  static Status DecodeObject(uint64_t key, const std::string& payload,
+                             SlicingStore* store);
+};
+
+}  // namespace tse::objmodel
+
+#endif  // TSE_OBJMODEL_PERSISTENCE_H_

@@ -1,0 +1,257 @@
+#include "objmodel/slicing_store.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace tse::objmodel {
+
+Oid SlicingStore::CreateObject() {
+  ++mutations_;
+  Oid oid = oid_alloc_.Allocate();
+  ConceptualObject obj;
+  obj.oid = oid;
+  objects_.emplace(oid.value(), std::move(obj));
+  return oid;
+}
+
+Status SlicingStore::CreateObjectWithOid(Oid oid) {
+  ++mutations_;
+  if (!oid.valid()) return Status::InvalidArgument("invalid oid");
+  if (objects_.count(oid.value())) {
+    return Status::AlreadyExists(StrCat("object ", oid.ToString()));
+  }
+  ConceptualObject obj;
+  obj.oid = oid;
+  objects_.emplace(oid.value(), std::move(obj));
+  oid_alloc_.BumpPast(oid);
+  return Status::OK();
+}
+
+Result<SlicingStore::ConceptualObject*> SlicingStore::Find(Oid oid) {
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  return &it->second;
+}
+
+Result<const SlicingStore::ConceptualObject*> SlicingStore::Find(
+    Oid oid) const {
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  return &it->second;
+}
+
+Status SlicingStore::DestroyObject(Oid oid) {
+  ++mutations_;
+  TSE_ASSIGN_OR_RETURN(ConceptualObject * obj, Find(oid));
+  // Detach all slices (copy keys first: ArenaRemove mutates obj->slices
+  // indirectly through swap fix-ups of *other* objects only, but we
+  // iterate safely anyway).
+  std::vector<std::pair<uint64_t, size_t>> slices(obj->slices.begin(),
+                                                  obj->slices.end());
+  for (const auto& [cls, index] : slices) {
+    ArenaRemove(cls, index);
+  }
+  for (ClassId cls : obj->direct_classes) {
+    extents_[cls.value()].erase(oid);
+  }
+  objects_.erase(oid.value());
+  return Status::OK();
+}
+
+Status SlicingStore::AddSlice(Oid oid, ClassId cls) {
+  TSE_ASSIGN_OR_RETURN(ConceptualObject * obj, Find(oid));
+  if (obj->slices.count(cls.value())) return Status::OK();  // idempotent
+  std::vector<Slice>& arena = arenas_[cls.value()];
+  Slice slice;
+  slice.impl_oid = oid_alloc_.Allocate();
+  slice.conceptual = oid;
+  arena.push_back(std::move(slice));
+  obj->slices[cls.value()] = arena.size() - 1;
+  return Status::OK();
+}
+
+Status SlicingStore::AddSliceWithImplOid(Oid oid, ClassId cls, Oid impl_oid) {
+  TSE_ASSIGN_OR_RETURN(ConceptualObject * obj, Find(oid));
+  if (obj->slices.count(cls.value())) {
+    return Status::AlreadyExists(
+        StrCat("object ", oid.ToString(), " already has a slice of class ",
+               cls.ToString()));
+  }
+  std::vector<Slice>& arena = arenas_[cls.value()];
+  Slice slice;
+  slice.impl_oid = impl_oid;
+  slice.conceptual = oid;
+  arena.push_back(std::move(slice));
+  obj->slices[cls.value()] = arena.size() - 1;
+  oid_alloc_.BumpPast(impl_oid);
+  return Status::OK();
+}
+
+Result<Oid> SlicingStore::SliceImplOid(Oid oid, ClassId cls) const {
+  TSE_ASSIGN_OR_RETURN(const ConceptualObject* obj, Find(oid));
+  auto it = obj->slices.find(cls.value());
+  if (it == obj->slices.end()) {
+    return Status::NotFound(StrCat("object ", oid.ToString(),
+                                   " has no slice of class ",
+                                   cls.ToString()));
+  }
+  return arenas_.at(cls.value())[it->second].impl_oid;
+}
+
+Result<std::unordered_map<uint64_t, Value>> SlicingStore::SliceValues(
+    Oid oid, ClassId cls) const {
+  TSE_ASSIGN_OR_RETURN(const ConceptualObject* obj, Find(oid));
+  auto it = obj->slices.find(cls.value());
+  if (it == obj->slices.end()) {
+    return Status::NotFound(StrCat("object ", oid.ToString(),
+                                   " has no slice of class ",
+                                   cls.ToString()));
+  }
+  return arenas_.at(cls.value())[it->second].values;
+}
+
+void SlicingStore::ArenaRemove(uint64_t cls, size_t index) {
+  std::vector<Slice>& arena = arenas_[cls];
+  size_t last = arena.size() - 1;
+  if (index != last) {
+    arena[index] = std::move(arena[last]);
+    // Fix the displaced slice's owner index.
+    auto owner = objects_.find(arena[index].conceptual.value());
+    if (owner != objects_.end()) {
+      owner->second.slices[cls] = index;
+    }
+  }
+  arena.pop_back();
+}
+
+Status SlicingStore::RemoveSlice(Oid oid, ClassId cls) {
+  TSE_ASSIGN_OR_RETURN(ConceptualObject * obj, Find(oid));
+  auto it = obj->slices.find(cls.value());
+  if (it == obj->slices.end()) {
+    return Status::NotFound(
+        StrCat("object ", oid.ToString(), " has no slice of class ",
+               cls.ToString()));
+  }
+  size_t index = it->second;
+  obj->slices.erase(it);
+  ArenaRemove(cls.value(), index);
+  return Status::OK();
+}
+
+bool SlicingStore::HasSlice(Oid oid, ClassId cls) const {
+  auto it = objects_.find(oid.value());
+  return it != objects_.end() && it->second.slices.count(cls.value()) != 0;
+}
+
+std::vector<ClassId> SlicingStore::SliceClasses(Oid oid) const {
+  std::vector<ClassId> out;
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) return out;
+  for (const auto& [cls, _] : it->second.slices) {
+    out.push_back(ClassId(cls));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status SlicingStore::SetValue(Oid oid, ClassId cls, PropertyDefId def,
+                              Value value) {
+  ++mutations_;
+  TSE_RETURN_IF_ERROR(AddSlice(oid, cls));  // lazy restructuring
+  ConceptualObject* obj = Find(oid).value();
+  size_t index = obj->slices.at(cls.value());
+  arenas_[cls.value()][index].values[def.value()] = std::move(value);
+  return Status::OK();
+}
+
+Result<Value> SlicingStore::GetValue(Oid oid, ClassId cls,
+                                     PropertyDefId def) const {
+  TSE_ASSIGN_OR_RETURN(const ConceptualObject* obj, Find(oid));
+  auto it = obj->slices.find(cls.value());
+  if (it == obj->slices.end()) return Value::Null();
+  const Slice& slice = arenas_.at(cls.value())[it->second];
+  auto vit = slice.values.find(def.value());
+  if (vit == slice.values.end()) return Value::Null();
+  return vit->second;
+}
+
+Status SlicingStore::AddMembership(Oid oid, ClassId cls) {
+  ++mutations_;
+  TSE_ASSIGN_OR_RETURN(ConceptualObject * obj, Find(oid));
+  obj->direct_classes.insert(cls);
+  extents_[cls.value()].insert(oid);
+  return Status::OK();
+}
+
+Status SlicingStore::RemoveMembership(Oid oid, ClassId cls) {
+  ++mutations_;
+  TSE_ASSIGN_OR_RETURN(ConceptualObject * obj, Find(oid));
+  if (!obj->direct_classes.erase(cls)) {
+    return Status::NotFound(StrCat("object ", oid.ToString(),
+                                   " not a direct member of class ",
+                                   cls.ToString()));
+  }
+  extents_[cls.value()].erase(oid);
+  return Status::OK();
+}
+
+bool SlicingStore::HasMembership(Oid oid, ClassId cls) const {
+  auto it = objects_.find(oid.value());
+  return it != objects_.end() && it->second.direct_classes.count(cls) != 0;
+}
+
+std::vector<ClassId> SlicingStore::DirectClasses(Oid oid) const {
+  std::vector<ClassId> out;
+  auto it = objects_.find(oid.value());
+  if (it == objects_.end()) return out;
+  out.assign(it->second.direct_classes.begin(),
+             it->second.direct_classes.end());
+  return out;
+}
+
+const std::set<Oid>& SlicingStore::DirectExtent(ClassId cls) const {
+  auto it = extents_.find(cls.value());
+  if (it == extents_.end()) return empty_extent_;
+  return it->second;
+}
+
+void SlicingStore::ForEachSlice(
+    ClassId cls,
+    const std::function<void(Oid, const std::unordered_map<uint64_t, Value>&)>&
+        fn) const {
+  auto it = arenas_.find(cls.value());
+  if (it == arenas_.end()) return;
+  for (const Slice& slice : it->second) {
+    fn(slice.conceptual, slice.values);
+  }
+}
+
+void SlicingStore::ForEachObject(const std::function<void(Oid)>& fn) const {
+  for (const auto& [raw, _] : objects_) {
+    fn(Oid(raw));
+  }
+}
+
+SlicingStats SlicingStore::Stats() const {
+  SlicingStats stats;
+  stats.conceptual_objects = objects_.size();
+  for (const auto& [_, arena] : arenas_) {
+    stats.implementation_objects += arena.size();
+  }
+  stats.total_oids = stats.conceptual_objects + stats.implementation_objects;
+  constexpr size_t kOidSize = sizeof(uint64_t);
+  constexpr size_t kPtrSize = sizeof(void*);
+  // Per Table 1: (1 + N_impl) * sizeof(oid) + N_impl * 2 * sizeof(ptr),
+  // summed over all conceptual objects.
+  stats.managerial_bytes = stats.conceptual_objects * kOidSize +
+                           stats.implementation_objects * kOidSize +
+                           stats.implementation_objects * 2 * kPtrSize;
+  return stats;
+}
+
+}  // namespace tse::objmodel

@@ -1,0 +1,178 @@
+#ifndef TSE_OBJMODEL_SLICING_STORE_H_
+#define TSE_OBJMODEL_SLICING_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "objmodel/value.h"
+
+namespace tse::objmodel {
+
+/// One implementation object ("slice"): the fragment of a conceptual
+/// object's state introduced by one class (Section 4 of the paper). It
+/// carries its own object identifier and a back pointer to its
+/// conceptual object, matching the bookkeeping the paper charges to the
+/// object-slicing architecture in Table 1.
+struct Slice {
+  Oid impl_oid;
+  Oid conceptual;
+  /// PropertyDefId.value() -> stored value.
+  std::unordered_map<uint64_t, Value> values;
+};
+
+/// Aggregate bookkeeping statistics for Table 1 comparisons.
+struct SlicingStats {
+  size_t conceptual_objects = 0;
+  size_t implementation_objects = 0;
+  /// (1 + N_impl) oids per object.
+  size_t total_oids = 0;
+  /// (1+N_impl)*sizeof(oid) + N_impl*2*sizeof(pointer), summed.
+  size_t managerial_bytes = 0;
+};
+
+/// The object-slicing object store: the TSE object model's answer to
+/// multiple classification and dynamic restructuring (Section 4).
+///
+/// A conceptual object is represented by a hierarchy of implementation
+/// objects, one per class that introduces stored state for it. Adding a
+/// class's state to an existing object is O(1): attach a slice. Slices
+/// of the same class are clustered in one arena, which is what makes
+/// attribute-predicate scans fast (Table 1 "performance for queries").
+///
+/// The store is deliberately schema-agnostic: it maps (object, class,
+/// property-def) to values and maintains direct class memberships.
+/// Which slices an object *should* have, and what a class's effective
+/// extent is, are the schema/update layers' business.
+class SlicingStore {
+ public:
+  SlicingStore() = default;
+  SlicingStore(const SlicingStore&) = delete;
+  SlicingStore& operator=(const SlicingStore&) = delete;
+
+  // --- Object lifecycle ------------------------------------------------
+
+  /// Creates a conceptual object with no slices and no memberships.
+  Oid CreateObject();
+
+  /// Creates a conceptual object with a caller-chosen oid (used by the
+  /// persistence bridge on reload). Fails if the oid is taken.
+  Status CreateObjectWithOid(Oid oid);
+
+  /// Destroys the object, all its slices, and its memberships.
+  Status DestroyObject(Oid oid);
+
+  bool Exists(Oid oid) const { return objects_.count(oid.value()) != 0; }
+  size_t object_count() const { return objects_.size(); }
+
+  // --- Slices (implementation objects) ---------------------------------
+
+  /// Attaches a slice of `cls` to `oid` (idempotent — "dynamic
+  /// restructuring" when a capacity-augmenting class reaches the object).
+  Status AddSlice(Oid oid, ClassId cls);
+
+  /// AddSlice with a caller-chosen implementation oid (persistence
+  /// reload path; keeps impl identities stable across restarts).
+  Status AddSliceWithImplOid(Oid oid, ClassId cls, Oid impl_oid);
+
+  /// Implementation oid of `oid`'s slice for `cls`.
+  Result<Oid> SliceImplOid(Oid oid, ClassId cls) const;
+
+  /// All values stored in `oid`'s slice of `cls` (PropertyDefId.value()
+  /// -> value). Fails if the slice does not exist.
+  Result<std::unordered_map<uint64_t, Value>> SliceValues(Oid oid,
+                                                          ClassId cls) const;
+
+  /// Detaches the `cls` slice, discarding its values.
+  Status RemoveSlice(Oid oid, ClassId cls);
+
+  bool HasSlice(Oid oid, ClassId cls) const;
+
+  /// Classes for which `oid` currently carries a slice (sorted).
+  std::vector<ClassId> SliceClasses(Oid oid) const;
+
+  // --- Values -----------------------------------------------------------
+
+  /// Writes `def` in `oid`'s slice of `cls`, creating the slice lazily.
+  Status SetValue(Oid oid, ClassId cls, PropertyDefId def, Value value);
+
+  /// Reads `def` from `oid`'s slice of `cls`. A missing slice or an
+  /// unset property reads as Null (the paper's default-value story for
+  /// freshly augmented objects).
+  Result<Value> GetValue(Oid oid, ClassId cls, PropertyDefId def) const;
+
+  // --- Direct class membership ------------------------------------------
+
+  /// Records that `oid` was created in / added to class `cls`.
+  Status AddMembership(Oid oid, ClassId cls);
+
+  /// Removes the direct membership.
+  Status RemoveMembership(Oid oid, ClassId cls);
+
+  bool HasMembership(Oid oid, ClassId cls) const;
+
+  /// Direct memberships of `oid` (sorted).
+  std::vector<ClassId> DirectClasses(Oid oid) const;
+
+  /// Objects whose direct membership set contains `cls`.
+  const std::set<Oid>& DirectExtent(ClassId cls) const;
+
+  // --- Scans -------------------------------------------------------------
+
+  /// Clustered scan over all slices of `cls`:
+  /// `fn(conceptual_oid, values)`.
+  void ForEachSlice(
+      ClassId cls,
+      const std::function<void(Oid, const std::unordered_map<uint64_t, Value>&)>&
+          fn) const;
+
+  /// Visits every conceptual object.
+  void ForEachObject(const std::function<void(Oid)>& fn) const;
+
+  // --- Accounting ---------------------------------------------------------
+
+  SlicingStats Stats() const;
+
+  /// Monotone counter bumped by every mutation that can change a class
+  /// extent (object lifecycle, memberships, and value writes — select
+  /// predicates read values). Extent caches key their validity on it.
+  uint64_t mutation_count() const { return mutations_; }
+
+  /// Allocator access for the persistence bridge.
+  IdAllocator<Oid>& oid_allocator() { return oid_alloc_; }
+
+ private:
+  struct ConceptualObject {
+    Oid oid;
+    std::set<ClassId> direct_classes;
+    /// ClassId.value() -> index into the class's slice arena.
+    std::unordered_map<uint64_t, size_t> slices;
+  };
+
+  /// Swap-removes arena slot `index` of class `cls`, fixing up the
+  /// displaced slice's owner.
+  void ArenaRemove(uint64_t cls, size_t index);
+
+  Result<ConceptualObject*> Find(Oid oid);
+  Result<const ConceptualObject*> Find(Oid oid) const;
+
+  IdAllocator<Oid> oid_alloc_;
+  uint64_t mutations_ = 0;
+  std::unordered_map<uint64_t, ConceptualObject> objects_;
+  /// ClassId.value() -> clustered slice arena.
+  std::unordered_map<uint64_t, std::vector<Slice>> arenas_;
+  /// ClassId.value() -> direct extent.
+  std::unordered_map<uint64_t, std::set<Oid>> extents_;
+  std::set<Oid> empty_extent_;
+};
+
+}  // namespace tse::objmodel
+
+#endif  // TSE_OBJMODEL_SLICING_STORE_H_

@@ -1,0 +1,198 @@
+#include "objmodel/value.h"
+
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace tse::objmodel {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kReal:
+      return "real";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kRef:
+      return "ref";
+  }
+  return "unknown";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(rep_.index());
+}
+
+Result<int64_t> Value::AsInt() const {
+  if (const int64_t* v = std::get_if<int64_t>(&rep_)) return *v;
+  return Status::FailedPrecondition(
+      StrCat("value is ", ValueTypeName(type()), ", not int"));
+}
+
+Result<double> Value::AsReal() const {
+  if (const double* v = std::get_if<double>(&rep_)) return *v;
+  return Status::FailedPrecondition(
+      StrCat("value is ", ValueTypeName(type()), ", not real"));
+}
+
+Result<bool> Value::AsBool() const {
+  if (const bool* v = std::get_if<bool>(&rep_)) return *v;
+  return Status::FailedPrecondition(
+      StrCat("value is ", ValueTypeName(type()), ", not bool"));
+}
+
+Result<std::string> Value::AsString() const {
+  if (const std::string* v = std::get_if<std::string>(&rep_)) return *v;
+  return Status::FailedPrecondition(
+      StrCat("value is ", ValueTypeName(type()), ", not string"));
+}
+
+Result<Oid> Value::AsRef() const {
+  if (const Oid* v = std::get_if<Oid>(&rep_)) return *v;
+  return Status::FailedPrecondition(
+      StrCat("value is ", ValueTypeName(type()), ", not ref"));
+}
+
+Result<double> Value::AsNumber() const {
+  if (const int64_t* v = std::get_if<int64_t>(&rep_)) {
+    return static_cast<double>(*v);
+  }
+  if (const double* v = std::get_if<double>(&rep_)) return *v;
+  return Status::FailedPrecondition(
+      StrCat("value is ", ValueTypeName(type()), ", not numeric"));
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.rep_.index() != b.rep_.index()) {
+    return a.rep_.index() < b.rep_.index();
+  }
+  switch (a.type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt:
+      return std::get<int64_t>(a.rep_) < std::get<int64_t>(b.rep_);
+    case ValueType::kReal:
+      return std::get<double>(a.rep_) < std::get<double>(b.rep_);
+    case ValueType::kBool:
+      return std::get<bool>(a.rep_) < std::get<bool>(b.rep_);
+    case ValueType::kString:
+      return std::get<std::string>(a.rep_) < std::get<std::string>(b.rep_);
+    case ValueType::kRef:
+      return std::get<Oid>(a.rep_) < std::get<Oid>(b.rep_);
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(rep_));
+    case ValueType::kReal:
+      return std::to_string(std::get<double>(rep_));
+    case ValueType::kBool:
+      return std::get<bool>(rep_) ? "true" : "false";
+    case ValueType::kString:
+      return StrCat("\"", std::get<std::string>(rep_), "\"");
+    case ValueType::kRef:
+      return StrCat("@", std::get<Oid>(rep_).ToString());
+  }
+  return "?";
+}
+
+namespace {
+
+void AppendRaw(std::string* out, const void* data, size_t len) {
+  out->append(reinterpret_cast<const char*>(data), len);
+}
+
+template <typename T>
+Result<T> ReadRaw(const std::string& data, size_t* pos) {
+  if (*pos + sizeof(T) > data.size()) {
+    return Status::Corruption("truncated value encoding");
+  }
+  T v;
+  std::memcpy(&v, data.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+void Value::EncodeTo(std::string* out) const {
+  uint8_t tag = static_cast<uint8_t>(type());
+  AppendRaw(out, &tag, 1);
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt: {
+      int64_t v = std::get<int64_t>(rep_);
+      AppendRaw(out, &v, 8);
+      break;
+    }
+    case ValueType::kReal: {
+      double v = std::get<double>(rep_);
+      AppendRaw(out, &v, 8);
+      break;
+    }
+    case ValueType::kBool: {
+      uint8_t v = std::get<bool>(rep_) ? 1 : 0;
+      AppendRaw(out, &v, 1);
+      break;
+    }
+    case ValueType::kString: {
+      const std::string& s = std::get<std::string>(rep_);
+      uint32_t len = static_cast<uint32_t>(s.size());
+      AppendRaw(out, &len, 4);
+      out->append(s);
+      break;
+    }
+    case ValueType::kRef: {
+      uint64_t v = std::get<Oid>(rep_).value();
+      AppendRaw(out, &v, 8);
+      break;
+    }
+  }
+}
+
+Result<Value> Value::DecodeFrom(const std::string& data, size_t* pos) {
+  TSE_ASSIGN_OR_RETURN(uint8_t tag, ReadRaw<uint8_t>(data, pos));
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt: {
+      TSE_ASSIGN_OR_RETURN(int64_t v, ReadRaw<int64_t>(data, pos));
+      return Value::Int(v);
+    }
+    case ValueType::kReal: {
+      TSE_ASSIGN_OR_RETURN(double v, ReadRaw<double>(data, pos));
+      return Value::Real(v);
+    }
+    case ValueType::kBool: {
+      TSE_ASSIGN_OR_RETURN(uint8_t v, ReadRaw<uint8_t>(data, pos));
+      return Value::Bool(v != 0);
+    }
+    case ValueType::kString: {
+      TSE_ASSIGN_OR_RETURN(uint32_t len, ReadRaw<uint32_t>(data, pos));
+      if (*pos + len > data.size()) {
+        return Status::Corruption("truncated string value");
+      }
+      std::string s = data.substr(*pos, len);
+      *pos += len;
+      return Value::Str(std::move(s));
+    }
+    case ValueType::kRef: {
+      TSE_ASSIGN_OR_RETURN(uint64_t v, ReadRaw<uint64_t>(data, pos));
+      return Value::Ref(Oid(v));
+    }
+  }
+  return Status::Corruption(StrCat("unknown value tag ", tag));
+}
+
+}  // namespace tse::objmodel

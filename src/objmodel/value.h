@@ -1,0 +1,87 @@
+#ifndef TSE_OBJMODEL_VALUE_H_
+#define TSE_OBJMODEL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/ids.h"
+#include "common/result.h"
+
+namespace tse::objmodel {
+
+/// Kinds of attribute values supported by the TSE object model.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kReal = 2,
+  kBool = 3,
+  kString = 4,
+  kRef = 5,  ///< Reference to another object (by Oid).
+};
+
+/// Returns the lowercase name of a value type ("int", "ref", ...).
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically-typed attribute value. Small, copyable, comparable by
+/// value (refs compare by Oid — object identity, as in the paper's
+/// set-operation semantics).
+class Value {
+ public:
+  /// Null value.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Real(double v) { return Value(Rep(v)); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Str(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Ref(Oid oid) { return Value(Rep(oid)); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; each fails with FailedPrecondition on mismatch.
+  Result<int64_t> AsInt() const;
+  Result<double> AsReal() const;
+  Result<bool> AsBool() const;
+  Result<std::string> AsString() const;
+  Result<Oid> AsRef() const;
+
+  /// Numeric view: int or real widened to double.
+  Result<double> AsNumber() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return !(a == b);
+  }
+
+  /// Total order across types (type tag first, then value) so Values can
+  /// key ordered containers and drive deterministic output.
+  friend bool operator<(const Value& a, const Value& b);
+
+  std::string ToString() const;
+
+  /// Appends a compact binary encoding to `out`.
+  void EncodeTo(std::string* out) const;
+
+  /// Decodes a value from `data` starting at `*pos`, advancing `*pos`.
+  static Result<Value> DecodeFrom(const std::string& data, size_t* pos);
+
+  /// The conventional default for a freshly-added stored attribute of
+  /// declared type `type` (null — the paper's hide-class default story).
+  static Value DefaultFor(ValueType type) { return Null(); }
+
+ private:
+  using Rep =
+      std::variant<std::monostate, int64_t, double, bool, std::string, Oid>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+}  // namespace tse::objmodel
+
+#endif  // TSE_OBJMODEL_VALUE_H_

@@ -1,0 +1,73 @@
+#ifndef TSE_SCHEMA_CLASS_NODE_H_
+#define TSE_SCHEMA_CLASS_NODE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "objmodel/method.h"
+#include "schema/property.h"
+
+namespace tse::schema {
+
+/// How a class came to exist: a stored base class, or one of the six
+/// object-algebra operators of Section 3.2.
+enum class DerivationOp : uint8_t {
+  kBase = 0,
+  kSelect,
+  kHide,
+  kRefine,
+  kUnion,
+  kIntersect,
+  kDifference,
+};
+
+/// Returns "base", "select", "hide", ...
+const char* DerivationOpName(DerivationOp op);
+
+/// The defining query of a virtual class. For kBase it is empty.
+struct Derivation {
+  DerivationOp op = DerivationOp::kBase;
+  /// Source classes: one for select/hide/refine, two for the set ops.
+  std::vector<ClassId> sources;
+  /// kSelect: boolean predicate over the source type's attributes.
+  objmodel::MethodExpr::Ptr predicate;
+  /// kHide: property names hidden from the source type.
+  std::vector<std::string> hidden;
+  /// kRefine: property definitions added (fresh, or imported via the
+  /// `refine C1:x for C2` inheritance form — then the def's definer is
+  /// the other class and storage/code is shared).
+  std::vector<PropertyDefId> added;
+};
+
+/// A node of the global schema graph: one base or virtual class.
+struct ClassNode {
+  ClassId id;
+  /// Globally unique name (views may rename within their own context).
+  std::string name;
+  Derivation derivation;
+  /// Base classes only: properties introduced (stored) at this class.
+  std::vector<PropertyDefId> local_props;
+  /// Base classes only: the declared is-a superclasses.
+  std::vector<ClassId> declared_supers;
+
+  /// Direct is-a edges in the classified global DAG (maintained by the
+  /// Classifier; for base classes seeded from declared_supers).
+  std::set<ClassId> supers;
+  std::set<ClassId> subs;
+
+  /// Union classes only: the source class `create`/`add` updates
+  /// propagate to (Section 6.5.4 — when a union class substitutes one of
+  /// its sources in a view, propagation targets the substituted class so
+  /// inserts stay invisible to the sibling subclass). Invalid = default
+  /// to the first source.
+  ClassId union_create_target;
+
+  bool is_base() const { return derivation.op == DerivationOp::kBase; }
+  bool is_virtual() const { return !is_base(); }
+};
+
+}  // namespace tse::schema
+
+#endif  // TSE_SCHEMA_CLASS_NODE_H_

@@ -1,0 +1,84 @@
+#ifndef TSE_SCHEMA_PROPERTY_H_
+#define TSE_SCHEMA_PROPERTY_H_
+
+#include <string>
+
+#include "common/ids.h"
+#include "objmodel/method.h"
+#include "objmodel/value.h"
+
+namespace tse::schema {
+
+/// Property kinds: stored attributes carry state in implementation
+/// objects; methods carry behaviour (expression bodies).
+enum class PropertyKind : uint8_t {
+  kStoredAttribute = 0,
+  kMethod = 1,
+};
+
+/// A property *definition*: the storage-location / code-block identity
+/// shared between a class and anything that inherits or `refine
+/// C1:x for C2`-imports it. The name can be changed (conflict
+/// disambiguation) without touching the identity.
+struct PropertyDef {
+  PropertyDefId id;
+  std::string name;
+  PropertyKind kind = PropertyKind::kStoredAttribute;
+  /// Declared value type of a stored attribute (methods: result type).
+  objmodel::ValueType value_type = objmodel::ValueType::kNull;
+  /// When value_type == kRef: the class the reference points to
+  /// (drives view type-closure).
+  ClassId ref_target;
+  /// Method body (null for stored attributes).
+  objmodel::MethodExpr::Ptr body;
+  /// The class whose implementation objects hold this property's state
+  /// (or that owns the code block).
+  ClassId definer;
+
+  bool is_attribute() const { return kind == PropertyKind::kStoredAttribute; }
+  bool is_method() const { return kind == PropertyKind::kMethod; }
+};
+
+/// Specification of a property to create (before the catalog assigns an
+/// id and definer): what `refine x: attribute-def for C` carries.
+struct PropertySpec {
+  std::string name;
+  PropertyKind kind = PropertyKind::kStoredAttribute;
+  objmodel::ValueType value_type = objmodel::ValueType::kNull;
+  ClassId ref_target;
+  objmodel::MethodExpr::Ptr body;
+
+  static PropertySpec Attribute(std::string name,
+                                objmodel::ValueType type) {
+    PropertySpec spec;
+    spec.name = std::move(name);
+    spec.kind = PropertyKind::kStoredAttribute;
+    spec.value_type = type;
+    return spec;
+  }
+
+  static PropertySpec RefAttribute(std::string name, ClassId target) {
+    PropertySpec spec;
+    spec.name = std::move(name);
+    spec.kind = PropertyKind::kStoredAttribute;
+    spec.value_type = objmodel::ValueType::kRef;
+    spec.ref_target = target;
+    return spec;
+  }
+
+  static PropertySpec Method(std::string name,
+                             objmodel::MethodExpr::Ptr body,
+                             objmodel::ValueType result_type =
+                                 objmodel::ValueType::kNull) {
+    PropertySpec spec;
+    spec.name = std::move(name);
+    spec.kind = PropertyKind::kMethod;
+    spec.value_type = result_type;
+    spec.body = std::move(body);
+    return spec;
+  }
+};
+
+}  // namespace tse::schema
+
+#endif  // TSE_SCHEMA_PROPERTY_H_

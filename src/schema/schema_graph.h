@@ -1,0 +1,211 @@
+#ifndef TSE_SCHEMA_SCHEMA_GRAPH_H_
+#define TSE_SCHEMA_SCHEMA_GRAPH_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "schema/class_node.h"
+#include "schema/property.h"
+#include "schema/type_set.h"
+
+namespace tse::schema {
+
+/// The single integrated *global schema* of the TSE architecture
+/// (Figure 6): every base class and every virtual class lives here, with
+/// the classified generalization DAG on top. View schemas (tse::view)
+/// are subsets of these classes; schema evolution (tse::evolution) only
+/// ever *adds* classes to this graph.
+///
+/// The graph also implements the intensional subsumption rules the
+/// Classifier relies on: extent containment provable from derivations
+/// and declared base edges (not from the current database state), and
+/// type containment from effective types.
+class SchemaGraph {
+ public:
+  /// Constructs a graph containing only the system root class "OBJECT"
+  /// (the paper's ROOT): the class every otherwise-parentless base class
+  /// is attached to, and the reconnect target of delete_edge/add_class
+  /// when no connected_to clause is given.
+  SchemaGraph();
+  SchemaGraph(const SchemaGraph&) = delete;
+  SchemaGraph& operator=(const SchemaGraph&) = delete;
+
+  /// The system root class.
+  ClassId root() const { return root_; }
+
+  /// Monotone counter bumped by every structural change (class added or
+  /// removed). Extent caches key their validity on it.
+  uint64_t generation() const { return generation_; }
+
+  // --- Construction -----------------------------------------------------
+
+  /// Defines a base class with declared is-a superclasses (which must be
+  /// base classes) and locally introduced properties.
+  Result<ClassId> AddBaseClass(const std::string& name,
+                               const std::vector<ClassId>& supers,
+                               const std::vector<PropertySpec>& props);
+
+  /// Defines a virtual class from `derivation` without classifying it
+  /// (the Classifier wires is-a edges afterwards).
+  Result<ClassId> AddVirtualClass(const std::string& name,
+                                  Derivation derivation);
+
+  /// Registers a fresh property definition whose storage lives at
+  /// `definer` (used by refine with new stored attributes / methods).
+  Result<PropertyDefId> DefineProperty(const PropertySpec& spec,
+                                       ClassId definer);
+
+  /// Convenience for the capacity-augmenting refine operator: creates a
+  /// refine virtual class over `source`, registering `new_props` with
+  /// the new class as definer (fresh storage) and attaching `imported`
+  /// definitions whose storage stays at their original definer (the
+  /// `refine C1:x for C2` inheritance form of Section 3.2).
+  Result<ClassId> AddRefineClass(const std::string& name, ClassId source,
+                                 const std::vector<PropertySpec>& new_props,
+                                 const std::vector<PropertyDefId>& imported);
+
+  /// Adds a locally introduced property to an existing *base* class.
+  Status AddLocalProperty(ClassId cls, PropertyDefId def);
+
+  /// Removes a virtual class that nothing references: no classified
+  /// is-a edges and no derived classes. Used by the Classifier to drop
+  /// freshly-created duplicates in favour of the existing class.
+  Status RemoveClass(ClassId cls);
+
+  /// Designates which source of a union class receives create/add
+  /// propagation (Section 6.5.4). `target` must be one of its sources.
+  Status SetUnionCreateTarget(ClassId union_cls, ClassId target);
+
+  // --- Lookup -----------------------------------------------------------
+
+  Result<ClassId> FindClass(const std::string& name) const;
+  Result<const ClassNode*> GetClass(ClassId id) const;
+  Result<const PropertyDef*> GetProperty(PropertyDefId id) const;
+  bool HasClass(ClassId id) const { return classes_.count(id.value()) != 0; }
+  size_t class_count() const { return classes_.size(); }
+
+  /// Renames a property definition (user disambiguation of a
+  /// multiple-inheritance conflict).
+  Status RenameProperty(PropertyDefId id, const std::string& new_name);
+
+  /// All classes, in id order.
+  std::vector<ClassId> AllClasses() const;
+
+  /// Virtual classes directly derived from `cls` (the inverse of the
+  /// derivation's source relationship; Section 3.4).
+  std::vector<ClassId> DerivedFrom(ClassId cls) const;
+
+  /// The origin base classes of `cls`: the base classes reached by
+  /// tracing source relationships (Section 3.4). For a base class this
+  /// is {cls}.
+  Result<std::vector<ClassId>> OriginClasses(ClassId cls) const;
+
+  // --- Effective types ---------------------------------------------------
+
+  /// The effective type (visible property set) of `cls`, computed from
+  /// its derivation / declared base inheritance (Section 3.2 semantics).
+  Result<TypeSet> EffectiveType(ClassId cls) const;
+
+  /// Resolves a property name at `cls` to its unique definition.
+  Result<const PropertyDef*> ResolveProperty(ClassId cls,
+                                             const std::string& name) const;
+
+  // --- Subsumption -------------------------------------------------------
+
+  /// True when extent(a) ⊆ extent(b) is provable for every database
+  /// state (intensional; derivations + declared base edges).
+  bool ExtentSubsumedBy(ClassId a, ClassId b) const;
+
+  /// True when the extents are provably equal.
+  bool ExtentEquivalent(ClassId a, ClassId b) const {
+    return ExtentSubsumedBy(a, b) && ExtentSubsumedBy(b, a);
+  }
+
+  /// Is-a subsumption: extent(a) ⊆ extent(b) and type(a) covers
+  /// type(b)'s names. This is the ordering the Classifier materializes.
+  bool IsaSubsumedBy(ClassId a, ClassId b) const;
+
+  /// Structural duplicate check (Section 7): equal extents and equal
+  /// (name → def) bindings.
+  bool IsDuplicateOf(ClassId a, ClassId b) const;
+
+  // --- Classified DAG ----------------------------------------------------
+
+  Status AddIsaEdge(ClassId sub, ClassId sup);
+  Status RemoveIsaEdge(ClassId sub, ClassId sup);
+
+  /// Direct classified superclasses / subclasses.
+  Result<std::vector<ClassId>> DirectSupers(ClassId cls) const;
+  Result<std::vector<ClassId>> DirectSubs(ClassId cls) const;
+
+  /// Transitive closure over the classified DAG, including `cls`.
+  Result<std::set<ClassId>> TransitiveSupers(ClassId cls) const;
+  Result<std::set<ClassId>> TransitiveSubs(ClassId cls) const;
+
+  /// Debug rendering of the classified DAG.
+  std::string ToDot() const;
+
+  // --- Catalog restore (used by schema::CatalogIO only) -------------------
+
+  /// Reinstates a persisted property definition verbatim.
+  Status RestoreProperty(PropertyDef def);
+
+  /// Reinstates a persisted class verbatim (id, derivation, edges; the
+  /// inverse `subs` sets and derived index are rebuilt incrementally).
+  /// The graph must not already contain the id. Classes must be
+  /// restored in id order so sources/supers resolve.
+  Status RestoreClass(ClassNode node);
+
+  /// Fast-forwards the id allocators after a restore.
+  void RestoreAllocators(uint64_t class_next, uint64_t prop_next);
+
+  uint64_t class_alloc_next() const { return class_alloc_.next_raw(); }
+  uint64_t prop_alloc_next() const { return prop_alloc_.next_raw(); }
+
+  /// All property definitions, in id order (for catalog serialization).
+  std::vector<const PropertyDef*> AllProperties() const;
+
+ private:
+  Result<ClassNode*> GetMutable(ClassId id);
+
+  /// One-step provable "extent ⊆" targets of `cls` (select → source,
+  /// base → declared supers, plus extent-preserving derived classes).
+  std::vector<ClassId> DirectExtentUps(ClassId cls) const;
+
+  /// `tainted` is set when the computation was pruned by the cycle
+  /// guard; tainted *negative* results are path-dependent and must not
+  /// be cached (positive results are always sound to cache).
+  bool ExtentSubsumedByImpl(ClassId a, ClassId b,
+                            std::set<ClassId>* in_progress,
+                            bool* tainted) const;
+
+  Status ComputeType(ClassId cls, TypeSet* out,
+                     std::set<ClassId>* in_progress) const;
+
+  IdAllocator<ClassId> class_alloc_;
+  IdAllocator<PropertyDefId> prop_alloc_;
+  ClassId root_;
+  uint64_t generation_ = 0;
+  /// Top-level ExtentSubsumedBy memo; invalidated whenever the
+  /// derivation structure changes (class added/removed).
+  mutable std::map<std::pair<uint64_t, uint64_t>, bool> extent_cache_;
+  /// EffectiveType memo; invalidated on structural changes, local
+  /// property additions, refine-class finalization, and renames.
+  mutable std::map<uint64_t, TypeSet> type_cache_;
+  std::map<uint64_t, ClassNode> classes_;
+  std::map<uint64_t, PropertyDef> props_;
+  std::unordered_map<std::string, ClassId> by_name_;
+  /// cls -> virtual classes listing it as a derivation source.
+  std::unordered_map<uint64_t, std::vector<ClassId>> derived_index_;
+};
+
+}  // namespace tse::schema
+
+#endif  // TSE_SCHEMA_SCHEMA_GRAPH_H_

@@ -1,0 +1,194 @@
+#include "storage/page.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace tse::storage {
+
+namespace {
+
+// Lazily built CRC32C table.
+const uint32_t* CrcTable() {
+  static uint32_t table[256];
+  static bool built = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0x82f63b78u ^ (c >> 1)) : (c >> 1);
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)built;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  const uint32_t* table = CrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+void SlottedPage::Init() {
+  std::memset(buf_, 0, kPageSize);
+  WriteU32(0, kMagic);
+  WriteU32(4, 0);  // crc, filled by Seal()
+  set_slot_count(0);
+  set_cell_start(static_cast<uint16_t>(kPageSize));
+}
+
+Status SlottedPage::Validate() const {
+  if (ReadU32(0) != kMagic) {
+    return Status::Corruption("bad page magic");
+  }
+  uint32_t stored = ReadU32(4);
+  // CRC covers everything except the crc field itself.
+  uint32_t head = Crc32(buf_, 4);
+  uint32_t tail = Crc32(buf_ + 8, kPageSize - 8);
+  uint32_t combined = head ^ tail;
+  if (stored != combined) {
+    return Status::Corruption("page checksum mismatch");
+  }
+  return Status::OK();
+}
+
+void SlottedPage::Seal() {
+  uint32_t head = Crc32(buf_, 4);
+  uint32_t tail = Crc32(buf_ + 8, kPageSize - 8);
+  WriteU32(4, head ^ tail);
+}
+
+size_t SlottedPage::FreeBytes() const {
+  size_t dir_end = kHeaderSize + slot_count() * kSlotEntrySize;
+  return cell_start() - dir_end;
+}
+
+bool SlottedPage::HasRoomFor(size_t len) const {
+  // Worst case needs a fresh slot entry plus the cell.
+  return FreeBytes() >= len + kSlotEntrySize;
+}
+
+Result<SlotId> SlottedPage::Insert(const uint8_t* data, size_t len) {
+  if (len > kPageSize) {
+    return Status::InvalidArgument("cell larger than page");
+  }
+  // Reuse a dead slot when possible (no directory growth).
+  uint16_t n = slot_count();
+  int32_t free_slot = -1;
+  for (uint16_t i = 0; i < n; ++i) {
+    if (SlotOffset(i) == 0) {
+      free_slot = i;
+      break;
+    }
+  }
+  size_t need = len + (free_slot < 0 ? kSlotEntrySize : 0);
+  if (FreeBytes() < need) {
+    return Status::FailedPrecondition("page full");
+  }
+  uint16_t new_start = static_cast<uint16_t>(cell_start() - len);
+  std::memcpy(buf_ + new_start, data, len);
+  set_cell_start(new_start);
+  SlotId slot;
+  if (free_slot >= 0) {
+    slot = static_cast<SlotId>(free_slot);
+  } else {
+    slot = n;
+    set_slot_count(static_cast<uint16_t>(n + 1));
+  }
+  SetSlot(slot, new_start, static_cast<uint16_t>(len));
+  return slot;
+}
+
+Result<std::string> SlottedPage::Read(SlotId slot) const {
+  if (slot >= slot_count() || SlotOffset(slot) == 0) {
+    return Status::NotFound(StrCat("no cell in slot ", slot));
+  }
+  return std::string(reinterpret_cast<const char*>(buf_ + SlotOffset(slot)),
+                     SlotLen(slot));
+}
+
+Status SlottedPage::Erase(SlotId slot) {
+  if (slot >= slot_count() || SlotOffset(slot) == 0) {
+    return Status::NotFound(StrCat("no cell in slot ", slot));
+  }
+  SetSlot(slot, 0, 0);
+  Compact(/*trim_directory=*/true);
+  return Status::OK();
+}
+
+Status SlottedPage::Update(SlotId slot, const uint8_t* data, size_t len) {
+  if (slot >= slot_count() || SlotOffset(slot) == 0) {
+    return Status::NotFound(StrCat("no cell in slot ", slot));
+  }
+  uint16_t old_len = SlotLen(slot);
+  if (len <= old_len) {
+    // Shrinking or equal: write in place, then compact away the slack.
+    std::memcpy(buf_ + SlotOffset(slot), data, len);
+    SetSlot(slot, SlotOffset(slot), static_cast<uint16_t>(len));
+    if (len < old_len) Compact(/*trim_directory=*/false);
+    return Status::OK();
+  }
+  // Growing: after compaction the old cell's bytes join the free space,
+  // so room is FreeBytes() + old_len. Check before destroying anything
+  // so a failed update leaves the record intact.
+  if (FreeBytes() + old_len < len) {
+    return Status::FailedPrecondition("page full on update");
+  }
+  // Free the old cell, then re-insert into this same slot. The directory
+  // must not be trimmed here, or `slot` itself could vanish.
+  SetSlot(slot, 0, 0);
+  Compact(/*trim_directory=*/false);
+  uint16_t new_start = static_cast<uint16_t>(cell_start() - len);
+  std::memcpy(buf_ + new_start, data, len);
+  set_cell_start(new_start);
+  SetSlot(slot, new_start, static_cast<uint16_t>(len));
+  return Status::OK();
+}
+
+void SlottedPage::Compact(bool trim_directory) {
+  // Collect live cells, sort by current offset descending, and reassign
+  // them from the page end downward.
+  struct Live {
+    uint16_t slot;
+    uint16_t off;
+    uint16_t len;
+  };
+  std::vector<Live> cells;
+  uint16_t n = slot_count();
+  for (uint16_t i = 0; i < n; ++i) {
+    if (SlotOffset(i) != 0) {
+      cells.push_back({i, SlotOffset(i), SlotLen(i)});
+    }
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const Live& a, const Live& b) { return a.off > b.off; });
+  uint16_t cursor = static_cast<uint16_t>(kPageSize);
+  std::vector<uint8_t> tmp(kPageSize);
+  for (const Live& c : cells) {
+    cursor = static_cast<uint16_t>(cursor - c.len);
+    std::memcpy(tmp.data() + cursor, buf_ + c.off, c.len);
+  }
+  std::memcpy(buf_ + cursor, tmp.data() + cursor, kPageSize - cursor);
+  uint16_t reassign = static_cast<uint16_t>(kPageSize);
+  for (const Live& c : cells) {
+    reassign = static_cast<uint16_t>(reassign - c.len);
+    SetSlot(c.slot, reassign, c.len);
+  }
+  set_cell_start(cursor);
+  if (trim_directory) {
+    // Trim trailing dead slots from the directory.
+    while (n > 0 && SlotOffset(static_cast<uint16_t>(n - 1)) == 0) {
+      --n;
+    }
+    set_slot_count(n);
+  }
+}
+
+}  // namespace tse::storage

@@ -1,0 +1,126 @@
+#ifndef TSE_STORAGE_PAGE_H_
+#define TSE_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tse::storage {
+
+/// Size of every page in the persistent store.
+inline constexpr size_t kPageSize = 4096;
+
+/// CRC32 (Castagnoli polynomial, bitwise implementation) over `data`.
+uint32_t Crc32(const uint8_t* data, size_t len);
+
+/// Slot index within a page.
+using SlotId = uint16_t;
+
+/// A slotted page: fixed header, slot directory growing down from the
+/// header, and cell data growing up from the end of the page.
+///
+/// Layout:
+///   [0..15]  header: magic(u32) crc(u32) slot_count(u16) cell_start(u16)
+///            reserved(u32)
+///   [16..]   slot directory: per slot offset(u16) len(u16);
+///            offset == 0 marks a dead (reusable) slot
+///   [...end] cells
+///
+/// The page owns no memory; it is a typed view over a caller-provided
+/// `kPageSize` buffer (typically a pager frame).
+class SlottedPage {
+ public:
+  static constexpr uint32_t kMagic = 0x54534550;  // "TSEP"
+  static constexpr size_t kHeaderSize = 16;
+  static constexpr size_t kSlotEntrySize = 4;
+
+  /// Wraps `buf` (must point at kPageSize bytes) without initializing it.
+  explicit SlottedPage(uint8_t* buf) : buf_(buf) {}
+
+  /// Formats the buffer as an empty page.
+  void Init();
+
+  /// Validates magic and checksum. Call after reading a page from disk.
+  Status Validate() const;
+
+  /// Recomputes and stores the checksum. Call before writing to disk.
+  void Seal();
+
+  /// Number of slot directory entries (live + dead).
+  uint16_t slot_count() const { return ReadU16(8); }
+
+  /// Bytes available for a new cell of length `len` (including any new
+  /// slot entry needed).
+  bool HasRoomFor(size_t len) const;
+
+  /// Inserts a cell; returns its slot id. Fails with FailedPrecondition
+  /// when the page lacks room (callers check HasRoomFor first).
+  Result<SlotId> Insert(const uint8_t* data, size_t len);
+
+  /// Reads the cell in `slot`. Fails for dead or out-of-range slots.
+  Result<std::string> Read(SlotId slot) const;
+
+  /// Marks `slot` dead and reclaims its space by compacting cells.
+  Status Erase(SlotId slot);
+
+  /// Replaces the cell in `slot`. May move the cell within the page;
+  /// fails with FailedPrecondition if the new data does not fit.
+  Status Update(SlotId slot, const uint8_t* data, size_t len);
+
+  /// Total free bytes (contiguous, after compaction accounting).
+  size_t FreeBytes() const;
+
+  /// Invokes `fn(slot, data, len)` for every live cell.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    uint16_t n = slot_count();
+    for (uint16_t i = 0; i < n; ++i) {
+      uint16_t off = SlotOffset(i);
+      if (off == 0) continue;
+      fn(static_cast<SlotId>(i), buf_ + off, SlotLen(i));
+    }
+  }
+
+ private:
+  uint16_t ReadU16(size_t at) const {
+    uint16_t v;
+    std::memcpy(&v, buf_ + at, 2);
+    return v;
+  }
+  void WriteU16(size_t at, uint16_t v) { std::memcpy(buf_ + at, &v, 2); }
+  uint32_t ReadU32(size_t at) const {
+    uint32_t v;
+    std::memcpy(&v, buf_ + at, 4);
+    return v;
+  }
+  void WriteU32(size_t at, uint32_t v) { std::memcpy(buf_ + at, &v, 4); }
+
+  uint16_t cell_start() const { return ReadU16(10); }
+  void set_cell_start(uint16_t v) { WriteU16(10, v); }
+  void set_slot_count(uint16_t v) { WriteU16(8, v); }
+
+  size_t SlotEntryAt(uint16_t i) const {
+    return kHeaderSize + static_cast<size_t>(i) * kSlotEntrySize;
+  }
+  uint16_t SlotOffset(uint16_t i) const { return ReadU16(SlotEntryAt(i)); }
+  uint16_t SlotLen(uint16_t i) const { return ReadU16(SlotEntryAt(i) + 2); }
+  void SetSlot(uint16_t i, uint16_t off, uint16_t len) {
+    WriteU16(SlotEntryAt(i), off);
+    WriteU16(SlotEntryAt(i) + 2, len);
+  }
+
+  /// Slides cells toward the page end to coalesce free space. When
+  /// `trim_directory` is set, trailing dead slot entries are dropped so
+  /// their directory space can be reclaimed.
+  void Compact(bool trim_directory);
+
+  uint8_t* buf_;
+};
+
+}  // namespace tse::storage
+
+#endif  // TSE_STORAGE_PAGE_H_

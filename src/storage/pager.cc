@@ -1,0 +1,252 @@
+#include "storage/pager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace tse::storage {
+
+namespace {
+
+constexpr uint32_t kMetaMagic = 0x5453454d;  // "TSEM"
+
+Status PReadFull(int fd, uint8_t* buf, size_t len, uint64_t offset) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pread(fd, buf + done, len - done, offset + done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrCat("pread: ", std::strerror(errno)));
+    }
+    if (n == 0) return Status::IOError("pread: unexpected EOF");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PWriteFull(int fd, const uint8_t* buf, size_t len, uint64_t offset) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pwrite(fd, buf + done, len - done, offset + done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrCat("pwrite: ", std::strerror(errno)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void EncodeU64(uint8_t* at, uint64_t v) { std::memcpy(at, &v, 8); }
+uint64_t DecodeU64(const uint8_t* at) {
+  uint64_t v;
+  std::memcpy(&v, at, 8);
+  return v;
+}
+void EncodeU32(uint8_t* at, uint32_t v) { std::memcpy(at, &v, 4); }
+uint32_t DecodeU32(const uint8_t* at) {
+  uint32_t v;
+  std::memcpy(&v, at, 4);
+  return v;
+}
+
+}  // namespace
+
+Pager::~Pager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
+                                           const PagerOptions& options) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError(StrCat("open ", path, ": ", std::strerror(errno)));
+  }
+  std::unique_ptr<Pager> pager(new Pager(fd, options));
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    return Status::IOError(StrCat("lseek: ", std::strerror(errno)));
+  }
+  if (size == 0) {
+    // Fresh file: write the meta page.
+    TSE_RETURN_IF_ERROR(pager->StoreMeta());
+  } else {
+    TSE_RETURN_IF_ERROR(pager->LoadMeta());
+  }
+  return pager;
+}
+
+Status Pager::LoadMeta() {
+  uint8_t meta[kPageSize];
+  TSE_RETURN_IF_ERROR(PReadFull(fd_, meta, kPageSize, 0));
+  if (DecodeU32(meta) != kMetaMagic) {
+    return Status::Corruption("bad meta page magic");
+  }
+  uint32_t stored_crc = DecodeU32(meta + 4);
+  uint32_t crc = Crc32(meta + 8, kPageSize - 8);
+  if (stored_crc != crc) {
+    return Status::Corruption("meta page checksum mismatch");
+  }
+  page_count_ = DecodeU64(meta + 8);
+  free_head_ = DecodeU64(meta + 16);
+  live_pages_ = DecodeU64(meta + 24);
+  // Walk the free list to rebuild free_set_.
+  uint64_t cursor = free_head_;
+  uint8_t buf[kPageSize];
+  while (cursor != 0) {
+    if (cursor >= page_count_ || free_set_.count(cursor)) {
+      return Status::Corruption("free list cycle or out-of-range page");
+    }
+    free_set_.insert(cursor);
+    TSE_RETURN_IF_ERROR(PReadFull(fd_, buf, 8, cursor * kPageSize));
+    cursor = DecodeU64(buf);
+  }
+  return Status::OK();
+}
+
+Status Pager::StoreMeta() {
+  uint8_t meta[kPageSize];
+  std::memset(meta, 0, kPageSize);
+  EncodeU32(meta, kMetaMagic);
+  EncodeU64(meta + 8, page_count_);
+  EncodeU64(meta + 16, free_head_);
+  EncodeU64(meta + 24, live_pages_);
+  EncodeU32(meta + 4, Crc32(meta + 8, kPageSize - 8));
+  return PWriteFull(fd_, meta, kPageSize, 0);
+}
+
+Result<Pager::Frame*> Pager::FetchFrame(PageId page) {
+  auto it = frames_.find(page.value());
+  if (it != frames_.end()) {
+    // Refresh recency for clean frames.
+    auto pos = lru_pos_.find(page.value());
+    if (pos != lru_pos_.end()) {
+      lru_.erase(pos->second);
+      lru_.push_front(page.value());
+      pos->second = lru_.begin();
+    }
+    return &it->second;
+  }
+  if (page.value() >= page_count_) {
+    return Status::InvalidArgument(
+        StrCat("page ", page.value(), " out of range"));
+  }
+  Frame frame;
+  frame.data.resize(kPageSize);
+  TSE_RETURN_IF_ERROR(
+      PReadFull(fd_, frame.data.data(), kPageSize, page.value() * kPageSize));
+  TSE_RETURN_IF_ERROR(EvictIfNeeded());
+  auto [ins, _] = frames_.emplace(page.value(), std::move(frame));
+  lru_.push_front(page.value());
+  lru_pos_[page.value()] = lru_.begin();
+  return &ins->second;
+}
+
+Status Pager::EvictIfNeeded() {
+  // Evict least-recently-used *clean* frames beyond capacity. Dirty
+  // frames stay pinned until Flush().
+  while (lru_.size() > options_.cache_capacity) {
+    uint64_t victim = lru_.back();
+    lru_.pop_back();
+    lru_pos_.erase(victim);
+    frames_.erase(victim);
+  }
+  return Status::OK();
+}
+
+Result<uint8_t*> Pager::GetMutable(PageId page) {
+  auto frame_or = FetchFrame(page);
+  if (!frame_or.ok()) return frame_or.status();
+  Frame* frame = frame_or.value();
+  if (!frame->dirty) {
+    frame->dirty = true;
+    // Remove from the clean LRU; dirty frames are pinned.
+    auto pos = lru_pos_.find(page.value());
+    if (pos != lru_pos_.end()) {
+      lru_.erase(pos->second);
+      lru_pos_.erase(pos);
+    }
+  }
+  return frame->data.data();
+}
+
+Result<const uint8_t*> Pager::Get(PageId page) {
+  auto frame_or = FetchFrame(page);
+  if (!frame_or.ok()) return frame_or.status();
+  return const_cast<const uint8_t*>(frame_or.value()->data.data());
+}
+
+Result<PageId> Pager::Allocate() {
+  uint64_t page;
+  if (free_head_ != 0) {
+    page = free_head_;
+    // Read the next pointer out of the free page.
+    uint8_t buf[8];
+    TSE_RETURN_IF_ERROR(PReadFull(fd_, buf, 8, page * kPageSize));
+    free_head_ = DecodeU64(buf);
+    free_set_.erase(page);
+  } else {
+    page = page_count_++;
+    // Extend the file with a zero page so later preads succeed.
+    uint8_t zero[kPageSize];
+    std::memset(zero, 0, kPageSize);
+    TSE_RETURN_IF_ERROR(PWriteFull(fd_, zero, kPageSize, page * kPageSize));
+  }
+  ++live_pages_;
+  Frame frame;
+  frame.data.assign(kPageSize, 0);
+  frame.dirty = true;
+  frames_[page] = std::move(frame);
+  return PageId(page);
+}
+
+Status Pager::Free(PageId page) {
+  if (!page.valid() || page.value() == 0 || page.value() >= page_count_) {
+    return Status::InvalidArgument("cannot free page");
+  }
+  if (free_set_.count(page.value())) {
+    return Status::FailedPrecondition("double free of page");
+  }
+  frames_.erase(page.value());
+  auto pos = lru_pos_.find(page.value());
+  if (pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+    lru_pos_.erase(pos);
+  }
+  // Chain into the free list on disk immediately.
+  uint8_t buf[kPageSize];
+  std::memset(buf, 0, kPageSize);
+  EncodeU64(buf, free_head_);
+  TSE_RETURN_IF_ERROR(PWriteFull(fd_, buf, kPageSize, page.value() * kPageSize));
+  free_head_ = page.value();
+  free_set_.insert(page.value());
+  --live_pages_;
+  return Status::OK();
+}
+
+Status Pager::Flush() {
+  for (auto& [page, frame] : frames_) {
+    if (!frame.dirty) continue;
+    TSE_RETURN_IF_ERROR(WriteFrame(PageId(page), &frame));
+    frame.dirty = false;
+    lru_.push_front(page);
+    lru_pos_[page] = lru_.begin();
+  }
+  TSE_RETURN_IF_ERROR(StoreMeta());
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(StrCat("fsync: ", std::strerror(errno)));
+  }
+  TSE_RETURN_IF_ERROR(EvictIfNeeded());
+  return Status::OK();
+}
+
+Status Pager::WriteFrame(PageId page, Frame* frame) {
+  return PWriteFull(fd_, frame->data.data(), kPageSize,
+                    page.value() * kPageSize);
+}
+
+}  // namespace tse::storage

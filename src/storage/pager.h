@@ -1,0 +1,106 @@
+#ifndef TSE_STORAGE_PAGER_H_
+#define TSE_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace tse::storage {
+
+/// Configuration for a Pager.
+struct PagerOptions {
+  /// Maximum number of clean frames kept in memory. Dirty frames are
+  /// pinned until Flush() so the write set only reaches disk at
+  /// checkpoints (see RecordStore for the WAL interplay).
+  size_t cache_capacity = 256;
+};
+
+/// File-backed array of kPageSize pages with an in-memory frame cache.
+///
+/// Page 0 is a meta page owned by the pager (magic, page count, free
+/// list head). User pages are allocated/freed through Allocate()/Free();
+/// freed pages are chained into a free list threaded through the first
+/// bytes of each free page.
+class Pager {
+ public:
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Opens (or creates) the page file at `path`.
+  static Result<std::unique_ptr<Pager>> Open(const std::string& path,
+                                             const PagerOptions& options);
+
+  /// Allocates a page (reusing the free list when possible). The
+  /// returned frame is zeroed and marked dirty.
+  Result<PageId> Allocate();
+
+  /// Returns `page` to the free list.
+  Status Free(PageId page);
+
+  /// Returns a writable pointer to the page's frame, loading it from
+  /// disk if needed, and marks the frame dirty.
+  Result<uint8_t*> GetMutable(PageId page);
+
+  /// Returns a read-only pointer to the page's frame.
+  Result<const uint8_t*> Get(PageId page);
+
+  /// Writes all dirty frames (and the meta page) to disk and syncs.
+  Status Flush();
+
+  /// Total pages in the file, including the meta page and free pages.
+  uint64_t page_count() const { return page_count_; }
+
+  /// Number of live (allocated, non-free) user pages.
+  uint64_t live_page_count() const { return live_pages_; }
+
+  /// Invokes `fn(page_id)` for every live user page.
+  template <typename Fn>
+  Status ForEachLivePage(Fn&& fn) {
+    for (uint64_t p = 1; p < page_count_; ++p) {
+      PageId id(p);
+      if (free_set_.count(p)) continue;
+      TSE_RETURN_IF_ERROR(fn(id));
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Frame {
+    std::vector<uint8_t> data;
+    bool dirty = false;
+  };
+
+  Pager(int fd, const PagerOptions& options)
+      : fd_(fd), options_(options) {}
+
+  Status LoadMeta();
+  Status StoreMeta();
+  Result<Frame*> FetchFrame(PageId page);
+  Status WriteFrame(PageId page, Frame* frame);
+  Status EvictIfNeeded();
+
+  int fd_;
+  PagerOptions options_;
+  uint64_t page_count_ = 1;   // Page 0 is the meta page.
+  uint64_t live_pages_ = 0;
+  uint64_t free_head_ = 0;    // 0 = empty free list.
+  std::unordered_map<uint64_t, Frame> frames_;
+  std::list<uint64_t> lru_;   // Clean-frame recency, front = most recent.
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> lru_pos_;
+  std::unordered_set<uint64_t> free_set_;  // Pages currently on the free list.
+};
+
+}  // namespace tse::storage
+
+#endif  // TSE_STORAGE_PAGER_H_

@@ -1,0 +1,197 @@
+#include "storage/record_store.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace tse::storage {
+
+namespace {
+
+/// Cell format: key(u64) + payload bytes.
+std::vector<uint8_t> EncodeCell(uint64_t key, const std::string& payload) {
+  std::vector<uint8_t> cell(8 + payload.size());
+  std::memcpy(cell.data(), &key, 8);
+  std::memcpy(cell.data() + 8, payload.data(), payload.size());
+  return cell;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RecordStore>> RecordStore::Open(
+    const std::string& base_path, const RecordStoreOptions& options) {
+  TSE_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager,
+                       Pager::Open(base_path + ".pages", options.pager));
+  std::unique_ptr<Wal> wal;
+  if (options.durable) {
+    TSE_ASSIGN_OR_RETURN(wal, Wal::Open(base_path + ".wal"));
+  }
+  std::unique_ptr<RecordStore> store(
+      new RecordStore(std::move(pager), std::move(wal), options));
+  TSE_RETURN_IF_ERROR(store->BuildIndex());
+  if (store->wal_) {
+    TSE_RETURN_IF_ERROR(store->wal_->Replay([&](const WalRecord& rec) {
+      switch (rec.type) {
+        case WalRecordType::kPut:
+          return store->ApplyPut(rec.key, rec.payload);
+        case WalRecordType::kDelete: {
+          Status s = store->ApplyDelete(rec.key);
+          // A delete may replay over an already-checkpointed delete.
+          if (s.IsNotFound()) return Status::OK();
+          return s;
+        }
+        case WalRecordType::kCommit:
+          return Status::OK();
+      }
+      return Status::Corruption("unknown wal record type");
+    }));
+    TSE_RETURN_IF_ERROR(store->wal_->DropUncommittedTail());
+  }
+  return store;
+}
+
+Status RecordStore::BuildIndex() {
+  index_.clear();
+  free_bytes_.clear();
+  return pager_->ForEachLivePage([&](PageId page) -> Status {
+    TSE_ASSIGN_OR_RETURN(const uint8_t* raw, pager_->Get(page));
+    // Copy: ForEach needs a stable view while we touch pager state after.
+    std::vector<uint8_t> buf(raw, raw + kPageSize);
+    SlottedPage view(buf.data());
+    TSE_RETURN_IF_ERROR(view.Validate());
+    view.ForEach([&](SlotId slot, const uint8_t* data, size_t len) {
+      if (len < 8) return;  // malformed cell; skip
+      uint64_t key;
+      std::memcpy(&key, data, 8);
+      index_[key] = Rid{page, slot};
+    });
+    free_bytes_[page.value()] = view.FreeBytes();
+    return Status::OK();
+  });
+}
+
+Status RecordStore::ApplyPut(uint64_t key, const std::string& payload) {
+  std::vector<uint8_t> cell = EncodeCell(key, payload);
+  if (cell.size() > kPageSize - SlottedPage::kHeaderSize -
+                        SlottedPage::kSlotEntrySize) {
+    return Status::InvalidArgument("record too large for one page");
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Try updating in place.
+    TSE_ASSIGN_OR_RETURN(uint8_t* raw, pager_->GetMutable(it->second.page));
+    SlottedPage view(raw);
+    Status s = view.Update(it->second.slot, cell.data(), cell.size());
+    if (s.ok()) {
+      view.Seal();
+      free_bytes_[it->second.page.value()] = view.FreeBytes();
+      return Status::OK();
+    }
+    if (s.code() != StatusCode::kFailedPrecondition) return s;
+    // No room on that page: erase and fall through to re-insert.
+    TSE_RETURN_IF_ERROR(view.Erase(it->second.slot));
+    view.Seal();
+    free_bytes_[it->second.page.value()] = view.FreeBytes();
+    index_.erase(it);
+  }
+  TSE_ASSIGN_OR_RETURN(PageId page, PageWithRoom(cell.size()));
+  TSE_ASSIGN_OR_RETURN(uint8_t* raw, pager_->GetMutable(page));
+  SlottedPage view(raw);
+  TSE_ASSIGN_OR_RETURN(SlotId slot, view.Insert(cell.data(), cell.size()));
+  view.Seal();
+  free_bytes_[page.value()] = view.FreeBytes();
+  index_[key] = Rid{page, slot};
+  return Status::OK();
+}
+
+Status RecordStore::ApplyDelete(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return Status::NotFound(StrCat("no record for key ", key));
+  }
+  TSE_ASSIGN_OR_RETURN(uint8_t* raw, pager_->GetMutable(it->second.page));
+  SlottedPage view(raw);
+  TSE_RETURN_IF_ERROR(view.Erase(it->second.slot));
+  view.Seal();
+  free_bytes_[it->second.page.value()] = view.FreeBytes();
+  index_.erase(it);
+  return Status::OK();
+}
+
+Result<PageId> RecordStore::PageWithRoom(size_t len) {
+  size_t need = len + SlottedPage::kSlotEntrySize;
+  for (const auto& [page, free] : free_bytes_) {
+    if (free >= need) return PageId(page);
+  }
+  TSE_ASSIGN_OR_RETURN(PageId page, pager_->Allocate());
+  TSE_ASSIGN_OR_RETURN(uint8_t* raw, pager_->GetMutable(page));
+  SlottedPage view(raw);
+  view.Init();
+  view.Seal();
+  free_bytes_[page.value()] = view.FreeBytes();
+  return page;
+}
+
+Status RecordStore::Put(uint64_t key, const std::string& payload) {
+  if (wal_) {
+    WalRecord rec;
+    rec.type = WalRecordType::kPut;
+    rec.key = key;
+    rec.payload = payload;
+    TSE_RETURN_IF_ERROR(wal_->Append(rec));
+  }
+  return ApplyPut(key, payload);
+}
+
+Result<std::string> RecordStore::Get(uint64_t key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return Status::NotFound(StrCat("no record for key ", key));
+  }
+  TSE_ASSIGN_OR_RETURN(const uint8_t* raw, pager_->Get(it->second.page));
+  // SlottedPage is a read-only view here; const_cast is confined.
+  SlottedPage view(const_cast<uint8_t*>(raw));
+  TSE_ASSIGN_OR_RETURN(std::string cell, view.Read(it->second.slot));
+  if (cell.size() < 8) return Status::Corruption("cell too small");
+  return cell.substr(8);
+}
+
+Status RecordStore::Delete(uint64_t key) {
+  if (!index_.count(key)) {
+    return Status::NotFound(StrCat("no record for key ", key));
+  }
+  if (wal_) {
+    WalRecord rec;
+    rec.type = WalRecordType::kDelete;
+    rec.key = key;
+    TSE_RETURN_IF_ERROR(wal_->Append(rec));
+  }
+  return ApplyDelete(key);
+}
+
+Status RecordStore::Commit() {
+  if (!wal_) return Status::OK();
+  return wal_->Commit();
+}
+
+Status RecordStore::Checkpoint() {
+  TSE_RETURN_IF_ERROR(pager_->Flush());
+  if (wal_) {
+    TSE_RETURN_IF_ERROR(wal_->Truncate());
+  }
+  return Status::OK();
+}
+
+Status RecordStore::Scan(
+    const std::function<Status(uint64_t, const std::string&)>& fn) const {
+  for (const auto& [key, rid] : index_) {
+    TSE_ASSIGN_OR_RETURN(const uint8_t* raw, pager_->Get(rid.page));
+    SlottedPage view(const_cast<uint8_t*>(raw));
+    TSE_ASSIGN_OR_RETURN(std::string cell, view.Read(rid.slot));
+    TSE_RETURN_IF_ERROR(fn(key, cell.substr(8)));
+  }
+  return Status::OK();
+}
+
+}  // namespace tse::storage

@@ -1,0 +1,107 @@
+#ifndef TSE_STORAGE_RECORD_STORE_H_
+#define TSE_STORAGE_RECORD_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+#include "storage/wal.h"
+
+namespace tse::storage {
+
+/// Configuration for a RecordStore.
+struct RecordStoreOptions {
+  PagerOptions pager;
+  /// When false, Commit() is a no-op and the WAL is not written; useful
+  /// for throwaway in-benchmark stores.
+  bool durable = true;
+};
+
+/// A durable key → payload store: slotted heap pages + an in-memory
+/// primary index + a redo WAL.
+///
+/// Durability contract: mutations become durable at Commit(); a crash
+/// (re-open without Checkpoint) recovers exactly the committed prefix.
+/// Checkpoint() migrates the WAL contents into the page file and
+/// truncates the log.
+///
+/// This is the substrate standing in for GemStone in the paper's
+/// architecture (Figure 6): the TSE object model persists conceptual and
+/// implementation objects as records here.
+class RecordStore {
+ public:
+  RecordStore(const RecordStore&) = delete;
+  RecordStore& operator=(const RecordStore&) = delete;
+
+  /// Opens the store rooted at `base_path` ("X.pages" + "X.wal"),
+  /// recovering committed WAL records.
+  static Result<std::unique_ptr<RecordStore>> Open(
+      const std::string& base_path, const RecordStoreOptions& options);
+
+  /// Inserts or replaces the payload for `key`.
+  Status Put(uint64_t key, const std::string& payload);
+
+  /// Reads the payload for `key`.
+  Result<std::string> Get(uint64_t key) const;
+
+  /// Removes `key`. NotFound if absent.
+  Status Delete(uint64_t key);
+
+  /// True if `key` is present.
+  bool Contains(uint64_t key) const { return index_.count(key) != 0; }
+
+  /// Durability point: commits everything logged so far.
+  Status Commit();
+
+  /// Writes all pages to disk and truncates the WAL.
+  Status Checkpoint();
+
+  /// Invokes `fn(key, payload)` for every record.
+  Status Scan(const std::function<Status(uint64_t, const std::string&)>& fn) const;
+
+  /// Number of records.
+  size_t size() const { return index_.size(); }
+
+  /// Live data pages in the page file.
+  uint64_t page_count() const { return pager_->live_page_count(); }
+
+ private:
+  struct Rid {
+    PageId page;
+    SlotId slot;
+  };
+
+  RecordStore(std::unique_ptr<Pager> pager, std::unique_ptr<Wal> wal,
+              RecordStoreOptions options)
+      : pager_(std::move(pager)),
+        wal_(std::move(wal)),
+        options_(std::move(options)) {}
+
+  /// Rebuilds the key index by scanning live pages.
+  Status BuildIndex();
+
+  /// Applies a put/delete to pages + index without logging (used by both
+  /// the public mutators and WAL replay).
+  Status ApplyPut(uint64_t key, const std::string& payload);
+  Status ApplyDelete(uint64_t key);
+
+  /// Finds (or allocates) a page with room for `len` bytes of cell.
+  Result<PageId> PageWithRoom(size_t len);
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<Wal> wal_;
+  RecordStoreOptions options_;
+  std::unordered_map<uint64_t, Rid> index_;
+  std::unordered_map<uint64_t, size_t> free_bytes_;  // page -> free bytes
+};
+
+}  // namespace tse::storage
+
+#endif  // TSE_STORAGE_RECORD_STORE_H_

@@ -1,0 +1,140 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/str_util.h"
+#include "storage/page.h"  // for Crc32
+
+namespace tse::storage {
+
+namespace {
+
+Status WriteFull(int fd, const uint8_t* buf, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::write(fd, buf + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrCat("write: ", std::strerror(errno)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError(StrCat("open ", path, ": ", std::strerror(errno)));
+  }
+  return std::unique_ptr<Wal>(new Wal(fd, path));
+}
+
+Status Wal::Append(const WalRecord& record) {
+  // body = type(1) + key(8) + payload
+  std::vector<uint8_t> body(9 + record.payload.size());
+  body[0] = static_cast<uint8_t>(record.type);
+  std::memcpy(body.data() + 1, &record.key, 8);
+  std::memcpy(body.data() + 9, record.payload.data(), record.payload.size());
+
+  uint32_t len = static_cast<uint32_t>(body.size());
+  uint32_t crc = Crc32(body.data(), body.size());
+  std::vector<uint8_t> frame(8 + body.size());
+  std::memcpy(frame.data(), &len, 4);
+  std::memcpy(frame.data() + 4, &crc, 4);
+  std::memcpy(frame.data() + 8, body.data(), body.size());
+  return WriteFull(fd_, frame.data(), frame.size());
+}
+
+Status Wal::Commit() {
+  WalRecord rec;
+  rec.type = WalRecordType::kCommit;
+  TSE_RETURN_IF_ERROR(Append(rec));
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(StrCat("fsync: ", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status Wal::Replay(const std::function<Status(const WalRecord&)>& fn) {
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) {
+    return Status::IOError(StrCat("lseek: ", std::strerror(errno)));
+  }
+  std::vector<uint8_t> data(static_cast<size_t>(size));
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::pread(fd_, data.data() + done, data.size() - done, done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrCat("pread: ", std::strerror(errno)));
+    }
+    if (n == 0) break;
+    done += static_cast<size_t>(n);
+  }
+
+  std::vector<WalRecord> pending;
+  size_t pos = 0;
+  while (pos + 8 <= done) {
+    uint32_t len, crc;
+    std::memcpy(&len, data.data() + pos, 4);
+    std::memcpy(&crc, data.data() + pos + 4, 4);
+    if (len < 9 || pos + 8 + len > done) break;  // torn tail
+    const uint8_t* body = data.data() + pos + 8;
+    if (Crc32(body, len) != crc) break;  // corrupt tail
+    WalRecord rec;
+    rec.type = static_cast<WalRecordType>(body[0]);
+    std::memcpy(&rec.key, body + 1, 8);
+    rec.payload.assign(reinterpret_cast<const char*>(body + 9), len - 9);
+    pos += 8 + len;
+    if (rec.type == WalRecordType::kCommit) {
+      for (const WalRecord& p : pending) {
+        TSE_RETURN_IF_ERROR(fn(p));
+      }
+      pending.clear();
+      committed_end_ = pos;
+    } else {
+      pending.push_back(std::move(rec));
+    }
+  }
+  // Records after the last commit marker are intentionally dropped.
+  return Status::OK();
+}
+
+Status Wal::DropUncommittedTail() {
+  if (::ftruncate(fd_, static_cast<off_t>(committed_end_)) != 0) {
+    return Status::IOError(StrCat("ftruncate: ", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status Wal::Truncate() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError(StrCat("ftruncate: ", std::strerror(errno)));
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(StrCat("fsync: ", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Wal::SizeBytes() const {
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) {
+    return Status::IOError(StrCat("lseek: ", std::strerror(errno)));
+  }
+  return static_cast<uint64_t>(size);
+}
+
+}  // namespace tse::storage

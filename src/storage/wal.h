@@ -1,0 +1,78 @@
+#ifndef TSE_STORAGE_WAL_H_
+#define TSE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tse::storage {
+
+/// Kinds of logical WAL records.
+enum class WalRecordType : uint8_t {
+  kPut = 1,     ///< key + payload
+  kDelete = 2,  ///< key
+  kCommit = 3,  ///< batch boundary; earlier records become durable
+};
+
+/// One decoded WAL record.
+struct WalRecord {
+  WalRecordType type;
+  uint64_t key = 0;
+  std::string payload;
+};
+
+/// Append-only logical redo log.
+///
+/// Frame format: len(u32) crc(u32) type(u8) key(u64) payload(len-9).
+/// `crc` covers type+key+payload. Replay stops at the first torn or
+/// corrupt frame, and only records covered by a later kCommit are
+/// surfaced — matching the usual redo-log contract.
+class Wal {
+ public:
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens (or creates) the log file at `path` for appending.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path);
+
+  /// Appends a record (buffered in the OS; see Sync()).
+  Status Append(const WalRecord& record);
+
+  /// Appends a commit marker and fsyncs — the durability point.
+  Status Commit();
+
+  /// Replays committed records in order. `fn` is invoked only for
+  /// kPut/kDelete records that precede a commit marker. Records the end
+  /// offset of the committed prefix for DropUncommittedTail().
+  Status Replay(const std::function<Status(const WalRecord&)>& fn);
+
+  /// Truncates the log to the committed prefix found by the last
+  /// Replay(). Without this, a dangling uncommitted tail from a crashed
+  /// session would be retroactively committed by the next session's
+  /// commit marker. Call once after Replay() during recovery.
+  Status DropUncommittedTail();
+
+  /// Discards the log contents (after a checkpoint made them redundant).
+  Status Truncate();
+
+  /// Bytes currently in the log file.
+  Result<uint64_t> SizeBytes() const;
+
+ private:
+  Wal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_;
+  std::string path_;
+  /// End offset of the last committed batch seen by Replay().
+  uint64_t committed_end_ = 0;
+};
+
+}  // namespace tse::storage
+
+#endif  // TSE_STORAGE_WAL_H_

@@ -1,0 +1,177 @@
+#include "update/transaction.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace tse::update {
+
+using objmodel::Value;
+using storage::LockMode;
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  TxnId id(next_txn_.fetch_add(1));
+  return std::unique_ptr<Transaction>(
+      new Transaction(id, engine_, locks_));
+}
+
+Transaction::~Transaction() {
+  if (active_) {
+    // Abandoned transactions roll back, so partial work never leaks.
+    Status s = Abort();
+    (void)s;
+  }
+}
+
+Status Transaction::LockShared(Oid oid) {
+  return locks_->Acquire(id_, oid.value(), LockMode::kShared);
+}
+
+Status Transaction::LockExclusive(Oid oid) {
+  return locks_->Acquire(id_, oid.value(), LockMode::kExclusive);
+}
+
+void Transaction::Finish() {
+  locks_->ReleaseAll(id_);
+  undo_log_.clear();
+  active_ = false;
+}
+
+Result<Value> Transaction::Read(Oid oid, ClassId cls,
+                                const std::string& name) {
+  if (!active_) return Status::FailedPrecondition("transaction finished");
+  TSE_RETURN_IF_ERROR(LockShared(oid));
+  return engine_->accessor().Read(oid, cls, name);
+}
+
+Result<Oid> Transaction::Create(ClassId cls,
+                                const std::vector<Assignment>& assignments) {
+  if (!active_) return Status::FailedPrecondition("transaction finished");
+  TSE_ASSIGN_OR_RETURN(Oid oid, engine_->Create(cls, assignments));
+  // A fresh object is invisible to others until commit only insofar as
+  // they respect locking; take the exclusive lock immediately.
+  Status lock = LockExclusive(oid);
+  if (!lock.ok()) {
+    Status undo = engine_->Delete(oid);
+    (void)undo;
+    return lock;
+  }
+  undo_log_.push_back(UndoCreate{oid});
+  return oid;
+}
+
+Status Transaction::Set(Oid oid, ClassId cls, const std::string& name,
+                        Value value) {
+  if (!active_) return Status::FailedPrecondition("transaction finished");
+  TSE_RETURN_IF_ERROR(LockExclusive(oid));
+  // Record the pre-image at its storage location.
+  TSE_ASSIGN_OR_RETURN(const schema::PropertyDef* def,
+                       engine_->accessor().schema()->ResolveProperty(cls,
+                                                                     name));
+  if (def->is_attribute()) {
+    TSE_ASSIGN_OR_RETURN(
+        Value old_value,
+        engine_->accessor().store()->GetValue(oid, def->definer, def->id));
+    undo_log_.push_back(UndoSet{oid, def->definer, def->id, old_value});
+  }
+  return engine_->Set(oid, cls, name, std::move(value));
+}
+
+Result<Transaction::ObjectSnapshot> Transaction::Snapshot(Oid oid) const {
+  objmodel::SlicingStore* store = engine_->accessor().store();
+  if (!store->Exists(oid)) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  ObjectSnapshot snap;
+  snap.oid = oid;
+  snap.memberships = store->DirectClasses(oid);
+  for (ClassId cls : store->SliceClasses(oid)) {
+    TSE_ASSIGN_OR_RETURN(Oid impl, store->SliceImplOid(oid, cls));
+    TSE_ASSIGN_OR_RETURN(auto values, store->SliceValues(oid, cls));
+    snap.slices.emplace_back(cls, impl, std::move(values));
+  }
+  return snap;
+}
+
+Status Transaction::Add(Oid oid, ClassId cls) {
+  if (!active_) return Status::FailedPrecondition("transaction finished");
+  TSE_RETURN_IF_ERROR(LockExclusive(oid));
+  UndoMembership undo{oid,
+                      engine_->accessor().store()->DirectClasses(oid)};
+  TSE_RETURN_IF_ERROR(engine_->Add(oid, cls));
+  undo_log_.push_back(std::move(undo));
+  return Status::OK();
+}
+
+Status Transaction::Remove(Oid oid, ClassId cls) {
+  if (!active_) return Status::FailedPrecondition("transaction finished");
+  TSE_RETURN_IF_ERROR(LockExclusive(oid));
+  UndoMembership undo{oid,
+                      engine_->accessor().store()->DirectClasses(oid)};
+  TSE_RETURN_IF_ERROR(engine_->Remove(oid, cls));
+  undo_log_.push_back(std::move(undo));
+  return Status::OK();
+}
+
+Status Transaction::Delete(Oid oid) {
+  if (!active_) return Status::FailedPrecondition("transaction finished");
+  TSE_RETURN_IF_ERROR(LockExclusive(oid));
+  TSE_ASSIGN_OR_RETURN(ObjectSnapshot snap, Snapshot(oid));
+  TSE_RETURN_IF_ERROR(engine_->Delete(oid));
+  undo_log_.push_back(UndoDelete{std::move(snap)});
+  return Status::OK();
+}
+
+Status Transaction::ApplyUndo(const UndoRecord& record) {
+  objmodel::SlicingStore* store = engine_->accessor().store();
+  if (const auto* created = std::get_if<UndoCreate>(&record)) {
+    return store->DestroyObject(created->oid);
+  }
+  if (const auto* set = std::get_if<UndoSet>(&record)) {
+    return store->SetValue(set->oid, set->definer, set->def, set->old_value);
+  }
+  if (const auto* membership = std::get_if<UndoMembership>(&record)) {
+    for (ClassId cls : store->DirectClasses(membership->oid)) {
+      TSE_RETURN_IF_ERROR(store->RemoveMembership(membership->oid, cls));
+    }
+    for (ClassId cls : membership->old_memberships) {
+      TSE_RETURN_IF_ERROR(store->AddMembership(membership->oid, cls));
+    }
+    return Status::OK();
+  }
+  if (const auto* deleted = std::get_if<UndoDelete>(&record)) {
+    const ObjectSnapshot& snap = deleted->snapshot;
+    TSE_RETURN_IF_ERROR(store->CreateObjectWithOid(snap.oid));
+    for (ClassId cls : snap.memberships) {
+      TSE_RETURN_IF_ERROR(store->AddMembership(snap.oid, cls));
+    }
+    for (const auto& [cls, impl, values] : snap.slices) {
+      TSE_RETURN_IF_ERROR(store->AddSliceWithImplOid(snap.oid, cls, impl));
+      for (const auto& [def, value] : values) {
+        TSE_RETURN_IF_ERROR(
+            store->SetValue(snap.oid, cls, PropertyDefId(def), value));
+      }
+    }
+    return Status::OK();
+  }
+  return Status::Internal("unknown undo record");
+}
+
+Status Transaction::Commit() {
+  if (!active_) return Status::FailedPrecondition("transaction finished");
+  Finish();
+  return Status::OK();
+}
+
+Status Transaction::Abort() {
+  if (!active_) return Status::FailedPrecondition("transaction finished");
+  Status status = Status::OK();
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    Status s = ApplyUndo(*it);
+    if (!s.ok() && status.ok()) status = s;  // keep unwinding regardless
+  }
+  Finish();
+  return status;
+}
+
+}  // namespace tse::update

@@ -1,0 +1,189 @@
+#include "update/update_engine.h"
+
+#include "common/str_util.h"
+
+namespace tse::update {
+
+using objmodel::Value;
+using schema::ClassNode;
+using schema::DerivationOp;
+
+Result<std::set<ClassId>> UpdateEngine::PropagationTargets(
+    ClassId cls) const {
+  TSE_ASSIGN_OR_RETURN(const ClassNode* node, schema_->GetClass(cls));
+  switch (node->derivation.op) {
+    case DerivationOp::kBase:
+      return std::set<ClassId>{cls};
+    case DerivationOp::kSelect:
+    case DerivationOp::kHide:
+    case DerivationOp::kRefine:
+    case DerivationOp::kDifference:
+      return PropagationTargets(node->derivation.sources[0]);
+    case DerivationOp::kUnion: {
+      ClassId target = node->union_create_target.valid()
+                           ? node->union_create_target
+                           : node->derivation.sources[0];
+      return PropagationTargets(target);
+    }
+    case DerivationOp::kIntersect: {
+      TSE_ASSIGN_OR_RETURN(std::set<ClassId> a,
+                           PropagationTargets(node->derivation.sources[0]));
+      TSE_ASSIGN_OR_RETURN(std::set<ClassId> b,
+                           PropagationTargets(node->derivation.sources[1]));
+      a.insert(b.begin(), b.end());
+      return a;
+    }
+  }
+  return Status::Internal("unreachable derivation op");
+}
+
+Result<Oid> UpdateEngine::Create(ClassId cls,
+                                 const std::vector<Assignment>& assignments) {
+  TSE_ASSIGN_OR_RETURN(std::set<ClassId> targets, PropagationTargets(cls));
+  Oid oid = store_->CreateObject();
+  Status status = Status::OK();
+  for (ClassId target : targets) {
+    status = store_->AddMembership(oid, target);
+    if (!status.ok()) break;
+  }
+  if (status.ok()) {
+    for (const Assignment& a : assignments) {
+      status = accessor_.Write(oid, cls, a.name, a.value);
+      if (!status.ok()) break;
+    }
+  }
+  if (status.ok() && policy_ == ValueClosurePolicy::kReject) {
+    // Value closure: the created object must actually be a member of
+    // the class it was created through.
+    auto member = extents_.IsMember(oid, cls);
+    if (!member.ok()) {
+      status = member.status();
+    } else if (!member.value()) {
+      status = Status::Rejected(
+          "created object does not satisfy the class predicate "
+          "(value-closure violation)");
+    }
+  }
+  if (!status.ok()) {
+    Status undo = store_->DestroyObject(oid);
+    (void)undo;
+    return status;
+  }
+  return oid;
+}
+
+Status UpdateEngine::Delete(Oid oid) { return store_->DestroyObject(oid); }
+
+Status UpdateEngine::Set(Oid oid, ClassId cls, const std::string& name,
+                         Value value) {
+  TSE_ASSIGN_OR_RETURN(bool member, extents_.IsMember(oid, cls));
+  if (!member) {
+    return Status::FailedPrecondition(
+        StrCat("object ", oid.ToString(), " is not a member of the class"));
+  }
+  if (policy_ == ValueClosurePolicy::kReject) {
+    // Apply, then verify the object did not fall out of the class.
+    TSE_ASSIGN_OR_RETURN(Value old_value, accessor_.Read(oid, cls, name));
+    TSE_RETURN_IF_ERROR(accessor_.Write(oid, cls, name, value));
+    auto still = extents_.IsMember(oid, cls);
+    if (!still.ok()) return still.status();
+    if (!still.value()) {
+      TSE_RETURN_IF_ERROR(accessor_.Write(oid, cls, name, old_value));
+      return Status::Rejected(
+          "set would remove the object from the class it was addressed "
+          "through (value-closure violation)");
+    }
+    return Status::OK();
+  }
+  return accessor_.Write(oid, cls, name, std::move(value));
+}
+
+Status UpdateEngine::Add(Oid oid, ClassId cls) {
+  if (!store_->Exists(oid)) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  TSE_ASSIGN_OR_RETURN(std::set<ClassId> targets, PropagationTargets(cls));
+  for (ClassId target : targets) {
+    TSE_RETURN_IF_ERROR(store_->AddMembership(oid, target));
+  }
+  if (policy_ == ValueClosurePolicy::kReject) {
+    auto member = extents_.IsMember(oid, cls);
+    // Both a negative verdict and a failed check (e.g. the predicate
+    // errored on a Null attribute) roll the memberships back — the add
+    // must be all-or-nothing.
+    if (!member.ok() || !member.value()) {
+      for (ClassId target : targets) {
+        Status undo = store_->RemoveMembership(oid, target);
+        (void)undo;
+      }
+      if (!member.ok()) return member.status();
+      return Status::Rejected(
+          "added object does not satisfy the class predicate "
+          "(value-closure violation)");
+    }
+  }
+  return Status::OK();
+}
+
+Status UpdateEngine::Remove(Oid oid, ClassId cls) {
+  if (!store_->Exists(oid)) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  TSE_ASSIGN_OR_RETURN(std::set<ClassId> targets, PropagationTargets(cls));
+  // The object loses the type: drop every direct membership at or below
+  // any propagation target (an object cannot stay a TA after losing
+  // Student).
+  bool removed_any = false;
+  for (ClassId direct : store_->DirectClasses(oid)) {
+    bool below = false;
+    for (ClassId target : targets) {
+      if (schema_->ExtentSubsumedBy(direct, target)) {
+        below = true;
+        break;
+      }
+    }
+    if (below) {
+      TSE_RETURN_IF_ERROR(store_->RemoveMembership(oid, direct));
+      removed_any = true;
+    }
+  }
+  if (!removed_any) {
+    return Status::NotFound(
+        StrCat("object ", oid.ToString(), " is not a member of the class"));
+  }
+  return Status::OK();
+}
+
+std::set<ClassId> UpdateEngine::MarkUpdatable(
+    const schema::SchemaGraph& schema) {
+  std::set<ClassId> marked;
+  // Roots of the derivation DAG: base classes.
+  for (ClassId cls : schema.AllClasses()) {
+    auto node = schema.GetClass(cls);
+    if (node.ok() && node.value()->is_base()) marked.insert(cls);
+  }
+  // Fixpoint: a virtual class is updatable once all sources are.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ClassId cls : schema.AllClasses()) {
+      if (marked.count(cls)) continue;
+      auto node = schema.GetClass(cls);
+      if (!node.ok()) continue;
+      bool all_sources_marked = true;
+      for (ClassId src : node.value()->derivation.sources) {
+        if (!marked.count(src)) {
+          all_sources_marked = false;
+          break;
+        }
+      }
+      if (all_sources_marked) {
+        marked.insert(cls);
+        changed = true;
+      }
+    }
+  }
+  return marked;
+}
+
+}  // namespace tse::update

@@ -1,0 +1,98 @@
+#ifndef TSE_UPDATE_UPDATE_ENGINE_H_
+#define TSE_UPDATE_UPDATE_ENGINE_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/extent_eval.h"
+#include "algebra/object_accessor.h"
+#include "common/result.h"
+#include "objmodel/slicing_store.h"
+#include "schema/schema_graph.h"
+
+namespace tse::update {
+
+/// How to handle the value-closure problem (Section 3.4): creating or
+/// mutating an object through a select class such that the object no
+/// longer satisfies the selection predicate.
+enum class ValueClosurePolicy : uint8_t {
+  /// Reject the update (the object would silently fall out of the class
+  /// it was addressed through).
+  kReject,
+  /// Allow it: the update lands on the source class, and the object
+  /// simply is not (or no longer) visible in the select class.
+  kAllow,
+};
+
+/// One attribute assignment in a create/set statement.
+struct Assignment {
+  std::string name;
+  objmodel::Value value;
+};
+
+/// The generic update operators of Section 3.3 — create, delete, set,
+/// add, remove — applicable to base and virtual classes alike, with the
+/// propagation rules of Section 3.4:
+///
+///   select/difference  -> first source (value-closure per policy)
+///   hide               -> source (hidden attrs not assignable)
+///   refine             -> source; refining attrs write to the refine
+///                         class's own implementation objects
+///   union              -> the designated create-target source
+///   intersect          -> both sources
+///
+/// Propagation recurses until it reaches origin base classes, where
+/// direct memberships live (Theorem 1's updatability construction).
+class UpdateEngine {
+ public:
+  UpdateEngine(schema::SchemaGraph* schema, objmodel::SlicingStore* store,
+               ValueClosurePolicy policy = ValueClosurePolicy::kReject)
+      : schema_(schema),
+        store_(store),
+        policy_(policy),
+        accessor_(schema, store),
+        extents_(schema, store) {}
+
+  /// `(<class> create [assignments])`: creates an object as a member of
+  /// `cls`, assigns the listed properties (resolved in `cls` context),
+  /// and propagates membership to the origin base classes.
+  Result<Oid> Create(ClassId cls, const std::vector<Assignment>& assignments);
+
+  /// `(<obj> delete)`: destroys the object; it vanishes from every
+  /// class of every view.
+  Status Delete(Oid oid);
+
+  /// `(<obj> set [name = value])` in the context of `cls`.
+  Status Set(Oid oid, ClassId cls, const std::string& name,
+             objmodel::Value value);
+
+  /// `(<obj> add <class>)`: the object acquires the type of `cls`.
+  Status Add(Oid oid, ClassId cls);
+
+  /// `(<obj> remove <class>)`: the object loses the type of `cls`.
+  Status Remove(Oid oid, ClassId cls);
+
+  /// Theorem 1's marking algorithm: returns every class reachable as
+  /// updatable (base classes first, then virtual classes whose sources
+  /// are all marked). A complete schema returns all classes.
+  static std::set<ClassId> MarkUpdatable(const schema::SchemaGraph& schema);
+
+  algebra::ObjectAccessor& accessor() { return accessor_; }
+  algebra::ExtentEvaluator& extents() { return extents_; }
+
+ private:
+  /// The base classes a create/add through `cls` lands on.
+  Result<std::set<ClassId>> PropagationTargets(ClassId cls) const;
+
+  schema::SchemaGraph* schema_;
+  objmodel::SlicingStore* store_;
+  ValueClosurePolicy policy_;
+  algebra::ObjectAccessor accessor_;
+  algebra::ExtentEvaluator extents_;
+};
+
+}  // namespace tse::update
+
+#endif  // TSE_UPDATE_UPDATE_ENGINE_H_

@@ -1,0 +1,189 @@
+#include "view/view_manager.h"
+
+#include <deque>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace tse::view {
+
+Result<ViewId> ViewManager::CreateVersion(
+    const std::string& logical_name,
+    const std::vector<ViewClassSpec>& classes) {
+  if (classes.empty()) {
+    return Status::InvalidArgument("a view needs at least one class");
+  }
+  int version = static_cast<int>(history_[logical_name].size()) + 1;
+  ViewId id = view_alloc_.Allocate();
+  auto view = std::make_unique<ViewSchema>(id, logical_name, version);
+
+  std::set<ClassId> selected;
+  std::set<std::string> names_seen;
+  for (const ViewClassSpec& spec : classes) {
+    TSE_ASSIGN_OR_RETURN(const schema::ClassNode* node,
+                         schema_->GetClass(spec.cls));
+    if (!selected.insert(spec.cls).second) {
+      return Status::InvalidArgument(
+          StrCat("class ", node->name, " selected twice"));
+    }
+    std::string display =
+        spec.display_name.empty() ? node->name : spec.display_name;
+    if (!names_seen.insert(display).second) {
+      return Status::InvalidArgument(
+          StrCat("duplicate display name '", display, "' in view"));
+    }
+    view->AddClass(spec.cls, display);
+  }
+
+  // View schema generation: a -> b direct iff a ⊑ b with no selected
+  // class strictly between.
+  for (ClassId a : selected) {
+    for (ClassId b : selected) {
+      if (a == b) continue;
+      if (!schema_->IsaSubsumedBy(a, b)) continue;
+      if (schema_->IsaSubsumedBy(b, a)) {
+        // Extensionally equivalent classes selected together: order by
+        // id for determinism (lower id is treated as the upper class).
+        if (b < a) continue;
+      }
+      bool direct = true;
+      for (ClassId c : selected) {
+        if (c == a || c == b) continue;
+        if (schema_->IsaSubsumedBy(a, c) && schema_->IsaSubsumedBy(c, b) &&
+            !(schema_->IsaSubsumedBy(c, a)) &&
+            !(schema_->IsaSubsumedBy(b, c))) {
+          direct = false;
+          break;
+        }
+      }
+      if (direct) view->AddEdge(a, b);
+    }
+  }
+
+  const ViewSchema* raw = view.get();
+  (void)raw;
+  views_.emplace(id.value(), std::move(view));
+  history_[logical_name].push_back(id);
+  return id;
+}
+
+Result<std::vector<ClassId>> ViewManager::TypeClosureMissing(
+    const std::vector<ViewClassSpec>& classes) const {
+  std::set<ClassId> selected;
+  for (const ViewClassSpec& spec : classes) selected.insert(spec.cls);
+
+  std::vector<ClassId> missing;
+  std::set<ClassId> missing_set;
+  std::deque<ClassId> queue(selected.begin(), selected.end());
+  std::set<ClassId> processed;
+  while (!queue.empty()) {
+    ClassId cls = queue.front();
+    queue.pop_front();
+    if (!processed.insert(cls).second) continue;
+    TSE_ASSIGN_OR_RETURN(schema::TypeSet type, schema_->EffectiveType(cls));
+    for (const auto& [name, defs] : type.bindings()) {
+      for (PropertyDefId def_id : defs) {
+        TSE_ASSIGN_OR_RETURN(const schema::PropertyDef* def,
+                             schema_->GetProperty(def_id));
+        if (def->value_type != objmodel::ValueType::kRef ||
+            !def->ref_target.valid()) {
+          continue;
+        }
+        ClassId target = def->ref_target;
+        if (selected.count(target) || missing_set.count(target)) continue;
+        // A selected class that provably represents the same object set
+        // satisfies the reference (e.g. a primed substitute).
+        bool substituted = false;
+        for (ClassId sel : selected) {
+          if (schema_->ExtentEquivalent(sel, target)) {
+            substituted = true;
+            break;
+          }
+        }
+        if (substituted) continue;
+        missing.push_back(target);
+        missing_set.insert(target);
+        queue.push_back(target);  // closure is transitive
+      }
+    }
+  }
+  return missing;
+}
+
+Result<ViewId> ViewManager::CreateVersionClosed(
+    const std::string& logical_name,
+    const std::vector<ViewClassSpec>& classes) {
+  TSE_ASSIGN_OR_RETURN(std::vector<ClassId> missing,
+                       TypeClosureMissing(classes));
+  std::vector<ViewClassSpec> complete = classes;
+  for (ClassId cls : missing) {
+    complete.push_back(ViewClassSpec{cls, ""});
+  }
+  return CreateVersion(logical_name, complete);
+}
+
+Result<const ViewSchema*> ViewManager::GetView(ViewId id) const {
+  auto it = views_.find(id.value());
+  if (it == views_.end()) {
+    return Status::NotFound(StrCat("view ", id.ToString()));
+  }
+  return it->second.get();
+}
+
+Result<const ViewSchema*> ViewManager::Current(
+    const std::string& logical_name) const {
+  auto it = history_.find(logical_name);
+  if (it == history_.end() || it->second.empty()) {
+    return Status::NotFound(StrCat("no view named ", logical_name));
+  }
+  return GetView(it->second.back());
+}
+
+std::vector<ViewId> ViewManager::History(
+    const std::string& logical_name) const {
+  auto it = history_.find(logical_name);
+  if (it == history_.end()) return {};
+  return it->second;
+}
+
+std::vector<ViewId> ViewManager::AllViews() const {
+  std::vector<ViewId> out;
+  out.reserve(views_.size());
+  for (const auto& [raw, _] : views_) out.push_back(ViewId(raw));
+  return out;
+}
+
+Status ViewManager::RestoreVersion(
+    ViewId id, const std::string& logical_name, int version,
+    const std::vector<std::pair<ClassId, std::string>>& classes,
+    const std::vector<std::pair<ClassId, ClassId>>& edges) {
+  if (!id.valid() || views_.count(id.value())) {
+    return Status::InvalidArgument(
+        StrCat("cannot restore view ", id.ToString()));
+  }
+  auto view = std::make_unique<ViewSchema>(id, logical_name, version);
+  for (const auto& [cls, display] : classes) {
+    TSE_RETURN_IF_ERROR(schema_->GetClass(cls).status());
+    view->AddClass(cls, display);
+  }
+  for (const auto& [sub, sup] : edges) {
+    if (!view->Contains(sub) || !view->Contains(sup)) {
+      return Status::Corruption("view edge references unselected class");
+    }
+    view->AddEdge(sub, sup);
+  }
+  view_alloc_.BumpPast(id);
+  views_.emplace(id.value(), std::move(view));
+  history_[logical_name].push_back(id);
+  return Status::OK();
+}
+
+std::vector<std::string> ViewManager::ViewNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, ids] : history_) {
+    if (!ids.empty()) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace tse::view

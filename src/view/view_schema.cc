@@ -1,0 +1,80 @@
+#include "view/view_schema.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace tse::view {
+
+void ViewSchema::AddClass(ClassId cls, const std::string& display_name) {
+  classes_.insert(cls);
+  display_names_[cls] = display_name;
+  by_display_name_[display_name] = cls;
+}
+
+void ViewSchema::AddEdge(ClassId sub, ClassId sup) {
+  supers_[sub].insert(sup);
+  subs_[sup].insert(sub);
+}
+
+Result<std::string> ViewSchema::DisplayName(ClassId cls) const {
+  auto it = display_names_.find(cls);
+  if (it == display_names_.end()) {
+    return Status::NotFound(
+        StrCat("class ", cls.ToString(), " not in view ", logical_name_));
+  }
+  return it->second;
+}
+
+Result<ClassId> ViewSchema::Resolve(const std::string& display_name) const {
+  auto it = by_display_name_.find(display_name);
+  if (it == by_display_name_.end()) {
+    return Status::NotFound(StrCat("no class named '", display_name,
+                                   "' in view ", logical_name_));
+  }
+  return it->second;
+}
+
+std::vector<ClassId> ViewSchema::DirectSupers(ClassId cls) const {
+  auto it = supers_.find(cls);
+  if (it == supers_.end()) return {};
+  return std::vector<ClassId>(it->second.begin(), it->second.end());
+}
+
+std::vector<ClassId> ViewSchema::DirectSubs(ClassId cls) const {
+  auto it = subs_.find(cls);
+  if (it == subs_.end()) return {};
+  return std::vector<ClassId>(it->second.begin(), it->second.end());
+}
+
+std::set<ClassId> ViewSchema::TransitiveSupers(ClassId cls) const {
+  std::set<ClassId> out;
+  std::vector<ClassId> stack{cls};
+  while (!stack.empty()) {
+    ClassId cur = stack.back();
+    stack.pop_back();
+    if (!out.insert(cur).second) continue;
+    for (ClassId sup : DirectSupers(cur)) stack.push_back(sup);
+  }
+  return out;
+}
+
+std::string ViewSchema::ToString() const {
+  std::vector<std::string> lines;
+  for (ClassId cls : classes_) {
+    std::string name = display_names_.at(cls);
+    std::vector<ClassId> ups = DirectSupers(cls);
+    if (ups.empty()) {
+      lines.push_back(name);
+      continue;
+    }
+    std::vector<std::string> up_names;
+    for (ClassId sup : ups) up_names.push_back(display_names_.at(sup));
+    std::sort(up_names.begin(), up_names.end());
+    lines.push_back(StrCat(name, " -> ", Join(up_names, ", ")));
+  }
+  std::sort(lines.begin(), lines.end());
+  return Join(lines, "\n");
+}
+
+}  // namespace tse::view

@@ -1,0 +1,67 @@
+#ifndef TSE_VIEW_VIEW_SCHEMA_H_
+#define TSE_VIEW_VIEW_SCHEMA_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+
+namespace tse::view {
+
+/// One version of a user's view schema: a subset of global-schema
+/// classes, per-view display names (the TSE translator renames primed
+/// classes back to their original names within the view context), and
+/// the generalization hierarchy generated over the selected classes.
+class ViewSchema {
+ public:
+  ViewSchema(ViewId id, std::string logical_name, int version)
+      : id_(id), logical_name_(std::move(logical_name)), version_(version) {}
+
+  ViewId id() const { return id_; }
+  const std::string& logical_name() const { return logical_name_; }
+  int version() const { return version_; }
+
+  const std::set<ClassId>& classes() const { return classes_; }
+  bool Contains(ClassId cls) const { return classes_.count(cls) != 0; }
+  size_t size() const { return classes_.size(); }
+
+  /// Display name of `cls` inside this view (rename if present,
+  /// otherwise the global name recorded at generation time).
+  Result<std::string> DisplayName(ClassId cls) const;
+
+  /// Resolves a display name to the class it denotes in this view.
+  Result<ClassId> Resolve(const std::string& display_name) const;
+
+  /// Direct is-a edges *within the view* (generated, transitively
+  /// reduced).
+  std::vector<ClassId> DirectSupers(ClassId cls) const;
+  std::vector<ClassId> DirectSubs(ClassId cls) const;
+
+  /// Transitive closure within the view, including `cls`.
+  std::set<ClassId> TransitiveSupers(ClassId cls) const;
+
+  /// Deterministic rendering: one "Sub -> Super" line per edge plus
+  /// isolated classes, sorted by display name.
+  std::string ToString() const;
+
+  // Mutators used by the ViewManager during generation.
+  void AddClass(ClassId cls, const std::string& display_name);
+  void AddEdge(ClassId sub, ClassId sup);
+
+ private:
+  ViewId id_;
+  std::string logical_name_;
+  int version_;
+  std::set<ClassId> classes_;
+  std::map<ClassId, std::string> display_names_;
+  std::map<std::string, ClassId> by_display_name_;
+  std::map<ClassId, std::set<ClassId>> supers_;
+  std::map<ClassId, std::set<ClassId>> subs_;
+};
+
+}  // namespace tse::view
+
+#endif  // TSE_VIEW_VIEW_SCHEMA_H_

@@ -1,0 +1,177 @@
+#include "workload/generators.h"
+
+#include <set>
+
+#include "common/str_util.h"
+
+namespace tse::workload {
+
+using evolution::AddAttribute;
+using evolution::AddClass;
+using evolution::AddEdge;
+using evolution::AddMethod;
+using evolution::DeleteAttribute;
+using evolution::DeleteEdge;
+using evolution::DeleteMethod;
+using evolution::SchemaChange;
+using objmodel::MethodExpr;
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+Workload GenerateWorkload(Rng* rng, const SchemaGenOptions& options) {
+  Workload out;
+  int attr_counter = 0;
+  // ancestors[i] = transitive ancestor indices of class i; used to keep
+  // the declared edge set transitively reduced, so a view's generated
+  // hierarchy (always reduced) coincides with the declared one — the
+  // paper's S'' = S' comparisons presuppose that.
+  std::vector<std::set<size_t>> ancestors;
+  for (size_t i = 0; i < options.num_classes; ++i) {
+    ClassDef def;
+    def.name = StrCat("C", i);
+    std::set<size_t> my_ancestors;
+    // Connected DAG: every class after the first picks supers among the
+    // earlier ones (keeps the graph acyclic by construction).
+    if (i > 0) {
+      size_t fan_in = 1 + rng->Uniform(options.max_supers);
+      std::set<size_t> picked;
+      for (size_t k = 0; k < fan_in; ++k) {
+        picked.insert(rng->Uniform(i));
+      }
+      // Drop redundant candidates (ancestors of another candidate).
+      std::set<size_t> reduced;
+      for (size_t p : picked) {
+        bool redundant = false;
+        for (size_t q : picked) {
+          if (q != p && ancestors[q].count(p)) {
+            redundant = true;
+            break;
+          }
+        }
+        if (!redundant) reduced.insert(p);
+      }
+      for (size_t p : reduced) {
+        def.supers.push_back(StrCat("C", p));
+        my_ancestors.insert(p);
+        my_ancestors.insert(ancestors[p].begin(), ancestors[p].end());
+      }
+    }
+    ancestors.push_back(std::move(my_ancestors));
+    size_t num_props = rng->Uniform(options.max_props + 1);
+    for (size_t p = 0; p < num_props; ++p) {
+      def.props.push_back(PropertySpec::Attribute(
+          StrCat("a", attr_counter++), ValueType::kInt));
+    }
+    out.classes.push_back(std::move(def));
+  }
+  for (size_t i = 0; i < options.num_objects; ++i) {
+    ObjectDef obj;
+    size_t cls_index = rng->Uniform(options.num_classes);
+    obj.cls = StrCat("C", cls_index);
+    // Assign a couple of this class's own attributes when it has any.
+    const ClassDef& def = out.classes[cls_index];
+    for (const PropertySpec& spec : def.props) {
+      if (rng->Percent(60)) {
+        obj.int_values.emplace_back(spec.name,
+                                    static_cast<int64_t>(rng->Uniform(1000)));
+      }
+    }
+    out.objects.push_back(std::move(obj));
+  }
+  return out;
+}
+
+std::vector<SchemaChange> GenerateScript(
+    Rng* rng, const std::vector<std::string>& class_names,
+    const ScriptGenOptions& options) {
+  std::vector<SchemaChange> script;
+  int fresh_counter = 0;
+  std::vector<std::string> names = class_names;
+  auto pick = [&]() -> const std::string& {
+    return names[rng->Uniform(names.size())];
+  };
+  std::vector<int> ops;
+  if (options.add_attribute) ops.push_back(0);
+  if (options.delete_attribute) ops.push_back(1);
+  if (options.add_method) ops.push_back(2);
+  if (options.delete_method) ops.push_back(3);
+  if (options.add_edge) ops.push_back(4);
+  if (options.delete_edge) ops.push_back(5);
+  if (options.add_class) ops.push_back(6);
+  if (options.delete_class) ops.push_back(7);
+  if (ops.empty() || names.empty()) return script;
+
+  for (size_t i = 0; i < options.num_changes; ++i) {
+    switch (ops[rng->Uniform(ops.size())]) {
+      case 0: {
+        AddAttribute c;
+        c.class_name = pick();
+        c.spec = PropertySpec::Attribute(StrCat("x", fresh_counter++),
+                                         ValueType::kInt);
+        script.push_back(c);
+        break;
+      }
+      case 1: {
+        DeleteAttribute c;
+        c.class_name = pick();
+        // Existing attr names follow the generator's aN / xN patterns;
+        // propose a plausible one (appliers skip rejects).
+        c.attr_name = rng->Percent(50) ? StrCat("a", rng->Uniform(30))
+                                       : StrCat("x", rng->Uniform(8));
+        script.push_back(c);
+        break;
+      }
+      case 2: {
+        AddMethod c;
+        c.class_name = pick();
+        c.spec = PropertySpec::Method(
+            StrCat("m", fresh_counter++),
+            MethodExpr::Lit(Value::Int(static_cast<int64_t>(
+                rng->Uniform(100)))),
+            ValueType::kInt);
+        script.push_back(c);
+        break;
+      }
+      case 3: {
+        DeleteMethod c;
+        c.class_name = pick();
+        c.method_name = StrCat("m", rng->Uniform(8));
+        script.push_back(c);
+        break;
+      }
+      case 4: {
+        AddEdge c;
+        c.super_name = pick();
+        c.sub_name = pick();
+        script.push_back(c);
+        break;
+      }
+      case 5: {
+        DeleteEdge c;
+        c.super_name = pick();
+        c.sub_name = pick();
+        script.push_back(c);
+        break;
+      }
+      case 6: {
+        AddClass c;
+        c.new_class_name = StrCat("N", fresh_counter++);
+        c.connected_to = pick();
+        script.push_back(c);
+        // Later changes may target the new class.
+        names.push_back(c.new_class_name);
+        break;
+      }
+      case 7: {
+        evolution::DeleteClass c;
+        c.class_name = pick();
+        script.push_back(c);
+        break;
+      }
+    }
+  }
+  return script;
+}
+
+}  // namespace tse::workload

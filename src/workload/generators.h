@@ -1,0 +1,70 @@
+#ifndef TSE_WORKLOAD_GENERATORS_H_
+#define TSE_WORKLOAD_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "evolution/schema_change.h"
+#include "schema/property.h"
+
+namespace tse::workload {
+
+/// A generated base-class definition (names only; both the TSE stack
+/// and the DirectEngine oracle can be built from it).
+struct ClassDef {
+  std::string name;
+  std::vector<std::string> supers;
+  std::vector<schema::PropertySpec> props;
+};
+
+/// A generated object: which class it is created in and which of its
+/// attributes get values.
+struct ObjectDef {
+  std::string cls;
+  std::vector<std::pair<std::string, int64_t>> int_values;
+};
+
+/// Parameters for random schema generation.
+struct SchemaGenOptions {
+  size_t num_classes = 10;
+  size_t max_supers = 2;     ///< multiple inheritance fan-in
+  size_t max_props = 3;      ///< locally-introduced attributes per class
+  size_t num_objects = 50;
+};
+
+/// A complete generated workload: base schema + population.
+struct Workload {
+  std::vector<ClassDef> classes;
+  std::vector<ObjectDef> objects;
+};
+
+/// Generates a random connected is-a DAG of base classes with unique
+/// class and attribute names, plus a population. Deterministic in the
+/// RNG seed.
+Workload GenerateWorkload(Rng* rng, const SchemaGenOptions& options);
+
+/// Parameters for random change-script generation.
+struct ScriptGenOptions {
+  size_t num_changes = 8;
+  /// Operator mix switches (all on by default).
+  bool add_attribute = true;
+  bool delete_attribute = true;
+  bool add_method = true;
+  bool delete_method = true;
+  bool add_edge = true;
+  bool delete_edge = true;
+  bool add_class = true;
+  bool delete_class = false;  ///< removeFromView has no direct twin
+};
+
+/// Generates a script of schema changes expressed against *display
+/// names*. The generator only proposes changes; callers apply them to
+/// TSE and the oracle and skip ones either side rejects.
+std::vector<evolution::SchemaChange> GenerateScript(
+    Rng* rng, const std::vector<std::string>& class_names,
+    const ScriptGenOptions& options);
+
+}  // namespace tse::workload
+
+#endif  // TSE_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "baseline/direct_engine.h"
+#include "baseline/versioning_sims.h"
+
+namespace tse::baseline {
+namespace {
+
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+// --- DirectEngine ------------------------------------------------------------
+
+class DirectEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_
+                    .AddClass("Person", {},
+                              {PropertySpec::Attribute("name",
+                                                       ValueType::kString)})
+                    .ok());
+    ASSERT_TRUE(engine_
+                    .AddClass("Student", {"Person"},
+                              {PropertySpec::Attribute("gpa",
+                                                       ValueType::kReal)})
+                    .ok());
+    ASSERT_TRUE(engine_.AddClass("TA", {"Student"}, {}).ok());
+  }
+
+  DirectEngine engine_;
+};
+
+TEST_F(DirectEngineTest, TypeNamesInherit) {
+  auto names = engine_.TypeNames("TA").value();
+  EXPECT_EQ(names, (std::set<std::string>{"name", "gpa"}));
+}
+
+TEST_F(DirectEngineTest, ExtentsRollUp) {
+  Oid p = engine_.CreateObject("Person").value();
+  Oid t = engine_.CreateObject("TA").value();
+  EXPECT_EQ(engine_.Extent("Person").value().size(), 2u);
+  EXPECT_EQ(engine_.Extent("Student").value(), std::set<Oid>{t});
+  (void)p;
+}
+
+TEST_F(DirectEngineTest, AddAttributeMigratesInstances) {
+  for (int i = 0; i < 10; ++i) (void)engine_.CreateObject("Student");
+  size_t before = engine_.migrated_objects();
+  ASSERT_TRUE(engine_
+                  .AddAttribute("Student", PropertySpec::Attribute(
+                                               "register", ValueType::kBool))
+                  .ok());
+  // Direct modification touched every member — TSE's virtual change
+  // touches none (the subschema-evolution cost argument).
+  EXPECT_EQ(engine_.migrated_objects() - before, 10u);
+  Oid fresh = engine_.CreateObject("TA").value();
+  EXPECT_TRUE(engine_.SetValue(fresh, "register", Value::Bool(true)).ok());
+}
+
+TEST_F(DirectEngineTest, DeleteAttributeDestroysData) {
+  Oid s = engine_.CreateObject("Student").value();
+  ASSERT_TRUE(engine_.SetValue(s, "gpa", Value::Real(3.5)).ok());
+  ASSERT_TRUE(engine_.DeleteAttribute("Student", "gpa").ok());
+  // In-place deletion loses the data — unlike TSE's hide.
+  EXPECT_TRUE(engine_.GetValue(s, "gpa").status().IsNotFound());
+  // Only local attributes deletable.
+  EXPECT_TRUE(engine_.DeleteAttribute("TA", "name").IsRejected());
+}
+
+TEST_F(DirectEngineTest, EdgeOperations) {
+  ASSERT_TRUE(engine_
+                  .AddClass("Staff", {"Person"},
+                            {PropertySpec::Attribute("salary",
+                                                     ValueType::kInt)})
+                  .ok());
+  ASSERT_TRUE(engine_.AddEdge("Staff", "TA").ok());
+  EXPECT_TRUE(engine_.TypeNames("TA").value().count("salary"));
+  EXPECT_TRUE(engine_.AddEdge("TA", "Person").IsRejected());  // cycle
+  ASSERT_TRUE(engine_.DeleteEdge("Staff", "TA").ok());
+  EXPECT_FALSE(engine_.TypeNames("TA").value().count("salary"));
+  // Deleting the last edge reconnects to OBJECT.
+  ASSERT_TRUE(engine_.DeleteEdge("Person", "Student").ok());
+  EXPECT_TRUE(engine_.Reaches("Student", "OBJECT").value());
+  EXPECT_FALSE(engine_.TypeNames("Student").value().count("name"));
+}
+
+TEST_F(DirectEngineTest, DeleteClassOrionReconnectsSubs) {
+  Oid s = engine_.CreateObject("Student").value();
+  Oid t = engine_.CreateObject("TA").value();
+  ASSERT_TRUE(engine_.DeleteClassOrion("Student").ok());
+  EXPECT_FALSE(engine_.HasClass("Student"));
+  EXPECT_TRUE(engine_.Reaches("TA", "Person").value());
+  EXPECT_FALSE(engine_.TypeNames("TA").value().count("gpa"));
+  // Student's direct member is gone from Person's extent; TA's remains.
+  auto extent = engine_.Extent("Person").value();
+  EXPECT_FALSE(extent.count(s));
+  EXPECT_TRUE(extent.count(t));
+}
+
+// --- Orion whole-schema versioning --------------------------------------------
+
+VersionedSchema UniSchema() {
+  VersionedSchema s;
+  s.classes["Student"] = {"name", "major"};
+  return s;
+}
+
+TEST(OrionVersioningTest, CrossVersionAccessCopiesInstances) {
+  OrionVersioning orion(UniSchema());
+  Oid old_obj = orion.CreateObject(1, "Student").value();
+  int v2 = orion.DeriveVersion([](VersionedSchema* s) {
+    s->classes["Student"].insert("register");
+  });
+  ASSERT_EQ(v2, 2);
+  // New program reads the old object: a conversion copy happens.
+  EXPECT_TRUE(orion.Read(v2, old_obj, "register").ok());
+  EXPECT_EQ(orion.stats().instances_copied, 1u);
+  // After conversion the OLD program can no longer touch it — objects
+  // are not truly shared across versions (Table 2 "sharing = no").
+  EXPECT_TRUE(orion.Read(1, old_obj, "name").status().code() ==
+              StatusCode::kFailedPrecondition);
+  EXPECT_GE(orion.stats().accesses_refused, 1u);
+}
+
+TEST(OrionVersioningTest, OldVersionsFrozenForUpdates) {
+  OrionVersioning orion(UniSchema());
+  Oid obj = orion.CreateObject(1, "Student").value();
+  int v2 = orion.DeriveVersion([](VersionedSchema* s) {
+    s->classes["Student"].insert("register");
+  });
+  ASSERT_TRUE(orion.Write(v2, obj, "register", Value::Bool(true)).ok());
+  EXPECT_TRUE(orion.Write(1, obj, "name", Value::Str("x"))
+                  .code() == StatusCode::kFailedPrecondition);
+}
+
+TEST(OrionVersioningTest, NoBackwardDeletePropagation) {
+  OrionVersioning orion(UniSchema());
+  Oid obj = orion.CreateObject(1, "Student").value();
+  int v2 = orion.DeriveVersion([](VersionedSchema*) {});
+  ASSERT_TRUE(orion.Delete(v2, obj).ok());
+  // Deleted under v2 yet still visible under v1 — the inconsistency the
+  // paper calls out (Section 8).
+  EXPECT_FALSE(orion.Visible(v2, obj));
+  EXPECT_TRUE(orion.Visible(1, obj));
+}
+
+// --- Encore type versioning --------------------------------------------------
+
+TEST(EncoreVersioningTest, HandlersCoverMissingAttributes) {
+  EncoreVersioning encore(UniSchema());
+  Oid old_obj = encore.CreateObject("Student", 1).value();
+  int v2 = encore.DeriveClassVersion("Student", {"register"});
+  // Without a handler the access fails.
+  EXPECT_FALSE(encore.Read(old_obj, v2, "register").ok());
+  EXPECT_EQ(encore.stats().accesses_refused, 1u);
+  // The user must write a handler (counted as effort).
+  encore.RegisterHandler("Student", "register", Value::Bool(false));
+  EXPECT_EQ(encore.Read(old_obj, v2, "register").value(),
+            Value::Bool(false));
+  EXPECT_EQ(encore.stats().handlers_invoked, 1u);
+  EXPECT_EQ(encore.stats().user_artifacts_required, 1u);
+  // Old programs reading old objects are unaffected.
+  EXPECT_TRUE(encore.Read(old_obj, 1, "name").ok());
+}
+
+// --- CLOSQL class versioning ----------------------------------------------------
+
+TEST(ClosqlVersioningTest, ConversionRunsOnEveryAccess) {
+  ClosqlVersioning closql(UniSchema());
+  Oid old_obj = closql.CreateObject("Student", 1).value();
+  int v2 = closql.DeriveClassVersion("Student", {"register"},
+                                     {{"register", Value::Bool(false)}});
+  EXPECT_EQ(closql.stats().user_artifacts_required, 1u);
+  // Three reads -> three conversion runs (instances never migrate).
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(closql.Read(old_obj, v2, "register").value(),
+              Value::Bool(false));
+  }
+  EXPECT_EQ(closql.stats().conversions_run, 3u);
+  // Reading a never-provided attribute fails.
+  int v3 = closql.DeriveClassVersion("Student", {"year"}, {});
+  EXPECT_FALSE(closql.Read(old_obj, v3, "year").ok());
+}
+
+// --- Goose class-version composition ----------------------------------------------
+
+TEST(GooseVersioningTest, CompositionNeedsTrackingAndChecks) {
+  VersionedSchema s;
+  s.classes["Person"] = {"name"};
+  s.classes["Student"] = {"name", "major"};
+  GooseVersioning goose(s);
+  int sv2 = goose.DeriveClassVersion("Student", {"name", "major", "register"});
+  auto ok = goose.ComposeSchema({{"Person", 1}, {"Student", sv2}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(goose.schema_count(), 1u);
+  EXPECT_EQ(goose.stats().consistency_checks, 1u);
+  EXPECT_EQ(goose.stats().user_artifacts_required, 2u);  // tracked entries
+  EXPECT_FALSE(goose.ComposeSchema({{"Student", 99}}).ok());
+  EXPECT_FALSE(goose.ComposeSchema({{"Alien", 1}}).ok());
+}
+
+// --- Rose lazy conversion -----------------------------------------------------------
+
+TEST(RoseVersioningTest, LazyUpgradeOnFirstTouch) {
+  RoseVersioning rose(UniSchema());
+  Oid obj = rose.CreateObject("Student").value();
+  rose.DeriveVersion([](VersionedSchema* s) {
+    s->classes["Student"].insert("register");
+  });
+  EXPECT_EQ(rose.stats().instances_copied, 0u);
+  // First read upgrades; second is free.
+  EXPECT_TRUE(rose.Read(obj, "register").ok());
+  EXPECT_EQ(rose.stats().instances_copied, 1u);
+  EXPECT_TRUE(rose.Read(obj, "name").ok());
+  EXPECT_EQ(rose.stats().instances_copied, 1u);
+}
+
+}  // namespace
+}  // namespace tse::baseline

@@ -1,0 +1,246 @@
+#include "classifier/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/processor.h"
+#include "algebra/query.h"
+#include "objmodel/method.h"
+
+namespace tse::classifier {
+namespace {
+
+using algebra::AlgebraProcessor;
+using algebra::Query;
+using objmodel::MethodExpr;
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+using schema::SchemaGraph;
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    person_ = graph_
+                  .AddBaseClass(
+                      "Person", {},
+                      {PropertySpec::Attribute("name", ValueType::kString),
+                       PropertySpec::Attribute("age", ValueType::kInt)})
+                  .value();
+    student_ = graph_
+                   .AddBaseClass(
+                       "Student", {person_},
+                       {PropertySpec::Attribute("gpa", ValueType::kReal)})
+                   .value();
+    ta_ = graph_.AddBaseClass("TA", {student_}, {}).value();
+  }
+
+  std::vector<ClassId> Supers(ClassId cls) {
+    return graph_.DirectSupers(cls).value();
+  }
+  std::vector<ClassId> Subs(ClassId cls) {
+    return graph_.DirectSubs(cls).value();
+  }
+
+  SchemaGraph graph_;
+  ClassId person_, student_, ta_;
+};
+
+TEST_F(ClassifierTest, HideClassBecomesSuperclass) {
+  // Figure 4: AgelessPerson = hide age from Person classifies as a
+  // superclass of Person.
+  AlgebraProcessor proc(&graph_);
+  ClassId ageless =
+      proc.DefineVC("AgelessPerson",
+                    Query::Hide(Query::Class("Person"), {"age"}))
+          .value();
+  Classifier classifier(&graph_);
+  ClassifyResult r = classifier.Classify(ageless).value();
+  EXPECT_FALSE(r.was_duplicate);
+  // AgelessPerson sits between OBJECT and Person.
+  ASSERT_EQ(r.subs.size(), 1u);
+  EXPECT_EQ(r.subs[0], person_);
+  ASSERT_EQ(r.supers.size(), 1u);
+  EXPECT_EQ(r.supers[0], graph_.root());
+  // Person's old direct edge to OBJECT is now transitive and removed.
+  auto person_supers = Supers(person_);
+  ASSERT_EQ(person_supers.size(), 1u);
+  EXPECT_EQ(person_supers[0], ageless);
+}
+
+TEST_F(ClassifierTest, SelectClassBecomesSubclass) {
+  AlgebraProcessor proc(&graph_);
+  ClassId honor =
+      proc.DefineVC("Honor",
+                    Query::Select(Query::Class("Student"),
+                                  MethodExpr::Ge(MethodExpr::Attr("gpa"),
+                                                 MethodExpr::Lit(
+                                                     Value::Real(3.5)))))
+          .value();
+  Classifier classifier(&graph_);
+  ClassifyResult r = classifier.Classify(honor).value();
+  ASSERT_EQ(r.supers.size(), 1u);
+  EXPECT_EQ(r.supers[0], student_);
+  // TA is *not* a sub of Honor (its extent is not provably within the
+  // selection).
+  EXPECT_TRUE(r.subs.empty());
+}
+
+TEST_F(ClassifierTest, RefineClassBecomesSubclassOfSource) {
+  ClassId student_prime =
+      graph_
+          .AddRefineClass("Student'", student_,
+                          {PropertySpec::Attribute("register",
+                                                   ValueType::kBool)},
+                          {})
+          .value();
+  Classifier classifier(&graph_);
+  ClassifyResult r = classifier.Classify(student_prime).value();
+  ASSERT_EQ(r.supers.size(), 1u);
+  EXPECT_EQ(r.supers[0], student_);
+}
+
+TEST_F(ClassifierTest, ChainedRefinesNest) {
+  // Student' refines Student; TA' refines TA importing Student''s
+  // register: TA' classifies under both TA and Student'.
+  ClassId student_prime =
+      graph_
+          .AddRefineClass("Student'", student_,
+                          {PropertySpec::Attribute("register",
+                                                   ValueType::kBool)},
+                          {})
+          .value();
+  Classifier classifier(&graph_);
+  ASSERT_TRUE(classifier.Classify(student_prime).ok());
+
+  PropertyDefId reg = graph_.EffectiveType(student_prime)
+                          .value()
+                          .Lookup("register")
+                          .value();
+  ClassId ta_prime =
+      graph_.AddRefineClass("TA'", ta_, {}, {reg}).value();
+  ClassifyResult r = classifier.Classify(ta_prime).value();
+  std::set<ClassId> supers(r.supers.begin(), r.supers.end());
+  EXPECT_TRUE(supers.count(ta_));
+  EXPECT_TRUE(supers.count(student_prime));
+}
+
+TEST_F(ClassifierTest, DuplicateDetectedAndReplaced) {
+  AlgebraProcessor proc(&graph_);
+  Classifier classifier(&graph_);
+  // First hide class.
+  ClassId h1 = proc.DefineVC("NoAge1",
+                             Query::Hide(Query::Class("Person"), {"age"}))
+                   .value();
+  ASSERT_TRUE(classifier.Classify(h1).ok());
+  size_t count = graph_.class_count();
+  // A second, identically-derived class under a different name is a
+  // duplicate: discarded in favour of the first (Section 7).
+  ClassId h2 = proc.DefineVC("NoAge2",
+                             Query::Hide(Query::Class("Person"), {"age"}))
+                   .value();
+  ClassifyResult r = classifier.Classify(h2).value();
+  EXPECT_TRUE(r.was_duplicate);
+  EXPECT_EQ(r.cls, h1);
+  EXPECT_EQ(graph_.class_count(), count);  // h2 removed
+  EXPECT_TRUE(graph_.FindClass("NoAge2").status().IsNotFound());
+}
+
+TEST_F(ClassifierTest, RefineWithNoPropsIsDuplicateOfSource) {
+  // refine with no added properties neither narrows the extent nor
+  // extends the type: structurally identical to its source.
+  ClassId r = graph_.AddRefineClass("Copy", student_, {}, {}).value();
+  Classifier classifier(&graph_);
+  ClassifyResult res = classifier.Classify(r).value();
+  EXPECT_TRUE(res.was_duplicate);
+  EXPECT_EQ(res.cls, student_);
+}
+
+TEST_F(ClassifierTest, UnionClassifiesAboveSourcesBelowCommonSuper) {
+  ClassId staff = graph_
+                      .AddBaseClass("Staff", {person_},
+                                    {PropertySpec::Attribute(
+                                        "salary", ValueType::kInt)})
+                      .value();
+  AlgebraProcessor proc(&graph_);
+  ClassId u = proc.DefineVC("StudentOrStaff",
+                            Query::Union(Query::Class("Student"),
+                                         Query::Class("Staff")))
+                  .value();
+  Classifier classifier(&graph_);
+  ClassifyResult r = classifier.Classify(u).value();
+  ASSERT_EQ(r.supers.size(), 1u);
+  EXPECT_EQ(r.supers[0], person_);
+  std::set<ClassId> subs(r.subs.begin(), r.subs.end());
+  EXPECT_TRUE(subs.count(student_));
+  EXPECT_TRUE(subs.count(staff));
+  // Student and Staff's direct edges to Person became transitive.
+  EXPECT_EQ(Supers(student_), std::vector<ClassId>{u});
+  EXPECT_EQ(Supers(staff), std::vector<ClassId>{u});
+}
+
+TEST_F(ClassifierTest, IntersectClassifiesBelowBothSources) {
+  ClassId staff = graph_
+                      .AddBaseClass("Staff", {person_},
+                                    {PropertySpec::Attribute(
+                                        "salary", ValueType::kInt)})
+                      .value();
+  AlgebraProcessor proc(&graph_);
+  ClassId i = proc.DefineVC("StudentAndStaff",
+                            Query::Intersect(Query::Class("Student"),
+                                             Query::Class("Staff")))
+                  .value();
+  Classifier classifier(&graph_);
+  ClassifyResult r = classifier.Classify(i).value();
+  std::set<ClassId> supers(r.supers.begin(), r.supers.end());
+  EXPECT_TRUE(supers.count(student_));
+  EXPECT_TRUE(supers.count(staff));
+}
+
+TEST_F(ClassifierTest, SelectBelowSelectNests) {
+  AlgebraProcessor proc(&graph_);
+  Classifier classifier(&graph_);
+  auto honor_pred = MethodExpr::Ge(MethodExpr::Attr("gpa"),
+                                   MethodExpr::Lit(Value::Real(3.5)));
+  ClassId honor = proc.DefineVC("Honor", Query::Select(
+                                             Query::Class("Student"),
+                                             honor_pred))
+                      .value();
+  ASSERT_TRUE(classifier.Classify(honor).ok());
+  // A select on Honor classifies below Honor, not directly below Student.
+  ClassId young_honor =
+      proc.DefineVC("YoungHonor",
+                    Query::Select(Query::Class("Honor"),
+                                  MethodExpr::Lt(MethodExpr::Attr("age"),
+                                                 MethodExpr::Lit(
+                                                     Value::Int(25)))))
+          .value();
+  ClassifyResult r = classifier.Classify(young_honor).value();
+  ASSERT_EQ(r.supers.size(), 1u);
+  EXPECT_EQ(r.supers[0], honor);
+}
+
+TEST_F(ClassifierTest, ClassifyAllProcessesBatch) {
+  AlgebraProcessor proc(&graph_);
+  ClassId a = proc.DefineVC("A", Query::Hide(Query::Class("Person"),
+                                             {"age"}))
+                  .value();
+  ClassId b = proc.DefineVC("B", Query::Hide(Query::Class("Person"),
+                                             {"age", "name"}))
+                  .value();
+  Classifier classifier(&graph_);
+  auto results = classifier.ClassifyAll({a, b}).value();
+  ASSERT_EQ(results.size(), 2u);
+  // B (hides more) sits above A.
+  EXPECT_EQ(Supers(a), std::vector<ClassId>{b});
+}
+
+TEST_F(ClassifierTest, BaseClassIsAlreadyClassified) {
+  Classifier classifier(&graph_);
+  ClassifyResult r = classifier.Classify(student_).value();
+  EXPECT_EQ(r.cls, student_);
+  EXPECT_FALSE(r.was_duplicate);
+  EXPECT_TRUE(r.supers.empty());  // untouched
+}
+
+}  // namespace
+}  // namespace tse::classifier

@@ -1,0 +1,91 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace tse {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("class Student");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "class Student");
+  EXPECT_EQ(s.ToString(), "not_found: class Student");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+TEST(StatusTest, RejectedIsDistinctFromInvalidArgument) {
+  EXPECT_TRUE(Status::Rejected("dup attr").IsRejected());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRejected());
+}
+
+Status FailingHelper() { return Status::IOError("disk"); }
+
+Status UsesReturnIfError() {
+  TSE_RETURN_IF_ERROR(FailingHelper());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> ProduceValue(bool fail) {
+  if (fail) return Status::Aborted("boom");
+  return 5;
+}
+
+Result<int> UsesAssignOrReturn(bool fail) {
+  TSE_ASSIGN_OR_RETURN(int v, ProduceValue(fail));
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnHappyPath) {
+  Result<int> r = UsesAssignOrReturn(false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 6);
+}
+
+TEST(ResultTest, AssignOrReturnErrorPath) {
+  Result<int> r = UsesAssignOrReturn(true);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsAborted());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(3);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 3);
+}
+
+}  // namespace
+}  // namespace tse

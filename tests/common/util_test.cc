@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/ids.h"
+#include "common/random.h"
+#include "common/str_util.h"
+
+namespace tse {
+namespace {
+
+TEST(IdsTest, DefaultIsInvalid) {
+  Oid oid;
+  EXPECT_FALSE(oid.valid());
+  EXPECT_EQ(oid.ToString(), "<invalid>");
+}
+
+TEST(IdsTest, EqualityAndOrdering) {
+  ClassId a(1), b(2), a2(1);
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(IdsTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<Oid, ClassId>);
+  static_assert(!std::is_same_v<ViewId, PropertyDefId>);
+}
+
+TEST(IdsTest, Hashable) {
+  std::unordered_set<Oid> s;
+  s.insert(Oid(1));
+  s.insert(Oid(1));
+  s.insert(Oid(2));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(IdsTest, AllocatorIsMonotonic) {
+  IdAllocator<Oid> alloc;
+  Oid a = alloc.Allocate();
+  Oid b = alloc.Allocate();
+  EXPECT_LT(a, b);
+}
+
+TEST(IdsTest, AllocatorBumpPast) {
+  IdAllocator<ClassId> alloc;
+  alloc.BumpPast(ClassId(10));
+  EXPECT_EQ(alloc.Allocate(), ClassId(11));
+  alloc.BumpPast(ClassId(5));  // No effect: already past.
+  EXPECT_EQ(alloc.Allocate(), ClassId(12));
+}
+
+TEST(StrUtilTest, StrCatMixesTypes) {
+  EXPECT_EQ(StrCat("x=", 3, ", y=", 2.5), "x=3, y=2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StrUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  std::vector<std::string> parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.Range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, IdentProducesLowercase) {
+  Rng rng(3);
+  std::string id = rng.Ident(12);
+  EXPECT_EQ(id.size(), 12u);
+  for (char c : id) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(RngTest, RoughlyUniform) {
+  Rng rng(11);
+  int buckets[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 40000; ++i) buckets[rng.Uniform(4)]++;
+  for (int b : buckets) {
+    EXPECT_GT(b, 9000);
+    EXPECT_LT(b, 11000);
+  }
+}
+
+}  // namespace
+}  // namespace tse

@@ -1,0 +1,226 @@
+// Reproduces the add-class scenario of Section 6.7 and Figures 12/13:
+// a new class added as a subclass of a *virtual* superclass must be
+// empty, must obey the superclass's derivation constraints, and must
+// classify as its direct subclass — including the tricky union case of
+// Figure 13 (d)/(e).
+
+#include <gtest/gtest.h>
+
+#include "algebra/processor.h"
+#include "algebra/query.h"
+#include "evolution_test_util.h"
+#include "objmodel/method.h"
+
+namespace tse::evolution {
+namespace {
+
+using objmodel::MethodExpr;
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+class AddClassTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    twins_.DefineClass("Person", {},
+                       {PropertySpec::Attribute("name", ValueType::kString)});
+    twins_.DefineClass("Student", {"Person"},
+                       {PropertySpec::Attribute("gpa", ValueType::kReal)});
+    s1_ = twins_.CreateObject("Student", {{"name", Value::Str("alice")},
+                                          {"gpa", Value::Real(3.9)}});
+    s2_ = twins_.CreateObject("Student", {{"name", Value::Str("bob")},
+                                          {"gpa", Value::Real(2.5)}});
+  }
+
+  TwinSystems twins_;
+  Oid s1_, s2_;
+};
+
+TEST_F(AddClassTest, UnderBaseClassMatchesDirect) {
+  ViewId vs1 = twins_.CreateView("VS", {"Person", "Student"});
+  ASSERT_TRUE(twins_.direct_.AddLeafClass("Parttime", "Student").ok());
+  AddClass change;
+  change.new_class_name = "Parttime";
+  change.connected_to = "Student";
+  ViewId vs2 = twins_.Apply(vs1, change);
+  twins_.ExpectEquivalent(vs2);
+
+  const view::ViewSchema* view = twins_.views_.GetView(vs2).value();
+  ClassId parttime = view->Resolve("Parttime").value();
+  // Empty extent, type of the superclass, direct subclass position.
+  EXPECT_TRUE(twins_.updates_.extents().Extent(parttime).value().empty());
+  EXPECT_TRUE(twins_.graph_.EffectiveType(parttime)
+                  .value()
+                  .ContainsName("gpa"));
+  ClassId student = view->Resolve("Student").value();
+  EXPECT_EQ(view->DirectSupers(parttime), std::vector<ClassId>{student});
+}
+
+TEST_F(AddClassTest, WithoutConnectedToAttachesToRoot) {
+  ViewId vs1 = twins_.CreateView("VS", {"Person", "Student"});
+  AddClass change;
+  change.new_class_name = "Floating";
+  ViewId vs2 = twins_.Apply(vs1, change);
+  const view::ViewSchema* view = twins_.views_.GetView(vs2).value();
+  ClassId floating = view->Resolve("Floating").value();
+  // No supers within the view.
+  EXPECT_TRUE(view->DirectSupers(floating).empty());
+  EXPECT_TRUE(
+      twins_.graph_.EffectiveType(floating).value().empty());
+}
+
+TEST_F(AddClassTest, UnderSelectClassInheritsPredicate) {
+  // Figure 13 (b)'s problem: the new class must respect the select
+  // predicate of its virtual superclass.
+  algebra::AlgebraProcessor proc(&twins_.graph_);
+  classifier::Classifier classifier(&twins_.graph_);
+  ClassId honor =
+      proc.DefineVC("HonorStudent",
+                    algebra::Query::Select(
+                        algebra::Query::Class("Student"),
+                        MethodExpr::Ge(MethodExpr::Attr("gpa"),
+                                       MethodExpr::Lit(Value::Real(3.5)))))
+          .value();
+  ASSERT_TRUE(classifier.Classify(honor).ok());
+
+  ViewId vs1 = twins_.CreateView("VS", {"Person", "Student", "HonorStudent"});
+  AddClass change;
+  change.new_class_name = "HonorParttime";
+  change.connected_to = "HonorStudent";
+  ViewId vs2 = twins_.Apply(vs1, change);
+  const view::ViewSchema* view = twins_.views_.GetView(vs2).value();
+  ClassId hp = view->Resolve("HonorParttime").value();
+  // Figure 12: the new class sits directly under HonorStudent.
+  EXPECT_EQ(view->DirectSupers(hp), std::vector<ClassId>{honor});
+  // Initially empty.
+  EXPECT_TRUE(twins_.updates_.extents().Extent(hp).value().empty());
+
+  // Inserting a qualifying object through the new class is visible in
+  // HonorStudent (the constraint propagation of Figure 13 (c)).
+  Oid fresh = twins_.updates_
+                  .Create(hp, {{"name", Value::Str("carol")},
+                               {"gpa", Value::Real(3.8)}})
+                  .value();
+  EXPECT_TRUE(twins_.updates_.extents().IsMember(fresh, honor).value());
+  EXPECT_TRUE(twins_.updates_.extents().IsMember(fresh, hp).value());
+  // A non-qualifying insert is rejected by the select predicate chain
+  // under the reject policy; under the view's allow policy used here it
+  // lands in Student but stays invisible in the honor subtree.
+  Oid weak = twins_.updates_
+                 .Create(hp, {{"name", Value::Str("dave")},
+                              {"gpa", Value::Real(2.0)}})
+                 .value();
+  EXPECT_FALSE(twins_.updates_.extents().IsMember(weak, hp).value());
+  EXPECT_FALSE(twins_.updates_.extents().IsMember(weak, honor).value());
+}
+
+TEST_F(AddClassTest, UnderHideClassStaysInsideSuperExtent) {
+  // Figure 13 (a)'s problem: under a hide-derived superclass, inserts
+  // into the new class must be visible in the superclass.
+  algebra::AlgebraProcessor proc(&twins_.graph_);
+  classifier::Classifier classifier(&twins_.graph_);
+  ClassId nameless =
+      proc.DefineVC("Anon", algebra::Query::Hide(
+                                algebra::Query::Class("Student"), {"name"}))
+          .value();
+  ASSERT_TRUE(classifier.Classify(nameless).ok());
+  ViewId vs1 = twins_.CreateView("VS", {"Person", "Anon"});
+  AddClass change;
+  change.new_class_name = "AnonLeaf";
+  change.connected_to = "Anon";
+  ViewId vs2 = twins_.Apply(vs1, change);
+  const view::ViewSchema* view = twins_.views_.GetView(vs2).value();
+  ClassId leaf = view->Resolve("AnonLeaf").value();
+  Oid fresh = twins_.updates_.Create(leaf, {}).value();
+  EXPECT_TRUE(twins_.updates_.extents().IsMember(fresh, nameless).value());
+  // The superclass generalization invariant holds: extent(leaf) ⊆
+  // extent(Anon).
+  auto leaf_extent = twins_.updates_.extents().Extent(leaf).value();
+  auto anon_extent = twins_.updates_.extents().Extent(nameless).value();
+  for (Oid oid : leaf_extent) {
+    EXPECT_TRUE(anon_extent.count(oid));
+  }
+}
+
+TEST_F(AddClassTest, UnderUnionClassStartsEmpty) {
+  // Figure 13 (d) vs (e): the naive construction would pre-populate the
+  // new class with instances of one source; the per-origin Cx
+  // construction keeps it empty.
+  twins_.DefineClass("Staff", {"Person"},
+                     {PropertySpec::Attribute("salary", ValueType::kInt)});
+  Oid staff_obj = twins_.CreateObject("Staff", {});
+  (void)staff_obj;
+  algebra::AlgebraProcessor proc(&twins_.graph_);
+  classifier::Classifier classifier(&twins_.graph_);
+  ClassId members =
+      proc.DefineVC("Member", algebra::Query::Union(
+                                  algebra::Query::Class("Student"),
+                                  algebra::Query::Class("Staff")))
+          .value();
+  ASSERT_TRUE(classifier.Classify(members).ok());
+  ViewId vs1 = twins_.CreateView("VS", {"Person", "Member"});
+  AddClass change;
+  change.new_class_name = "NewMember";
+  change.connected_to = "Member";
+  ViewId vs2 = twins_.Apply(vs1, change);
+  const view::ViewSchema* view = twins_.views_.GetView(vs2).value();
+  ClassId nm = view->Resolve("NewMember").value();
+  // Empty at birth — the Figure 13 (e) guarantee.
+  EXPECT_TRUE(twins_.updates_.extents().Extent(nm).value().empty());
+  // Direct subclass of the union.
+  EXPECT_EQ(view->DirectSupers(nm), std::vector<ClassId>{members});
+  // An insert through the new class becomes visible in the union.
+  Oid fresh = twins_.updates_.Create(nm, {}).value();
+  EXPECT_TRUE(twins_.updates_.extents().IsMember(fresh, members).value());
+}
+
+TEST_F(AddClassTest, DuplicateNameRejected) {
+  ViewId vs1 = twins_.CreateView("VS", {"Person", "Student"});
+  AddClass change;
+  change.new_class_name = "Student";
+  change.connected_to = "Person";
+  EXPECT_TRUE(
+      twins_.manager_.ApplyChange(vs1, change).status().IsAlreadyExists());
+}
+
+TEST_F(AddClassTest, OtherViewsUnaffected) {
+  ViewId vs1 = twins_.CreateView("VS", {"Person", "Student"});
+  ViewId other = twins_.CreateView("Other", {"Person", "Student"});
+  std::string before = twins_.Snapshot(other);
+  AddClass change;
+  change.new_class_name = "Parttime";
+  change.connected_to = "Student";
+  twins_.Apply(vs1, change);
+  EXPECT_EQ(twins_.Snapshot(other), before);
+}
+
+// --- delete_class (Section 6.8: removeFromView) ----------------------------
+
+TEST_F(AddClassTest, DeleteClassRemovesFromViewOnly) {
+  twins_.DefineClass("TA", {"Student"}, {});
+  Oid ta_obj = twins_.CreateObject("TA", {{"name", Value::Str("carol")}});
+  ViewId vs1 = twins_.CreateView("VS", {"Person", "Student", "TA"});
+  DeleteClass change;
+  change.class_name = "Student";
+  ViewId vs2 = twins_.Apply(vs1, change);
+  const view::ViewSchema* view = twins_.views_.GetView(vs2).value();
+  EXPECT_TRUE(view->Resolve("Student").status().IsNotFound());
+  // TA reconnects directly under Person in the view.
+  ClassId ta = view->Resolve("TA").value();
+  ClassId person = view->Resolve("Person").value();
+  EXPECT_EQ(view->DirectSupers(ta), std::vector<ClassId>{person});
+  // Extent still visible to the superclass; properties still inherited.
+  EXPECT_TRUE(
+      twins_.updates_.extents().Extent(person).value().count(s1_));
+  EXPECT_TRUE(
+      twins_.updates_.extents().Extent(person).value().count(ta_obj));
+  EXPECT_TRUE(twins_.graph_.EffectiveType(ta).value().ContainsName("gpa"));
+  // Old view unaffected.
+  EXPECT_TRUE(twins_.views_.GetView(vs1)
+                  .value()
+                  ->Resolve("Student")
+                  .ok());
+}
+
+}  // namespace
+}  // namespace tse::evolution

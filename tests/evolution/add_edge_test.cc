@@ -1,0 +1,197 @@
+// Reproduces the add-edge scenario of Section 6.5 and Figure 9:
+// "add_edge SupportStaff-TA" — TA and its subclasses inherit `boss`,
+// and TA's extent flows into SupportStaff (and Person, already there).
+
+#include <gtest/gtest.h>
+
+#include "evolution_test_util.h"
+
+namespace tse::evolution {
+namespace {
+
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+class AddEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Figure 9 (a): Person <- SupportStaff, Person <- Student <- TA <- Grader.
+    twins_.DefineClass("Person", {},
+                       {PropertySpec::Attribute("name", ValueType::kString)});
+    twins_.DefineClass("SupportStaff", {"Person"},
+                       {PropertySpec::Attribute("boss", ValueType::kString)});
+    twins_.DefineClass("Student", {"Person"},
+                       {PropertySpec::Attribute("major", ValueType::kString)});
+    twins_.DefineClass("TA", {"Student"},
+                       {PropertySpec::Attribute("lecture",
+                                                ValueType::kString)});
+    twins_.DefineClass("Grader", {"TA"}, {});
+    o1_ = twins_.CreateObject("Person", {{"name", Value::Str("o1")}});
+    o2_ = twins_.CreateObject("SupportStaff", {{"name", Value::Str("o2")}});
+    o3_ = twins_.CreateObject("SupportStaff", {{"name", Value::Str("o3")}});
+    o4_ = twins_.CreateObject("TA", {{"name", Value::Str("o4")}});
+    o5_ = twins_.CreateObject("Grader", {{"name", Value::Str("o5")}});
+    o6_ = twins_.CreateObject("Student", {{"name", Value::Str("o6")}});
+  }
+
+  SchemaChange Change() {
+    AddEdge change;
+    change.super_name = "SupportStaff";
+    change.sub_name = "TA";
+    return change;
+  }
+
+  TwinSystems twins_;
+  Oid o1_, o2_, o3_, o4_, o5_, o6_;
+};
+
+TEST_F(AddEdgeTest, Figure9MatchesDirectModification) {
+  ViewId vs1 = twins_.CreateView(
+      "VS", {"Person", "SupportStaff", "Student", "TA", "Grader"});
+  ASSERT_TRUE(twins_.direct_.AddEdge("SupportStaff", "TA").ok());
+  ViewId vs2 = twins_.Apply(vs1, Change());
+  twins_.ExpectEquivalent(vs2);
+}
+
+TEST_F(AddEdgeTest, PropertiesFlowDownExtentFlowsUp) {
+  ViewId vs1 = twins_.CreateView(
+      "VS", {"Person", "SupportStaff", "Student", "TA", "Grader"});
+  ViewId vs2 = twins_.Apply(vs1, Change());
+  const view::ViewSchema* view = twins_.views_.GetView(vs2).value();
+
+  // TA and Grader now carry `boss`.
+  ClassId ta2 = view->Resolve("TA").value();
+  ClassId grader2 = view->Resolve("Grader").value();
+  EXPECT_TRUE(
+      twins_.graph_.EffectiveType(ta2).value().ContainsName("boss"));
+  EXPECT_TRUE(
+      twins_.graph_.EffectiveType(grader2).value().ContainsName("boss"));
+  // Student does not.
+  ClassId student2 = view->Resolve("Student").value();
+  EXPECT_FALSE(
+      twins_.graph_.EffectiveType(student2).value().ContainsName("boss"));
+
+  // SupportStaff's extent grew from {o2,o3} to {o2,o3,o4,o5}.
+  ClassId staff2 = view->Resolve("SupportStaff").value();
+  std::set<Oid> staff_extent =
+      twins_.updates_.extents().Extent(staff2).value();
+  EXPECT_EQ(staff_extent.size(), 4u);
+  EXPECT_TRUE(staff_extent.count(o4_));
+  EXPECT_TRUE(staff_extent.count(o5_));
+  // Person's extent is unchanged — TA was already inside (Section 6.5.2:
+  // "The Person class is not modified").
+  ClassId person2 = view->Resolve("Person").value();
+  EXPECT_EQ(person2, twins_.graph_.FindClass("Person").value());
+  EXPECT_EQ(twins_.updates_.extents().Extent(person2).value().size(), 6u);
+
+  // The view hierarchy has the new edge.
+  EXPECT_TRUE(view->TransitiveSupers(ta2).count(staff2));
+}
+
+TEST_F(AddEdgeTest, BossAssignableOnTaAfterChange) {
+  ViewId vs1 = twins_.CreateView(
+      "VS", {"Person", "SupportStaff", "Student", "TA", "Grader"});
+  ViewId vs2 = twins_.Apply(vs1, Change());
+  ClassId ta2 = twins_.views_.GetView(vs2).value()->Resolve("TA").value();
+  ASSERT_TRUE(
+      twins_.updates_.Set(o4_, ta2, "boss", Value::Str("kim")).ok());
+  EXPECT_EQ(twins_.updates_.accessor().Read(o4_, ta2, "boss").value(),
+            Value::Str("kim"));
+  // `boss` storage is shared with SupportStaff's definition.
+  ClassId staff = twins_.graph_.FindClass("SupportStaff").value();
+  EXPECT_EQ(twins_.graph_.EffectiveType(ta2).value().Lookup("boss").value(),
+            twins_.graph_.EffectiveType(staff).value().Lookup("boss")
+                .value());
+}
+
+TEST_F(AddEdgeTest, CreateThroughNewSupportStaffInvisibleToTa) {
+  // Section 6.5.4: create on SupportStaff' must propagate to the
+  // *substituted* class SupportStaff so it does not appear in TA'.
+  ViewId vs1 = twins_.CreateView(
+      "VS", {"Person", "SupportStaff", "Student", "TA", "Grader"});
+  ViewId vs2 = twins_.Apply(vs1, Change());
+  const view::ViewSchema* view = twins_.views_.GetView(vs2).value();
+  ClassId staff2 = view->Resolve("SupportStaff").value();
+  ClassId ta2 = view->Resolve("TA").value();
+  Oid fresh = twins_.updates_
+                  .Create(staff2, {{"name", Value::Str("new staff")}})
+                  .value();
+  EXPECT_TRUE(twins_.updates_.extents().IsMember(fresh, staff2).value());
+  EXPECT_FALSE(twins_.updates_.extents().IsMember(fresh, ta2).value());
+}
+
+TEST_F(AddEdgeTest, ExistingEdgeRejected) {
+  ViewId vs1 = twins_.CreateView(
+      "VS", {"Person", "SupportStaff", "Student", "TA", "Grader"});
+  AddEdge change;
+  change.super_name = "Student";
+  change.sub_name = "TA";
+  EXPECT_TRUE(twins_.manager_.ApplyChange(vs1, change).status().IsRejected());
+  AddEdge cycle;
+  cycle.super_name = "TA";
+  cycle.sub_name = "Student";
+  EXPECT_TRUE(twins_.manager_.ApplyChange(vs1, cycle).status().IsRejected());
+  AddEdge self;
+  self.super_name = "TA";
+  self.sub_name = "TA";
+  EXPECT_FALSE(twins_.manager_.ApplyChange(vs1, self).ok());
+}
+
+TEST_F(AddEdgeTest, OverriddenPropertyNotInherited) {
+  // Grader defines a local `boss`; the new edge must not clobber it
+  // (Section 6.5.1's override rule).
+  TwinSystems twins;
+  twins.DefineClass("Person", {}, {});
+  twins.DefineClass("SupportStaff", {"Person"},
+                    {PropertySpec::Attribute("boss", ValueType::kString)});
+  twins.DefineClass("TA", {"Person"}, {});
+  twins.DefineClass("Grader", {"TA"},
+                    {PropertySpec::Attribute("boss", ValueType::kInt)});
+  ViewId vs1 =
+      twins.CreateView("VS", {"Person", "SupportStaff", "TA", "Grader"});
+  ClassId grader = twins.graph_.FindClass("Grader").value();
+  PropertyDefId grader_boss =
+      twins.graph_.EffectiveType(grader).value().Lookup("boss").value();
+  AddEdge change;
+  change.super_name = "SupportStaff";
+  change.sub_name = "TA";
+  ViewId vs2 = twins.Apply(vs1, change);
+  const view::ViewSchema* view = twins.views_.GetView(vs2).value();
+  ClassId ta2 = view->Resolve("TA").value();
+  ClassId grader2 = view->Resolve("Grader").value();
+  ClassId staff = twins.graph_.FindClass("SupportStaff").value();
+  // TA inherits SupportStaff's boss...
+  EXPECT_EQ(twins.graph_.EffectiveType(ta2).value().Lookup("boss").value(),
+            twins.graph_.EffectiveType(staff).value().Lookup("boss")
+                .value());
+  // ...Grader keeps its own.
+  EXPECT_EQ(
+      twins.graph_.EffectiveType(grader2).value().Lookup("boss").value(),
+      grader_boss);
+}
+
+TEST_F(AddEdgeTest, OldViewAndOtherViewsUntouched) {
+  ViewId vs1 = twins_.CreateView(
+      "VS", {"Person", "SupportStaff", "Student", "TA", "Grader"});
+  ViewId other = twins_.CreateView("Other", {"Person", "SupportStaff", "TA"});
+  std::string vs1_before = twins_.Snapshot(vs1);
+  std::string other_before = twins_.Snapshot(other);
+  twins_.Apply(vs1, Change());
+  EXPECT_EQ(twins_.Snapshot(vs1), vs1_before);
+  EXPECT_EQ(twins_.Snapshot(other), other_before);
+}
+
+TEST_F(AddEdgeTest, UpdatabilityPreserved) {
+  ViewId vs1 = twins_.CreateView(
+      "VS", {"Person", "SupportStaff", "Student", "TA", "Grader"});
+  ViewId vs2 = twins_.Apply(vs1, Change());
+  std::set<ClassId> updatable =
+      update::UpdateEngine::MarkUpdatable(twins_.graph_);
+  for (ClassId cls : twins_.views_.GetView(vs2).value()->classes()) {
+    EXPECT_TRUE(updatable.count(cls));
+  }
+}
+
+}  // namespace
+}  // namespace tse::evolution

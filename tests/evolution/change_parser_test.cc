@@ -1,0 +1,178 @@
+#include "evolution/change_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "evolution_test_util.h"
+
+namespace tse::evolution {
+namespace {
+
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertyKind;
+using schema::PropertySpec;
+
+TEST(ChangeParserTest, AddAttribute) {
+  auto r = ParseChange("add_attribute register:bool to Student");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto* c = std::get_if<AddAttribute>(&r.value());
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->class_name, "Student");
+  EXPECT_EQ(c->spec.name, "register");
+  EXPECT_EQ(c->spec.value_type, ValueType::kBool);
+  EXPECT_EQ(c->spec.kind, PropertyKind::kStoredAttribute);
+}
+
+TEST(ChangeParserTest, AllAttributeTypes) {
+  for (const auto& [token, type] :
+       std::vector<std::pair<std::string, ValueType>>{
+           {"int", ValueType::kInt},
+           {"real", ValueType::kReal},
+           {"string", ValueType::kString},
+           {"bool", ValueType::kBool}}) {
+    auto r = ParseChange("add_attribute x:" + token + " to C");
+    ASSERT_TRUE(r.ok()) << token;
+    EXPECT_EQ(std::get_if<AddAttribute>(&r.value())->spec.value_type, type);
+  }
+  EXPECT_FALSE(ParseChange("add_attribute x:blob to C").ok());
+}
+
+TEST(ChangeParserTest, DeleteAttribute) {
+  auto r = ParseChange("delete_attribute register from Student");
+  ASSERT_TRUE(r.ok());
+  const auto* c = std::get_if<DeleteAttribute>(&r.value());
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->attr_name, "register");
+  EXPECT_EQ(c->class_name, "Student");
+}
+
+TEST(ChangeParserTest, AddMethodWithExpressionBody) {
+  auto r = ParseChange("add_method is_adult = age >= 18 to Person");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto* c = std::get_if<AddMethod>(&r.value());
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->class_name, "Person");
+  EXPECT_EQ(c->spec.name, "is_adult");
+  EXPECT_EQ(c->spec.kind, PropertyKind::kMethod);
+  ASSERT_NE(c->spec.body, nullptr);
+  auto v = c->spec.body->Evaluate(
+      Oid(1), [](const std::string& attr) -> Result<Value> {
+        if (attr == "age") return Value::Int(20);
+        return Status::NotFound(attr);
+      });
+  EXPECT_EQ(v.value(), Value::Bool(true));
+}
+
+TEST(ChangeParserTest, EdgesAndClasses) {
+  {
+    auto r = ParseChange("add_edge SupportStaff-TA");
+    ASSERT_TRUE(r.ok());
+    const auto* c = std::get_if<AddEdge>(&r.value());
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->super_name, "SupportStaff");
+    EXPECT_EQ(c->sub_name, "TA");
+  }
+  {
+    auto r = ParseChange("delete_edge TeachingStaff-TA connected_to Person");
+    ASSERT_TRUE(r.ok());
+    const auto* c = std::get_if<DeleteEdge>(&r.value());
+    ASSERT_NE(c, nullptr);
+    ASSERT_TRUE(c->connected_to.has_value());
+    EXPECT_EQ(*c->connected_to, "Person");
+  }
+  {
+    auto r = ParseChange("delete_edge A-B");
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(std::get_if<DeleteEdge>(&r.value())->connected_to);
+  }
+  {
+    auto r = ParseChange("add_class Grader connected_to TA");
+    ASSERT_TRUE(r.ok());
+    const auto* c = std::get_if<AddClass>(&r.value());
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->new_class_name, "Grader");
+    EXPECT_EQ(*c->connected_to, "TA");
+  }
+  {
+    auto r = ParseChange("insert_class Mid between Student-TA");
+    ASSERT_TRUE(r.ok());
+    const auto* c = std::get_if<InsertClass>(&r.value());
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->new_class_name, "Mid");
+    EXPECT_EQ(c->super_name, "Student");
+    EXPECT_EQ(c->sub_name, "TA");
+  }
+  {
+    auto r = ParseChange("delete_class_2 Student");
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(std::get_if<DeleteClass2>(&r.value()), nullptr);
+  }
+  {
+    auto r = ParseChange("delete_class Grader");
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(std::get_if<DeleteClass>(&r.value()), nullptr);
+  }
+}
+
+TEST(ChangeParserTest, PrimedIdentifiersAllowed) {
+  auto r = ParseChange("delete_attribute x from Student'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::get_if<DeleteAttribute>(&r.value())->class_name, "Student'");
+}
+
+TEST(ChangeParserTest, ErrorsRejected) {
+  EXPECT_FALSE(ParseChange("").ok());
+  EXPECT_FALSE(ParseChange("frobnicate X").ok());
+  EXPECT_FALSE(ParseChange("add_attribute x to C").ok());        // no type
+  EXPECT_FALSE(ParseChange("add_attribute x:int C").ok());       // no 'to'
+  EXPECT_FALSE(ParseChange("add_edge OnlyOne").ok());            // no '-'
+  EXPECT_FALSE(ParseChange("delete_class A B").ok());            // trailing
+  EXPECT_FALSE(ParseChange("add_method m = to C").ok());         // empty body
+  EXPECT_FALSE(ParseChange("insert_class X between A").ok());
+}
+
+TEST(ChangeParserTest, ParsedCommandsRoundTripThroughToString) {
+  const char* commands[] = {
+      "add_attribute register:bool to Student",
+      "delete_attribute register from Student",
+      "delete_edge TeachingStaff-TA connected_to Person",
+      "add_class Grader connected_to TA",
+      "insert_class Mid between Student-TA",
+      "delete_class_2 Student",
+  };
+  for (const char* cmd : commands) {
+    auto first = ParseChange(cmd);
+    ASSERT_TRUE(first.ok()) << cmd;
+    // ToString of a parsed change parses again to the same rendering
+    // (add_attribute drops the type in ToString, so reparse of it is
+    // not expected — skip those).
+    std::string rendered = ToString(first.value());
+    if (rendered.find(':') == std::string::npos &&
+        rendered.rfind("add_attribute", 0) != 0) {
+      auto second = ParseChange(rendered);
+      ASSERT_TRUE(second.ok()) << rendered;
+      EXPECT_EQ(ToString(second.value()), rendered);
+    }
+  }
+}
+
+TEST(ChangeParserTest, ParsedCommandsDriveTheTsem) {
+  // End-to-end: textual commands produce the same result as structured
+  // changes.
+  TwinSystems twins;
+  twins.DefineClass("Person", {},
+                    {PropertySpec::Attribute("name", ValueType::kString)});
+  twins.DefineClass("Student", {"Person"}, {});
+  ViewId vs = twins.CreateView("VS", {"Person", "Student"});
+  auto change = ParseChange("add_attribute register:bool to Student");
+  ASSERT_TRUE(change.ok());
+  auto r = twins.manager_.ApplyChange(vs, change.value());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ClassId student =
+      twins.views_.GetView(r.value()).value()->Resolve("Student").value();
+  EXPECT_TRUE(
+      twins.graph_.EffectiveType(student).value().ContainsName("register"));
+}
+
+}  // namespace
+}  // namespace tse::evolution

@@ -1,0 +1,237 @@
+// Reproduces the delete-attribute scenario of Section 6.2 and Figure 8,
+// plus the add/delete-method operators (Sections 6.3, 6.4).
+
+#include <gtest/gtest.h>
+
+#include "evolution_test_util.h"
+#include "objmodel/method.h"
+
+namespace tse::evolution {
+namespace {
+
+using objmodel::MethodExpr;
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+class DeletePropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    twins_.DefineClass("Person", {},
+                       {PropertySpec::Attribute("name", ValueType::kString)});
+    twins_.DefineClass("Student", {"Person"},
+                       {PropertySpec::Attribute("register", ValueType::kBool),
+                        PropertySpec::Attribute("major", ValueType::kString)});
+    twins_.DefineClass("TA", {"Student"},
+                       {PropertySpec::Attribute("lecture",
+                                                ValueType::kString)});
+    s1_ = twins_.CreateObject("Student", {{"name", Value::Str("alice")},
+                                          {"register", Value::Bool(true)}});
+    t1_ = twins_.CreateObject("TA", {{"name", Value::Str("carol")}});
+  }
+
+  TwinSystems twins_;
+  Oid s1_, t1_;
+};
+
+TEST_F(DeletePropertyTest, Figure8MatchesDirectModification) {
+  ViewId vs1 = twins_.CreateView("VS", {"Person", "Student", "TA"});
+  ASSERT_TRUE(twins_.direct_.DeleteAttribute("Student", "register").ok());
+  DeleteAttribute change;
+  change.class_name = "Student";
+  change.attr_name = "register";
+  ViewId vs2 = twins_.Apply(vs1, change);
+  twins_.ExpectEquivalent(vs2);
+}
+
+TEST_F(DeletePropertyTest, AttributeHiddenNotDestroyed) {
+  ViewId vs1 = twins_.CreateView("VS", {"Person", "Student", "TA"});
+  DeleteAttribute change;
+  change.class_name = "Student";
+  change.attr_name = "register";
+  ViewId vs2 = twins_.Apply(vs1, change);
+  // The new view's Student has no register...
+  ClassId student2 =
+      twins_.views_.GetView(vs2).value()->Resolve("Student").value();
+  EXPECT_FALSE(twins_.graph_.EffectiveType(student2)
+                   .value()
+                   .ContainsName("register"));
+  // ...but the data is still there for the old view (Section 6.2.2:
+  // "the attributes to be deleted are not removed from the underlying
+  // global schema, but rather made invisible to the view").
+  ClassId student1 =
+      twins_.views_.GetView(vs1).value()->Resolve("Student").value();
+  EXPECT_EQ(twins_.updates_.accessor().Read(s1_, student1, "register")
+                .value(),
+            Value::Bool(true));
+}
+
+TEST_F(DeletePropertyTest, InheritedAttributeRejected) {
+  ViewId vs1 = twins_.CreateView("VS", {"Person", "Student", "TA"});
+  // `name` is inherited into Student from Person: not deletable there.
+  DeleteAttribute change;
+  change.class_name = "Student";
+  change.attr_name = "name";
+  auto r = twins_.manager_.ApplyChange(vs1, change);
+  EXPECT_TRUE(r.status().IsRejected()) << r.status().ToString();
+  // The oracle agrees.
+  EXPECT_TRUE(twins_.direct_.DeleteAttribute("Student", "name").IsRejected());
+}
+
+TEST_F(DeletePropertyTest, LocalInViewTermsWhenUpperClassOutsideView) {
+  // The view omits Person, so `name` is "local" to Student in view
+  // terms (Section 6.2.1's redefinition) and deletable.
+  ViewId vs1 = twins_.CreateView("VS", {"Student", "TA"});
+  DeleteAttribute change;
+  change.class_name = "Student";
+  change.attr_name = "name";
+  ViewId vs2 = twins_.Apply(vs1, change);
+  ClassId student2 =
+      twins_.views_.GetView(vs2).value()->Resolve("Student").value();
+  EXPECT_FALSE(
+      twins_.graph_.EffectiveType(student2).value().ContainsName("name"));
+  ClassId ta2 = twins_.views_.GetView(vs2).value()->Resolve("TA").value();
+  EXPECT_FALSE(
+      twins_.graph_.EffectiveType(ta2).value().ContainsName("name"));
+}
+
+TEST_F(DeletePropertyTest, UnknownAttributeNotFound) {
+  ViewId vs1 = twins_.CreateView("VS", {"Person", "Student", "TA"});
+  DeleteAttribute change;
+  change.class_name = "Student";
+  change.attr_name = "ghost";
+  EXPECT_TRUE(twins_.manager_.ApplyChange(vs1, change).status().IsNotFound());
+}
+
+TEST_F(DeletePropertyTest, OverridingDeleteRestoresSuppressed) {
+  // Wage defined at Person and overridden at Student; deleting the
+  // override restores Person's definition in Student and TA (Section
+  // 6.2.2's second loop).
+  TwinSystems twins;
+  twins.DefineClass("Person", {},
+                    {PropertySpec::Attribute("wage", ValueType::kInt)});
+  twins.DefineClass("Student", {"Person"},
+                    {PropertySpec::Attribute("wage", ValueType::kReal)});
+  twins.DefineClass("TA", {"Student"}, {});
+  ViewId vs1 = twins.CreateView("VS", {"Person", "Student", "TA"});
+
+  ClassId person = twins.graph_.FindClass("Person").value();
+  PropertyDefId person_wage =
+      twins.graph_.EffectiveType(person).value().Lookup("wage").value();
+
+  DeleteAttribute change;
+  change.class_name = "Student";
+  change.attr_name = "wage";
+  ViewId vs2 = twins.Apply(vs1, change);
+  const view::ViewSchema* view = twins.views_.GetView(vs2).value();
+  ClassId student2 = view->Resolve("Student").value();
+  ClassId ta2 = view->Resolve("TA").value();
+  // `wage` still visible, but now bound to Person's definition.
+  EXPECT_EQ(
+      twins.graph_.EffectiveType(student2).value().Lookup("wage").value(),
+      person_wage);
+  EXPECT_EQ(twins.graph_.EffectiveType(ta2).value().Lookup("wage").value(),
+            person_wage);
+}
+
+TEST_F(DeletePropertyTest, OtherViewsUnaffected) {
+  ViewId vs1 = twins_.CreateView("VS", {"Person", "Student", "TA"});
+  ViewId other = twins_.CreateView("Other", {"Person", "Student"});
+  std::string before = twins_.Snapshot(other);
+  DeleteAttribute change;
+  change.class_name = "Student";
+  change.attr_name = "register";
+  twins_.Apply(vs1, change);
+  EXPECT_EQ(twins_.Snapshot(other), before);
+}
+
+TEST_F(DeletePropertyTest, UpdatabilityPreserved) {
+  ViewId vs1 = twins_.CreateView("VS", {"Person", "Student", "TA"});
+  DeleteAttribute change;
+  change.class_name = "Student";
+  change.attr_name = "register";
+  ViewId vs2 = twins_.Apply(vs1, change);
+  ClassId student2 =
+      twins_.views_.GetView(vs2).value()->Resolve("Student").value();
+  // Creating and updating through the hide class still works.
+  Oid fresh = twins_.updates_
+                  .Create(student2, {{"name", Value::Str("newkid")}})
+                  .value();
+  EXPECT_TRUE(twins_.updates_.extents().IsMember(fresh, student2).value());
+  // Hidden attribute not assignable through the new view.
+  EXPECT_FALSE(
+      twins_.updates_.Set(fresh, student2, "register", Value::Bool(true))
+          .ok());
+}
+
+// --- Methods (Sections 6.3 / 6.4) -------------------------------------------
+
+TEST(MethodChangeTest, AddAndDeleteMethod) {
+  TwinSystems twins;
+  twins.DefineClass("Person", {},
+                    {PropertySpec::Attribute("age", ValueType::kInt)});
+  twins.DefineClass("Student", {"Person"}, {});
+  Oid s = twins.CreateObject("Student", {{"age", Value::Int(20)}});
+  ViewId vs1 = twins.CreateView("VS", {"Person", "Student"});
+
+  // add_method is_adult = (age >= 18) to Person.
+  AddMethod add;
+  add.class_name = "Person";
+  add.spec = PropertySpec::Method(
+      "is_adult",
+      MethodExpr::Ge(MethodExpr::Attr("age"),
+                     MethodExpr::Lit(Value::Int(18))),
+      ValueType::kBool);
+  ASSERT_TRUE(twins.direct_
+                  .AddMethod("Person", add.spec)
+                  .ok());
+  ViewId vs2 = twins.Apply(vs1, add);
+  twins.ExpectEquivalent(vs2);
+
+  // The method is executable through the new view.
+  ClassId student2 =
+      twins.views_.GetView(vs2).value()->Resolve("Student").value();
+  EXPECT_EQ(twins.updates_.accessor().Read(s, student2, "is_adult").value(),
+            Value::Bool(true));
+
+  // Duplicate method rejected.
+  EXPECT_TRUE(twins.manager_.ApplyChange(vs2, add).status().IsRejected());
+
+  // delete_method removes it again.
+  DeleteMethod del;
+  del.class_name = "Person";
+  del.method_name = "is_adult";
+  ASSERT_TRUE(twins.direct_.DeleteMethod("Person", "is_adult").ok());
+  ViewId vs3 = twins.Apply(vs2, del);
+  twins.ExpectEquivalent(vs3);
+  ClassId student3 =
+      twins.views_.GetView(vs3).value()->Resolve("Student").value();
+  EXPECT_TRUE(twins.updates_.accessor()
+                  .Read(s, student3, "is_adult")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(MethodChangeTest, DeleteAttributeRefusesMethodsAndViceVersa) {
+  TwinSystems twins;
+  twins.DefineClass("Person", {},
+                    {PropertySpec::Attribute("age", ValueType::kInt)});
+  ViewId vs = twins.CreateView("VS", {"Person"});
+  AddMethod add;
+  add.class_name = "Person";
+  add.spec = PropertySpec::Method("m", MethodExpr::Lit(Value::Int(1)));
+  ViewId vs2 = twins.Apply(vs, add);
+
+  DeleteAttribute wrong_kind;
+  wrong_kind.class_name = "Person";
+  wrong_kind.attr_name = "m";
+  EXPECT_FALSE(twins.manager_.ApplyChange(vs2, wrong_kind).ok());
+
+  DeleteMethod wrong_kind2;
+  wrong_kind2.class_name = "Person";
+  wrong_kind2.method_name = "age";
+  EXPECT_FALSE(twins.manager_.ApplyChange(vs2, wrong_kind2).ok());
+}
+
+}  // namespace
+}  // namespace tse::evolution

@@ -1,0 +1,226 @@
+// Reproduces the delete-edge scenario of Section 6.6 and Figures 10/11:
+// "delete_edge TeachingStaff-TA" — TA stops inheriting `lecture`, and
+// TA's extent leaves TeachingStaff — including the Figure 11 subtlety
+// where a multi-path DAG makes naive extent subtraction wrong.
+
+#include <gtest/gtest.h>
+
+#include "evolution_test_util.h"
+
+namespace tse::evolution {
+namespace {
+
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+class DeleteEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Figure 10 (a): Person <- TeachingStaff <- TA, Person <- Student <- TA.
+    twins_.DefineClass("Person", {},
+                       {PropertySpec::Attribute("name", ValueType::kString)});
+    twins_.DefineClass("TeachingStaff", {"Person"},
+                       {PropertySpec::Attribute("lecture",
+                                                ValueType::kString)});
+    twins_.DefineClass("Student", {"Person"},
+                       {PropertySpec::Attribute("major", ValueType::kString)});
+    twins_.DefineClass("TA", {"TeachingStaff", "Student"}, {});
+    o1_ = twins_.CreateObject("Person", {{"name", Value::Str("o1")}});
+    o2_ = twins_.CreateObject("TeachingStaff", {{"name", Value::Str("o2")}});
+    o3_ = twins_.CreateObject("TeachingStaff", {{"name", Value::Str("o3")}});
+    o4_ = twins_.CreateObject("TA", {{"name", Value::Str("o4")}});
+    o5_ = twins_.CreateObject("TA", {{"name", Value::Str("o5")}});
+    o6_ = twins_.CreateObject("Student", {{"name", Value::Str("o6")}});
+  }
+
+  SchemaChange Change() {
+    DeleteEdge change;
+    change.super_name = "TeachingStaff";
+    change.sub_name = "TA";
+    return change;
+  }
+
+  TwinSystems twins_;
+  Oid o1_, o2_, o3_, o4_, o5_, o6_;
+};
+
+TEST_F(DeleteEdgeTest, Figure10MatchesDirectModification) {
+  ViewId vs1 =
+      twins_.CreateView("VS", {"Person", "TeachingStaff", "Student", "TA"});
+  ASSERT_TRUE(twins_.direct_.DeleteEdge("TeachingStaff", "TA").ok());
+  ViewId vs2 = twins_.Apply(vs1, Change());
+  twins_.ExpectEquivalent(vs2);
+}
+
+TEST_F(DeleteEdgeTest, ExtentShrinksAndPropertyVanishes) {
+  ViewId vs1 =
+      twins_.CreateView("VS", {"Person", "TeachingStaff", "Student", "TA"});
+  ViewId vs2 = twins_.Apply(vs1, Change());
+  const view::ViewSchema* view = twins_.views_.GetView(vs2).value();
+
+  // TeachingStaff' extent drops from {o2,o3,o4,o5} to {o2,o3}.
+  ClassId staff2 = view->Resolve("TeachingStaff").value();
+  std::set<Oid> staff_extent =
+      twins_.updates_.extents().Extent(staff2).value();
+  EXPECT_EQ(staff_extent.size(), 2u);
+  EXPECT_TRUE(staff_extent.count(o2_));
+  EXPECT_FALSE(staff_extent.count(o4_));
+
+  // TA' no longer carries `lecture` but keeps `major` (Student path).
+  ClassId ta2 = view->Resolve("TA").value();
+  schema::TypeSet ta_type = twins_.graph_.EffectiveType(ta2).value();
+  EXPECT_FALSE(ta_type.ContainsName("lecture"));
+  EXPECT_TRUE(ta_type.ContainsName("major"));
+  EXPECT_TRUE(ta_type.ContainsName("name"));  // via Student/Person
+
+  // The view hierarchy lost the edge: TA no longer under TeachingStaff.
+  EXPECT_FALSE(view->TransitiveSupers(ta2).count(staff2));
+  // But still under Student.
+  ClassId student2 = view->Resolve("Student").value();
+  EXPECT_TRUE(view->TransitiveSupers(ta2).count(student2));
+  // Person keeps everything.
+  ClassId person2 = view->Resolve("Person").value();
+  EXPECT_EQ(twins_.updates_.extents().Extent(person2).value().size(), 6u);
+}
+
+TEST_F(DeleteEdgeTest, Figure11CommonSubKeepsMultiPathInstances) {
+  // Build Figure 11: v <- Csup <- Csub, plus C1,C2,C3 below both v and
+  // Csub through paths that do not use the deleted edge.
+  TwinSystems twins;
+  twins.DefineClass("V", {},
+                    {PropertySpec::Attribute("vp", ValueType::kInt)});
+  twins.DefineClass("Csup", {"V"},
+                    {PropertySpec::Attribute("supp", ValueType::kInt)});
+  twins.DefineClass("Csub", {"Csup"}, {});
+  twins.DefineClass("Mid", {"V"}, {});  // alternative route to V
+  twins.DefineClass("C1", {"Csub", "Mid"}, {});
+  twins.DefineClass("C2", {"Csub", "Mid"}, {});
+  Oid in_csub = twins.CreateObject("Csub");
+  Oid in_c1 = twins.CreateObject("C1");
+  Oid in_c2 = twins.CreateObject("C2");
+  Oid in_v = twins.CreateObject("V");
+  (void)in_v;
+
+  ViewId vs1 = twins.CreateView("VS", {"V", "Csup", "Csub", "Mid", "C1",
+                                       "C2"});
+  ASSERT_TRUE(twins.direct_.DeleteEdge("Csup", "Csub").ok());
+  DeleteEdge change;
+  change.super_name = "Csup";
+  change.sub_name = "Csub";
+  ViewId vs2 = twins.Apply(vs1, change);
+  twins.ExpectEquivalent(vs2);
+
+  const view::ViewSchema* view = twins.views_.GetView(vs2).value();
+  ClassId v2 = view->Resolve("V").value();
+  std::set<Oid> v_extent = twins.updates_.extents().Extent(v2).value();
+  // Naive subtraction would also lose C1/C2's members; commonSub keeps
+  // them visible in V (they reach V via Mid).
+  EXPECT_TRUE(v_extent.count(in_c1));
+  EXPECT_TRUE(v_extent.count(in_c2));
+  EXPECT_FALSE(v_extent.count(in_csub));
+  // Csup also loses the Csub members but keeps nothing extra.
+  ClassId csup2 = view->Resolve("Csup").value();
+  std::set<Oid> csup_extent = twins.updates_.extents().Extent(csup2).value();
+  EXPECT_FALSE(csup_extent.count(in_csub));
+  EXPECT_FALSE(csup_extent.count(in_c1));
+}
+
+TEST_F(DeleteEdgeTest, ConnectedToReattachesSubclass) {
+  // Delete Person-Student with connected_to absent vs a deeper chain
+  // with connected_to: use a chain Person <- Upper <- Lower <- Leaf.
+  TwinSystems twins;
+  twins.DefineClass("Upper", {},
+                    {PropertySpec::Attribute("u", ValueType::kInt)});
+  twins.DefineClass("Lower", {"Upper"},
+                    {PropertySpec::Attribute("l", ValueType::kInt)});
+  twins.DefineClass("Leaf", {"Lower"},
+                    {PropertySpec::Attribute("f", ValueType::kInt)});
+  Oid leaf_obj = twins.CreateObject("Leaf");
+  ViewId vs1 = twins.CreateView("VS", {"Upper", "Lower", "Leaf"});
+
+  ASSERT_TRUE(twins.direct_.DeleteEdge("Lower", "Leaf", "Upper").ok());
+  DeleteEdge change;
+  change.super_name = "Lower";
+  change.sub_name = "Leaf";
+  change.connected_to = "Upper";
+  ViewId vs2 = twins.Apply(vs1, change);
+  twins.ExpectEquivalent(vs2);
+
+  const view::ViewSchema* view = twins.views_.GetView(vs2).value();
+  ClassId leaf2 = view->Resolve("Leaf").value();
+  ClassId lower2 = view->Resolve("Lower").value();
+  ClassId upper2 = view->Resolve("Upper").value();
+  // Leaf keeps `u` (via the reconnect) but loses `l`.
+  schema::TypeSet leaf_type = twins.graph_.EffectiveType(leaf2).value();
+  EXPECT_TRUE(leaf_type.ContainsName("u"));
+  EXPECT_FALSE(leaf_type.ContainsName("l"));
+  EXPECT_TRUE(leaf_type.ContainsName("f"));
+  // Extent: gone from Lower, still in Upper.
+  EXPECT_FALSE(
+      twins.updates_.extents().Extent(lower2).value().count(leaf_obj));
+  EXPECT_TRUE(
+      twins.updates_.extents().Extent(upper2).value().count(leaf_obj));
+  // View hierarchy: Leaf directly under Upper.
+  EXPECT_EQ(view->DirectSupers(leaf2), std::vector<ClassId>{upper2});
+}
+
+TEST_F(DeleteEdgeTest, MissingEdgeRejected) {
+  ViewId vs1 =
+      twins_.CreateView("VS", {"Person", "TeachingStaff", "Student", "TA"});
+  DeleteEdge change;
+  change.super_name = "Student";
+  change.sub_name = "TeachingStaff";
+  EXPECT_TRUE(
+      twins_.manager_.ApplyChange(vs1, change).status().IsNotFound());
+  // connected_to must be a superclass of Csup.
+  DeleteEdge bad_upper;
+  bad_upper.super_name = "TeachingStaff";
+  bad_upper.sub_name = "TA";
+  bad_upper.connected_to = "Student";
+  EXPECT_FALSE(twins_.manager_.ApplyChange(vs1, bad_upper).ok());
+}
+
+TEST_F(DeleteEdgeTest, OldDataRemainsReachableThroughOldView) {
+  ViewId vs1 =
+      twins_.CreateView("VS", {"Person", "TeachingStaff", "Student", "TA"});
+  ClassId ta1 = twins_.views_.GetView(vs1).value()->Resolve("TA").value();
+  ASSERT_TRUE(
+      twins_.updates_.Set(o4_, ta1, "lecture", Value::Str("db101")).ok());
+  ViewId vs2 = twins_.Apply(vs1, Change());
+  (void)vs2;
+  // The old view still reads the lecture value; nothing was destroyed.
+  EXPECT_EQ(twins_.updates_.accessor().Read(o4_, ta1, "lecture").value(),
+            Value::Str("db101"));
+}
+
+TEST_F(DeleteEdgeTest, OtherViewsUnaffected) {
+  ViewId vs1 =
+      twins_.CreateView("VS", {"Person", "TeachingStaff", "Student", "TA"});
+  ViewId other = twins_.CreateView("Other", {"TeachingStaff", "TA"});
+  std::string before = twins_.Snapshot(other);
+  twins_.Apply(vs1, Change());
+  EXPECT_EQ(twins_.Snapshot(other), before);
+}
+
+TEST_F(DeleteEdgeTest, UpdatabilityPreserved) {
+  ViewId vs1 =
+      twins_.CreateView("VS", {"Person", "TeachingStaff", "Student", "TA"});
+  ViewId vs2 = twins_.Apply(vs1, Change());
+  std::set<ClassId> updatable =
+      update::UpdateEngine::MarkUpdatable(twins_.graph_);
+  for (ClassId cls : twins_.views_.GetView(vs2).value()->classes()) {
+    EXPECT_TRUE(updatable.count(cls));
+  }
+  // Create through TeachingStaff' propagates to the replaced source
+  // (Section 6.6.4) and stays invisible to TA.
+  const view::ViewSchema* view = twins_.views_.GetView(vs2).value();
+  ClassId staff2 = view->Resolve("TeachingStaff").value();
+  ClassId ta2 = view->Resolve("TA").value();
+  Oid fresh = twins_.updates_.Create(staff2, {}).value();
+  EXPECT_TRUE(twins_.updates_.extents().IsMember(fresh, staff2).value());
+  EXPECT_FALSE(twins_.updates_.extents().IsMember(fresh, ta2).value());
+}
+
+}  // namespace
+}  // namespace tse::evolution

@@ -1,0 +1,121 @@
+#ifndef TSE_TESTS_EVOLUTION_EVOLUTION_TEST_UTIL_H_
+#define TSE_TESTS_EVOLUTION_EVOLUTION_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baseline/direct_engine.h"
+#include "baseline/oracle.h"
+#include "evolution/tse_manager.h"
+#include "update/update_engine.h"
+
+namespace tse::evolution {
+
+/// Twin harness: the TSE stack and the direct-modification oracle built
+/// from the same class definitions and the same population, with an oid
+/// bijection so extents compare 1:1.
+class TwinSystems {
+ public:
+  TwinSystems()
+      : views_(&graph_),
+        manager_(&graph_, &store_, &views_),
+        updates_(&graph_, &store_, update::ValueClosurePolicy::kAllow) {}
+
+  /// Defines a base class in both systems.
+  void DefineClass(const std::string& name,
+                   const std::vector<std::string>& supers,
+                   const std::vector<schema::PropertySpec>& props) {
+    std::vector<ClassId> sup_ids;
+    for (const std::string& s : supers) {
+      auto id = graph_.FindClass(s);
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      sup_ids.push_back(id.value());
+    }
+    auto cls = graph_.AddBaseClass(name, sup_ids, props);
+    ASSERT_TRUE(cls.ok()) << cls.status().ToString();
+    auto s = direct_.AddClass(name, supers, props);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  /// Creates an object of `cls` in both systems with the assignments.
+  Oid CreateObject(const std::string& cls,
+                   const std::vector<update::Assignment>& assignments = {}) {
+    auto cls_id = graph_.FindClass(cls);
+    EXPECT_TRUE(cls_id.ok());
+    auto tse_oid = updates_.Create(cls_id.value(), assignments);
+    EXPECT_TRUE(tse_oid.ok()) << tse_oid.status().ToString();
+    auto direct_oid = direct_.CreateObject(cls);
+    EXPECT_TRUE(direct_oid.ok()) << direct_oid.status().ToString();
+    for (const auto& a : assignments) {
+      EXPECT_TRUE(
+          direct_.SetValue(direct_oid.value(), a.name, a.value).ok());
+    }
+    oids_.Link(tse_oid.value(), direct_oid.value());
+    return tse_oid.value();
+  }
+
+  /// Creates a view over the named classes.
+  ViewId CreateView(const std::string& name,
+                    const std::vector<std::string>& class_names) {
+    std::vector<view::ViewClassSpec> specs;
+    for (const std::string& n : class_names) {
+      auto id = graph_.FindClass(n);
+      EXPECT_TRUE(id.ok()) << id.status().ToString();
+      specs.push_back({id.value(), ""});
+    }
+    auto v = manager_.CreateView(name, specs);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return v.value();
+  }
+
+  /// Applies the change via TSE and expects success.
+  ViewId Apply(ViewId view, const SchemaChange& change) {
+    auto r = manager_.ApplyChange(view, change);
+    EXPECT_TRUE(r.ok()) << "TSE failed on " << ToString(change) << ": "
+                        << r.status().ToString();
+    return r.ok() ? r.value() : view;
+  }
+
+  /// Asserts S'' = S' between the TSE view and the oracle.
+  void ExpectEquivalent(ViewId view_id) {
+    auto view = views_.GetView(view_id);
+    ASSERT_TRUE(view.ok());
+    Status s = baseline::CheckEquivalence(graph_, &store_, *view.value(),
+                                          direct_, oids_);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  /// Snapshot of a view's full observable state (for Proposition B:
+  /// other views unaffected).
+  std::string Snapshot(ViewId view_id) {
+    auto view = views_.GetView(view_id);
+    EXPECT_TRUE(view.ok());
+    std::string out = view.value()->ToString();
+    algebra::ExtentEvaluator extents(&graph_, &store_);
+    for (ClassId cls : view.value()->classes()) {
+      auto type = graph_.EffectiveType(cls);
+      EXPECT_TRUE(type.ok());
+      auto extent = extents.Extent(cls);
+      EXPECT_TRUE(extent.ok());
+      out += "\n" + view.value()->DisplayName(cls).value() + " : " +
+             type.value().ToString() + " #" +
+             std::to_string(extent.value().size());
+      for (Oid oid : extent.value()) out += " " + oid.ToString();
+    }
+    return out;
+  }
+
+  schema::SchemaGraph graph_;
+  objmodel::SlicingStore store_;
+  view::ViewManager views_;
+  TseManager manager_;
+  update::UpdateEngine updates_;
+  baseline::DirectEngine direct_;
+  baseline::OidBijection oids_;
+};
+
+}  // namespace tse::evolution
+
+#endif  // TSE_TESTS_EVOLUTION_EVOLUTION_TEST_UTIL_H_

@@ -1,0 +1,241 @@
+// Multi-user scenarios the paper motivates but does not spell out as
+// figures: several developers evolving overlapping views concurrently
+// (logically), chained evolutions on top of already-evolved views, and
+// the interoperability matrix across all resulting versions.
+
+#include <gtest/gtest.h>
+
+#include "evolution/change_parser.h"
+#include "evolution/tse_manager.h"
+#include "update/update_engine.h"
+
+namespace tse::evolution {
+namespace {
+
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+class MultiUserTest : public ::testing::Test {
+ protected:
+  MultiUserTest()
+      : views_(&graph_),
+        tse_(&graph_, &store_, &views_),
+        db_(&graph_, &store_, update::ValueClosurePolicy::kAllow) {
+    person_ = graph_
+                  .AddBaseClass(
+                      "Person", {},
+                      {PropertySpec::Attribute("name", ValueType::kString)})
+                  .value();
+    student_ = graph_
+                   .AddBaseClass(
+                       "Student", {person_},
+                       {PropertySpec::Attribute("major", ValueType::kString)})
+                   .value();
+    staff_ = graph_
+                 .AddBaseClass(
+                     "Staff", {person_},
+                     {PropertySpec::Attribute("salary", ValueType::kInt)})
+                 .value();
+    alice_ = db_.Create(student_, {{"name", Value::Str("alice")}}).value();
+    bob_ = db_.Create(staff_, {{"name", Value::Str("bob")}}).value();
+  }
+
+  ViewId Apply(ViewId vs, const std::string& command) {
+    auto change = ParseChange(command);
+    EXPECT_TRUE(change.ok()) << change.status().ToString();
+    auto r = tse_.ApplyChange(vs, change.value());
+    EXPECT_TRUE(r.ok()) << command << ": " << r.status().ToString();
+    return r.ok() ? r.value() : vs;
+  }
+
+  ClassId Resolve(ViewId vs, const std::string& name) {
+    return views_.GetView(vs).value()->Resolve(name).value();
+  }
+
+  schema::SchemaGraph graph_;
+  objmodel::SlicingStore store_;
+  view::ViewManager views_;
+  TseManager tse_;
+  update::UpdateEngine db_;
+  ClassId person_, student_, staff_;
+  Oid alice_, bob_;
+};
+
+TEST_F(MultiUserTest, ThreeUsersEvolveIndependently) {
+  ViewId ua = tse_.CreateView("UserA", {{person_, ""}, {student_, ""}})
+                  .value();
+  ViewId ub = tse_.CreateView("UserB", {{person_, ""}, {staff_, ""}})
+                  .value();
+  ViewId uc =
+      tse_.CreateView("UserC", {{person_, ""}, {student_, ""}, {staff_, ""}})
+          .value();
+
+  ViewId ua2 = Apply(ua, "add_attribute register:bool to Student");
+  ViewId ub2 = Apply(ub, "add_attribute office:string to Staff");
+  ViewId uc2 = Apply(uc, "delete_attribute major from Student");
+
+  // Each user sees exactly her own change.
+  EXPECT_TRUE(graph_.EffectiveType(Resolve(ua2, "Student"))
+                  .value()
+                  .ContainsName("register"));
+  EXPECT_TRUE(graph_.EffectiveType(Resolve(ub2, "Staff"))
+                  .value()
+                  .ContainsName("office"));
+  EXPECT_FALSE(graph_.EffectiveType(Resolve(uc2, "Student"))
+                   .value()
+                   .ContainsName("major"));
+  // ...and none of the others'.
+  EXPECT_FALSE(graph_.EffectiveType(Resolve(ua2, "Student"))
+                   .value()
+                   .ContainsName("office"));
+  EXPECT_TRUE(graph_.EffectiveType(Resolve(ua2, "Student"))
+                  .value()
+                  .ContainsName("major"));
+  EXPECT_FALSE(graph_.EffectiveType(Resolve(uc2, "Student"))
+                   .value()
+                   .ContainsName("register"));
+
+  // All six versions address the same alice.
+  for (ViewId vs : {ua, ua2, uc, uc2}) {
+    ClassId student = Resolve(vs, "Student");
+    EXPECT_TRUE(db_.extents().IsMember(alice_, student).value());
+  }
+}
+
+TEST_F(MultiUserTest, ChainedEvolutionOnEvolvedView) {
+  // Evolving a view whose classes are already virtual (primed) must
+  // stack cleanly: refine-over-refine, hide-over-refine, edges over
+  // everything.
+  ViewId vs = tse_.CreateView("Chain", {{person_, ""},
+                                        {student_, ""},
+                                        {staff_, ""}})
+                  .value();
+  vs = Apply(vs, "add_attribute a1:int to Student");
+  vs = Apply(vs, "add_attribute a2:int to Student");
+  vs = Apply(vs, "delete_attribute a1 from Student");
+  vs = Apply(vs, "add_edge Staff-Student");
+  vs = Apply(vs, "add_class Intern connected_to Student");
+  vs = Apply(vs, "delete_edge Staff-Student");
+
+  ClassId student = Resolve(vs, "Student");
+  schema::TypeSet t = graph_.EffectiveType(student).value();
+  EXPECT_FALSE(t.ContainsName("a1"));
+  EXPECT_TRUE(t.ContainsName("a2"));
+  EXPECT_FALSE(t.ContainsName("salary"));  // edge added then removed
+  EXPECT_TRUE(t.ContainsName("major"));
+  // Intern is still a (virtual-over-virtual) subclass of Student.
+  ClassId intern = Resolve(vs, "Intern");
+  const view::ViewSchema* view = views_.GetView(vs).value();
+  EXPECT_TRUE(view->TransitiveSupers(intern).count(student));
+  // Alice flowed through the whole chain.
+  EXPECT_TRUE(db_.extents().IsMember(alice_, student).value());
+  // Seven versions accumulated, all alive.
+  EXPECT_EQ(views_.History("Chain").size(), 7u);
+  for (ViewId old_vs : views_.History("Chain")) {
+    const view::ViewSchema* old_view = views_.GetView(old_vs).value();
+    for (ClassId cls : old_view->classes()) {
+      EXPECT_TRUE(db_.extents().Extent(cls).ok());
+    }
+  }
+}
+
+TEST_F(MultiUserTest, SameChangeTwiceByDifferentUsersSharesClasses) {
+  ViewId ua = tse_.CreateView("A", {{person_, ""}, {student_, ""}}).value();
+  ViewId ub = tse_.CreateView("B", {{person_, ""}, {student_, ""}}).value();
+  ViewId ua2 = Apply(ua, "add_attribute register:bool to Student");
+  size_t classes_after_first = graph_.class_count();
+  ViewId ub2 = Apply(ub, "add_attribute register:bool to Student");
+  // The classifier reuses the duplicate (Section 7): no new classes.
+  EXPECT_EQ(graph_.class_count(), classes_after_first);
+  EXPECT_EQ(Resolve(ua2, "Student"), Resolve(ub2, "Student"));
+  // Writes through one user's view are the other's too (same def).
+  ASSERT_TRUE(db_.Set(alice_, Resolve(ua2, "Student"), "register",
+                      Value::Bool(true))
+                  .ok());
+  EXPECT_EQ(db_.accessor()
+                .Read(alice_, Resolve(ub2, "Student"), "register")
+                .value(),
+            Value::Bool(true));
+}
+
+TEST_F(MultiUserTest, ConflictingChangesCoexist) {
+  // User A adds int `rating`; user B adds string `rating`. Distinct
+  // definitions must coexist in the global schema without clashing.
+  ViewId ua = tse_.CreateView("A", {{person_, ""}, {student_, ""}}).value();
+  ViewId ub = tse_.CreateView("B", {{person_, ""}, {student_, ""}}).value();
+  ViewId ua2 = Apply(ua, "add_attribute rating:int to Student");
+  ViewId ub2 = Apply(ub, "add_attribute rating:string to Student");
+  ClassId sa = Resolve(ua2, "Student");
+  ClassId sb = Resolve(ub2, "Student");
+  EXPECT_NE(sa, sb);
+  ASSERT_TRUE(db_.Set(alice_, sa, "rating", Value::Int(5)).ok());
+  ASSERT_TRUE(db_.Set(alice_, sb, "rating", Value::Str("good")).ok());
+  // Each view reads its own definition back.
+  EXPECT_EQ(db_.accessor().Read(alice_, sa, "rating").value(),
+            Value::Int(5));
+  EXPECT_EQ(db_.accessor().Read(alice_, sb, "rating").value(),
+            Value::Str("good"));
+  // Merging the two views disambiguates by suffix and keeps both.
+  auto merged = tse_.MergeVersions(ua2, ub2, "Merged");
+  ASSERT_TRUE(merged.ok());
+  const view::ViewSchema* mv = views_.GetView(merged.value()).value();
+  int student_classes = 0;
+  for (ClassId cls : mv->classes()) {
+    std::string name = mv->DisplayName(cls).value();
+    if (name.rfind("Student", 0) == 0) ++student_classes;
+  }
+  EXPECT_EQ(student_classes, 2);
+}
+
+TEST_F(MultiUserTest, DeepVersionHistoryStaysConsistent) {
+  ViewId vs = tse_.CreateView("Deep", {{person_, ""}, {student_, ""}})
+                  .value();
+  for (int i = 0; i < 20; ++i) {
+    vs = Apply(vs, "add_attribute f" + std::to_string(i) +
+                       ":int to Student");
+  }
+  EXPECT_EQ(views_.History("Deep").size(), 21u);
+  // The deepest Student carries all 20 attributes; the oldest none.
+  schema::TypeSet newest =
+      graph_.EffectiveType(Resolve(vs, "Student")).value();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(newest.ContainsName("f" + std::to_string(i)));
+  }
+  ViewId first = views_.History("Deep").front();
+  schema::TypeSet oldest =
+      graph_.EffectiveType(Resolve(first, "Student")).value();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(oldest.ContainsName("f" + std::to_string(i)));
+  }
+  // An object created through the newest view is visible in the oldest.
+  Oid fresh = db_.Create(Resolve(vs, "Student"), {}).value();
+  EXPECT_TRUE(
+      db_.extents().IsMember(fresh, Resolve(first, "Student")).value());
+}
+
+TEST_F(MultiUserTest, RenameClassIsViewLocal) {
+  ViewId ua = tse_.CreateView("RA", {{person_, ""}, {student_, ""}}).value();
+  ViewId ub = tse_.CreateView("RB", {{person_, ""}, {student_, ""}}).value();
+  ViewId ua2 = Apply(ua, "rename_class Student to Pupil");
+  const view::ViewSchema* va = views_.GetView(ua2).value();
+  // Same class, new name in this view only.
+  EXPECT_EQ(va->Resolve("Pupil").value(), student_);
+  EXPECT_TRUE(va->Resolve("Student").status().IsNotFound());
+  EXPECT_EQ(views_.GetView(ub).value()->Resolve("Student").value(),
+            student_);
+  EXPECT_EQ(graph_.GetClass(student_).value()->name, "Student");
+  // The rename composes with later changes addressed by the new name.
+  ViewId ua3 = Apply(ua2, "add_attribute register:bool to Pupil");
+  EXPECT_TRUE(graph_.EffectiveType(Resolve(ua3, "Pupil"))
+                  .value()
+                  .ContainsName("register"));
+  // Collision and missing-class errors.
+  auto clash = ParseChange("rename_class Pupil to Person").value();
+  EXPECT_TRUE(tse_.ApplyChange(ua3, clash).status().IsAlreadyExists());
+  auto missing = ParseChange("rename_class Ghost to X").value();
+  EXPECT_TRUE(tse_.ApplyChange(ua3, missing).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace tse::evolution

@@ -1,0 +1,140 @@
+#include "objmodel/expr_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace tse::objmodel {
+namespace {
+
+AttrResolver MapResolver(std::map<std::string, Value> attrs) {
+  return [attrs = std::move(attrs)](const std::string& name) -> Result<Value> {
+    auto it = attrs.find(name);
+    if (it == attrs.end()) return Status::NotFound("attr " + name);
+    return it->second;
+  };
+}
+
+Value Eval(const std::string& text,
+           std::map<std::string, Value> attrs = {}) {
+  auto parsed = ParseExpr(text);
+  EXPECT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+  if (!parsed.ok()) return Value::Null();
+  auto result = parsed.value()->Evaluate(Oid(7), MapResolver(std::move(attrs)));
+  EXPECT_TRUE(result.ok()) << text << ": " << result.status().ToString();
+  return result.ok() ? result.value() : Value::Null();
+}
+
+TEST(ExprParserTest, Literals) {
+  EXPECT_EQ(Eval("42"), Value::Int(42));
+  EXPECT_EQ(Eval("-7"), Value::Int(-7));
+  EXPECT_EQ(Eval("2.5"), Value::Real(2.5));
+  EXPECT_EQ(Eval("true"), Value::Bool(true));
+  EXPECT_EQ(Eval("false"), Value::Bool(false));
+  EXPECT_EQ(Eval("null"), Value::Null());
+  EXPECT_EQ(Eval("\"hello\""), Value::Str("hello"));
+  EXPECT_EQ(Eval("\"quote \\\" slash \\\\\""), Value::Str("quote \" slash \\"));
+  EXPECT_EQ(Eval("self"), Value::Ref(Oid(7)));
+}
+
+TEST(ExprParserTest, ArithmeticPrecedence) {
+  EXPECT_EQ(Eval("2 + 3 * 4"), Value::Int(14));
+  EXPECT_EQ(Eval("(2 + 3) * 4"), Value::Int(20));
+  EXPECT_EQ(Eval("10 - 4 - 3"), Value::Int(3));  // left associative
+  EXPECT_EQ(Eval("7 / 2"), Value::Int(3));
+  EXPECT_EQ(Eval("7.0 / 2"), Value::Real(3.5));
+}
+
+TEST(ExprParserTest, ComparisonsAndBooleans) {
+  EXPECT_EQ(Eval("1 < 2"), Value::Bool(true));
+  EXPECT_EQ(Eval("2 <= 2"), Value::Bool(true));
+  EXPECT_EQ(Eval("3 > 4"), Value::Bool(false));
+  EXPECT_EQ(Eval("3 >= 4"), Value::Bool(false));
+  EXPECT_EQ(Eval("1 == 1"), Value::Bool(true));
+  EXPECT_EQ(Eval("1 != 1"), Value::Bool(false));
+  EXPECT_EQ(Eval("1 < 2 and 2 < 3"), Value::Bool(true));
+  EXPECT_EQ(Eval("1 > 2 or 2 < 3"), Value::Bool(true));
+  EXPECT_EQ(Eval("not (1 < 2)"), Value::Bool(false));
+  // and binds tighter than or.
+  EXPECT_EQ(Eval("true or false and false"), Value::Bool(true));
+}
+
+TEST(ExprParserTest, AttributesResolve) {
+  EXPECT_EQ(Eval("age + 1", {{"age", Value::Int(20)}}), Value::Int(21));
+  EXPECT_EQ(Eval("gpa >= 3.5", {{"gpa", Value::Real(3.9)}}),
+            Value::Bool(true));
+  EXPECT_EQ(Eval("name ++ \"!\"", {{"name", Value::Str("ann")}}),
+            Value::Str("ann!"));
+}
+
+TEST(ExprParserTest, IfExpression) {
+  EXPECT_EQ(Eval("if(age >= 18, \"adult\", \"minor\")",
+                 {{"age", Value::Int(30)}}),
+            Value::Str("adult"));
+  EXPECT_EQ(Eval("if(false, 1, 2)"), Value::Int(2));
+}
+
+TEST(ExprParserTest, KeywordsNotConfusedWithIdentifiers) {
+  // "order" starts with "or" but is one identifier.
+  EXPECT_EQ(Eval("order", {{"order", Value::Int(5)}}), Value::Int(5));
+  EXPECT_EQ(Eval("android", {{"android", Value::Bool(true)}}),
+            Value::Bool(true));
+  EXPECT_EQ(Eval("iffy", {{"iffy", Value::Int(1)}}), Value::Int(1));
+  EXPECT_EQ(Eval("nothing", {{"nothing", Value::Int(9)}}), Value::Int(9));
+}
+
+TEST(ExprParserTest, ConcatVsPlus) {
+  EXPECT_EQ(Eval("\"a\" ++ \"b\" ++ \"c\""), Value::Str("abc"));
+  EXPECT_EQ(Eval("1 + 2"), Value::Int(3));
+}
+
+TEST(ExprParserTest, RoundTripsThroughToString) {
+  // Parsed trees render and the rendering parses back to equal results.
+  const char* exprs[] = {
+      "(age + 1)", "if((gpa >= 3.5), \"h\", \"n\")", "(not flag)",
+      "((a + b) * c)",
+  };
+  std::map<std::string, Value> env = {
+      {"age", Value::Int(1)},   {"gpa", Value::Real(3.6)},
+      {"flag", Value::Bool(false)}, {"a", Value::Int(1)},
+      {"b", Value::Int(2)},     {"c", Value::Int(3)},
+  };
+  for (const char* text : exprs) {
+    auto first = ParseExpr(text);
+    ASSERT_TRUE(first.ok()) << text;
+    auto second = ParseExpr(first.value()->ToString());
+    ASSERT_TRUE(second.ok()) << first.value()->ToString();
+    EXPECT_EQ(first.value()->Evaluate(Oid(1), MapResolver(env)).value(),
+              second.value()->Evaluate(Oid(1), MapResolver(env)).value());
+  }
+}
+
+TEST(ExprParserTest, ErrorsAreReported) {
+  EXPECT_FALSE(ParseExpr("").ok());
+  EXPECT_FALSE(ParseExpr("1 +").ok());
+  EXPECT_FALSE(ParseExpr("(1").ok());
+  EXPECT_FALSE(ParseExpr("\"unterminated").ok());
+  EXPECT_FALSE(ParseExpr("if(1,2)").ok());
+  EXPECT_FALSE(ParseExpr("1 2").ok());
+  EXPECT_FALSE(ParseExpr("1..2").ok());
+  EXPECT_FALSE(ParseExpr("@").ok());
+}
+
+TEST(ExprParserTest, SerializationRoundTripOfParsedTrees) {
+  auto parsed =
+      ParseExpr("if(gpa >= 3.5 and age < 30, \"young star\", name)").value();
+  std::string buf;
+  parsed->EncodeTo(&buf);
+  size_t pos = 0;
+  auto decoded = MethodExpr::DecodeFrom(buf, &pos);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(pos, buf.size());
+  std::map<std::string, Value> env = {{"gpa", Value::Real(3.9)},
+                                      {"age", Value::Int(25)},
+                                      {"name", Value::Str("x")}};
+  EXPECT_EQ(decoded.value()->Evaluate(Oid(1), MapResolver(env)).value(),
+            Value::Str("young star"));
+}
+
+}  // namespace
+}  // namespace tse::objmodel

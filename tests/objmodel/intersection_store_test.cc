@@ -1,0 +1,172 @@
+#include "objmodel/intersection_store.h"
+
+#include <gtest/gtest.h>
+
+namespace tse::objmodel {
+namespace {
+
+class IntersectionStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    car_ = store_.DefineClass("Car", {}, {"wheels"}).value();
+    jeep_ = store_.DefineClass("Jeep", {car_}, {"clearance"}).value();
+    imported_ = store_.DefineClass("Imported", {car_}, {"nation"}).value();
+  }
+
+  IntersectionStore store_;
+  ClassId car_, jeep_, imported_;
+};
+
+TEST_F(IntersectionStoreTest, DefineAndLookup) {
+  EXPECT_EQ(store_.FindClass("Car").value(), car_);
+  EXPECT_TRUE(store_.FindClass("Boat").status().IsNotFound());
+  EXPECT_TRUE(store_.DefineClass("Car", {}, {}).status().IsAlreadyExists());
+  EXPECT_EQ(store_.class_count(), 3u);
+}
+
+TEST_F(IntersectionStoreTest, LayoutInheritsParentAttrs) {
+  auto attrs = store_.AttrsOf(jeep_).value();
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0], "wheels");     // inherited first
+  EXPECT_EQ(attrs[1], "clearance");  // then local
+}
+
+TEST_F(IntersectionStoreTest, SubclassQueries) {
+  EXPECT_TRUE(store_.IsSubclassOf(jeep_, car_));
+  EXPECT_TRUE(store_.IsSubclassOf(car_, car_));
+  EXPECT_FALSE(store_.IsSubclassOf(car_, jeep_));
+  EXPECT_FALSE(store_.IsSubclassOf(jeep_, imported_));
+}
+
+TEST_F(IntersectionStoreTest, ObjectsBelongToExactlyOneClass) {
+  Oid o = store_.CreateObject(jeep_).value();
+  EXPECT_EQ(store_.ClassOf(o).value(), jeep_);
+  auto types = store_.TypesOf(o).value();
+  ASSERT_EQ(types.size(), 1u);
+  EXPECT_EQ(types[0], jeep_);
+}
+
+TEST_F(IntersectionStoreTest, InheritedAttributeAccessIsDirect) {
+  Oid o = store_.CreateObject(jeep_).value();
+  ASSERT_TRUE(store_.SetValue(o, "wheels", Value::Int(4)).ok());
+  ASSERT_TRUE(store_.SetValue(o, "clearance", Value::Int(20)).ok());
+  EXPECT_EQ(store_.GetValue(o, "wheels").value(), Value::Int(4));
+  EXPECT_TRUE(store_.GetValue(o, "nation").status().IsNotFound());
+}
+
+TEST_F(IntersectionStoreTest, AddTypeCreatesIntersectionClass) {
+  // Figure 5 (b): o1 of type Jeep becomes also Imported -> Jeep&Imported.
+  Oid o = store_.CreateObject(jeep_).value();
+  ASSERT_TRUE(store_.SetValue(o, "wheels", Value::Int(4)).ok());
+  size_t before = store_.class_count();
+  ASSERT_TRUE(store_.AddType(o, imported_).ok());
+  EXPECT_EQ(store_.class_count(), before + 1);  // Jeep&Imported created
+  // Same oid survives (identity swap).
+  EXPECT_TRUE(store_.Exists(o));
+  auto types = store_.TypesOf(o).value();
+  EXPECT_EQ(types.size(), 2u);
+  // Values were copied into the new record.
+  EXPECT_EQ(store_.GetValue(o, "wheels").value(), Value::Int(4));
+  // Attributes of both classes now accessible.
+  ASSERT_TRUE(store_.SetValue(o, "nation", Value::Str("JP")).ok());
+  EXPECT_EQ(store_.GetValue(o, "nation").value(), Value::Str("JP"));
+  EXPECT_EQ(store_.Stats().reclassification_copies, 1u);
+}
+
+TEST_F(IntersectionStoreTest, AddTypeReusesExistingIntersection) {
+  Oid a = store_.CreateObject(jeep_).value();
+  Oid b = store_.CreateObject(jeep_).value();
+  ASSERT_TRUE(store_.AddType(a, imported_).ok());
+  size_t count = store_.class_count();
+  ASSERT_TRUE(store_.AddType(b, imported_).ok());
+  EXPECT_EQ(store_.class_count(), count);  // reused
+  ASSERT_TRUE(store_.AddType(b, imported_).ok());  // idempotent
+  EXPECT_EQ(store_.TypesOf(b).value().size(), 2u);
+}
+
+TEST_F(IntersectionStoreTest, RemoveTypeReclassifiesBack) {
+  Oid o = store_.CreateObject(jeep_).value();
+  ASSERT_TRUE(store_.AddType(o, imported_).ok());
+  ASSERT_TRUE(store_.SetValue(o, "clearance", Value::Int(25)).ok());
+  ASSERT_TRUE(store_.RemoveType(o, imported_).ok());
+  EXPECT_EQ(store_.ClassOf(o).value(), jeep_);
+  EXPECT_EQ(store_.GetValue(o, "clearance").value(), Value::Int(25));
+  EXPECT_TRUE(store_.GetValue(o, "nation").status().IsNotFound());
+  // Cannot remove the last type.
+  EXPECT_EQ(store_.RemoveType(o, jeep_).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(IntersectionStoreTest, ExtentsIncludeIntersectionMembers) {
+  Oid j = store_.CreateObject(jeep_).value();
+  Oid i = store_.CreateObject(imported_).value();
+  Oid both = store_.CreateObject(jeep_).value();
+  ASSERT_TRUE(store_.AddType(both, imported_).ok());
+  (void)j;
+  (void)i;
+  EXPECT_EQ(store_.ExtentSize(car_), 3u);
+  EXPECT_EQ(store_.ExtentSize(jeep_), 2u);
+  EXPECT_EQ(store_.ExtentSize(imported_), 2u);
+}
+
+TEST_F(IntersectionStoreTest, CannotAddIntersectionClassAsType) {
+  Oid o = store_.CreateObject(jeep_).value();
+  ASSERT_TRUE(store_.AddType(o, imported_).ok());
+  ClassId inter = store_.ClassOf(o).value();
+  Oid o2 = store_.CreateObject(car_).value();
+  EXPECT_EQ(store_.AddType(o2, inter).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IntersectionStoreTest, ClassExplosionWithManyMixins) {
+  // Table 1 "#classes": every distinct combination materializes a class.
+  std::vector<ClassId> mixins;
+  for (int i = 0; i < 4; ++i) {
+    mixins.push_back(
+        store_.DefineClass("Mixin" + std::to_string(i), {car_},
+                           {"m" + std::to_string(i)})
+            .value());
+  }
+  size_t base = store_.class_count();
+  // Create objects with every nonempty subset of the 4 mixins.
+  int combos = 0;
+  for (int mask = 1; mask < 16; ++mask) {
+    int first = -1;
+    for (int b = 0; b < 4; ++b) {
+      if (mask & (1 << b)) {
+        first = b;
+        break;
+      }
+    }
+    Oid o = store_.CreateObject(mixins[static_cast<size_t>(first)]).value();
+    for (int b = first + 1; b < 4; ++b) {
+      if (mask & (1 << b)) {
+        ASSERT_TRUE(store_.AddType(o, mixins[static_cast<size_t>(b)]).ok());
+      }
+    }
+    ++combos;
+  }
+  EXPECT_EQ(combos, 15);
+  // 11 multi-type subsets (those of size >= 2) become new classes.
+  EXPECT_EQ(store_.class_count() - base, 11u);
+  EXPECT_EQ(store_.Stats().intersection_classes, 11u);
+}
+
+TEST_F(IntersectionStoreTest, StatsCountOidsPerTable1) {
+  Oid a = store_.CreateObject(jeep_).value();
+  ASSERT_TRUE(store_.AddType(a, imported_).ok());
+  IntersectionStats stats = store_.Stats();
+  EXPECT_EQ(stats.objects, 1u);
+  EXPECT_EQ(stats.total_oids, 1u);  // one oid regardless of types
+  EXPECT_EQ(stats.managerial_bytes, sizeof(uint64_t));
+}
+
+TEST_F(IntersectionStoreTest, DestroyObjectRemovesFromExtent) {
+  Oid o = store_.CreateObject(jeep_).value();
+  ASSERT_TRUE(store_.DestroyObject(o).ok());
+  EXPECT_FALSE(store_.Exists(o));
+  EXPECT_EQ(store_.ExtentSize(jeep_), 0u);
+  EXPECT_TRUE(store_.DestroyObject(o).IsNotFound());
+}
+
+}  // namespace
+}  // namespace tse::objmodel

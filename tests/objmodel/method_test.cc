@@ -1,0 +1,130 @@
+#include "objmodel/method.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace tse::objmodel {
+namespace {
+
+using E = MethodExpr;
+
+AttrResolver MapResolver(std::map<std::string, Value> attrs) {
+  return [attrs = std::move(attrs)](const std::string& name) -> Result<Value> {
+    auto it = attrs.find(name);
+    if (it == attrs.end()) return Status::NotFound("attr " + name);
+    return it->second;
+  };
+}
+
+TEST(MethodTest, LiteralEvaluatesToItself) {
+  auto e = E::Lit(Value::Int(7));
+  EXPECT_EQ(e->Evaluate(Oid(1), MapResolver({})).value(), Value::Int(7));
+}
+
+TEST(MethodTest, AttrReadsReceiver) {
+  auto e = E::Attr("age");
+  auto r = MapResolver({{"age", Value::Int(30)}});
+  EXPECT_EQ(e->Evaluate(Oid(1), r).value(), Value::Int(30));
+}
+
+TEST(MethodTest, MissingAttrPropagatesError) {
+  auto e = E::Attr("ghost");
+  EXPECT_TRUE(e->Evaluate(Oid(1), MapResolver({})).status().IsNotFound());
+}
+
+TEST(MethodTest, SelfReturnsReceiverRef) {
+  auto e = E::Self();
+  EXPECT_EQ(e->Evaluate(Oid(42), MapResolver({})).value(),
+            Value::Ref(Oid(42)));
+}
+
+TEST(MethodTest, IntegerArithmeticStaysIntegral) {
+  auto e = E::Add(E::Lit(Value::Int(2)), E::Mul(E::Lit(Value::Int(3)),
+                                                E::Lit(Value::Int(4))));
+  EXPECT_EQ(e->Evaluate(Oid(1), MapResolver({})).value(), Value::Int(14));
+}
+
+TEST(MethodTest, MixedArithmeticWidens) {
+  auto e = E::Add(E::Lit(Value::Int(1)), E::Lit(Value::Real(0.5)));
+  EXPECT_EQ(e->Evaluate(Oid(1), MapResolver({})).value(), Value::Real(1.5));
+}
+
+TEST(MethodTest, DivisionByZeroFails) {
+  auto e = E::Binary(ExprOp::kDiv, E::Lit(Value::Int(1)),
+                     E::Lit(Value::Int(0)));
+  EXPECT_FALSE(e->Evaluate(Oid(1), MapResolver({})).ok());
+}
+
+TEST(MethodTest, Comparisons) {
+  auto r = MapResolver({{"gpa", Value::Real(3.6)}});
+  EXPECT_EQ(E::Ge(E::Attr("gpa"), E::Lit(Value::Real(3.5)))
+                ->Evaluate(Oid(1), r)
+                .value(),
+            Value::Bool(true));
+  EXPECT_EQ(E::Lt(E::Attr("gpa"), E::Lit(Value::Int(3)))
+                ->Evaluate(Oid(1), r)
+                .value(),
+            Value::Bool(false));
+  EXPECT_EQ(E::Eq(E::Lit(Value::Str("a")), E::Lit(Value::Str("a")))
+                ->Evaluate(Oid(1), r)
+                .value(),
+            Value::Bool(true));
+}
+
+TEST(MethodTest, StringOrderingComparison) {
+  auto e = E::Lt(E::Lit(Value::Str("abc")), E::Lit(Value::Str("abd")));
+  EXPECT_EQ(e->Evaluate(Oid(1), MapResolver({})).value(), Value::Bool(true));
+}
+
+TEST(MethodTest, BooleanShortCircuit) {
+  // The right side would fail (missing attr) but must not be evaluated.
+  auto and_e = E::And(E::Lit(Value::Bool(false)), E::Attr("missing"));
+  EXPECT_EQ(and_e->Evaluate(Oid(1), MapResolver({})).value(),
+            Value::Bool(false));
+  auto or_e = E::Or(E::Lit(Value::Bool(true)), E::Attr("missing"));
+  EXPECT_EQ(or_e->Evaluate(Oid(1), MapResolver({})).value(),
+            Value::Bool(true));
+}
+
+TEST(MethodTest, NotAndIf) {
+  auto e = E::If(E::Not(E::Lit(Value::Bool(false))),
+                 E::Lit(Value::Str("yes")), E::Lit(Value::Str("no")));
+  EXPECT_EQ(e->Evaluate(Oid(1), MapResolver({})).value(), Value::Str("yes"));
+}
+
+TEST(MethodTest, Concat) {
+  auto r = MapResolver({{"first", Value::Str("Ada")},
+                        {"last", Value::Str("Lovelace")}});
+  auto e = E::Concat(E::Attr("first"),
+                     E::Concat(E::Lit(Value::Str(" ")), E::Attr("last")));
+  EXPECT_EQ(e->Evaluate(Oid(1), r).value(), Value::Str("Ada Lovelace"));
+}
+
+TEST(MethodTest, CollectAttrNames) {
+  auto e = E::If(E::Ge(E::Attr("gpa"), E::Lit(Value::Real(3.5))),
+                 E::Attr("honor_title"), E::Attr("name"));
+  std::vector<std::string> names;
+  e->CollectAttrNames(&names);
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "gpa");
+  EXPECT_EQ(names[1], "honor_title");
+  EXPECT_EQ(names[2], "name");
+}
+
+TEST(MethodTest, ToStringRendering) {
+  auto e = E::Add(E::Attr("age"), E::Lit(Value::Int(1)));
+  EXPECT_EQ(e->ToString(), "(age + 1)");
+  EXPECT_EQ(E::Not(E::Attr("flag"))->ToString(), "(not flag)");
+  EXPECT_EQ(E::Self()->ToString(), "self");
+}
+
+TEST(MethodTest, TypeErrorsSurface) {
+  auto e = E::Add(E::Lit(Value::Str("x")), E::Lit(Value::Int(1)));
+  EXPECT_FALSE(e->Evaluate(Oid(1), MapResolver({})).ok());
+  auto e2 = E::And(E::Lit(Value::Int(1)), E::Lit(Value::Bool(true)));
+  EXPECT_FALSE(e2->Evaluate(Oid(1), MapResolver({})).ok());
+}
+
+}  // namespace
+}  // namespace tse::objmodel

@@ -1,0 +1,121 @@
+// Reproduces Figure 5 of the paper: the Jeep/Imported multiple-
+// classification scenario implemented under both architectures, plus
+// the comparative claims of Table 1 that are checkable as invariants.
+
+#include <gtest/gtest.h>
+
+#include "objmodel/intersection_store.h"
+#include "objmodel/slicing_store.h"
+
+namespace tse::objmodel {
+namespace {
+
+// Shared scenario: class Car (wheels), subclass Jeep (clearance),
+// refining class Imported (nation). Object o1 must be simultaneously a
+// Jeep and an Imported.
+
+TEST(Figure5Test, ObjectSlicingSideBySideWithIntersection) {
+  // --- Object-slicing (Figure 5 (c)) ---
+  SlicingStore slicing;
+  const ClassId kCar(1), kJeep(2), kImported(3);
+  const PropertyDefId kWheels(1), kClearance(2), kNation(3);
+  Oid s1 = slicing.CreateObject();
+  ASSERT_TRUE(slicing.AddMembership(s1, kJeep).ok());
+  ASSERT_TRUE(slicing.SetValue(s1, kCar, kWheels, Value::Int(4)).ok());
+  ASSERT_TRUE(slicing.SetValue(s1, kJeep, kClearance, Value::Int(22)).ok());
+  // Dynamic reclassification: attach the Imported slice. O(1), no copy.
+  ASSERT_TRUE(slicing.SetValue(s1, kImported, kNation, Value::Str("JP")).ok());
+  EXPECT_EQ(slicing.SliceClasses(s1).size(), 3u);
+
+  // --- Intersection-class (Figure 5 (b)) ---
+  IntersectionStore inter;
+  ClassId car = inter.DefineClass("Car", {}, {"wheels"}).value();
+  ClassId jeep = inter.DefineClass("Jeep", {car}, {"clearance"}).value();
+  ClassId imported = inter.DefineClass("Imported", {car}, {"nation"}).value();
+  Oid i1 = inter.CreateObject(jeep).value();
+  ASSERT_TRUE(inter.SetValue(i1, "wheels", Value::Int(4)).ok());
+  ASSERT_TRUE(inter.SetValue(i1, "clearance", Value::Int(22)).ok());
+  size_t classes_before = inter.class_count();
+  ASSERT_TRUE(inter.AddType(i1, imported).ok());
+  ASSERT_TRUE(inter.SetValue(i1, "nation", Value::Str("JP")).ok());
+
+  // Both architectures answer the same logical queries...
+  EXPECT_EQ(slicing.GetValue(s1, kImported, kNation).value(),
+            inter.GetValue(i1, "nation").value());
+  EXPECT_EQ(slicing.GetValue(s1, kCar, kWheels).value(),
+            inter.GetValue(i1, "wheels").value());
+
+  // ...but the bookkeeping differs exactly as Table 1 says.
+  // #oids: slicing pays 1 + N_impl; intersection pays 1.
+  EXPECT_EQ(slicing.Stats().total_oids, 1u + 3u);
+  EXPECT_EQ(inter.Stats().total_oids, 1u);
+  // #classes: slicing adds none; intersection materialized Jeep&Imported.
+  EXPECT_EQ(inter.class_count(), classes_before + 1);
+  // Dynamic classification: intersection had to copy the object.
+  EXPECT_EQ(inter.Stats().reclassification_copies, 1u);
+  // Storage for managerial purposes: slicing strictly larger.
+  EXPECT_GT(slicing.Stats().managerial_bytes,
+            inter.Stats().managerial_bytes);
+}
+
+TEST(Figure5Test, SlicingCastIsRepresentativeSwitch) {
+  // Casting in the slicing model = choosing which implementation object
+  // represents the conceptual object; no data movement.
+  SlicingStore slicing;
+  const ClassId kJeep(2), kImported(3);
+  const PropertyDefId kClearance(2), kNation(3);
+  Oid o = slicing.CreateObject();
+  ASSERT_TRUE(slicing.SetValue(o, kJeep, kClearance, Value::Int(20)).ok());
+  ASSERT_TRUE(slicing.SetValue(o, kImported, kNation, Value::Str("DE")).ok());
+  // "Cast to Jeep": address the Jeep slice.
+  EXPECT_EQ(slicing.GetValue(o, kJeep, kClearance).value(), Value::Int(20));
+  // "Cast to Imported": address the Imported slice. Same oid throughout.
+  EXPECT_EQ(slicing.GetValue(o, kImported, kNation).value(),
+            Value::Str("DE"));
+}
+
+TEST(Figure5Test, IntersectionIdentitySwapPreservesOid) {
+  IntersectionStore inter;
+  ClassId car = inter.DefineClass("Car", {}, {"wheels"}).value();
+  ClassId imported = inter.DefineClass("Imported", {car}, {"nation"}).value();
+  Oid o = inter.CreateObject(car).value();
+  Oid before = o;
+  ASSERT_TRUE(inter.AddType(o, imported).ok());
+  // The paper's "swap mechanism": external identity must not change.
+  EXPECT_EQ(o, before);
+  EXPECT_TRUE(inter.Exists(before));
+}
+
+TEST(Table1Test, ClassGrowthIsCombinatorialOnlyForIntersection) {
+  // N user mixin classes; objects take random pairs of them.
+  constexpr int kMixins = 6;
+  IntersectionStore inter;
+  SlicingStore slicing;
+  ClassId root = inter.DefineClass("Root", {}, {"r"}).value();
+  std::vector<ClassId> mixins;
+  for (int i = 0; i < kMixins; ++i) {
+    mixins.push_back(inter
+                         .DefineClass("M" + std::to_string(i), {root},
+                                      {"a" + std::to_string(i)})
+                         .value());
+  }
+  size_t user_classes = inter.class_count();
+  int pairs = 0;
+  for (int i = 0; i < kMixins; ++i) {
+    for (int j = i + 1; j < kMixins; ++j) {
+      Oid io = inter.CreateObject(mixins[static_cast<size_t>(i)]).value();
+      ASSERT_TRUE(inter.AddType(io, mixins[static_cast<size_t>(j)]).ok());
+      Oid so = slicing.CreateObject();
+      ASSERT_TRUE(slicing.AddSlice(so, ClassId(static_cast<uint64_t>(i))).ok());
+      ASSERT_TRUE(slicing.AddSlice(so, ClassId(static_cast<uint64_t>(j))).ok());
+      ++pairs;
+    }
+  }
+  // Intersection: one new class per distinct pair (C(6,2) = 15).
+  EXPECT_EQ(inter.class_count(), user_classes + static_cast<size_t>(pairs));
+  // Slicing: zero hidden classes, ever.
+  EXPECT_EQ(slicing.Stats().conceptual_objects, static_cast<size_t>(pairs));
+}
+
+}  // namespace
+}  // namespace tse::objmodel

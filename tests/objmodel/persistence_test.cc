@@ -1,0 +1,154 @@
+#include "objmodel/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/random.h"
+
+namespace tse::objmodel {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tse_pb_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    base_ = (dir_ / "objects").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<storage::RecordStore> OpenDb() {
+    auto r = storage::RecordStore::Open(base_, storage::RecordStoreOptions{});
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  std::filesystem::path dir_;
+  std::string base_;
+};
+
+TEST_F(PersistenceTest, RoundTripSingleObject) {
+  SlicingStore store;
+  Oid o = store.CreateObject();
+  ASSERT_TRUE(store.AddMembership(o, ClassId(5)).ok());
+  ASSERT_TRUE(store.SetValue(o, ClassId(5), PropertyDefId(1),
+                             Value::Str("alice")).ok());
+  ASSERT_TRUE(store.SetValue(o, ClassId(7), PropertyDefId(2),
+                             Value::Int(30)).ok());
+  {
+    auto db = OpenDb();
+    ASSERT_TRUE(PersistenceBridge::SaveAll(store, db.get()).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  SlicingStore loaded;
+  auto db = OpenDb();
+  ASSERT_TRUE(PersistenceBridge::LoadAll(db.get(), &loaded).ok());
+  ASSERT_TRUE(loaded.Exists(o));
+  EXPECT_TRUE(loaded.HasMembership(o, ClassId(5)));
+  EXPECT_EQ(loaded.GetValue(o, ClassId(5), PropertyDefId(1)).value(),
+            Value::Str("alice"));
+  EXPECT_EQ(loaded.GetValue(o, ClassId(7), PropertyDefId(2)).value(),
+            Value::Int(30));
+  // Implementation oids survive the round trip.
+  EXPECT_EQ(loaded.SliceImplOid(o, ClassId(5)).value(),
+            store.SliceImplOid(o, ClassId(5)).value());
+}
+
+TEST_F(PersistenceTest, LoadIntoNonEmptyStoreFails) {
+  SlicingStore store;
+  store.CreateObject();
+  auto db = OpenDb();
+  EXPECT_EQ(PersistenceBridge::LoadAll(db.get(), &store).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PersistenceTest, SaveObjectDeletesDestroyedObjects) {
+  SlicingStore store;
+  Oid keep = store.CreateObject();
+  Oid gone = store.CreateObject();
+  auto db = OpenDb();
+  ASSERT_TRUE(PersistenceBridge::SaveAll(store, db.get()).ok());
+  ASSERT_TRUE(store.DestroyObject(gone).ok());
+  ASSERT_TRUE(PersistenceBridge::SaveObject(store, gone, db.get()).ok());
+  EXPECT_TRUE(db->Contains(keep.value()));
+  EXPECT_FALSE(db->Contains(gone.value()));
+}
+
+TEST_F(PersistenceTest, SaveAllPrunesStaleRecords) {
+  SlicingStore store;
+  Oid a = store.CreateObject();
+  Oid b = store.CreateObject();
+  auto db = OpenDb();
+  ASSERT_TRUE(PersistenceBridge::SaveAll(store, db.get()).ok());
+  ASSERT_TRUE(store.DestroyObject(b).ok());
+  ASSERT_TRUE(PersistenceBridge::SaveAll(store, db.get()).ok());
+  EXPECT_TRUE(db->Contains(a.value()));
+  EXPECT_FALSE(db->Contains(b.value()));
+}
+
+TEST_F(PersistenceTest, AllocatorContinuesAfterLoad) {
+  SlicingStore store;
+  Oid o = store.CreateObject();
+  ASSERT_TRUE(store.AddSlice(o, ClassId(1)).ok());
+  {
+    auto db = OpenDb();
+    ASSERT_TRUE(PersistenceBridge::SaveAll(store, db.get()).ok());
+  }
+  SlicingStore loaded;
+  auto db = OpenDb();
+  ASSERT_TRUE(PersistenceBridge::LoadAll(db.get(), &loaded).ok());
+  // New oids must not collide with reloaded conceptual or impl oids.
+  Oid fresh = loaded.CreateObject();
+  EXPECT_FALSE(fresh == o);
+  EXPECT_FALSE(fresh == store.SliceImplOid(o, ClassId(1)).value());
+}
+
+TEST_F(PersistenceTest, RandomizedPopulationRoundTrip) {
+  tse::Rng rng(31337);
+  SlicingStore store;
+  std::vector<Oid> oids;
+  for (int i = 0; i < 200; ++i) {
+    Oid o = store.CreateObject();
+    oids.push_back(o);
+    size_t memberships = 1 + rng.Uniform(3);
+    for (size_t m = 0; m < memberships; ++m) {
+      ASSERT_TRUE(store.AddMembership(o, ClassId(rng.Uniform(10))).ok());
+    }
+    size_t slices = rng.Uniform(4);
+    for (size_t s = 0; s < slices; ++s) {
+      ClassId cls(rng.Uniform(10));
+      PropertyDefId def(rng.Uniform(6));
+      Value v = rng.Percent(50)
+                    ? Value::Int(static_cast<int64_t>(rng.Uniform(1000)))
+                    : Value::Str(rng.Ident(8));
+      ASSERT_TRUE(store.SetValue(o, cls, def, v).ok());
+    }
+  }
+  {
+    auto db = OpenDb();
+    ASSERT_TRUE(PersistenceBridge::SaveAll(store, db.get()).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  SlicingStore loaded;
+  auto db = OpenDb();
+  ASSERT_TRUE(PersistenceBridge::LoadAll(db.get(), &loaded).ok());
+  ASSERT_EQ(loaded.object_count(), store.object_count());
+  for (Oid o : oids) {
+    ASSERT_EQ(loaded.DirectClasses(o), store.DirectClasses(o));
+    ASSERT_EQ(loaded.SliceClasses(o), store.SliceClasses(o));
+    for (ClassId cls : store.SliceClasses(o)) {
+      auto want = store.SliceValues(o, cls).value();
+      auto got = loaded.SliceValues(o, cls).value();
+      ASSERT_EQ(got.size(), want.size());
+      for (const auto& [def, v] : want) {
+        ASSERT_EQ(got.at(def), v);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tse::objmodel

@@ -1,0 +1,238 @@
+#include "objmodel/slicing_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tse::objmodel {
+namespace {
+
+const ClassId kCar(1);
+const ClassId kJeep(2);
+const ClassId kImported(3);
+const PropertyDefId kWheels(10);
+const PropertyDefId kNation(11);
+
+TEST(SlicingStoreTest, CreateAndDestroy) {
+  SlicingStore store;
+  Oid a = store.CreateObject();
+  Oid b = store.CreateObject();
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(store.Exists(a));
+  EXPECT_EQ(store.object_count(), 2u);
+  ASSERT_TRUE(store.DestroyObject(a).ok());
+  EXPECT_FALSE(store.Exists(a));
+  EXPECT_TRUE(store.DestroyObject(a).IsNotFound());
+}
+
+TEST(SlicingStoreTest, CreateWithOidRespectsCollisions) {
+  SlicingStore store;
+  ASSERT_TRUE(store.CreateObjectWithOid(Oid(100)).ok());
+  EXPECT_TRUE(store.CreateObjectWithOid(Oid(100)).IsAlreadyExists());
+  // Allocator must skip past the reserved oid.
+  Oid next = store.CreateObject();
+  EXPECT_GT(next.value(), 100u);
+}
+
+TEST(SlicingStoreTest, SlicesAttachAndDetach) {
+  SlicingStore store;
+  Oid o = store.CreateObject();
+  EXPECT_FALSE(store.HasSlice(o, kCar));
+  ASSERT_TRUE(store.AddSlice(o, kCar).ok());
+  ASSERT_TRUE(store.AddSlice(o, kCar).ok());  // idempotent
+  EXPECT_TRUE(store.HasSlice(o, kCar));
+  EXPECT_EQ(store.SliceClasses(o).size(), 1u);
+  ASSERT_TRUE(store.RemoveSlice(o, kCar).ok());
+  EXPECT_FALSE(store.HasSlice(o, kCar));
+  EXPECT_TRUE(store.RemoveSlice(o, kCar).IsNotFound());
+}
+
+TEST(SlicingStoreTest, ValuesLiveInSlices) {
+  SlicingStore store;
+  Oid o = store.CreateObject();
+  // SetValue lazily creates the slice (dynamic restructuring).
+  ASSERT_TRUE(store.SetValue(o, kCar, kWheels, Value::Int(4)).ok());
+  EXPECT_TRUE(store.HasSlice(o, kCar));
+  EXPECT_EQ(store.GetValue(o, kCar, kWheels).value(), Value::Int(4));
+  // Unset property reads as Null.
+  EXPECT_EQ(store.GetValue(o, kCar, kNation).value(), Value::Null());
+  // Missing slice reads as Null too.
+  EXPECT_EQ(store.GetValue(o, kImported, kNation).value(), Value::Null());
+  // Missing object is an error.
+  EXPECT_FALSE(store.GetValue(Oid(999), kCar, kWheels).ok());
+}
+
+TEST(SlicingStoreTest, MultipleClassificationViaSlices) {
+  // Figure 5 (c): o1 is simultaneously Car, Jeep and Imported.
+  SlicingStore store;
+  Oid o1 = store.CreateObject();
+  ASSERT_TRUE(store.SetValue(o1, kCar, kWheels, Value::Int(4)).ok());
+  ASSERT_TRUE(store.AddSlice(o1, kJeep).ok());
+  ASSERT_TRUE(store.SetValue(o1, kImported, kNation, Value::Str("JP")).ok());
+  EXPECT_EQ(store.SliceClasses(o1).size(), 3u);
+  EXPECT_EQ(store.GetValue(o1, kCar, kWheels).value(), Value::Int(4));
+  EXPECT_EQ(store.GetValue(o1, kImported, kNation).value(),
+            Value::Str("JP"));
+  // Dropping Imported keeps Car state (dynamic declassification).
+  ASSERT_TRUE(store.RemoveSlice(o1, kImported).ok());
+  EXPECT_EQ(store.GetValue(o1, kCar, kWheels).value(), Value::Int(4));
+}
+
+TEST(SlicingStoreTest, MembershipAndExtents) {
+  SlicingStore store;
+  Oid a = store.CreateObject();
+  Oid b = store.CreateObject();
+  ASSERT_TRUE(store.AddMembership(a, kCar).ok());
+  ASSERT_TRUE(store.AddMembership(b, kCar).ok());
+  ASSERT_TRUE(store.AddMembership(b, kJeep).ok());
+  EXPECT_EQ(store.DirectExtent(kCar).size(), 2u);
+  EXPECT_EQ(store.DirectExtent(kJeep).size(), 1u);
+  EXPECT_TRUE(store.DirectExtent(kImported).empty());
+  EXPECT_TRUE(store.HasMembership(b, kJeep));
+  ASSERT_TRUE(store.RemoveMembership(b, kJeep).ok());
+  EXPECT_TRUE(store.RemoveMembership(b, kJeep).IsNotFound());
+  EXPECT_TRUE(store.DirectExtent(kJeep).empty());
+}
+
+TEST(SlicingStoreTest, DestroyCleansExtentsAndArenas) {
+  SlicingStore store;
+  Oid o = store.CreateObject();
+  ASSERT_TRUE(store.AddMembership(o, kCar).ok());
+  ASSERT_TRUE(store.SetValue(o, kCar, kWheels, Value::Int(4)).ok());
+  ASSERT_TRUE(store.SetValue(o, kImported, kNation, Value::Str("DE")).ok());
+  ASSERT_TRUE(store.DestroyObject(o).ok());
+  EXPECT_TRUE(store.DirectExtent(kCar).empty());
+  SlicingStats stats = store.Stats();
+  EXPECT_EQ(stats.conceptual_objects, 0u);
+  EXPECT_EQ(stats.implementation_objects, 0u);
+}
+
+TEST(SlicingStoreTest, ClusteredScanVisitsClassSlices) {
+  SlicingStore store;
+  std::set<Oid> expect;
+  for (int i = 0; i < 10; ++i) {
+    Oid o = store.CreateObject();
+    ASSERT_TRUE(store.SetValue(o, kCar, kWheels, Value::Int(i)).ok());
+    if (i % 2 == 0) {
+      ASSERT_TRUE(store.SetValue(o, kJeep, kNation, Value::Str("US")).ok());
+      expect.insert(o);
+    }
+  }
+  std::set<Oid> seen;
+  store.ForEachSlice(kJeep, [&](Oid o,
+                                const std::unordered_map<uint64_t, Value>&) {
+    seen.insert(o);
+  });
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(SlicingStoreTest, SwapRemoveKeepsIndexesConsistent) {
+  SlicingStore store;
+  std::vector<Oid> oids;
+  for (int i = 0; i < 20; ++i) {
+    Oid o = store.CreateObject();
+    ASSERT_TRUE(store.SetValue(o, kCar, kWheels, Value::Int(i)).ok());
+    oids.push_back(o);
+  }
+  // Remove from the middle; survivors must still read their own values.
+  for (int i = 0; i < 20; i += 3) {
+    ASSERT_TRUE(store.RemoveSlice(oids[i], kCar).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    Value v = store.GetValue(oids[i], kCar, kWheels).value();
+    if (i % 3 == 0) {
+      EXPECT_EQ(v, Value::Null());
+    } else {
+      EXPECT_EQ(v, Value::Int(i));
+    }
+  }
+}
+
+TEST(SlicingStoreTest, StatsMatchTable1Formulas) {
+  SlicingStore store;
+  // 4 objects, each with 3 implementation objects.
+  for (int i = 0; i < 4; ++i) {
+    Oid o = store.CreateObject();
+    ASSERT_TRUE(store.AddSlice(o, kCar).ok());
+    ASSERT_TRUE(store.AddSlice(o, kJeep).ok());
+    ASSERT_TRUE(store.AddSlice(o, kImported).ok());
+  }
+  SlicingStats stats = store.Stats();
+  EXPECT_EQ(stats.conceptual_objects, 4u);
+  EXPECT_EQ(stats.implementation_objects, 12u);
+  // (1 + N_impl) oids per object = 4 * (1 + 3).
+  EXPECT_EQ(stats.total_oids, 16u);
+  // (1+N)*sizeof(oid) + N*2*sizeof(ptr) per object.
+  size_t per_object = (1 + 3) * sizeof(uint64_t) + 3 * 2 * sizeof(void*);
+  EXPECT_EQ(stats.managerial_bytes, 4 * per_object);
+}
+
+TEST(SlicingStoreTest, ImplOidsAreDistinctFromConceptualOids) {
+  SlicingStore store;
+  Oid o = store.CreateObject();
+  ASSERT_TRUE(store.AddSlice(o, kCar).ok());
+  Oid impl = store.SliceImplOid(o, kCar).value();
+  EXPECT_NE(impl, o);
+  EXPECT_TRUE(store.SliceImplOid(o, kJeep).status().IsNotFound());
+}
+
+// Randomized consistency: mirror slice/value operations against a model.
+TEST(SlicingStoreTest, RandomizedAgainstModel) {
+  tse::Rng rng(77);
+  SlicingStore store;
+  struct ModelObj {
+    std::map<uint64_t, std::map<uint64_t, Value>> slices;
+  };
+  std::map<uint64_t, ModelObj> model;
+  std::vector<Oid> oids;
+  for (int step = 0; step < 4000; ++step) {
+    int op = static_cast<int>(rng.Uniform(5));
+    if (op == 0 || oids.empty()) {
+      Oid o = store.CreateObject();
+      oids.push_back(o);
+      model[o.value()] = {};
+    } else {
+      Oid o = oids[rng.Uniform(oids.size())];
+      ClassId cls(1 + rng.Uniform(5));
+      PropertyDefId def(100 + rng.Uniform(4));
+      if (op == 1) {
+        Value v = Value::Int(static_cast<int64_t>(rng.Uniform(1000)));
+        ASSERT_TRUE(store.SetValue(o, cls, def, v).ok());
+        model[o.value()].slices[cls.value()][def.value()] = v;
+      } else if (op == 2) {
+        Value got = store.GetValue(o, cls, def).value();
+        auto& slices = model[o.value()].slices;
+        Value want = Value::Null();
+        auto sit = slices.find(cls.value());
+        if (sit != slices.end()) {
+          auto vit = sit->second.find(def.value());
+          if (vit != sit->second.end()) want = vit->second;
+        }
+        ASSERT_EQ(got, want);
+      } else if (op == 3) {
+        Status s = store.RemoveSlice(o, cls);
+        bool had = model[o.value()].slices.erase(cls.value()) > 0;
+        ASSERT_EQ(s.ok(), had);
+      } else if (op == 4 && oids.size() > 3) {
+        size_t idx = rng.Uniform(oids.size());
+        Oid victim = oids[idx];
+        ASSERT_TRUE(store.DestroyObject(victim).ok());
+        model.erase(victim.value());
+        oids.erase(oids.begin() + static_cast<long>(idx));
+      }
+    }
+  }
+  // Final sweep: every modelled value must match.
+  for (const auto& [raw, mobj] : model) {
+    for (const auto& [cls, vals] : mobj.slices) {
+      for (const auto& [def, want] : vals) {
+        ASSERT_EQ(
+            store.GetValue(Oid(raw), ClassId(cls), PropertyDefId(def)).value(),
+            want);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tse::objmodel

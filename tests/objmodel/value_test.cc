@@ -1,0 +1,144 @@
+#include "objmodel/value.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace tse::objmodel {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, TypedConstructionAndAccess) {
+  EXPECT_EQ(Value::Int(42).AsInt().value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsReal().value(), 2.5);
+  EXPECT_TRUE(Value::Bool(true).AsBool().value());
+  EXPECT_EQ(Value::Str("hi").AsString().value(), "hi");
+  EXPECT_EQ(Value::Ref(Oid(7)).AsRef().value(), Oid(7));
+}
+
+TEST(ValueTest, TypeMismatchFails) {
+  EXPECT_FALSE(Value::Int(1).AsString().ok());
+  EXPECT_FALSE(Value::Str("x").AsInt().ok());
+  EXPECT_FALSE(Value::Null().AsBool().ok());
+  EXPECT_FALSE(Value::Ref(Oid(1)).AsNumber().ok());
+}
+
+TEST(ValueTest, AsNumberWidens) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsNumber().value(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Real(1.5).AsNumber().value(), 1.5);
+}
+
+TEST(ValueTest, EqualityIsTypeAndValue) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  EXPECT_NE(Value::Int(1), Value::Real(1.0));  // type-distinct
+  EXPECT_EQ(Value::Ref(Oid(3)), Value::Ref(Oid(3)));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, OrderingIsTotal) {
+  std::vector<Value> vals = {
+      Value::Str("b"),  Value::Int(5),   Value::Null(),
+      Value::Bool(true), Value::Real(0.5), Value::Ref(Oid(1)),
+      Value::Int(2),    Value::Str("a"),
+  };
+  std::sort(vals.begin(), vals.end());
+  // Null < ints < reals < bools < strings < refs (variant index order).
+  EXPECT_TRUE(vals[0].is_null());
+  EXPECT_EQ(vals[1], Value::Int(2));
+  EXPECT_EQ(vals[2], Value::Int(5));
+  EXPECT_EQ(vals.back(), Value::Ref(Oid(1)));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Str("s").ToString(), "\"s\"");
+  EXPECT_EQ(Value::Ref(Oid(9)).ToString(), "@9");
+}
+
+void RoundTrip(const Value& v) {
+  std::string buf;
+  v.EncodeTo(&buf);
+  size_t pos = 0;
+  auto decoded = Value::DecodeFrom(buf, &pos);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value(), v);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(ValueTest, EncodeDecodeRoundTrip) {
+  RoundTrip(Value::Null());
+  RoundTrip(Value::Int(-12345678901234LL));
+  RoundTrip(Value::Real(3.14159));
+  RoundTrip(Value::Bool(true));
+  RoundTrip(Value::Str(""));
+  RoundTrip(Value::Str(std::string(1000, 'x')));
+  RoundTrip(Value::Ref(Oid(uint64_t(1) << 60)));
+}
+
+TEST(ValueTest, DecodeTruncatedFails) {
+  std::string buf;
+  Value::Str("hello").EncodeTo(&buf);
+  for (size_t cut = 1; cut < buf.size(); ++cut) {
+    std::string partial = buf.substr(0, cut);
+    size_t pos = 0;
+    auto decoded = Value::DecodeFrom(partial, &pos);
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ValueTest, DecodeBadTagFails) {
+  std::string buf = "\x7f";
+  size_t pos = 0;
+  EXPECT_TRUE(Value::DecodeFrom(buf, &pos).status().IsCorruption());
+}
+
+TEST(ValueTest, RandomizedRoundTrips) {
+  tse::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    switch (rng.Uniform(6)) {
+      case 0:
+        RoundTrip(Value::Null());
+        break;
+      case 1:
+        RoundTrip(Value::Int(static_cast<int64_t>(rng.Next())));
+        break;
+      case 2:
+        RoundTrip(Value::Real(rng.NextDouble() * 1e9));
+        break;
+      case 3:
+        RoundTrip(Value::Bool(rng.Percent(50)));
+        break;
+      case 4:
+        RoundTrip(Value::Str(rng.Ident(rng.Uniform(64))));
+        break;
+      case 5:
+        RoundTrip(Value::Ref(Oid(rng.Next())));
+        break;
+    }
+  }
+}
+
+TEST(ValueTest, SequentialDecodeOfConcatenatedValues) {
+  std::string buf;
+  Value::Int(1).EncodeTo(&buf);
+  Value::Str("two").EncodeTo(&buf);
+  Value::Bool(true).EncodeTo(&buf);
+  size_t pos = 0;
+  EXPECT_EQ(Value::DecodeFrom(buf, &pos).value(), Value::Int(1));
+  EXPECT_EQ(Value::DecodeFrom(buf, &pos).value(), Value::Str("two"));
+  EXPECT_EQ(Value::DecodeFrom(buf, &pos).value(), Value::Bool(true));
+  EXPECT_EQ(pos, buf.size());
+}
+
+}  // namespace
+}  // namespace tse::objmodel

@@ -1,0 +1,384 @@
+#include "schema/schema_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "objmodel/method.h"
+
+namespace tse::schema {
+namespace {
+
+using objmodel::MethodExpr;
+using objmodel::Value;
+using objmodel::ValueType;
+
+/// Builds the university base schema of Figure 2:
+///   Person(name, ssn) <- Student(major), Staff(salary)
+///   Student <- TA, Grad ; Staff <- TA (TA has multiple inheritance)
+class UniversitySchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    person_ = graph_
+                  .AddBaseClass(
+                      "Person", {},
+                      {PropertySpec::Attribute("name", ValueType::kString),
+                       PropertySpec::Attribute("ssn", ValueType::kInt)})
+                  .value();
+    student_ = graph_
+                   .AddBaseClass(
+                       "Student", {person_},
+                       {PropertySpec::Attribute("major", ValueType::kString)})
+                   .value();
+    staff_ = graph_
+                 .AddBaseClass(
+                     "Staff", {person_},
+                     {PropertySpec::Attribute("salary", ValueType::kInt)})
+                 .value();
+    ta_ = graph_.AddBaseClass("TA", {student_, staff_}, {}).value();
+    grad_ = graph_
+                .AddBaseClass(
+                    "Grad", {student_},
+                    {PropertySpec::Attribute("thesis", ValueType::kString)})
+                .value();
+  }
+
+  SchemaGraph graph_;
+  ClassId person_, student_, staff_, ta_, grad_;
+};
+
+TEST_F(UniversitySchemaTest, BaseClassRegistration) {
+  EXPECT_EQ(graph_.class_count(), 6u);  // 5 + system root OBJECT
+  EXPECT_EQ(graph_.FindClass("Person").value(), person_);
+  EXPECT_TRUE(graph_.FindClass("Alien").status().IsNotFound());
+  EXPECT_TRUE(graph_.AddBaseClass("Person", {}, {}).status().IsAlreadyExists());
+  const ClassNode* node = graph_.GetClass(ta_).value();
+  EXPECT_TRUE(node->is_base());
+  EXPECT_EQ(node->declared_supers.size(), 2u);
+}
+
+TEST_F(UniversitySchemaTest, EffectiveTypeInheritsFully) {
+  TypeSet ta_type = graph_.EffectiveType(ta_).value();
+  // TA inherits name, ssn (via both paths, same defs — no ambiguity),
+  // major, salary.
+  EXPECT_TRUE(ta_type.ContainsName("name"));
+  EXPECT_TRUE(ta_type.ContainsName("major"));
+  EXPECT_TRUE(ta_type.ContainsName("salary"));
+  EXPECT_FALSE(ta_type.IsAmbiguous("name"));
+  EXPECT_EQ(ta_type.size(), 4u);
+}
+
+TEST_F(UniversitySchemaTest, LocalOverrideSuppressesInherited) {
+  // A subclass redefining `name` locally overrides Person's.
+  ClassId special =
+      graph_
+          .AddBaseClass("Special", {person_},
+                        {PropertySpec::Attribute("name", ValueType::kString)})
+          .value();
+  TypeSet t = graph_.EffectiveType(special).value();
+  EXPECT_FALSE(t.IsAmbiguous("name"));
+  PropertyDefId def = t.Lookup("name").value();
+  EXPECT_EQ(graph_.GetProperty(def).value()->definer, special);
+}
+
+TEST_F(UniversitySchemaTest, MultipleInheritanceConflictIsAmbiguous) {
+  // Two distinct `code` attributes inherited into one class.
+  ClassId a = graph_
+                  .AddBaseClass("A", {},
+                                {PropertySpec::Attribute(
+                                    "code", ValueType::kInt)})
+                  .value();
+  ClassId b = graph_
+                  .AddBaseClass("B", {},
+                                {PropertySpec::Attribute(
+                                    "code", ValueType::kString)})
+                  .value();
+  ClassId ab = graph_.AddBaseClass("AB", {a, b}, {}).value();
+  TypeSet t = graph_.EffectiveType(ab).value();
+  EXPECT_TRUE(t.IsAmbiguous("code"));
+  // Resolution by rename: rename one definition.
+  PropertyDefId a_code = graph_.EffectiveType(a).value().Lookup("code").value();
+  ASSERT_TRUE(graph_.RenameProperty(a_code, "a_code").ok());
+  EXPECT_EQ(graph_.GetProperty(a_code).value()->name, "a_code");
+}
+
+TEST_F(UniversitySchemaTest, VirtualClassTypes) {
+  // select: same type as source.
+  Derivation sel;
+  sel.op = DerivationOp::kSelect;
+  sel.sources = {student_};
+  sel.predicate = MethodExpr::Eq(MethodExpr::Attr("major"),
+                                 MethodExpr::Lit(Value::Str("cs")));
+  ClassId cs = graph_.AddVirtualClass("CsStudent", sel).value();
+  EXPECT_EQ(graph_.EffectiveType(cs).value(),
+            graph_.EffectiveType(student_).value());
+
+  // hide: source type minus hidden names (AgelessPerson, Figure 4).
+  Derivation hide;
+  hide.op = DerivationOp::kHide;
+  hide.sources = {person_};
+  hide.hidden = {"ssn"};
+  ClassId ageless = graph_.AddVirtualClass("NoSsnPerson", hide).value();
+  TypeSet ageless_type = graph_.EffectiveType(ageless).value();
+  EXPECT_FALSE(ageless_type.ContainsName("ssn"));
+  EXPECT_TRUE(ageless_type.ContainsName("name"));
+
+  // difference: type of the first argument.
+  Derivation diff;
+  diff.op = DerivationOp::kDifference;
+  diff.sources = {student_, ta_};
+  ClassId d = graph_.AddVirtualClass("NonTaStudent", diff).value();
+  EXPECT_EQ(graph_.EffectiveType(d).value(),
+            graph_.EffectiveType(student_).value());
+}
+
+TEST_F(UniversitySchemaTest, RefineAddsProperties) {
+  Derivation refine;
+  refine.op = DerivationOp::kRefine;
+  refine.sources = {student_};
+  ClassId student_prime = graph_.AddVirtualClass("Student'", refine).value();
+  PropertyDefId reg =
+      graph_
+          .DefineProperty(
+              PropertySpec::Attribute("register", ValueType::kBool),
+              student_prime)
+          .value();
+  // Rebuild with the def attached (derivations are immutable once added;
+  // in real flows the TSE translator registers defs first).
+  Derivation refine2;
+  refine2.op = DerivationOp::kRefine;
+  refine2.sources = {student_};
+  refine2.added = {reg};
+  ClassId sp2 = graph_.AddVirtualClass("Student''", refine2).value();
+  TypeSet t = graph_.EffectiveType(sp2).value();
+  EXPECT_TRUE(t.ContainsName("register"));
+  EXPECT_TRUE(t.ContainsName("major"));
+  EXPECT_EQ(t.size(), graph_.EffectiveType(student_).value().size() + 1);
+}
+
+TEST_F(UniversitySchemaTest, UnionAndIntersectTypes) {
+  Derivation uni;
+  uni.op = DerivationOp::kUnion;
+  uni.sources = {student_, staff_};
+  ClassId u = graph_.AddVirtualClass("StudentOrStaff", uni).value();
+  TypeSet ut = graph_.EffectiveType(u).value();
+  // Lowest common supertype: only Person's properties are shared.
+  EXPECT_TRUE(ut.ContainsName("name"));
+  EXPECT_TRUE(ut.ContainsName("ssn"));
+  EXPECT_FALSE(ut.ContainsName("major"));
+  EXPECT_FALSE(ut.ContainsName("salary"));
+
+  Derivation inter;
+  inter.op = DerivationOp::kIntersect;
+  inter.sources = {student_, staff_};
+  ClassId i = graph_.AddVirtualClass("StudentAndStaff", inter).value();
+  TypeSet it = graph_.EffectiveType(i).value();
+  // Greatest common subtype: both sides' properties.
+  EXPECT_TRUE(it.ContainsName("major"));
+  EXPECT_TRUE(it.ContainsName("salary"));
+}
+
+TEST_F(UniversitySchemaTest, ExtentSubsumption) {
+  // Base edges.
+  EXPECT_TRUE(graph_.ExtentSubsumedBy(ta_, person_));
+  EXPECT_TRUE(graph_.ExtentSubsumedBy(grad_, student_));
+  EXPECT_FALSE(graph_.ExtentSubsumedBy(person_, student_));
+  EXPECT_FALSE(graph_.ExtentSubsumedBy(student_, staff_));
+
+  // select ⊆ source ⊆ ...
+  Derivation sel;
+  sel.op = DerivationOp::kSelect;
+  sel.sources = {student_};
+  sel.predicate = MethodExpr::Lit(Value::Bool(true));
+  ClassId sub = graph_.AddVirtualClass("Sel", sel).value();
+  EXPECT_TRUE(graph_.ExtentSubsumedBy(sub, student_));
+  EXPECT_TRUE(graph_.ExtentSubsumedBy(sub, person_));
+  EXPECT_FALSE(graph_.ExtentSubsumedBy(student_, sub));
+
+  // hide/refine preserve extents in both directions.
+  Derivation hide;
+  hide.op = DerivationOp::kHide;
+  hide.sources = {student_};
+  hide.hidden = {"major"};
+  ClassId h = graph_.AddVirtualClass("H", hide).value();
+  EXPECT_TRUE(graph_.ExtentEquivalent(h, student_));
+
+  Derivation refine;
+  refine.op = DerivationOp::kRefine;
+  refine.sources = {student_};
+  ClassId r = graph_.AddVirtualClass("R", refine).value();
+  EXPECT_TRUE(graph_.ExtentEquivalent(r, student_));
+}
+
+TEST_F(UniversitySchemaTest, UnionSubsumptionUsesConjunctiveRule) {
+  Derivation uni;
+  uni.op = DerivationOp::kUnion;
+  uni.sources = {student_, staff_};
+  ClassId u = graph_.AddVirtualClass("U", uni).value();
+  // Sources flow into the union.
+  EXPECT_TRUE(graph_.ExtentSubsumedBy(student_, u));
+  EXPECT_TRUE(graph_.ExtentSubsumedBy(staff_, u));
+  EXPECT_TRUE(graph_.ExtentSubsumedBy(ta_, u));
+  // The union is inside any common upper bound of both sources.
+  EXPECT_TRUE(graph_.ExtentSubsumedBy(u, person_));
+  // But not inside either source alone.
+  EXPECT_FALSE(graph_.ExtentSubsumedBy(u, student_));
+  // union(Student, TA) is extent-equivalent to Student (TA ⊆ Student).
+  Derivation uni2;
+  uni2.op = DerivationOp::kUnion;
+  uni2.sources = {student_, ta_};
+  ClassId u2 = graph_.AddVirtualClass("U2", uni2).value();
+  EXPECT_TRUE(graph_.ExtentEquivalent(u2, student_));
+}
+
+TEST_F(UniversitySchemaTest, IsaSubsumptionNeedsTypeCoverage) {
+  // refine(Student) + register covers Student's names and is extent-
+  // equal: subsumed both directions extent-wise, but is-a only downward.
+  Derivation refine;
+  refine.op = DerivationOp::kRefine;
+  refine.sources = {student_};
+  ClassId r = graph_.AddVirtualClass("R", refine).value();
+  PropertyDefId reg =
+      graph_
+          .DefineProperty(
+              PropertySpec::Attribute("register", ValueType::kBool), r)
+          .value();
+  Derivation refine2;
+  refine2.op = DerivationOp::kRefine;
+  refine2.sources = {student_};
+  refine2.added = {reg};
+  ClassId r2 = graph_.AddVirtualClass("R2", refine2).value();
+  EXPECT_TRUE(graph_.IsaSubsumedBy(r2, student_));
+  EXPECT_FALSE(graph_.IsaSubsumedBy(student_, r2));  // lacks `register`
+
+  // hide class is a SUPERclass: extent equal, type smaller.
+  Derivation hide;
+  hide.op = DerivationOp::kHide;
+  hide.sources = {student_};
+  hide.hidden = {"major"};
+  ClassId h = graph_.AddVirtualClass("H", hide).value();
+  EXPECT_TRUE(graph_.IsaSubsumedBy(student_, h));
+  EXPECT_FALSE(graph_.IsaSubsumedBy(h, student_));
+}
+
+TEST_F(UniversitySchemaTest, DuplicateDetection) {
+  Derivation sel;
+  sel.op = DerivationOp::kSelect;
+  sel.sources = {student_};
+  sel.predicate = MethodExpr::Lit(Value::Bool(true));
+  ClassId a = graph_.AddVirtualClass("DupA", sel).value();
+
+  // A hide class hiding nothing is extent- and type-identical to its
+  // source — a duplicate even under a different name.
+  Derivation hide_nothing;
+  hide_nothing.op = DerivationOp::kHide;
+  hide_nothing.sources = {student_};
+  ClassId dup = graph_.AddVirtualClass("DupB", hide_nothing).value();
+  EXPECT_TRUE(graph_.IsDuplicateOf(dup, student_));
+  EXPECT_FALSE(graph_.IsDuplicateOf(a, student_));  // select narrows extent
+  EXPECT_FALSE(graph_.IsDuplicateOf(student_, student_));
+}
+
+TEST_F(UniversitySchemaTest, OriginClasses) {
+  // Chain: select(Student) -> refine(sel) ; union with Staff.
+  Derivation sel;
+  sel.op = DerivationOp::kSelect;
+  sel.sources = {student_};
+  sel.predicate = MethodExpr::Lit(Value::Bool(true));
+  ClassId s1 = graph_.AddVirtualClass("S1", sel).value();
+  Derivation refine;
+  refine.op = DerivationOp::kRefine;
+  refine.sources = {s1};
+  ClassId s2 = graph_.AddVirtualClass("S2", refine).value();
+  Derivation uni;
+  uni.op = DerivationOp::kUnion;
+  uni.sources = {s2, staff_};
+  ClassId s3 = graph_.AddVirtualClass("S3", uni).value();
+
+  EXPECT_EQ(graph_.OriginClasses(student_).value(),
+            std::vector<ClassId>{student_});
+  EXPECT_EQ(graph_.OriginClasses(s2).value(),
+            std::vector<ClassId>{student_});
+  auto origins = graph_.OriginClasses(s3).value();
+  ASSERT_EQ(origins.size(), 2u);
+  EXPECT_EQ(origins[0], student_);
+  EXPECT_EQ(origins[1], staff_);
+}
+
+TEST_F(UniversitySchemaTest, DerivedIndexTracksSources) {
+  Derivation sel;
+  sel.op = DerivationOp::kSelect;
+  sel.sources = {student_};
+  sel.predicate = MethodExpr::Lit(Value::Bool(true));
+  ClassId s1 = graph_.AddVirtualClass("S1", sel).value();
+  auto derived = graph_.DerivedFrom(student_);
+  ASSERT_EQ(derived.size(), 1u);
+  EXPECT_EQ(derived[0], s1);
+  EXPECT_TRUE(graph_.DerivedFrom(grad_).empty());
+}
+
+TEST_F(UniversitySchemaTest, ClassifiedDagEdges) {
+  // Declared base edges seed the DAG.
+  auto supers = graph_.DirectSupers(ta_).value();
+  EXPECT_EQ(supers.size(), 2u);
+  auto subs = graph_.DirectSubs(person_).value();
+  EXPECT_EQ(subs.size(), 2u);  // Student, Staff
+  auto trans = graph_.TransitiveSupers(ta_).value();
+  EXPECT_EQ(trans.size(), 5u);  // TA, Student, Staff, Person, OBJECT
+  auto tsubs = graph_.TransitiveSubs(person_).value();
+  EXPECT_EQ(tsubs.size(), 5u);  // everyone
+
+  // Manual edge maintenance.
+  Derivation hide;
+  hide.op = DerivationOp::kHide;
+  hide.sources = {person_};
+  hide.hidden = {"ssn"};
+  ClassId h = graph_.AddVirtualClass("H", hide).value();
+  ASSERT_TRUE(graph_.AddIsaEdge(person_, h).ok());
+  EXPECT_EQ(graph_.DirectSupers(person_).value().size(), 2u);  // OBJECT + H
+  ASSERT_TRUE(graph_.RemoveIsaEdge(person_, h).ok());
+  EXPECT_TRUE(graph_.RemoveIsaEdge(person_, h).IsNotFound());
+  EXPECT_FALSE(graph_.AddIsaEdge(person_, person_).ok());
+}
+
+TEST_F(UniversitySchemaTest, InvalidDerivationsRejected) {
+  Derivation bad;
+  bad.op = DerivationOp::kSelect;
+  bad.sources = {student_, staff_};  // select takes one source
+  EXPECT_FALSE(graph_.AddVirtualClass("Bad", bad).ok());
+
+  Derivation nopred;
+  nopred.op = DerivationOp::kSelect;
+  nopred.sources = {student_};
+  EXPECT_FALSE(graph_.AddVirtualClass("Bad2", nopred).ok());
+
+  Derivation badsrc;
+  badsrc.op = DerivationOp::kHide;
+  badsrc.sources = {ClassId(999)};
+  EXPECT_FALSE(graph_.AddVirtualClass("Bad3", badsrc).ok());
+
+  Derivation base;
+  base.op = DerivationOp::kBase;
+  EXPECT_FALSE(graph_.AddVirtualClass("Bad4", base).ok());
+}
+
+TEST_F(UniversitySchemaTest, LocalPropertyOnlyOnBaseClasses) {
+  PropertyDefId def =
+      graph_
+          .DefineProperty(PropertySpec::Attribute("x", ValueType::kInt),
+                          person_)
+          .value();
+  EXPECT_TRUE(graph_.AddLocalProperty(person_, def).ok());
+  Derivation hide;
+  hide.op = DerivationOp::kHide;
+  hide.sources = {person_};
+  ClassId h = graph_.AddVirtualClass("H", hide).value();
+  EXPECT_FALSE(graph_.AddLocalProperty(h, def).ok());
+}
+
+TEST_F(UniversitySchemaTest, ToDotRendersAllClasses) {
+  std::string dot = graph_.ToDot();
+  EXPECT_NE(dot.find("\"TA\" -> \"Student\""), std::string::npos);
+  EXPECT_NE(dot.find("\"Person\" [shape=box]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tse::schema

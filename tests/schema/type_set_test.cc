@@ -1,0 +1,105 @@
+#include "schema/type_set.h"
+
+#include <gtest/gtest.h>
+
+namespace tse::schema {
+namespace {
+
+const PropertyDefId kA(1), kB(2), kC(3);
+
+TEST(TypeSetTest, AddAndLookup) {
+  TypeSet t;
+  t.Add("age", kA);
+  EXPECT_TRUE(t.ContainsName("age"));
+  EXPECT_TRUE(t.Contains("age", kA));
+  EXPECT_FALSE(t.Contains("age", kB));
+  EXPECT_EQ(t.Lookup("age").value(), kA);
+  EXPECT_TRUE(t.Lookup("ghost").status().IsNotFound());
+}
+
+TEST(TypeSetTest, DuplicateAddCollapses) {
+  TypeSet t;
+  t.Add("age", kA);
+  t.Add("age", kA);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_FALSE(t.IsAmbiguous("age"));
+}
+
+TEST(TypeSetTest, AmbiguityFromTwoDefs) {
+  TypeSet t;
+  t.Add("salary", kA);
+  t.Add("salary", kB);
+  EXPECT_TRUE(t.IsAmbiguous("salary"));
+  // Lookup refuses ambiguous names (paper: rename to disambiguate).
+  EXPECT_EQ(t.Lookup("salary").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(t.AllOf("salary").size(), 2u);
+}
+
+TEST(TypeSetTest, OverrideReplacesAllBindings) {
+  TypeSet t;
+  t.Add("salary", kA);
+  t.Add("salary", kB);
+  t.Override("salary", kC);
+  EXPECT_FALSE(t.IsAmbiguous("salary"));
+  EXPECT_EQ(t.Lookup("salary").value(), kC);
+}
+
+TEST(TypeSetTest, RemoveNameAndBinding) {
+  TypeSet t;
+  t.Add("x", kA);
+  t.Add("x", kB);
+  EXPECT_TRUE(t.Remove("x", kA));
+  EXPECT_FALSE(t.Remove("x", kA));
+  EXPECT_EQ(t.Lookup("x").value(), kB);
+  EXPECT_TRUE(t.RemoveName("x"));
+  EXPECT_FALSE(t.RemoveName("x"));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TypeSetTest, MergePreservesAmbiguity) {
+  TypeSet a, b;
+  a.Add("x", kA);
+  b.Add("x", kB);
+  b.Add("y", kC);
+  a.MergeFrom(b);
+  EXPECT_TRUE(a.IsAmbiguous("x"));
+  EXPECT_EQ(a.Lookup("y").value(), kC);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(TypeSetTest, CoversNamesIgnoresDefIdentity) {
+  TypeSet sub, sup;
+  sup.Add("name", kA);
+  sub.Add("name", kB);  // override: different def, same name
+  sub.Add("extra", kC);
+  EXPECT_TRUE(sub.CoversNamesOf(sup));
+  EXPECT_FALSE(sup.CoversNamesOf(sub));
+  TypeSet empty;
+  EXPECT_TRUE(empty.CoversNamesOf(empty));
+  EXPECT_TRUE(sub.CoversNamesOf(empty));
+}
+
+TEST(TypeSetTest, EqualityIsStrictOnDefs) {
+  TypeSet a, b;
+  a.Add("x", kA);
+  b.Add("x", kB);
+  EXPECT_NE(a, b);
+  b.RemoveName("x");
+  b.Add("x", kA);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TypeSetTest, NamesSortedAndToString) {
+  TypeSet t;
+  t.Add("b", kB);
+  t.Add("a", kA);
+  auto names = t.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  EXPECT_EQ(t.ToString(), "a(1), b(2)");
+}
+
+}  // namespace
+}  // namespace tse::schema

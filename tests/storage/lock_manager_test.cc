@@ -1,0 +1,117 @@
+#include "storage/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace tse::storage {
+namespace {
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(TxnId(1), 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(TxnId(2), 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(TxnId(1), 100, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(TxnId(2), 100, LockMode::kShared));
+  EXPECT_EQ(lm.locked_resource_count(), 1u);
+}
+
+TEST(LockManagerTest, ExclusiveBlocksOthersUntilTimeout) {
+  LockManager lm(std::chrono::milliseconds(30));
+  ASSERT_TRUE(lm.Acquire(TxnId(1), 7, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(TxnId(2), 7, LockMode::kShared).IsAborted());
+  EXPECT_TRUE(lm.Acquire(TxnId(2), 7, LockMode::kExclusive).IsAborted());
+}
+
+TEST(LockManagerTest, Reentrant) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(TxnId(1), 7, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(TxnId(1), 7, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(TxnId(1), 7, LockMode::kShared).ok());
+  // Exclusive subsumes shared.
+  EXPECT_TRUE(lm.Holds(TxnId(1), 7, LockMode::kShared));
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleHolder) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(TxnId(1), 7, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(TxnId(1), 7, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Holds(TxnId(1), 7, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherReader) {
+  LockManager lm(std::chrono::milliseconds(30));
+  ASSERT_TRUE(lm.Acquire(TxnId(1), 7, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(TxnId(2), 7, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(TxnId(1), 7, LockMode::kExclusive).IsAborted());
+}
+
+TEST(LockManagerTest, ReleaseWakesWaiter) {
+  LockManager lm(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(lm.Acquire(TxnId(1), 7, LockMode::kExclusive).ok());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    Status s = lm.Acquire(TxnId(2), 7, LockMode::kExclusive);
+    acquired = s.ok();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  lm.ReleaseAll(TxnId(1));
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_TRUE(lm.Holds(TxnId(2), 7, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, ReleaseAllClearsEverything) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(TxnId(1), 1, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(TxnId(1), 2, LockMode::kExclusive).ok());
+  lm.ReleaseAll(TxnId(1));
+  EXPECT_EQ(lm.locked_resource_count(), 0u);
+  EXPECT_FALSE(lm.Holds(TxnId(1), 1, LockMode::kShared));
+}
+
+TEST(LockManagerTest, ReleaseUnheldFails) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Release(TxnId(1), 99).IsNotFound());
+}
+
+TEST(LockManagerTest, DeadlockResolvedByTimeout) {
+  LockManager lm(std::chrono::milliseconds(50));
+  ASSERT_TRUE(lm.Acquire(TxnId(1), 1, LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(TxnId(2), 2, LockMode::kExclusive).ok());
+  std::atomic<int> aborted{0};
+  std::thread t1([&] {
+    if (lm.Acquire(TxnId(1), 2, LockMode::kExclusive).IsAborted()) ++aborted;
+  });
+  std::thread t2([&] {
+    if (lm.Acquire(TxnId(2), 1, LockMode::kExclusive).IsAborted()) ++aborted;
+  });
+  t1.join();
+  t2.join();
+  EXPECT_GE(aborted.load(), 1);  // at least one side backs off
+}
+
+TEST(LockManagerTest, ConcurrentSharedThroughput) {
+  LockManager lm;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 500;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        TxnId txn(static_cast<uint64_t>(t));
+        if (!lm.Acquire(txn, i % 13, LockMode::kShared).ok()) ++failures;
+        if (!lm.Release(txn, i % 13).ok()) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(lm.locked_resource_count(), 0u);
+}
+
+}  // namespace
+}  // namespace tse::storage

@@ -1,0 +1,186 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "common/random.h"
+
+namespace tse::storage {
+namespace {
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  SlottedPageTest() : page_(buf_.data()) { page_.Init(); }
+
+  Result<SlotId> InsertStr(const std::string& s) {
+    return page_.Insert(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  Status UpdateStr(SlotId slot, const std::string& s) {
+    return page_.Update(slot, reinterpret_cast<const uint8_t*>(s.data()),
+                        s.size());
+  }
+
+  std::array<uint8_t, kPageSize> buf_{};
+  SlottedPage page_;
+};
+
+TEST_F(SlottedPageTest, EmptyPageValidatesAfterSeal) {
+  page_.Seal();
+  EXPECT_TRUE(page_.Validate().ok());
+  EXPECT_EQ(page_.slot_count(), 0);
+}
+
+TEST_F(SlottedPageTest, InsertAndRead) {
+  auto slot = InsertStr("hello");
+  ASSERT_TRUE(slot.ok());
+  auto read = page_.Read(slot.value());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "hello");
+}
+
+TEST_F(SlottedPageTest, ReadDeadSlotFails) {
+  auto slot = InsertStr("x");
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(page_.Erase(slot.value()).ok());
+  EXPECT_TRUE(page_.Read(slot.value()).status().IsNotFound());
+  EXPECT_TRUE(page_.Read(99).status().IsNotFound());
+}
+
+TEST_F(SlottedPageTest, EraseReclaimsSpace) {
+  size_t before = page_.FreeBytes();
+  auto slot = InsertStr(std::string(100, 'a'));
+  ASSERT_TRUE(slot.ok());
+  EXPECT_LT(page_.FreeBytes(), before);
+  ASSERT_TRUE(page_.Erase(slot.value()).ok());
+  EXPECT_EQ(page_.FreeBytes(), before);  // trailing slot trimmed too
+}
+
+TEST_F(SlottedPageTest, UpdateInPlaceAndGrow) {
+  auto a = InsertStr("aaaa");
+  auto b = InsertStr("bbbb");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Shrink.
+  ASSERT_TRUE(UpdateStr(a.value(), "xy").ok());
+  EXPECT_EQ(page_.Read(a.value()).value(), "xy");
+  EXPECT_EQ(page_.Read(b.value()).value(), "bbbb");
+  // Grow.
+  ASSERT_TRUE(UpdateStr(a.value(), std::string(500, 'z')).ok());
+  EXPECT_EQ(page_.Read(a.value()).value(), std::string(500, 'z'));
+  EXPECT_EQ(page_.Read(b.value()).value(), "bbbb");
+}
+
+TEST_F(SlottedPageTest, FillUntilFull) {
+  int inserted = 0;
+  while (true) {
+    auto slot = InsertStr(std::string(64, 'q'));
+    if (!slot.ok()) {
+      EXPECT_EQ(slot.status().code(), StatusCode::kFailedPrecondition);
+      break;
+    }
+    ++inserted;
+  }
+  // 4096-byte page, 64-byte cells + 4-byte slots: ~60 cells.
+  EXPECT_GT(inserted, 50);
+  EXPECT_FALSE(page_.HasRoomFor(64));
+}
+
+TEST_F(SlottedPageTest, SlotReuseAfterErase) {
+  auto a = InsertStr("one");
+  auto b = InsertStr("two");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(page_.Erase(a.value()).ok());
+  auto c = InsertStr("three");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value(), a.value());  // dead slot reused
+  EXPECT_EQ(page_.Read(b.value()).value(), "two");
+  EXPECT_EQ(page_.Read(c.value()).value(), "three");
+}
+
+TEST_F(SlottedPageTest, SealDetectsCorruption) {
+  auto slot = InsertStr("payload");
+  ASSERT_TRUE(slot.ok());
+  page_.Seal();
+  ASSERT_TRUE(page_.Validate().ok());
+  buf_[kPageSize - 1] ^= 0xff;
+  EXPECT_TRUE(page_.Validate().IsCorruption());
+}
+
+TEST_F(SlottedPageTest, ValidateRejectsBadMagic) {
+  page_.Seal();
+  buf_[0] ^= 0x1;
+  EXPECT_TRUE(page_.Validate().IsCorruption());
+}
+
+TEST_F(SlottedPageTest, ForEachVisitsLiveCellsOnly) {
+  auto a = InsertStr("aa");
+  auto b = InsertStr("bb");
+  auto c = InsertStr("cc");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(page_.Erase(b.value()).ok());
+  std::map<SlotId, std::string> seen;
+  page_.ForEach([&](SlotId slot, const uint8_t* data, size_t len) {
+    seen[slot] = std::string(reinterpret_cast<const char*>(data), len);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[a.value()], "aa");
+  EXPECT_EQ(seen[c.value()], "cc");
+}
+
+// Property-style fuzz: random inserts/erases/updates mirrored against a
+// std::map reference model.
+TEST(SlottedPageFuzzTest, MatchesReferenceModel) {
+  tse::Rng rng(1234);
+  std::array<uint8_t, kPageSize> buf{};
+  SlottedPage page(buf.data());
+  page.Init();
+  std::map<SlotId, std::string> model;
+  for (int step = 0; step < 5000; ++step) {
+    int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0) {  // insert
+      std::string payload = rng.Ident(1 + rng.Uniform(120));
+      auto slot = page.Insert(
+          reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+      if (slot.ok()) {
+        ASSERT_FALSE(model.count(slot.value()));
+        model[slot.value()] = payload;
+      }
+    } else if (op == 1 && !model.empty()) {  // erase
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_TRUE(page.Erase(it->first).ok());
+      model.erase(it);
+    } else if (op == 2 && !model.empty()) {  // update
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      std::string payload = rng.Ident(1 + rng.Uniform(200));
+      Status s = page.Update(
+          it->first, reinterpret_cast<const uint8_t*>(payload.data()),
+          payload.size());
+      if (s.ok()) {
+        it->second = payload;
+      } else {
+        // A failed update must leave the old record intact.
+        ASSERT_EQ(s.code(), StatusCode::kFailedPrecondition);
+        auto read = page.Read(it->first);
+        ASSERT_TRUE(read.ok());
+        ASSERT_EQ(read.value(), it->second);
+      }
+    }
+    if (step % 500 == 0) {
+      for (const auto& [slot, expect] : model) {
+        auto read = page.Read(slot);
+        ASSERT_TRUE(read.ok());
+        ASSERT_EQ(read.value(), expect);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tse::storage

@@ -1,0 +1,145 @@
+// Storage robustness beyond the happy path: corrupted page files,
+// corrupted WAL bodies, reopen discipline, and oversized records near
+// the page boundary.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "storage/record_store.h"
+
+namespace tse::storage {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tse_rob_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    base_ = (dir_ / "store").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void FlipByte(const std::string& path, uint64_t offset) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char c;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x5a);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&c, 1);
+  }
+
+  std::filesystem::path dir_;
+  std::string base_;
+};
+
+TEST_F(RobustnessTest, CorruptPageDetectedOnOpen) {
+  {
+    auto store =
+        RecordStore::Open(base_, RecordStoreOptions{}).value();
+    ASSERT_TRUE(store->Put(1, std::string(100, 'x')).ok());
+    ASSERT_TRUE(store->Commit().ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+  }
+  // Flip a byte inside page 1's cell area.
+  FlipByte(base_ + ".pages", kPageSize + kPageSize - 50);
+  auto reopened = RecordStore::Open(base_, RecordStoreOptions{});
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption());
+}
+
+TEST_F(RobustnessTest, CorruptMetaPageDetected) {
+  {
+    auto store =
+        RecordStore::Open(base_, RecordStoreOptions{}).value();
+    ASSERT_TRUE(store->Put(1, "x").ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+  }
+  FlipByte(base_ + ".pages", 12);  // inside the meta payload
+  auto reopened = RecordStore::Open(base_, RecordStoreOptions{});
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption());
+}
+
+TEST_F(RobustnessTest, CorruptWalBodyStopsReplayAtCorruption) {
+  {
+    auto store =
+        RecordStore::Open(base_, RecordStoreOptions{}).value();
+    ASSERT_TRUE(store->Put(1, "first").ok());
+    ASSERT_TRUE(store->Commit().ok());
+    ASSERT_TRUE(store->Put(2, "second").ok());
+    ASSERT_TRUE(store->Commit().ok());
+  }
+  // Corrupt the second batch's payload: replay keeps the first batch
+  // and treats the rest as a torn tail.
+  uint64_t wal_size = std::filesystem::file_size(base_ + ".wal");
+  FlipByte(base_ + ".wal", wal_size - 20);
+  auto store = RecordStore::Open(base_, RecordStoreOptions{}).value();
+  EXPECT_EQ(store->Get(1).value(), "first");
+  EXPECT_TRUE(store->Get(2).status().IsNotFound());
+}
+
+TEST_F(RobustnessTest, RecordAtPageCapacityBoundary) {
+  auto store = RecordStore::Open(base_, RecordStoreOptions{}).value();
+  // Max cell = page - header - slot entry; payload = cell - 8 (key).
+  const size_t max_payload =
+      kPageSize - SlottedPage::kHeaderSize - SlottedPage::kSlotEntrySize - 8;
+  EXPECT_TRUE(store->Put(1, std::string(max_payload, 'q')).ok());
+  EXPECT_EQ(store->Get(1).value().size(), max_payload);
+  EXPECT_EQ(store->Put(2, std::string(max_payload + 1, 'q')).code(),
+            StatusCode::kInvalidArgument);
+  // Updating the max record in place still works.
+  EXPECT_TRUE(store->Put(1, std::string(max_payload, 'r')).ok());
+  EXPECT_EQ(store->Get(1).value()[0], 'r');
+}
+
+TEST_F(RobustnessTest, ReopenAfterCleanCloseKeepsGrowingWal) {
+  // Sessions that commit but never checkpoint grow the WAL; every
+  // reopen must still converge to the same state.
+  for (int session = 0; session < 5; ++session) {
+    auto store = RecordStore::Open(base_, RecordStoreOptions{}).value();
+    EXPECT_EQ(store->size(), static_cast<size_t>(session));
+    ASSERT_TRUE(store
+                    ->Put(static_cast<uint64_t>(session),
+                          "s" + std::to_string(session))
+                    .ok());
+    ASSERT_TRUE(store->Commit().ok());
+  }
+  auto store = RecordStore::Open(base_, RecordStoreOptions{}).value();
+  EXPECT_EQ(store->size(), 5u);
+  // Checkpoint collapses the log.
+  ASSERT_TRUE(store->Checkpoint().ok());
+  EXPECT_EQ(std::filesystem::file_size(base_ + ".wal"), 0u);
+}
+
+TEST_F(RobustnessTest, EmptyCommitsAreHarmless) {
+  auto store = RecordStore::Open(base_, RecordStoreOptions{}).value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store->Commit().ok());
+  }
+  ASSERT_TRUE(store->Put(1, "x").ok());
+  ASSERT_TRUE(store->Commit().ok());
+  auto reopened = RecordStore::Open(base_, RecordStoreOptions{});
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->Get(1).value(), "x");
+}
+
+TEST_F(RobustnessTest, ManyOverwritesDoNotLeakPages) {
+  auto store = RecordStore::Open(base_, RecordStoreOptions{}).value();
+  for (int round = 0; round < 200; ++round) {
+    // Alternate small and large so cells move within/between pages.
+    size_t size = (round % 2 == 0) ? 50 : 2000;
+    ASSERT_TRUE(store->Put(7, std::string(size, 'z')).ok());
+  }
+  // One logical record: the heap must stay tiny.
+  EXPECT_EQ(store->size(), 1u);
+  EXPECT_LE(store->page_count(), 3u);
+}
+
+}  // namespace
+}  // namespace tse::storage

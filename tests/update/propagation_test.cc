@@ -1,0 +1,195 @@
+// Update-propagation corner cases of Section 3.4 that the main update
+// test does not reach: difference classes, unions of unions, removes on
+// set-operator classes, and the value-closure interplay on add.
+
+#include <gtest/gtest.h>
+
+#include "algebra/processor.h"
+#include "algebra/query.h"
+#include "classifier/classifier.h"
+#include "update/update_engine.h"
+
+namespace tse::update {
+namespace {
+
+using algebra::AlgebraProcessor;
+using algebra::Query;
+using objmodel::MethodExpr;
+using objmodel::SlicingStore;
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+using schema::SchemaGraph;
+
+class PropagationTest : public ::testing::Test {
+ protected:
+  PropagationTest()
+      : engine_(&graph_, &store_, ValueClosurePolicy::kReject),
+        proc_(&graph_),
+        classifier_(&graph_) {
+    person_ = graph_
+                  .AddBaseClass(
+                      "Person", {},
+                      {PropertySpec::Attribute("name", ValueType::kString)})
+                  .value();
+    student_ = graph_
+                   .AddBaseClass(
+                       "Student", {person_},
+                       {PropertySpec::Attribute("gpa", ValueType::kReal)})
+                   .value();
+    staff_ = graph_
+                 .AddBaseClass(
+                     "Staff", {person_},
+                     {PropertySpec::Attribute("salary", ValueType::kInt)})
+                 .value();
+    ta_ = graph_.AddBaseClass("TA", {student_, staff_}, {}).value();
+  }
+
+  ClassId Define(const std::string& name, Query::Ptr q) {
+    ClassId cls = proc_.DefineVC(name, q).value();
+    // The representative may differ when the classifier detects a
+    // duplicate (the new class is discarded, the existing one reused).
+    return classifier_.Classify(cls).value().cls;
+  }
+
+  SchemaGraph graph_;
+  SlicingStore store_;
+  UpdateEngine engine_;
+  AlgebraProcessor proc_;
+  classifier::Classifier classifier_;
+  ClassId person_, student_, staff_, ta_;
+};
+
+TEST_F(PropagationTest, CreateThroughDifferenceLandsInFirstSource) {
+  ClassId pure_students = Define(
+      "PureStudent",
+      Query::Difference(Query::Class("Student"), Query::Class("TA")));
+  Oid o = engine_.Create(pure_students, {{"name", Value::Str("x")}}).value();
+  EXPECT_TRUE(store_.HasMembership(o, student_));
+  EXPECT_FALSE(store_.HasMembership(o, ta_));
+  EXPECT_TRUE(engine_.extents().IsMember(o, pure_students).value());
+}
+
+TEST_F(PropagationTest, CreateThroughDifferenceCanViolateValueClosure) {
+  // difference(Staff, Student): creating through it lands in Staff; the
+  // object is not a Student, so the create satisfies the class.
+  ClassId non_student_staff = Define(
+      "NonStudentStaff",
+      Query::Difference(Query::Class("Staff"), Query::Class("Student")));
+  Oid ok = engine_.Create(non_student_staff, {}).value();
+  EXPECT_TRUE(engine_.extents().IsMember(ok, non_student_staff).value());
+  // difference(Student, Person) is always empty — a create through it
+  // must fail value closure (reject policy) and leak nothing.
+  ClassId impossible = Define(
+      "Impossible",
+      Query::Difference(Query::Class("Student"), Query::Class("Person")));
+  size_t before = store_.object_count();
+  auto r = engine_.Create(impossible, {});
+  EXPECT_TRUE(r.status().IsRejected());
+  EXPECT_EQ(store_.object_count(), before);
+}
+
+TEST_F(PropagationTest, RedundantUnionDeduplicatesToCommonSuper) {
+  // union(union(Student, Staff), Person) is extent- and type-equivalent
+  // to Person: the classifier replaces it (Section 7), so creates land
+  // exactly where creates on Person land.
+  ClassId u1 = Define("U1", Query::Union(Query::Class("Student"),
+                                         Query::Class("Staff")));
+  (void)u1;
+  ClassId u2 = Define("U2", Query::Union(Query::Class("U1"),
+                                         Query::Class("Person")));
+  EXPECT_EQ(u2, person_);
+}
+
+TEST_F(PropagationTest, NestedUnionCreateFollowsTargets) {
+  ClassId machine =
+      graph_
+          .AddBaseClass("Machine", {},
+                        {PropertySpec::Attribute("name", ValueType::kString)})
+          .value();
+  ClassId u1 = Define("U1b", Query::Union(Query::Class("Student"),
+                                          Query::Class("Staff")));
+  ClassId u2 = Define("U2b", Query::Union(Query::Class("U1b"),
+                                          Query::Class("Machine")));
+  (void)u1;
+  // Default target: first source, recursively (U1b -> Student).
+  Oid a = engine_.Create(u2, {}).value();
+  EXPECT_TRUE(store_.HasMembership(a, student_));
+  // Redirect the outer union to Machine.
+  ASSERT_TRUE(graph_.SetUnionCreateTarget(u2, machine).ok());
+  Oid b = engine_.Create(u2, {}).value();
+  EXPECT_TRUE(store_.HasMembership(b, machine));
+  EXPECT_FALSE(store_.HasMembership(b, student_));
+}
+
+TEST_F(PropagationTest, RemoveThroughSelectTargetsSource) {
+  ClassId honor = Define(
+      "Honor", Query::Select(Query::Class("Student"),
+                             MethodExpr::Ge(MethodExpr::Attr("gpa"),
+                                            MethodExpr::Lit(
+                                                Value::Real(3.5)))));
+  Oid o = engine_.Create(student_, {{"gpa", Value::Real(3.9)}}).value();
+  ASSERT_TRUE(engine_.extents().IsMember(o, honor).value());
+  // Removing from the select class removes the Student type entirely
+  // (Section 3.4: delete/remove work on the source class).
+  ASSERT_TRUE(engine_.Remove(o, honor).ok());
+  EXPECT_FALSE(engine_.extents().IsMember(o, student_).value());
+  EXPECT_TRUE(store_.Exists(o));
+}
+
+TEST_F(PropagationTest, RemoveThroughIntersectTargetsBothSources) {
+  ClassId both = Define("Both", Query::Intersect(Query::Class("Student"),
+                                                 Query::Class("Staff")));
+  Oid o = engine_.Create(both, {}).value();
+  ASSERT_TRUE(store_.HasMembership(o, student_));
+  ASSERT_TRUE(store_.HasMembership(o, staff_));
+  ASSERT_TRUE(engine_.Remove(o, both).ok());
+  EXPECT_FALSE(store_.HasMembership(o, student_));
+  EXPECT_FALSE(store_.HasMembership(o, staff_));
+}
+
+TEST_F(PropagationTest, AddThroughSelectChecksPredicate) {
+  ClassId honor = Define(
+      "Honor2", Query::Select(Query::Class("Student"),
+                              MethodExpr::Ge(MethodExpr::Attr("gpa"),
+                                             MethodExpr::Lit(
+                                                 Value::Real(3.5)))));
+  Oid weak = engine_.Create(person_, {}).value();
+  // Adding a person with no gpa set: predicate evaluation fails on Null
+  // (comparison over null) — surfaced, not silently accepted.
+  auto r = engine_.Add(weak, honor);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(store_.HasMembership(weak, student_));
+  // With a qualifying gpa the add succeeds and propagates to Student.
+  Oid strong = engine_.Create(person_, {}).value();
+  ASSERT_TRUE(engine_.Add(strong, student_).ok());
+  ASSERT_TRUE(
+      engine_.Set(strong, student_, "gpa", Value::Real(3.8)).ok());
+  ASSERT_TRUE(engine_.Add(strong, honor).ok());
+  EXPECT_TRUE(engine_.extents().IsMember(strong, honor).value());
+}
+
+TEST_F(PropagationTest, SetThroughHideCannotTouchHiddenAttr) {
+  ClassId anon = Define("Anon", Query::Hide(Query::Class("Student"),
+                                            {"name"}));
+  Oid o = engine_.Create(student_, {{"name", Value::Str("x")}}).value();
+  EXPECT_TRUE(
+      engine_.Set(o, anon, "name", Value::Str("y")).IsNotFound());
+  // But the non-hidden attribute writes through to shared storage.
+  ASSERT_TRUE(engine_.Set(o, anon, "gpa", Value::Real(2.5)).ok());
+  EXPECT_EQ(engine_.accessor().Read(o, student_, "gpa").value(),
+            Value::Real(2.5));
+}
+
+TEST_F(PropagationTest, DeleteThroughAnyVirtualClassDestroysEverywhere) {
+  ClassId u = Define("U", Query::Union(Query::Class("Student"),
+                                       Query::Class("Staff")));
+  Oid o = engine_.Create(ta_, {}).value();
+  ASSERT_TRUE(engine_.extents().IsMember(o, u).value());
+  ASSERT_TRUE(engine_.Delete(o).ok());
+  EXPECT_FALSE(store_.Exists(o));
+  EXPECT_FALSE(engine_.extents().IsMember(o, u).value());
+}
+
+}  // namespace
+}  // namespace tse::update

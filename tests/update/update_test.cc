@@ -1,0 +1,282 @@
+#include "update/update_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/processor.h"
+#include "algebra/query.h"
+#include "classifier/classifier.h"
+
+namespace tse::update {
+namespace {
+
+using algebra::AlgebraProcessor;
+using algebra::Query;
+using objmodel::MethodExpr;
+using objmodel::SlicingStore;
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+using schema::SchemaGraph;
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    person_ = graph_
+                  .AddBaseClass(
+                      "Person", {},
+                      {PropertySpec::Attribute("name", ValueType::kString),
+                       PropertySpec::Attribute("age", ValueType::kInt)})
+                  .value();
+    student_ = graph_
+                   .AddBaseClass(
+                       "Student", {person_},
+                       {PropertySpec::Attribute("gpa", ValueType::kReal)})
+                   .value();
+    staff_ = graph_
+                 .AddBaseClass(
+                     "Staff", {person_},
+                     {PropertySpec::Attribute("salary", ValueType::kInt)})
+                 .value();
+  }
+
+  ClassId DefineHonor(UpdateEngine&) {
+    AlgebraProcessor proc(&graph_);
+    ClassId honor =
+        proc.DefineVC("Honor",
+                      Query::Select(Query::Class("Student"),
+                                    MethodExpr::Ge(MethodExpr::Attr("gpa"),
+                                                   MethodExpr::Lit(
+                                                       Value::Real(3.5)))))
+            .value();
+    classifier::Classifier classifier(&graph_);
+    EXPECT_TRUE(classifier.Classify(honor).ok());
+    return honor;
+  }
+
+  SchemaGraph graph_;
+  SlicingStore store_;
+  ClassId person_, student_, staff_;
+};
+
+TEST_F(UpdateTest, CreateOnBaseClass) {
+  UpdateEngine engine(&graph_, &store_);
+  Oid o = engine.Create(student_, {{"name", Value::Str("alice")},
+                                   {"gpa", Value::Real(3.8)}})
+              .value();
+  EXPECT_TRUE(store_.HasMembership(o, student_));
+  EXPECT_EQ(engine.accessor().Read(o, student_, "name").value(),
+            Value::Str("alice"));
+  // Member of Person via is-a.
+  EXPECT_TRUE(engine.extents().IsMember(o, person_).value());
+}
+
+TEST_F(UpdateTest, CreateRejectsUnknownAttribute) {
+  UpdateEngine engine(&graph_, &store_);
+  auto r = engine.Create(student_, {{"ghost", Value::Int(1)}});
+  EXPECT_FALSE(r.ok());
+  // The failed create must not leak a half-built object.
+  EXPECT_EQ(store_.object_count(), 0u);
+}
+
+TEST_F(UpdateTest, CreateThroughSelectChecksValueClosure) {
+  UpdateEngine engine(&graph_, &store_, ValueClosurePolicy::kReject);
+  ClassId honor = DefineHonor(engine);
+  // Satisfies the predicate: lands in Student, visible in Honor.
+  Oid good = engine.Create(honor, {{"name", Value::Str("ada")},
+                                   {"gpa", Value::Real(3.9)}})
+                 .value();
+  EXPECT_TRUE(store_.HasMembership(good, student_));
+  EXPECT_TRUE(engine.extents().IsMember(good, honor).value());
+  // Violates the predicate: rejected, nothing persists.
+  size_t before = store_.object_count();
+  auto bad = engine.Create(honor, {{"name", Value::Str("bob")},
+                                   {"gpa", Value::Real(2.0)}});
+  EXPECT_TRUE(bad.status().IsRejected());
+  EXPECT_EQ(store_.object_count(), before);
+}
+
+TEST_F(UpdateTest, CreateThroughSelectAllowPolicy) {
+  UpdateEngine engine(&graph_, &store_, ValueClosurePolicy::kAllow);
+  ClassId honor = DefineHonor(engine);
+  // Allowed: inserted into the source, simply not visible in Honor.
+  Oid o = engine.Create(honor, {{"gpa", Value::Real(2.0)}}).value();
+  EXPECT_TRUE(store_.HasMembership(o, student_));
+  EXPECT_FALSE(engine.extents().IsMember(o, honor).value());
+}
+
+TEST_F(UpdateTest, SetThroughSelectChecksValueClosure) {
+  UpdateEngine engine(&graph_, &store_, ValueClosurePolicy::kReject);
+  ClassId honor = DefineHonor(engine);
+  Oid o = engine.Create(student_, {{"gpa", Value::Real(3.9)}}).value();
+  // Addressed through Honor, dropping gpa below the threshold would
+  // remove it from Honor: rejected and rolled back.
+  Status s = engine.Set(o, honor, "gpa", Value::Real(2.0));
+  EXPECT_TRUE(s.IsRejected());
+  EXPECT_EQ(engine.accessor().Read(o, student_, "gpa").value(),
+            Value::Real(3.9));
+  // The same update addressed through Student is fine.
+  EXPECT_TRUE(engine.Set(o, student_, "gpa", Value::Real(2.0)).ok());
+  EXPECT_FALSE(engine.extents().IsMember(o, honor).value());
+}
+
+TEST_F(UpdateTest, SetRequiresMembership) {
+  UpdateEngine engine(&graph_, &store_);
+  Oid o = engine.Create(staff_, {}).value();
+  EXPECT_EQ(engine.Set(o, student_, "gpa", Value::Real(3.0)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(UpdateTest, CreateThroughHideUsesDefaults) {
+  AlgebraProcessor proc(&graph_);
+  ClassId ageless =
+      proc.DefineVC("Ageless", Query::Hide(Query::Class("Person"), {"age"}))
+          .value();
+  classifier::Classifier classifier(&graph_);
+  ASSERT_TRUE(classifier.Classify(ageless).ok());
+  UpdateEngine engine(&graph_, &store_);
+  // Can create through the hide class, but cannot assign hidden attrs.
+  Oid o = engine.Create(ageless, {{"name", Value::Str("zoe")}}).value();
+  EXPECT_TRUE(store_.HasMembership(o, person_));
+  EXPECT_FALSE(engine.Create(ageless, {{"age", Value::Int(3)}}).ok());
+  // The hidden attribute defaults to Null on the stored object.
+  EXPECT_EQ(engine.accessor().Read(o, person_, "age").value(), Value::Null());
+}
+
+TEST_F(UpdateTest, RefineSetWritesToVirtualClassSlice) {
+  ClassId student_prime =
+      graph_
+          .AddRefineClass("Student'", student_,
+                          {PropertySpec::Attribute("register",
+                                                   ValueType::kBool)},
+                          {})
+          .value();
+  classifier::Classifier classifier(&graph_);
+  ASSERT_TRUE(classifier.Classify(student_prime).ok());
+  UpdateEngine engine(&graph_, &store_);
+  Oid o = engine.Create(student_prime, {{"name", Value::Str("ann")},
+                                        {"register", Value::Bool(true)}})
+              .value();
+  // Membership propagated to the base Student class.
+  EXPECT_TRUE(store_.HasMembership(o, student_));
+  // The refining attribute lives in the virtual class's own slice
+  // (Section 3.4 rule 6).
+  EXPECT_TRUE(store_.HasSlice(o, student_prime));
+  PropertyDefId reg = graph_.EffectiveType(student_prime)
+                          .value()
+                          .Lookup("register")
+                          .value();
+  EXPECT_EQ(store_.GetValue(o, student_prime, reg).value(),
+            Value::Bool(true));
+}
+
+TEST_F(UpdateTest, AddAndRemoveMembership) {
+  UpdateEngine engine(&graph_, &store_);
+  Oid o = engine.Create(student_, {{"name", Value::Str("kim")}}).value();
+  // Multiple classification: also make it a Staff member.
+  ASSERT_TRUE(engine.Add(o, staff_).ok());
+  EXPECT_TRUE(engine.extents().IsMember(o, staff_).value());
+  EXPECT_TRUE(engine.extents().IsMember(o, student_).value());
+  // Remove the Staff type.
+  ASSERT_TRUE(engine.Remove(o, staff_).ok());
+  EXPECT_FALSE(engine.extents().IsMember(o, staff_).value());
+  EXPECT_TRUE(engine.extents().IsMember(o, student_).value());
+  EXPECT_TRUE(engine.Remove(o, staff_).IsNotFound());
+}
+
+TEST_F(UpdateTest, RemoveFromSuperclassRemovesSubMemberships) {
+  UpdateEngine engine(&graph_, &store_);
+  Oid o = engine.Create(student_, {}).value();
+  // Removing the Person type cannot leave the object a Student.
+  ASSERT_TRUE(engine.Remove(o, person_).ok());
+  EXPECT_FALSE(engine.extents().IsMember(o, student_).value());
+  EXPECT_FALSE(engine.extents().IsMember(o, person_).value());
+  EXPECT_TRUE(store_.Exists(o));  // remove is not delete
+}
+
+TEST_F(UpdateTest, DeleteDestroysEverywhere) {
+  UpdateEngine engine(&graph_, &store_);
+  ClassId honor = DefineHonor(engine);
+  Oid o = engine.Create(student_, {{"gpa", Value::Real(3.9)}}).value();
+  ASSERT_TRUE(engine.extents().IsMember(o, honor).value());
+  ASSERT_TRUE(engine.Delete(o).ok());
+  EXPECT_FALSE(store_.Exists(o));
+  EXPECT_FALSE(engine.extents().IsMember(o, honor).value());
+  EXPECT_TRUE(engine.Delete(o).IsNotFound());
+}
+
+TEST_F(UpdateTest, CreateThroughIntersectLandsInBothSources) {
+  AlgebraProcessor proc(&graph_);
+  ClassId both = proc.DefineVC("StudentStaff",
+                               Query::Intersect(Query::Class("Student"),
+                                                Query::Class("Staff")))
+                     .value();
+  classifier::Classifier classifier(&graph_);
+  ASSERT_TRUE(classifier.Classify(both).ok());
+  UpdateEngine engine(&graph_, &store_);
+  Oid o = engine.Create(both, {{"name", Value::Str("dual")}}).value();
+  EXPECT_TRUE(store_.HasMembership(o, student_));
+  EXPECT_TRUE(store_.HasMembership(o, staff_));
+  EXPECT_TRUE(engine.extents().IsMember(o, both).value());
+}
+
+TEST_F(UpdateTest, UnionCreateTargetGovernsPropagation) {
+  AlgebraProcessor proc(&graph_);
+  ClassId u = proc.DefineVC("Anyone", Query::Union(Query::Class("Student"),
+                                                   Query::Class("Staff")))
+                  .value();
+  classifier::Classifier classifier(&graph_);
+  ASSERT_TRUE(classifier.Classify(u).ok());
+  UpdateEngine engine(&graph_, &store_);
+  // Default: first source (Student).
+  Oid a = engine.Create(u, {}).value();
+  EXPECT_TRUE(store_.HasMembership(a, student_));
+  EXPECT_FALSE(store_.HasMembership(a, staff_));
+  // Redirect to Staff (the Section 6.5.4 substituted-class rule).
+  ASSERT_TRUE(graph_.SetUnionCreateTarget(u, staff_).ok());
+  Oid b = engine.Create(u, {}).value();
+  EXPECT_TRUE(store_.HasMembership(b, staff_));
+  EXPECT_FALSE(store_.HasMembership(b, student_));
+  // Invalid targets rejected.
+  EXPECT_FALSE(graph_.SetUnionCreateTarget(u, person_).ok());
+  EXPECT_FALSE(graph_.SetUnionCreateTarget(student_, staff_).ok());
+}
+
+TEST_F(UpdateTest, MarkUpdatableCoversWholeSchema) {
+  UpdateEngine engine(&graph_, &store_);
+  ClassId honor = DefineHonor(engine);
+  (void)honor;
+  AlgebraProcessor proc(&graph_);
+  ASSERT_TRUE(proc.DefineVC("U", Query::Union(Query::Class("Honor"),
+                                              Query::Class("Staff")))
+                  .ok());
+  std::set<ClassId> marked = UpdateEngine::MarkUpdatable(graph_);
+  // Theorem 1: every class in the derivation DAG is updatable.
+  EXPECT_EQ(marked.size(), graph_.class_count());
+}
+
+TEST_F(UpdateTest, InteroperabilityAcrossClassContexts) {
+  // A write through one (virtual) context is visible through all others
+  // sharing the same objects — the paper's data-sharing requirement.
+  ClassId student_prime =
+      graph_
+          .AddRefineClass("Student'", student_,
+                          {PropertySpec::Attribute("register",
+                                                   ValueType::kBool)},
+                          {})
+          .value();
+  classifier::Classifier classifier(&graph_);
+  ASSERT_TRUE(classifier.Classify(student_prime).ok());
+  UpdateEngine engine(&graph_, &store_);
+  Oid o = engine.Create(student_, {{"name", Value::Str("eva")}}).value();
+  // "New application" writes the new attribute through Student'.
+  ASSERT_TRUE(engine.Set(o, student_prime, "register",
+                         Value::Bool(true)).ok());
+  // "Old application" still sees the object through Student and can
+  // update the shared attributes.
+  ASSERT_TRUE(engine.Set(o, student_, "name", Value::Str("eve")).ok());
+  EXPECT_EQ(engine.accessor().Read(o, student_prime, "name").value(),
+            Value::Str("eve"));
+}
+
+}  // namespace
+}  // namespace tse::update

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "algebra/processor.h"
+#include "algebra/query.h"
+#include "classifier/classifier.h"
+#include "view/view_manager.h"
+
+namespace tse::view {
+namespace {
+
+using algebra::AlgebraProcessor;
+using algebra::Query;
+using objmodel::MethodExpr;
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+using schema::SchemaGraph;
+
+class ViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    person_ = graph_
+                  .AddBaseClass(
+                      "Person", {},
+                      {PropertySpec::Attribute("name", ValueType::kString),
+                       PropertySpec::Attribute("age", ValueType::kInt)})
+                  .value();
+    student_ = graph_
+                   .AddBaseClass(
+                       "Student", {person_},
+                       {PropertySpec::Attribute("gpa", ValueType::kReal)})
+                   .value();
+    ta_ = graph_.AddBaseClass("TA", {student_}, {}).value();
+    grad_ = graph_.AddBaseClass("Grad", {student_}, {}).value();
+  }
+
+  SchemaGraph graph_;
+  ClassId person_, student_, ta_, grad_;
+};
+
+TEST_F(ViewTest, GeneratesHierarchyOverSelectedClasses) {
+  ViewManager vm(&graph_);
+  ViewId id = vm.CreateVersion("VS1", {{person_, ""},
+                                       {student_, ""},
+                                       {ta_, ""}})
+                  .value();
+  const ViewSchema* view = vm.GetView(id).value();
+  EXPECT_EQ(view->size(), 3u);
+  EXPECT_EQ(view->DirectSupers(ta_), std::vector<ClassId>{student_});
+  EXPECT_EQ(view->DirectSupers(student_), std::vector<ClassId>{person_});
+  EXPECT_TRUE(view->DirectSupers(person_).empty());
+}
+
+TEST_F(ViewTest, SkipsIntermediateClassesNotSelected) {
+  // Without Student in the view, TA connects directly to Person.
+  ViewManager vm(&graph_);
+  ViewId id = vm.CreateVersion("VS1", {{person_, ""}, {ta_, ""}}).value();
+  const ViewSchema* view = vm.GetView(id).value();
+  EXPECT_EQ(view->DirectSupers(ta_), std::vector<ClassId>{person_});
+}
+
+TEST_F(ViewTest, RenamesApplyWithinViewOnly) {
+  ViewManager vm(&graph_);
+  ViewId id =
+      vm.CreateVersion("VS1", {{person_, ""}, {student_, "Pupil"}}).value();
+  const ViewSchema* view = vm.GetView(id).value();
+  EXPECT_EQ(view->DisplayName(student_).value(), "Pupil");
+  EXPECT_EQ(view->Resolve("Pupil").value(), student_);
+  EXPECT_TRUE(view->Resolve("Student").status().IsNotFound());
+  // Global name untouched.
+  EXPECT_EQ(graph_.GetClass(student_).value()->name, "Student");
+}
+
+TEST_F(ViewTest, RejectsDuplicates) {
+  ViewManager vm(&graph_);
+  EXPECT_FALSE(vm.CreateVersion("V", {{person_, ""}, {person_, ""}}).ok());
+  EXPECT_FALSE(
+      vm.CreateVersion("V", {{person_, "X"}, {student_, "X"}}).ok());
+  EXPECT_FALSE(vm.CreateVersion("V", {}).ok());
+  EXPECT_FALSE(vm.CreateVersion("V", {{ClassId(999), ""}}).ok());
+}
+
+TEST_F(ViewTest, VirtualClassesJoinTheHierarchy) {
+  AlgebraProcessor proc(&graph_);
+  classifier::Classifier classifier(&graph_);
+  ClassId honor =
+      proc.DefineVC("Honor",
+                    Query::Select(Query::Class("Student"),
+                                  MethodExpr::Ge(MethodExpr::Attr("gpa"),
+                                                 MethodExpr::Lit(
+                                                     Value::Real(3.5)))))
+          .value();
+  ASSERT_TRUE(classifier.Classify(honor).ok());
+  ViewManager vm(&graph_);
+  ViewId id = vm.CreateVersion(
+                    "VS1", {{person_, ""}, {student_, ""}, {honor, ""}})
+                  .value();
+  const ViewSchema* view = vm.GetView(id).value();
+  EXPECT_EQ(view->DirectSupers(honor), std::vector<ClassId>{student_});
+}
+
+TEST_F(ViewTest, HistoryTracksVersions) {
+  ViewManager vm(&graph_);
+  ViewId v1 = vm.CreateVersion("VS", {{person_, ""}}).value();
+  ViewId v2 = vm.CreateVersion("VS", {{person_, ""}, {student_, ""}}).value();
+  auto history = vm.History("VS");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0], v1);
+  EXPECT_EQ(history[1], v2);
+  EXPECT_EQ(vm.Current("VS").value()->id(), v2);
+  EXPECT_EQ(vm.GetView(v1).value()->version(), 1);
+  EXPECT_EQ(vm.GetView(v2).value()->version(), 2);
+  EXPECT_TRUE(vm.Current("Nope").status().IsNotFound());
+  // The old version is still fully usable (transparency requirement).
+  EXPECT_EQ(vm.GetView(v1).value()->size(), 1u);
+  auto names = vm.ViewNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "VS");
+}
+
+TEST_F(ViewTest, TypeClosureFindsMissingRefTargets) {
+  // Course.taught_by -> Person.
+  ClassId course =
+      graph_
+          .AddBaseClass("Course", {},
+                        {PropertySpec::RefAttribute("taught_by", person_)})
+          .value();
+  ViewManager vm(&graph_);
+  auto missing = vm.TypeClosureMissing({{course, ""}}).value();
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], person_);
+  // Closed creation pulls Person in automatically.
+  ViewId id = vm.CreateVersionClosed("VS", {{course, ""}}).value();
+  EXPECT_TRUE(vm.GetView(id).value()->Contains(person_));
+}
+
+TEST_F(ViewTest, TypeClosureIsTransitive) {
+  ClassId course =
+      graph_
+          .AddBaseClass("Course", {},
+                        {PropertySpec::RefAttribute("taught_by", person_)})
+          .value();
+  ClassId dept =
+      graph_
+          .AddBaseClass("Dept", {},
+                        {PropertySpec::RefAttribute("offers", course)})
+          .value();
+  ViewManager vm(&graph_);
+  auto missing = vm.TypeClosureMissing({{dept, ""}}).value();
+  // Dept -> Course -> Person.
+  ASSERT_EQ(missing.size(), 2u);
+  EXPECT_EQ(missing[0], course);
+  EXPECT_EQ(missing[1], person_);
+}
+
+TEST_F(ViewTest, TypeClosureAcceptsEquivalentSubstitute) {
+  ClassId course =
+      graph_
+          .AddBaseClass("Course", {},
+                        {PropertySpec::RefAttribute("taught_by", person_)})
+          .value();
+  // Person' refines Person (extent-equivalent substitute).
+  ClassId person_prime =
+      graph_
+          .AddRefineClass("Person'", person_,
+                          {PropertySpec::Attribute("badge", ValueType::kInt)},
+                          {})
+          .value();
+  ViewManager vm(&graph_);
+  auto missing =
+      vm.TypeClosureMissing({{course, ""}, {person_prime, "Person"}}).value();
+  EXPECT_TRUE(missing.empty());
+}
+
+TEST_F(ViewTest, ToStringIsDeterministic) {
+  ViewManager vm(&graph_);
+  ViewId id = vm.CreateVersion("VS", {{person_, ""},
+                                      {student_, ""},
+                                      {ta_, ""},
+                                      {grad_, ""}})
+                  .value();
+  const ViewSchema* view = vm.GetView(id).value();
+  EXPECT_EQ(view->ToString(),
+            "Grad -> Student\nPerson\nStudent -> Person\nTA -> Student");
+  auto trans = view->TransitiveSupers(ta_);
+  EXPECT_EQ(trans.size(), 3u);  // TA, Student, Person
+}
+
+}  // namespace
+}  // namespace tse::view
