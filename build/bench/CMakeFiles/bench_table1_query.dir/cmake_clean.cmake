@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_query.dir/bench_table1_query.cc.o"
+  "CMakeFiles/bench_table1_query.dir/bench_table1_query.cc.o.d"
+  "bench_table1_query"
+  "bench_table1_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_chains.dir/bench_update_chains.cc.o"
+  "CMakeFiles/bench_update_chains.dir/bench_update_chains.cc.o.d"
+  "bench_update_chains"
+  "bench_update_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/office_system.dir/office_system.cpp.o"
+  "CMakeFiles/office_system.dir/office_system.cpp.o.d"
+  "office_system"
+  "office_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/office_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_library.dir/persistent_library.cpp.o"
+  "CMakeFiles/persistent_library.dir/persistent_library.cpp.o.d"
+  "persistent_library"
+  "persistent_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

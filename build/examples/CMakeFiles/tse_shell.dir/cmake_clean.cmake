@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tse_shell.dir/tse_shell.cpp.o"
+  "CMakeFiles/tse_shell.dir/tse_shell.cpp.o.d"
+  "tse_shell"
+  "tse_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tse_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_evolution.dir/university_evolution.cpp.o"
+  "CMakeFiles/university_evolution.dir/university_evolution.cpp.o.d"
+  "university_evolution"
+  "university_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_merge.dir/version_merge.cpp.o"
+  "CMakeFiles/version_merge.dir/version_merge.cpp.o.d"
+  "version_merge"
+  "version_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tse_algebra.dir/extent_eval.cc.o"
+  "CMakeFiles/tse_algebra.dir/extent_eval.cc.o.d"
+  "CMakeFiles/tse_algebra.dir/object_accessor.cc.o"
+  "CMakeFiles/tse_algebra.dir/object_accessor.cc.o.d"
+  "CMakeFiles/tse_algebra.dir/processor.cc.o"
+  "CMakeFiles/tse_algebra.dir/processor.cc.o.d"
+  "CMakeFiles/tse_algebra.dir/query.cc.o"
+  "CMakeFiles/tse_algebra.dir/query.cc.o.d"
+  "libtse_algebra.a"
+  "libtse_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tse_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

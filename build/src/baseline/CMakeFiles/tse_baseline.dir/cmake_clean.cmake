@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tse_baseline.dir/direct_engine.cc.o"
+  "CMakeFiles/tse_baseline.dir/direct_engine.cc.o.d"
+  "CMakeFiles/tse_baseline.dir/oracle.cc.o"
+  "CMakeFiles/tse_baseline.dir/oracle.cc.o.d"
+  "CMakeFiles/tse_baseline.dir/versioning_sims.cc.o"
+  "CMakeFiles/tse_baseline.dir/versioning_sims.cc.o.d"
+  "libtse_baseline.a"
+  "libtse_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tse_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tse_classifier.dir/classifier.cc.o"
+  "CMakeFiles/tse_classifier.dir/classifier.cc.o.d"
+  "libtse_classifier.a"
+  "libtse_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tse_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

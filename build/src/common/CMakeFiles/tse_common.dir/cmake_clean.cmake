@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tse_common.dir/status.cc.o"
+  "CMakeFiles/tse_common.dir/status.cc.o.d"
+  "CMakeFiles/tse_common.dir/str_util.cc.o"
+  "CMakeFiles/tse_common.dir/str_util.cc.o.d"
+  "libtse_common.a"
+  "libtse_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tse_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tse_evolution.dir/change_parser.cc.o"
+  "CMakeFiles/tse_evolution.dir/change_parser.cc.o.d"
+  "CMakeFiles/tse_evolution.dir/schema_change.cc.o"
+  "CMakeFiles/tse_evolution.dir/schema_change.cc.o.d"
+  "CMakeFiles/tse_evolution.dir/tse_manager.cc.o"
+  "CMakeFiles/tse_evolution.dir/tse_manager.cc.o.d"
+  "libtse_evolution.a"
+  "libtse_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tse_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

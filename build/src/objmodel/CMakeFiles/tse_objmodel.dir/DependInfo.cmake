@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objmodel/expr_parser.cc" "src/objmodel/CMakeFiles/tse_objmodel.dir/expr_parser.cc.o" "gcc" "src/objmodel/CMakeFiles/tse_objmodel.dir/expr_parser.cc.o.d"
+  "/root/repo/src/objmodel/intersection_store.cc" "src/objmodel/CMakeFiles/tse_objmodel.dir/intersection_store.cc.o" "gcc" "src/objmodel/CMakeFiles/tse_objmodel.dir/intersection_store.cc.o.d"
+  "/root/repo/src/objmodel/method.cc" "src/objmodel/CMakeFiles/tse_objmodel.dir/method.cc.o" "gcc" "src/objmodel/CMakeFiles/tse_objmodel.dir/method.cc.o.d"
+  "/root/repo/src/objmodel/persistence.cc" "src/objmodel/CMakeFiles/tse_objmodel.dir/persistence.cc.o" "gcc" "src/objmodel/CMakeFiles/tse_objmodel.dir/persistence.cc.o.d"
+  "/root/repo/src/objmodel/slicing_store.cc" "src/objmodel/CMakeFiles/tse_objmodel.dir/slicing_store.cc.o" "gcc" "src/objmodel/CMakeFiles/tse_objmodel.dir/slicing_store.cc.o.d"
+  "/root/repo/src/objmodel/value.cc" "src/objmodel/CMakeFiles/tse_objmodel.dir/value.cc.o" "gcc" "src/objmodel/CMakeFiles/tse_objmodel.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tse_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tse_objmodel.dir/expr_parser.cc.o"
+  "CMakeFiles/tse_objmodel.dir/expr_parser.cc.o.d"
+  "CMakeFiles/tse_objmodel.dir/intersection_store.cc.o"
+  "CMakeFiles/tse_objmodel.dir/intersection_store.cc.o.d"
+  "CMakeFiles/tse_objmodel.dir/method.cc.o"
+  "CMakeFiles/tse_objmodel.dir/method.cc.o.d"
+  "CMakeFiles/tse_objmodel.dir/persistence.cc.o"
+  "CMakeFiles/tse_objmodel.dir/persistence.cc.o.d"
+  "CMakeFiles/tse_objmodel.dir/slicing_store.cc.o"
+  "CMakeFiles/tse_objmodel.dir/slicing_store.cc.o.d"
+  "CMakeFiles/tse_objmodel.dir/value.cc.o"
+  "CMakeFiles/tse_objmodel.dir/value.cc.o.d"
+  "libtse_objmodel.a"
+  "libtse_objmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tse_objmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

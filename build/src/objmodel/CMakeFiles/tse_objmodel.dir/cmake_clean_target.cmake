@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtse_objmodel.a"
+)

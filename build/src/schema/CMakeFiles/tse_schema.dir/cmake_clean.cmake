@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tse_schema.dir/schema_graph.cc.o"
+  "CMakeFiles/tse_schema.dir/schema_graph.cc.o.d"
+  "CMakeFiles/tse_schema.dir/type_set.cc.o"
+  "CMakeFiles/tse_schema.dir/type_set.cc.o.d"
+  "libtse_schema.a"
+  "libtse_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tse_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

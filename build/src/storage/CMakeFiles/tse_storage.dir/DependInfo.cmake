@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/lock_manager.cc" "src/storage/CMakeFiles/tse_storage.dir/lock_manager.cc.o" "gcc" "src/storage/CMakeFiles/tse_storage.dir/lock_manager.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/storage/CMakeFiles/tse_storage.dir/page.cc.o" "gcc" "src/storage/CMakeFiles/tse_storage.dir/page.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/storage/CMakeFiles/tse_storage.dir/pager.cc.o" "gcc" "src/storage/CMakeFiles/tse_storage.dir/pager.cc.o.d"
+  "/root/repo/src/storage/record_store.cc" "src/storage/CMakeFiles/tse_storage.dir/record_store.cc.o" "gcc" "src/storage/CMakeFiles/tse_storage.dir/record_store.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/tse_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/tse_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tse_storage.dir/lock_manager.cc.o"
+  "CMakeFiles/tse_storage.dir/lock_manager.cc.o.d"
+  "CMakeFiles/tse_storage.dir/page.cc.o"
+  "CMakeFiles/tse_storage.dir/page.cc.o.d"
+  "CMakeFiles/tse_storage.dir/pager.cc.o"
+  "CMakeFiles/tse_storage.dir/pager.cc.o.d"
+  "CMakeFiles/tse_storage.dir/record_store.cc.o"
+  "CMakeFiles/tse_storage.dir/record_store.cc.o.d"
+  "CMakeFiles/tse_storage.dir/wal.cc.o"
+  "CMakeFiles/tse_storage.dir/wal.cc.o.d"
+  "libtse_storage.a"
+  "libtse_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tse_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

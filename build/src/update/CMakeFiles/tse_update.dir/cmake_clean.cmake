@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tse_update.dir/transaction.cc.o"
+  "CMakeFiles/tse_update.dir/transaction.cc.o.d"
+  "CMakeFiles/tse_update.dir/update_engine.cc.o"
+  "CMakeFiles/tse_update.dir/update_engine.cc.o.d"
+  "libtse_update.a"
+  "libtse_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tse_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

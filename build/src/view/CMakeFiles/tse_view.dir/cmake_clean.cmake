@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tse_view.dir/catalog_io.cc.o"
+  "CMakeFiles/tse_view.dir/catalog_io.cc.o.d"
+  "CMakeFiles/tse_view.dir/view_manager.cc.o"
+  "CMakeFiles/tse_view.dir/view_manager.cc.o.d"
+  "CMakeFiles/tse_view.dir/view_schema.cc.o"
+  "CMakeFiles/tse_view.dir/view_schema.cc.o.d"
+  "libtse_view.a"
+  "libtse_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tse_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

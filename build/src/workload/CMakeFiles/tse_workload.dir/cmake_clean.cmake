@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tse_workload.dir/generators.cc.o"
+  "CMakeFiles/tse_workload.dir/generators.cc.o.d"
+  "libtse_workload.a"
+  "libtse_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tse_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/algebra
+# Build directory: /root/repo/build/tests/algebra
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(algebra_test "/root/repo/build/tests/algebra/algebra_test")
+set_tests_properties(algebra_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/algebra/CMakeLists.txt;1;tse_add_test;/root/repo/tests/algebra/CMakeLists.txt;0;")
+add_test(algebra_property_test "/root/repo/build/tests/algebra/algebra_property_test")
+set_tests_properties(algebra_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/algebra/CMakeLists.txt;2;tse_add_test;/root/repo/tests/algebra/CMakeLists.txt;0;")
+add_test(navigation_test "/root/repo/build/tests/algebra/navigation_test")
+set_tests_properties(navigation_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/algebra/CMakeLists.txt;3;tse_add_test;/root/repo/tests/algebra/CMakeLists.txt;0;")

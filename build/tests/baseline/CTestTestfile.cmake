@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/baseline
+# Build directory: /root/repo/build/tests/baseline
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(baseline_test "/root/repo/build/tests/baseline/baseline_test")
+set_tests_properties(baseline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/baseline/CMakeLists.txt;1;tse_add_test;/root/repo/tests/baseline/CMakeLists.txt;0;")
+add_test(oracle_test "/root/repo/build/tests/baseline/oracle_test")
+set_tests_properties(oracle_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/baseline/CMakeLists.txt;2;tse_add_test;/root/repo/tests/baseline/CMakeLists.txt;0;")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/classifier
+# Build directory: /root/repo/build/tests/classifier
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(classify_test "/root/repo/build/tests/classifier/classify_test")
+set_tests_properties(classify_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/classifier/CMakeLists.txt;1;tse_add_test;/root/repo/tests/classifier/CMakeLists.txt;0;")

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/common
+# Build directory: /root/repo/build/tests/common
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(status_test "/root/repo/build/tests/common/status_test")
+set_tests_properties(status_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/common/CMakeLists.txt;1;tse_add_test;/root/repo/tests/common/CMakeLists.txt;0;")
+add_test(util_test "/root/repo/build/tests/common/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/common/CMakeLists.txt;2;tse_add_test;/root/repo/tests/common/CMakeLists.txt;0;")

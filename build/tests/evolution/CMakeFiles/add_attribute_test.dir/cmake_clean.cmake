@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/add_attribute_test.dir/add_attribute_test.cc.o"
+  "CMakeFiles/add_attribute_test.dir/add_attribute_test.cc.o.d"
+  "add_attribute_test"
+  "add_attribute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/add_attribute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/add_class_test.dir/add_class_test.cc.o"
+  "CMakeFiles/add_class_test.dir/add_class_test.cc.o.d"
+  "add_class_test"
+  "add_class_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/add_class_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/add_edge_test.dir/add_edge_test.cc.o"
+  "CMakeFiles/add_edge_test.dir/add_edge_test.cc.o.d"
+  "add_edge_test"
+  "add_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/add_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/change_parser_test.dir/change_parser_test.cc.o"
+  "CMakeFiles/change_parser_test.dir/change_parser_test.cc.o.d"
+  "change_parser_test"
+  "change_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/change_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delete_attribute_test.dir/delete_attribute_test.cc.o"
+  "CMakeFiles/delete_attribute_test.dir/delete_attribute_test.cc.o.d"
+  "delete_attribute_test"
+  "delete_attribute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delete_attribute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

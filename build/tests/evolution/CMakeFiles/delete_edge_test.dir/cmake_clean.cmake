@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delete_edge_test.dir/delete_edge_test.cc.o"
+  "CMakeFiles/delete_edge_test.dir/delete_edge_test.cc.o.d"
+  "delete_edge_test"
+  "delete_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delete_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macro_ops_test.dir/macro_ops_test.cc.o"
+  "CMakeFiles/macro_ops_test.dir/macro_ops_test.cc.o.d"
+  "macro_ops_test"
+  "macro_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macro_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_merge_test.dir/version_merge_test.cc.o"
+  "CMakeFiles/version_merge_test.dir/version_merge_test.cc.o.d"
+  "version_merge_test"
+  "version_merge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/evolution
+# Build directory: /root/repo/build/tests/evolution
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(add_attribute_test "/root/repo/build/tests/evolution/add_attribute_test")
+set_tests_properties(add_attribute_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/evolution/CMakeLists.txt;1;tse_add_test;/root/repo/tests/evolution/CMakeLists.txt;0;")
+add_test(delete_attribute_test "/root/repo/build/tests/evolution/delete_attribute_test")
+set_tests_properties(delete_attribute_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/evolution/CMakeLists.txt;2;tse_add_test;/root/repo/tests/evolution/CMakeLists.txt;0;")
+add_test(add_edge_test "/root/repo/build/tests/evolution/add_edge_test")
+set_tests_properties(add_edge_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/evolution/CMakeLists.txt;3;tse_add_test;/root/repo/tests/evolution/CMakeLists.txt;0;")
+add_test(delete_edge_test "/root/repo/build/tests/evolution/delete_edge_test")
+set_tests_properties(delete_edge_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/evolution/CMakeLists.txt;4;tse_add_test;/root/repo/tests/evolution/CMakeLists.txt;0;")
+add_test(add_class_test "/root/repo/build/tests/evolution/add_class_test")
+set_tests_properties(add_class_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/evolution/CMakeLists.txt;5;tse_add_test;/root/repo/tests/evolution/CMakeLists.txt;0;")
+add_test(macro_ops_test "/root/repo/build/tests/evolution/macro_ops_test")
+set_tests_properties(macro_ops_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/evolution/CMakeLists.txt;6;tse_add_test;/root/repo/tests/evolution/CMakeLists.txt;0;")
+add_test(version_merge_test "/root/repo/build/tests/evolution/version_merge_test")
+set_tests_properties(version_merge_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/evolution/CMakeLists.txt;7;tse_add_test;/root/repo/tests/evolution/CMakeLists.txt;0;")
+add_test(change_parser_test "/root/repo/build/tests/evolution/change_parser_test")
+set_tests_properties(change_parser_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/evolution/CMakeLists.txt;8;tse_add_test;/root/repo/tests/evolution/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durability_soak_test.dir/durability_soak_test.cc.o"
+  "CMakeFiles/durability_soak_test.dir/durability_soak_test.cc.o.d"
+  "durability_soak_test"
+  "durability_soak_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durability_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(random_evolution_test "/root/repo/build/tests/integration/random_evolution_test")
+set_tests_properties(random_evolution_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;1;tse_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(multi_user_test "/root/repo/build/tests/integration/multi_user_test")
+set_tests_properties(multi_user_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;2;tse_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(durability_soak_test "/root/repo/build/tests/integration/durability_soak_test")
+set_tests_properties(durability_soak_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;3;tse_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")

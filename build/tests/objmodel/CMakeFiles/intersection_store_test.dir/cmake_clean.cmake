@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intersection_store_test.dir/intersection_store_test.cc.o"
+  "CMakeFiles/intersection_store_test.dir/intersection_store_test.cc.o.d"
+  "intersection_store_test"
+  "intersection_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intersection_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

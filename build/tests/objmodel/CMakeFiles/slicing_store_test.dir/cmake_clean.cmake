@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slicing_store_test.dir/slicing_store_test.cc.o"
+  "CMakeFiles/slicing_store_test.dir/slicing_store_test.cc.o.d"
+  "slicing_store_test"
+  "slicing_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slicing_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/objmodel
+# Build directory: /root/repo/build/tests/objmodel
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(value_test "/root/repo/build/tests/objmodel/value_test")
+set_tests_properties(value_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/objmodel/CMakeLists.txt;1;tse_add_test;/root/repo/tests/objmodel/CMakeLists.txt;0;")
+add_test(method_test "/root/repo/build/tests/objmodel/method_test")
+set_tests_properties(method_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/objmodel/CMakeLists.txt;2;tse_add_test;/root/repo/tests/objmodel/CMakeLists.txt;0;")
+add_test(slicing_store_test "/root/repo/build/tests/objmodel/slicing_store_test")
+set_tests_properties(slicing_store_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/objmodel/CMakeLists.txt;3;tse_add_test;/root/repo/tests/objmodel/CMakeLists.txt;0;")
+add_test(intersection_store_test "/root/repo/build/tests/objmodel/intersection_store_test")
+set_tests_properties(intersection_store_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/objmodel/CMakeLists.txt;4;tse_add_test;/root/repo/tests/objmodel/CMakeLists.txt;0;")
+add_test(multiclass_test "/root/repo/build/tests/objmodel/multiclass_test")
+set_tests_properties(multiclass_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/objmodel/CMakeLists.txt;5;tse_add_test;/root/repo/tests/objmodel/CMakeLists.txt;0;")
+add_test(persistence_test "/root/repo/build/tests/objmodel/persistence_test")
+set_tests_properties(persistence_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/objmodel/CMakeLists.txt;6;tse_add_test;/root/repo/tests/objmodel/CMakeLists.txt;0;")
+add_test(expr_parser_test "/root/repo/build/tests/objmodel/expr_parser_test")
+set_tests_properties(expr_parser_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/objmodel/CMakeLists.txt;7;tse_add_test;/root/repo/tests/objmodel/CMakeLists.txt;0;")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/schema/schema_graph_test.cc" "tests/schema/CMakeFiles/schema_graph_test.dir/schema_graph_test.cc.o" "gcc" "tests/schema/CMakeFiles/schema_graph_test.dir/schema_graph_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schema/CMakeFiles/tse_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/objmodel/CMakeFiles/tse_objmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tse_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

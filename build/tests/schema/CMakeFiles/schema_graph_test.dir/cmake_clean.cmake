@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_graph_test.dir/schema_graph_test.cc.o"
+  "CMakeFiles/schema_graph_test.dir/schema_graph_test.cc.o.d"
+  "schema_graph_test"
+  "schema_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_set_test.dir/type_set_test.cc.o"
+  "CMakeFiles/type_set_test.dir/type_set_test.cc.o.d"
+  "type_set_test"
+  "type_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/schema
+# Build directory: /root/repo/build/tests/schema
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(type_set_test "/root/repo/build/tests/schema/type_set_test")
+set_tests_properties(type_set_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/schema/CMakeLists.txt;1;tse_add_test;/root/repo/tests/schema/CMakeLists.txt;0;")
+add_test(schema_graph_test "/root/repo/build/tests/schema/schema_graph_test")
+set_tests_properties(schema_graph_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/schema/CMakeLists.txt;2;tse_add_test;/root/repo/tests/schema/CMakeLists.txt;0;")

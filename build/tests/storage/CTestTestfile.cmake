@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/storage
+# Build directory: /root/repo/build/tests/storage
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(page_test "/root/repo/build/tests/storage/page_test")
+set_tests_properties(page_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/storage/CMakeLists.txt;1;tse_add_test;/root/repo/tests/storage/CMakeLists.txt;0;")
+add_test(pager_wal_test "/root/repo/build/tests/storage/pager_wal_test")
+set_tests_properties(pager_wal_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/storage/CMakeLists.txt;2;tse_add_test;/root/repo/tests/storage/CMakeLists.txt;0;")
+add_test(record_store_test "/root/repo/build/tests/storage/record_store_test")
+set_tests_properties(record_store_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/storage/CMakeLists.txt;3;tse_add_test;/root/repo/tests/storage/CMakeLists.txt;0;")
+add_test(lock_manager_test "/root/repo/build/tests/storage/lock_manager_test")
+set_tests_properties(lock_manager_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/storage/CMakeLists.txt;4;tse_add_test;/root/repo/tests/storage/CMakeLists.txt;0;")
+add_test(robustness_test "/root/repo/build/tests/storage/robustness_test")
+set_tests_properties(robustness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/storage/CMakeLists.txt;5;tse_add_test;/root/repo/tests/storage/CMakeLists.txt;0;")

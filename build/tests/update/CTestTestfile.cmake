@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/update
+# Build directory: /root/repo/build/tests/update
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(update_test "/root/repo/build/tests/update/update_test")
+set_tests_properties(update_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/update/CMakeLists.txt;1;tse_add_test;/root/repo/tests/update/CMakeLists.txt;0;")
+add_test(transaction_test "/root/repo/build/tests/update/transaction_test")
+set_tests_properties(transaction_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/update/CMakeLists.txt;2;tse_add_test;/root/repo/tests/update/CMakeLists.txt;0;")
+add_test(propagation_test "/root/repo/build/tests/update/propagation_test")
+set_tests_properties(propagation_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/update/CMakeLists.txt;3;tse_add_test;/root/repo/tests/update/CMakeLists.txt;0;")

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/view
+# Build directory: /root/repo/build/tests/view
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(view_test "/root/repo/build/tests/view/view_test")
+set_tests_properties(view_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/view/CMakeLists.txt;1;tse_add_test;/root/repo/tests/view/CMakeLists.txt;0;")
+add_test(catalog_io_test "/root/repo/build/tests/view/catalog_io_test")
+set_tests_properties(catalog_io_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/view/CMakeLists.txt;2;tse_add_test;/root/repo/tests/view/CMakeLists.txt;0;")
+add_test(view_edge_cases_test "/root/repo/build/tests/view/view_edge_cases_test")
+set_tests_properties(view_edge_cases_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/view/CMakeLists.txt;3;tse_add_test;/root/repo/tests/view/CMakeLists.txt;0;")
