@@ -55,7 +55,10 @@ Status DirectEngine::AddClass(const std::string& name,
   for (const std::string& sup : parents) {
     classes_.at(sup).subs.insert(name);
   }
-  return Status::OK();
+  // Keep the user-facing relation transitively reduced from the start:
+  // a declared super dominated by another declared super is invisible
+  // in the view's classification and must not linger here either.
+  return CollapseRedundantParents(name);
 }
 
 Result<std::map<std::string, DirectEngine::PropertyInfo>>
@@ -119,17 +122,50 @@ Status DirectEngine::DeleteAttribute(const std::string& cls,
                                      const std::string& name) {
   TSE_ASSIGN_OR_RETURN(ClassInfo * info, Find(cls));
   auto local = info->local_props.find(name);
+  bool was_attribute;
   if (local == info->local_props.end()) {
-    // Only locally defined properties may be deleted (full inheritance).
     TSE_ASSIGN_OR_RETURN(auto effective, Effective(cls));
-    if (effective.count(name)) {
+    auto entry = effective.find(name);
+    if (entry == effective.end()) {
+      return Status::NotFound(StrCat("no property '", name, "' in ", cls));
+    }
+    // Locality is judged on the user-facing surface: a property is
+    // deletable here iff no *visible* ancestor carries it (full
+    // inheritance). One flowing in only through hidden carrier chains
+    // looks local to the user, so the delete proceeds by cutting those
+    // chains while their other contributions survive as local copies.
+    for (const std::string& v : StrictVisibleUppers(cls)) {
+      TSE_ASSIGN_OR_RETURN(auto v_effective, Effective(v));
+      if (v_effective.count(name)) {
+        return Status::Rejected(
+            StrCat("property '", name, "' is inherited, not local to ", cls));
+      }
+    }
+    was_attribute = entry->second.kind == PropertyKind::kStoredAttribute;
+    std::vector<std::string> providers;
+    for (const std::string& s : info->supers) {
+      if (!hidden_from_user_.count(s)) continue;
+      TSE_ASSIGN_OR_RETURN(auto s_effective, Effective(s));
+      if (s_effective.count(name)) providers.push_back(s);
+    }
+    if (providers.empty()) {
+      // Defensive: the name came from somewhere else (e.g. a visible
+      // parent we failed to attribute) — refuse rather than corrupt.
       return Status::Rejected(
           StrCat("property '", name, "' is inherited, not local to ", cls));
     }
-    return Status::NotFound(StrCat("no property '", name, "' in ", cls));
+    for (const std::string& s : providers) {
+      TSE_RETURN_IF_ERROR(CutCarrier(cls, s, {name}, {}));
+    }
+    if (info->supers.empty()) {
+      info->supers.insert("OBJECT");
+      classes_.at("OBJECT").subs.insert(cls);
+    }
+    TSE_RETURN_IF_ERROR(CollapseRedundantParents(cls));
+  } else {
+    was_attribute = local->second.kind == PropertyKind::kStoredAttribute;
+    info->local_props.erase(local);
   }
-  bool was_attribute = local->second.kind == PropertyKind::kStoredAttribute;
-  info->local_props.erase(local);
   if (was_attribute) {
     // Drop the stored values from members that no longer see the name.
     for (const std::string& sub : SubtreeOf(cls)) {
@@ -165,8 +201,121 @@ Status DirectEngine::AddEdge(const std::string& sup, const std::string& sub) {
   }
   sub_info->supers.insert(sup);
   sup_info->subs.insert(sub);
+  // The user-facing is-a relation is a transitive reduction: a direct
+  // super (or hidden carrier chain) now dominated through the new edge
+  // is redundant and collapses into it, exactly as the view's
+  // classification surface presents it.
+  TSE_RETURN_IF_ERROR(CollapseRedundantParents(sub));
   // Members of sub acquire sup's attributes.
   ChargeMigration(sub);
+  return Status::OK();
+}
+
+std::set<std::string> DirectEngine::VisibleParentsOf(
+    const std::string& cls) const {
+  std::set<std::string> out;
+  auto it = classes_.find(cls);
+  if (it == classes_.end()) return out;
+  for (const std::string& sup : it->second.supers) {
+    if (hidden_from_user_.count(sup)) {
+      for (const std::string& v : VisibleParentsOf(sup)) out.insert(v);
+    } else {
+      out.insert(sup);
+    }
+  }
+  return out;
+}
+
+std::set<std::string> DirectEngine::CarriedVisible(
+    const std::string& cls) const {
+  if (!hidden_from_user_.count(cls)) return {cls};
+  return VisibleParentsOf(cls);
+}
+
+std::set<std::string> DirectEngine::StrictVisibleUppers(
+    const std::string& cls) const {
+  std::set<std::string> out;
+  std::deque<std::string> queue;
+  for (const std::string& c : CarriedVisible(cls)) queue.push_back(c);
+  while (!queue.empty()) {
+    std::string cur = queue.front();
+    queue.pop_front();
+    for (const std::string& v : VisibleParentsOf(cur)) {
+      if (out.insert(v).second) queue.push_back(v);
+    }
+  }
+  return out;
+}
+
+Status DirectEngine::CutCarrier(const std::string& sub,
+                                const std::string& carrier_ref,
+                                const std::set<std::string>& drop_names,
+                                const std::set<std::string>& skip_coparents) {
+  // The caller may pass a reference into sub's own supers set, which
+  // the erase below would invalidate.
+  const std::string carrier = carrier_ref;
+  ClassInfo& sub_info = classes_.at(sub);
+  TSE_ASSIGN_OR_RETURN(auto carrier_effective, Effective(carrier));
+  std::set<std::string> coparents;
+  if (hidden_from_user_.count(carrier)) {
+    for (const std::string& v : VisibleParentsOf(carrier)) {
+      if (!skip_coparents.count(v)) coparents.insert(v);
+    }
+  }
+  sub_info.supers.erase(carrier);
+  classes_.at(carrier).subs.erase(sub);
+  // Visible parents that flowed through the cut carrier keep their
+  // user-facing edge to sub.
+  for (const std::string& v : coparents) {
+    TSE_ASSIGN_OR_RETURN(bool still_below, Reaches(sub, v));
+    if (still_below) continue;
+    sub_info.supers.insert(v);
+    classes_.at(v).subs.insert(sub);
+  }
+  // Properties the carrier contributed below the user's perception
+  // survive the cut as local copies (same definition identity).
+  TSE_ASSIGN_OR_RETURN(auto new_effective, Effective(sub));
+  for (const auto& [name, prop] : carrier_effective) {
+    if (drop_names.count(name) || new_effective.count(name)) continue;
+    sub_info.local_props[name] = prop;
+  }
+  return Status::OK();
+}
+
+Status DirectEngine::CollapseRedundantParents(const std::string& sub) {
+  auto it = classes_.find(sub);
+  if (it == classes_.end()) return Status::OK();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::string victim;
+    for (const std::string& s : it->second.supers) {
+      std::set<std::string> carried = CarriedVisible(s);
+      if (carried.empty()) continue;  // parentless hidden chain: keep
+      std::set<std::string> dominated_by_others;
+      for (const std::string& other : it->second.supers) {
+        if (other == s) continue;
+        for (const std::string& v : StrictVisibleUppers(other)) {
+          dominated_by_others.insert(v);
+        }
+      }
+      bool redundant = true;
+      for (const std::string& v : carried) {
+        if (!dominated_by_others.count(v)) {
+          redundant = false;
+          break;
+        }
+      }
+      if (redundant) {
+        victim = s;
+        break;
+      }
+    }
+    if (!victim.empty()) {
+      TSE_RETURN_IF_ERROR(CutCarrier(sub, victim, {}, {}));
+      changed = true;  // supers mutated: rescan
+    }
+  }
   return Status::OK();
 }
 
@@ -174,11 +323,31 @@ Status DirectEngine::DeleteEdge(const std::string& sup, const std::string& sub,
                                 const std::string& connected_to) {
   TSE_ASSIGN_OR_RETURN(ClassInfo * sup_info, Find(sup));
   TSE_ASSIGN_OR_RETURN(ClassInfo * sub_info, Find(sub));
-  if (!sub_info->supers.count(sup)) {
+  bool direct_edge = sub_info->supers.count(sup) != 0;
+  // A remove_from_schema'd class stays in the hierarchy invisibly, so
+  // the user-facing edge sup-sub may be carried by a chain of hidden
+  // classes. Cutting that edge cuts the chain below the hidden carrier,
+  // but the carrier chain's own properties were never visibly inherited
+  // from sup — they survive as local properties of sub.
+  std::vector<std::string> hidden_carriers;
+  for (const std::string& h : sub_info->supers) {
+    if (!hidden_from_user_.count(h)) continue;
+    if (VisibleParentsOf(h).count(sup)) hidden_carriers.push_back(h);
+  }
+  if (!direct_edge && hidden_carriers.empty()) {
     return Status::NotFound(StrCat("no is-a edge ", sup, "-", sub));
   }
-  sub_info->supers.erase(sup);
-  sup_info->subs.erase(sub);
+  TSE_ASSIGN_OR_RETURN(auto sup_effective, Effective(sup));
+  std::set<std::string> sup_names;
+  for (const auto& [name, prop] : sup_effective) sup_names.insert(name);
+  if (direct_edge) {
+    sub_info->supers.erase(sup);
+    sup_info->subs.erase(sub);
+  }
+  for (const std::string& h : hidden_carriers) {
+    TSE_RETURN_IF_ERROR(CutCarrier(sub, h, sup_names, {sup}));
+  }
+  TSE_RETURN_IF_ERROR(CollapseRedundantParents(sub));
   if (sub_info->supers.empty()) {
     std::string target = connected_to.empty() ? "OBJECT" : connected_to;
     TSE_ASSIGN_OR_RETURN(ClassInfo * target_info, Find(target));
@@ -239,6 +408,45 @@ Status DirectEngine::RemoveFromSchema(const std::string& name) {
   // node fully functional and merely exclude it from ClassNames().
   info->visible = true;  // stays functional
   hidden_from_user_.insert(name);
+  // Hiding the class collapses its in-edges into its parents on the
+  // user-facing surface; a sub's edge through this class may now be
+  // dominated by one of the sub's other parents.
+  std::set<std::string> subs = info->subs;
+  for (const std::string& sub : subs) {
+    TSE_RETURN_IF_ERROR(CollapseRedundantParents(sub));
+  }
+  return Status::OK();
+}
+
+Status DirectEngine::RenameClass(const std::string& old_name,
+                                 const std::string& new_name) {
+  if (old_name == "OBJECT") {
+    return Status::InvalidArgument("cannot rename the root class");
+  }
+  TSE_RETURN_IF_ERROR(Find(old_name).status());
+  if (hidden_from_user_.count(old_name)) {
+    return Status::NotFound(StrCat("class ", old_name));
+  }
+  if (classes_.count(new_name)) {
+    return Status::AlreadyExists(StrCat("class ", new_name));
+  }
+  ClassInfo info = std::move(classes_.at(old_name));
+  classes_.erase(old_name);
+  info.name = new_name;
+  for (const std::string& sup : info.supers) {
+    ClassInfo& sup_info = classes_.at(sup);
+    sup_info.subs.erase(old_name);
+    sup_info.subs.insert(new_name);
+  }
+  for (const std::string& sub : info.subs) {
+    ClassInfo& sub_info = classes_.at(sub);
+    sub_info.supers.erase(old_name);
+    sub_info.supers.insert(new_name);
+  }
+  for (Oid oid : info.local_extent) {
+    objects_.at(oid.value()).cls = new_name;
+  }
+  classes_.emplace(new_name, std::move(info));
   return Status::OK();
 }
 

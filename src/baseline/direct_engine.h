@@ -58,6 +58,10 @@ class DirectEngine {
   /// schema; its extent stays visible to supers and its properties stay
   /// inherited by subs.
   Status RemoveFromSchema(const std::string& name);
+  /// In-place rename (the destructive twin of the view-context
+  /// rename_class): the node keeps its edges, extent, and properties
+  /// under the new name. Rejected if `new_name` is taken.
+  Status RenameClass(const std::string& old_name, const std::string& new_name);
 
   // --- Objects ------------------------------------------------------------
 
@@ -109,6 +113,25 @@ class DirectEngine {
       const std::string& cls) const;
   /// All classes at or below `cls`.
   std::set<std::string> SubtreeOf(const std::string& cls) const;
+  /// Nearest user-visible ancestors of `cls`, looking through classes
+  /// hidden by RemoveFromSchema.
+  std::set<std::string> VisibleParentsOf(const std::string& cls) const;
+  /// The visible classes an is-a edge to `cls` stands for: `cls` itself
+  /// when visible, its visible parents when hidden.
+  std::set<std::string> CarriedVisible(const std::string& cls) const;
+  /// Visible ancestors strictly above what an edge to `cls` carries.
+  std::set<std::string> StrictVisibleUppers(const std::string& cls) const;
+  /// Cuts the direct is-a edge carrier→sub, re-linking the visible
+  /// parents a hidden carrier stood for (minus `skip_coparents`) and
+  /// preserving the carrier's property contributions (minus
+  /// `drop_names`) as local copies on sub.
+  Status CutCarrier(const std::string& sub, const std::string& carrier,
+                    const std::set<std::string>& drop_names,
+                    const std::set<std::string>& skip_coparents);
+  /// Removes direct super edges dominated by other parents on the
+  /// user-facing surface (keeps the visible relation a transitive
+  /// reduction, like the view's classification).
+  Status CollapseRedundantParents(const std::string& sub);
   /// Charge an instance migration for every member of `cls`'s extent.
   void ChargeMigration(const std::string& cls);
 

@@ -4,6 +4,27 @@
 
 namespace tse::baseline {
 
+Status OidBijection::Link(Oid tse, Oid direct) {
+  auto fwd = tse_to_direct_.find(tse);
+  auto bwd = direct_to_tse_.find(direct);
+  if (fwd != tse_to_direct_.end() || bwd != direct_to_tse_.end()) {
+    if (fwd != tse_to_direct_.end() && fwd->second == direct &&
+        bwd != direct_to_tse_.end() && bwd->second == tse) {
+      return Status::OK();  // identical pair: idempotent
+    }
+    return Status::AlreadyExists(
+        StrCat("oid pair (", tse.ToString(), ", ", direct.ToString(),
+               ") conflicts with an existing mapping: ",
+               fwd != tse_to_direct_.end()
+                   ? StrCat(tse.ToString(), " -> ", fwd->second.ToString())
+                   : StrCat(bwd->second.ToString(), " <- ",
+                            direct.ToString())));
+  }
+  tse_to_direct_[tse] = direct;
+  direct_to_tse_[direct] = tse;
+  return Status::OK();
+}
+
 Result<Oid> OidBijection::ToDirect(Oid tse) const {
   auto it = tse_to_direct_.find(tse);
   if (it == tse_to_direct_.end()) {

@@ -17,10 +17,12 @@ namespace tse::baseline {
 /// harnesses that populate both systems in lockstep.
 class OidBijection {
  public:
-  void Link(Oid tse, Oid direct) {
-    tse_to_direct_[tse] = direct;
-    direct_to_tse_[direct] = tse;
-  }
+  /// Records tse <-> direct as twins. Linking an oid that is already
+  /// mapped (on either side) to a different twin is rejected with
+  /// AlreadyExists — silently overwriting one direction would leave the
+  /// two maps inconsistent and make every later extent comparison lie.
+  /// Re-linking an existing pair is an idempotent no-op.
+  Status Link(Oid tse, Oid direct);
   Result<Oid> ToDirect(Oid tse) const;
   Result<Oid> ToTse(Oid direct) const;
   size_t size() const { return tse_to_direct_.size(); }

@@ -84,6 +84,7 @@ class Status {
   bool IsRejected() const { return code_ == StatusCode::kRejected; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
 
   /// "ok" or "<code>: <message>".

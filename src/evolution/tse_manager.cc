@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <set>
 
 #include "common/str_util.h"
 
@@ -760,15 +761,19 @@ Result<ViewId> TseManager::MergeVersions(ViewId a, ViewId b,
 
   std::vector<ViewClassSpec> specs;
   std::map<std::string, ClassId> names_taken;
+  std::set<ClassId> included;
   auto add_class = [&](ClassId cls, const std::string& display,
                        int version) -> Status {
+    // A class present in both versions merges to one entry even when a
+    // rename gave it different display names; the first version's name
+    // wins.
+    if (!included.insert(cls).second) return Status::OK();
     auto taken = names_taken.find(display);
     if (taken == names_taken.end()) {
       names_taken[display] = cls;
       specs.push_back(ViewClassSpec{cls, display});
       return Status::OK();
     }
-    if (taken->second == cls) return Status::OK();  // identical class
     // Same name, distinct classes: disambiguate with version suffixes
     // (Figure 16's Student.v1 / Student.v2).
     std::string suffixed = StrCat(display, ".v", version);

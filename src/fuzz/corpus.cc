@@ -1,0 +1,183 @@
+#include "fuzz/corpus.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <variant>
+
+#include "common/str_util.h"
+#include "evolution/change_parser.h"
+
+namespace tse::fuzz {
+
+namespace {
+
+using evolution::AddAttribute;
+using evolution::AddMethod;
+using evolution::SchemaChange;
+using objmodel::ValueType;
+
+const char* TypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kReal:
+      return "real";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kString:
+      return "string";
+    default:
+      return "int";
+  }
+}
+
+/// Renders one op in the ParseChange command grammar. evolution's
+/// ToString() is already grammar-compatible for every operator except
+/// add_attribute (needs the `:type`) and add_method (needs `= <body>`).
+std::string OpToCommand(const SchemaChange& change) {
+  if (const auto* c = std::get_if<AddAttribute>(&change)) {
+    return StrCat("add_attribute ", c->spec.name, ":",
+                  TypeName(c->spec.value_type), " to ", c->class_name);
+  }
+  if (const auto* c = std::get_if<AddMethod>(&change)) {
+    return StrCat("add_method ", c->spec.name, " = ",
+                  c->spec.body ? c->spec.body->ToString() : "null", " to ",
+                  c->class_name);
+  }
+  return evolution::ToString(change);
+}
+
+}  // namespace
+
+std::string Serialize(const FuzzCase& c) {
+  std::string out = "tsefuzz v1\n";
+  out += StrCat("seed ", c.seed, "\n");
+  out += StrCat("merges ", c.exercise_merges ? 1 : 0, "\n");
+  out += StrCat("churn ", c.churn_percent, "\n");
+  for (const workload::ClassDef& def : c.workload.classes) {
+    out += StrCat("class ", def.name);
+    if (!def.supers.empty()) {
+      out += StrCat(" supers ", Join(def.supers, " "));
+    }
+    if (!def.props.empty()) {
+      std::vector<std::string> names;
+      for (const schema::PropertySpec& p : def.props) names.push_back(p.name);
+      out += StrCat(" props ", Join(names, " "));
+    }
+    out += "\n";
+  }
+  for (const workload::ObjectDef& obj : c.workload.objects) {
+    out += StrCat("object ", obj.cls);
+    for (const auto& [attr, v] : obj.int_values) {
+      out += StrCat(" ", attr, "=", v);
+    }
+    out += "\n";
+  }
+  for (const SchemaChange& change : c.script) {
+    out += StrCat("op ", OpToCommand(change), "\n");
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<FuzzCase> ParseCase(const std::string& text) {
+  FuzzCase out;
+  bool saw_header = false;
+  bool saw_end = false;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (saw_end) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": content after 'end'"));
+    }
+    if (!saw_header) {
+      if (line != "tsefuzz v1") {
+        return Status::InvalidArgument("not a tsefuzz v1 file");
+      }
+      saw_header = true;
+      continue;
+    }
+    std::vector<std::string> tokens = Split(line, ' ');
+    const std::string& kind = tokens[0];
+    if (kind == "end") {
+      saw_end = true;
+    } else if (kind == "seed" && tokens.size() == 2) {
+      out.seed = std::stoull(tokens[1]);
+    } else if (kind == "merges" && tokens.size() == 2) {
+      out.exercise_merges = tokens[1] != "0";
+    } else if (kind == "churn" && tokens.size() == 2) {
+      out.churn_percent = std::stoi(tokens[1]);
+    } else if (kind == "class" && tokens.size() >= 2) {
+      workload::ClassDef def;
+      def.name = tokens[1];
+      size_t i = 2;
+      if (i < tokens.size() && tokens[i] == "supers") {
+        for (++i; i < tokens.size() && tokens[i] != "props"; ++i) {
+          def.supers.push_back(tokens[i]);
+        }
+      }
+      if (i < tokens.size() && tokens[i] == "props") {
+        for (++i; i < tokens.size(); ++i) {
+          def.props.push_back(schema::PropertySpec::Attribute(
+              tokens[i], ValueType::kInt));
+        }
+      } else if (i < tokens.size()) {
+        return Status::InvalidArgument(
+            StrCat("line ", line_no, ": unexpected token '", tokens[i], "'"));
+      }
+      out.workload.classes.push_back(std::move(def));
+    } else if (kind == "object" && tokens.size() >= 2) {
+      workload::ObjectDef obj;
+      obj.cls = tokens[1];
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        size_t eq = tokens[i].find('=');
+        if (eq == std::string::npos) {
+          return Status::InvalidArgument(
+              StrCat("line ", line_no, ": expected attr=value, got '",
+                     tokens[i], "'"));
+        }
+        obj.int_values.emplace_back(tokens[i].substr(0, eq),
+                                    std::stoll(tokens[i].substr(eq + 1)));
+      }
+      out.workload.objects.push_back(std::move(obj));
+    } else if (kind == "op" && tokens.size() >= 2) {
+      TSE_ASSIGN_OR_RETURN(SchemaChange change,
+                           evolution::ParseChange(line.substr(3)));
+      out.script.push_back(std::move(change));
+    } else {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": unrecognized line '", line, "'"));
+    }
+  }
+  if (!saw_header) return Status::InvalidArgument("empty tsefuzz file");
+  if (!saw_end) return Status::InvalidArgument("missing 'end' line");
+  return out;
+}
+
+Status SaveCase(const FuzzCase& c, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f.good()) {
+    return Status::IOError(StrCat("cannot open ", path, " for writing"));
+  }
+  f << Serialize(c);
+  f.close();
+  if (!f.good()) return Status::IOError(StrCat("short write to ", path));
+  return Status::OK();
+}
+
+Result<FuzzCase> LoadCase(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good()) {
+    return Status::IOError(StrCat("cannot open ", path));
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseCase(buf.str());
+}
+
+}  // namespace tse::fuzz

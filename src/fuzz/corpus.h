@@ -1,0 +1,37 @@
+#ifndef TSE_FUZZ_CORPUS_H_
+#define TSE_FUZZ_CORPUS_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "fuzz/fuzz_case.h"
+
+namespace tse::fuzz {
+
+/// Renders a case as a `.tsefuzz` file: a line-oriented, human-editable
+/// text format whose `op` lines use the evolution::ParseChange command
+/// grammar, so a repro can be tweaked by hand and replayed:
+///
+///   tsefuzz v1
+///   seed 42
+///   merges 1
+///   churn 50
+///   class C2 supers C0 C1 props a3 a4
+///   object C2 a3=17 a4=900
+///   op add_attribute x0:int to C2
+///   end
+///
+/// Serialization is canonical: the same case always renders to the same
+/// bytes (the determinism tests diff raw strings).
+std::string Serialize(const FuzzCase& c);
+
+/// Inverse of Serialize (also accepts hand-edited files).
+Result<FuzzCase> ParseCase(const std::string& text);
+
+Status SaveCase(const FuzzCase& c, const std::string& path);
+Result<FuzzCase> LoadCase(const std::string& path);
+
+}  // namespace tse::fuzz
+
+#endif  // TSE_FUZZ_CORPUS_H_

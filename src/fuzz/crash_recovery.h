@@ -1,0 +1,76 @@
+#ifndef TSE_FUZZ_CRASH_RECOVERY_H_
+#define TSE_FUZZ_CRASH_RECOVERY_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "fuzz/fuzz_case.h"
+
+namespace tse::fuzz {
+
+/// One planned storage fault for a crash-recovery run.
+struct FaultPlan {
+  enum class Kind {
+    /// A WAL append inside a step's save tears mid-frame (crash between
+    /// write() calls): that step must NOT survive recovery.
+    kTornWalAppend,
+    /// The commit-point fsync fails after the commit marker reached the
+    /// log: in this simulated world the step DOES survive recovery.
+    kFailedCommitSync,
+    /// A page write during the post-commit checkpoint fails: committed
+    /// data must survive via the intact WAL.
+    kPageWriteError,
+  };
+
+  Kind kind = Kind::kTornWalAppend;
+  /// 0-based index among *accepted* script operators; the fault is armed
+  /// when that step is persisted.
+  size_t crash_at_accepted = 0;
+  /// kTornWalAppend: which WAL append after arming tears (0 = the first
+  /// record of the crashing save), and how many bytes of it survive.
+  size_t fault_offset = 0;
+  size_t torn_keep_bytes = 6;
+};
+
+/// Outcome of one crash-recovery run.
+struct CrashRecoveryReport {
+  /// Harness trouble (case unreplayable, filesystem, ...). NOT a
+  /// recovery bug.
+  Status error = Status::OK();
+  /// The planned fault actually fired (plans beyond the end of the
+  /// accepted script never do; the run then checks clean-shutdown
+  /// recovery instead).
+  bool crashed = false;
+  /// Per-step saves that fully committed before the crash.
+  size_t committed_steps = 0;
+  /// Accepted steps the recovered store was required to contain.
+  size_t expected_steps = 0;
+  /// What recovery got wrong, when it did.
+  std::optional<std::string> divergence;
+
+  bool Clean() const { return error.ok() && !divergence.has_value(); }
+};
+
+/// Replays `c` through the TSE stack + DirectEngine twin, persisting the
+/// slicing store through a real RecordStore (pages + WAL) after the
+/// population and after every accepted operator, with `plan`'s fault
+/// armed at the chosen step. When the fault fires, the run "crashes":
+/// the store is reopened cold (recovery path), reloaded, and checked
+/// against a deterministic second replay cut at the exact step the
+/// durability contract says must have survived —
+///
+///   - identical logical content (memberships, slices, values, oids),
+///   - baseline::CheckEquivalence of the recovered store against the
+///     DirectEngine at that step (the oracle still accepts the state).
+///
+/// `scratch_base` is the RecordStore base path ("X.pages"/"X.wal" are
+/// created and overwritten); callers use a per-test temp path.
+CrashRecoveryReport RunCrashRecovery(const FuzzCase& c,
+                                     const FaultPlan& plan,
+                                     const std::string& scratch_base);
+
+}  // namespace tse::fuzz
+
+#endif  // TSE_FUZZ_CRASH_RECOVERY_H_

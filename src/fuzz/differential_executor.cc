@@ -1,0 +1,405 @@
+#include "fuzz/differential_executor.h"
+
+#include <set>
+#include <variant>
+#include <vector>
+
+#include "algebra/extent_eval.h"
+#include "algebra/object_accessor.h"
+#include "baseline/direct_engine.h"
+#include "baseline/oracle.h"
+#include "common/random.h"
+#include "common/str_util.h"
+#include "evolution/tse_manager.h"
+#include "fuzz/intersection_replica.h"
+#include "update/update_engine.h"
+#include "view/view_manager.h"
+
+namespace tse::fuzz {
+
+namespace {
+
+using baseline::DirectEngine;
+using baseline::OidBijection;
+using evolution::AddAttribute;
+using evolution::AddClass;
+using evolution::AddEdge;
+using evolution::AddMethod;
+using evolution::DeleteAttribute;
+using evolution::DeleteClass;
+using evolution::DeleteClass2;
+using evolution::DeleteEdge;
+using evolution::DeleteMethod;
+using evolution::InsertClass;
+using evolution::RenameClass;
+using evolution::SchemaChange;
+using evolution::TseManager;
+using objmodel::Value;
+using update::Assignment;
+
+/// Distinct stream tags so per-step churn and merge decisions never
+/// share random state with each other or with case generation.
+constexpr uint64_t kChurnStream = 0xc2b2ae3d27d4eb4fULL;
+constexpr uint64_t kMergeStream = 0x9e3779b97f4a7c15ULL;
+
+}  // namespace
+
+std::string Divergence::ToString() const {
+  return StrCat("step ", step, " [", op, "]: ", detail);
+}
+
+Status MirrorIntoDirect(const SchemaChange& change, DirectEngine* direct,
+                        bool sabotage_add_attribute) {
+  if (const auto* ch = std::get_if<AddAttribute>(&change)) {
+    schema::PropertySpec spec = ch->spec;
+    if (sabotage_add_attribute) spec.name += "_sab";
+    return direct->AddAttribute(ch->class_name, spec);
+  }
+  if (const auto* ch = std::get_if<DeleteAttribute>(&change)) {
+    return direct->DeleteAttribute(ch->class_name, ch->attr_name);
+  }
+  if (const auto* ch = std::get_if<AddMethod>(&change)) {
+    return direct->AddMethod(ch->class_name, ch->spec);
+  }
+  if (const auto* ch = std::get_if<DeleteMethod>(&change)) {
+    return direct->DeleteMethod(ch->class_name, ch->method_name);
+  }
+  if (const auto* ch = std::get_if<AddEdge>(&change)) {
+    return direct->AddEdge(ch->super_name, ch->sub_name);
+  }
+  if (const auto* ch = std::get_if<DeleteEdge>(&change)) {
+    return direct->DeleteEdge(ch->super_name, ch->sub_name,
+                              ch->connected_to ? *ch->connected_to : "");
+  }
+  if (const auto* ch = std::get_if<AddClass>(&change)) {
+    return direct->AddLeafClass(ch->new_class_name,
+                                ch->connected_to ? *ch->connected_to : "");
+  }
+  if (const auto* ch = std::get_if<DeleteClass>(&change)) {
+    return direct->RemoveFromSchema(ch->class_name);
+  }
+  if (const auto* ch = std::get_if<InsertClass>(&change)) {
+    // Same macro expansion as the TSE translator: add_class connected to
+    // the super, then add_edge to the sub.
+    TSE_RETURN_IF_ERROR(
+        direct->AddLeafClass(ch->new_class_name, ch->super_name));
+    return direct->AddEdge(ch->new_class_name, ch->sub_name);
+  }
+  if (const auto* ch = std::get_if<DeleteClass2>(&change)) {
+    return direct->DeleteClassOrion(ch->class_name);
+  }
+  if (const auto* ch = std::get_if<RenameClass>(&change)) {
+    return direct->RenameClass(ch->old_name, ch->new_name);
+  }
+  return Status::Internal("unmirrored operator");
+}
+
+RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
+  RunReport report;
+
+  // --- Build both systems from the case's workload ----------------------
+  schema::SchemaGraph graph;
+  objmodel::SlicingStore store;
+  view::ViewManager views(&graph);
+  TseManager manager(&graph, &store, &views);
+  update::UpdateEngine updates(&graph, &store,
+                               update::ValueClosurePolicy::kAllow);
+  DirectEngine direct;
+  OidBijection oids;
+
+  std::vector<std::string> class_names;
+  for (const workload::ClassDef& def : c.workload.classes) {
+    // Tolerate supers that no longer exist (the shrinker drops whole
+    // class definitions; dependents just lose that parent).
+    std::vector<ClassId> supers;
+    std::vector<std::string> super_names;
+    for (const std::string& s : def.supers) {
+      auto found = graph.FindClass(s);
+      if (!found.ok()) continue;
+      supers.push_back(found.value());
+      super_names.push_back(s);
+    }
+    auto added = graph.AddBaseClass(def.name, supers, def.props);
+    if (!added.ok()) {
+      report.error = added.status();
+      return report;
+    }
+    Status st = direct.AddClass(def.name, super_names, def.props);
+    if (!st.ok()) {
+      report.error = Status::Internal(
+          StrCat("oracle rejected base class ", def.name, ": ",
+                 st.ToString()));
+      return report;
+    }
+    class_names.push_back(def.name);
+  }
+  if (class_names.empty()) {
+    report.error = Status::InvalidArgument("case has no classes");
+    return report;
+  }
+
+  // Creates an object in both systems and links the twins. Returns
+  // non-OK only for harness-level trouble.
+  auto create_twin =
+      [&](const std::string& cls,
+          const std::vector<std::pair<std::string, int64_t>>& values)
+      -> Status {
+    auto cls_id = graph.FindClass(cls);
+    if (!cls_id.ok()) return Status::OK();  // class shrunk away: skip
+    std::vector<Assignment> assignments;
+    for (const auto& [attr, v] : values) {
+      assignments.push_back({attr, Value::Int(v)});
+    }
+    auto tse_oid = updates.Create(cls_id.value(), assignments);
+    if (!tse_oid.ok()) return Status::OK();  // attr shrunk away: skip
+    auto direct_oid = direct.CreateObject(cls);
+    if (!direct_oid.ok()) {
+      return Status::Internal(
+          StrCat("oracle cannot create object in ", cls, ": ",
+                 direct_oid.status().ToString()));
+    }
+    for (const auto& [attr, v] : values) {
+      TSE_RETURN_IF_ERROR(direct.SetValue(direct_oid.value(), attr,
+                                          Value::Int(v)));
+    }
+    return oids.Link(tse_oid.value(), direct_oid.value());
+  };
+  for (const workload::ObjectDef& obj : c.workload.objects) {
+    Status st = create_twin(obj.cls, obj.int_values);
+    if (!st.ok()) {
+      report.error = st;
+      return report;
+    }
+  }
+
+  // The user's view covers the whole base schema, so the oracle surface
+  // and the view surface coincide.
+  std::vector<view::ViewClassSpec> specs;
+  for (const std::string& name : class_names) {
+    specs.push_back({graph.FindClass(name).value(), ""});
+  }
+  auto created = manager.CreateView("VS", specs);
+  if (!created.ok()) {
+    report.error = created.status();
+    return report;
+  }
+  ViewId view_id = created.value();
+  std::vector<ViewId> history = {view_id};
+
+  // --- Oracle checks -----------------------------------------------------
+  // Textual digest of a view version (shape + types + extent sizes),
+  // used to prove rejected changes leave the view untouched.
+  auto snapshot = [&](ViewId vid) -> Result<std::string> {
+    TSE_ASSIGN_OR_RETURN(const view::ViewSchema* vs, views.GetView(vid));
+    std::string out = vs->ToString();
+    algebra::ExtentEvaluator extents(&graph, &store);
+    for (ClassId cls : vs->classes()) {
+      TSE_ASSIGN_OR_RETURN(std::string display, vs->DisplayName(cls));
+      TSE_ASSIGN_OR_RETURN(schema::TypeSet type, graph.EffectiveType(cls));
+      TSE_ASSIGN_OR_RETURN(std::set<Oid> extent, extents.Extent(cls));
+      out += StrCat("\n", display, ":", type.ToString(), "#", extent.size());
+    }
+    return out;
+  };
+
+  // Attribute-value surface: every unambiguous attribute read through
+  // the view must equal the oracle's value on the twin object.
+  auto check_values = [&](const view::ViewSchema* vs) -> Status {
+    algebra::ExtentEvaluator extents(&graph, &store);
+    algebra::ObjectAccessor accessor(&graph, &store);
+    for (ClassId cls : vs->classes()) {
+      TSE_ASSIGN_OR_RETURN(std::string display, vs->DisplayName(cls));
+      TSE_ASSIGN_OR_RETURN(schema::TypeSet type, graph.EffectiveType(cls));
+      TSE_ASSIGN_OR_RETURN(std::set<Oid> extent, extents.Extent(cls));
+      for (Oid oid : extent) {
+        TSE_ASSIGN_OR_RETURN(Oid twin, oids.ToDirect(oid));
+        for (const auto& [name, defs] : type.bindings()) {
+          if (defs.size() != 1) continue;  // ambiguous: not invocable
+          TSE_ASSIGN_OR_RETURN(const schema::PropertyDef* def,
+                               graph.GetProperty(defs[0]));
+          if (!def->is_attribute()) continue;
+          TSE_ASSIGN_OR_RETURN(Value via_view, accessor.Read(oid, cls, name));
+          auto via_direct = direct.GetValue(twin, name);
+          Value expect = via_direct.ok() ? via_direct.value() : Value::Null();
+          if (!(via_view == expect)) {
+            return Status::FailedPrecondition(
+                StrCat("value of ", name, " on object ", oid.ToString(),
+                       " through class ", display, ": view reads ",
+                       via_view.ToString(), ", oracle reads ",
+                       expect.ToString()));
+          }
+        }
+      }
+    }
+    return Status::OK();
+  };
+
+  auto diverge = [&](size_t step, const std::string& op,
+                     const std::string& detail) {
+    report.divergence = Divergence{step, op, detail};
+  };
+
+  // --- Replay the script, checking after every accepted operator --------
+  for (size_t step = 0; step < c.script.size(); ++step) {
+    const SchemaChange& change = c.script[step];
+    const std::string op = evolution::ToString(change);
+    ++report.attempted;
+
+    auto before = snapshot(view_id);
+    if (!before.ok()) {
+      report.error = before.status();
+      return report;
+    }
+    auto result = manager.ApplyChange(view_id, change);
+    if (!result.ok()) {
+      // TSE refused (duplicate name, inherited attribute, cycle, ...);
+      // the current version must be byte-for-byte untouched.
+      auto after = snapshot(view_id);
+      if (!after.ok()) {
+        report.error = after.status();
+        return report;
+      }
+      if (after.value() != before.value()) {
+        diverge(step, op, "rejected change mutated the view");
+        return report;
+      }
+      continue;
+    }
+    ++report.accepted;
+
+    Status direct_status =
+        MirrorIntoDirect(change, &direct, options_.sabotage_add_attribute);
+    if (!direct_status.ok()) {
+      diverge(step, op,
+              StrCat("oracle rejected a change TSE accepted: ",
+                     direct_status.ToString()));
+      return report;
+    }
+    view_id = result.value();
+    history.push_back(view_id);
+    auto vs_result = views.GetView(view_id);
+    if (!vs_result.ok()) {
+      report.error = vs_result.status();
+      return report;
+    }
+    const view::ViewSchema* vs = vs_result.value();
+
+    // Proposition A: S'' = S'.
+    Status equiv = baseline::CheckEquivalence(graph, &store, *vs, direct,
+                                              oids);
+    if (!equiv.ok()) {
+      diverge(step, op, equiv.ToString());
+      return report;
+    }
+    if (options_.check_values) {
+      Status st = check_values(vs);
+      if (!st.ok()) {
+        diverge(step, op, st.ToString());
+        return report;
+      }
+    }
+    if (options_.check_intersection_replica) {
+      Status st = CheckIntersectionReplica(graph, &store, *vs);
+      if (!st.ok()) {
+        diverge(step, op, st.ToString());
+        return report;
+      }
+    }
+    if (options_.check_updatability) {
+      // Theorem 1: everything stays updatable.
+      std::set<ClassId> updatable = update::UpdateEngine::MarkUpdatable(graph);
+      for (ClassId cls : vs->classes()) {
+        if (!updatable.count(cls)) {
+          diverge(step, op,
+                  StrCat("view class ",
+                         vs->DisplayName(cls).value_or("<unnamed>"),
+                         " is no longer updatable"));
+          return report;
+        }
+      }
+    }
+
+    // Section 7 side-exercise: merge the current version with a random
+    // historical one and make sure the merged view evaluates cleanly
+    // with unique display names.
+    Rng merge_rng(c.seed ^ (kMergeStream * (step + 1)));
+    if (c.exercise_merges && history.size() >= 2 &&
+        report.accepted % 3 == 0) {
+      ViewId other = history[merge_rng.Uniform(history.size() - 1)];
+      auto merged = manager.MergeVersions(view_id, other,
+                                          StrCat("M", step));
+      if (!merged.ok()) {
+        diverge(step, op,
+                StrCat("merging with a historical version failed: ",
+                       merged.status().ToString()));
+        return report;
+      }
+      ++report.merges;
+      auto merged_vs = views.GetView(merged.value());
+      if (!merged_vs.ok()) {
+        report.error = merged_vs.status();
+        return report;
+      }
+      algebra::ExtentEvaluator extents(&graph, &store);
+      std::set<std::string> merged_names;
+      for (ClassId cls : merged_vs.value()->classes()) {
+        auto display = merged_vs.value()->DisplayName(cls);
+        if (!display.ok() ||
+            !merged_names.insert(display.value()).second) {
+          diverge(step, op,
+                  StrCat("merged view has a broken or duplicate display "
+                         "name for class ",
+                         cls.ToString()));
+          return report;
+        }
+        if (!graph.EffectiveType(cls).ok() || !extents.Extent(cls).ok()) {
+          diverge(step, op,
+                  StrCat("merged view class ", display.value(),
+                         " no longer evaluates"));
+          return report;
+        }
+      }
+    }
+
+    // Interleave data churn so later checks exercise fresh objects too.
+    // The churn stream is derived from (seed, step), so dropping other
+    // script operators during shrinking does not shift it.
+    Rng churn_rng(c.seed ^ (kChurnStream * (step + 1)));
+    if (churn_rng.Percent(c.churn_percent) && !class_names.empty()) {
+      const std::string& cls =
+          class_names[churn_rng.Uniform(class_names.size())];
+      if (vs->Resolve(cls).ok() && direct.HasClass(cls) &&
+          graph.FindClass(cls).ok()) {
+        Status st = create_twin(cls, {});
+        if (!st.ok()) {
+          report.error = st;
+          return report;
+        }
+      }
+    }
+  }
+
+  // Proposition B: every historical version must still resolve and
+  // evaluate (extents legitimately grow with churn, so sizes are not
+  // compared here — per-step equivalence already pinned them).
+  for (ViewId vid : history) {
+    auto vs = views.GetView(vid);
+    if (!vs.ok()) {
+      diverge(c.script.size(), "<historical versions>",
+              StrCat("version ", vid.ToString(), " disappeared"));
+      return report;
+    }
+    algebra::ExtentEvaluator extents(&graph, &store);
+    for (ClassId cls : vs.value()->classes()) {
+      if (!graph.EffectiveType(cls).ok() || !extents.Extent(cls).ok()) {
+        diverge(c.script.size(), "<historical versions>",
+                StrCat("class ", cls.ToString(), " of version ",
+                       vid.ToString(), " no longer evaluates"));
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace tse::fuzz

@@ -1,0 +1,30 @@
+#include "fuzz/fuzz_case.h"
+
+#include "common/random.h"
+
+namespace tse::fuzz {
+
+FuzzCase GenerateCase(uint64_t seed, const FuzzCaseOptions& options) {
+  FuzzCase out;
+  out.seed = seed;
+  out.exercise_merges = options.exercise_merges;
+  out.churn_percent = options.churn_percent;
+
+  Rng rng(seed);
+  workload::SchemaGenOptions schema = options.schema;
+  // Vary the shape a little per seed so campaigns cover small and large
+  // schemas without per-seed configuration.
+  schema.num_classes = schema.num_classes / 2 + rng.Uniform(schema.num_classes);
+  if (schema.num_classes == 0) schema.num_classes = 1;
+  schema.num_objects = schema.num_objects / 2 + rng.Uniform(schema.num_objects);
+  out.workload = workload::GenerateWorkload(&rng, schema);
+
+  std::vector<std::string> class_names;
+  for (const workload::ClassDef& def : out.workload.classes) {
+    class_names.push_back(def.name);
+  }
+  out.script = workload::GenerateScript(&rng, class_names, options.script);
+  return out;
+}
+
+}  // namespace tse::fuzz

@@ -1,0 +1,51 @@
+#ifndef TSE_FUZZ_FUZZ_CASE_H_
+#define TSE_FUZZ_FUZZ_CASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "evolution/schema_change.h"
+#include "workload/generators.h"
+
+namespace tse::fuzz {
+
+/// Generation knobs for one differential-fuzzing case.
+struct FuzzCaseOptions {
+  workload::SchemaGenOptions schema;
+  workload::ScriptGenOptions script;
+  /// Every few accepted changes, merge the current view version with a
+  /// randomly chosen older one and validate the merged view (Section 7's
+  /// version merging, including display-name collision suffixing).
+  bool exercise_merges = true;
+  /// Probability (0-100) of creating a fresh twin object after each
+  /// accepted change, so later checks see post-change populations.
+  int churn_percent = 50;
+
+  FuzzCaseOptions() {
+    // The differential fuzzer exercises every operator pair that has a
+    // destructive twin, including the ones example-based tests skip.
+    script.delete_class = true;
+    script.insert_class = true;
+    script.rename_class = true;
+  }
+};
+
+/// One self-contained, replayable fuzz input: the seed it came from,
+/// the generated base schema + population, and the change script. The
+/// executor derives everything else (churn, merge points)
+/// deterministically from `seed`, so a case file is a complete repro.
+struct FuzzCase {
+  uint64_t seed = 0;
+  workload::Workload workload;
+  std::vector<evolution::SchemaChange> script;
+  bool exercise_merges = true;
+  int churn_percent = 50;
+};
+
+/// Generates the case for `seed`. Same seed + same options = identical
+/// case, byte for byte (see corpus.h Serialize).
+FuzzCase GenerateCase(uint64_t seed, const FuzzCaseOptions& options);
+
+}  // namespace tse::fuzz
+
+#endif  // TSE_FUZZ_FUZZ_CASE_H_

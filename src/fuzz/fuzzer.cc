@@ -1,0 +1,71 @@
+#include "fuzz/fuzzer.h"
+
+#include <filesystem>
+
+#include "common/str_util.h"
+#include "fuzz/corpus.h"
+#include "fuzz/shrinker.h"
+
+namespace tse::fuzz {
+
+std::string CampaignReport::Summary() const {
+  std::string out =
+      StrCat(cases_run, " cases, ", total_attempted, " ops (",
+             total_accepted, " accepted), ", total_merges, " merges, ",
+             failures.size(), " divergences");
+  if (harness_errors > 0) {
+    out += StrCat(", ", harness_errors, " harness errors (first: ",
+                  first_error.ToString(), ")");
+  }
+  return out;
+}
+
+CampaignReport RunCampaign(const CampaignOptions& options) {
+  CampaignReport report;
+  DifferentialExecutor executor(options.executor);
+
+  for (size_t i = 0; i < options.num_cases; ++i) {
+    uint64_t seed = options.seed_start + i;
+    FuzzCase c = GenerateCase(seed, options.case_options);
+    RunReport run = executor.Run(c);
+    ++report.cases_run;
+    report.total_attempted += run.attempted;
+    report.total_accepted += run.accepted;
+    report.total_merges += run.merges;
+    if (!run.error.ok()) {
+      ++report.harness_errors;
+      if (report.first_error.ok()) report.first_error = run.error;
+      continue;
+    }
+    if (!run.Diverged()) continue;
+
+    CampaignFailure failure;
+    failure.seed = seed;
+    failure.divergence = *run.divergence;
+    failure.repro = c;
+    if (options.shrink) {
+      auto shrunk = Shrink(c, executor, options.shrink_budget);
+      if (shrunk.ok()) {
+        failure.repro = shrunk.value().reduced;
+        failure.divergence = shrunk.value().divergence;
+      }
+    }
+    if (!options.repro_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(options.repro_dir, ec);
+      std::string path =
+          StrCat(options.repro_dir, "/seed-", seed, ".tsefuzz");
+      if (SaveCase(failure.repro, path).ok()) failure.repro_path = path;
+    }
+    report.failures.push_back(std::move(failure));
+  }
+  return report;
+}
+
+Result<RunReport> ReplayFile(const std::string& path,
+                             const ExecutorOptions& executor) {
+  TSE_ASSIGN_OR_RETURN(FuzzCase c, LoadCase(path));
+  return DifferentialExecutor(executor).Run(c);
+}
+
+}  // namespace tse::fuzz

@@ -1,0 +1,69 @@
+#ifndef TSE_FUZZ_FUZZER_H_
+#define TSE_FUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fuzz/differential_executor.h"
+#include "fuzz/fuzz_case.h"
+
+namespace tse::fuzz {
+
+/// Parameters for a seeded campaign.
+struct CampaignOptions {
+  /// Seeds seed_start .. seed_start + num_cases - 1 are run, one case
+  /// each. A fixed range makes a campaign a pure function of options.
+  uint64_t seed_start = 1;
+  size_t num_cases = 50;
+  FuzzCaseOptions case_options;
+  ExecutorOptions executor;
+  /// When a case diverges, write the (shrunk) repro as
+  /// `<repro_dir>/seed-<seed>.tsefuzz`. Empty = keep repros in memory
+  /// only.
+  std::string repro_dir;
+  /// Delta-debug failing cases down to minimal repros before reporting.
+  bool shrink = true;
+  /// Executor invocations the shrinker may spend per failure.
+  size_t shrink_budget = 600;
+};
+
+/// One diverging case, post-shrink.
+struct CampaignFailure {
+  uint64_t seed = 0;
+  Divergence divergence;
+  /// Minimal repro (the unshrunk case when shrinking is off or failed).
+  FuzzCase repro;
+  /// Where the .tsefuzz file went; empty when not written.
+  std::string repro_path;
+};
+
+/// Aggregate outcome of a campaign.
+struct CampaignReport {
+  size_t cases_run = 0;
+  size_t total_attempted = 0;  ///< script operators across all cases
+  size_t total_accepted = 0;
+  size_t total_merges = 0;
+  /// Cases that failed to even build/replay (generator bug — distinct
+  /// from an oracle divergence).
+  size_t harness_errors = 0;
+  Status first_error = Status::OK();
+  std::vector<CampaignFailure> failures;
+
+  bool Clean() const { return failures.empty() && harness_errors == 0; }
+  /// "50 cases, 512 ops (431 accepted), 36 merges, 0 divergences"
+  std::string Summary() const;
+};
+
+/// Runs the campaign: generate each seed's case, replay it
+/// differentially, shrink + serialize any divergence.
+CampaignReport RunCampaign(const CampaignOptions& options);
+
+/// Replays one `.tsefuzz` repro file through the differential executor.
+Result<RunReport> ReplayFile(const std::string& path,
+                             const ExecutorOptions& executor = {});
+
+}  // namespace tse::fuzz
+
+#endif  // TSE_FUZZ_FUZZER_H_

@@ -1,0 +1,205 @@
+#include "fuzz/intersection_replica.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/extent_eval.h"
+#include "algebra/object_accessor.h"
+#include "common/str_util.h"
+#include "objmodel/intersection_store.h"
+
+namespace tse::fuzz {
+
+namespace {
+
+using objmodel::IntersectionStore;
+using objmodel::Value;
+
+}  // namespace
+
+Status CheckIntersectionReplica(const schema::SchemaGraph& schema,
+                                objmodel::SlicingStore* store,
+                                const view::ViewSchema& view) {
+  algebra::ExtentEvaluator extents(&schema, store);
+  algebra::ObjectAccessor accessor(&schema, store);
+  IntersectionStore replica;
+
+  // --- Mirror the view's class DAG -------------------------------------
+  // Topological order (supers first) so every DefineClass sees its
+  // parents; ties broken by display name for determinism.
+  std::vector<ClassId> order;
+  std::set<ClassId> emitted;
+  std::vector<std::pair<std::string, ClassId>> by_name;
+  for (ClassId cls : view.classes()) {
+    TSE_ASSIGN_OR_RETURN(std::string display, view.DisplayName(cls));
+    by_name.emplace_back(std::move(display), cls);
+  }
+  std::sort(by_name.begin(), by_name.end());
+  while (order.size() < by_name.size()) {
+    size_t before = order.size();
+    for (const auto& [display, cls] : by_name) {
+      if (emitted.count(cls)) continue;
+      bool ready = true;
+      for (ClassId sup : view.DirectSupers(cls)) {
+        if (!emitted.count(sup)) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        order.push_back(cls);
+        emitted.insert(cls);
+      }
+    }
+    if (order.size() == before) {
+      return Status::Internal("view hierarchy contains a cycle");
+    }
+  }
+
+  // The attribute names visible on a view class (method names carry no
+  // stored data and stay out of the record layouts).
+  auto attr_names = [&](ClassId cls) -> Result<std::set<std::string>> {
+    TSE_ASSIGN_OR_RETURN(schema::TypeSet type, schema.EffectiveType(cls));
+    std::set<std::string> out;
+    for (const auto& [name, defs] : type.bindings()) {
+      for (PropertyDefId def_id : defs) {
+        TSE_ASSIGN_OR_RETURN(const schema::PropertyDef* def,
+                             schema.GetProperty(def_id));
+        if (def->is_attribute()) {
+          out.insert(name);
+          break;
+        }
+      }
+    }
+    return out;
+  };
+
+  std::map<ClassId, ClassId> to_replica;
+  for (ClassId cls : order) {
+    TSE_ASSIGN_OR_RETURN(std::string display, view.DisplayName(cls));
+    TSE_ASSIGN_OR_RETURN(std::set<std::string> mine, attr_names(cls));
+    std::vector<ClassId> parents;
+    std::set<std::string> inherited;
+    for (ClassId sup : view.DirectSupers(cls)) {
+      parents.push_back(to_replica.at(sup));
+      TSE_ASSIGN_OR_RETURN(std::set<std::string> theirs, attr_names(sup));
+      inherited.insert(theirs.begin(), theirs.end());
+    }
+    std::vector<std::string> local;
+    for (const std::string& name : mine) {
+      if (!inherited.count(name)) local.push_back(name);
+    }
+    TSE_ASSIGN_OR_RETURN(ClassId replica_cls,
+                         replica.DefineClass(display, parents, local));
+    to_replica[cls] = replica_cls;
+  }
+
+  // --- Mirror the population -------------------------------------------
+  std::map<ClassId, std::set<Oid>> view_extents;
+  std::map<Oid, std::set<ClassId>> member_of;
+  for (ClassId cls : view.classes()) {
+    TSE_ASSIGN_OR_RETURN(std::set<Oid> extent, extents.Extent(cls));
+    for (Oid oid : extent) member_of[oid].insert(cls);
+    view_extents[cls] = std::move(extent);
+  }
+
+  std::map<Oid, Oid> twin;  // slicing oid -> replica oid
+  for (const auto& [oid, classes] : member_of) {
+    // Minimal classes: membership not implied by another member class.
+    std::vector<ClassId> minimal;
+    for (ClassId c : classes) {
+      bool implied = false;
+      for (ClassId d : classes) {
+        if (d != c && view.TransitiveSupers(d).count(c)) {
+          implied = true;
+          break;
+        }
+      }
+      if (!implied) minimal.push_back(c);
+    }
+    std::sort(minimal.begin(), minimal.end(),
+              [&](ClassId a, ClassId b) {
+                return view.DisplayName(a).value() <
+                       view.DisplayName(b).value();
+              });
+    TSE_ASSIGN_OR_RETURN(Oid replica_oid,
+                         replica.CreateObject(to_replica.at(minimal[0])));
+    for (size_t i = 1; i < minimal.size(); ++i) {
+      TSE_RETURN_IF_ERROR(replica.AddType(replica_oid,
+                                          to_replica.at(minimal[i])));
+    }
+    twin[oid] = replica_oid;
+
+    // Copy every attribute whose binding is unambiguous across the
+    // object's minimal classes; the intersection architecture statically
+    // collapses same-named attributes into one slot, so ambiguous names
+    // have no well-defined single value there.
+    std::map<std::string, std::pair<uint64_t, Value>> written;
+    std::set<std::string> ambiguous;
+    for (ClassId c : minimal) {
+      TSE_ASSIGN_OR_RETURN(schema::TypeSet type, schema.EffectiveType(c));
+      for (const auto& [name, defs] : type.bindings()) {
+        if (ambiguous.count(name)) continue;
+        if (defs.size() != 1) {
+          ambiguous.insert(name);
+          written.erase(name);
+          continue;
+        }
+        TSE_ASSIGN_OR_RETURN(const schema::PropertyDef* def,
+                             schema.GetProperty(defs[0]));
+        if (!def->is_attribute()) continue;
+        auto prev = written.find(name);
+        if (prev != written.end()) {
+          if (prev->second.first != defs[0].value()) {
+            ambiguous.insert(name);
+            written.erase(prev);
+          }
+          continue;
+        }
+        TSE_ASSIGN_OR_RETURN(Value value, accessor.Read(oid, c, name));
+        written.emplace(name, std::make_pair(defs[0].value(), value));
+      }
+    }
+    for (const auto& [name, entry] : written) {
+      TSE_RETURN_IF_ERROR(replica.SetValue(replica_oid, name, entry.second));
+    }
+
+    // --- Check: type set ------------------------------------------------
+    TSE_ASSIGN_OR_RETURN(std::vector<ClassId> types,
+                         replica.TypesOf(replica_oid));
+    if (types.size() != minimal.size()) {
+      return Status::FailedPrecondition(
+          StrCat("intersection replica: object ", oid.ToString(), " has ",
+                 types.size(), " user types, view says ", minimal.size()));
+    }
+
+    // --- Check: value surface ------------------------------------------
+    for (const auto& [name, entry] : written) {
+      TSE_ASSIGN_OR_RETURN(Value got, replica.GetValue(replica_oid, name));
+      if (!(got == entry.second)) {
+        return Status::FailedPrecondition(
+            StrCat("intersection replica: object ", oid.ToString(),
+                   " reads ", got.ToString(), " for ", name,
+                   ", slicing store reads ", entry.second.ToString()));
+      }
+    }
+  }
+
+  // --- Check: extents ---------------------------------------------------
+  for (ClassId cls : view.classes()) {
+    TSE_ASSIGN_OR_RETURN(std::string display, view.DisplayName(cls));
+    size_t replica_size = replica.ExtentSize(to_replica.at(cls));
+    size_t view_size = view_extents.at(cls).size();
+    if (replica_size != view_size) {
+      return Status::FailedPrecondition(
+          StrCat("intersection replica: extent of ", display, " has ",
+                 replica_size, " members, slicing store has ", view_size));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tse::fuzz

@@ -1,0 +1,35 @@
+#ifndef TSE_FUZZ_INTERSECTION_REPLICA_H_
+#define TSE_FUZZ_INTERSECTION_REPLICA_H_
+
+#include "common/status.h"
+#include "objmodel/slicing_store.h"
+#include "schema/schema_graph.h"
+#include "view/view_schema.h"
+
+namespace tse::fuzz {
+
+/// Cross-architecture check for the differential fuzzer: rebuilds the
+/// user-visible state of a view (classes, hierarchy, populations,
+/// unambiguous attribute values) inside an objmodel::IntersectionStore —
+/// the intersection-class architecture of Section 4 / Figure 5(b) — and
+/// verifies that architecture presents the *same* data surface as the
+/// slicing-store-backed view:
+///
+///   - every view class has the same extent size,
+///   - every object reads the same value for every attribute that is
+///     unambiguous in its type set,
+///   - multiply-classified objects land in intersection classes whose
+///     user-type set matches their minimal view classes.
+///
+/// This exercises the intersection store's dynamic-classification
+/// machinery (layout merging, record copying, identity swaps) against
+/// randomly-shaped hierarchies that the hand-written tests never reach.
+/// Returns OK when the two architectures agree; otherwise a
+/// FailedPrecondition describing the first divergence.
+Status CheckIntersectionReplica(const schema::SchemaGraph& schema,
+                                objmodel::SlicingStore* store,
+                                const view::ViewSchema& view);
+
+}  // namespace tse::fuzz
+
+#endif  // TSE_FUZZ_INTERSECTION_REPLICA_H_

@@ -1,0 +1,121 @@
+#include "fuzz/shrinker.h"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace tse::fuzz {
+
+namespace {
+
+/// Greedy ddmin over one list-valued dimension of the case. `rebuild`
+/// installs a candidate list into a copy of the case; `still_fails`
+/// replays it. Removes ever-smaller chunks until no single element can
+/// be dropped (or the run budget is gone).
+template <typename T>
+void DdminDimension(std::vector<T>* items,
+                    const std::function<bool(const std::vector<T>&)>&
+                        still_fails,
+                    size_t* runs, size_t max_runs) {
+  if (items->empty()) return;
+  size_t chunk = (items->size() + 1) / 2;
+  while (chunk >= 1) {
+    size_t start = 0;
+    while (start < items->size()) {
+      if (*runs >= max_runs) return;
+      std::vector<T> candidate;
+      candidate.reserve(items->size());
+      for (size_t i = 0; i < items->size(); ++i) {
+        if (i < start || i >= start + chunk) candidate.push_back((*items)[i]);
+      }
+      ++*runs;
+      if (still_fails(candidate)) {
+        *items = std::move(candidate);
+        // Same chunk size again: the next chunk now sits at `start`.
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) break;
+    chunk = (chunk + 1) / 2;
+  }
+}
+
+}  // namespace
+
+Result<ShrinkResult> Shrink(const FuzzCase& failing,
+                            const DifferentialExecutor& executor,
+                            size_t max_runs) {
+  ShrinkResult out;
+  out.reduced = failing;
+
+  RunReport first = executor.Run(failing);
+  ++out.runs;
+  if (!first.Diverged()) {
+    return Status::InvalidArgument(
+        first.error.ok()
+            ? "Shrink() given a case that does not diverge"
+            : StrCat("Shrink() given a case that does not even replay: ",
+                     first.error.ToString()));
+  }
+  out.divergence = *first.divergence;
+
+  // The predicate: candidate still diverges. Tracks the best (latest
+  // accepted) case and its divergence as a side effect.
+  auto probe = [&](const FuzzCase& candidate) -> bool {
+    RunReport report = executor.Run(candidate);
+    if (!report.Diverged()) return false;
+    out.divergence = *report.divergence;
+    return true;
+  };
+
+  // Pass 1: script operators.
+  auto shrink_script = [&]() {
+    DdminDimension<evolution::SchemaChange>(
+        &out.reduced.script,
+        [&](const std::vector<evolution::SchemaChange>& candidate) {
+          FuzzCase c = out.reduced;
+          c.script = candidate;
+          if (!probe(c)) return false;
+          out.reduced = std::move(c);
+          return true;
+        },
+        &out.runs, max_runs);
+  };
+  shrink_script();
+
+  // Pass 2: object population.
+  DdminDimension<workload::ObjectDef>(
+      &out.reduced.workload.objects,
+      [&](const std::vector<workload::ObjectDef>& candidate) {
+        FuzzCase c = out.reduced;
+        c.workload.objects = candidate;
+        if (!probe(c)) return false;
+        out.reduced = std::move(c);
+        return true;
+      },
+      &out.runs, max_runs);
+
+  // Pass 3: class definitions (the executor tolerates dangling super /
+  // object references by dropping them, so removing a class is a clean
+  // probe rather than a build error).
+  DdminDimension<workload::ClassDef>(
+      &out.reduced.workload.classes,
+      [&](const std::vector<workload::ClassDef>& candidate) {
+        FuzzCase c = out.reduced;
+        c.workload.classes = candidate;
+        if (!probe(c)) return false;
+        out.reduced = std::move(c);
+        return true;
+      },
+      &out.runs, max_runs);
+
+  // Pass 4: a smaller schema often unlocks further script cuts.
+  shrink_script();
+
+  return out;
+}
+
+}  // namespace tse::fuzz

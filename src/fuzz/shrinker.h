@@ -1,0 +1,45 @@
+#ifndef TSE_FUZZ_SHRINKER_H_
+#define TSE_FUZZ_SHRINKER_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "fuzz/differential_executor.h"
+#include "fuzz/fuzz_case.h"
+
+namespace tse::fuzz {
+
+/// Outcome of shrinking one diverging case.
+struct ShrinkResult {
+  /// The locally-minimal case; still diverges under the same executor.
+  FuzzCase reduced;
+  /// Where the reduced case diverges.
+  Divergence divergence;
+  /// Executor invocations spent.
+  size_t runs = 0;
+};
+
+/// Delta-debugs `failing` — which must diverge under `executor` — down
+/// to a locally-minimal repro: ddmin chunk removal over the script
+/// operators first (the dimension the repro reader cares about most),
+/// then over the object population, then over whole class definitions,
+/// then one final operator pass since a smaller schema often unlocks
+/// further script cuts.
+///
+/// "Still diverges" is the interestingness predicate; candidates whose
+/// replay hits a harness error (e.g. a class definition another part of
+/// the case still needs) simply don't shrink. The executor's per-step
+/// determinism (churn/merge randomness derived from (seed, step), not a
+/// running stream) is what makes removal monotone enough for ddmin to
+/// converge quickly.
+///
+/// `max_runs` bounds total executor invocations; when exhausted the best
+/// reduction found so far is returned. InvalidArgument when `failing`
+/// does not diverge to begin with.
+Result<ShrinkResult> Shrink(const FuzzCase& failing,
+                            const DifferentialExecutor& executor,
+                            size_t max_runs = 2000);
+
+}  // namespace tse::fuzz
+
+#endif  // TSE_FUZZ_SHRINKER_H_

@@ -1,0 +1,82 @@
+#ifndef TSE_STORAGE_FAULT_INJECTION_H_
+#define TSE_STORAGE_FAULT_INJECTION_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace tse::storage {
+
+/// Test/fuzzing seam for simulated storage failures. The Wal and Pager
+/// consult an (optional) injector at every point where a real system
+/// could lose data: a WAL append can be torn mid-frame (crash between
+/// write() calls), the commit fsync can fail, and a page write during
+/// flush/checkpoint can hit an I/O error. Production code paths carry a
+/// null injector and pay one pointer test.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Consulted before a WAL frame of `frame_len` bytes is appended.
+  /// Returns how many bytes actually reach the file: `frame_len` means
+  /// healthy; anything smaller is a torn write — the Wal persists only
+  /// that prefix and reports IOError, exactly what a crash mid-append
+  /// leaves behind.
+  virtual size_t BeforeWalAppend(size_t frame_len) { return frame_len; }
+
+  /// Consulted before the commit-point fsync. Non-OK fails the commit.
+  virtual Status BeforeWalSync() { return Status::OK(); }
+
+  /// Consulted before a page frame is written back. Non-OK aborts the
+  /// flush/checkpoint with that error.
+  virtual Status BeforePageWrite(PageId page) { return Status::OK(); }
+};
+
+/// Deterministic, count-scripted injector: fires each fault at the Nth
+/// occurrence of its event (0-based; -1 = never). One instance drives
+/// one planned crash, which is all the crash-recovery fuzzer needs —
+/// reuse requires a fresh instance, keeping runs reproducible.
+class ScriptedFaultInjector : public FaultInjector {
+ public:
+  int64_t torn_wal_append_at = -1;
+  /// Bytes of the torn frame that survive (prefix).
+  size_t torn_keep_bytes = 0;
+  int64_t fail_wal_sync_at = -1;
+  int64_t fail_page_write_at = -1;
+
+  size_t BeforeWalAppend(size_t frame_len) override {
+    if (wal_appends_++ == torn_wal_append_at) {
+      return std::min(torn_keep_bytes, frame_len);
+    }
+    return frame_len;
+  }
+
+  Status BeforeWalSync() override {
+    if (wal_syncs_++ == fail_wal_sync_at) {
+      return Status::IOError("injected WAL sync failure");
+    }
+    return Status::OK();
+  }
+
+  Status BeforePageWrite(PageId page) override {
+    if (page_writes_++ == fail_page_write_at) {
+      return Status::IOError("injected page write failure");
+    }
+    return Status::OK();
+  }
+
+  int64_t wal_appends() const { return wal_appends_; }
+  int64_t wal_syncs() const { return wal_syncs_; }
+  int64_t page_writes() const { return page_writes_; }
+
+ private:
+  int64_t wal_appends_ = 0;
+  int64_t wal_syncs_ = 0;
+  int64_t page_writes_ = 0;
+};
+
+}  // namespace tse::storage
+
+#endif  // TSE_STORAGE_FAULT_INJECTION_H_

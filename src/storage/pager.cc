@@ -245,6 +245,9 @@ Status Pager::Flush() {
 }
 
 Status Pager::WriteFrame(PageId page, Frame* frame) {
+  if (fault_injector_ != nullptr) {
+    TSE_RETURN_IF_ERROR(fault_injector_->BeforePageWrite(page));
+  }
   return PWriteFull(fd_, frame->data.data(), kPageSize,
                     page.value() * kPageSize);
 }

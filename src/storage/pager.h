@@ -12,6 +12,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/fault_injection.h"
 #include "storage/page.h"
 
 namespace tse::storage {
@@ -64,6 +65,12 @@ class Pager {
   /// Number of live (allocated, non-free) user pages.
   uint64_t live_page_count() const { return live_pages_; }
 
+  /// Installs a fault injector consulted before each frame write-back.
+  /// Not owned; pass nullptr to restore healthy operation.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
   /// Invokes `fn(page_id)` for every live user page.
   template <typename Fn>
   Status ForEachLivePage(Fn&& fn) {
@@ -92,6 +99,7 @@ class Pager {
 
   int fd_;
   PagerOptions options_;
+  FaultInjector* fault_injector_ = nullptr;
   uint64_t page_count_ = 1;   // Page 0 is the meta page.
   uint64_t live_pages_ = 0;
   uint64_t free_head_ = 0;    // 0 = empty free list.

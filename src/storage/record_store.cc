@@ -23,9 +23,11 @@ Result<std::unique_ptr<RecordStore>> RecordStore::Open(
     const std::string& base_path, const RecordStoreOptions& options) {
   TSE_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager,
                        Pager::Open(base_path + ".pages", options.pager));
+  pager->set_fault_injector(options.fault_injector);
   std::unique_ptr<Wal> wal;
   if (options.durable) {
     TSE_ASSIGN_OR_RETURN(wal, Wal::Open(base_path + ".wal"));
+    wal->set_fault_injector(options.fault_injector);
   }
   std::unique_ptr<RecordStore> store(
       new RecordStore(std::move(pager), std::move(wal), options));

@@ -22,6 +22,10 @@ struct RecordStoreOptions {
   /// When false, Commit() is a no-op and the WAL is not written; useful
   /// for throwaway in-benchmark stores.
   bool durable = true;
+  /// Optional fault seam (not owned): threaded into the WAL and pager so
+  /// crash-recovery tests and the fuzzer can tear writes and fail I/O at
+  /// scripted points. Null in production.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// A durable key → payload store: slotted heap pages + an in-memory

@@ -54,6 +54,17 @@ Status Wal::Append(const WalRecord& record) {
   std::memcpy(frame.data(), &len, 4);
   std::memcpy(frame.data() + 4, &crc, 4);
   std::memcpy(frame.data() + 8, body.data(), body.size());
+
+  size_t write_len = frame.size();
+  if (fault_injector_ != nullptr) {
+    write_len = fault_injector_->BeforeWalAppend(frame.size());
+  }
+  if (write_len < frame.size()) {
+    // Injected torn write: persist only the prefix, as a crash between
+    // write() calls would, then surface the failure to the caller.
+    TSE_RETURN_IF_ERROR(WriteFull(fd_, frame.data(), write_len));
+    return Status::IOError("injected torn WAL append");
+  }
   return WriteFull(fd_, frame.data(), frame.size());
 }
 
@@ -61,6 +72,9 @@ Status Wal::Commit() {
   WalRecord rec;
   rec.type = WalRecordType::kCommit;
   TSE_RETURN_IF_ERROR(Append(rec));
+  if (fault_injector_ != nullptr) {
+    TSE_RETURN_IF_ERROR(fault_injector_->BeforeWalSync());
+  }
   if (::fsync(fd_) != 0) {
     return Status::IOError(StrCat("fsync: ", std::strerror(errno)));
   }

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/fault_injection.h"
 
 namespace tse::storage {
 
@@ -64,11 +65,18 @@ class Wal {
   /// Bytes currently in the log file.
   Result<uint64_t> SizeBytes() const;
 
+  /// Installs a fault injector consulted by Append()/Commit(). Not
+  /// owned; pass nullptr to restore healthy operation.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
  private:
   Wal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
 
   int fd_;
   std::string path_;
+  FaultInjector* fault_injector_ = nullptr;
   /// End offset of the last committed batch seen by Replay().
   uint64_t committed_end_ = 0;
 };

@@ -100,6 +100,8 @@ std::vector<SchemaChange> GenerateScript(
   if (options.delete_edge) ops.push_back(5);
   if (options.add_class) ops.push_back(6);
   if (options.delete_class) ops.push_back(7);
+  if (options.insert_class) ops.push_back(8);
+  if (options.rename_class) ops.push_back(9);
   if (ops.empty() || names.empty()) return script;
 
   for (size_t i = 0; i < options.num_changes; ++i) {
@@ -167,6 +169,26 @@ std::vector<SchemaChange> GenerateScript(
         evolution::DeleteClass c;
         c.class_name = pick();
         script.push_back(c);
+        break;
+      }
+      case 8: {
+        evolution::InsertClass c;
+        c.new_class_name = StrCat("I", fresh_counter++);
+        c.super_name = pick();
+        c.sub_name = pick();
+        script.push_back(c);
+        names.push_back(c.new_class_name);
+        break;
+      }
+      case 9: {
+        evolution::RenameClass c;
+        size_t victim = rng->Uniform(names.size());
+        c.old_name = names[victim];
+        // Globally fresh target names: a rename must never collide with
+        // a class that only the oracle still remembers.
+        c.new_name = StrCat("R", fresh_counter++);
+        script.push_back(c);
+        names[victim] = c.new_name;
         break;
       }
     }

@@ -56,6 +56,9 @@ struct ScriptGenOptions {
   bool delete_edge = true;
   bool add_class = true;
   bool delete_class = false;  ///< removeFromView has no direct twin
+  /// Off by default so existing callers' random streams stay identical.
+  bool insert_class = false;  ///< macro: add_class + add_edge
+  bool rename_class = false;  ///< display-name change within the view
 };
 
 /// Generates a script of schema changes expressed against *display

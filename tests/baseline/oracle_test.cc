@@ -18,13 +18,30 @@ using schema::PropertySpec;
 
 TEST(OidBijectionTest, MapsBothWays) {
   OidBijection bij;
-  bij.Link(Oid(1), Oid(100));
-  bij.Link(Oid(2), Oid(200));
+  ASSERT_TRUE(bij.Link(Oid(1), Oid(100)).ok());
+  ASSERT_TRUE(bij.Link(Oid(2), Oid(200)).ok());
   EXPECT_EQ(bij.ToDirect(Oid(1)).value(), Oid(100));
   EXPECT_EQ(bij.ToTse(Oid(200)).value(), Oid(2));
   EXPECT_EQ(bij.size(), 2u);
   EXPECT_TRUE(bij.ToDirect(Oid(9)).status().IsNotFound());
   EXPECT_TRUE(bij.ToTse(Oid(9)).status().IsNotFound());
+}
+
+TEST(OidBijectionTest, RejectsDoubleLinking) {
+  OidBijection bij;
+  ASSERT_TRUE(bij.Link(Oid(1), Oid(100)).ok());
+  // Re-linking the identical pair is an idempotent no-op.
+  EXPECT_TRUE(bij.Link(Oid(1), Oid(100)).ok());
+  EXPECT_EQ(bij.size(), 1u);
+  // Remapping either side to a new twin must be rejected, and the
+  // original mapping must survive intact in both directions.
+  EXPECT_EQ(bij.Link(Oid(1), Oid(999)).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(bij.Link(Oid(999), Oid(100)).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(bij.size(), 1u);
+  EXPECT_EQ(bij.ToDirect(Oid(1)).value(), Oid(100));
+  EXPECT_EQ(bij.ToTse(Oid(100)).value(), Oid(1));
+  EXPECT_TRUE(bij.ToTse(Oid(999)).status().IsNotFound());
+  EXPECT_TRUE(bij.ToDirect(Oid(999)).status().IsNotFound());
 }
 
 class CheckEquivalenceTest : public ::testing::Test {
@@ -46,7 +63,7 @@ class CheckEquivalenceTest : public ::testing::Test {
     EXPECT_TRUE(direct_.AddClass("Student", {"Person"}, {}).ok());
     Oid tse_obj = engine_.Create(student_, {}).value();
     Oid dir_obj = direct_.CreateObject("Student").value();
-    oids_.Link(tse_obj, dir_obj);
+    EXPECT_TRUE(oids_.Link(tse_obj, dir_obj).ok());
     view_id_ = views_
                    .CreateVersion("VS", {{person_, ""}, {student_, ""}})
                    .value();

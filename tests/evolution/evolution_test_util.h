@@ -52,7 +52,7 @@ class TwinSystems {
       EXPECT_TRUE(
           direct_.SetValue(direct_oid.value(), a.name, a.value).ok());
     }
-    oids_.Link(tse_oid.value(), direct_oid.value());
+    EXPECT_TRUE(oids_.Link(tse_oid.value(), direct_oid.value()).ok());
     return tse_oid.value();
   }
 

@@ -167,5 +167,58 @@ TEST_F(VersionMergeTest, DuplicateChangeReusesExistingClass) {
   EXPECT_EQ(v1->Resolve("Student").value(), v3->Resolve("Student").value());
 }
 
+TEST_F(VersionMergeTest, RenamedClassMergesToOneEntryUnderFirstName) {
+  // rename_class is display-only, so vs0 and the renamed version hold
+  // the *same* underlying class under two names. The merge must fold
+  // them into one entry (first version's name wins), not offer the
+  // class twice.
+  RenameClass ren;
+  ren.old_name = "Student";
+  ren.new_name = "Pupil";
+  ViewId renamed = twins_.Apply(vs0_, ren);
+
+  auto merged = twins_.manager_.MergeVersions(vs0_, renamed, "WM");
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  const view::ViewSchema* view =
+      twins_.views_.GetView(merged.value()).value();
+  EXPECT_EQ(view->size(), twins_.views_.GetView(vs0_).value()->size());
+  ASSERT_TRUE(view->Resolve("Student").ok());
+  EXPECT_FALSE(view->Resolve("Pupil").ok());
+
+  // Merging in the other order keeps the rename.
+  auto merged2 = twins_.manager_.MergeVersions(renamed, vs0_, "WM2");
+  ASSERT_TRUE(merged2.ok()) << merged2.status().ToString();
+  const view::ViewSchema* view2 =
+      twins_.views_.GetView(merged2.value()).value();
+  ASSERT_TRUE(view2->Resolve("Pupil").ok());
+  EXPECT_FALSE(view2->Resolve("Student").ok());
+}
+
+TEST_F(VersionMergeTest, SuffixedNameCollisionFallsBackToPrime) {
+  // A user class that already occupies the `.v<version>` name the merge
+  // would pick forces the `'` fallback.
+  twins_.DefineClass("Student.v2", {"Person"}, {});
+  ViewId va = twins_.CreateView("W", {"Person", "Student", "Student.v2"});
+
+  AddAttribute add_id;
+  add_id.class_name = "Student";
+  add_id.spec = PropertySpec::Attribute("student_id", ValueType::kInt);
+  ViewId vb = twins_.Apply(va, add_id);  // W.1: Student substituted
+
+  auto merged = twins_.manager_.MergeVersions(va, vb, "WM");
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  const view::ViewSchema* view =
+      twins_.views_.GetView(merged.value()).value();
+  // vb's refined Student wants "Student" (taken by va's), then
+  // "Student.v2" (taken by the base class), and lands on the fallback.
+  auto fallback = view->Resolve("Student.v2'");
+  ASSERT_TRUE(fallback.ok()) << "expected Student.v2' in the merged view";
+  schema::TypeSet t = twins_.graph_.EffectiveType(fallback.value()).value();
+  EXPECT_TRUE(t.ContainsName("student_id"));
+  // The original Student and the decoy keep their names.
+  EXPECT_TRUE(view->Resolve("Student").ok());
+  EXPECT_TRUE(view->Resolve("Student.v2").ok());
+}
+
 }  // namespace
 }  // namespace tse::evolution

@@ -69,7 +69,7 @@ TEST_P(RandomEvolutionTest, AcceptedChangesMatchDirectModification) {
     for (const auto& [attr, v] : values) {
       ASSERT_TRUE(direct.SetValue(direct_oid, attr, Value::Int(v)).ok());
     }
-    oids.Link(tse_oid, direct_oid);
+    ASSERT_TRUE(oids.Link(tse_oid, direct_oid).ok());
   };
   for (const workload::ObjectDef& obj : workload.objects) {
     create_twin(obj.cls, obj.int_values);

@@ -1,0 +1,117 @@
+// Validates the delta-debugging shrinker end to end with a planted
+// divergence: the sabotage_add_attribute hook mirrors accepted
+// add_attribute operators into the oracle under the wrong name, so any
+// script slice containing one accepted add_attribute keeps diverging.
+// The shrinker must reduce such a case to a repro of at most 3
+// operators, and the serialized repro must replay to the same failure.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "fuzz/corpus.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/shrinker.h"
+
+namespace tse::fuzz {
+namespace {
+
+ExecutorOptions Sabotaged() {
+  ExecutorOptions options;
+  options.sabotage_add_attribute = true;
+  return options;
+}
+
+// Small cases keep the ddmin probes fast without changing coverage.
+FuzzCaseOptions SmallCases() {
+  FuzzCaseOptions gen;
+  gen.schema.num_classes = 6;
+  gen.schema.num_objects = 12;
+  return gen;
+}
+
+// A seed whose case both replays and hits the planted divergence.
+FuzzCase FindDivergingCase(const DifferentialExecutor& executor) {
+  FuzzCaseOptions gen = SmallCases();
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    FuzzCase c = GenerateCase(seed, gen);
+    RunReport run = executor.Run(c);
+    if (run.Diverged()) return c;
+  }
+  ADD_FAILURE() << "no seed in 1..32 hit the planted divergence";
+  return FuzzCase{};
+}
+
+TEST(FuzzShrink, PlantedDivergenceShrinksToAtMostThreeOperators) {
+  DifferentialExecutor executor(Sabotaged());
+  FuzzCase failing = FindDivergingCase(executor);
+  ASSERT_FALSE(failing.script.empty());
+
+  auto shrunk = Shrink(failing, executor, /*max_runs=*/800);
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+
+  const FuzzCase& reduced = shrunk.value().reduced;
+  EXPECT_LE(reduced.script.size(), 3u)
+      << "shrinker left " << reduced.script.size() << " operators";
+  EXPECT_LT(reduced.workload.classes.size(), failing.workload.classes.size() + 1);
+
+  // The reduced case still reproduces the divergence...
+  RunReport rerun = executor.Run(reduced);
+  ASSERT_TRUE(rerun.Diverged());
+  // ...and the reported divergence matches what the shrinker recorded.
+  EXPECT_EQ(rerun.divergence->op, shrunk.value().divergence.op);
+
+  // A healthy executor does NOT see the planted bug (proves the hook is
+  // the only source of the failure).
+  EXPECT_TRUE(DifferentialExecutor().Run(reduced).Clean());
+}
+
+TEST(FuzzShrink, ShrunkReproFileReplaysToTheSameDivergence) {
+  DifferentialExecutor executor(Sabotaged());
+  FuzzCase failing = FindDivergingCase(executor);
+  ASSERT_FALSE(failing.script.empty());
+  auto shrunk = Shrink(failing, executor, /*max_runs=*/800);
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+
+  std::string path = ::testing::TempDir() + "/shrunk-repro.tsefuzz";
+  std::remove(path.c_str());
+  ASSERT_TRUE(SaveCase(shrunk.value().reduced, path).ok());
+
+  auto replayed = ReplayFile(path, Sabotaged());
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  ASSERT_TRUE(replayed.value().Diverged());
+  EXPECT_EQ(replayed.value().divergence->step,
+            shrunk.value().divergence.step);
+}
+
+TEST(FuzzShrink, ShrinkRejectsHealthyCases) {
+  FuzzCase healthy = GenerateCase(3, FuzzCaseOptions());
+  DifferentialExecutor executor;
+  auto result = Shrink(healthy, executor, /*max_runs=*/50);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(FuzzShrink, CampaignWritesShrunkReproFiles) {
+  CampaignOptions options;
+  options.seed_start = 1;
+  options.num_cases = 4;
+  options.case_options = SmallCases();
+  options.executor = Sabotaged();
+  options.shrink_budget = 250;
+  options.repro_dir = ::testing::TempDir() + "/tsefuzz-repros";
+
+  CampaignReport report = RunCampaign(options);
+  ASSERT_FALSE(report.failures.empty());
+  for (const CampaignFailure& failure : report.failures) {
+    ASSERT_FALSE(failure.repro_path.empty());
+    auto replayed = ReplayFile(failure.repro_path, Sabotaged());
+    ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+    EXPECT_TRUE(replayed.value().Diverged())
+        << failure.repro_path << " does not reproduce";
+    EXPECT_LE(LoadCase(failure.repro_path).value().script.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace tse::fuzz

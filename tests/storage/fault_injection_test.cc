@@ -1,0 +1,122 @@
+// Crash-recovery behavior under *injected* faults (the seam the
+// differential fuzzer's fault mode drives): torn WAL appends mid
+// transaction, failed commit fsyncs, and page-write I/O errors during
+// checkpoint. Recovery must always converge to the last committed
+// prefix — never to a partial batch.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/fault_injection.h"
+#include "storage/record_store.h"
+
+namespace tse::storage {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tse_fault_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    base_ = (dir_ / "store").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::string base_;
+};
+
+TEST_F(FaultInjectionTest, TornWalAppendMidTransactionRecoversCommittedPrefix) {
+  ScriptedFaultInjector faults;
+  {
+    RecordStoreOptions options;
+    options.fault_injector = &faults;
+    auto store = RecordStore::Open(base_, options).value();
+    ASSERT_TRUE(store->Put(1, "committed-one").ok());
+    ASSERT_TRUE(store->Put(2, "committed-two").ok());
+    ASSERT_TRUE(store->Commit().ok());
+
+    // Transaction 2: two puts, then the crash. Appends so far: two puts
+    // + one commit marker = 3; tear the *second* put of this batch
+    // (append #4) halfway through its frame.
+    faults.torn_wal_append_at = 4;
+    faults.torn_keep_bytes = 6;  // less than the 8-byte frame header
+    ASSERT_TRUE(store->Put(3, "uncommitted-three").ok());
+    Status torn = store->Put(4, "uncommitted-four");
+    ASSERT_TRUE(torn.IsIOError()) << torn.ToString();
+    // The session dies here without a commit (destructor = crash).
+  }
+  {
+    auto store = RecordStore::Open(base_, RecordStoreOptions{}).value();
+    EXPECT_EQ(store->Get(1).value(), "committed-one");
+    EXPECT_EQ(store->Get(2).value(), "committed-two");
+    EXPECT_TRUE(store->Get(3).status().IsNotFound());
+    EXPECT_TRUE(store->Get(4).status().IsNotFound());
+
+    // The torn tail must have been truncated away on recovery: a new
+    // commit must not retroactively commit the orphaned puts.
+    ASSERT_TRUE(store->Put(5, "after-recovery").ok());
+    ASSERT_TRUE(store->Commit().ok());
+  }
+  auto store = RecordStore::Open(base_, RecordStoreOptions{}).value();
+  EXPECT_EQ(store->size(), 3u);
+  EXPECT_TRUE(store->Get(3).status().IsNotFound());
+  EXPECT_EQ(store->Get(5).value(), "after-recovery");
+}
+
+TEST_F(FaultInjectionTest, TornCommitMarkerDropsWholeBatch) {
+  ScriptedFaultInjector faults;
+  {
+    RecordStoreOptions options;
+    options.fault_injector = &faults;
+    auto store = RecordStore::Open(base_, options).value();
+    ASSERT_TRUE(store->Put(1, "one").ok());
+    ASSERT_TRUE(store->Commit().ok());
+    // Tear the commit *marker* itself: the batch's puts are fully on
+    // disk but uncommitted, so recovery must drop them all.
+    faults.torn_wal_append_at = 3;  // put, commit, put, -> this commit
+    faults.torn_keep_bytes = 10;
+    ASSERT_TRUE(store->Put(2, "two").ok());
+    EXPECT_TRUE(store->Commit().IsIOError());
+  }
+  auto store = RecordStore::Open(base_, RecordStoreOptions{}).value();
+  EXPECT_EQ(store->Get(1).value(), "one");
+  EXPECT_TRUE(store->Get(2).status().IsNotFound());
+}
+
+TEST_F(FaultInjectionTest, FailedCommitSyncSurfacesError) {
+  ScriptedFaultInjector faults;
+  faults.fail_wal_sync_at = 0;
+  RecordStoreOptions options;
+  options.fault_injector = &faults;
+  auto store = RecordStore::Open(base_, options).value();
+  ASSERT_TRUE(store->Put(1, "x").ok());
+  EXPECT_TRUE(store->Commit().IsIOError());
+  // The next commit (fault disarmed) succeeds and covers the batch.
+  ASSERT_TRUE(store->Commit().ok());
+  auto reopened = RecordStore::Open(base_, RecordStoreOptions{}).value();
+  EXPECT_EQ(reopened->Get(1).value(), "x");
+}
+
+TEST_F(FaultInjectionTest, PageWriteErrorFailsCheckpointNotData) {
+  ScriptedFaultInjector faults;
+  {
+    RecordStoreOptions options;
+    options.fault_injector = &faults;
+    auto store = RecordStore::Open(base_, options).value();
+    ASSERT_TRUE(store->Put(1, "durable-via-wal").ok());
+    ASSERT_TRUE(store->Commit().ok());
+    faults.fail_page_write_at = 0;
+    EXPECT_TRUE(store->Checkpoint().IsIOError());
+    // The WAL still holds the committed batch even though the
+    // checkpoint could not migrate it into the page file.
+  }
+  auto store = RecordStore::Open(base_, RecordStoreOptions{}).value();
+  EXPECT_EQ(store->Get(1).value(), "durable-via-wal");
+}
+
+}  // namespace
+}  // namespace tse::storage
