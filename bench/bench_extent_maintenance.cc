@@ -1,0 +1,248 @@
+// Before/after benchmark for incremental extent maintenance.
+//
+// Workload: the Section 9 "update propagation" stress — a refine chain
+// of depth D stacked over a populated base class (one add_attribute per
+// level, exactly like bench_update_chains), topped with a select class
+// whose predicate reads a stored attribute. Each operation writes a
+// value that can flip the select verdict (every 10th op creates and
+// destroys an object instead, exercising membership deltas), then asks
+// for the select class's extent.
+//
+// Baseline mode (set_incremental(false)) restores the old behaviour:
+// any write drops the whole cache, so every query re-derives the full
+// chain over all objects. Incremental mode routes the one-object delta
+// through the derivation dependency graph.
+//
+// Emits human-readable text, or machine-readable JSON with --json
+// <path> (the `bench_report` CMake target writes BENCH_extents.json at
+// the repo root). --quick shrinks the workload to a smoke-test size.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algebra/processor.h"
+#include "algebra/query.h"
+#include "common/random.h"
+#include "evolution/tse_manager.h"
+#include "update/update_engine.h"
+
+namespace {
+
+using namespace tse;
+using namespace tse::evolution;
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+struct ChainStack {
+  schema::SchemaGraph graph;
+  objmodel::SlicingStore store;
+  view::ViewManager views;
+  TseManager tse;
+  update::UpdateEngine db;
+  ClassId base;  ///< The original base class.
+  ClassId leaf;  ///< The deepest refine class.
+  ClassId hot;   ///< Select over the leaf: id < threshold.
+  int64_t threshold = 0;
+
+  ChainStack(int depth, int objects)
+      : views(&graph),
+        tse(&graph, &store, &views),
+        db(&graph, &store, update::ValueClosurePolicy::kAllow) {
+    base = graph
+               .AddBaseClass("Item", {},
+                             {PropertySpec::Attribute("id", ValueType::kInt)})
+               .value();
+    for (int i = 0; i < objects; ++i) {
+      db.Create(base, {{"id", Value::Int(i)}}).value();
+    }
+    ViewId vs = tse.CreateView("VS", {{base, ""}}).value();
+    for (int d = 0; d < depth; ++d) {
+      AddAttribute change;
+      change.class_name = "Item";
+      change.spec =
+          PropertySpec::Attribute("f" + std::to_string(d), ValueType::kInt);
+      vs = tse.ApplyChange(vs, change).value();
+    }
+    leaf = views.GetView(vs).value()->Resolve("Item").value();
+    threshold = objects / 2;
+    algebra::AlgebraProcessor proc(&graph);
+    const std::string& leaf_name = graph.GetClass(leaf).value()->name;
+    hot = proc.DefineVC("HotItem",
+                        algebra::Query::Select(
+                            algebra::Query::Class(leaf_name),
+                            objmodel::MethodExpr::Lt(
+                                objmodel::MethodExpr::Attr("id"),
+                                objmodel::MethodExpr::Lit(
+                                    Value::Int(threshold)))))
+              .value();
+  }
+};
+
+struct ModeResult {
+  uint64_t ops = 0;
+  double seconds = 0;
+  double ops_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double cache_hit_rate = 0;
+  uint64_t full_rebuilds = 0;
+  uint64_t delta_records = 0;
+};
+
+/// Runs the update-heavy workload with the evaluator in the given mode.
+ModeResult RunWorkload(ChainStack* stack, bool incremental, uint64_t ops,
+                       uint64_t seed) {
+  algebra::ExtentEvaluator& ev = stack->db.extents();
+  ev.set_incremental(incremental);
+  // Warm the cache once; the contest is about keeping it warm.
+  (void)ev.Extent(stack->hot).value();
+  ev.ResetStats();
+
+  Rng rng(seed);
+  const auto leaf_extent = ev.Extent(stack->leaf).value();
+  std::vector<Oid> pool(leaf_extent->begin(), leaf_extent->end());
+  std::vector<double> latencies_us;
+  latencies_us.reserve(ops);
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t op = 0; op < ops; ++op) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (op % 10 == 9) {
+      // Membership delta: create through the chain, then destroy.
+      Oid fresh = stack->db
+                      .Create(stack->base,
+                              {{"id", Value::Int(static_cast<int64_t>(
+                                          rng.Uniform(2 * pool.size())))}})
+                      .value();
+      size_t hot_size = ev.Extent(stack->hot).value()->size();
+      if (hot_size == 0) std::abort();  // keep the optimizer honest
+      (void)stack->store.DestroyObject(fresh);
+    } else {
+      // Value delta that can flip the select predicate's verdict.
+      Oid target = pool[rng.Uniform(pool.size())];
+      (void)stack->db.Set(
+          target, stack->leaf, "id",
+          Value::Int(static_cast<int64_t>(rng.Uniform(2 * pool.size()))));
+      size_t hot_size = ev.Extent(stack->hot).value()->size();
+      if (hot_size > pool.size() + 1) std::abort();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  ModeResult r;
+  r.ops = ops;
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  r.ops_per_sec = r.seconds > 0 ? static_cast<double>(ops) / r.seconds : 0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  r.p50_us = latencies_us[latencies_us.size() / 2];
+  r.p99_us = latencies_us[latencies_us.size() * 99 / 100];
+  r.cache_hit_rate = ev.stats().HitRate();
+  r.full_rebuilds = ev.stats().full_rebuilds;
+  r.delta_records = ev.stats().delta_records;
+  return r;
+}
+
+std::string ModeJson(const ModeResult& r) {
+  std::ostringstream out;
+  out << "{\"ops\": " << r.ops << ", \"seconds\": " << r.seconds
+      << ", \"ops_per_sec\": " << r.ops_per_sec << ", \"p50_us\": " << r.p50_us
+      << ", \"p99_us\": " << r.p99_us
+      << ", \"cache_hit_rate\": " << r.cache_hit_rate
+      << ", \"full_rebuilds\": " << r.full_rebuilds
+      << ", \"delta_records\": " << r.delta_records << "}";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--quick] [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  struct Config {
+    int depth;
+    int objects;
+    uint64_t baseline_ops;
+    uint64_t incremental_ops;
+  };
+  std::vector<Config> configs =
+      quick ? std::vector<Config>{{8, 300, 20, 200}}
+            : std::vector<Config>{{8, 10000, 150, 5000},
+                                  {16, 10000, 100, 5000}};
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"extent_maintenance\",\n  \"workload\": "
+          "\"update_heavy_chain\",\n  \"quick\": "
+       << (quick ? "true" : "false") << ",\n  \"results\": [\n";
+  double depth8_speedup = 0;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const Config& cfg = configs[i];
+    ChainStack stack(cfg.depth, cfg.objects);
+    ModeResult baseline =
+        RunWorkload(&stack, /*incremental=*/false, cfg.baseline_ops, 42);
+    ModeResult incremental =
+        RunWorkload(&stack, /*incremental=*/true, cfg.incremental_ops, 42);
+    double speedup = baseline.ops_per_sec > 0
+                         ? incremental.ops_per_sec / baseline.ops_per_sec
+                         : 0;
+    if (cfg.depth == 8) depth8_speedup = speedup;
+
+    std::cout << "depth " << cfg.depth << ", " << cfg.objects << " objects\n"
+              << "  baseline:     " << baseline.ops_per_sec
+              << " ops/s  p50 " << baseline.p50_us << " us  p99 "
+              << baseline.p99_us << " us  hit rate "
+              << baseline.cache_hit_rate << "\n"
+              << "  incremental:  " << incremental.ops_per_sec
+              << " ops/s  p50 " << incremental.p50_us << " us  p99 "
+              << incremental.p99_us << " us  hit rate "
+              << incremental.cache_hit_rate << " (" << incremental.delta_records
+              << " delta records, " << incremental.full_rebuilds
+              << " full rebuilds)\n"
+              << "  speedup:      " << speedup << "x\n";
+
+    json << "    {\"depth\": " << cfg.depth << ", \"objects\": " << cfg.objects
+         << ",\n     \"baseline\": " << ModeJson(baseline)
+         << ",\n     \"incremental\": " << ModeJson(incremental)
+         << ",\n     \"speedup\": " << speedup << "}"
+         << (i + 1 < configs.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"acceptance\": {\"target_speedup_depth8\": 5.0, "
+          "\"achieved_speedup_depth8\": "
+       << depth8_speedup << ", \"pass\": "
+       << (depth8_speedup >= 5.0 ? "true" : "false") << "}\n}\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << json.str();
+    std::cout << "wrote " << json_path << "\n";
+  }
+  if (!quick && depth8_speedup < 5.0) {
+    std::cerr << "FAIL: depth-8 speedup " << depth8_speedup << " < 5.0\n";
+    return 1;
+  }
+  return 0;
+}

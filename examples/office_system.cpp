@@ -94,8 +94,8 @@ int main() {
 
   algebra::ExtentEvaluator extents(&schema, &store);
   std::cout << "engineering documents: "
-            << extents.Extent(eng_docs).value().size() << " of "
-            << extents.Extent(document).value().size() << " total\n\n";
+            << extents.Extent(eng_docs).value()->size() << " of "
+            << extents.Extent(document).value()->size() << " total\n\n";
 
   // --- Evolution: the archivist needs a retention class -------------------
   ViewId v2 = tse.ApplyChange(
@@ -104,11 +104,12 @@ int main() {
                          .value())
                   .value();
   ClassId eng_docs2 = views.GetView(v2).value()->Resolve("EngDoc").value();
-  for (Oid doc : extents.Extent(eng_docs2).value()) {
+  const std::set<Oid> eng_members = *extents.Extent(eng_docs2).value();
+  for (Oid doc : eng_members) {
     db.Set(doc, eng_docs2, "retention_years", Value::Int(7)).ok();
   }
   std::cout << "after evolution, through the new view:\n";
-  for (Oid doc : extents.Extent(eng_docs2).value()) {
+  for (Oid doc : eng_members) {
     std::cout << "  "
               << db.accessor().Read(doc, eng_docs2, "subject").value()
                      .ToString()

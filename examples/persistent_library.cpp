@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
     // Tag every recovered book with a shelf — the new stored attribute
     // attaches to old objects without any migration.
     algebra::ExtentEvaluator extents(&schema, &store);
-    const std::set<Oid> books = extents.Extent(book_v2).value();
+    const std::set<Oid> books = *extents.Extent(book_v2).value();
     int shelf = 1;
     for (Oid oid : books) {
       db.Set(oid, book_v2, "shelf", Value::Int(shelf++)).ok();

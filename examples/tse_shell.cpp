@@ -72,9 +72,9 @@ struct Shell {
     const view::ViewSchema* vs = views.GetView(current).value();
     for (ClassId cls : vs->classes()) {
       auto extent = db.extents().Extent(cls).value();
-      std::cout << vs->DisplayName(cls).value() << " (#" << extent.size()
+      std::cout << vs->DisplayName(cls).value() << " (#" << extent->size()
                 << "):";
-      for (Oid oid : extent) std::cout << " " << oid.ToString();
+      for (Oid oid : *extent) std::cout << " " << oid.ToString();
       std::cout << "\n";
     }
   }

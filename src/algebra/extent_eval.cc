@@ -2,30 +2,252 @@
 
 #include <algorithm>
 
-#include "common/str_util.h"
-
 namespace tse::algebra {
 
+using objmodel::ChangeRecord;
 using objmodel::Value;
 using schema::ClassNode;
 using schema::DerivationOp;
 
-void ExtentEvaluator::ValidateCache() const {
-  if (cached_mutations_ != store_->mutation_count() ||
-      cached_generation_ != schema_->generation()) {
-    cache_.clear();
-    cached_mutations_ = store_->mutation_count();
-    cached_generation_ = schema_->generation();
+void ExtentEvaluator::Sync() const {
+  if (!incremental_) {
+    // Baseline (pre-optimization) behaviour: the whole cache keys on
+    // (mutation count, schema generation).
+    if (!synced_once_ || cached_mutations_ != store_->mutation_count() ||
+        synced_generation_ != schema_->generation()) {
+      DropAll();
+      cached_mutations_ = store_->mutation_count();
+      synced_generation_ = schema_->generation();
+      journal_cursor_ = store_->journal_head();
+      synced_once_ = true;
+    }
+    return;
+  }
+
+  if (!synced_once_ || synced_generation_ != schema_->generation()) {
+    deps_.Rebuild(*schema_);
+    synced_generation_ = schema_->generation();
+    synced_once_ = true;
+    // Per-entry invalidation: an entry survives schema growth unless its
+    // class vanished, its class version moved (redefinition or a new
+    // base class attached beneath it), or name resolution may have
+    // shifted under select predicates (invalidate floor).
+    const uint64_t floor = schema_->invalidate_floor();
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      const bool keep =
+          schema_->HasClass(it->first) && it->second.floor == floor &&
+          it->second.class_version == schema_->class_version(it->first);
+      if (keep) {
+        ++it;
+      } else {
+        ++stats_.entries_invalidated;
+        it = cache_.erase(it);
+      }
+    }
+  }
+
+  const uint64_t head = store_->journal_head();
+  if (journal_cursor_ == head) return;
+  if (cache_.empty()) {
+    // Nothing materialized — nothing to maintain.
+    journal_cursor_ = head;
+    return;
+  }
+  std::vector<ChangeRecord> records;
+  if (!store_->ChangesSince(journal_cursor_, &records)) {
+    // Journal trimmed past our cursor: we missed deltas, start over.
+    DropAll();
+    journal_cursor_ = head;
+    return;
+  }
+  for (const ChangeRecord& rec : records) {
+    if (!ApplyRecord(rec).ok()) {
+      // Delta application hit an evaluation error (e.g. a predicate
+      // error on the changed object). Fall back to dropping the cache;
+      // the lazy recompute will surface the error to whoever asks.
+      DropAll();
+      break;
+    }
+    ++stats_.delta_records;
+  }
+  journal_cursor_ = head;
+}
+
+Status ExtentEvaluator::ApplyRecord(const ChangeRecord& rec) const {
+  std::deque<WorkItem> work;
+  switch (rec.kind) {
+    case ChangeRecord::Kind::kObjectCreated:
+      // Extent effects arrive as the accompanying membership records.
+      return Status::OK();
+    case ChangeRecord::Kind::kObjectDestroyed:
+      // The object's stored values vanish without per-value records, so
+      // predicates reading *other* objects' state can silently flip.
+      for (ClassId v : deps_.VolatileSelects()) DropEntryAndDependents(v);
+      return Status::OK();
+    case ChangeRecord::Kind::kMembershipAdded:
+    case ChangeRecord::Kind::kMembershipRemoved:
+      for (ClassId up : deps_.BaseUps(rec.cls)) {
+        work.emplace_back(up, rec.oid);
+      }
+      return Propagate(&work);
+    case ChangeRecord::Kind::kValueChanged: {
+      for (ClassId v : deps_.VolatileSelects()) DropEntryAndDependents(v);
+      TSE_ASSIGN_OR_RETURN(const schema::PropertyDef* def,
+                           schema_->GetProperty(rec.prop));
+      // Name-based routing over-approximates under name collisions
+      // across classes, which is safe: the recompute just confirms the
+      // membership unchanged.
+      for (ClassId sel : deps_.SelectsOnName(def->name)) {
+        work.emplace_back(sel, rec.oid);
+      }
+      return Propagate(&work);
+    }
+  }
+  return Status::OK();
+}
+
+Status ExtentEvaluator::Propagate(std::deque<WorkItem>* work) const {
+  // Derivation sources must exist before their dependents, so the
+  // dependency graph is a DAG: every node's membership stabilizes after
+  // finitely many toggles (induction over topological depth), hence the
+  // worklist drains.
+  std::set<WorkItem> woken_uncached;
+  while (!work->empty()) {
+    const WorkItem item = work->front();
+    work->pop_front();
+    const ClassId cls = item.first;
+    const Oid oid = item.second;
+    auto it = cache_.find(cls);
+    if (it == cache_.end()) {
+      // Not materialized: no old value to diff against, so wake the
+      // dependents conservatively (once per class/oid pair).
+      if (!woken_uncached.insert(item).second) continue;
+      for (ClassId dep : deps_.Dependents(cls)) work->emplace_back(dep, oid);
+      continue;
+    }
+    TSE_ASSIGN_OR_RETURN(bool now, ComputeMember(cls, oid));
+    const bool was = it->second.extent->count(oid) != 0;
+    if (now == was) continue;  // prune: nothing downstream can change
+    std::set<Oid>* extent = MutableSet(&it->second);
+    if (now) {
+      extent->insert(oid);
+    } else {
+      extent->erase(oid);
+    }
+    ++stats_.delta_updates;
+    for (ClassId dep : deps_.Dependents(cls)) work->emplace_back(dep, oid);
+  }
+  return Status::OK();
+}
+
+Result<bool> ExtentEvaluator::ComputeMember(ClassId cls, Oid oid) const {
+  TSE_ASSIGN_OR_RETURN(const ClassNode* node, schema_->GetClass(cls));
+  switch (node->derivation.op) {
+    case DerivationOp::kBase: {
+      for (ClassId direct : store_->DirectClasses(oid)) {
+        if (schema_->ExtentSubsumedBy(direct, cls)) return true;
+      }
+      return false;
+    }
+    case DerivationOp::kSelect: {
+      TSE_ASSIGN_OR_RETURN(bool in_source,
+                           MemberNow(node->derivation.sources[0], oid));
+      if (!in_source) return false;
+      if (!node->derivation.predicate) {
+        return Status::FailedPrecondition("select class has no predicate");
+      }
+      TSE_ASSIGN_OR_RETURN(
+          Value verdict,
+          node->derivation.predicate->Evaluate(
+              oid, accessor_.ResolverFor(oid, node->derivation.sources[0])));
+      return verdict.AsBool();
+    }
+    case DerivationOp::kHide:
+    case DerivationOp::kRefine:
+      return MemberNow(node->derivation.sources[0], oid);
+    case DerivationOp::kUnion: {
+      TSE_ASSIGN_OR_RETURN(bool in_a,
+                           MemberNow(node->derivation.sources[0], oid));
+      if (in_a) return true;
+      return MemberNow(node->derivation.sources[1], oid);
+    }
+    case DerivationOp::kIntersect: {
+      TSE_ASSIGN_OR_RETURN(bool in_a,
+                           MemberNow(node->derivation.sources[0], oid));
+      if (!in_a) return false;
+      return MemberNow(node->derivation.sources[1], oid);
+    }
+    case DerivationOp::kDifference: {
+      TSE_ASSIGN_OR_RETURN(bool in_a,
+                           MemberNow(node->derivation.sources[0], oid));
+      if (!in_a) return false;
+      TSE_ASSIGN_OR_RETURN(bool in_b,
+                           MemberNow(node->derivation.sources[1], oid));
+      return !in_b;
+    }
+  }
+  return Status::Internal("unknown derivation op");
+}
+
+Result<bool> ExtentEvaluator::MemberNow(ClassId cls, Oid oid) const {
+  auto it = cache_.find(cls);
+  if (it != cache_.end()) return it->second.extent->count(oid) != 0;
+  std::set<ClassId> in_progress;
+  return IsMemberImpl(oid, cls, &in_progress);
+}
+
+void ExtentEvaluator::DropEntryAndDependents(ClassId cls) const {
+  std::deque<ClassId> work;
+  std::set<ClassId> visited;
+  work.push_back(cls);
+  while (!work.empty()) {
+    ClassId c = work.front();
+    work.pop_front();
+    if (!visited.insert(c).second) continue;
+    if (cache_.erase(c) != 0) ++stats_.entries_invalidated;
+    for (ClassId dep : deps_.Dependents(c)) work.push_back(dep);
   }
 }
 
-Result<std::set<Oid>> ExtentEvaluator::Extent(ClassId cls) const {
-  ValidateCache();
+void ExtentEvaluator::DropAll() const {
+  if (!cache_.empty()) {
+    ++stats_.full_rebuilds;
+    cache_.clear();
+  }
+}
+
+std::set<Oid>* ExtentEvaluator::MutableSet(Entry* entry) const {
+  // Copy-on-write: handed-out snapshots stay stable.
+  if (entry->extent.use_count() > 1) {
+    entry->extent = std::make_shared<std::set<Oid>>(*entry->extent);
+  }
+  return entry->extent.get();
+}
+
+Result<ExtentEvaluator::ExtentPtr> ExtentEvaluator::Extent(
+    ClassId cls) const {
+  Sync();
+  auto hit = cache_.find(cls);
+  if (hit != cache_.end()) {
+    ++stats_.hits;
+    return ExtentPtr(hit->second.extent);
+  }
+  ++stats_.misses;
   std::set<ClassId> in_progress;
-  return EvalWithMemo(cls, &in_progress);
+  TSE_ASSIGN_OR_RETURN(std::shared_ptr<std::set<Oid>> out,
+                       EvalWithMemo(cls, &in_progress));
+  return ExtentPtr(std::move(out));
 }
 
 Result<bool> ExtentEvaluator::IsMember(Oid oid, ClassId cls) const {
+  Sync();
+  auto hit = cache_.find(cls);
+  if (hit != cache_.end()) {
+    ++stats_.hits;
+    return hit->second.extent->count(oid) != 0;
+  }
+  // Deliberately not a cache fill: the per-oid walk is the designed
+  // cheap path for membership probes against unmaterialized classes.
   std::set<ClassId> in_progress;
   return IsMemberImpl(oid, cls, &in_progress);
 }
@@ -98,15 +320,17 @@ Result<bool> ExtentEvaluator::IsMemberImpl(
   return result;
 }
 
-Result<std::set<Oid>> ExtentEvaluator::EvalWithMemo(
+Result<std::shared_ptr<std::set<Oid>>> ExtentEvaluator::EvalWithMemo(
     ClassId cls, std::set<ClassId>* in_progress) const {
   auto hit = cache_.find(cls);
-  if (hit != cache_.end()) return hit->second;
+  if (hit != cache_.end()) return hit->second.extent;
   if (!in_progress->insert(cls).second) {
     return Status::FailedPrecondition("cyclic derivation in extent eval");
   }
   TSE_ASSIGN_OR_RETURN(const ClassNode* node, schema_->GetClass(cls));
-  std::set<Oid> out;
+  // Every entry owns its set (hide/refine copy their source) so delta
+  // application can patch each level in place, O(log n) per changed oid.
+  auto out = std::make_shared<std::set<Oid>>();
   switch (node->derivation.op) {
     case DerivationOp::kBase: {
       // Union of direct extents of all base classes subsumed by cls.
@@ -115,66 +339,72 @@ Result<std::set<Oid>> ExtentEvaluator::EvalWithMemo(
         if (!other_node.ok() || !other_node.value()->is_base()) continue;
         if (!schema_->ExtentSubsumedBy(other, cls)) continue;
         const std::set<Oid>& direct = store_->DirectExtent(other);
-        out.insert(direct.begin(), direct.end());
+        out->insert(direct.begin(), direct.end());
       }
       break;
     }
     case DerivationOp::kSelect: {
       TSE_ASSIGN_OR_RETURN(
-          std::set<Oid> source,
+          std::shared_ptr<std::set<Oid>> source,
           EvalWithMemo(node->derivation.sources[0], in_progress));
-      for (Oid oid : source) {
+      for (Oid oid : *source) {
         TSE_ASSIGN_OR_RETURN(
             Value verdict,
             node->derivation.predicate->Evaluate(
                 oid, accessor_.ResolverFor(oid, node->derivation.sources[0])));
         TSE_ASSIGN_OR_RETURN(bool keep, verdict.AsBool());
-        if (keep) out.insert(oid);
+        if (keep) out->insert(oid);
       }
       break;
     }
     case DerivationOp::kHide:
     case DerivationOp::kRefine: {
       TSE_ASSIGN_OR_RETURN(
-          out, EvalWithMemo(node->derivation.sources[0], in_progress));
+          std::shared_ptr<std::set<Oid>> source,
+          EvalWithMemo(node->derivation.sources[0], in_progress));
+      *out = *source;
       break;
     }
     case DerivationOp::kUnion: {
       TSE_ASSIGN_OR_RETURN(
-          std::set<Oid> a,
+          std::shared_ptr<std::set<Oid>> a,
           EvalWithMemo(node->derivation.sources[0], in_progress));
       TSE_ASSIGN_OR_RETURN(
-          std::set<Oid> b,
+          std::shared_ptr<std::set<Oid>> b,
           EvalWithMemo(node->derivation.sources[1], in_progress));
-      out = std::move(a);
-      out.insert(b.begin(), b.end());
+      *out = *a;
+      out->insert(b->begin(), b->end());
       break;
     }
     case DerivationOp::kIntersect: {
       TSE_ASSIGN_OR_RETURN(
-          std::set<Oid> a,
+          std::shared_ptr<std::set<Oid>> a,
           EvalWithMemo(node->derivation.sources[0], in_progress));
       TSE_ASSIGN_OR_RETURN(
-          std::set<Oid> b,
+          std::shared_ptr<std::set<Oid>> b,
           EvalWithMemo(node->derivation.sources[1], in_progress));
-      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                            std::inserter(out, out.begin()));
+      std::set_intersection(a->begin(), a->end(), b->begin(), b->end(),
+                            std::inserter(*out, out->begin()));
       break;
     }
     case DerivationOp::kDifference: {
       TSE_ASSIGN_OR_RETURN(
-          std::set<Oid> a,
+          std::shared_ptr<std::set<Oid>> a,
           EvalWithMemo(node->derivation.sources[0], in_progress));
       TSE_ASSIGN_OR_RETURN(
-          std::set<Oid> b,
+          std::shared_ptr<std::set<Oid>> b,
           EvalWithMemo(node->derivation.sources[1], in_progress));
-      std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
-                          std::inserter(out, out.begin()));
+      std::set_difference(a->begin(), a->end(), b->begin(), b->end(),
+                          std::inserter(*out, out->begin()));
       break;
     }
   }
   in_progress->erase(cls);
-  cache_[cls] = out;
+  Entry entry;
+  entry.extent = out;
+  entry.class_version = schema_->class_version(cls);
+  entry.floor = schema_->invalidate_floor();
+  cache_[cls] = std::move(entry);
   return out;
 }
 

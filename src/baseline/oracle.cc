@@ -47,7 +47,8 @@ Status CheckEquivalence(const schema::SchemaGraph& schema,
                         objmodel::SlicingStore* store,
                         const view::ViewSchema& view,
                         const DirectEngine& direct,
-                        const OidBijection& oids) {
+                        const OidBijection& oids,
+                        algebra::ExtentEvaluator* extents) {
   // --- Class sets ---------------------------------------------------------
   std::vector<std::string> direct_names = direct.ClassNames();
   std::set<std::string> direct_set(direct_names.begin(), direct_names.end());
@@ -69,7 +70,8 @@ Status CheckEquivalence(const schema::SchemaGraph& schema,
                "], only in direct: [", Join(only_direct, ", "), "]"));
   }
 
-  algebra::ExtentEvaluator extents(&schema, store);
+  algebra::ExtentEvaluator local_extents(&schema, store);
+  algebra::ExtentEvaluator& ev = extents != nullptr ? *extents : local_extents;
   for (ClassId cls : view.classes()) {
     TSE_ASSIGN_OR_RETURN(std::string display, view.DisplayName(cls));
 
@@ -88,17 +90,18 @@ Status CheckEquivalence(const schema::SchemaGraph& schema,
     }
 
     // --- Extents -------------------------------------------------------------
-    TSE_ASSIGN_OR_RETURN(std::set<Oid> view_extent, extents.Extent(cls));
+    TSE_ASSIGN_OR_RETURN(algebra::ExtentEvaluator::ExtentPtr view_extent,
+                         ev.Extent(cls));
     TSE_ASSIGN_OR_RETURN(std::set<Oid> direct_extent, direct.Extent(display));
     std::set<Oid> mapped;
-    for (Oid oid : view_extent) {
+    for (Oid oid : *view_extent) {
       TSE_ASSIGN_OR_RETURN(Oid twin, oids.ToDirect(oid));
       mapped.insert(twin);
     }
     if (mapped != direct_extent) {
       return Status::FailedPrecondition(
           StrCat("extent of ", display, " differs (view has ",
-                 view_extent.size(), " members, direct has ",
+                 view_extent->size(), " members, direct has ",
                  direct_extent.size(), ")"));
     }
 

@@ -41,11 +41,17 @@ class OidBijection {
 ///
 /// Returns OK when equivalent; otherwise a FailedPrecondition status
 /// whose message pinpoints the first divergence.
+///
+/// When `extents` is supplied, view extents are read through that
+/// (long-lived, incrementally maintained) evaluator instead of a
+/// throwaway cold one — harnesses that check after every operation
+/// avoid re-deriving the world each time.
 Status CheckEquivalence(const schema::SchemaGraph& schema,
                         objmodel::SlicingStore* store,
                         const view::ViewSchema& view,
                         const DirectEngine& direct,
-                        const OidBijection& oids);
+                        const OidBijection& oids,
+                        algebra::ExtentEvaluator* extents = nullptr);
 
 }  // namespace tse::baseline
 

@@ -25,9 +25,18 @@ Result<ClassifyResult> Classifier::Classify(ClassId cls) {
     return result;
   }
 
-  // --- 1. Duplicate detection -------------------------------------------
+  // The classified classes are the comparison set for both duplicate
+  // detection and candidate search; enumerate them once. The
+  // subsumption proofs below hit SchemaGraph's memos, which survive
+  // class additions, so a ClassifyAll batch proves each pair once
+  // rather than once per newly added class.
+  std::vector<ClassId> classified;
   for (ClassId other : schema_->AllClasses()) {
-    if (other == cls || !IsClassified(other)) continue;
+    if (other != cls && IsClassified(other)) classified.push_back(other);
+  }
+
+  // --- 1. Duplicate detection -------------------------------------------
+  for (ClassId other : classified) {
     if (schema_->IsDuplicateOf(cls, other)) {
       // The existing class replaces the newly created duplicate.
       if (node->is_virtual()) {
@@ -42,8 +51,7 @@ Result<ClassifyResult> Classifier::Classify(ClassId cls) {
   // --- 2. Candidate supers and subs ---------------------------------------
   std::vector<ClassId> super_candidates;
   std::vector<ClassId> sub_candidates;
-  for (ClassId other : schema_->AllClasses()) {
-    if (other == cls || !IsClassified(other)) continue;
+  for (ClassId other : classified) {
     if (schema_->IsaSubsumedBy(cls, other)) super_candidates.push_back(other);
     if (schema_->IsaSubsumedBy(other, cls)) sub_candidates.push_back(other);
   }

@@ -187,17 +187,22 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
   std::vector<ViewId> history = {view_id};
 
   // --- Oracle checks -----------------------------------------------------
+  // The update engine's long-lived evaluator maintains its extent cache
+  // incrementally across the whole run; every per-step check reads
+  // through it, so the fuzzer exercises delta propagation on each op.
+  algebra::ExtentEvaluator& live_extents = updates.extents();
+
   // Textual digest of a view version (shape + types + extent sizes),
   // used to prove rejected changes leave the view untouched.
   auto snapshot = [&](ViewId vid) -> Result<std::string> {
     TSE_ASSIGN_OR_RETURN(const view::ViewSchema* vs, views.GetView(vid));
     std::string out = vs->ToString();
-    algebra::ExtentEvaluator extents(&graph, &store);
     for (ClassId cls : vs->classes()) {
       TSE_ASSIGN_OR_RETURN(std::string display, vs->DisplayName(cls));
       TSE_ASSIGN_OR_RETURN(schema::TypeSet type, graph.EffectiveType(cls));
-      TSE_ASSIGN_OR_RETURN(std::set<Oid> extent, extents.Extent(cls));
-      out += StrCat("\n", display, ":", type.ToString(), "#", extent.size());
+      TSE_ASSIGN_OR_RETURN(algebra::ExtentEvaluator::ExtentPtr extent,
+                           live_extents.Extent(cls));
+      out += StrCat("\n", display, ":", type.ToString(), "#", extent->size());
     }
     return out;
   };
@@ -205,13 +210,13 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
   // Attribute-value surface: every unambiguous attribute read through
   // the view must equal the oracle's value on the twin object.
   auto check_values = [&](const view::ViewSchema* vs) -> Status {
-    algebra::ExtentEvaluator extents(&graph, &store);
     algebra::ObjectAccessor accessor(&graph, &store);
     for (ClassId cls : vs->classes()) {
       TSE_ASSIGN_OR_RETURN(std::string display, vs->DisplayName(cls));
       TSE_ASSIGN_OR_RETURN(schema::TypeSet type, graph.EffectiveType(cls));
-      TSE_ASSIGN_OR_RETURN(std::set<Oid> extent, extents.Extent(cls));
-      for (Oid oid : extent) {
+      TSE_ASSIGN_OR_RETURN(algebra::ExtentEvaluator::ExtentPtr extent,
+                           live_extents.Extent(cls));
+      for (Oid oid : *extent) {
         TSE_ASSIGN_OR_RETURN(Oid twin, oids.ToDirect(oid));
         for (const auto& [name, defs] : type.bindings()) {
           if (defs.size() != 1) continue;  // ambiguous: not invocable
@@ -286,10 +291,36 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
 
     // Proposition A: S'' = S'.
     Status equiv = baseline::CheckEquivalence(graph, &store, *vs, direct,
-                                              oids);
+                                              oids, &live_extents);
     if (!equiv.ok()) {
       diverge(step, op, equiv.ToString());
       return report;
+    }
+    if (options_.check_incremental_extents) {
+      // Delta-propagated extents must equal a cold from-scratch
+      // evaluation after every accepted operator.
+      algebra::ExtentEvaluator cold(&graph, &store);
+      for (ClassId cls : vs->classes()) {
+        auto inc = live_extents.Extent(cls);
+        auto scratch = cold.Extent(cls);
+        if (inc.ok() != scratch.ok()) {
+          diverge(step, op,
+                  StrCat("incremental extent of class ", cls.ToString(),
+                         (inc.ok() ? " evaluates but cold evaluation fails: "
+                                   : " fails but cold evaluation succeeds: "),
+                         (inc.ok() ? scratch.status() : inc.status())
+                             .ToString()));
+          return report;
+        }
+        if (inc.ok() && *inc.value() != *scratch.value()) {
+          diverge(step, op,
+                  StrCat("incremental extent of class ", cls.ToString(),
+                         " has ", inc.value()->size(),
+                         " members, cold evaluation has ",
+                         scratch.value()->size()));
+          return report;
+        }
+      }
     }
     if (options_.check_values) {
       Status st = check_values(vs);
@@ -299,7 +330,7 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
       }
     }
     if (options_.check_intersection_replica) {
-      Status st = CheckIntersectionReplica(graph, &store, *vs);
+      Status st = CheckIntersectionReplica(graph, &store, *vs, &live_extents);
       if (!st.ok()) {
         diverge(step, op, st.ToString());
         return report;
@@ -340,7 +371,6 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
         report.error = merged_vs.status();
         return report;
       }
-      algebra::ExtentEvaluator extents(&graph, &store);
       std::set<std::string> merged_names;
       for (ClassId cls : merged_vs.value()->classes()) {
         auto display = merged_vs.value()->DisplayName(cls);
@@ -352,7 +382,8 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
                          cls.ToString()));
           return report;
         }
-        if (!graph.EffectiveType(cls).ok() || !extents.Extent(cls).ok()) {
+        if (!graph.EffectiveType(cls).ok() ||
+            !live_extents.Extent(cls).ok()) {
           diverge(step, op,
                   StrCat("merged view class ", display.value(),
                          " no longer evaluates"));
@@ -389,9 +420,9 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
               StrCat("version ", vid.ToString(), " disappeared"));
       return report;
     }
-    algebra::ExtentEvaluator extents(&graph, &store);
     for (ClassId cls : vs.value()->classes()) {
-      if (!graph.EffectiveType(cls).ok() || !extents.Extent(cls).ok()) {
+      if (!graph.EffectiveType(cls).ok() ||
+          !live_extents.Extent(cls).ok()) {
         diverge(c.script.size(), "<historical versions>",
                 StrCat("class ", cls.ToString(), " of version ",
                        vid.ToString(), " no longer evaluates"));

@@ -29,6 +29,11 @@ struct ExecutorOptions {
   bool check_intersection_replica = true;
   /// Theorem 1: every view class must stay updatable.
   bool check_updatability = true;
+  /// After every accepted change, compare every view-class extent from
+  /// the long-lived incrementally-maintained evaluator against a cold
+  /// from-scratch evaluation. Catches delta-propagation bugs the moment
+  /// they happen instead of steps later.
+  bool check_incremental_extents = true;
   /// Test-only divergence plant used to validate the shrinker: accepted
   /// add_attribute changes are mirrored into the oracle under the wrong
   /// name (suffix "_sab"), so the very next equivalence check diverges.

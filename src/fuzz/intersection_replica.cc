@@ -22,8 +22,10 @@ using objmodel::Value;
 
 Status CheckIntersectionReplica(const schema::SchemaGraph& schema,
                                 objmodel::SlicingStore* store,
-                                const view::ViewSchema& view) {
-  algebra::ExtentEvaluator extents(&schema, store);
+                                const view::ViewSchema& view,
+                                algebra::ExtentEvaluator* extents) {
+  algebra::ExtentEvaluator local_extents(&schema, store);
+  algebra::ExtentEvaluator& ev = extents != nullptr ? *extents : local_extents;
   algebra::ObjectAccessor accessor(&schema, store);
   IntersectionStore replica;
 
@@ -101,9 +103,10 @@ Status CheckIntersectionReplica(const schema::SchemaGraph& schema,
   std::map<ClassId, std::set<Oid>> view_extents;
   std::map<Oid, std::set<ClassId>> member_of;
   for (ClassId cls : view.classes()) {
-    TSE_ASSIGN_OR_RETURN(std::set<Oid> extent, extents.Extent(cls));
-    for (Oid oid : extent) member_of[oid].insert(cls);
-    view_extents[cls] = std::move(extent);
+    TSE_ASSIGN_OR_RETURN(algebra::ExtentEvaluator::ExtentPtr extent,
+                         ev.Extent(cls));
+    for (Oid oid : *extent) member_of[oid].insert(cls);
+    view_extents[cls] = *extent;
   }
 
   std::map<Oid, Oid> twin;  // slicing oid -> replica oid

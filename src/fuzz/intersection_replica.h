@@ -1,6 +1,7 @@
 #ifndef TSE_FUZZ_INTERSECTION_REPLICA_H_
 #define TSE_FUZZ_INTERSECTION_REPLICA_H_
 
+#include "algebra/extent_eval.h"
 #include "common/status.h"
 #include "objmodel/slicing_store.h"
 #include "schema/schema_graph.h"
@@ -26,9 +27,14 @@ namespace tse::fuzz {
 /// randomly-shaped hierarchies that the hand-written tests never reach.
 /// Returns OK when the two architectures agree; otherwise a
 /// FailedPrecondition describing the first divergence.
+///
+/// When `extents` is supplied, view extents are read through that
+/// (long-lived, incrementally maintained) evaluator instead of a
+/// throwaway cold one.
 Status CheckIntersectionReplica(const schema::SchemaGraph& schema,
                                 objmodel::SlicingStore* store,
-                                const view::ViewSchema& view);
+                                const view::ViewSchema& view,
+                                algebra::ExtentEvaluator* extents = nullptr);
 
 }  // namespace tse::fuzz
 

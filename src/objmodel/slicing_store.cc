@@ -6,17 +6,41 @@
 
 namespace tse::objmodel {
 
-Oid SlicingStore::CreateObject() {
+void SlicingStore::Record(ChangeRecord::Kind kind, Oid oid, ClassId cls,
+                          PropertyDefId prop) {
   ++mutations_;
+  ChangeRecord rec;
+  rec.seq = journal_next_seq_++;
+  rec.kind = kind;
+  rec.oid = oid;
+  rec.cls = cls;
+  rec.prop = prop;
+  journal_.push_back(rec);
+  if (journal_.size() > kJournalCapacity) journal_.pop_front();
+}
+
+bool SlicingStore::ChangesSince(uint64_t cursor,
+                                std::vector<ChangeRecord>* out) const {
+  if (cursor >= journal_head()) return true;  // caught up (or ahead)
+  if (journal_.empty() || journal_.front().seq > cursor + 1) {
+    return false;  // records past the cursor were trimmed
+  }
+  for (const ChangeRecord& rec : journal_) {
+    if (rec.seq > cursor) out->push_back(rec);
+  }
+  return true;
+}
+
+Oid SlicingStore::CreateObject() {
   Oid oid = oid_alloc_.Allocate();
   ConceptualObject obj;
   obj.oid = oid;
   objects_.emplace(oid.value(), std::move(obj));
+  Record(ChangeRecord::Kind::kObjectCreated, oid);
   return oid;
 }
 
 Status SlicingStore::CreateObjectWithOid(Oid oid) {
-  ++mutations_;
   if (!oid.valid()) return Status::InvalidArgument("invalid oid");
   if (objects_.count(oid.value())) {
     return Status::AlreadyExists(StrCat("object ", oid.ToString()));
@@ -25,6 +49,7 @@ Status SlicingStore::CreateObjectWithOid(Oid oid) {
   obj.oid = oid;
   objects_.emplace(oid.value(), std::move(obj));
   oid_alloc_.BumpPast(oid);
+  Record(ChangeRecord::Kind::kObjectCreated, oid);
   return Status::OK();
 }
 
@@ -46,7 +71,6 @@ Result<const SlicingStore::ConceptualObject*> SlicingStore::Find(
 }
 
 Status SlicingStore::DestroyObject(Oid oid) {
-  ++mutations_;
   TSE_ASSIGN_OR_RETURN(ConceptualObject * obj, Find(oid));
   // Detach all slices (copy keys first: ArenaRemove mutates obj->slices
   // indirectly through swap fix-ups of *other* objects only, but we
@@ -58,8 +82,12 @@ Status SlicingStore::DestroyObject(Oid oid) {
   }
   for (ClassId cls : obj->direct_classes) {
     extents_[cls.value()].erase(oid);
+    // Journal the membership losses individually so extent caches can
+    // delta-remove the object from each affected class.
+    Record(ChangeRecord::Kind::kMembershipRemoved, oid, cls);
   }
   objects_.erase(oid.value());
+  Record(ChangeRecord::Kind::kObjectDestroyed, oid);
   return Status::OK();
 }
 
@@ -138,6 +166,11 @@ Status SlicingStore::RemoveSlice(Oid oid, ClassId cls) {
                cls.ToString()));
   }
   size_t index = it->second;
+  // Discarding the slice drops its stored values: journal each one as a
+  // value change (it now reads Null) so select predicates re-check.
+  for (const auto& [def, _] : arenas_.at(cls.value())[index].values) {
+    Record(ChangeRecord::Kind::kValueChanged, oid, cls, PropertyDefId(def));
+  }
   obj->slices.erase(it);
   ArenaRemove(cls.value(), index);
   return Status::OK();
@@ -161,11 +194,16 @@ std::vector<ClassId> SlicingStore::SliceClasses(Oid oid) const {
 
 Status SlicingStore::SetValue(Oid oid, ClassId cls, PropertyDefId def,
                               Value value) {
-  ++mutations_;
   TSE_RETURN_IF_ERROR(AddSlice(oid, cls));  // lazy restructuring
   ConceptualObject* obj = Find(oid).value();
   size_t index = obj->slices.at(cls.value());
-  arenas_[cls.value()][index].values[def.value()] = std::move(value);
+  auto& values = arenas_[cls.value()][index].values;
+  auto it = values.find(def.value());
+  if (it != values.end() && it->second == value) {
+    return Status::OK();  // no-op write: state unchanged, caches live on
+  }
+  values[def.value()] = std::move(value);
+  Record(ChangeRecord::Kind::kValueChanged, oid, cls, def);
   return Status::OK();
 }
 
@@ -181,15 +219,16 @@ Result<Value> SlicingStore::GetValue(Oid oid, ClassId cls,
 }
 
 Status SlicingStore::AddMembership(Oid oid, ClassId cls) {
-  ++mutations_;
   TSE_ASSIGN_OR_RETURN(ConceptualObject * obj, Find(oid));
-  obj->direct_classes.insert(cls);
+  if (!obj->direct_classes.insert(cls).second) {
+    return Status::OK();  // already a member: no state change
+  }
   extents_[cls.value()].insert(oid);
+  Record(ChangeRecord::Kind::kMembershipAdded, oid, cls);
   return Status::OK();
 }
 
 Status SlicingStore::RemoveMembership(Oid oid, ClassId cls) {
-  ++mutations_;
   TSE_ASSIGN_OR_RETURN(ConceptualObject * obj, Find(oid));
   if (!obj->direct_classes.erase(cls)) {
     return Status::NotFound(StrCat("object ", oid.ToString(),
@@ -197,6 +236,7 @@ Status SlicingStore::RemoveMembership(Oid oid, ClassId cls) {
                                    cls.ToString()));
   }
   extents_[cls.value()].erase(oid);
+  Record(ChangeRecord::Kind::kMembershipRemoved, oid, cls);
   return Status::OK();
 }
 

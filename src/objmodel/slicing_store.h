@@ -2,6 +2,7 @@
 #define TSE_OBJMODEL_SLICING_STORE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <set>
 #include <string>
@@ -26,6 +27,25 @@ struct Slice {
   Oid conceptual;
   /// PropertyDefId.value() -> stored value.
   std::unordered_map<uint64_t, Value> values;
+};
+
+/// One entry of the store's change journal: the smallest unit of state
+/// change that can move a class extent. Extent caches subscribe by
+/// pulling records since their last-seen sequence number and applying
+/// them as deltas instead of re-deriving every extent from scratch.
+struct ChangeRecord {
+  enum class Kind : uint8_t {
+    kObjectCreated,      ///< oid
+    kObjectDestroyed,    ///< oid (membership removals precede this)
+    kMembershipAdded,    ///< oid gained direct membership of cls
+    kMembershipRemoved,  ///< oid lost direct membership of cls
+    kValueChanged,       ///< prop of oid's cls slice changed value
+  };
+  uint64_t seq = 0;  ///< monotone, 1-based; gap-free within the journal
+  Kind kind = Kind::kObjectCreated;
+  Oid oid;
+  ClassId cls;         ///< membership / value records only
+  PropertyDefId prop;  ///< value records only
 };
 
 /// Aggregate bookkeeping statistics for Table 1 comparisons.
@@ -140,10 +160,29 @@ class SlicingStore {
 
   SlicingStats Stats() const;
 
-  /// Monotone counter bumped by every mutation that can change a class
-  /// extent (object lifecycle, memberships, and value writes — select
-  /// predicates read values). Extent caches key their validity on it.
+  /// Monotone counter bumped by every mutation that actually changed
+  /// state that can move a class extent (object lifecycle, memberships,
+  /// and value writes — select predicates read values). Failed and no-op
+  /// writes (same value, already-present membership) do NOT bump it, so
+  /// extent caches keyed on it survive them.
   uint64_t mutation_count() const { return mutations_; }
+
+  // --- Change journal ------------------------------------------------------
+
+  /// Sequence number of the newest journal record (0 when nothing has
+  /// ever changed). A consumer at this cursor is fully caught up.
+  uint64_t journal_head() const { return journal_next_seq_ - 1; }
+
+  /// Appends every record with seq > `cursor` to `out` (oldest first).
+  /// Returns false when records past `cursor` have already been trimmed
+  /// from the bounded journal — the consumer fell too far behind and
+  /// must rebuild from scratch instead of applying deltas.
+  bool ChangesSince(uint64_t cursor, std::vector<ChangeRecord>* out) const;
+
+  /// Journal capacity; records older than the newest `kJournalCapacity`
+  /// are trimmed. Deliberately generous: an extent evaluator consulted
+  /// anywhere near once per `kJournalCapacity` writes never rebuilds.
+  static constexpr size_t kJournalCapacity = 8192;
 
   /// Allocator access for the persistence bridge.
   IdAllocator<Oid>& oid_allocator() { return oid_alloc_; }
@@ -160,11 +199,17 @@ class SlicingStore {
   /// displaced slice's owner.
   void ArenaRemove(uint64_t cls, size_t index);
 
+  /// Bumps the mutation counter and appends a journal record.
+  void Record(ChangeRecord::Kind kind, Oid oid, ClassId cls = ClassId(),
+              PropertyDefId prop = PropertyDefId());
+
   Result<ConceptualObject*> Find(Oid oid);
   Result<const ConceptualObject*> Find(Oid oid) const;
 
   IdAllocator<Oid> oid_alloc_;
   uint64_t mutations_ = 0;
+  uint64_t journal_next_seq_ = 1;
+  std::deque<ChangeRecord> journal_;
   std::unordered_map<uint64_t, ConceptualObject> objects_;
   /// ClassId.value() -> clustered slice arena.
   std::unordered_map<uint64_t, std::vector<Slice>> arenas_;

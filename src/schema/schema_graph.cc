@@ -27,6 +27,34 @@ const char* DerivationOpName(DerivationOp op) {
   return "unknown";
 }
 
+uint64_t SchemaGraph::class_version(ClassId cls) const {
+  auto it = class_versions_.find(cls.value());
+  return it == class_versions_.end() ? 0 : it->second;
+}
+
+void SchemaGraph::BumpClassVersion(ClassId cls) {
+  class_versions_[cls.value()] = generation_;
+  auto node = GetClass(cls);
+  if (!node.ok() || !node.value()->is_base()) return;
+  // A base class's computed extent unions the direct extents of every
+  // base class beneath it; attaching a new base class changes that
+  // source set for all transitive declared supers.
+  std::vector<ClassId> queue(node.value()->declared_supers);
+  std::set<ClassId> seen;
+  while (!queue.empty()) {
+    ClassId cur = queue.back();
+    queue.pop_back();
+    if (!seen.insert(cur).second) continue;
+    class_versions_[cur.value()] = generation_;
+    auto cur_node = GetClass(cur);
+    if (cur_node.ok()) {
+      for (ClassId sup : cur_node.value()->declared_supers) {
+        queue.push_back(sup);
+      }
+    }
+  }
+}
+
 SchemaGraph::SchemaGraph() {
   // Install the system root class. Built by hand (AddBaseClass would
   // try to attach it to itself).
@@ -84,9 +112,12 @@ Result<ClassId> SchemaGraph::AddBaseClass(
   for (ClassId sup : supers) {
     classes_.at(sup.value()).subs.insert(id);
   }
-  extent_cache_.clear();
-  type_cache_.clear();
+  // Adding a class cannot flip a provable subsumption or an effective
+  // type between *existing* classes (derivations are immutable and new
+  // proof paths through the newcomer reduce to pre-existing ones), so
+  // the memos survive; only the affected classes' versions move.
   ++generation_;
+  BumpClassVersion(id);
   return id;
 }
 
@@ -125,9 +156,11 @@ Result<ClassId> SchemaGraph::AddVirtualClass(const std::string& name,
     derived_index_[src.value()].push_back(id);
   }
   classes_.emplace(id.value(), std::move(node));
-  extent_cache_.clear();
-  type_cache_.clear();
+  // Monotone addition: existing memo entries stay valid (see
+  // AddBaseClass); dependents rebuild their dependency graphs off the
+  // generation bump.
   ++generation_;
+  BumpClassVersion(id);
   return id;
 }
 
@@ -178,9 +211,9 @@ Result<ClassId> SchemaGraph::AddRefineClass(
   for (PropertyDefId def : imported) {
     node->derivation.added.push_back(def);
   }
-  // The derivation gained properties after AddVirtualClass's cache
-  // clear; drop anything computed in between.
-  type_cache_.clear();
+  // The derivation gained properties after AddVirtualClass; only the new
+  // class's own type could have been computed in between — drop it.
+  type_cache_.erase(cls.value());
   return cls;
 }
 
@@ -193,7 +226,11 @@ Status SchemaGraph::AddLocalProperty(ClassId cls, PropertyDefId def) {
         "classes change type through their derivation");
   }
   node->local_props.push_back(def);
+  // A new stored name can shadow (or un-shadow) resolution anywhere
+  // beneath `cls`: drop the type memo and floor every extent cache.
   type_cache_.clear();
+  ++generation_;
+  invalidate_floor_ = generation_;
   return Status::OK();
 }
 
@@ -227,8 +264,20 @@ Status SchemaGraph::RemoveClass(ClassId cls) {
   }
   by_name_.erase(node->name);
   classes_.erase(cls.value());
-  extent_cache_.clear();
-  type_cache_.clear();
+  // Surgical invalidation: only an unreferenced virtual class can be
+  // removed, and a removed class was at most a proof *witness* for
+  // subsumptions between other classes — facts that remain semantically
+  // true. Dropping just the entries that name it keeps the rest of the
+  // memo hot across a ClassifyAll batch full of discarded duplicates.
+  for (auto it = extent_cache_.begin(); it != extent_cache_.end();) {
+    if (it->first.first == cls.value() || it->first.second == cls.value()) {
+      it = extent_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  type_cache_.erase(cls.value());
+  class_versions_.erase(cls.value());
   ++generation_;
   return Status::OK();
 }
@@ -289,7 +338,11 @@ Status SchemaGraph::RenameProperty(PropertyDefId id,
     return Status::NotFound(StrCat("property def ", id.ToString()));
   }
   it->second.name = new_name;
+  // Renames can silently retarget by-name resolution in select
+  // predicates: drop the type memo and floor every extent cache.
   type_cache_.clear();
+  ++generation_;
+  invalidate_floor_ = generation_;
   return Status::OK();
 }
 
@@ -758,9 +811,9 @@ Status SchemaGraph::RestoreClass(ClassNode node) {
     classes_.at(sup.value()).subs.insert(id);
   }
   classes_.emplace(id.value(), std::move(node));
-  extent_cache_.clear();
-  type_cache_.clear();
+  // Same monotone-addition argument as AddBaseClass/AddVirtualClass.
   ++generation_;
+  BumpClassVersion(id);
   return Status::OK();
 }
 

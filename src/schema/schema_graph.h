@@ -41,8 +41,22 @@ class SchemaGraph {
   ClassId root() const { return root_; }
 
   /// Monotone counter bumped by every structural change (class added or
-  /// removed). Extent caches key their validity on it.
+  /// removed). Extent caches rebuild their derivation dependency graph
+  /// when it moves; per-entry validity is keyed on class_version().
   uint64_t generation() const { return generation_; }
+
+  /// Per-class structural version: the generation at which `cls` was
+  /// last (re)defined or had its extent-defining surroundings change (a
+  /// new base class attached beneath it). Unrelated schema growth leaves
+  /// it untouched, so extent caches keep entries for unaffected classes
+  /// across schema generations. Returns 0 for unknown classes.
+  uint64_t class_version(ClassId cls) const;
+
+  /// Generation of the last schema change that can shift property-name
+  /// resolution on *existing* classes (property rename, local property
+  /// addition). Extent cache entries older than this floor are dropped
+  /// wholesale — such changes can silently retarget select predicates.
+  uint64_t invalidate_floor() const { return invalidate_floor_; }
 
   // --- Construction -----------------------------------------------------
 
@@ -189,10 +203,18 @@ class SchemaGraph {
   Status ComputeType(ClassId cls, TypeSet* out,
                      std::set<ClassId>* in_progress) const;
 
+  /// Stamps `cls` (and, for base classes, its transitive declared
+  /// supers, whose computed-extent source sets change) with the current
+  /// generation. Call after ++generation_.
+  void BumpClassVersion(ClassId cls);
+
   IdAllocator<ClassId> class_alloc_;
   IdAllocator<PropertyDefId> prop_alloc_;
   ClassId root_;
   uint64_t generation_ = 0;
+  uint64_t invalidate_floor_ = 0;
+  /// ClassId.value() -> class_version().
+  std::unordered_map<uint64_t, uint64_t> class_versions_;
   /// Top-level ExtentSubsumedBy memo; invalidated whenever the
   /// derivation structure changes (class added/removed).
   mutable std::map<std::pair<uint64_t, uint64_t>, bool> extent_cache_;

@@ -59,7 +59,7 @@ class AlgebraPropertyTest : public ::testing::TestWithParam<uint64_t> {
     ExtentEvaluator eval(&graph_, &store_);
     auto r = eval.Extent(cls);
     EXPECT_TRUE(r.ok()) << r.status().ToString();
-    return r.ok() ? r.value() : std::set<Oid>{};
+    return r.ok() ? *r.value() : std::set<Oid>{};
   }
 
   SchemaGraph graph_;
@@ -140,8 +140,8 @@ TEST_P(AlgebraPropertyTest, SelectPartitionsItsSource) {
     return;
   }
   std::set<Oid> esrc = ExtentOf(src);
-  const std::set<Oid>& elow = elow_or.value();
-  const std::set<Oid>& ehigh = ehigh_or.value();
+  const std::set<Oid>& elow = *elow_or.value();
+  const std::set<Oid>& ehigh = *ehigh_or.value();
   EXPECT_EQ(elow.size() + ehigh.size(), esrc.size());
   for (Oid o : elow) EXPECT_FALSE(ehigh.count(o));
 }

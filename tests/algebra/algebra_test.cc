@@ -111,9 +111,9 @@ TEST_F(AlgebraTest, MethodsEvaluateOverAttributes) {
 
 TEST_F(AlgebraTest, BaseExtentsIncludeSubclassMembers) {
   ExtentEvaluator eval(&graph_, &store_);
-  EXPECT_EQ(eval.Extent(person_).value().size(), 5u);
-  EXPECT_EQ(eval.Extent(student_).value().size(), 3u);  // s1, s2, ta1
-  EXPECT_EQ(eval.Extent(ta_).value().size(), 1u);
+  EXPECT_EQ(eval.Extent(person_).value()->size(), 5u);
+  EXPECT_EQ(eval.Extent(student_).value()->size(), 3u);  // s1, s2, ta1
+  EXPECT_EQ(eval.Extent(ta_).value()->size(), 1u);
   EXPECT_TRUE(eval.IsMember(ta1_, person_).value());
   EXPECT_FALSE(eval.IsMember(s1_, ta_).value());
 }
@@ -128,7 +128,7 @@ TEST_F(AlgebraTest, SelectFiltersByPredicate) {
                                                      Value::Real(3.4)))))
           .value();
   ExtentEvaluator eval(&graph_, &store_);
-  std::set<Oid> extent = eval.Extent(honor).value();
+  std::set<Oid> extent = *eval.Extent(honor).value();
   EXPECT_EQ(extent.size(), 2u);  // alice (3.9), carol (3.5)
   EXPECT_TRUE(extent.count(s1_));
   EXPECT_TRUE(extent.count(ta1_));
@@ -142,7 +142,7 @@ TEST_F(AlgebraTest, HideKeepsExtentDropsProperty) {
                     Query::Hide(Query::Class("Person"), {"age"}))
           .value();
   ExtentEvaluator eval(&graph_, &store_);
-  EXPECT_EQ(eval.Extent(ageless).value().size(), 5u);
+  EXPECT_EQ(eval.Extent(ageless).value()->size(), 5u);
   ObjectAccessor acc(&graph_, &store_);
   EXPECT_TRUE(acc.Read(s1_, ageless, "age").status().IsNotFound());
   EXPECT_EQ(acc.Read(s1_, ageless, "name").value(), Value::Str("alice"));
@@ -162,7 +162,7 @@ TEST_F(AlgebraTest, CapacityAugmentingRefineStoresNewData) {
           .value();
   ExtentEvaluator eval(&graph_, &store_);
   // Extent unchanged (object-preserving).
-  EXPECT_EQ(eval.Extent(student_prime).value().size(), 3u);
+  EXPECT_EQ(eval.Extent(student_prime).value()->size(), 3u);
   // The new stored attribute is writable and readable; default Null.
   ObjectAccessor acc(&graph_, &store_);
   EXPECT_EQ(acc.Read(s1_, student_prime, "register").value(), Value::Null());
@@ -221,9 +221,9 @@ TEST_F(AlgebraTest, SetOperatorsOnExtents) {
                                                    Query::Class("TA")))
                   .value();
   ExtentEvaluator eval(&graph_, &store_);
-  EXPECT_EQ(eval.Extent(u).value().size(), 3u);  // TA ⊆ Student
-  EXPECT_EQ(eval.Extent(i).value().size(), 1u);  // just carol
-  std::set<Oid> diff = eval.Extent(d).value();
+  EXPECT_EQ(eval.Extent(u).value()->size(), 3u);  // TA ⊆ Student
+  EXPECT_EQ(eval.Extent(i).value()->size(), 1u);  // just carol
+  std::set<Oid> diff = *eval.Extent(d).value();
   EXPECT_EQ(diff.size(), 2u);  // alice, bob
   EXPECT_FALSE(diff.count(ta1_));
 }
@@ -244,7 +244,7 @@ TEST_F(AlgebraTest, NestedQueriesCreateAuxiliaryClasses) {
   EXPECT_EQ(graph_.class_count(), before + 2);
   EXPECT_TRUE(graph_.FindClass("HonorNonTa$1").ok());
   ExtentEvaluator eval(&graph_, &store_);
-  std::set<Oid> extent = eval.Extent(top).value();
+  std::set<Oid> extent = *eval.Extent(top).value();
   EXPECT_EQ(extent.size(), 1u);
   EXPECT_TRUE(extent.count(s1_));  // alice only; carol is a TA
 }
@@ -265,22 +265,22 @@ TEST_F(AlgebraTest, ExtentCacheInvalidatesOnMutationAndSchemaChange) {
                                                      Value::Real(3.4)))))
           .value();
   ExtentEvaluator eval(&graph_, &store_);
-  EXPECT_EQ(eval.Extent(honor).value().size(), 2u);
+  EXPECT_EQ(eval.Extent(honor).value()->size(), 2u);
   // A value write that changes predicate membership must be seen.
   ObjectAccessor acc(&graph_, &store_);
   ASSERT_TRUE(acc.Write(s2_, student_, "gpa", Value::Real(3.8)).ok());
-  EXPECT_EQ(eval.Extent(honor).value().size(), 3u);
+  EXPECT_EQ(eval.Extent(honor).value()->size(), 3u);
   // A membership change must be seen.
   ASSERT_TRUE(store_.RemoveMembership(s1_, student_).ok());
-  EXPECT_EQ(eval.Extent(honor).value().size(), 2u);
+  EXPECT_EQ(eval.Extent(honor).value()->size(), 2u);
   // A structural change (new derived class) must be seen.
   ClassId d = proc.DefineVC("NonHonor",
                             Query::Difference(Query::Class("Student"),
                                               Query::Class("Honor")))
                   .value();
-  EXPECT_EQ(eval.Extent(d).value().size(),
-            eval.Extent(student_).value().size() -
-                eval.Extent(honor).value().size());
+  EXPECT_EQ(eval.Extent(d).value()->size(),
+            eval.Extent(student_).value()->size() -
+                eval.Extent(honor).value()->size());
 }
 
 TEST_F(AlgebraTest, QueryToStringRendersTree) {

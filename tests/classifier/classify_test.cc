@@ -234,6 +234,81 @@ TEST_F(ClassifierTest, ClassifyAllProcessesBatch) {
   EXPECT_EQ(Supers(a), std::vector<ClassId>{b});
 }
 
+TEST_F(ClassifierTest, BatchClassificationMatchesOneByOne) {
+  // ClassifyAll reuses the schema's subsumption memos across the whole
+  // batch; the resulting DAG must be identical to classifying the same
+  // classes one at a time on a twin graph.
+  auto build = [](SchemaGraph* g, std::vector<ClassId>* vcs) {
+    ClassId person =
+        g->AddBaseClass("Person", {},
+                        {PropertySpec::Attribute("name", ValueType::kString),
+                         PropertySpec::Attribute("age", ValueType::kInt)})
+            .value();
+    g->AddBaseClass("Student", {person},
+                    {PropertySpec::Attribute("gpa", ValueType::kReal)})
+        .value();
+    AlgebraProcessor proc(g);
+    vcs->push_back(
+        proc.DefineVC("Nameless", Query::Hide(Query::Class("Person"),
+                                              {"name"}))
+            .value());
+    vcs->push_back(
+        proc.DefineVC("Anon", Query::Hide(Query::Class("Person"),
+                                          {"name", "age"}))
+            .value());
+    vcs->push_back(
+        proc.DefineVC("Honor",
+                      Query::Select(Query::Class("Student"),
+                                    MethodExpr::Ge(MethodExpr::Attr("gpa"),
+                                                   MethodExpr::Lit(
+                                                       Value::Real(3.5)))))
+            .value());
+    vcs->push_back(
+        proc.DefineVC("Anon2", Query::Hide(Query::Class("Person"),
+                                           {"age", "name"}))
+            .value());  // duplicate of Anon
+  };
+  SchemaGraph batch_graph, single_graph;
+  std::vector<ClassId> batch_vcs, single_vcs;
+  build(&batch_graph, &batch_vcs);
+  build(&single_graph, &single_vcs);
+  ASSERT_EQ(batch_vcs.size(), single_vcs.size());
+
+  Classifier batch(&batch_graph);
+  auto batch_results = batch.ClassifyAll(batch_vcs).value();
+
+  Classifier single(&single_graph);
+  std::vector<ClassifyResult> single_results;
+  for (ClassId cls : single_vcs) {
+    single_results.push_back(single.Classify(cls).value());
+  }
+
+  ASSERT_EQ(batch_results.size(), single_results.size());
+  for (size_t i = 0; i < batch_results.size(); ++i) {
+    EXPECT_EQ(batch_results[i].was_duplicate,
+              single_results[i].was_duplicate)
+        << "class " << i;
+    EXPECT_EQ(batch_results[i].supers.size(),
+              single_results[i].supers.size())
+        << "class " << i;
+    EXPECT_EQ(batch_results[i].subs.size(), single_results[i].subs.size())
+        << "class " << i;
+  }
+  // Same DAG by name: every class reaches the same named supers.
+  for (ClassId cls : batch_graph.AllClasses()) {
+    const std::string& name = batch_graph.GetClass(cls).value()->name;
+    ClassId twin = single_graph.FindClass(name).value();
+    std::set<std::string> batch_supers, single_supers;
+    for (ClassId s : batch_graph.TransitiveSupers(cls).value()) {
+      batch_supers.insert(batch_graph.GetClass(s).value()->name);
+    }
+    for (ClassId s : single_graph.TransitiveSupers(twin).value()) {
+      single_supers.insert(single_graph.GetClass(s).value()->name);
+    }
+    EXPECT_EQ(batch_supers, single_supers) << "class " << name;
+  }
+}
+
 TEST_F(ClassifierTest, BaseClassIsAlreadyClassified) {
   Classifier classifier(&graph_);
   ClassifyResult r = classifier.Classify(student_).value();

@@ -48,7 +48,7 @@ TEST_F(AddClassTest, UnderBaseClassMatchesDirect) {
   const view::ViewSchema* view = twins_.views_.GetView(vs2).value();
   ClassId parttime = view->Resolve("Parttime").value();
   // Empty extent, type of the superclass, direct subclass position.
-  EXPECT_TRUE(twins_.updates_.extents().Extent(parttime).value().empty());
+  EXPECT_TRUE(twins_.updates_.extents().Extent(parttime).value()->empty());
   EXPECT_TRUE(twins_.graph_.EffectiveType(parttime)
                   .value()
                   .ContainsName("gpa"));
@@ -93,7 +93,7 @@ TEST_F(AddClassTest, UnderSelectClassInheritsPredicate) {
   // Figure 12: the new class sits directly under HonorStudent.
   EXPECT_EQ(view->DirectSupers(hp), std::vector<ClassId>{honor});
   // Initially empty.
-  EXPECT_TRUE(twins_.updates_.extents().Extent(hp).value().empty());
+  EXPECT_TRUE(twins_.updates_.extents().Extent(hp).value()->empty());
 
   // Inserting a qualifying object through the new class is visible in
   // HonorStudent (the constraint propagation of Figure 13 (c)).
@@ -135,8 +135,8 @@ TEST_F(AddClassTest, UnderHideClassStaysInsideSuperExtent) {
   EXPECT_TRUE(twins_.updates_.extents().IsMember(fresh, nameless).value());
   // The superclass generalization invariant holds: extent(leaf) ⊆
   // extent(Anon).
-  auto leaf_extent = twins_.updates_.extents().Extent(leaf).value();
-  auto anon_extent = twins_.updates_.extents().Extent(nameless).value();
+  auto leaf_extent = *twins_.updates_.extents().Extent(leaf).value();
+  auto anon_extent = *twins_.updates_.extents().Extent(nameless).value();
   for (Oid oid : leaf_extent) {
     EXPECT_TRUE(anon_extent.count(oid));
   }
@@ -166,7 +166,7 @@ TEST_F(AddClassTest, UnderUnionClassStartsEmpty) {
   const view::ViewSchema* view = twins_.views_.GetView(vs2).value();
   ClassId nm = view->Resolve("NewMember").value();
   // Empty at birth — the Figure 13 (e) guarantee.
-  EXPECT_TRUE(twins_.updates_.extents().Extent(nm).value().empty());
+  EXPECT_TRUE(twins_.updates_.extents().Extent(nm).value()->empty());
   // Direct subclass of the union.
   EXPECT_EQ(view->DirectSupers(nm), std::vector<ClassId>{members});
   // An insert through the new class becomes visible in the union.
@@ -211,9 +211,9 @@ TEST_F(AddClassTest, DeleteClassRemovesFromViewOnly) {
   EXPECT_EQ(view->DirectSupers(ta), std::vector<ClassId>{person});
   // Extent still visible to the superclass; properties still inherited.
   EXPECT_TRUE(
-      twins_.updates_.extents().Extent(person).value().count(s1_));
+      twins_.updates_.extents().Extent(person).value()->count(s1_));
   EXPECT_TRUE(
-      twins_.updates_.extents().Extent(person).value().count(ta_obj));
+      twins_.updates_.extents().Extent(person).value()->count(ta_obj));
   EXPECT_TRUE(twins_.graph_.EffectiveType(ta).value().ContainsName("gpa"));
   // Old view unaffected.
   EXPECT_TRUE(twins_.views_.GetView(vs1)

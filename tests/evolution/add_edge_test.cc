@@ -75,7 +75,7 @@ TEST_F(AddEdgeTest, PropertiesFlowDownExtentFlowsUp) {
   // SupportStaff's extent grew from {o2,o3} to {o2,o3,o4,o5}.
   ClassId staff2 = view->Resolve("SupportStaff").value();
   std::set<Oid> staff_extent =
-      twins_.updates_.extents().Extent(staff2).value();
+      *twins_.updates_.extents().Extent(staff2).value();
   EXPECT_EQ(staff_extent.size(), 4u);
   EXPECT_TRUE(staff_extent.count(o4_));
   EXPECT_TRUE(staff_extent.count(o5_));
@@ -83,7 +83,7 @@ TEST_F(AddEdgeTest, PropertiesFlowDownExtentFlowsUp) {
   // "The Person class is not modified").
   ClassId person2 = view->Resolve("Person").value();
   EXPECT_EQ(person2, twins_.graph_.FindClass("Person").value());
-  EXPECT_EQ(twins_.updates_.extents().Extent(person2).value().size(), 6u);
+  EXPECT_EQ(twins_.updates_.extents().Extent(person2).value()->size(), 6u);
 
   // The view hierarchy has the new edge.
   EXPECT_TRUE(view->TransitiveSupers(ta2).count(staff2));

@@ -62,7 +62,7 @@ TEST_F(DeleteEdgeTest, ExtentShrinksAndPropertyVanishes) {
   // TeachingStaff' extent drops from {o2,o3,o4,o5} to {o2,o3}.
   ClassId staff2 = view->Resolve("TeachingStaff").value();
   std::set<Oid> staff_extent =
-      twins_.updates_.extents().Extent(staff2).value();
+      *twins_.updates_.extents().Extent(staff2).value();
   EXPECT_EQ(staff_extent.size(), 2u);
   EXPECT_TRUE(staff_extent.count(o2_));
   EXPECT_FALSE(staff_extent.count(o4_));
@@ -81,7 +81,7 @@ TEST_F(DeleteEdgeTest, ExtentShrinksAndPropertyVanishes) {
   EXPECT_TRUE(view->TransitiveSupers(ta2).count(student2));
   // Person keeps everything.
   ClassId person2 = view->Resolve("Person").value();
-  EXPECT_EQ(twins_.updates_.extents().Extent(person2).value().size(), 6u);
+  EXPECT_EQ(twins_.updates_.extents().Extent(person2).value()->size(), 6u);
 }
 
 TEST_F(DeleteEdgeTest, Figure11CommonSubKeepsMultiPathInstances) {
@@ -113,7 +113,7 @@ TEST_F(DeleteEdgeTest, Figure11CommonSubKeepsMultiPathInstances) {
 
   const view::ViewSchema* view = twins.views_.GetView(vs2).value();
   ClassId v2 = view->Resolve("V").value();
-  std::set<Oid> v_extent = twins.updates_.extents().Extent(v2).value();
+  std::set<Oid> v_extent = *twins.updates_.extents().Extent(v2).value();
   // Naive subtraction would also lose C1/C2's members; commonSub keeps
   // them visible in V (they reach V via Mid).
   EXPECT_TRUE(v_extent.count(in_c1));
@@ -121,7 +121,7 @@ TEST_F(DeleteEdgeTest, Figure11CommonSubKeepsMultiPathInstances) {
   EXPECT_FALSE(v_extent.count(in_csub));
   // Csup also loses the Csub members but keeps nothing extra.
   ClassId csup2 = view->Resolve("Csup").value();
-  std::set<Oid> csup_extent = twins.updates_.extents().Extent(csup2).value();
+  std::set<Oid> csup_extent = *twins.updates_.extents().Extent(csup2).value();
   EXPECT_FALSE(csup_extent.count(in_csub));
   EXPECT_FALSE(csup_extent.count(in_c1));
 }
@@ -158,9 +158,9 @@ TEST_F(DeleteEdgeTest, ConnectedToReattachesSubclass) {
   EXPECT_TRUE(leaf_type.ContainsName("f"));
   // Extent: gone from Lower, still in Upper.
   EXPECT_FALSE(
-      twins.updates_.extents().Extent(lower2).value().count(leaf_obj));
+      twins.updates_.extents().Extent(lower2).value()->count(leaf_obj));
   EXPECT_TRUE(
-      twins.updates_.extents().Extent(upper2).value().count(leaf_obj));
+      twins.updates_.extents().Extent(upper2).value()->count(leaf_obj));
   // View hierarchy: Leaf directly under Upper.
   EXPECT_EQ(view->DirectSupers(leaf2), std::vector<ClassId>{upper2});
 }

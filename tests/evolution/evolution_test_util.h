@@ -101,8 +101,8 @@ class TwinSystems {
       EXPECT_TRUE(extent.ok());
       out += "\n" + view.value()->DisplayName(cls).value() + " : " +
              type.value().ToString() + " #" +
-             std::to_string(extent.value().size());
-      for (Oid oid : extent.value()) out += " " + oid.ToString();
+             std::to_string(extent.value()->size());
+      for (Oid oid : *extent.value()) out += " " + oid.ToString();
     }
     return out;
   }

@@ -55,12 +55,12 @@ TEST_F(MacroOpsTest, InsertClassBetween) {
   EXPECT_TRUE(
       twins_.graph_.EffectiveType(senior).value().ContainsName("gpa"));
   std::set<Oid> senior_extent =
-      twins_.updates_.extents().Extent(senior).value();
+      *twins_.updates_.extents().Extent(senior).value();
   EXPECT_EQ(senior_extent.size(), 1u);
   EXPECT_TRUE(senior_extent.count(t1_));
   // Student sees everyone as before.
   std::set<Oid> student_extent =
-      twins_.updates_.extents().Extent(student).value();
+      *twins_.updates_.extents().Extent(student).value();
   EXPECT_TRUE(student_extent.count(s1_));
   EXPECT_TRUE(student_extent.count(t1_));
 }
@@ -109,14 +109,14 @@ TEST_F(MacroOpsTest, DeleteClass2RemovesClassOrionStyle) {
   // Person keeps TA's member; Student's direct member s1 is no longer
   // visible through Person in this view.
   std::set<Oid> person_extent =
-      twins_.updates_.extents().Extent(person).value();
+      *twins_.updates_.extents().Extent(person).value();
   EXPECT_TRUE(person_extent.count(t1_));
   EXPECT_FALSE(person_extent.count(s1_));
   // Old view still sees everything.
   const view::ViewSchema* old_view = twins_.views_.GetView(vs1).value();
   ClassId old_person = old_view->Resolve("Person").value();
   EXPECT_TRUE(
-      twins_.updates_.extents().Extent(old_person).value().count(s1_));
+      twins_.updates_.extents().Extent(old_person).value()->count(s1_));
 }
 
 TEST_F(MacroOpsTest, DeleteClass2MatchesDirect) {

@@ -81,7 +81,7 @@ TEST_F(VersionMergeTest, InstancesSharedAcrossMergedClasses) {
   for (ClassId cls : view->classes()) {
     std::string name = view->DisplayName(cls).value();
     if (name.rfind("Student", 0) == 0) {
-      std::set<Oid> extent = twins_.updates_.extents().Extent(cls).value();
+      std::set<Oid> extent = *twins_.updates_.extents().Extent(cls).value();
       EXPECT_EQ(extent.size(), 1u) << name;
       EXPECT_TRUE(extent.count(s1_));
     }

@@ -81,7 +81,7 @@ TEST_F(DurabilitySoakTest, EvolveSaveCrashReloadLoop) {
       const view::ViewSchema* vs = views.GetView(current).value();
       ClassId item = vs->Resolve("Item").value();
       algebra::ExtentEvaluator extents(&schema, &store);
-      const std::set<Oid> members = extents.Extent(item).value();
+      const std::set<Oid> members = *extents.Extent(item).value();
       for (Oid oid : members) {
         for (int s = 0; s < session; ++s) {
           std::string attr = "f" + std::to_string(s);
@@ -109,7 +109,7 @@ TEST_F(DurabilitySoakTest, EvolveSaveCrashReloadLoop) {
     const view::ViewSchema* vs = views.GetView(current).value();
     ClassId item = vs->Resolve("Item").value();
     algebra::ExtentEvaluator extents(&schema, &store);
-    const std::set<Oid> members = extents.Extent(item).value();
+    const std::set<Oid> members = *extents.Extent(item).value();
     for (Oid oid : members) {
       ASSERT_TRUE(db.Set(oid, item, "f" + std::to_string(session),
                          Value::Int(session))
@@ -151,7 +151,8 @@ TEST_F(DurabilitySoakTest, EvolveSaveCrashReloadLoop) {
       views.GetView(views.History("Soak").back()).value();
   ClassId item = latest->Resolve("Item").value();
   algebra::ExtentEvaluator extents(&schema, &store);
-  for (Oid oid : extents.Extent(item).value()) {
+  const std::set<Oid> item_members = *extents.Extent(item).value();
+  for (Oid oid : item_members) {
     std::string label = db.accessor().Read(oid, item, "label").value()
                             .AsString()
                             .value();

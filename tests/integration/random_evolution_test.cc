@@ -91,7 +91,7 @@ TEST_P(RandomEvolutionTest, AcceptedChangesMatchDirectModification) {
     for (ClassId cls : vs->classes()) {
       std::string display = vs->DisplayName(cls).value();
       schema::TypeSet type = graph.EffectiveType(cls).value();
-      std::set<Oid> extent = extents.Extent(cls).value();
+      std::set<Oid> extent = *extents.Extent(cls).value();
       for (Oid oid : extent) {
         Oid twin = oids.ToDirect(oid).value();
         for (const auto& [name, defs] : type.bindings()) {
@@ -127,7 +127,7 @@ TEST_P(RandomEvolutionTest, AcceptedChangesMatchDirectModification) {
     for (ClassId cls : vs->classes()) {
       out += "\n" + vs->DisplayName(cls).value() + ":" +
              graph.EffectiveType(cls).value().ToString() + "#" +
-             std::to_string(extents.Extent(cls).value().size());
+             std::to_string(extents.Extent(cls).value()->size());
     }
     return out;
   };

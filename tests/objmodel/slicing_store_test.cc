@@ -176,6 +176,92 @@ TEST(SlicingStoreTest, ImplOidsAreDistinctFromConceptualOids) {
   EXPECT_TRUE(store.SliceImplOid(o, kJeep).status().IsNotFound());
 }
 
+TEST(SlicingStoreTest, MutationCountOnlyBumpsOnStateChange) {
+  SlicingStore store;
+  Oid o = store.CreateObject();
+  ASSERT_TRUE(store.AddMembership(o, kCar).ok());
+  ASSERT_TRUE(store.SetValue(o, kCar, kWheels, Value::Int(4)).ok());
+  uint64_t count = store.mutation_count();
+
+  // Failed writes leave the count alone.
+  EXPECT_TRUE(store.DestroyObject(Oid(999)).IsNotFound());
+  EXPECT_TRUE(store.CreateObjectWithOid(o).IsAlreadyExists());
+  EXPECT_TRUE(store.RemoveMembership(o, kJeep).IsNotFound());
+  EXPECT_TRUE(store.RemoveSlice(o, kImported).IsNotFound());
+  EXPECT_EQ(store.mutation_count(), count);
+
+  // No-op writes (state unchanged) leave it alone too.
+  ASSERT_TRUE(store.SetValue(o, kCar, kWheels, Value::Int(4)).ok());
+  ASSERT_TRUE(store.AddMembership(o, kCar).ok());
+  EXPECT_EQ(store.mutation_count(), count);
+
+  // Real state changes bump it.
+  ASSERT_TRUE(store.SetValue(o, kCar, kWheels, Value::Int(6)).ok());
+  EXPECT_GT(store.mutation_count(), count);
+}
+
+TEST(SlicingStoreTest, ChangeJournalRecordsDeltas) {
+  SlicingStore store;
+  uint64_t cursor = store.journal_head();
+
+  Oid o = store.CreateObject();
+  ASSERT_TRUE(store.AddMembership(o, kCar).ok());
+  ASSERT_TRUE(store.SetValue(o, kCar, kWheels, Value::Int(4)).ok());
+  ASSERT_TRUE(store.RemoveMembership(o, kCar).ok());
+
+  std::vector<ChangeRecord> recs;
+  ASSERT_TRUE(store.ChangesSince(cursor, &recs));
+  ASSERT_EQ(recs.size(), 4u);
+  EXPECT_EQ(recs[0].kind, ChangeRecord::Kind::kObjectCreated);
+  EXPECT_EQ(recs[0].oid, o);
+  EXPECT_EQ(recs[1].kind, ChangeRecord::Kind::kMembershipAdded);
+  EXPECT_EQ(recs[1].cls, kCar);
+  EXPECT_EQ(recs[2].kind, ChangeRecord::Kind::kValueChanged);
+  EXPECT_EQ(recs[2].cls, kCar);
+  EXPECT_EQ(recs[2].prop, kWheels);
+  EXPECT_EQ(recs[3].kind, ChangeRecord::Kind::kMembershipRemoved);
+  // Sequence numbers are strictly increasing.
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_GT(recs[i].seq, recs[i - 1].seq);
+  }
+
+  // Caught up: true with no records.
+  cursor = store.journal_head();
+  recs.clear();
+  EXPECT_TRUE(store.ChangesSince(cursor, &recs));
+  EXPECT_TRUE(recs.empty());
+
+  // Destroy journals each membership loss, then the destruction.
+  ASSERT_TRUE(store.AddMembership(o, kJeep).ok());
+  cursor = store.journal_head();
+  ASSERT_TRUE(store.DestroyObject(o).ok());
+  recs.clear();
+  ASSERT_TRUE(store.ChangesSince(cursor, &recs));
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].kind, ChangeRecord::Kind::kMembershipRemoved);
+  EXPECT_EQ(recs[0].cls, kJeep);
+  EXPECT_EQ(recs[1].kind, ChangeRecord::Kind::kObjectDestroyed);
+}
+
+TEST(SlicingStoreTest, ChangeJournalSignalsTrimmedGap) {
+  SlicingStore store;
+  Oid o = store.CreateObject();
+  uint64_t cursor = store.journal_head();
+  for (size_t i = 0; i <= SlicingStore::kJournalCapacity; ++i) {
+    ASSERT_TRUE(
+        store.SetValue(o, kCar, kWheels, Value::Int(static_cast<int64_t>(i)))
+            .ok());
+  }
+  std::vector<ChangeRecord> recs;
+  // The oldest record past the cursor was trimmed: consumers must fall
+  // back to a full rebuild.
+  EXPECT_FALSE(store.ChangesSince(cursor, &recs));
+  // A cursor inside the retained window still streams.
+  recs.clear();
+  EXPECT_TRUE(store.ChangesSince(store.journal_head() - 10, &recs));
+  EXPECT_EQ(recs.size(), 10u);
+}
+
 // Randomized consistency: mirror slice/value operations against a model.
 TEST(SlicingStoreTest, RandomizedAgainstModel) {
   tse::Rng rng(77);
