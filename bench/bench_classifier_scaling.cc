@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics_main.h"
+
 #include <memory>
 
 #include "evolution/tse_manager.h"
@@ -167,4 +169,4 @@ BENCHMARK(BM_SubschemaEvolution)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TSE_BENCH_MAIN();

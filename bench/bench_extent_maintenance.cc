@@ -30,6 +30,7 @@
 #include "algebra/query.h"
 #include "common/random.h"
 #include "evolution/tse_manager.h"
+#include "obs/metrics.h"
 #include "update/update_engine.h"
 
 namespace {
@@ -229,7 +230,8 @@ int main(int argc, char** argv) {
   json << "  ],\n  \"acceptance\": {\"target_speedup_depth8\": 5.0, "
           "\"achieved_speedup_depth8\": "
        << depth8_speedup << ", \"pass\": "
-       << (depth8_speedup >= 5.0 ? "true" : "false") << "}\n}\n";
+       << (depth8_speedup >= 5.0 ? "true" : "false") << "},\n  \"metrics\": "
+       << tse::obs::MetricsRegistry::Instance().Snapshot().ToJson() << "\n}\n";
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);

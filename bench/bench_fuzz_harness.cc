@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics_main.h"
+
 #include "fuzz/differential_executor.h"
 #include "fuzz/fuzz_case.h"
 
@@ -71,4 +73,4 @@ BENCHMARK(BM_DifferentialReplayEquivalenceOnly);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TSE_BENCH_MAIN();

@@ -1,0 +1,38 @@
+// Shared main() for google-benchmark binaries that also emits the
+// process-wide metrics snapshot accumulated while the benchmarks ran.
+//
+// Use TSE_BENCH_MAIN(); in place of BENCHMARK_MAIN(); — identical
+// behaviour, plus one extra line on stdout after the benchmark report:
+//
+//   TSE_METRICS_SNAPSHOT {"counters": {...}, "histograms": {...}}
+//
+// The prefix makes the line greppable; bench/merge_metrics.cmake scrapes
+// it when assembling BENCH_metrics.json via the bench_report target.
+// Under TSE_OBS_DISABLE the registry is empty and the snapshot is
+// `{"counters": {}, "histograms": {}}` — the line is still printed so
+// downstream parsing never needs to special-case the build flavour.
+
+#ifndef TSE_BENCH_METRICS_MAIN_H_
+#define TSE_BENCH_METRICS_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "obs/metrics.h"
+
+#define TSE_BENCH_MAIN()                                                  \
+  int main(int argc, char** argv) {                                       \
+    ::benchmark::Initialize(&argc, argv);                                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    ::benchmark::RunSpecifiedBenchmarks();                                \
+    ::benchmark::Shutdown();                                              \
+    std::cout << "TSE_METRICS_SNAPSHOT "                                  \
+              << ::tse::obs::MetricsRegistry::Instance().Snapshot()       \
+                     .ToJson()                                            \
+              << std::endl;                                               \
+    return 0;                                                             \
+  }                                                                       \
+  int tse_bench_main_anchor_ = 0
+
+#endif  // TSE_BENCH_METRICS_MAIN_H_

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics_main.h"
+
 #include <memory>
 
 #include "evolution/tse_manager.h"
@@ -194,4 +196,4 @@ BENCHMARK(BM_VersionMerge)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TSE_BENCH_MAIN();

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics_main.h"
+
 #include <filesystem>
 
 #include "common/random.h"
@@ -100,4 +102,4 @@ BENCHMARK(BM_RecoveryReplay)->Arg(1000)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TSE_BENCH_MAIN();

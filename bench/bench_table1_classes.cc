@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics_main.h"
+
 #include "common/random.h"
 #include "objmodel/intersection_store.h"
 #include "objmodel/slicing_store.h"
@@ -88,4 +90,4 @@ BENCHMARK(BM_SlicingClassGrowth)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TSE_BENCH_MAIN();

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics_main.h"
+
 #include "objmodel/intersection_store.h"
 #include "objmodel/slicing_store.h"
 
@@ -67,4 +69,4 @@ BENCHMARK(BM_IntersectionReclassify)->Arg(2)->Arg(8)->Arg(32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TSE_BENCH_MAIN();

@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics_main.h"
+
 #include "common/random.h"
 #include "objmodel/intersection_store.h"
 #include "objmodel/slicing_store.h"
@@ -127,4 +129,4 @@ BENCHMARK(BM_IntersectionInheritedRead)->Arg(10000)->Arg(50000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TSE_BENCH_MAIN();

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics_main.h"
+
 #include "objmodel/intersection_store.h"
 #include "objmodel/slicing_store.h"
 
@@ -73,4 +75,4 @@ BENCHMARK(BM_IntersectionStorage)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TSE_BENCH_MAIN();

@@ -21,6 +21,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics_main.h"
+
 #include "baseline/direct_engine.h"
 #include "baseline/versioning_sims.h"
 #include "evolution/tse_manager.h"
@@ -255,4 +257,4 @@ BENCHMARK(BM_Rose)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TSE_BENCH_MAIN();

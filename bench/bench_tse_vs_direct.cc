@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics_main.h"
+
 #include <memory>
 
 #include "baseline/direct_engine.h"
@@ -102,4 +104,4 @@ BENCHMARK(BM_DirectAddAttribute)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TSE_BENCH_MAIN();

@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics_main.h"
+
 #include <memory>
 
 #include "evolution/tse_manager.h"
@@ -107,4 +109,4 @@ BENCHMARK(BM_ReadThroughChain)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TSE_BENCH_MAIN();

@@ -1,0 +1,41 @@
+# Merges per-bench metrics snapshots into one JSON report.
+#
+# Runs every google-benchmark binary for one short iteration, scrapes
+# the `TSE_METRICS_SNAPSHOT {...}` line each prints on exit (see
+# bench_metrics_main.h), and writes them keyed by binary name:
+#
+#   {"benches": {"bench_ops": {"counters": ...}, ...}}
+#
+# Invoked by the `bench_report` target:
+#   cmake -DBENCH_DIR=<bindir> -DOUT=<path> -P merge_metrics.cmake
+
+if(NOT DEFINED BENCH_DIR OR NOT DEFINED OUT)
+  message(FATAL_ERROR "usage: cmake -DBENCH_DIR=<dir> -DOUT=<path> -P merge_metrics.cmake")
+endif()
+
+set(benches
+    bench_table1_storage bench_table1_classes bench_table1_query
+    bench_table1_dynamic bench_table2_systems bench_tse_vs_direct
+    bench_ops bench_update_chains bench_storage
+    bench_classifier_scaling bench_fuzz_harness)
+
+set(entries "")
+foreach(b ${benches})
+  execute_process(
+      COMMAND "${BENCH_DIR}/${b}" --benchmark_min_time=0.001
+      OUTPUT_VARIABLE run_out
+      ERROR_VARIABLE run_err
+      RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${b} failed (exit ${rc}):\n${run_err}")
+  endif()
+  string(REGEX MATCH "TSE_METRICS_SNAPSHOT ([^\n]+)" matched "${run_out}")
+  if(NOT matched)
+    message(FATAL_ERROR "${b} printed no TSE_METRICS_SNAPSHOT line")
+  endif()
+  list(APPEND entries "    \"${b}\": ${CMAKE_MATCH_1}")
+endforeach()
+
+list(JOIN entries ",\n" body)
+file(WRITE "${OUT}" "{\n  \"benches\": {\n${body}\n  }\n}\n")
+message(STATUS "wrote ${OUT}")

@@ -10,7 +10,8 @@
 //
 // Extra shell commands: `show` (current view), `extents`, `history`,
 // `objects <Class>`, `new <Class>`, `set <oid> <Class> <attr> <expr>`,
-// `get <oid> <Class> <attr>`, `quit`.
+// `get <oid> <Class> <attr>`, `stats [reset]`,
+// `trace on|off|json|tree|clear`, `quit`.
 
 #include <iostream>
 #include <sstream>
@@ -19,6 +20,8 @@
 #include "evolution/change_parser.h"
 #include "evolution/tse_manager.h"
 #include "objmodel/expr_parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "update/update_engine.h"
 
 using namespace tse;
@@ -104,6 +107,43 @@ struct Shell {
       History();
       return true;
     }
+    if (head == "stats") {
+      std::string arg;
+      in >> arg;
+      if (arg == "reset") {
+        obs::MetricsRegistry::Instance().ResetValues();
+        std::cout << "stats reset\n";
+      } else {
+        std::cout << obs::MetricsRegistry::Instance().Snapshot().ToText();
+      }
+      return true;
+    }
+    if (head == "trace") {
+      std::string arg;
+      in >> arg;
+      obs::Tracer& tracer = obs::Tracer::Instance();
+      if (arg == "on") {
+#ifdef TSE_OBS_DISABLE
+        std::cout << "tracing unavailable (built with TSE_OBS_DISABLE)\n";
+#else
+        tracer.set_enabled(true);
+        std::cout << "tracing on\n";
+#endif
+      } else if (arg == "off") {
+        tracer.set_enabled(false);
+        std::cout << "tracing off\n";
+      } else if (arg == "json") {
+        std::cout << tracer.DumpJson() << "\n";
+      } else if (arg == "tree") {
+        std::cout << tracer.DumpTree();
+      } else if (arg == "clear") {
+        tracer.Clear();
+        std::cout << "trace buffer cleared\n";
+      } else {
+        std::cout << "usage: trace on|off|json|tree|clear\n";
+      }
+      return true;
+    }
     if (head == "new") {
       std::string cls_name;
       in >> cls_name;
@@ -153,7 +193,10 @@ struct Shell {
       std::cout << (s.ok() ? "ok" : "error: " + s.ToString()) << "\n";
       return true;
     }
-    // Everything else is a schema-change command.
+    // Everything else is a schema-change command. The root span makes
+    // each request one tree in the trace: parse and the TSEM pipeline
+    // (translate, integrate, regenerate) appear as its descendants.
+    TSE_TRACE_SPAN("shell.schema_change");
     auto change = ParseChange(line);
     if (!change.ok()) {
       std::cout << "error: " << change.status().ToString() << "\n";

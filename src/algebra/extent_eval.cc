@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace tse::algebra {
 
 using objmodel::ChangeRecord;
@@ -41,6 +43,7 @@ void ExtentEvaluator::Sync() const {
         ++it;
       } else {
         ++stats_.entries_invalidated;
+        TSE_COUNT("algebra.extent.entries_invalidated");
         it = cache_.erase(it);
       }
     }
@@ -56,6 +59,7 @@ void ExtentEvaluator::Sync() const {
   std::vector<ChangeRecord> records;
   if (!store_->ChangesSince(journal_cursor_, &records)) {
     // Journal trimmed past our cursor: we missed deltas, start over.
+    TSE_COUNT("algebra.extent.journal_gaps");
     DropAll();
     journal_cursor_ = head;
     return;
@@ -69,6 +73,7 @@ void ExtentEvaluator::Sync() const {
       break;
     }
     ++stats_.delta_records;
+    TSE_COUNT("algebra.extent.delta_records");
   }
   journal_cursor_ = head;
 }
@@ -135,6 +140,7 @@ Status ExtentEvaluator::Propagate(std::deque<WorkItem>* work) const {
       extent->erase(oid);
     }
     ++stats_.delta_updates;
+    TSE_COUNT("algebra.extent.delta_updates");
     for (ClassId dep : deps_.Dependents(cls)) work->emplace_back(dep, oid);
   }
   return Status::OK();
@@ -204,7 +210,10 @@ void ExtentEvaluator::DropEntryAndDependents(ClassId cls) const {
     ClassId c = work.front();
     work.pop_front();
     if (!visited.insert(c).second) continue;
-    if (cache_.erase(c) != 0) ++stats_.entries_invalidated;
+    if (cache_.erase(c) != 0) {
+      ++stats_.entries_invalidated;
+      TSE_COUNT("algebra.extent.entries_invalidated");
+    }
     for (ClassId dep : deps_.Dependents(c)) work.push_back(dep);
   }
 }
@@ -212,6 +221,7 @@ void ExtentEvaluator::DropEntryAndDependents(ClassId cls) const {
 void ExtentEvaluator::DropAll() const {
   if (!cache_.empty()) {
     ++stats_.full_rebuilds;
+    TSE_COUNT("algebra.extent.full_rebuilds");
     cache_.clear();
   }
 }
@@ -230,9 +240,11 @@ Result<ExtentEvaluator::ExtentPtr> ExtentEvaluator::Extent(
   auto hit = cache_.find(cls);
   if (hit != cache_.end()) {
     ++stats_.hits;
+    TSE_COUNT("algebra.extent.cache_hits");
     return ExtentPtr(hit->second.extent);
   }
   ++stats_.misses;
+  TSE_COUNT("algebra.extent.cache_misses");
   std::set<ClassId> in_progress;
   TSE_ASSIGN_OR_RETURN(std::shared_ptr<std::set<Oid>> out,
                        EvalWithMemo(cls, &in_progress));
@@ -244,6 +256,7 @@ Result<bool> ExtentEvaluator::IsMember(Oid oid, ClassId cls) const {
   auto hit = cache_.find(cls);
   if (hit != cache_.end()) {
     ++stats_.hits;
+    TSE_COUNT("algebra.extent.cache_hits");
     return hit->second.extent->count(oid) != 0;
   }
   // Deliberately not a cache fill: the per-oid walk is the designed

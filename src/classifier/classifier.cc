@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tse::classifier {
 
@@ -16,6 +18,10 @@ bool Classifier::IsClassified(ClassId cls) const {
 }
 
 Result<ClassifyResult> Classifier::Classify(ClassId cls) {
+  // The classifier integrates one virtual class into the global DAG —
+  // the "integrate" step of the TSEM pipeline.
+  TSE_TRACE_SPAN("classifier.integrate");
+  TSE_COUNT("classifier.classify.calls");
   TSE_ASSIGN_OR_RETURN(const ClassNode* node, schema_->GetClass(cls));
   ClassifyResult result;
   result.cls = cls;
@@ -37,6 +43,7 @@ Result<ClassifyResult> Classifier::Classify(ClassId cls) {
 
   // --- 1. Duplicate detection -------------------------------------------
   for (ClassId other : classified) {
+    TSE_COUNT("classifier.subsumption.checks");
     if (schema_->IsDuplicateOf(cls, other)) {
       // The existing class replaces the newly created duplicate.
       if (node->is_virtual()) {
@@ -44,6 +51,7 @@ Result<ClassifyResult> Classifier::Classify(ClassId cls) {
       }
       result.cls = other;
       result.was_duplicate = true;
+      TSE_COUNT("classifier.classify.duplicates");
       return result;
     }
   }
@@ -52,6 +60,7 @@ Result<ClassifyResult> Classifier::Classify(ClassId cls) {
   std::vector<ClassId> super_candidates;
   std::vector<ClassId> sub_candidates;
   for (ClassId other : classified) {
+    TSE_COUNT_N("classifier.subsumption.checks", 2);
     if (schema_->IsaSubsumedBy(cls, other)) super_candidates.push_back(other);
     if (schema_->IsaSubsumedBy(other, cls)) sub_candidates.push_back(other);
   }

@@ -4,6 +4,8 @@
 
 #include "common/str_util.h"
 #include "objmodel/expr_parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tse::evolution {
 
@@ -117,6 +119,8 @@ Status NoTrailing(Cursor* cur) {
 }  // namespace
 
 Result<SchemaChange> ParseChange(const std::string& command) {
+  TSE_TRACE_SPAN("evolution.parse");
+  TSE_COUNT("evolution.parse.requests");
   Cursor cur(command);
   TSE_ASSIGN_OR_RETURN(std::string op, cur.Ident());
 

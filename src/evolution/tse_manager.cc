@@ -5,6 +5,8 @@
 #include <set>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tse::evolution {
 
@@ -81,6 +83,7 @@ std::set<ClassId> TseManager::ViewUpReachableWithoutEdge(
 
 Result<ClassId> TseManager::DefineAndClassify(const std::string& name,
                                               Derivation derivation) {
+  TSE_COUNT("evolution.virtual_classes.defined");
   TSE_ASSIGN_OR_RETURN(ClassId cls,
                        schema_->AddVirtualClass(name, std::move(derivation)));
   TSE_ASSIGN_OR_RETURN(classifier::ClassifyResult r, classifier_.Classify(cls));
@@ -91,6 +94,7 @@ Result<ClassId> TseManager::DefineRefineAndClassify(
     const std::string& name, ClassId source,
     const std::vector<PropertySpec>& new_props,
     const std::vector<PropertyDefId>& imported) {
+  TSE_COUNT("evolution.virtual_classes.defined");
   TSE_ASSIGN_OR_RETURN(
       ClassId cls, schema_->AddRefineClass(name, source, new_props, imported));
   TSE_ASSIGN_OR_RETURN(classifier::ClassifyResult r, classifier_.Classify(cls));
@@ -107,6 +111,18 @@ Result<ViewId> TseManager::CreateView(
 
 Result<ViewId> TseManager::ApplyChange(ViewId view_id,
                                        const SchemaChange& change) {
+  // The root span/latency of one schema-change request; macro
+  // expansions recurse through here and show up as nested spans.
+  TSE_TRACE_SPAN("evolution.apply_change");
+  TSE_LATENCY_US("evolution.apply_change.us");
+  TSE_COUNT("evolution.apply_change.requests");
+  Result<ViewId> result = ApplyChangeImpl(view_id, change);
+  if (!result.ok()) TSE_COUNT("evolution.apply_change.rejected");
+  return result;
+}
+
+Result<ViewId> TseManager::ApplyChangeImpl(ViewId view_id,
+                                           const SchemaChange& change) {
   TSE_ASSIGN_OR_RETURN(const ViewSchema* vs, views_->GetView(view_id));
 
   // Macros expand into primitive scripts (Section 6.9).
@@ -134,46 +150,48 @@ Result<ViewId> TseManager::ApplyChange(ViewId view_id,
     return views_->CreateVersionClosed(vs->logical_name(), specs);
   }
 
-  Translation translation;
+  TSE_ASSIGN_OR_RETURN(Translation translation, Translate(*vs, change));
+  return EmitView(*vs, translation);
+}
+
+Result<TseManager::Translation> TseManager::Translate(
+    const ViewSchema& vs, const SchemaChange& change) {
+  TSE_TRACE_SPAN("evolution.translate");
   if (const auto* add_attr = std::get_if<AddAttribute>(&change)) {
     if (add_attr->spec.kind != PropertyKind::kStoredAttribute) {
       return Status::InvalidArgument("add_attribute expects an attribute");
     }
-    TSE_ASSIGN_OR_RETURN(
-        translation,
-        TranslateAddProperty(*vs, add_attr->class_name, add_attr->spec));
-  } else if (const auto* add_method = std::get_if<AddMethod>(&change)) {
+    return TranslateAddProperty(vs, add_attr->class_name, add_attr->spec);
+  }
+  if (const auto* add_method = std::get_if<AddMethod>(&change)) {
     if (add_method->spec.kind != PropertyKind::kMethod) {
       return Status::InvalidArgument("add_method expects a method");
     }
-    TSE_ASSIGN_OR_RETURN(
-        translation,
-        TranslateAddProperty(*vs, add_method->class_name, add_method->spec));
-  } else if (const auto* del_attr = std::get_if<DeleteAttribute>(&change)) {
-    TSE_ASSIGN_OR_RETURN(
-        translation,
-        TranslateDeleteProperty(*vs, del_attr->class_name,
-                                del_attr->attr_name,
-                                PropertyKind::kStoredAttribute));
-  } else if (const auto* del_method = std::get_if<DeleteMethod>(&change)) {
-    TSE_ASSIGN_OR_RETURN(
-        translation,
-        TranslateDeleteProperty(*vs, del_method->class_name,
-                                del_method->method_name,
-                                PropertyKind::kMethod));
-  } else if (const auto* add_edge = std::get_if<AddEdge>(&change)) {
-    TSE_ASSIGN_OR_RETURN(translation, TranslateAddEdge(*vs, *add_edge));
-  } else if (const auto* del_edge = std::get_if<DeleteEdge>(&change)) {
-    TSE_ASSIGN_OR_RETURN(translation, TranslateDeleteEdge(*vs, *del_edge));
-  } else if (const auto* add_class = std::get_if<AddClass>(&change)) {
-    TSE_ASSIGN_OR_RETURN(translation, TranslateAddClass(*vs, *add_class));
-  } else if (const auto* del_class = std::get_if<DeleteClass>(&change)) {
-    TSE_ASSIGN_OR_RETURN(translation, TranslateDeleteClass(*vs, *del_class));
-  } else {
-    return Status::Unimplemented("unknown schema change operator");
+    return TranslateAddProperty(vs, add_method->class_name, add_method->spec);
   }
-
-  return EmitView(*vs, translation);
+  if (const auto* del_attr = std::get_if<DeleteAttribute>(&change)) {
+    return TranslateDeleteProperty(vs, del_attr->class_name,
+                                   del_attr->attr_name,
+                                   PropertyKind::kStoredAttribute);
+  }
+  if (const auto* del_method = std::get_if<DeleteMethod>(&change)) {
+    return TranslateDeleteProperty(vs, del_method->class_name,
+                                   del_method->method_name,
+                                   PropertyKind::kMethod);
+  }
+  if (const auto* add_edge = std::get_if<AddEdge>(&change)) {
+    return TranslateAddEdge(vs, *add_edge);
+  }
+  if (const auto* del_edge = std::get_if<DeleteEdge>(&change)) {
+    return TranslateDeleteEdge(vs, *del_edge);
+  }
+  if (const auto* add_class = std::get_if<AddClass>(&change)) {
+    return TranslateAddClass(vs, *add_class);
+  }
+  if (const auto* del_class = std::get_if<DeleteClass>(&change)) {
+    return TranslateDeleteClass(vs, *del_class);
+  }
+  return Status::Unimplemented("unknown schema change operator");
 }
 
 Result<ViewId> TseManager::ApplyScript(ViewId view_id,
@@ -756,6 +774,8 @@ Result<ViewId> TseManager::ApplyDeleteClass2(ViewId view_id,
 
 Result<ViewId> TseManager::MergeVersions(ViewId a, ViewId b,
                                          const std::string& merged_name) {
+  TSE_TRACE_SPAN("evolution.merge_versions");
+  TSE_COUNT("evolution.merge.requests");
   TSE_ASSIGN_OR_RETURN(const ViewSchema* va, views_->GetView(a));
   TSE_ASSIGN_OR_RETURN(const ViewSchema* vb, views_->GetView(b));
 

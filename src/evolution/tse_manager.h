@@ -73,6 +73,14 @@ class TseManager {
     std::set<ClassId> removals;
   };
 
+  /// ApplyChange minus the request-level span/counter bookkeeping.
+  Result<ViewId> ApplyChangeImpl(ViewId view_id, const SchemaChange& change);
+
+  /// Dispatches a primitive operator to its translator (the TSE
+  /// Translator step of the pipeline; traced as "evolution.translate").
+  Result<Translation> Translate(const view::ViewSchema& vs,
+                                const SchemaChange& change);
+
   // One translator per primitive operator (Sections 6.1–6.8).
   Result<Translation> TranslateAddProperty(const view::ViewSchema& vs,
                                            const std::string& class_name,

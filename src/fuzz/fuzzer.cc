@@ -20,8 +20,13 @@ std::string CampaignReport::Summary() const {
   return out;
 }
 
+std::string CampaignReport::SummaryWithMetrics() const {
+  return StrCat(Summary(), "\nmetrics delta:\n", metrics_delta.ToText());
+}
+
 CampaignReport RunCampaign(const CampaignOptions& options) {
   CampaignReport report;
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Instance().Snapshot();
   DifferentialExecutor executor(options.executor);
 
   for (size_t i = 0; i < options.num_cases; ++i) {
@@ -59,6 +64,8 @@ CampaignReport RunCampaign(const CampaignOptions& options) {
     }
     report.failures.push_back(std::move(failure));
   }
+  report.metrics_delta =
+      obs::MetricsRegistry::Instance().Snapshot().DeltaSince(before);
   return report;
 }
 

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "fuzz/differential_executor.h"
 #include "fuzz/fuzz_case.h"
+#include "obs/metrics.h"
 
 namespace tse::fuzz {
 
@@ -50,10 +51,17 @@ struct CampaignReport {
   size_t harness_errors = 0;
   Status first_error = Status::OK();
   std::vector<CampaignFailure> failures;
+  /// Observability counters/histograms accumulated while the campaign
+  /// ran (delta vs campaign start, zero-delta names omitted). Empty
+  /// when built with TSE_OBS_DISABLE.
+  obs::MetricsSnapshot metrics_delta;
 
   bool Clean() const { return failures.empty() && harness_errors == 0; }
   /// "50 cases, 512 ops (431 accepted), 36 merges, 0 divergences"
   std::string Summary() const;
+  /// Multi-line `Summary()` plus the aligned metrics-delta listing —
+  /// the per-run profile the fuzz harness prints.
+  std::string SummaryWithMetrics() const;
 };
 
 /// Runs the campaign: generate each seed's case, replay it

@@ -1,0 +1,193 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+namespace tse::obs {
+
+namespace {
+
+/// Bucket i holds samples whose value rounds up to 2^i µs (bucket 0:
+/// [0, 1] µs). Returns the index of the first bucket whose upper bound
+/// is >= us.
+int BucketFor(double us) {
+  if (us <= 1.0) return 0;
+  int bucket = static_cast<int>(std::ceil(std::log2(us)));
+  return std::min(bucket, Histogram::kBuckets - 1);
+}
+
+double BucketUpperBound(int bucket) {
+  return static_cast<double>(uint64_t{1} << bucket);
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+void Histogram::Record(double us) {
+  if (us < 0 || std::isnan(us)) us = 0;
+  buckets_[BucketFor(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_us_.load(std::memory_order_relaxed);
+  while (!sum_us_.compare_exchange_weak(expected, expected + us,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the sample to report, 1-based: quantile 0 is the first
+  // sample, quantile 1 the last.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * total));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Leaked singleton: metric pointers stay valid through static
+  // destruction (benches snapshot in main's tail, tests in TearDown).
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  Counter* counter = new Counter(name);
+  counters_.emplace(name, counter);
+  return counter;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  Histogram* hist = new Histogram(name);
+  histograms_.emplace(name, hist);
+  return hist;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramStats stats;
+    stats.count = hist->count();
+    stats.sum_us = hist->sum_us();
+    stats.p50_us = hist->Quantile(0.5);
+    stats.p99_us = hist->Quantile(0.99);
+    snap.histograms[name] = stats;
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : counters) {
+    auto it = earlier.counters.find(name);
+    uint64_t before = it == earlier.counters.end() ? 0 : it->second;
+    if (value > before) delta.counters[name] = value - before;
+  }
+  for (const auto& [name, stats] : histograms) {
+    auto it = earlier.histograms.find(name);
+    uint64_t before = it == earlier.histograms.end() ? 0 : it->second.count;
+    if (stats.count > before) {
+      HistogramStats d;
+      d.count = stats.count - before;
+      d.p50_us = stats.p50_us;
+      d.p99_us = stats.p99_us;
+      delta.histograms[name] = d;
+    }
+  }
+  return delta;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << name << "\": " << value;
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, stats] : histograms) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << name << "\": {\"count\": " << stats.count
+        << ", \"sum_us\": " << FormatDouble(stats.sum_us)
+        << ", \"p50_us\": " << FormatDouble(stats.p50_us)
+        << ", \"p99_us\": " << FormatDouble(stats.p99_us) << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream out;
+  size_t width = 0;
+  for (const auto& [name, value] : counters) width = std::max(width, name.size());
+  for (const auto& [name, stats] : histograms) width = std::max(width, name.size());
+  for (const auto& [name, value] : counters) {
+    out << name << std::string(width - name.size() + 2, ' ') << value << "\n";
+  }
+  for (const auto& [name, stats] : histograms) {
+    out << name << std::string(width - name.size() + 2, ' ') << stats.count
+        << " samples, p50 " << stats.p50_us << " us, p99 " << stats.p99_us
+        << " us\n";
+  }
+  if (counters.empty() && histograms.empty()) out << "(no metrics recorded)\n";
+  return out.str();
+}
+
+ScopedLatency::ScopedLatency(Histogram* hist)
+    : hist_(hist),
+      start_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count()) {}
+
+ScopedLatency::~ScopedLatency() {
+  uint64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count();
+  hist_->Record(static_cast<double>(now_ns - start_ns_) / 1000.0);
+}
+
+}  // namespace tse::obs

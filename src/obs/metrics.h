@@ -1,0 +1,169 @@
+#ifndef TSE_OBS_METRICS_H_
+#define TSE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tse::obs {
+
+/// A monotonically increasing named counter. Increments are lock-free
+/// relaxed atomics; the registry hands out stable pointers so hot paths
+/// pay one atomic add after a one-time name lookup (see TSE_COUNT).
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  const std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A fixed-bucket latency histogram over microseconds. Buckets are
+/// powers of two: bucket i counts samples in (2^(i-1), 2^i] µs, with
+/// bucket 0 covering [0, 1] µs and the last bucket open-ended. Quantile
+/// estimates report the upper bound of the bucket containing the
+/// requested rank — deterministic and bounded-error, never interpolated
+/// past real data.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 28;  ///< covers up to ~2^27 µs ≈ 134 s
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  void Record(double us);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum_us() const { return sum_us_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  /// Upper bound (µs) of the bucket holding quantile q in [0, 1].
+  /// Returns 0 for an empty histogram; q <= 0 reports the first
+  /// non-empty bucket and q >= 1 the last.
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  const std::string name_;
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_us_{0};
+};
+
+/// Point-in-time value dump of the whole registry, used for JSON
+/// reports and for computing before/after deltas (fuzzer campaigns).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  struct HistogramStats {
+    uint64_t count = 0;
+    double sum_us = 0;
+    double p50_us = 0;
+    double p99_us = 0;
+  };
+  std::map<std::string, HistogramStats> histograms;
+
+  /// Counter deltas vs an earlier snapshot (zero-delta names omitted;
+  /// histograms report count deltas only).
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
+
+  /// `{"counters": {...}, "histograms": {...}}` — stable key order.
+  std::string ToJson() const;
+  /// Aligned human-readable listing for the shell's `stats` command.
+  std::string ToText() const;
+};
+
+/// The process-wide metric registry. Names follow the convention
+/// `layer.component.event` (see docs/METRICS.md); registration is
+/// implicit on first use and never fails. Thread-safe throughout.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. The pointer is stable for the process lifetime.
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered value (registrations survive). Tests and
+  /// the shell's `stats reset` use this; concurrent increments may land
+  /// before or after the reset, as usual for counters.
+  void ResetValues();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Counter*> counters_;
+  std::map<std::string, Histogram*> histograms_;
+};
+
+/// RAII timer recording its scope's wall-clock duration (µs) into a
+/// histogram on destruction.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* hist);
+  ~ScopedLatency();
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* hist_;
+  uint64_t start_ns_;
+};
+
+}  // namespace tse::obs
+
+// Hot-path macros. Each caches the registry lookup in a function-local
+// static so steady-state cost is one relaxed atomic add (counter) or
+// two clock reads plus an add (latency). `TSE_OBS_DISABLE` compiles all
+// of them to nothing; the registry API itself stays available (and
+// empty) so reporting code needs no #ifdefs.
+#ifndef TSE_OBS_DISABLE
+
+#define TSE_COUNT(name) TSE_COUNT_N(name, 1)
+#define TSE_COUNT_N(name, n)                                      \
+  do {                                                            \
+    static ::tse::obs::Counter* _tse_counter =                    \
+        ::tse::obs::MetricsRegistry::Instance().GetCounter(name); \
+    _tse_counter->Add(n);                                         \
+  } while (0)
+
+#ifndef TSE_OBS_CONCAT
+#define TSE_OBS_CONCAT_INNER(a, b) a##b
+#define TSE_OBS_CONCAT(a, b) TSE_OBS_CONCAT_INNER(a, b)
+#endif
+#define TSE_LATENCY_US(name)                                        \
+  static ::tse::obs::Histogram* TSE_OBS_CONCAT(_tse_hist_,          \
+                                               __LINE__) =         \
+      ::tse::obs::MetricsRegistry::Instance().GetHistogram(name);   \
+  ::tse::obs::ScopedLatency TSE_OBS_CONCAT(_tse_latency_, __LINE__)( \
+      TSE_OBS_CONCAT(_tse_hist_, __LINE__))
+
+#else  // TSE_OBS_DISABLE
+
+#define TSE_COUNT(name) \
+  do {                  \
+  } while (0)
+#define TSE_COUNT_N(name, n) \
+  do {                       \
+  } while (0)
+#define TSE_LATENCY_US(name) \
+  do {                       \
+  } while (0)
+
+#endif  // TSE_OBS_DISABLE
+
+#endif  // TSE_OBS_METRICS_H_

@@ -1,0 +1,152 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <sstream>
+
+namespace tse::obs {
+
+namespace {
+
+uint64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t ThreadOrdinal() {
+  static std::atomic<uint64_t> next{0};
+  thread_local uint64_t ordinal = next.fetch_add(1) + 1;
+  return ordinal;
+}
+
+/// Per-thread innermost open span; TraceSpan saves and restores these,
+/// so the "stack" lives on the machine stack.
+struct ThreadSpanState {
+  uint64_t current_id = 0;
+  uint32_t depth = 0;
+};
+thread_local ThreadSpanState tls_span_state;
+
+}  // namespace
+
+Tracer& Tracer::Instance() {
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+void Tracer::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity == 0) capacity = 1;
+  // Normalize to oldest-first order, then keep the newest `capacity`.
+  std::rotate(ring_.begin(), ring_.begin() + start_, ring_.end());
+  start_ = 0;
+  if (ring_.size() > capacity) {
+    ring_.erase(ring_.begin(), ring_.end() - capacity);
+  }
+  capacity_ = capacity;
+}
+
+size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  start_ = 0;
+}
+
+void Tracer::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  // Full: overwrite the oldest slot.
+  ring_[start_] = std::move(record);
+  start_ = (start_ + 1) % ring_.size();
+}
+
+std::vector<SpanRecord> Tracer::Collected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string Tracer::DumpJson() const {
+  std::vector<SpanRecord> spans = Collected();
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    if (i > 0) out << ",";
+    out << "\n  {\"id\": " << s.id << ", \"parent\": " << s.parent
+        << ", \"thread\": " << s.thread << ", \"depth\": " << s.depth
+        << ", \"name\": \"" << s.name
+        << "\", \"start_us\": " << s.start_ns / 1000
+        << ", \"duration_us\": " << s.duration_ns / 1000 << "}";
+  }
+  out << (spans.empty() ? "]" : "\n]");
+  return out.str();
+}
+
+std::string Tracer::DumpTree() const {
+  std::vector<SpanRecord> spans = Collected();
+  // Spans complete child-before-parent; present them start-ordered so
+  // the indentation reads as a call tree (per thread).
+  std::map<uint64_t, std::vector<const SpanRecord*>> by_thread;
+  for (const SpanRecord& s : spans) by_thread[s.thread].push_back(&s);
+  std::ostringstream out;
+  for (auto& [thread, list] : by_thread) {
+    std::sort(list.begin(), list.end(),
+              [](const SpanRecord* a, const SpanRecord* b) {
+                if (a->start_ns != b->start_ns) return a->start_ns < b->start_ns;
+                return a->depth < b->depth;
+              });
+    if (by_thread.size() > 1) out << "thread " << thread << ":\n";
+    for (const SpanRecord* s : list) {
+      out << std::string(2 * s->depth, ' ') << s->name << "  "
+          << static_cast<double>(s->duration_ns) / 1000.0 << " us\n";
+    }
+  }
+  if (spans.empty()) out << "(no spans recorded)\n";
+  return out.str();
+}
+
+TraceSpan::TraceSpan(const char* name) : active_(false) {
+  Tracer& tracer = Tracer::Instance();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  name_ = name;
+  id_ = tracer.NextSpanId();
+  parent_ = tls_span_state.current_id;
+  depth_ = tls_span_state.depth;
+  tls_span_state.current_id = id_;
+  ++tls_span_state.depth;
+  start_ns_ = NowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  uint64_t end_ns = NowNs();
+  tls_span_state.current_id = parent_;
+  --tls_span_state.depth;
+  SpanRecord record;
+  record.id = id_;
+  record.parent = parent_;
+  record.thread = ThreadOrdinal();
+  record.depth = depth_;
+  record.name = name_;
+  record.start_ns = start_ns_;
+  record.duration_ns = end_ns - start_ns_;
+  Tracer::Instance().Record(std::move(record));
+}
+
+}  // namespace tse::obs

@@ -1,0 +1,111 @@
+#ifndef TSE_OBS_TRACE_H_
+#define TSE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tse::obs {
+
+/// One completed span as stored in the tracer's ring buffer.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent = 0;  ///< 0 = root (or parent already evicted)
+  uint64_t thread = 0;  ///< small per-process thread ordinal
+  uint32_t depth = 0;   ///< nesting depth at creation (root = 0)
+  std::string name;
+  uint64_t start_ns = 0;  ///< steady-clock, process-relative
+  uint64_t duration_ns = 0;
+};
+
+/// The process-wide span recorder. Disabled by default: a TraceSpan
+/// whose constructor sees `enabled() == false` costs one relaxed atomic
+/// load and records nothing. When enabled, completed spans land in a
+/// bounded ring buffer (oldest evicted first) that can be dumped as a
+/// JSON array or a flame-style indented text tree.
+///
+/// Nesting is per-thread: each thread keeps its current span in
+/// thread-local state, so spans from concurrent threads interleave in
+/// the buffer but parent/depth links stay correct.
+class Tracer {
+ public:
+  static Tracer& Instance();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Ring capacity in spans (default 4096). Shrinking drops the oldest
+  /// records. Used by tests to force wraparound cheaply.
+  void set_capacity(size_t capacity);
+  size_t capacity() const;
+
+  void Clear();
+
+  /// Completed spans, oldest first.
+  std::vector<SpanRecord> Collected() const;
+
+  /// JSON array of span objects (id, parent, thread, depth, name,
+  /// start_us, duration_us), oldest first.
+  std::string DumpJson() const;
+
+  /// Flame-style text tree: spans sorted by start time per thread,
+  /// indented by nesting depth, with duration in µs.
+  std::string DumpTree() const;
+
+  /// Internal — called by TraceSpan.
+  void Record(SpanRecord record);
+  uint64_t NextSpanId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{0};
+  mutable std::mutex mu_;
+  size_t capacity_ = 4096;
+  /// Ring storage: completed spans, oldest first (vector rotation is
+  /// deferred to read time via `start_`).
+  std::vector<SpanRecord> ring_;
+  size_t start_ = 0;  ///< index of the oldest record when ring_ is full
+};
+
+/// Scoped span: opens on construction (if tracing is enabled), records
+/// itself into the tracer's ring buffer on destruction. Use via
+/// TSE_TRACE_SPAN so TSE_OBS_DISABLE can compile the whole thing away.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_;
+  const char* name_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  uint32_t depth_ = 0;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace tse::obs
+
+#ifndef TSE_OBS_DISABLE
+#ifndef TSE_OBS_CONCAT
+#define TSE_OBS_CONCAT_INNER(a, b) a##b
+#define TSE_OBS_CONCAT(a, b) TSE_OBS_CONCAT_INNER(a, b)
+#endif
+#define TSE_TRACE_SPAN(name) \
+  ::tse::obs::TraceSpan TSE_OBS_CONCAT(_tse_trace_span_, __LINE__)(name)
+#else
+#define TSE_TRACE_SPAN(name) \
+  do {                       \
+  } while (0)
+#endif
+
+#endif  // TSE_OBS_TRACE_H_

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
 
 namespace tse::schema {
 
@@ -560,7 +561,11 @@ std::vector<ClassId> SchemaGraph::DirectExtentUps(ClassId cls) const {
 bool SchemaGraph::ExtentSubsumedBy(ClassId a, ClassId b) const {
   auto key = std::make_pair(a.value(), b.value());
   auto hit = extent_cache_.find(key);
-  if (hit != extent_cache_.end()) return hit->second;
+  if (hit != extent_cache_.end()) {
+    TSE_COUNT("schema.subsume.memo_hits");
+    return hit->second;
+  }
+  TSE_COUNT("schema.subsume.proofs");
   std::set<ClassId> in_progress;
   bool tainted = false;
   bool result = ExtentSubsumedByImpl(a, b, &in_progress, &tainted);

@@ -1,6 +1,7 @@
 #include "storage/lock_manager.h"
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
 
 namespace tse::storage {
 
@@ -29,16 +30,20 @@ Status LockManager::Acquire(TxnId txn, uint64_t resource, LockMode mode) {
     auto held = entry.holders.find(txn.value());
     if (held != entry.holders.end() &&
         (held->second == LockMode::kExclusive || mode == LockMode::kShared)) {
+      TSE_COUNT("storage.lock.acquires");
       return Status::OK();  // Already sufficient.
     }
     if (Compatible(entry, txn.value(), mode)) {
       entry.holders[txn.value()] = mode;
+      TSE_COUNT("storage.lock.acquires");
       return Status::OK();
     }
+    TSE_COUNT("storage.lock.waits");
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       // Drop the entry if our lookup created it and nobody holds it.
       auto it = table_.find(resource);
       if (it != table_.end() && it->second.holders.empty()) table_.erase(it);
+      TSE_COUNT("storage.lock.timeouts");
       return Status::Aborted(
           StrCat("lock timeout on resource ", resource, " for txn ",
                  txn.value(), " (possible deadlock)"));

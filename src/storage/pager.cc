@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
 
 namespace tse::storage {
 
@@ -122,6 +123,7 @@ Status Pager::StoreMeta() {
 Result<Pager::Frame*> Pager::FetchFrame(PageId page) {
   auto it = frames_.find(page.value());
   if (it != frames_.end()) {
+    TSE_COUNT("storage.pager.cache_hits");
     // Refresh recency for clean frames.
     auto pos = lru_pos_.find(page.value());
     if (pos != lru_pos_.end()) {
@@ -139,6 +141,7 @@ Result<Pager::Frame*> Pager::FetchFrame(PageId page) {
   frame.data.resize(kPageSize);
   TSE_RETURN_IF_ERROR(
       PReadFull(fd_, frame.data.data(), kPageSize, page.value() * kPageSize));
+  TSE_COUNT("storage.pager.page_reads");
   TSE_RETURN_IF_ERROR(EvictIfNeeded());
   auto [ins, _] = frames_.emplace(page.value(), std::move(frame));
   lru_.push_front(page.value());
@@ -154,6 +157,7 @@ Status Pager::EvictIfNeeded() {
     lru_.pop_back();
     lru_pos_.erase(victim);
     frames_.erase(victim);
+    TSE_COUNT("storage.pager.evictions");
   }
   return Status::OK();
 }
@@ -197,6 +201,7 @@ Result<PageId> Pager::Allocate() {
     TSE_RETURN_IF_ERROR(PWriteFull(fd_, zero, kPageSize, page * kPageSize));
   }
   ++live_pages_;
+  TSE_COUNT("storage.pager.allocs");
   Frame frame;
   frame.data.assign(kPageSize, 0);
   frame.dirty = true;
@@ -225,6 +230,7 @@ Status Pager::Free(PageId page) {
   free_head_ = page.value();
   free_set_.insert(page.value());
   --live_pages_;
+  TSE_COUNT("storage.pager.frees");
   return Status::OK();
 }
 
@@ -248,6 +254,7 @@ Status Pager::WriteFrame(PageId page, Frame* frame) {
   if (fault_injector_ != nullptr) {
     TSE_RETURN_IF_ERROR(fault_injector_->BeforePageWrite(page));
   }
+  TSE_COUNT("storage.pager.page_writes");
   return PWriteFull(fd_, frame->data.data(), kPageSize,
                     page.value() * kPageSize);
 }

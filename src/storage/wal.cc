@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
 #include "storage/page.h"  // for Crc32
 
 namespace tse::storage {
@@ -65,10 +66,16 @@ Status Wal::Append(const WalRecord& record) {
     TSE_RETURN_IF_ERROR(WriteFull(fd_, frame.data(), write_len));
     return Status::IOError("injected torn WAL append");
   }
-  return WriteFull(fd_, frame.data(), frame.size());
+  Status status = WriteFull(fd_, frame.data(), frame.size());
+  if (status.ok()) {
+    TSE_COUNT("storage.wal.appends");
+    TSE_COUNT_N("storage.wal.append_bytes", frame.size());
+  }
+  return status;
 }
 
 Status Wal::Commit() {
+  TSE_LATENCY_US("storage.wal.commit.us");
   WalRecord rec;
   rec.type = WalRecordType::kCommit;
   TSE_RETURN_IF_ERROR(Append(rec));
@@ -78,6 +85,7 @@ Status Wal::Commit() {
   if (::fsync(fd_) != 0) {
     return Status::IOError(StrCat("fsync: ", std::strerror(errno)));
   }
+  TSE_COUNT("storage.wal.fsyncs");
   return Status::OK();
 }
 
@@ -113,6 +121,7 @@ Status Wal::Replay(const std::function<Status(const WalRecord&)>& fn) {
     rec.payload.assign(reinterpret_cast<const char*>(body + 9), len - 9);
     pos += 8 + len;
     if (rec.type == WalRecordType::kCommit) {
+      TSE_COUNT_N("storage.wal.replayed_records", pending.size());
       for (const WalRecord& p : pending) {
         TSE_RETURN_IF_ERROR(fn(p));
       }

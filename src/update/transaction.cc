@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
 
 namespace tse::update {
 
@@ -11,6 +12,7 @@ using storage::LockMode;
 
 std::unique_ptr<Transaction> TransactionManager::Begin() {
   TxnId id(next_txn_.fetch_add(1));
+  TSE_COUNT("update.txn.begins");
   return std::unique_ptr<Transaction>(
       new Transaction(id, engine_, locks_));
 }
@@ -159,12 +161,14 @@ Status Transaction::ApplyUndo(const UndoRecord& record) {
 
 Status Transaction::Commit() {
   if (!active_) return Status::FailedPrecondition("transaction finished");
+  TSE_COUNT("update.txn.commits");
   Finish();
   return Status::OK();
 }
 
 Status Transaction::Abort() {
   if (!active_) return Status::FailedPrecondition("transaction finished");
+  TSE_COUNT("update.txn.aborts");
   Status status = Status::OK();
   for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
     Status s = ApplyUndo(*it);

@@ -1,6 +1,7 @@
 #include "update/update_engine.h"
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
 
 namespace tse::update {
 
@@ -67,12 +68,18 @@ Result<Oid> UpdateEngine::Create(ClassId cls,
   if (!status.ok()) {
     Status undo = store_->DestroyObject(oid);
     (void)undo;
+    if (status.IsRejected()) TSE_COUNT("update.closure.rejects");
     return status;
   }
+  TSE_COUNT("update.object.creates");
   return oid;
 }
 
-Status UpdateEngine::Delete(Oid oid) { return store_->DestroyObject(oid); }
+Status UpdateEngine::Delete(Oid oid) {
+  Status status = store_->DestroyObject(oid);
+  if (status.ok()) TSE_COUNT("update.object.deletes");
+  return status;
+}
 
 Status UpdateEngine::Set(Oid oid, ClassId cls, const std::string& name,
                          Value value) {
@@ -89,13 +96,17 @@ Status UpdateEngine::Set(Oid oid, ClassId cls, const std::string& name,
     if (!still.ok()) return still.status();
     if (!still.value()) {
       TSE_RETURN_IF_ERROR(accessor_.Write(oid, cls, name, old_value));
+      TSE_COUNT("update.closure.rejects");
       return Status::Rejected(
           "set would remove the object from the class it was addressed "
           "through (value-closure violation)");
     }
+    TSE_COUNT("update.object.sets");
     return Status::OK();
   }
-  return accessor_.Write(oid, cls, name, std::move(value));
+  Status status = accessor_.Write(oid, cls, name, std::move(value));
+  if (status.ok()) TSE_COUNT("update.object.sets");
+  return status;
 }
 
 Status UpdateEngine::Add(Oid oid, ClassId cls) {
@@ -117,11 +128,13 @@ Status UpdateEngine::Add(Oid oid, ClassId cls) {
         (void)undo;
       }
       if (!member.ok()) return member.status();
+      TSE_COUNT("update.closure.rejects");
       return Status::Rejected(
           "added object does not satisfy the class predicate "
           "(value-closure violation)");
     }
   }
+  TSE_COUNT("update.object.adds");
   return Status::OK();
 }
 
@@ -151,6 +164,7 @@ Status UpdateEngine::Remove(Oid oid, ClassId cls) {
     return Status::NotFound(
         StrCat("object ", oid.ToString(), " is not a member of the class"));
   }
+  TSE_COUNT("update.object.removes");
   return Status::OK();
 }
 

@@ -4,6 +4,8 @@
 #include <set>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tse::view {
 
@@ -113,13 +115,17 @@ Result<std::vector<ClassId>> ViewManager::TypeClosureMissing(
 Result<ViewId> ViewManager::CreateVersionClosed(
     const std::string& logical_name,
     const std::vector<ViewClassSpec>& classes) {
+  // The view-generation step of the TSEM pipeline.
+  TSE_TRACE_SPAN("view.regenerate");
   TSE_ASSIGN_OR_RETURN(std::vector<ClassId> missing,
                        TypeClosureMissing(classes));
   std::vector<ViewClassSpec> complete = classes;
   for (ClassId cls : missing) {
     complete.push_back(ViewClassSpec{cls, ""});
   }
-  return CreateVersion(logical_name, complete);
+  Result<ViewId> created = CreateVersion(logical_name, complete);
+  if (created.ok()) TSE_COUNT("view.versions.created");
+  return created;
 }
 
 Result<const ViewSchema*> ViewManager::GetView(ViewId id) const {

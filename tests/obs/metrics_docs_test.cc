@@ -1,0 +1,186 @@
+// docs/METRICS.md completeness check: run a broad full-pipeline
+// workload (schema evolution, classification, extent maintenance,
+// object updates, transactions, WAL, pager, locks), then require every
+// metric name the run registered to appear in the reference table.
+// A new TSE_COUNT/TSE_LATENCY_US call site without a docs row fails
+// here, so the table cannot silently rot.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "algebra/processor.h"
+#include "algebra/query.h"
+#include "evolution/change_parser.h"
+#include "evolution/tse_manager.h"
+#include "obs/metrics.h"
+#include "storage/lock_manager.h"
+#include "storage/pager.h"
+#include "storage/wal.h"
+#include "update/transaction.h"
+#include "update/update_engine.h"
+
+namespace tse {
+namespace {
+
+#ifndef TSE_OBS_DISABLE
+
+using evolution::ParseChange;
+using evolution::TseManager;
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+void RunEvolutionPipeline() {
+  schema::SchemaGraph schema;
+  objmodel::SlicingStore store;
+  view::ViewManager views(&schema);
+  TseManager tse(&schema, &store, &views);
+
+  ClassId person =
+      schema
+          .AddBaseClass("Person", {},
+                        {PropertySpec::Attribute("name", ValueType::kString),
+                         PropertySpec::Attribute("age", ValueType::kInt)})
+          .value();
+  ClassId student = schema.AddBaseClass("Student", {person}, {}).value();
+
+  update::UpdateEngine db(&schema, &store, update::ValueClosurePolicy::kAllow);
+  Oid alice = db.Create(student, {{"name", Value::Str("alice")},
+                                  {"age", Value::Int(20)}})
+                  .value();
+
+  ViewId v1 = tse.CreateView("Docs", {{person, ""}, {student, ""}}).value();
+  ViewId v2 =
+      tse.ApplyChange(v1, ParseChange("add_attribute gpa:real to Student")
+                              .value())
+          .value();
+  ViewId v3 =
+      tse.ApplyChange(v2, ParseChange("add_method is_adult = age >= 18 "
+                                      "to Person")
+                              .value())
+          .value();
+  // A rejected change registers the rejection counter.
+  ASSERT_FALSE(tse.ApplyChange(v3, ParseChange("delete_attribute nope "
+                                               "from Person")
+                                       .value())
+                   .ok());
+  ASSERT_TRUE(tse.MergeVersions(v2, v3, "DocsMerged").ok());
+
+  // Extent machinery: a select VC over a stored attribute, queried
+  // across value updates in both maintenance modes.
+  algebra::AlgebraProcessor proc(&schema);
+  ClassId adults =
+      proc.DefineVC("Adults",
+                    algebra::Query::Select(
+                        algebra::Query::Class("Person"),
+                        objmodel::MethodExpr::Ge(
+                            objmodel::MethodExpr::Attr("age"),
+                            objmodel::MethodExpr::Lit(Value::Int(18)))))
+          .value();
+  algebra::ExtentEvaluator& extents = db.extents();
+  extents.set_incremental(true);
+  ASSERT_TRUE(extents.Extent(adults).ok());
+  ASSERT_TRUE(db.Set(alice, student, "age", Value::Int(17)).ok());
+  ASSERT_TRUE(extents.Extent(adults).ok());      // delta patch
+  ASSERT_TRUE(extents.Extent(adults).ok());      // cache hit
+  extents.set_incremental(false);
+  ASSERT_TRUE(db.Set(alice, student, "age", Value::Int(30)).ok());
+  ASSERT_TRUE(extents.Extent(adults).ok());      // full rebuild path
+  ASSERT_TRUE(extents.IsMember(alice, adults).ok());
+
+  // Membership + deletion paths, and a value-closure rejection.
+  ASSERT_TRUE(db.Add(alice, person).ok());
+  ASSERT_TRUE(db.Remove(alice, student).ok());
+  Oid bob = db.Create(person, {{"age", Value::Int(40)}}).value();
+  ASSERT_TRUE(db.Delete(bob).ok());
+  update::UpdateEngine strict(&schema, &store,
+                              update::ValueClosurePolicy::kReject);
+  ASSERT_FALSE(
+      strict.Create(adults, {{"age", Value::Int(2)}}).ok());
+
+  // Transactions: one commit, one abort.
+  storage::LockManager txn_locks;
+  update::TransactionManager txns(&db, &txn_locks);
+  auto committed = txns.Begin();
+  ASSERT_TRUE(committed->Set(alice, person, "age", Value::Int(31)).ok());
+  ASSERT_TRUE(committed->Commit().ok());
+  auto aborted = txns.Begin();
+  ASSERT_TRUE(aborted->Set(alice, person, "age", Value::Int(99)).ok());
+  ASSERT_TRUE(aborted->Abort().ok());
+}
+
+void RunStorageWorkload(const std::string& dir) {
+  // WAL: append, fsync on commit, replay.
+  auto wal = storage::Wal::Open(dir + "/metrics_docs.wal").value();
+  storage::WalRecord put;
+  put.type = storage::WalRecordType::kPut;
+  put.key = 1;
+  put.payload = "payload";
+  ASSERT_TRUE(wal->Append(put).ok());
+  ASSERT_TRUE(wal->Commit().ok());
+  ASSERT_TRUE(
+      wal->Replay([](const storage::WalRecord&) { return Status::OK(); })
+          .ok());
+
+  // Pager: a tiny cache forces misses and evictions alongside hits.
+  storage::PagerOptions options;
+  options.cache_capacity = 2;
+  auto pager =
+      storage::Pager::Open(dir + "/metrics_docs.pages", options).value();
+  std::vector<PageId> pages;
+  for (int i = 0; i < 4; ++i) pages.push_back(pager->Allocate().value());
+  ASSERT_TRUE(pager->Flush().ok());
+  for (PageId page : pages) ASSERT_TRUE(pager->Get(page).ok());
+  ASSERT_TRUE(pager->Get(pages.back()).ok());  // recency hit
+  ASSERT_TRUE(pager->Free(pages.front()).ok());
+  ASSERT_TRUE(pager->Flush().ok());
+
+  // Locks: grant, contended wait, timeout.
+  storage::LockManager locks(std::chrono::milliseconds(20));
+  ASSERT_TRUE(
+      locks.Acquire(TxnId(1), 7, storage::LockMode::kExclusive).ok());
+  Status contended =
+      locks.Acquire(TxnId(2), 7, storage::LockMode::kShared);
+  EXPECT_TRUE(contended.IsAborted());
+  locks.ReleaseAll(TxnId(1));
+}
+
+TEST(MetricsDocs, EveryRegisteredMetricIsDocumented) {
+  RunEvolutionPipeline();
+  RunStorageWorkload(::testing::TempDir());
+
+  std::ifstream doc(TSE_METRICS_DOC);
+  ASSERT_TRUE(doc.good()) << "cannot open " << TSE_METRICS_DOC;
+  std::stringstream buffer;
+  buffer << doc.rdbuf();
+  const std::string text = buffer.str();
+
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Instance().Snapshot();
+  EXPECT_GE(snap.counters.size(), 20u)
+      << "workload no longer exercises the pipeline broadly";
+  EXPECT_GE(snap.histograms.size(), 2u);
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_NE(text.find("`" + name + "`"), std::string::npos)
+        << "counter " << name << " is not documented in docs/METRICS.md";
+  }
+  for (const auto& [name, stats] : snap.histograms) {
+    EXPECT_NE(text.find("`" + name + "`"), std::string::npos)
+        << "histogram " << name << " is not documented in docs/METRICS.md";
+  }
+}
+
+#else  // TSE_OBS_DISABLE
+
+TEST(MetricsDocs, DisabledBuildRegistersNothing) {
+  EXPECT_TRUE(obs::MetricsRegistry::Instance().Snapshot().counters.empty());
+}
+
+#endif  // TSE_OBS_DISABLE
+
+}  // namespace
+}  // namespace tse

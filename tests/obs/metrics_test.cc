@@ -1,0 +1,158 @@
+// MetricsRegistry unit tests: exactness under concurrency, histogram
+// bucket/percentile edges, snapshot deltas, and value resets.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tse::obs {
+namespace {
+
+TEST(Counter, EightThreadsSumExactly) {
+  Counter* counter =
+      MetricsRegistry::Instance().GetCounter("test.metrics.concurrent");
+  counter->Reset();
+
+  constexpr int kThreads = 8;
+  constexpr uint64_t kIncrementsPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (uint64_t i = 0; i < kIncrementsPerThread; ++i) counter->Add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(counter->value(), kThreads * kIncrementsPerThread);
+}
+
+TEST(Counter, RegistryHandsOutStablePointers) {
+  Counter* a = MetricsRegistry::Instance().GetCounter("test.metrics.stable");
+  Counter* b = MetricsRegistry::Instance().GetCounter("test.metrics.stable");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->name(), "test.metrics.stable");
+}
+
+TEST(Histogram, EmptyQuantilesAreZero) {
+  Histogram hist("test.hist.empty");
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.Quantile(0.5), 0.0);
+  EXPECT_EQ(hist.Quantile(0.99), 0.0);
+}
+
+TEST(Histogram, SingleSampleReportsItsBucketAtEveryQuantile) {
+  Histogram hist("test.hist.single");
+  hist.Record(100.0);  // (64, 128] -> upper bound 128
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_DOUBLE_EQ(hist.sum_us(), 100.0);
+  EXPECT_EQ(hist.Quantile(0.0), 128.0);
+  EXPECT_EQ(hist.Quantile(0.5), 128.0);
+  EXPECT_EQ(hist.Quantile(1.0), 128.0);
+}
+
+TEST(Histogram, BucketBoundariesArePowersOfTwo) {
+  Histogram hist("test.hist.bounds");
+  // 1 µs lands in bucket 0 ([0, 1]); 2 µs in (1, 2]; 3 µs in (2, 4].
+  hist.Record(1.0);
+  EXPECT_EQ(hist.Quantile(1.0), 1.0);
+  hist.Record(2.0);
+  EXPECT_EQ(hist.Quantile(1.0), 2.0);
+  hist.Record(3.0);
+  EXPECT_EQ(hist.Quantile(1.0), 4.0);
+}
+
+TEST(Histogram, PercentilesSplitSkewedPopulations) {
+  Histogram hist("test.hist.skew");
+  // 99 fast samples at ~1 µs, one slow outlier at ~1000 µs.
+  for (int i = 0; i < 99; ++i) hist.Record(1.0);
+  hist.Record(1000.0);  // (512, 1024]
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_EQ(hist.Quantile(0.5), 1.0);
+  EXPECT_EQ(hist.Quantile(0.98), 1.0);
+  // Rank ceil(0.99 * 100) = 99 is still a fast sample; the outlier is
+  // rank 100.
+  EXPECT_EQ(hist.Quantile(0.99), 1.0);
+  EXPECT_EQ(hist.Quantile(1.0), 1024.0);
+}
+
+TEST(Histogram, NegativeAndHugeSamplesClampToEndBuckets) {
+  Histogram hist("test.hist.clamp");
+  hist.Record(-5.0);  // clamps into bucket 0
+  EXPECT_EQ(hist.Quantile(1.0), 1.0);
+  hist.Record(1e12);  // clamps into the open-ended last bucket
+  EXPECT_GT(hist.Quantile(1.0), 1e7);
+}
+
+TEST(Histogram, ConcurrentRecordsKeepExactCount) {
+  Histogram* hist =
+      MetricsRegistry::Instance().GetHistogram("test.hist.concurrent");
+  hist->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kSamples = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([hist] {
+      for (int i = 0; i < kSamples; ++i) hist->Record(4.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(hist->count(), uint64_t{kThreads} * kSamples);
+  EXPECT_DOUBLE_EQ(hist->sum_us(), 4.0 * kThreads * kSamples);
+}
+
+TEST(MetricsSnapshot, DeltaOmitsUntouchedNames) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  Counter* moved = registry.GetCounter("test.snapshot.moved");
+  Counter* still = registry.GetCounter("test.snapshot.still");
+  (void)still;
+
+  MetricsSnapshot before = registry.Snapshot();
+  moved->Add(7);
+  MetricsSnapshot delta = registry.Snapshot().DeltaSince(before);
+
+  EXPECT_EQ(delta.counters.at("test.snapshot.moved"), 7u);
+  EXPECT_EQ(delta.counters.count("test.snapshot.still"), 0u);
+}
+
+TEST(MetricsSnapshot, JsonIsWellFormedAndOrdered) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.GetCounter("test.json.a")->Add(1);
+  registry.GetHistogram("test.json.h")->Record(10.0);
+  std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.a\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.h\""), std::string::npos);
+  // Braces balance.
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(MetricsRegistry, ResetValuesZeroesButKeepsRegistrations) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  Counter* counter = registry.GetCounter("test.reset.counter");
+  Histogram* hist = registry.GetHistogram("test.reset.hist");
+  counter->Add(5);
+  hist->Record(9.0);
+
+  registry.ResetValues();
+
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(hist->count(), 0u);
+  EXPECT_EQ(hist->Quantile(0.5), 0.0);
+  // Same pointer after reset — registration survived.
+  EXPECT_EQ(registry.GetCounter("test.reset.counter"), counter);
+}
+
+}  // namespace
+}  // namespace tse::obs

@@ -1,0 +1,87 @@
+// End-to-end observability smoke test: scripts the interactive shell
+// through a schema change with tracing on, then checks the JSON trace
+// it prints is well-formed and contains the full TSEM pipeline —
+// parse, translate, integrate (classifier), and view regeneration —
+// nested under the request's root span.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+/// Runs `tse_shell` with `script` piped to stdin; returns its stdout.
+std::string RunShell(const std::string& script) {
+  std::string command =
+      "printf '%s' '" + script + "' | " + TSE_SHELL_BIN + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  if (pipe == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) out.append(buf, n);
+  int rc = pclose(pipe);
+  EXPECT_EQ(rc, 0) << out;
+  return out;
+}
+
+/// The `trace json` dump is a multi-line array: "[\n  {...},\n ...\n]".
+std::string ExtractJson(const std::string& out) {
+  size_t start = out.find("[\n  {");
+  if (start == std::string::npos) return "";
+  size_t end = out.find("\n]", start);
+  if (end == std::string::npos) return "";
+  return out.substr(start, end + 2 - start);
+}
+
+TEST(ObsSmoke, TracedSchemaChangeShowsThePipeline) {
+  std::string out = RunShell(
+      "trace on\n"
+      "add_attribute zip:string to Person\n"
+      "trace json\n"
+      "stats\n"
+      "quit\n");
+
+#ifdef TSE_OBS_DISABLE
+  // The disabled build keeps the commands but records nothing.
+  EXPECT_NE(out.find("tracing unavailable"), std::string::npos) << out;
+  return;
+#else
+  ASSERT_NE(out.find("tracing on"), std::string::npos) << out;
+  ASSERT_NE(out.find("ok — view now at version"), std::string::npos) << out;
+
+  std::string json = ExtractJson(out);
+  ASSERT_FALSE(json.empty()) << "no JSON trace in output:\n" << out;
+
+  // Structural JSON check: brackets and braces balance, never negative.
+  int brackets = 0, braces = 0;
+  for (char c : json) {
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    ASSERT_GE(brackets, 0);
+    ASSERT_GE(braces, 0);
+  }
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(braces, 0);
+
+  // The four pipeline stages, plus the request root that ties them
+  // into one tree.
+  for (const char* span : {"shell.schema_change", "evolution.parse",
+                           "evolution.translate", "classifier.integrate",
+                           "view.regenerate"}) {
+    EXPECT_NE(json.find(std::string("\"name\": \"") + span + "\""),
+              std::string::npos)
+        << "span " << span << " missing from trace:\n" << json;
+  }
+
+  // `stats` prints the counters the request bumped.
+  EXPECT_NE(out.find("evolution.apply_change.requests"), std::string::npos)
+      << out;
+#endif
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Tracer unit tests: span nesting (parent/depth links), ring-buffer
+// wraparound, dump formats, and the disabled fast path.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+namespace tse::obs {
+namespace {
+
+#ifdef TSE_OBS_DISABLE
+
+// In the disabled build TSE_TRACE_SPAN expands to nothing; the tracer
+// API stays linkable but never sees a span.
+TEST(TraceDisabled, SpanMacroIsANoOp) {
+  Tracer::Instance().set_enabled(true);
+  {
+    TSE_TRACE_SPAN("never_recorded");
+  }
+  EXPECT_TRUE(Tracer::Instance().Collected().empty());
+  Tracer::Instance().set_enabled(false);
+}
+
+#else  // !TSE_OBS_DISABLE
+
+/// Each test drives the process-wide tracer; reset it around every use
+/// so tests stay order-independent.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Instance().set_enabled(true);
+    Tracer::Instance().set_capacity(4096);
+    Tracer::Instance().Clear();
+  }
+  void TearDown() override {
+    Tracer::Instance().set_enabled(false);
+    Tracer::Instance().Clear();
+  }
+};
+
+TEST_F(TraceTest, NestedSpansLinkParentAndDepth) {
+  {
+    TSE_TRACE_SPAN("outer");
+    {
+      TSE_TRACE_SPAN("middle");
+      { TSE_TRACE_SPAN("inner"); }
+    }
+  }
+  std::vector<SpanRecord> spans = Tracer::Instance().Collected();
+  ASSERT_EQ(spans.size(), 3u);
+  // Spans are recorded on close: inner, middle, outer.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "middle");
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[0].depth, 2u);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].depth, 0u);
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+  EXPECT_EQ(spans[1].parent, spans[2].id);
+  EXPECT_EQ(spans[2].parent, 0u);
+}
+
+TEST_F(TraceTest, SiblingsShareAParent) {
+  {
+    TSE_TRACE_SPAN("root");
+    { TSE_TRACE_SPAN("first"); }
+    { TSE_TRACE_SPAN("second"); }
+  }
+  std::vector<SpanRecord> spans = Tracer::Instance().Collected();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "first");
+  EXPECT_EQ(spans[1].name, "second");
+  EXPECT_EQ(spans[0].parent, spans[2].id);
+  EXPECT_EQ(spans[1].parent, spans[2].id);
+}
+
+TEST_F(TraceTest, RingWraparoundKeepsNewestSpans) {
+  Tracer::Instance().set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    TSE_TRACE_SPAN("span");
+  }
+  std::vector<SpanRecord> spans = Tracer::Instance().Collected();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest first, and only the last four survive. Ids are assigned in
+  // creation order, so they must be strictly increasing and end at the
+  // newest span's id.
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GT(spans[i].id, spans[i - 1].id);
+  }
+  EXPECT_EQ(spans.back().id, spans.front().id + 3);
+}
+
+TEST_F(TraceTest, ShrinkingCapacityDropsOldest) {
+  for (int i = 0; i < 6; ++i) {
+    TSE_TRACE_SPAN("span");
+  }
+  uint64_t newest = Tracer::Instance().Collected().back().id;
+  Tracer::Instance().set_capacity(2);
+  std::vector<SpanRecord> spans = Tracer::Instance().Collected();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans.back().id, newest);
+}
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer::Instance().set_enabled(false);
+  {
+    TSE_TRACE_SPAN("invisible");
+    { TSE_TRACE_SPAN("also_invisible"); }
+  }
+  EXPECT_TRUE(Tracer::Instance().Collected().empty());
+}
+
+TEST_F(TraceTest, ReenablingAfterDisableStartsCleanNesting) {
+  Tracer::Instance().set_enabled(false);
+  { TSE_TRACE_SPAN("ignored"); }
+  Tracer::Instance().set_enabled(true);
+  { TSE_TRACE_SPAN("seen"); }
+  std::vector<SpanRecord> spans = Tracer::Instance().Collected();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "seen");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[0].parent, 0u);
+}
+
+TEST_F(TraceTest, ThreadsGetIndependentNesting) {
+  {
+    TSE_TRACE_SPAN("main_root");
+    std::thread other([] {
+      TSE_TRACE_SPAN("other_root");
+    });
+    other.join();
+  }
+  std::vector<SpanRecord> spans = Tracer::Instance().Collected();
+  ASSERT_EQ(spans.size(), 2u);
+  // The other thread's span is a root of its own tree, not a child of
+  // the main thread's open span.
+  EXPECT_EQ(spans[0].name, "other_root");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_NE(spans[0].thread, spans[1].thread);
+}
+
+TEST_F(TraceTest, DumpJsonListsSpansOldestFirst) {
+  {
+    TSE_TRACE_SPAN("parent_span");
+    { TSE_TRACE_SPAN("child_span"); }
+  }
+  std::string json = Tracer::Instance().DumpJson();
+  size_t child = json.find("child_span");
+  size_t parent = json.find("parent_span");
+  ASSERT_NE(child, std::string::npos);
+  ASSERT_NE(parent, std::string::npos);
+  EXPECT_LT(child, parent);  // child closed (and recorded) first
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+}
+
+TEST_F(TraceTest, DumpTreeIndentsByDepth) {
+  {
+    TSE_TRACE_SPAN("tree_root");
+    { TSE_TRACE_SPAN("tree_leaf"); }
+  }
+  std::string tree = Tracer::Instance().DumpTree();
+  EXPECT_NE(tree.find("tree_root"), std::string::npos);
+  EXPECT_NE(tree.find("  tree_leaf"), std::string::npos);
+}
+
+#endif  // TSE_OBS_DISABLE
+
+}  // namespace
+}  // namespace tse::obs

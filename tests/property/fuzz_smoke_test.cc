@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
+
 #include "fuzz/fuzzer.h"
 
 namespace tse::fuzz {
@@ -34,6 +36,10 @@ TEST(FuzzSmoke, FiftySeededScriptsMatchTheOracle) {
   EXPECT_EQ(report.total_attempted, 50u * 10u);
   EXPECT_GT(report.total_accepted, 100u) << report.Summary();
   EXPECT_GT(report.total_merges, 0u) << report.Summary();
+
+  // The per-run profile: campaign totals plus the observability
+  // counters the run accumulated.
+  std::cout << report.SummaryWithMetrics() << "\n";
 }
 
 }  // namespace
