@@ -1,0 +1,270 @@
+// Concurrent-session scaling benchmark for the tse::Db facade.
+//
+// Workload: N sessions (1, 2, 4, 8), each on its own thread, hammer a
+// shared durable database with a mixed read/update stream (3 Sets per
+// Get over a pool of Person objects). Updates auto-commit durably, so
+// a single session is fsync-bound; with many sessions the group
+// committer batches concurrent commit requests behind one fsync — on a
+// single core, that batching (not CPU parallelism) is where the
+// throughput scaling comes from.
+//
+// Mid-run, a separate evolver session applies a schema change to the
+// shared logical view. The worker sessions are pinned to the version
+// they opened and must ride through the change without a single failed
+// operation — the paper's Section 7 isolation, under concurrency.
+//
+// Emits human-readable text, or machine-readable JSON with --json
+// <path> (the `bench_report` CMake target writes BENCH_sessions.json at
+// the repo root). --quick shrinks the workload to a smoke-test size.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "db/db.h"
+#include "db/session.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace tse;
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+constexpr int kPoolSize = 256;
+
+struct ConfigResult {
+  int sessions = 0;
+  uint64_t ops = 0;
+  double seconds = 0;
+  double ops_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  uint64_t failures = 0;
+  bool schema_change_applied = false;
+  uint64_t group_commit_batches = 0;
+  uint64_t group_commit_requests = 0;
+};
+
+/// One full run: fresh durable Db, N worker sessions pinned to view v1,
+/// one evolver session that mutates the schema at the halfway mark.
+ConfigResult RunConfig(int n_sessions, uint64_t ops_per_session,
+                       const std::filesystem::path& dir) {
+  std::filesystem::remove_all(dir);
+  DbOptions options;
+  options.data_dir = dir.string();
+  options.closure_policy = update::ValueClosurePolicy::kAllow;
+  auto db = Db::Open(options).value();
+
+  ClassId person =
+      db->AddBaseClass("Person", {},
+                       {PropertySpec::Attribute("name", ValueType::kString),
+                        PropertySpec::Attribute("score", ValueType::kInt)})
+          .value();
+  db->CreateView("Main", {{person, ""}}).value();
+
+  std::vector<Oid> pool;
+  {
+    auto seeder = db->OpenSession("Main").value();
+    for (int i = 0; i < kPoolSize; ++i) {
+      pool.push_back(seeder
+                         ->Create("Person",
+                                  {{"name", Value::Str("p" + std::to_string(i))},
+                                   {"score", Value::Int(i)}})
+                         .value());
+    }
+  }
+
+  // Workers bind *before* the mid-run evolution: they stay pinned.
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (int i = 0; i < n_sessions; ++i) {
+    sessions.push_back(db->OpenSession("Main").value());
+  }
+  auto evolver = db->OpenSession("Main").value();
+
+  obs::Counter* batches_counter =
+      obs::MetricsRegistry::Instance().GetCounter("db.group_commit.batches");
+  obs::Counter* requests_counter =
+      obs::MetricsRegistry::Instance().GetCounter("db.group_commit.requests");
+  const uint64_t before_batches = batches_counter->value();
+  const uint64_t before_requests = requests_counter->value();
+
+  std::atomic<uint64_t> done{0};
+  std::atomic<uint64_t> failures{0};
+  std::atomic<bool> go{false};
+  std::vector<std::vector<double>> latencies(n_sessions);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < n_sessions; ++t) {
+    threads.emplace_back([&, t] {
+      Session& s = *sessions[t];
+      Rng rng(1000 + t);
+      auto& lat = latencies[t];
+      lat.reserve(ops_per_session);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (uint64_t op = 0; op < ops_per_session; ++op) {
+        Oid target = pool[rng.Uniform(pool.size())];
+        const auto t0 = std::chrono::steady_clock::now();
+        bool ok;
+        if ((op & 3) == 3) {
+          ok = s.Get(target, "Person", "score").ok();
+        } else {
+          ok = s.Set(target, "Person", "score",
+                     Value::Int(static_cast<int64_t>(op)))
+                   .ok();
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!ok) failures.fetch_add(1, std::memory_order_relaxed);
+        lat.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+        done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  const uint64_t total_ops = ops_per_session * n_sessions;
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+
+  // Halfway through, evolve the shared logical view from the side. The
+  // pinned workers must not notice (beyond a brief writer drain).
+  bool schema_change_applied = false;
+  while (done.load(std::memory_order_relaxed) < total_ops / 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  schema_change_applied =
+      evolver->Apply("add_attribute midrun:int to Person").ok();
+
+  for (auto& th : threads) th.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  std::vector<double> all;
+  for (auto& lat : latencies) all.insert(all.end(), lat.begin(), lat.end());
+  std::sort(all.begin(), all.end());
+
+  ConfigResult r;
+  r.sessions = n_sessions;
+  r.ops = total_ops;
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  r.ops_per_sec = r.seconds > 0 ? static_cast<double>(total_ops) / r.seconds : 0;
+  r.p50_us = all[all.size() / 2];
+  r.p99_us = all[all.size() * 99 / 100];
+  r.failures = failures.load();
+  r.schema_change_applied = schema_change_applied;
+  r.group_commit_batches = batches_counter->value() - before_batches;
+  r.group_commit_requests = requests_counter->value() - before_requests;
+  std::filesystem::remove_all(dir);
+  return r;
+}
+
+std::string ConfigJson(const ConfigResult& r) {
+  std::ostringstream out;
+  out << "{\"sessions\": " << r.sessions << ", \"ops\": " << r.ops
+      << ", \"seconds\": " << r.seconds
+      << ", \"ops_per_sec\": " << r.ops_per_sec << ", \"p50_us\": " << r.p50_us
+      << ", \"p99_us\": " << r.p99_us << ", \"failures\": " << r.failures
+      << ", \"mid_run_schema_change\": "
+      << (r.schema_change_applied ? "true" : "false")
+      << ", \"group_commit_requests\": " << r.group_commit_requests
+      << ", \"group_commit_batches\": " << r.group_commit_batches << "}";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--quick] [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  const uint64_t ops_per_session = quick ? 100 : 2500;
+  const int repetitions = quick ? 1 : 3;
+  const std::filesystem::path base =
+      std::filesystem::temp_directory_path() / "tse_bench_sessions";
+  const std::vector<int> fleet = {1, 2, 4, 8};
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"concurrent_sessions\",\n  \"workload\": "
+          "\"mixed_read_update_durable\",\n  \"quick\": "
+       << (quick ? "true" : "false") << ",\n  \"results\": [\n";
+  double single = 0, eight = 0;
+  uint64_t total_failures = 0;
+  bool all_changes_applied = true;
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    const int n = fleet[i];
+    // fsync cost fluctuates run to run (journal flushes); report the
+    // median of a few repetitions, accumulating failures across all.
+    std::vector<ConfigResult> reps;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      reps.push_back(
+          RunConfig(n, ops_per_session, base / ("s" + std::to_string(n))));
+      total_failures += reps.back().failures;
+      all_changes_applied =
+          all_changes_applied && reps.back().schema_change_applied;
+    }
+    std::sort(reps.begin(), reps.end(),
+              [](const ConfigResult& a, const ConfigResult& b) {
+                return a.ops_per_sec < b.ops_per_sec;
+              });
+    const ConfigResult& r = reps[reps.size() / 2];
+    if (n == 1) single = r.ops_per_sec;
+    if (n == 8) eight = r.ops_per_sec;
+
+    std::cout << n << " session(s): " << r.ops_per_sec << " ops/s  p50 "
+              << r.p50_us << " us  p99 " << r.p99_us << " us  failures "
+              << r.failures << "  (" << r.group_commit_requests
+              << " commit requests in " << r.group_commit_batches
+              << " fsync batches)\n";
+
+    json << "    " << ConfigJson(r) << (i + 1 < fleet.size() ? "," : "")
+         << "\n";
+  }
+  const double scaling = single > 0 ? eight / single : 0;
+  const bool pass = scaling >= 3.0 && total_failures == 0 &&
+                    all_changes_applied;
+  std::cout << "scaling 1 -> 8 sessions: " << scaling << "x\n";
+
+  json << "  ],\n  \"acceptance\": {\"target_scaling_1_to_8\": 3.0, "
+          "\"achieved_scaling_1_to_8\": "
+       << scaling << ", \"pinned_session_failures\": " << total_failures
+       << ", \"mid_run_schema_changes_applied\": "
+       << (all_changes_applied ? "true" : "false")
+       << ", \"pass\": " << (pass ? "true" : "false") << "},\n  \"metrics\": "
+       << tse::obs::MetricsRegistry::Instance().Snapshot().ToJson() << "\n}\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << json.str();
+    std::cout << "wrote " << json_path << "\n";
+  }
+  if (!quick && !pass) {
+    std::cerr << "FAIL: scaling " << scaling << " < 3.0, failures "
+              << total_failures << "\n";
+    return 1;
+  }
+  return 0;
+}

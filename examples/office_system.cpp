@@ -11,114 +11,100 @@
 
 #include <iostream>
 
-#include "algebra/processor.h"
 #include "algebra/query.h"
-#include "classifier/classifier.h"
-#include "evolution/change_parser.h"
-#include "evolution/tse_manager.h"
+#include "db/db.h"
+#include "db/session.h"
 #include "objmodel/expr_parser.h"
-#include "update/update_engine.h"
 
 using namespace tse;
-using namespace tse::evolution;
 using objmodel::ParseExpr;
 using objmodel::Value;
 using objmodel::ValueType;
 using schema::PropertySpec;
 
 int main() {
-  schema::SchemaGraph schema;
-  objmodel::SlicingStore store;
-  view::ViewManager views(&schema);
-  TseManager tse(&schema, &store, &views);
-  update::UpdateEngine db(&schema, &store,
-                          update::ValueClosurePolicy::kAllow);
+  DbOptions options;
+  options.closure_policy = update::ValueClosurePolicy::kAllow;
+  auto db = Db::Open(options).value();
 
   // --- Base schema with an aggregation hierarchy --------------------------
   ClassId dept =
-      schema
-          .AddBaseClass("Dept", {},
-                        {PropertySpec::Attribute("title", ValueType::kString)})
+      db->AddBaseClass("Dept", {},
+                       {PropertySpec::Attribute("title", ValueType::kString)})
           .value();
   ClassId employee =
-      schema
-          .AddBaseClass("Employee", {},
-                        {PropertySpec::Attribute("name", ValueType::kString),
-                         PropertySpec::RefAttribute("dept", dept)})
+      db->AddBaseClass("Employee", {},
+                       {PropertySpec::Attribute("name", ValueType::kString),
+                        PropertySpec::RefAttribute("dept", dept)})
           .value();
   ClassId document =
-      schema
-          .AddBaseClass(
-              "Document", {},
-              {PropertySpec::Attribute("subject", ValueType::kString),
-               PropertySpec::Attribute("pages", ValueType::kInt),
-               PropertySpec::RefAttribute("owner", employee)})
+      db->AddBaseClass("Document", {},
+                       {PropertySpec::Attribute("subject", ValueType::kString),
+                        PropertySpec::Attribute("pages", ValueType::kInt),
+                        PropertySpec::RefAttribute("owner", employee)})
           .value();
+  db->CreateView("Office", {{dept, ""}, {employee, ""}, {document, ""}})
+      .value();
 
-  Oid eng = db.Create(dept, {{"title", Value::Str("Engineering")}}).value();
-  Oid legal = db.Create(dept, {{"title", Value::Str("Legal")}}).value();
-  Oid ada = db.Create(employee, {{"name", Value::Str("ada")},
-                                 {"dept", Value::Ref(eng)}})
+  // Clerks populate the office through a session on the base view.
+  auto clerk = db->OpenSession("Office").value();
+  Oid eng = clerk->Create("Dept", {{"title", Value::Str("Engineering")}})
                 .value();
-  Oid sam = db.Create(employee, {{"name", Value::Str("sam")},
-                                 {"dept", Value::Ref(legal)}})
+  Oid legal =
+      clerk->Create("Dept", {{"title", Value::Str("Legal")}}).value();
+  Oid ada = clerk
+                ->Create("Employee", {{"name", Value::Str("ada")},
+                                      {"dept", Value::Ref(eng)}})
+                .value();
+  Oid sam = clerk
+                ->Create("Employee", {{"name", Value::Str("sam")},
+                                      {"dept", Value::Ref(legal)}})
                 .value();
   for (int i = 0; i < 6; ++i) {
-    db.Create(document,
-              {{"subject", Value::Str("doc-" + std::to_string(i))},
-               {"pages", Value::Int(4 + 10 * i)},
-               {"owner", Value::Ref(i % 2 ? ada : sam)}})
+    clerk
+        ->Create("Document",
+                 {{"subject", Value::Str("doc-" + std::to_string(i))},
+                  {"pages", Value::Int(4 + 10 * i)},
+                  {"owner", Value::Ref(i % 2 ? ada : sam)}})
         .value();
   }
 
   // --- A content-based view: engineering documents only -------------------
-  // defineVC with a predicate navigating owner.dept.title.
-  algebra::AlgebraProcessor algebra_proc(&schema);
-  classifier::Classifier classifier(&schema);
+  // defineVC with a predicate navigating owner.dept.title; the classifier
+  // slots the virtual class into the global DAG behind the facade.
   ClassId eng_docs =
-      algebra_proc
-          .DefineVC("EngDoc",
-                    algebra::Query::Select(
-                        algebra::Query::Class("Document"),
-                        ParseExpr("owner.dept.title == \"Engineering\"")
-                            .value()))
+      db->DefineVirtualClass(
+            "EngDoc",
+            algebra::Query::Select(
+                algebra::Query::Class("Document"),
+                ParseExpr("owner.dept.title == \"Engineering\"").value()))
           .value();
-  classifier.Classify(eng_docs).value();
 
-  ViewId dashboard =
-      tse.CreateView("EngDashboard", {{eng_docs, "EngDoc"}}).value();
+  db->CreateView("EngDashboard", {{eng_docs, "EngDoc"}}).value();
+  auto dashboard = db->OpenSession("EngDashboard").value();
   // Type closure pulled in the referenced classes automatically.
-  const view::ViewSchema* vs = views.GetView(dashboard).value();
   std::cout << "dashboard view (type closure added referenced classes):\n"
-            << vs->ToString() << "\n\n";
+            << dashboard->ViewToString() << "\n\n";
 
-  algebra::ExtentEvaluator extents(&schema, &store);
   std::cout << "engineering documents: "
-            << extents.Extent(eng_docs).value()->size() << " of "
-            << extents.Extent(document).value()->size() << " total\n\n";
+            << dashboard->Extent("EngDoc").value()->size() << " of "
+            << clerk->Extent("Document").value()->size() << " total\n\n";
 
   // --- Evolution: the archivist needs a retention class -------------------
-  ViewId v2 = tse.ApplyChange(
-                     dashboard,
-                     ParseChange("add_attribute retention_years:int to EngDoc")
-                         .value())
-                  .value();
-  ClassId eng_docs2 = views.GetView(v2).value()->Resolve("EngDoc").value();
-  const std::set<Oid> eng_members = *extents.Extent(eng_docs2).value();
+  // The dashboard session applies the change and transparently rebinds.
+  dashboard->Apply("add_attribute retention_years:int to EngDoc").value();
+  const std::set<Oid> eng_members = *dashboard->Extent("EngDoc").value();
   for (Oid doc : eng_members) {
-    db.Set(doc, eng_docs2, "retention_years", Value::Int(7)).ok();
+    dashboard->Set(doc, "EngDoc", "retention_years", Value::Int(7)).ok();
   }
   std::cout << "after evolution, through the new view:\n";
   for (Oid doc : eng_members) {
     std::cout << "  "
-              << db.accessor().Read(doc, eng_docs2, "subject").value()
-                     .ToString()
+              << dashboard->Get(doc, "EngDoc", "subject").value().ToString()
               << " owner="
-              << db.accessor().Read(doc, eng_docs2, "owner.name").value()
-                     .ToString()
+              << dashboard->Get(doc, "EngDoc", "owner.name").value().ToString()
               << " retention="
-              << db.accessor()
-                     .Read(doc, eng_docs2, "retention_years")
+              << dashboard->Get(doc, "EngDoc", "retention_years")
                      .value()
                      .ToString()
               << "\n";
@@ -126,7 +112,8 @@ int main() {
 
   // The old dashboard never saw retention_years and still works.
   bool old_sees =
-      schema.EffectiveType(eng_docs).value().ContainsName("retention_years");
+      db->schema().EffectiveType(eng_docs).value().ContainsName(
+          "retention_years");
   std::cout << "\nold dashboard sees retention_years? "
             << (old_sees ? "yes (BUG)" : "no — transparent") << "\n";
   return 0;

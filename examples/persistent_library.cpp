@@ -1,21 +1,20 @@
 // Persistence tour: the TSE object model rides on the storage substrate
-// (the repo's stand-in for GemStone — Figure 6's bottom layer). Objects
-// survive process restarts; the WAL recovers committed work after a
-// crash; schema evolution continues against reloaded data.
+// (the repo's stand-in for GemStone — Figure 6's bottom layer). With a
+// data_dir, tse::Db persists both the objects AND the schema catalog
+// (classes, derivations, view history): reopen the database and every
+// view version keeps resolving — no code-level schema replay needed.
+// Objects survive process restarts; the WAL recovers committed work
+// after a crash; schema evolution continues against reloaded data.
 //
 // Build & run:  ./build/examples/persistent_library [data-dir]
 
 #include <filesystem>
 #include <iostream>
 
-#include "evolution/tse_manager.h"
-#include "objmodel/persistence.h"
-#include "storage/record_store.h"
-#include "update/update_engine.h"
+#include "db/db.h"
+#include "db/session.h"
 
 using namespace tse;
-using namespace tse::evolution;
-using objmodel::PersistenceBridge;
 using objmodel::Value;
 using objmodel::ValueType;
 using schema::PropertySpec;
@@ -24,107 +23,66 @@ int main(int argc, char** argv) {
   std::filesystem::path dir =
       argc > 1 ? argv[1]
                : std::filesystem::temp_directory_path() / "tse_library";
-  std::filesystem::create_directories(dir);
-  std::string base = (dir / "objects").string();
 
-  // --- Session 1: build, populate, evolve, persist, "crash" -----------------
+  // --- Run 1: build, populate, evolve, "crash" ------------------------------
   {
-    schema::SchemaGraph schema;
-    objmodel::SlicingStore store;
-    view::ViewManager views(&schema);
-    TseManager tse(&schema, &store, &views);
-    update::UpdateEngine db(&schema, &store);
+    DbOptions options;
+    options.data_dir = dir.string();
+    auto db = Db::Open(options).value();
 
     ClassId book =
-        schema
-            .AddBaseClass("Book", {},
-                          {PropertySpec::Attribute("title",
-                                                   ValueType::kString)})
+        db->AddBaseClass("Book", {},
+                         {PropertySpec::Attribute("title", ValueType::kString)})
             .value();
-    ViewId vs = tse.CreateView("Library", {{book, ""}}).value();
-    AddAttribute change;
-    change.class_name = "Book";
-    change.spec = PropertySpec::Attribute("isbn", ValueType::kString);
-    vs = tse.ApplyChange(vs, change).value();
-    ClassId book_v2 = views.GetView(vs).value()->Resolve("Book").value();
+    db->CreateView("Library", {{book, ""}}).value();
 
-    Oid b1 = db.Create(book_v2, {{"title", Value::Str("A Relational Model")},
-                                 {"isbn", Value::Str("978-0")}})
-                 .value();
-    Oid b2 = db.Create(book_v2,
-                       {{"title", Value::Str("Transaction Processing")}})
-                 .value();
-    (void)b1;
-    (void)b2;
-
-    auto db_store =
-        storage::RecordStore::Open(base, storage::RecordStoreOptions{})
-            .value();
-    PersistenceBridge::SaveAll(store, db_store.get()).ok();
-    std::cout << "session 1: stored " << store.object_count()
-              << " objects across " << db_store->page_count()
-              << " page(s); committed via WAL\n";
-    // No Checkpoint(): simulate a crash right after commit. The WAL must
-    // carry the session.
+    auto librarian = db->OpenSession("Library").value();
+    librarian->Apply("add_attribute isbn:string to Book").value();
+    librarian
+        ->Create("Book", {{"title", Value::Str("A Relational Model")},
+                          {"isbn", Value::Str("978-0")}})
+        .value();
+    librarian->Create("Book", {{"title", Value::Str("Transaction Processing")}})
+        .value();
+    std::cout << "run 1: stored " << db->store().object_count()
+              << " objects; catalog + objects committed via WAL\n";
+    // No Checkpoint(): simulate a crash right after the group commit.
+    // The WAL must carry the session.
   }
 
-  // --- Session 2: recover and keep evolving ---------------------------------
+  // --- Run 2: recover and keep evolving -------------------------------------
   {
-    auto db_store =
-        storage::RecordStore::Open(base, storage::RecordStoreOptions{})
-            .value();
-    objmodel::SlicingStore store;
-    PersistenceBridge::LoadAll(db_store.get(), &store).ok();
-    std::cout << "session 2: recovered " << store.object_count()
-              << " objects from the log\n";
+    DbOptions options;
+    options.data_dir = dir.string();
+    auto db = Db::Open(options).value();
+    std::cout << "run 2: recovered " << db->store().object_count()
+              << " objects and "
+              << db->views().History("Library").size()
+              << " view version(s) from the log\n";
 
-    // Rebuild the schema by replaying the same definitions and evolution
-    // steps (the catalog is code-defined in this repo; deterministic
-    // replay reproduces identical class/property ids — see DESIGN.md).
-    schema::SchemaGraph schema;
-    view::ViewManager views(&schema);
-    TseManager tse(&schema, &store, &views);
-    update::UpdateEngine db(&schema, &store);
-    ClassId book =
-        schema
-            .AddBaseClass("Book", {},
-                          {PropertySpec::Attribute("title",
-                                                   ValueType::kString)})
-            .value();
-    ViewId vs = tse.CreateView("Library", {{book, ""}}).value();
-    AddAttribute isbn_change;
-    isbn_change.class_name = "Book";
-    isbn_change.spec = PropertySpec::Attribute("isbn", ValueType::kString);
-    vs = tse.ApplyChange(vs, isbn_change).value();
-    // Now the *new* evolution of this session.
-    AddAttribute change;
-    change.class_name = "Book";
-    change.spec = PropertySpec::Attribute("shelf", ValueType::kInt);
-    vs = tse.ApplyChange(vs, change).value();
-    ClassId book_v2 = views.GetView(vs).value()->Resolve("Book").value();
+    // The catalog restored both versions; bind to the current one and
+    // apply the *new* evolution of this run.
+    auto librarian = db->OpenSession("Library").value();
+    librarian->Apply("add_attribute shelf:int to Book").value();
 
     // Tag every recovered book with a shelf — the new stored attribute
     // attaches to old objects without any migration.
-    algebra::ExtentEvaluator extents(&schema, &store);
-    const std::set<Oid> books = *extents.Extent(book_v2).value();
+    const auto books = *librarian->Extent("Book").value();
     int shelf = 1;
     for (Oid oid : books) {
-      db.Set(oid, book_v2, "shelf", Value::Int(shelf++)).ok();
+      librarian->Set(oid, "Book", "shelf", Value::Int(shelf++)).ok();
     }
     for (Oid oid : books) {
       std::cout << "  book " << oid.ToString() << ": title="
-                << db.accessor().Read(oid, book_v2, "title").value()
-                       .ToString()
+                << librarian->Get(oid, "Book", "title").value().ToString()
                 << " isbn="
-                << db.accessor().Read(oid, book_v2, "isbn").value().ToString()
+                << librarian->Get(oid, "Book", "isbn").value().ToString()
                 << " shelf="
-                << db.accessor().Read(oid, book_v2, "shelf").value()
-                       .ToString()
+                << librarian->Get(oid, "Book", "shelf").value().ToString()
                 << "\n";
     }
-    PersistenceBridge::SaveAll(store, db_store.get()).ok();
-    db_store->Checkpoint().ok();
-    std::cout << "session 2: checkpointed; WAL truncated\n";
+    db->Checkpoint().ok();
+    std::cout << "run 2: checkpointed; WAL truncated\n";
   }
   std::filesystem::remove_all(dir);
   return 0;

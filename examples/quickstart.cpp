@@ -3,83 +3,70 @@
 // A shared university database serves two developers. Developer A needs
 // a `register` attribute on Student; instead of changing the shared
 // schema (and breaking developer B), the change is applied to A's view.
-// Both developers keep working against the same objects.
+// Both developers keep working against the same objects — each through
+// a tse::Session bound to their own view.
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <iostream>
 
-#include "evolution/tse_manager.h"
-#include "update/update_engine.h"
+#include "db/db.h"
+#include "db/session.h"
 
 using namespace tse;
-using evolution::AddAttribute;
-using evolution::TseManager;
 using objmodel::Value;
 using objmodel::ValueType;
 using schema::PropertySpec;
 
 int main() {
-  // --- 1. The shared global schema (Figure 2, trimmed) ---------------------
-  schema::SchemaGraph schema;
-  objmodel::SlicingStore store;
-  view::ViewManager views(&schema);
-  TseManager tse(&schema, &store, &views);
-  update::UpdateEngine db(&schema, &store);
+  // --- 1. One Db owns the whole engine (Figure 6 in one object) -----------
+  auto db = Db::Open().value();
 
   ClassId person =
-      schema
-          .AddBaseClass("Person", {},
-                        {PropertySpec::Attribute("name", ValueType::kString)})
+      db->AddBaseClass("Person", {},
+                       {PropertySpec::Attribute("name", ValueType::kString)})
           .value();
   ClassId student =
-      schema
-          .AddBaseClass("Student", {person},
-                        {PropertySpec::Attribute("major", ValueType::kString)})
+      db->AddBaseClass("Student", {person},
+                       {PropertySpec::Attribute("major", ValueType::kString)})
           .value();
-  ClassId ta = schema.AddBaseClass("TA", {student}, {}).value();
+  ClassId ta = db->AddBaseClass("TA", {student}, {}).value();
 
-  Oid alice = db.Create(student, {{"name", Value::Str("alice")},
-                                  {"major", Value::Str("databases")}})
+  db->CreateView("DevA", {{person, ""}, {student, ""}, {ta, ""}}).value();
+  db->CreateView("DevB", {{person, ""}, {student, ""}}).value();
+
+  // --- 2. Each developer opens a session on their view ---------------------
+  auto dev_a = db->OpenSession("DevA").value();
+  auto dev_b = db->OpenSession("DevB").value();
+
+  Oid alice = dev_a
+                  ->Create("Student", {{"name", Value::Str("alice")},
+                                       {"major", Value::Str("databases")}})
                   .value();
 
-  // --- 2. Each developer gets a view ------------------------------------
-  ViewId dev_a = tse.CreateView("DevA", {{person, ""}, {student, ""},
-                                         {ta, ""}})
-                     .value();
-  ViewId dev_b = tse.CreateView("DevB", {{person, ""}, {student, ""}})
-                     .value();
-
   // --- 3. Developer A evolves *her view* -----------------------------------
-  AddAttribute change;
-  change.class_name = "Student";
-  change.spec = PropertySpec::Attribute("register", ValueType::kBool);
-  ViewId dev_a2 = tse.ApplyChange(dev_a, change).value();
+  // The session transparently rebinds to the new version it requested.
+  dev_a->Apply("add_attribute register:bool to Student").value();
 
   std::cout << "Developer A's view after the change:\n"
-            << views.GetView(dev_a2).value()->ToString() << "\n\n";
+            << dev_a->ViewToString() << "\n\n";
 
   // --- 4. Transparency: A sees the new attribute under the old names -------
-  ClassId student_a = views.GetView(dev_a2).value()->Resolve("Student").value();
-  db.Set(alice, student_a, "register", Value::Bool(true)).ok();
+  dev_a->Set(alice, "Student", "register", Value::Bool(true)).ok();
   std::cout << "A reads alice.register = "
-            << db.accessor().Read(alice, student_a, "register").value()
-                   .ToString()
+            << dev_a->Get(alice, "Student", "register").value().ToString()
             << "\n";
 
   // --- 5. Independence + interoperability ---------------------------------
-  // Developer B's view never changed, and still reaches the same object.
-  ClassId student_b = views.GetView(dev_b).value()->Resolve("Student").value();
+  // Developer B's session never changed, and still reaches the same object.
   std::cout << "B reads alice.major    = "
-            << db.accessor().Read(alice, student_b, "major").value().ToString()
-            << "\n";
+            << dev_b->Get(alice, "Student", "major").value().ToString() << "\n";
   // B's view has no `register` — the change was invisible to B.
-  bool b_sees_register =
-      schema.EffectiveType(student_b).value().ContainsName("register");
+  bool b_sees_register = dev_b->Get(alice, "Student", "register").ok();
   std::cout << "B sees register?         "
             << (b_sees_register ? "yes (BUG)" : "no (transparent)") << "\n";
   // A's old view version also survives for her already-deployed programs.
-  std::cout << "A's view history depth:  " << views.History("DevA").size()
-            << " versions\n";
+  std::cout << "A's view history depth:  "
+            << db->views().History("DevA").size() << " versions\n";
   return 0;
 }

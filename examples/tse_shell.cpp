@@ -1,6 +1,8 @@
 // An interactive TSE shell: drive transparent schema evolution with the
 // paper's textual operator syntax. Reads commands from stdin (or runs a
-// scripted demo when stdin is not a TTY and no input arrives).
+// scripted demo when stdin is not a TTY and no input arrives). The
+// shell is a thin client over tse::Db — every command goes through a
+// tse::Session bound to the current view.
 //
 //   build/examples/tse_shell
 //   > add_attribute register:bool to Student
@@ -9,23 +11,22 @@
 //   > history
 //
 // Extra shell commands: `show` (current view), `extents`, `history`,
-// `objects <Class>`, `new <Class>`, `set <oid> <Class> <attr> <expr>`,
-// `get <oid> <Class> <attr>`, `stats [reset]`,
+// `session <view>` (open/switch the bound view), `new <Class>`,
+// `set <oid> <Class> <attr> <expr>`, `get <oid> <Class> <attr>`,
+// `begin`/`commit`/`rollback`, `stats [reset]`,
 // `trace on|off|json|tree|clear`, `quit`.
 
 #include <iostream>
 #include <sstream>
 #include <string>
 
-#include "evolution/change_parser.h"
-#include "evolution/tse_manager.h"
+#include "db/db.h"
+#include "db/session.h"
 #include "objmodel/expr_parser.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "update/update_engine.h"
 
 using namespace tse;
-using namespace tse::evolution;
 using objmodel::Value;
 using objmodel::ValueType;
 using schema::PropertySpec;
@@ -33,58 +34,51 @@ using schema::PropertySpec;
 namespace {
 
 struct Shell {
-  schema::SchemaGraph schema;
-  objmodel::SlicingStore store;
-  view::ViewManager views{&schema};
-  TseManager tse{&schema, &store, &views};
-  update::UpdateEngine db{&schema, &store,
-                          update::ValueClosurePolicy::kAllow};
-  ViewId current;
+  std::unique_ptr<Db> db;
+  std::unique_ptr<Session> session;
 
   Shell() {
+    DbOptions options;
+    options.closure_policy = update::ValueClosurePolicy::kAllow;
+    db = Db::Open(options).value();
     ClassId person =
-        schema
-            .AddBaseClass("Person", {},
-                          {PropertySpec::Attribute("name",
-                                                   ValueType::kString),
-                           PropertySpec::Attribute("age", ValueType::kInt)})
+        db->AddBaseClass("Person", {},
+                         {PropertySpec::Attribute("name", ValueType::kString),
+                          PropertySpec::Attribute("age", ValueType::kInt)})
             .value();
     ClassId student =
-        schema
-            .AddBaseClass("Student", {person},
-                          {PropertySpec::Attribute("major",
-                                                   ValueType::kString)})
+        db->AddBaseClass("Student", {person},
+                         {PropertySpec::Attribute("major",
+                                                  ValueType::kString)})
             .value();
-    ClassId ta = schema.AddBaseClass("TA", {student}, {}).value();
-    db.Create(student, {{"name", Value::Str("alice")},
-                        {"age", Value::Int(20)}})
+    ClassId ta = db->AddBaseClass("TA", {student}, {}).value();
+    db->CreateView("Shell", {{person, ""}, {student, ""}, {ta, ""}}).value();
+    session = db->OpenSession("Shell").value();
+    session->Create("Student", {{"name", Value::Str("alice")},
+                                {"age", Value::Int(20)}})
         .value();
-    db.Create(ta, {{"name", Value::Str("carol")}, {"age", Value::Int(24)}})
+    session->Create("TA", {{"name", Value::Str("carol")},
+                           {"age", Value::Int(24)}})
         .value();
-    current = tse.CreateView("Shell", {{person, ""},
-                                       {student, ""},
-                                       {ta, ""}})
-                  .value();
   }
 
-  void Show() {
-    std::cout << views.GetView(current).value()->ToString() << "\n";
-  }
+  void Show() { std::cout << session->ViewToString() << "\n"; }
 
   void Extents() {
-    const view::ViewSchema* vs = views.GetView(current).value();
+    const view::ViewSchema* vs =
+        db->views().GetView(session->view_id()).value();
     for (ClassId cls : vs->classes()) {
-      auto extent = db.extents().Extent(cls).value();
-      std::cout << vs->DisplayName(cls).value() << " (#" << extent->size()
-                << "):";
+      std::string name = vs->DisplayName(cls).value();
+      auto extent = session->Extent(name).value();
+      std::cout << name << " (#" << extent->size() << "):";
       for (Oid oid : *extent) std::cout << " " << oid.ToString();
       std::cout << "\n";
     }
   }
 
   void History() {
-    for (const std::string& name : views.ViewNames()) {
-      std::cout << name << ": " << views.History(name).size()
+    for (const std::string& name : db->views().ViewNames()) {
+      std::cout << name << ": " << db->views().History(name).size()
                 << " version(s)\n";
     }
   }
@@ -105,6 +99,26 @@ struct Shell {
     }
     if (head == "history") {
       History();
+      return true;
+    }
+    if (head == "session") {
+      std::string view_name;
+      in >> view_name;
+      auto next = db->OpenSession(view_name);
+      if (!next.ok()) {
+        std::cout << "error: " << next.status().ToString() << "\n";
+        return true;
+      }
+      session = std::move(next).value();
+      std::cout << "session now on " << session->view_name() << " v"
+                << session->view_version() << "\n";
+      return true;
+    }
+    if (head == "begin" || head == "commit" || head == "rollback") {
+      Status s = head == "begin"    ? session->Begin()
+                 : head == "commit" ? session->Commit()
+                                    : session->Rollback();
+      std::cout << (s.ok() ? "ok" : "error: " + s.ToString()) << "\n";
       return true;
     }
     if (head == "stats") {
@@ -147,13 +161,7 @@ struct Shell {
     if (head == "new") {
       std::string cls_name;
       in >> cls_name;
-      auto vs = views.GetView(current).value();
-      auto cls = vs->Resolve(cls_name);
-      if (!cls.ok()) {
-        std::cout << "error: " << cls.status().ToString() << "\n";
-        return true;
-      }
-      auto oid = db.Create(cls.value(), {});
+      auto oid = session->Create(cls_name, {});
       std::cout << (oid.ok() ? "created object " + oid.value().ToString()
                              : "error: " + oid.status().ToString())
                 << "\n";
@@ -163,17 +171,16 @@ struct Shell {
       uint64_t raw;
       std::string cls_name, attr;
       in >> raw >> cls_name >> attr;
-      auto vs = views.GetView(current).value();
-      auto cls = vs->Resolve(cls_name);
-      if (!cls.ok()) {
-        std::cout << "error: " << cls.status().ToString() << "\n";
-        return true;
-      }
       if (head == "get") {
-        auto v = db.accessor().Read(Oid(raw), cls.value(), attr);
+        auto v = session->Get(Oid(raw), cls_name, attr);
         std::cout << (v.ok() ? v.value().ToString()
                              : "error: " + v.status().ToString())
                   << "\n";
+        return true;
+      }
+      auto cls = session->Resolve(cls_name);
+      if (!cls.ok()) {
+        std::cout << "error: " << cls.status().ToString() << "\n";
         return true;
       }
       std::string expr_text;
@@ -184,32 +191,29 @@ struct Shell {
         return true;
       }
       auto value = expr.value()->Evaluate(
-          Oid(raw), db.accessor().ResolverFor(Oid(raw), cls.value()));
+          Oid(raw),
+          db->engine().accessor().ResolverFor(Oid(raw), cls.value()));
       if (!value.ok()) {
         std::cout << "error: " << value.status().ToString() << "\n";
         return true;
       }
-      Status s = db.Set(Oid(raw), cls.value(), attr, value.value());
+      Status s = session->Set(Oid(raw), cls_name, attr, value.value());
       std::cout << (s.ok() ? "ok" : "error: " + s.ToString()) << "\n";
       return true;
     }
-    // Everything else is a schema-change command. The root span makes
-    // each request one tree in the trace: parse and the TSEM pipeline
-    // (translate, integrate, regenerate) appear as its descendants.
+    // Everything else is a schema-change command, applied to the bound
+    // view; the session transparently rebinds to the new version. The
+    // root span makes each request one tree in the trace: parse and the
+    // TSEM pipeline (translate, integrate, regenerate) appear as its
+    // descendants.
     TSE_TRACE_SPAN("shell.schema_change");
-    auto change = ParseChange(line);
-    if (!change.ok()) {
-      std::cout << "error: " << change.status().ToString() << "\n";
-      return true;
-    }
-    auto next = tse.ApplyChange(current, change.value());
+    auto next = session->Apply(line);
     if (!next.ok()) {
       std::cout << "rejected: " << next.status().ToString() << "\n";
       return true;
     }
-    current = next.value();
-    std::cout << "ok — view now at version "
-              << views.GetView(current).value()->version() << "\n";
+    std::cout << "ok — view now at version " << session->view_version()
+              << "\n";
     return true;
   }
 };
@@ -230,6 +234,7 @@ int main(int argc, char** argv) {
         "get 0 Person is_adult",
         "insert_class SeniorStudent between Student-TA",
         "show",
+        "session Shell",
         "history",
     };
     for (const char* line : script) {

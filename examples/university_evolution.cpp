@@ -1,15 +1,17 @@
 // University evolution tour: exercises every schema-change operator of
 // the paper (Sections 6.1-6.9) against the Figure 2 university schema,
 // printing the view after each step. Mirrors the worked examples of
-// Figures 7, 8, 9, 10, 12, 14 and 15.
+// Figures 7, 8, 9, 10, 12, 14 and 15. The whole tour runs through one
+// tse::Session, which transparently follows the view as it evolves.
 //
 // Build & run:  ./build/examples/university_evolution
 
 #include <iostream>
 
-#include "evolution/tse_manager.h"
+#include "db/db.h"
+#include "db/session.h"
+#include "evolution/schema_change.h"
 #include "objmodel/method.h"
-#include "update/update_engine.h"
 
 using namespace tse;
 using namespace tse::evolution;
@@ -20,141 +22,105 @@ using schema::PropertySpec;
 
 namespace {
 
-void Show(const view::ViewManager& views, ViewId vid, const char* title) {
-  std::cout << "== " << title << " ==\n"
-            << views.GetView(vid).value()->ToString() << "\n\n";
+void Show(const Session& session, const char* title) {
+  std::cout << "== " << title << " ==\n" << session.ViewToString() << "\n\n";
 }
 
 }  // namespace
 
 int main() {
-  schema::SchemaGraph schema;
-  objmodel::SlicingStore store;
-  view::ViewManager views(&schema);
-  TseManager tse(&schema, &store, &views);
-  update::UpdateEngine db(&schema, &store,
-                          update::ValueClosurePolicy::kAllow);
+  DbOptions options;
+  options.closure_policy = update::ValueClosurePolicy::kAllow;
+  auto db = Db::Open(options).value();
 
   // Figure 2's university schema.
   ClassId person =
-      schema
-          .AddBaseClass("Person", {},
-                        {PropertySpec::Attribute("name", ValueType::kString),
-                         PropertySpec::Attribute("age", ValueType::kInt)})
+      db->AddBaseClass("Person", {},
+                       {PropertySpec::Attribute("name", ValueType::kString),
+                        PropertySpec::Attribute("age", ValueType::kInt)})
           .value();
   ClassId staff =
-      schema
-          .AddBaseClass("SupportStaff", {person},
-                        {PropertySpec::Attribute("boss", ValueType::kString)})
+      db->AddBaseClass("SupportStaff", {person},
+                       {PropertySpec::Attribute("boss", ValueType::kString)})
           .value();
   ClassId teaching =
-      schema
-          .AddBaseClass("TeachingStaff", {person},
-                        {PropertySpec::Attribute("lecture",
-                                                 ValueType::kString)})
+      db->AddBaseClass("TeachingStaff", {person},
+                       {PropertySpec::Attribute("lecture", ValueType::kString)})
           .value();
   ClassId student =
-      schema
-          .AddBaseClass("Student", {person},
-                        {PropertySpec::Attribute("major", ValueType::kString)})
+      db->AddBaseClass("Student", {person},
+                       {PropertySpec::Attribute("major", ValueType::kString)})
           .value();
-  ClassId ta = schema.AddBaseClass("TA", {teaching, student}, {}).value();
+  ClassId ta = db->AddBaseClass("TA", {teaching, student}, {}).value();
+
+  db->CreateView("Uni", {{person, ""},
+                         {staff, ""},
+                         {teaching, ""},
+                         {student, ""},
+                         {ta, ""}})
+      .value();
+  auto uni = db->OpenSession("Uni").value();
 
   // A small population.
-  db.Create(person, {{"name", Value::Str("o1")}}).value();
-  db.Create(staff, {{"name", Value::Str("o2")}}).value();
-  Oid o4 = db.Create(ta, {{"name", Value::Str("o4")},
-                          {"major", Value::Str("db")}})
+  uni->Create("Person", {{"name", Value::Str("o1")}}).value();
+  uni->Create("SupportStaff", {{"name", Value::Str("o2")}}).value();
+  Oid o4 = uni->Create("TA", {{"name", Value::Str("o4")},
+                              {"major", Value::Str("db")}})
                .value();
-
-  ViewId vs = tse.CreateView("Uni", {{person, ""},
-                                     {staff, ""},
-                                     {teaching, ""},
-                                     {student, ""},
-                                     {ta, ""}})
-                  .value();
-  Show(views, vs, "initial view (Figure 2)");
+  Show(*uni, "initial view (Figure 2)");
 
   // --- add_attribute (Figures 3/7) ------------------------------------------
-  AddAttribute add_attr;
-  add_attr.class_name = "Student";
-  add_attr.spec = PropertySpec::Attribute("register", ValueType::kBool);
-  vs = tse.ApplyChange(vs, add_attr).value();
-  Show(views, vs, "after add_attribute register to Student");
-  ClassId cur_student = views.GetView(vs).value()->Resolve("Student").value();
-  db.Set(o4, cur_student, "register", Value::Bool(true)).ok();
+  uni->Apply("add_attribute register:bool to Student").value();
+  Show(*uni, "after add_attribute register to Student");
+  uni->Set(o4, "Student", "register", Value::Bool(true)).ok();
   std::cout << "   o4.register = "
-            << db.accessor().Read(o4, cur_student, "register").value()
-                   .ToString()
+            << uni->Get(o4, "Student", "register").value().ToString()
             << " (stored through the capacity-augmenting view)\n\n";
 
-  // --- add_method (Section 6.3) ------------------------------------------------
+  // --- add_method (Section 6.3) ---------------------------------------------
   AddMethod add_method;
   add_method.class_name = "Person";
   add_method.spec = PropertySpec::Method(
       "is_adult",
       MethodExpr::Ge(MethodExpr::Attr("age"), MethodExpr::Lit(Value::Int(18))),
       ValueType::kBool);
-  vs = tse.ApplyChange(vs, add_method).value();
-  Show(views, vs, "after add_method is_adult to Person");
+  uni->Apply(add_method).value();
+  Show(*uni, "after add_method is_adult to Person");
 
-  // --- delete_attribute (Figure 8) ---------------------------------------------
-  DeleteAttribute del_attr;
-  del_attr.class_name = "Student";
-  del_attr.attr_name = "register";
-  vs = tse.ApplyChange(vs, del_attr).value();
-  Show(views, vs, "after delete_attribute register from Student");
+  // --- delete_attribute (Figure 8) ------------------------------------------
+  uni->Apply("delete_attribute register from Student").value();
+  Show(*uni, "after delete_attribute register from Student");
 
-  // --- delete_method (Section 6.4) -----------------------------------------------
-  DeleteMethod del_method;
-  del_method.class_name = "Person";
-  del_method.method_name = "is_adult";
-  vs = tse.ApplyChange(vs, del_method).value();
-  Show(views, vs, "after delete_method is_adult from Person");
+  // --- delete_method (Section 6.4) ------------------------------------------
+  uni->Apply("delete_method is_adult from Person").value();
+  Show(*uni, "after delete_method is_adult from Person");
 
-  // --- add_edge (Figure 9) --------------------------------------------------------
-  AddEdge add_edge;
-  add_edge.super_name = "SupportStaff";
-  add_edge.sub_name = "TA";
-  vs = tse.ApplyChange(vs, add_edge).value();
-  Show(views, vs, "after add_edge SupportStaff-TA");
+  // --- add_edge (Figure 9) ---------------------------------------------------
+  uni->Apply("add_edge SupportStaff-TA").value();
+  Show(*uni, "after add_edge SupportStaff-TA");
 
-  // --- delete_edge (Figure 10) -------------------------------------------------------
-  DeleteEdge del_edge;
-  del_edge.super_name = "TeachingStaff";
-  del_edge.sub_name = "TA";
-  vs = tse.ApplyChange(vs, del_edge).value();
-  Show(views, vs, "after delete_edge TeachingStaff-TA");
+  // --- delete_edge (Figure 10) -----------------------------------------------
+  uni->Apply("delete_edge TeachingStaff-TA").value();
+  Show(*uni, "after delete_edge TeachingStaff-TA");
 
-  // --- add_class (Figure 12) ----------------------------------------------------------
-  AddClass add_class;
-  add_class.new_class_name = "Grader";
-  add_class.connected_to = "TA";
-  vs = tse.ApplyChange(vs, add_class).value();
-  Show(views, vs, "after add_class Grader connected_to TA");
+  // --- add_class (Figure 12) ---------------------------------------------------
+  uni->Apply("add_class Grader connected_to TA").value();
+  Show(*uni, "after add_class Grader connected_to TA");
 
-  // --- insert_class (Figure 14) ----------------------------------------------------------
-  InsertClass insert_class;
-  insert_class.new_class_name = "SeniorStudent";
-  insert_class.super_name = "Student";
-  insert_class.sub_name = "TA";
-  vs = tse.ApplyChange(vs, insert_class).value();
-  Show(views, vs, "after insert_class SeniorStudent between Student-TA");
+  // --- insert_class (Figure 14) -------------------------------------------------
+  uni->Apply("insert_class SeniorStudent between Student-TA").value();
+  Show(*uni, "after insert_class SeniorStudent between Student-TA");
 
-  // --- delete_class_2 (Figure 15) -----------------------------------------------------------
-  DeleteClass2 del_class2;
-  del_class2.class_name = "SeniorStudent";
-  vs = tse.ApplyChange(vs, del_class2).value();
-  Show(views, vs, "after delete_class_2 SeniorStudent");
+  // --- delete_class_2 (Figure 15) -----------------------------------------------
+  uni->Apply("delete_class_2 SeniorStudent").value();
+  Show(*uni, "after delete_class_2 SeniorStudent");
 
-  // --- delete_class / removeFromView (Section 6.8) -----------------------------------------------
-  DeleteClass del_class;
-  del_class.class_name = "Grader";
-  vs = tse.ApplyChange(vs, del_class).value();
-  Show(views, vs, "after delete_class Grader");
+  // --- delete_class / removeFromView (Section 6.8) -------------------------------
+  uni->Apply("delete_class Grader").value();
+  Show(*uni, "after delete_class Grader");
 
-  std::cout << "view versions accumulated: " << views.History("Uni").size()
-            << "\nglobal schema classes:     " << schema.class_count()
+  std::cout << "view versions accumulated: " << db->views().History("Uni").size()
+            << "\nglobal schema classes:     " << db->schema().class_count()
             << "\nall data shared; no object was copied or migrated.\n";
   return 0;
 }

@@ -1,94 +1,79 @@
 // Version merging (Section 7 / Figure 16), in a CAD setting: two chip
 // designers independently evolve their view of a shared component
 // library, then a third engineer merges both versions to use both
-// improvements — with zero instance duplication.
+// improvements — with zero instance duplication. Each designer is a
+// tse::Session; the merge opens a third session on the merged view.
 //
 // Build & run:  ./build/examples/version_merge
 
 #include <iostream>
 
-#include "evolution/tse_manager.h"
-#include "update/update_engine.h"
+#include "db/db.h"
+#include "db/session.h"
 
 using namespace tse;
-using namespace tse::evolution;
 using objmodel::Value;
 using objmodel::ValueType;
 using schema::PropertySpec;
 
 int main() {
-  schema::SchemaGraph schema;
-  objmodel::SlicingStore store;
-  view::ViewManager views(&schema);
-  TseManager tse(&schema, &store, &views);
-  update::UpdateEngine db(&schema, &store);
+  auto db = Db::Open().value();
 
   // Shared component library.
   ClassId component =
-      schema
-          .AddBaseClass("Component", {},
-                        {PropertySpec::Attribute("part_no",
-                                                 ValueType::kString)})
+      db->AddBaseClass("Component", {},
+                       {PropertySpec::Attribute("part_no", ValueType::kString)})
           .value();
   ClassId gate =
-      schema
-          .AddBaseClass("Gate", {component},
-                        {PropertySpec::Attribute("fan_in", ValueType::kInt)})
+      db->AddBaseClass("Gate", {component},
+                       {PropertySpec::Attribute("fan_in", ValueType::kInt)})
           .value();
-  Oid nand1 = db.Create(gate, {{"part_no", Value::Str("NAND-74")},
-                               {"fan_in", Value::Int(2)}})
-                  .value();
+  db->CreateView("CAD", {{component, ""}, {gate, ""}}).value();
 
-  // VS.0, handed to both designers.
-  ViewId vs0 =
-      tse.CreateView("CAD", {{component, ""}, {gate, ""}}).value();
+  // VS.0, handed to both designers: two sessions on the same version.
+  auto designer1 = db->OpenSession("CAD").value();
+  auto designer2 = db->OpenSession("CAD").value();
+
+  Oid nand1 = designer1
+                  ->Create("Gate", {{"part_no", Value::Str("NAND-74")},
+                                    {"fan_in", Value::Int(2)}})
+                  .value();
 
   // Designer 1 adds timing data; designer 2 adds power data. Each works
   // on a personal evolution of VS.0, oblivious of the other.
-  AddAttribute add_delay;
-  add_delay.class_name = "Gate";
-  add_delay.spec = PropertySpec::Attribute("delay_ps", ValueType::kInt);
-  ViewId vs1 = tse.ApplyChange(vs0, add_delay).value();
-
-  AddAttribute add_power;
-  add_power.class_name = "Gate";
-  add_power.spec = PropertySpec::Attribute("power_uw", ValueType::kInt);
-  ViewId vs2 = tse.ApplyChange(vs0, add_power).value();
+  ViewId vs1 = designer1->Apply("add_attribute delay_ps:int to Gate").value();
+  ViewId vs2 = designer2->Apply("add_attribute power_uw:int to Gate").value();
 
   // Each designer fills in her own data — on the SAME gate object.
-  ClassId gate_v1 = views.GetView(vs1).value()->Resolve("Gate").value();
-  ClassId gate_v2 = views.GetView(vs2).value()->Resolve("Gate").value();
-  db.Set(nand1, gate_v1, "delay_ps", Value::Int(350)).ok();
-  db.Set(nand1, gate_v2, "power_uw", Value::Int(12)).ok();
+  designer1->Set(nand1, "Gate", "delay_ps", Value::Int(350)).ok();
+  designer2->Set(nand1, "Gate", "power_uw", Value::Int(12)).ok();
 
   // The third engineer merges VS.1 and VS.2 (Figure 16's VS.3).
-  ViewId vs3 = tse.MergeVersions(vs1, vs2, "CAD-merged").value();
-  const view::ViewSchema* merged = views.GetView(vs3).value();
-  std::cout << "merged view:\n" << merged->ToString() << "\n\n";
+  ViewId vs3 = db->MergeViews(vs1, vs2, "CAD-merged").value();
+  auto engineer = db->OpenSessionAt(vs3).value();
+  std::cout << "merged view:\n" << engineer->ViewToString() << "\n\n";
 
   // Identical classes merged; same-named distinct classes disambiguated.
+  const view::ViewSchema* merged = db->views().GetView(vs3).value();
   for (ClassId cls : merged->classes()) {
     std::string name = merged->DisplayName(cls).value();
     std::cout << "  " << name << " : "
-              << schema.EffectiveType(cls).value().ToString() << "\n";
+              << db->schema().EffectiveType(cls).value().ToString() << "\n";
   }
 
   // Both attributes reachable, both backed by the one shared instance.
-  ClassId delay_gate = merged->Resolve("Gate").value();
-  ClassId power_gate;
+  std::string power_gate_name;
   for (ClassId cls : merged->classes()) {
-    if (merged->DisplayName(cls).value().rfind("Gate.v", 0) == 0) {
-      power_gate = cls;
-    }
+    std::string name = merged->DisplayName(cls).value();
+    if (name.rfind("Gate.v", 0) == 0) power_gate_name = name;
   }
   std::cout << "\nNAND-74 through merged view:"
             << "\n  delay_ps = "
-            << db.accessor().Read(nand1, delay_gate, "delay_ps").value()
-                   .ToString()
+            << engineer->Get(nand1, "Gate", "delay_ps").value().ToString()
             << "\n  power_uw = "
-            << db.accessor().Read(nand1, power_gate, "power_uw").value()
+            << engineer->Get(nand1, power_gate_name, "power_uw").value()
                    .ToString()
-            << "\n  objects in store: " << store.object_count()
+            << "\n  objects in store: " << db->store().object_count()
             << " (no duplication)\n";
   return 0;
 }

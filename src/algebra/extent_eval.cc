@@ -11,6 +11,16 @@ using objmodel::Value;
 using schema::ClassNode;
 using schema::DerivationOp;
 
+bool ExtentEvaluator::IsSyncedLocked() const {
+  if (!synced_once_) return false;
+  if (!incremental_) {
+    return cached_mutations_ == store_->mutation_count() &&
+           synced_generation_ == schema_->generation();
+  }
+  return synced_generation_ == schema_->generation() &&
+         journal_cursor_ == store_->journal_head();
+}
+
 void ExtentEvaluator::Sync() const {
   if (!incremental_) {
     // Baseline (pre-optimization) behaviour: the whole cache keys on
@@ -42,7 +52,7 @@ void ExtentEvaluator::Sync() const {
       if (keep) {
         ++it;
       } else {
-        ++stats_.entries_invalidated;
+        stats_.entries_invalidated.fetch_add(1, std::memory_order_relaxed);
         TSE_COUNT("algebra.extent.entries_invalidated");
         it = cache_.erase(it);
       }
@@ -72,7 +82,7 @@ void ExtentEvaluator::Sync() const {
       DropAll();
       break;
     }
-    ++stats_.delta_records;
+    stats_.delta_records.fetch_add(1, std::memory_order_relaxed);
     TSE_COUNT("algebra.extent.delta_records");
   }
   journal_cursor_ = head;
@@ -139,7 +149,7 @@ Status ExtentEvaluator::Propagate(std::deque<WorkItem>* work) const {
     } else {
       extent->erase(oid);
     }
-    ++stats_.delta_updates;
+    stats_.delta_updates.fetch_add(1, std::memory_order_relaxed);
     TSE_COUNT("algebra.extent.delta_updates");
     for (ClassId dep : deps_.Dependents(cls)) work->emplace_back(dep, oid);
   }
@@ -211,7 +221,7 @@ void ExtentEvaluator::DropEntryAndDependents(ClassId cls) const {
     work.pop_front();
     if (!visited.insert(c).second) continue;
     if (cache_.erase(c) != 0) {
-      ++stats_.entries_invalidated;
+      stats_.entries_invalidated.fetch_add(1, std::memory_order_relaxed);
       TSE_COUNT("algebra.extent.entries_invalidated");
     }
     for (ClassId dep : deps_.Dependents(c)) work.push_back(dep);
@@ -220,7 +230,7 @@ void ExtentEvaluator::DropEntryAndDependents(ClassId cls) const {
 
 void ExtentEvaluator::DropAll() const {
   if (!cache_.empty()) {
-    ++stats_.full_rebuilds;
+    stats_.full_rebuilds.fetch_add(1, std::memory_order_relaxed);
     TSE_COUNT("algebra.extent.full_rebuilds");
     cache_.clear();
   }
@@ -236,14 +246,28 @@ std::set<Oid>* ExtentEvaluator::MutableSet(Entry* entry) const {
 
 Result<ExtentEvaluator::ExtentPtr> ExtentEvaluator::Extent(
     ClassId cls) const {
+  {
+    // Fast path: fully synced cache hit under the shared lock — the
+    // steady state for concurrent session reads.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (IsSyncedLocked()) {
+      auto hit = cache_.find(cls);
+      if (hit != cache_.end()) {
+        stats_.hits.fetch_add(1, std::memory_order_relaxed);
+        TSE_COUNT("algebra.extent.cache_hits");
+        return ExtentPtr(hit->second.extent);
+      }
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   Sync();
   auto hit = cache_.find(cls);
   if (hit != cache_.end()) {
-    ++stats_.hits;
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
     TSE_COUNT("algebra.extent.cache_hits");
     return ExtentPtr(hit->second.extent);
   }
-  ++stats_.misses;
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
   TSE_COUNT("algebra.extent.cache_misses");
   std::set<ClassId> in_progress;
   TSE_ASSIGN_OR_RETURN(std::shared_ptr<std::set<Oid>> out,
@@ -252,17 +276,54 @@ Result<ExtentEvaluator::ExtentPtr> ExtentEvaluator::Extent(
 }
 
 Result<bool> ExtentEvaluator::IsMember(Oid oid, ClassId cls) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (IsSyncedLocked()) {
+      auto hit = cache_.find(cls);
+      if (hit != cache_.end()) {
+        stats_.hits.fetch_add(1, std::memory_order_relaxed);
+        TSE_COUNT("algebra.extent.cache_hits");
+        return hit->second.extent->count(oid) != 0;
+      }
+      // Deliberately not a cache fill: the per-oid walk is the designed
+      // cheap path for membership probes against unmaterialized
+      // classes. It only reads the schema and store, both stable under
+      // the embedding layer's latches, so the shared lock suffices.
+      std::set<ClassId> in_progress;
+      return IsMemberImpl(oid, cls, &in_progress);
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   Sync();
   auto hit = cache_.find(cls);
   if (hit != cache_.end()) {
-    ++stats_.hits;
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
     TSE_COUNT("algebra.extent.cache_hits");
     return hit->second.extent->count(oid) != 0;
   }
-  // Deliberately not a cache fill: the per-oid walk is the designed
-  // cheap path for membership probes against unmaterialized classes.
   std::set<ClassId> in_progress;
   return IsMemberImpl(oid, cls, &in_progress);
+}
+
+ExtentEvaluator::CacheStats ExtentEvaluator::stats() const {
+  CacheStats out;
+  out.hits = stats_.hits.load(std::memory_order_relaxed);
+  out.misses = stats_.misses.load(std::memory_order_relaxed);
+  out.delta_records = stats_.delta_records.load(std::memory_order_relaxed);
+  out.delta_updates = stats_.delta_updates.load(std::memory_order_relaxed);
+  out.full_rebuilds = stats_.full_rebuilds.load(std::memory_order_relaxed);
+  out.entries_invalidated =
+      stats_.entries_invalidated.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ExtentEvaluator::ResetStats() {
+  stats_.hits.store(0, std::memory_order_relaxed);
+  stats_.misses.store(0, std::memory_order_relaxed);
+  stats_.delta_records.store(0, std::memory_order_relaxed);
+  stats_.delta_updates.store(0, std::memory_order_relaxed);
+  stats_.full_rebuilds.store(0, std::memory_order_relaxed);
+  stats_.entries_invalidated.store(0, std::memory_order_relaxed);
 }
 
 Result<bool> ExtentEvaluator::IsMemberImpl(

@@ -1,10 +1,13 @@
 #ifndef TSE_ALGEBRA_EXTENT_EVAL_H_
 #define TSE_ALGEBRA_EXTENT_EVAL_H_
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <utility>
 
 #include "algebra/extent_deps.h"
@@ -43,6 +46,14 @@ namespace tse::algebra {
 ///
 /// Cached extents are handed out as shared immutable snapshots; delta
 /// application copies-on-write when a snapshot is still referenced.
+///
+/// Thread safety: the evaluator may be shared by many concurrent
+/// readers (tse::Db hands one instance to every session). Cache hits on
+/// a fully synced cache take a shared lock; any path that has to sync
+/// the journal, fill an entry, or drop entries upgrades to the
+/// exclusive lock. The schema graph and store must not be *mutated*
+/// concurrently with evaluator calls — the embedding layer guarantees
+/// that with its schema/data latches (see src/db/db.h).
 class ExtentEvaluator {
  public:
   /// An immutable shared snapshot of a class extent. Cheap to return on
@@ -82,11 +93,20 @@ class ExtentEvaluator {
   /// to whole-cache invalidation on any data write or schema change —
   /// the pre-optimization behaviour, kept as the benchmark baseline and
   /// as a fallback escape hatch.
-  void set_incremental(bool on) { incremental_ = on; }
-  bool incremental() const { return incremental_; }
+  void set_incremental(bool on) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    incremental_ = on;
+  }
+  bool incremental() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return incremental_;
+  }
 
-  const CacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = CacheStats(); }
+  /// Point-in-time snapshot of the cache counters (counters are relaxed
+  /// atomics internally so concurrent sessions can bump them in
+  /// parallel).
+  CacheStats stats() const;
+  void ResetStats();
 
  private:
   struct Entry {
@@ -97,9 +117,26 @@ class ExtentEvaluator {
   /// "Membership of `oid` in `cls` may have changed — recompute."
   using WorkItem = std::pair<ClassId, Oid>;
 
+  /// Relaxed-atomic twins of CacheStats, bumpable under the shared
+  /// lock.
+  struct AtomicStats {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> delta_records{0};
+    std::atomic<uint64_t> delta_updates{0};
+    std::atomic<uint64_t> full_rebuilds{0};
+    std::atomic<uint64_t> entries_invalidated{0};
+  };
+
+  /// True when the cache already reflects the current schema generation
+  /// and store journal head, i.e. Sync() would be a no-op. Requires at
+  /// least the shared lock.
+  bool IsSyncedLocked() const;
+
   /// Brings the cache up to date with the schema (dependency graph,
   /// per-class invalidation) and the store (journal delta application).
   /// Never fails: delta-application errors fall back to a full drop.
+  /// Requires the exclusive lock.
   void Sync() const;
   Status ApplyRecord(const objmodel::ChangeRecord& rec) const;
   Status Propagate(std::deque<WorkItem>* work) const;
@@ -122,13 +159,17 @@ class ExtentEvaluator {
   objmodel::SlicingStore* store_;
   ObjectAccessor accessor_;
   bool incremental_ = true;
+  /// Guards every mutable member below (and incremental_). Cache hits
+  /// on a synced cache hold it shared; sync/fill/invalidation hold it
+  /// exclusive.
+  mutable std::shared_mutex mu_;
   mutable std::map<ClassId, Entry> cache_;
   mutable DerivationDepGraph deps_;
   mutable uint64_t synced_generation_ = 0;
   mutable bool synced_once_ = false;
   mutable uint64_t journal_cursor_ = 0;
   mutable uint64_t cached_mutations_ = 0;  ///< baseline-mode cache key
-  mutable CacheStats stats_;
+  mutable AtomicStats stats_;
 };
 
 }  // namespace tse::algebra

@@ -2,32 +2,33 @@
 
 namespace tse {
 
+namespace {
+
+/// Indexed by StatusCode; extending the enum without a matching row
+/// here fails to compile.
+constexpr const char* kStatusCodeNames[] = {
+    "ok",                   // kOk
+    "invalid_argument",     // kInvalidArgument
+    "not_found",            // kNotFound
+    "already_exists",       // kAlreadyExists
+    "failed_precondition",  // kFailedPrecondition
+    "rejected",             // kRejected
+    "corruption",           // kCorruption
+    "io_error",             // kIOError
+    "aborted",              // kAborted
+    "unimplemented",        // kUnimplemented
+    "internal",             // kInternal
+};
+static_assert(sizeof(kStatusCodeNames) / sizeof(kStatusCodeNames[0]) ==
+                  kStatusCodeCount,
+              "kStatusCodeNames out of sync with StatusCode");
+
+}  // namespace
+
 const char* StatusCodeName(StatusCode code) {
-  switch (code) {
-    case StatusCode::kOk:
-      return "ok";
-    case StatusCode::kInvalidArgument:
-      return "invalid_argument";
-    case StatusCode::kNotFound:
-      return "not_found";
-    case StatusCode::kAlreadyExists:
-      return "already_exists";
-    case StatusCode::kFailedPrecondition:
-      return "failed_precondition";
-    case StatusCode::kRejected:
-      return "rejected";
-    case StatusCode::kCorruption:
-      return "corruption";
-    case StatusCode::kIOError:
-      return "io_error";
-    case StatusCode::kAborted:
-      return "aborted";
-    case StatusCode::kUnimplemented:
-      return "unimplemented";
-    case StatusCode::kInternal:
-      return "internal";
-  }
-  return "unknown";
+  const int index = static_cast<int>(code);
+  if (index < 0 || index >= kStatusCodeCount) return "unknown";
+  return kStatusCodeNames[index];
 }
 
 std::string Status::ToString() const {

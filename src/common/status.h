@@ -24,8 +24,13 @@ enum class StatusCode {
   kInternal,
 };
 
+/// Number of StatusCode values; keep in sync when extending the enum
+/// (the name table in status.cc and its coverage test key off this).
+inline constexpr int kStatusCodeCount =
+    static_cast<int>(StatusCode::kInternal) + 1;
+
 /// Returns the canonical lowercase name of a status code ("ok",
-/// "invalid_argument", ...).
+/// "invalid_argument", ...), or "unknown" for an out-of-range value.
 const char* StatusCodeName(StatusCode code);
 
 /// A cheap value type carrying a `StatusCode` plus a human-readable

@@ -1,0 +1,146 @@
+#include "db/db.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "db/session.h"
+#include "obs/metrics.h"
+#include "objmodel/persistence.h"
+#include "view/catalog_io.h"
+
+namespace tse {
+
+Result<std::unique_ptr<Db>> Db::Open(DbOptions options) {
+  std::unique_ptr<Db> db(new Db());
+  TSE_RETURN_IF_ERROR(db->Bootstrap(std::move(options)));
+  return db;
+}
+
+Status Db::Bootstrap(DbOptions options) {
+  options_ = std::move(options);
+  schema_ = std::make_unique<schema::SchemaGraph>();
+  store_ = std::make_unique<objmodel::SlicingStore>();
+  views_ = std::make_unique<view::ViewManager>(schema_.get());
+  tse_ = std::make_unique<evolution::TseManager>(schema_.get(), store_.get(),
+                                                 views_.get());
+  algebra_ = std::make_unique<algebra::AlgebraProcessor>(schema_.get());
+  classifier_ = std::make_unique<classifier::Classifier>(schema_.get());
+  extents_ =
+      std::make_unique<algebra::ExtentEvaluator>(schema_.get(), store_.get());
+  extents_->set_incremental(options_.incremental_extents);
+  engine_ = std::make_unique<update::UpdateEngine>(
+      schema_.get(), store_.get(), extents_.get(), options_.closure_policy);
+  locks_ = std::make_unique<storage::LockManager>(options_.lock_timeout);
+  txns_ =
+      std::make_unique<update::TransactionManager>(engine_.get(), locks_.get());
+
+  if (options_.data_dir.empty()) return Status::OK();
+
+  std::error_code ec;
+  std::filesystem::create_directories(options_.data_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create data dir " + options_.data_dir +
+                           ": " + ec.message());
+  }
+  storage::RecordStoreOptions store_opts;
+  TSE_ASSIGN_OR_RETURN(
+      catalog_db_,
+      storage::RecordStore::Open(options_.data_dir + "/catalog", store_opts));
+  TSE_ASSIGN_OR_RETURN(
+      objects_db_,
+      storage::RecordStore::Open(options_.data_dir + "/objects", store_opts));
+  committer_ = std::make_unique<db::GroupCommitter>(objects_db_.get());
+
+  if (catalog_db_->size() > 0) {
+    TSE_RETURN_IF_ERROR(
+        view::CatalogIO::Load(catalog_db_.get(), schema_.get(), views_.get()));
+    TSE_RETURN_IF_ERROR(
+        objmodel::PersistenceBridge::LoadAll(objects_db_.get(), store_.get()));
+  }
+  return Status::OK();
+}
+
+Db::~Db() = default;
+
+Status Db::PersistCatalog() {
+  if (!catalog_db_) return Status::OK();
+  return view::CatalogIO::Save(*schema_, *views_, catalog_db_.get());
+}
+
+Result<ClassId> Db::AddBaseClass(
+    const std::string& name, const std::vector<ClassId>& supers,
+    const std::vector<schema::PropertySpec>& props) {
+  std::unique_lock<std::shared_mutex> lock(schema_mu_);
+  TSE_ASSIGN_OR_RETURN(ClassId cls, schema_->AddBaseClass(name, supers, props));
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  TSE_COUNT("db.epoch.bumps");
+  TSE_RETURN_IF_ERROR(PersistCatalog());
+  return cls;
+}
+
+Result<ClassId> Db::DefineVirtualClass(const std::string& name,
+                                       const algebra::Query::Ptr& query) {
+  std::unique_lock<std::shared_mutex> lock(schema_mu_);
+  TSE_ASSIGN_OR_RETURN(ClassId cls, algebra_->DefineVC(name, query));
+  TSE_ASSIGN_OR_RETURN(classifier::ClassifyResult classified,
+                       classifier_->Classify(cls));
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  TSE_COUNT("db.epoch.bumps");
+  TSE_RETURN_IF_ERROR(PersistCatalog());
+  return classified.cls;
+}
+
+Result<ViewId> Db::CreateView(const std::string& logical_name,
+                              const std::vector<view::ViewClassSpec>& classes) {
+  std::unique_lock<std::shared_mutex> lock(schema_mu_);
+  TSE_ASSIGN_OR_RETURN(ViewId id, tse_->CreateView(logical_name, classes));
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  TSE_COUNT("db.epoch.bumps");
+  TSE_RETURN_IF_ERROR(PersistCatalog());
+  return id;
+}
+
+Result<ViewId> Db::MergeViews(ViewId a, ViewId b,
+                              const std::string& merged_logical_name) {
+  std::unique_lock<std::shared_mutex> lock(schema_mu_);
+  TSE_ASSIGN_OR_RETURN(ViewId id,
+                       tse_->MergeVersions(a, b, merged_logical_name));
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  TSE_COUNT("db.epoch.bumps");
+  TSE_RETURN_IF_ERROR(PersistCatalog());
+  return id;
+}
+
+Result<std::unique_ptr<Session>> Db::OpenSession(
+    const std::string& view_name) {
+  std::shared_lock<std::shared_mutex> lock(schema_mu_);
+  TSE_ASSIGN_OR_RETURN(const view::ViewSchema* vs, views_->Current(view_name));
+  TSE_COUNT("db.session.opens");
+  return std::unique_ptr<Session>(new Session(this, vs));
+}
+
+Result<std::unique_ptr<Session>> Db::OpenSessionAt(ViewId view_id) {
+  std::shared_lock<std::shared_mutex> lock(schema_mu_);
+  TSE_ASSIGN_OR_RETURN(const view::ViewSchema* vs, views_->GetView(view_id));
+  TSE_COUNT("db.session.opens");
+  return std::unique_ptr<Session>(new Session(this, vs));
+}
+
+Status Db::Save() {
+  if (!durable()) return Status::OK();
+  std::unique_lock<std::shared_mutex> schema_lock(schema_mu_);
+  std::unique_lock<std::shared_mutex> data_lock(data_mu_);
+  TSE_RETURN_IF_ERROR(PersistCatalog());
+  return objmodel::PersistenceBridge::SaveAll(*store_, objects_db_.get());
+}
+
+Status Db::Checkpoint() {
+  if (!durable()) return Status::OK();
+  TSE_RETURN_IF_ERROR(Save());
+  std::unique_lock<std::shared_mutex> schema_lock(schema_mu_);
+  std::unique_lock<std::shared_mutex> data_lock(data_mu_);
+  TSE_RETURN_IF_ERROR(catalog_db_->Checkpoint());
+  return objects_db_->Checkpoint();
+}
+
+}  // namespace tse

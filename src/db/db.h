@@ -1,0 +1,188 @@
+#ifndef TSE_DB_DB_H_
+#define TSE_DB_DB_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "algebra/extent_eval.h"
+#include "algebra/processor.h"
+#include "classifier/classifier.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "db/group_commit.h"
+#include "evolution/tse_manager.h"
+#include "objmodel/slicing_store.h"
+#include "schema/schema_graph.h"
+#include "storage/lock_manager.h"
+#include "storage/record_store.h"
+#include "update/transaction.h"
+#include "update/update_engine.h"
+#include "view/view_manager.h"
+
+namespace tse {
+
+class Session;
+
+/// Configuration for Db::Open.
+struct DbOptions {
+  /// Section 3.4 value-closure handling for updates through select
+  /// classes (reject by default, per the paper's updatability rules).
+  update::ValueClosurePolicy closure_policy = update::ValueClosurePolicy::kReject;
+
+  /// When non-empty, the database is durable: the object store and the
+  /// schema catalog persist under this directory ("objects.*" and
+  /// "catalog.*" record stores), and Open() restores any previous
+  /// state. Empty = fully in-memory.
+  std::string data_dir;
+
+  /// With a data_dir, every auto-commit mutation (and every transaction
+  /// commit) is made durable before returning, batched across sessions
+  /// by the group committer. When false, data reaches disk only at
+  /// explicit Save()/Checkpoint() calls.
+  bool durable_updates = true;
+
+  /// Incremental extent-cache maintenance (DESIGN.md §6). Off = the
+  /// pre-optimization whole-cache invalidation baseline.
+  bool incremental_extents = true;
+
+  /// How long a transaction waits for a contended object lock before
+  /// giving up with Aborted (timeout-based deadlock resolution).
+  std::chrono::milliseconds lock_timeout{200};
+};
+
+/// The embedding facade over the whole TSE engine (Figure 6 in one
+/// object): owns and wires the global schema graph, the slicing object
+/// store, the view manager + history, the TSEM, the update engine, a
+/// shared incremental extent evaluator, the transaction manager, and
+/// (when durable) the WAL/pager record stores.
+///
+/// ## Concurrency model (DESIGN.md §8)
+///
+/// Many sessions share one Db from many threads:
+///
+///   - *Reads* (resolve/get/extent) and *object updates* run in
+///     parallel: both hold `schema_mu_` shared; updates additionally
+///     hold `data_mu_` exclusive while mutating the store (reads hold
+///     it shared).
+///   - *Schema changes* (Session::Apply, Db DDL, MergeViews) take
+///     `schema_mu_` exclusive: they drain every in-flight session
+///     operation, mutate the global schema, bump the epoch, and
+///     release. Sessions bound to older view versions are untouched —
+///     the paper's transparency guarantee is the isolation story, so
+///     no session is ever aborted by a schema change.
+///   - Durability waits (group-commit fsync) happen with no latch
+///     held, so one session's fsync never blocks another's reads.
+///
+/// Lock order: schema_mu_ → data_mu_ → (component-internal locks).
+class Db {
+ public:
+  /// Opens a database. With options.data_dir set, restores persisted
+  /// catalog + objects from a previous run.
+  static Result<std::unique_ptr<Db>> Open(DbOptions options = {});
+
+  ~Db();
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  // --- Global DDL (exclusive; epoch-bumping) ----------------------------
+
+  /// Defines a base class with declared is-a supers and local props.
+  Result<ClassId> AddBaseClass(const std::string& name,
+                               const std::vector<ClassId>& supers,
+                               const std::vector<schema::PropertySpec>& props);
+
+  /// `defineVC name as query`: materializes the virtual class(es) and
+  /// classifies them into the global DAG. Returns the representative
+  /// class (an existing duplicate when one is found).
+  Result<ClassId> DefineVirtualClass(const std::string& name,
+                                     const algebra::Query::Ptr& query);
+
+  /// Creates version 1 of a user view (type closure completed
+  /// automatically).
+  Result<ViewId> CreateView(const std::string& logical_name,
+                            const std::vector<view::ViewClassSpec>& classes);
+
+  /// Section 7: merges two view versions into a new logical view.
+  Result<ViewId> MergeViews(ViewId a, ViewId b,
+                            const std::string& merged_logical_name);
+
+  // --- Sessions ---------------------------------------------------------
+
+  /// Binds a new session to the *current* version of `view_name`
+  /// (NotFound when no such logical view exists). The session stays
+  /// pinned to that version until it evolves the view itself or calls
+  /// Refresh(). Sessions must not outlive the Db.
+  Result<std::unique_ptr<Session>> OpenSession(const std::string& view_name);
+
+  /// Binds to an explicit (possibly historical) view version.
+  Result<std::unique_ptr<Session>> OpenSessionAt(ViewId view_id);
+
+  /// Monotone schema-change counter: bumped by every DDL call and every
+  /// session schema change. A session records the epoch it bound at.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // --- Durability -------------------------------------------------------
+
+  bool durable() const { return objects_db_ != nullptr; }
+
+  /// Persists the full catalog + object snapshot (no-op when
+  /// in-memory).
+  Status Save();
+
+  /// Save() + page-file checkpoint + WAL truncation on both stores.
+  Status Checkpoint();
+
+  // --- Component escape hatch -------------------------------------------
+  // Direct component access for tools and tests. These bypass the
+  // session latches: do not mutate through them while concurrent
+  // sessions are live. docs/API.md lists what is supported.
+
+  schema::SchemaGraph& schema() { return *schema_; }
+  objmodel::SlicingStore& store() { return *store_; }
+  view::ViewManager& views() { return *views_; }
+  evolution::TseManager& tsem() { return *tse_; }
+  update::UpdateEngine& engine() { return *engine_; }
+  algebra::ExtentEvaluator& extents() { return *extents_; }
+
+ private:
+  friend class Session;
+
+  Db() = default;
+
+  /// Wires components; with a data_dir, opens the record stores and
+  /// restores persisted state.
+  Status Bootstrap(DbOptions options);
+
+  /// Writes the catalog through CatalogIO (commits internally).
+  /// Requires schema_mu_ exclusive.
+  Status PersistCatalog();
+
+  DbOptions options_;
+  std::unique_ptr<schema::SchemaGraph> schema_;
+  std::unique_ptr<objmodel::SlicingStore> store_;
+  std::unique_ptr<view::ViewManager> views_;
+  std::unique_ptr<evolution::TseManager> tse_;
+  std::unique_ptr<algebra::AlgebraProcessor> algebra_;
+  std::unique_ptr<classifier::Classifier> classifier_;
+  std::unique_ptr<algebra::ExtentEvaluator> extents_;
+  std::unique_ptr<update::UpdateEngine> engine_;
+  std::unique_ptr<storage::LockManager> locks_;
+  std::unique_ptr<update::TransactionManager> txns_;
+  std::unique_ptr<storage::RecordStore> objects_db_;  ///< null when in-memory
+  std::unique_ptr<storage::RecordStore> catalog_db_;  ///< null when in-memory
+  std::unique_ptr<db::GroupCommitter> committer_;
+
+  /// Schema latch: session ops shared, schema changes exclusive.
+  mutable std::shared_mutex schema_mu_;
+  /// Data latch: object reads shared, object mutations exclusive.
+  mutable std::shared_mutex data_mu_;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace tse
+
+#endif  // TSE_DB_DB_H_

@@ -1,0 +1,54 @@
+#include "db/group_commit.h"
+
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace tse::db {
+
+namespace {
+/// Upper bound on leader batch-window yields; the window closes early
+/// the first time a yield brings in no new ticket.
+constexpr int kMaxBatchYields = 16;
+}  // namespace
+
+Status GroupCommitter::CommitDurable() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t my_ticket = ++requested_;
+  TSE_COUNT("db.group_commit.requests");
+  for (;;) {
+    if (durable_ >= my_ticket) return last_status_;
+    if (!flushing_) {
+      // Become the leader: flush every append up to the latest ticket.
+      flushing_ = true;
+      // Batch window: yield the core so sessions that are mid-update
+      // can finish their store work and enqueue their tickets into
+      // this batch. Stop the moment a yield adds no ticket — on an
+      // idle or single-session database the window costs one yield.
+      uint64_t seen = requested_;
+      for (int i = 0; i < kMaxBatchYields; ++i) {
+        lock.unlock();
+        std::this_thread::yield();
+        lock.lock();
+        if (requested_ == seen) break;
+        seen = requested_;
+      }
+      const uint64_t batch_high = requested_;
+      lock.unlock();
+      Status status = store_->Commit();
+      lock.lock();
+      flushing_ = false;
+      durable_ = batch_high;
+      last_status_ = status;
+      TSE_COUNT("db.group_commit.batches");
+      TSE_COUNT_N("db.group_commit.batched_requests",
+                  batch_high - my_ticket + 1);
+      cv_.notify_all();
+      if (durable_ >= my_ticket) return status;
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+}  // namespace tse::db

@@ -1,0 +1,55 @@
+#ifndef TSE_DB_GROUP_COMMIT_H_
+#define TSE_DB_GROUP_COMMIT_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/status.h"
+#include "storage/record_store.h"
+
+namespace tse::db {
+
+/// Batches durability points from many sessions into one WAL fsync.
+///
+/// RecordStore::Commit() is dominated by the fsync; with N sessions
+/// each committing its own update, N back-to-back fsyncs serialize the
+/// whole database on the disk. The committer instead runs the classic
+/// leader/follower protocol: the first session to arrive becomes the
+/// leader and flushes *everything appended so far*; sessions arriving
+/// while the flush is in flight just wait for the next one. Before
+/// flushing, the leader holds a short batch window (yielding the core
+/// while new tickets keep arriving) so sessions mid-update can join
+/// the batch; the window closes immediately when the database is
+/// quiet, so a lone session pays one yield, not a delay. On a busy
+/// database one fsync makes many sessions' updates durable at once —
+/// this is where multi-session throughput scaling comes from on a
+/// single disk (and a single core).
+///
+/// Thread-safe. WAL appends (RecordStore::Put) may proceed concurrently
+/// with a flush — appends after the in-flight commit marker simply wait
+/// for the next batch.
+class GroupCommitter {
+ public:
+  explicit GroupCommitter(storage::RecordStore* store) : store_(store) {}
+
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  /// Blocks until every WAL append made before this call is durable.
+  /// A failed fsync is reported to every session in the batch (any of
+  /// their updates may have been lost).
+  Status CommitDurable();
+
+ private:
+  storage::RecordStore* store_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t requested_ = 0;  ///< durability tickets issued
+  uint64_t durable_ = 0;    ///< highest ticket covered by a finished flush
+  bool flushing_ = false;   ///< a leader is inside store_->Commit()
+  Status last_status_ = Status::OK();
+};
+
+}  // namespace tse::db
+
+#endif  // TSE_DB_GROUP_COMMIT_H_

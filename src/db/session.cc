@@ -1,0 +1,260 @@
+#include "db/session.h"
+
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "db/db.h"
+#include "evolution/change_parser.h"
+#include "obs/metrics.h"
+#include "objmodel/persistence.h"
+
+namespace tse {
+
+Session::Session(Db* db, const view::ViewSchema* view)
+    : db_(db), view_(view), bound_epoch_(db->epoch()) {}
+
+Session::~Session() {
+  if (in_transaction()) {
+    Status rollback = Rollback();
+    (void)rollback;
+  }
+  TSE_COUNT("db.session.closes");
+}
+
+const std::string& Session::view_name() const { return view_->logical_name(); }
+ViewId Session::view_id() const { return view_->id(); }
+int Session::view_version() const { return view_->version(); }
+
+// --- Reads -----------------------------------------------------------------
+
+Result<ClassId> Session::Resolve(const std::string& display_name) const {
+  std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+  return view_->Resolve(display_name);
+}
+
+Result<objmodel::Value> Session::Get(Oid oid, const std::string& class_name,
+                                     const std::string& path) const {
+  TSE_LATENCY_US("db.session.read_us");
+  std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+  std::shared_lock<std::shared_mutex> data_lock(db_->data_mu_);
+  TSE_COUNT("db.session.reads");
+  TSE_ASSIGN_OR_RETURN(ClassId cls, view_->Resolve(class_name));
+  if (txn_ && txn_->active()) return txn_->Read(oid, cls, path);
+  return db_->engine_->accessor().Read(oid, cls, path);
+}
+
+Result<algebra::ExtentEvaluator::ExtentPtr> Session::Extent(
+    const std::string& class_name) const {
+  TSE_LATENCY_US("db.session.read_us");
+  std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+  std::shared_lock<std::shared_mutex> data_lock(db_->data_mu_);
+  TSE_COUNT("db.session.reads");
+  TSE_ASSIGN_OR_RETURN(ClassId cls, view_->Resolve(class_name));
+  return db_->extents_->Extent(cls);
+}
+
+std::string Session::ViewToString() const {
+  std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+  return view_->ToString();
+}
+
+// --- Updates ---------------------------------------------------------------
+
+Status Session::PersistAndCommit(Oid oid) {
+  if (!db_->objects_db_ || !db_->options_.durable_updates) return Status::OK();
+  {
+    std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    TSE_RETURN_IF_ERROR(objmodel::PersistenceBridge::SaveObject(
+        *db_->store_, oid, db_->objects_db_.get()));
+  }
+  // Group-commit with no latch held: the fsync batches with every other
+  // session currently committing.
+  return db_->committer_->CommitDurable();
+}
+
+Result<Oid> Session::Create(const std::string& class_name,
+                            const std::vector<update::Assignment>& assignments) {
+  TSE_LATENCY_US("db.session.update_us");
+  Oid oid;
+  {
+    std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+    TSE_COUNT("db.session.updates");
+    TSE_ASSIGN_OR_RETURN(ClassId cls, view_->Resolve(class_name));
+    std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    if (txn_ && txn_->active()) {
+      TSE_ASSIGN_OR_RETURN(oid, txn_->Create(cls, assignments));
+      txn_touched_.push_back(oid);
+      return oid;
+    }
+    TSE_ASSIGN_OR_RETURN(oid, db_->engine_->Create(cls, assignments));
+  }
+  TSE_RETURN_IF_ERROR(PersistAndCommit(oid));
+  return oid;
+}
+
+Status Session::Set(Oid oid, const std::string& class_name,
+                    const std::string& name, objmodel::Value value) {
+  TSE_LATENCY_US("db.session.update_us");
+  {
+    std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+    TSE_COUNT("db.session.updates");
+    TSE_ASSIGN_OR_RETURN(ClassId cls, view_->Resolve(class_name));
+    std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    if (txn_ && txn_->active()) {
+      TSE_RETURN_IF_ERROR(txn_->Set(oid, cls, name, std::move(value)));
+      txn_touched_.push_back(oid);
+      return Status::OK();
+    }
+    TSE_RETURN_IF_ERROR(db_->engine_->Set(oid, cls, name, std::move(value)));
+  }
+  return PersistAndCommit(oid);
+}
+
+Status Session::Add(Oid oid, const std::string& class_name) {
+  TSE_LATENCY_US("db.session.update_us");
+  {
+    std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+    TSE_COUNT("db.session.updates");
+    TSE_ASSIGN_OR_RETURN(ClassId cls, view_->Resolve(class_name));
+    std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    if (txn_ && txn_->active()) {
+      TSE_RETURN_IF_ERROR(txn_->Add(oid, cls));
+      txn_touched_.push_back(oid);
+      return Status::OK();
+    }
+    TSE_RETURN_IF_ERROR(db_->engine_->Add(oid, cls));
+  }
+  return PersistAndCommit(oid);
+}
+
+Status Session::Remove(Oid oid, const std::string& class_name) {
+  TSE_LATENCY_US("db.session.update_us");
+  {
+    std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+    TSE_COUNT("db.session.updates");
+    TSE_ASSIGN_OR_RETURN(ClassId cls, view_->Resolve(class_name));
+    std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    if (txn_ && txn_->active()) {
+      TSE_RETURN_IF_ERROR(txn_->Remove(oid, cls));
+      txn_touched_.push_back(oid);
+      return Status::OK();
+    }
+    TSE_RETURN_IF_ERROR(db_->engine_->Remove(oid, cls));
+  }
+  return PersistAndCommit(oid);
+}
+
+Status Session::Delete(Oid oid) {
+  TSE_LATENCY_US("db.session.update_us");
+  {
+    std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+    TSE_COUNT("db.session.updates");
+    std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    if (txn_ && txn_->active()) {
+      TSE_RETURN_IF_ERROR(txn_->Delete(oid));
+      txn_touched_.push_back(oid);
+      return Status::OK();
+    }
+    TSE_RETURN_IF_ERROR(db_->engine_->Delete(oid));
+  }
+  return PersistAndCommit(oid);
+}
+
+// --- Transactions -----------------------------------------------------------
+
+Status Session::Begin() {
+  if (in_transaction()) {
+    return Status::FailedPrecondition("session already has an open transaction");
+  }
+  txn_ = db_->txns_->Begin();
+  txn_touched_.clear();
+  TSE_COUNT("db.session.txn_begins");
+  return Status::OK();
+}
+
+Status Session::Commit() {
+  if (!in_transaction()) {
+    return Status::FailedPrecondition("no open transaction");
+  }
+  TSE_RETURN_IF_ERROR(txn_->Commit());
+  txn_.reset();
+  TSE_COUNT("db.session.txn_commits");
+  if (db_->objects_db_ && db_->options_.durable_updates &&
+      !txn_touched_.empty()) {
+    {
+      std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+      std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+      for (Oid oid : txn_touched_) {
+        TSE_RETURN_IF_ERROR(objmodel::PersistenceBridge::SaveObject(
+            *db_->store_, oid, db_->objects_db_.get()));
+      }
+    }
+    txn_touched_.clear();
+    return db_->committer_->CommitDurable();
+  }
+  txn_touched_.clear();
+  return Status::OK();
+}
+
+Status Session::Rollback() {
+  if (!in_transaction()) {
+    return Status::FailedPrecondition("no open transaction");
+  }
+  std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+  Status status;
+  {
+    std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    status = txn_->Abort();
+  }
+  txn_.reset();
+  txn_touched_.clear();
+  TSE_COUNT("db.session.txn_rollbacks");
+  return status;
+}
+
+// --- Schema evolution --------------------------------------------------------
+
+Result<ViewId> Session::Apply(const evolution::SchemaChange& change) {
+  if (in_transaction()) {
+    return Status::FailedPrecondition(
+        "cannot change the schema inside an open transaction");
+  }
+  std::unique_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+  TSE_ASSIGN_OR_RETURN(ViewId new_view,
+                       db_->tse_->ApplyChange(view_->id(), change));
+  TSE_ASSIGN_OR_RETURN(view_, db_->views_->GetView(new_view));
+  db_->epoch_.fetch_add(1, std::memory_order_acq_rel);
+  bound_epoch_ = db_->epoch();
+  TSE_COUNT("db.epoch.bumps");
+  TSE_COUNT("db.session.schema_changes");
+  TSE_RETURN_IF_ERROR(db_->PersistCatalog());
+  return new_view;
+}
+
+Result<ViewId> Session::Apply(const std::string& change_text) {
+  TSE_ASSIGN_OR_RETURN(evolution::SchemaChange change,
+                       evolution::ParseChange(change_text));
+  return Apply(change);
+}
+
+Result<ViewId> Session::ApplyScript(
+    const std::vector<evolution::SchemaChange>& script) {
+  ViewId last = view_->id();
+  for (const evolution::SchemaChange& change : script) {
+    TSE_ASSIGN_OR_RETURN(last, Apply(change));
+  }
+  return last;
+}
+
+Status Session::Refresh() {
+  std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+  TSE_ASSIGN_OR_RETURN(const view::ViewSchema* current,
+                       db_->views_->Current(view_->logical_name()));
+  view_ = current;
+  bound_epoch_ = db_->epoch();
+  TSE_COUNT("db.session.refreshes");
+  return Status::OK();
+}
+
+}  // namespace tse

@@ -1,0 +1,129 @@
+#ifndef TSE_DB_SESSION_H_
+#define TSE_DB_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/extent_eval.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "evolution/schema_change.h"
+#include "objmodel/value.h"
+#include "update/transaction.h"
+#include "update/update_engine.h"
+#include "view/view_schema.h"
+
+namespace tse {
+
+class Db;
+
+/// A client's handle on the database, bound to one view version — the
+/// paper's unit of user isolation (Section 7): every name the session
+/// speaks is a *display name in its view*, and the session keeps
+/// working against its version no matter what schema changes other
+/// sessions apply. Evolving the view (Apply) transparently rebinds the
+/// session to the new version it requested; Refresh() opts in to the
+/// newest version of the logical view.
+///
+/// Thread safety: a Session is a single-client handle — one thread at
+/// a time per session. Any number of *sessions* may operate on the
+/// shared Db concurrently (see Db's concurrency model).
+///
+/// Updates run in auto-commit mode (each op durable per
+/// DbOptions::durable_updates) unless bracketed by Begin()/Commit(),
+/// which provides strict-2PL isolation with rollback. Destroying a
+/// session with an open transaction rolls it back.
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // --- Identity ---------------------------------------------------------
+
+  const std::string& view_name() const;
+  ViewId view_id() const;
+  int view_version() const;
+  /// The Db epoch when this session last (re)bound its view.
+  uint64_t bound_epoch() const { return bound_epoch_; }
+
+  // --- Reads ------------------------------------------------------------
+
+  /// Resolves a display name in the bound view to its global class.
+  Result<ClassId> Resolve(const std::string& display_name) const;
+
+  /// Reads `path` (dotted reference navigation allowed) of `oid` in the
+  /// context of view class `class_name`. Inside a transaction the read
+  /// takes a shared object lock.
+  Result<objmodel::Value> Get(Oid oid, const std::string& class_name,
+                              const std::string& path) const;
+
+  /// The extent of view class `class_name` as a shared immutable
+  /// snapshot (stable even as other sessions keep writing).
+  Result<algebra::ExtentEvaluator::ExtentPtr> Extent(
+      const std::string& class_name) const;
+
+  /// Pretty-prints the bound view schema.
+  std::string ViewToString() const;
+
+  // --- Updates (Section 3.3 generic operators, view-name addressed) -----
+
+  Result<Oid> Create(const std::string& class_name,
+                     const std::vector<update::Assignment>& assignments);
+  Status Set(Oid oid, const std::string& class_name, const std::string& name,
+             objmodel::Value value);
+  Status Add(Oid oid, const std::string& class_name);
+  Status Remove(Oid oid, const std::string& class_name);
+  Status Delete(Oid oid);
+
+  // --- Transactions -----------------------------------------------------
+
+  /// Starts a strict-2PL transaction. FailedPrecondition when one is
+  /// already open.
+  Status Begin();
+  /// Commits and (when durable) group-commits the touched objects.
+  Status Commit();
+  /// Rolls back every effect of the open transaction.
+  Status Rollback();
+  bool in_transaction() const { return txn_ != nullptr && txn_->active(); }
+
+  // --- Schema evolution -------------------------------------------------
+
+  /// Applies a schema change to the bound view (exclusive writer path:
+  /// drains all in-flight session ops, bumps the Db epoch) and rebinds
+  /// this session to the new version. Other sessions — including ones
+  /// on older versions of the same logical view — are untouched.
+  /// Rejected inside an open transaction.
+  Result<ViewId> Apply(const evolution::SchemaChange& change);
+
+  /// Parses `change_text` ("add_attribute x:int to C", …) and applies.
+  Result<ViewId> Apply(const std::string& change_text);
+
+  /// Applies a script in order; returns the final version.
+  Result<ViewId> ApplyScript(const std::vector<evolution::SchemaChange>& script);
+
+  /// Rebinds to the current (newest) version of the logical view.
+  Status Refresh();
+
+ private:
+  friend class Db;
+
+  Session(Db* db, const view::ViewSchema* view);
+
+  /// Auto-commit tail for a durable mutation: persist `oid` under the
+  /// data latch, then group-commit with no latch held.
+  Status PersistAndCommit(Oid oid);
+
+  Db* db_;
+  /// Stable pointer: ViewManager never erases registered versions.
+  const view::ViewSchema* view_;
+  std::unique_ptr<update::Transaction> txn_;
+  /// Objects mutated inside the open transaction (persisted on commit).
+  std::vector<Oid> txn_touched_;
+  uint64_t bound_epoch_ = 0;
+};
+
+}  // namespace tse
+
+#endif  // TSE_DB_SESSION_H_

@@ -214,7 +214,10 @@ Result<ClassId> SchemaGraph::AddRefineClass(
   }
   // The derivation gained properties after AddVirtualClass; only the new
   // class's own type could have been computed in between — drop it.
-  type_cache_.erase(cls.value());
+  {
+    std::unique_lock<std::shared_mutex> lock(memo_mu_);
+    type_cache_.erase(cls.value());
+  }
   return cls;
 }
 
@@ -229,7 +232,10 @@ Status SchemaGraph::AddLocalProperty(ClassId cls, PropertyDefId def) {
   node->local_props.push_back(def);
   // A new stored name can shadow (or un-shadow) resolution anywhere
   // beneath `cls`: drop the type memo and floor every extent cache.
-  type_cache_.clear();
+  {
+    std::unique_lock<std::shared_mutex> lock(memo_mu_);
+    type_cache_.clear();
+  }
   ++generation_;
   invalidate_floor_ = generation_;
   return Status::OK();
@@ -270,14 +276,17 @@ Status SchemaGraph::RemoveClass(ClassId cls) {
   // subsumptions between other classes — facts that remain semantically
   // true. Dropping just the entries that name it keeps the rest of the
   // memo hot across a ClassifyAll batch full of discarded duplicates.
-  for (auto it = extent_cache_.begin(); it != extent_cache_.end();) {
-    if (it->first.first == cls.value() || it->first.second == cls.value()) {
-      it = extent_cache_.erase(it);
-    } else {
-      ++it;
+  {
+    std::unique_lock<std::shared_mutex> lock(memo_mu_);
+    for (auto it = extent_cache_.begin(); it != extent_cache_.end();) {
+      if (it->first.first == cls.value() || it->first.second == cls.value()) {
+        it = extent_cache_.erase(it);
+      } else {
+        ++it;
+      }
     }
+    type_cache_.erase(cls.value());
   }
-  type_cache_.erase(cls.value());
   class_versions_.erase(cls.value());
   ++generation_;
   return Status::OK();
@@ -341,7 +350,10 @@ Status SchemaGraph::RenameProperty(PropertyDefId id,
   it->second.name = new_name;
   // Renames can silently retarget by-name resolution in select
   // predicates: drop the type memo and floor every extent cache.
-  type_cache_.clear();
+  {
+    std::unique_lock<std::shared_mutex> lock(memo_mu_);
+    type_cache_.clear();
+  }
   ++generation_;
   invalidate_floor_ = generation_;
   return Status::OK();
@@ -384,6 +396,12 @@ Result<std::vector<ClassId>> SchemaGraph::OriginClasses(ClassId cls) const {
 // --- Effective types -------------------------------------------------------
 
 Result<TypeSet> SchemaGraph::EffectiveType(ClassId cls) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(memo_mu_);
+    auto hit = type_cache_.find(cls.value());
+    if (hit != type_cache_.end()) return hit->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(memo_mu_);
   TypeSet out;
   std::set<ClassId> in_progress;
   TSE_RETURN_IF_ERROR(ComputeType(cls, &out, &in_progress));
@@ -560,6 +578,15 @@ std::vector<ClassId> SchemaGraph::DirectExtentUps(ClassId cls) const {
 
 bool SchemaGraph::ExtentSubsumedBy(ClassId a, ClassId b) const {
   auto key = std::make_pair(a.value(), b.value());
+  {
+    std::shared_lock<std::shared_mutex> lock(memo_mu_);
+    auto hit = extent_cache_.find(key);
+    if (hit != extent_cache_.end()) {
+      TSE_COUNT("schema.subsume.memo_hits");
+      return hit->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(memo_mu_);
   auto hit = extent_cache_.find(key);
   if (hit != extent_cache_.end()) {
     TSE_COUNT("schema.subsume.memo_hits");

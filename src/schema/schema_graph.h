@@ -3,7 +3,9 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -195,11 +197,13 @@ class SchemaGraph {
 
   /// `tainted` is set when the computation was pruned by the cycle
   /// guard; tainted *negative* results are path-dependent and must not
-  /// be cached (positive results are always sound to cache).
+  /// be cached (positive results are always sound to cache). Requires
+  /// memo_mu_ held exclusive (reads and fills extent_cache_ freely).
   bool ExtentSubsumedByImpl(ClassId a, ClassId b,
                             std::set<ClassId>* in_progress,
                             bool* tainted) const;
 
+  /// Requires memo_mu_ held exclusive (reads and fills type_cache_).
   Status ComputeType(ClassId cls, TypeSet* out,
                      std::set<ClassId>* in_progress) const;
 
@@ -215,6 +219,14 @@ class SchemaGraph {
   uint64_t invalidate_floor_ = 0;
   /// ClassId.value() -> class_version().
   std::unordered_map<uint64_t, uint64_t> class_versions_;
+  /// Guards the two memo caches below, which are filled lazily during
+  /// logically-const queries and may therefore race when many sessions
+  /// read one schema concurrently. Hits take the lock shared; memo
+  /// fills and invalidations take it exclusive. Everything *else* in
+  /// the graph is protected by the embedding layer's schema latch
+  /// (mutations are exclusive there), so only the memos need a lock of
+  /// their own.
+  mutable std::shared_mutex memo_mu_;
   /// Top-level ExtentSubsumedBy memo; invalidated whenever the
   /// derivation structure changes (class added/removed).
   mutable std::map<std::pair<uint64_t, uint64_t>, bool> extent_cache_;

@@ -56,7 +56,7 @@ Result<Oid> UpdateEngine::Create(ClassId cls,
   if (status.ok() && policy_ == ValueClosurePolicy::kReject) {
     // Value closure: the created object must actually be a member of
     // the class it was created through.
-    auto member = extents_.IsMember(oid, cls);
+    auto member = extents_->IsMember(oid, cls);
     if (!member.ok()) {
       status = member.status();
     } else if (!member.value()) {
@@ -83,7 +83,7 @@ Status UpdateEngine::Delete(Oid oid) {
 
 Status UpdateEngine::Set(Oid oid, ClassId cls, const std::string& name,
                          Value value) {
-  TSE_ASSIGN_OR_RETURN(bool member, extents_.IsMember(oid, cls));
+  TSE_ASSIGN_OR_RETURN(bool member, extents_->IsMember(oid, cls));
   if (!member) {
     return Status::FailedPrecondition(
         StrCat("object ", oid.ToString(), " is not a member of the class"));
@@ -92,7 +92,7 @@ Status UpdateEngine::Set(Oid oid, ClassId cls, const std::string& name,
     // Apply, then verify the object did not fall out of the class.
     TSE_ASSIGN_OR_RETURN(Value old_value, accessor_.Read(oid, cls, name));
     TSE_RETURN_IF_ERROR(accessor_.Write(oid, cls, name, value));
-    auto still = extents_.IsMember(oid, cls);
+    auto still = extents_->IsMember(oid, cls);
     if (!still.ok()) return still.status();
     if (!still.value()) {
       TSE_RETURN_IF_ERROR(accessor_.Write(oid, cls, name, old_value));
@@ -118,7 +118,7 @@ Status UpdateEngine::Add(Oid oid, ClassId cls) {
     TSE_RETURN_IF_ERROR(store_->AddMembership(oid, target));
   }
   if (policy_ == ValueClosurePolicy::kReject) {
-    auto member = extents_.IsMember(oid, cls);
+    auto member = extents_->IsMember(oid, cls);
     // Both a negative verdict and a failed check (e.g. the predicate
     // errored on a Null attribute) roll the memberships back — the add
     // must be all-or-nothing.

@@ -1,6 +1,7 @@
 #ifndef TSE_UPDATE_UPDATE_ENGINE_H_
 #define TSE_UPDATE_UPDATE_ENGINE_H_
 
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
@@ -53,7 +54,22 @@ class UpdateEngine {
         store_(store),
         policy_(policy),
         accessor_(schema, store),
-        extents_(schema, store) {}
+        owned_extents_(
+            std::make_unique<algebra::ExtentEvaluator>(schema, store)),
+        extents_(owned_extents_.get()) {}
+
+  /// Shares an externally owned extent evaluator instead of building a
+  /// private one — tse::Db uses this so updates, queries, and the
+  /// classifier all maintain one incremental cache. `shared_extents`
+  /// must outlive the engine.
+  UpdateEngine(schema::SchemaGraph* schema, objmodel::SlicingStore* store,
+               algebra::ExtentEvaluator* shared_extents,
+               ValueClosurePolicy policy = ValueClosurePolicy::kReject)
+      : schema_(schema),
+        store_(store),
+        policy_(policy),
+        accessor_(schema, store),
+        extents_(shared_extents) {}
 
   /// `(<class> create [assignments])`: creates an object as a member of
   /// `cls`, assigns the listed properties (resolved in `cls` context),
@@ -80,7 +96,7 @@ class UpdateEngine {
   static std::set<ClassId> MarkUpdatable(const schema::SchemaGraph& schema);
 
   algebra::ObjectAccessor& accessor() { return accessor_; }
-  algebra::ExtentEvaluator& extents() { return extents_; }
+  algebra::ExtentEvaluator& extents() { return *extents_; }
 
  private:
   /// The base classes a create/add through `cls` lands on.
@@ -90,7 +106,9 @@ class UpdateEngine {
   objmodel::SlicingStore* store_;
   ValueClosurePolicy policy_;
   algebra::ObjectAccessor accessor_;
-  algebra::ExtentEvaluator extents_;
+  /// Set only by the owning constructor; null when sharing.
+  std::unique_ptr<algebra::ExtentEvaluator> owned_extents_;
+  algebra::ExtentEvaluator* extents_;
 };
 
 }  // namespace tse::update

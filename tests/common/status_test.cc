@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/result.h"
 
 namespace tse {
@@ -23,9 +28,39 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(StatusTest, EveryCodeHasAName) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+  for (int c = 0; c < kStatusCodeCount; ++c) {
     EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "unknown");
   }
+}
+
+TEST(StatusTest, NameTableIsExactAndUnique) {
+  // The canonical table, in enum order. Adding a StatusCode means
+  // adding a row here — the count check below fails otherwise.
+  const std::vector<std::pair<StatusCode, std::string>> expected = {
+      {StatusCode::kOk, "ok"},
+      {StatusCode::kInvalidArgument, "invalid_argument"},
+      {StatusCode::kNotFound, "not_found"},
+      {StatusCode::kAlreadyExists, "already_exists"},
+      {StatusCode::kFailedPrecondition, "failed_precondition"},
+      {StatusCode::kRejected, "rejected"},
+      {StatusCode::kCorruption, "corruption"},
+      {StatusCode::kIOError, "io_error"},
+      {StatusCode::kAborted, "aborted"},
+      {StatusCode::kUnimplemented, "unimplemented"},
+      {StatusCode::kInternal, "internal"},
+  };
+  ASSERT_EQ(expected.size(), static_cast<size_t>(kStatusCodeCount));
+  std::set<std::string> seen;
+  for (const auto& [code, name] : expected) {
+    EXPECT_EQ(StatusCodeName(code), name);
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+TEST(StatusTest, OutOfRangeCodeIsUnknown) {
+  EXPECT_STREQ(StatusCodeName(static_cast<StatusCode>(kStatusCodeCount)),
+               "unknown");
+  EXPECT_STREQ(StatusCodeName(static_cast<StatusCode>(-1)), "unknown");
 }
 
 TEST(StatusTest, RejectedIsDistinctFromInvalidArgument) {

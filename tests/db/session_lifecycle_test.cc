@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "db/db.h"
+#include "db/session.h"
+
+namespace tse {
+namespace {
+
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+std::unique_ptr<Db> MakeDb() {
+  DbOptions options;
+  options.closure_policy = update::ValueClosurePolicy::kAllow;
+  auto db = Db::Open(options).value();
+  ClassId person =
+      db->AddBaseClass("Person", {},
+                       {PropertySpec::Attribute("name", ValueType::kString)})
+          .value();
+  db->CreateView("People", {{person, "Person"}}).value();
+  return db;
+}
+
+TEST(SessionLifecycleTest, CloseWithOpenTransactionRollsBack) {
+  auto db = MakeDb();
+  Oid ghost;
+  {
+    auto session = db->OpenSession("People").value();
+    ASSERT_TRUE(session->Begin().ok());
+    ghost = session->Create("Person", {{"name", Value::Str("ghost")}}).value();
+    EXPECT_TRUE(db->store().Exists(ghost));
+    // Session destroyed with the transaction still open.
+  }
+  // The uncommitted create was rolled back.
+  EXPECT_FALSE(db->store().Exists(ghost));
+  auto checker = db->OpenSession("People").value();
+  EXPECT_EQ(checker->Extent("Person").value()->count(ghost), 0u);
+}
+
+TEST(SessionLifecycleTest, OpenSessionOnUnknownViewIsNotFound) {
+  auto db = MakeDb();
+  auto result = db->OpenSession("NoSuchView");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  // Unknown explicit version ids as well.
+  EXPECT_TRUE(db->OpenSessionAt(ViewId(424242)).status().IsNotFound());
+}
+
+TEST(SessionLifecycleTest, SessionsOnDifferentVersionsSeeDisjointChanges) {
+  auto db = MakeDb();
+  // Two sessions fork the same logical view into disjoint version
+  // lines: each sees its own change and not the other's.
+  auto a = db->OpenSession("People").value();
+  auto b = db->OpenSession("People").value();
+  a->Apply("add_attribute office:string to Person").value();
+  b->Apply("add_attribute badge:int to Person").value();
+  ASSERT_NE(a->view_id(), b->view_id());
+
+  Oid kim = a->Create("Person", {{"name", Value::Str("kim")}}).value();
+  ASSERT_TRUE(a->Set(kim, "Person", "office", Value::Str("b42")).ok());
+  ASSERT_TRUE(b->Set(kim, "Person", "badge", Value::Int(7)).ok());
+
+  // a sees office but not badge; b sees badge but not office.
+  EXPECT_TRUE(a->Get(kim, "Person", "office").ok());
+  EXPECT_FALSE(a->Get(kim, "Person", "badge").ok());
+  EXPECT_TRUE(b->Get(kim, "Person", "badge").ok());
+  EXPECT_FALSE(b->Get(kim, "Person", "office").ok());
+}
+
+TEST(SessionLifecycleTest, DoubleBeginAndStrayCommitAreRejected) {
+  auto db = MakeDb();
+  auto session = db->OpenSession("People").value();
+  EXPECT_FALSE(session->Commit().ok());
+  EXPECT_FALSE(session->Rollback().ok());
+  ASSERT_TRUE(session->Begin().ok());
+  EXPECT_FALSE(session->Begin().ok());
+  ASSERT_TRUE(session->Rollback().ok());
+  // A fresh transaction works after the rollback.
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Commit().ok());
+}
+
+TEST(SessionLifecycleTest, SchemaChangeRejectedInsideTransaction) {
+  auto db = MakeDb();
+  auto session = db->OpenSession("People").value();
+  ASSERT_TRUE(session->Begin().ok());
+  auto result = session->Apply("add_attribute office:string to Person");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(session->Rollback().ok());
+  EXPECT_TRUE(session->Apply("add_attribute office:string to Person").ok());
+}
+
+}  // namespace
+}  // namespace tse

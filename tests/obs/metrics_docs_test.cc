@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -15,6 +16,8 @@
 
 #include "algebra/processor.h"
 #include "algebra/query.h"
+#include "db/db.h"
+#include "db/session.h"
 #include "evolution/change_parser.h"
 #include "evolution/tse_manager.h"
 #include "obs/metrics.h"
@@ -114,6 +117,37 @@ void RunEvolutionPipeline() {
   ASSERT_TRUE(aborted->Abort().ok());
 }
 
+void RunDbFacadeWorkload(const std::string& dir) {
+  // Every session-facing path: open/read/update, a transaction commit
+  // and rollback, a schema change + refresh, durable group commit.
+  DbOptions options;
+  options.data_dir = dir + "/metrics_docs_db";
+  // TempDir persists across runs; a stale catalog would make the DDL
+  // below collide with its restored namesakes.
+  std::filesystem::remove_all(options.data_dir);
+  options.closure_policy = update::ValueClosurePolicy::kAllow;
+  auto db = Db::Open(options).value();
+  ClassId person =
+      db->AddBaseClass("Person", {},
+                       {PropertySpec::Attribute("age", ValueType::kInt)})
+          .value();
+  ASSERT_TRUE(db->CreateView("Facade", {{person, ""}}).ok());
+
+  auto session = db->OpenSession("Facade").value();
+  Oid p = session->Create("Person", {{"age", Value::Int(3)}}).value();
+  ASSERT_TRUE(session->Set(p, "Person", "age", Value::Int(4)).ok());
+  ASSERT_TRUE(session->Get(p, "Person", "age").ok());
+  ASSERT_TRUE(session->Extent("Person").ok());
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Set(p, "Person", "age", Value::Int(5)).ok());
+  ASSERT_TRUE(session->Commit().ok());
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Rollback().ok());
+  ASSERT_TRUE(session->Apply("add_attribute facade_x:int to Person").ok());
+  auto lagging = db->OpenSession("Facade").value();
+  ASSERT_TRUE(lagging->Refresh().ok());
+}
+
 void RunStorageWorkload(const std::string& dir) {
   // WAL: append, fsync on commit, replay.
   auto wal = storage::Wal::Open(dir + "/metrics_docs.wal").value();
@@ -152,6 +186,7 @@ void RunStorageWorkload(const std::string& dir) {
 
 TEST(MetricsDocs, EveryRegisteredMetricIsDocumented) {
   RunEvolutionPipeline();
+  RunDbFacadeWorkload(::testing::TempDir());
   RunStorageWorkload(::testing::TempDir());
 
   std::ifstream doc(TSE_METRICS_DOC);
