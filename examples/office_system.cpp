@@ -11,10 +11,9 @@
 
 #include <iostream>
 
-#include "algebra/query.h"
-#include "db/db.h"
-#include "db/session.h"
-#include "objmodel/expr_parser.h"
+#include <tse/db.h>
+#include <tse/query.h>
+#include <tse/session.h>
 
 using namespace tse;
 using objmodel::ParseExpr;

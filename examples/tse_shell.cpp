@@ -1,17 +1,25 @@
 // An interactive TSE shell: drive transparent schema evolution with the
 // paper's textual operator syntax. Reads commands from stdin (or runs a
-// scripted demo when stdin is not a TTY and no input arrives). The
-// shell is a thin client over tse::Db — every command goes through a
-// tse::Session bound to the current view.
+// scripted demo when stdin is not a TTY and no input arrives).
 //
-//   build/examples/tse_shell
+// The shell talks to a backend behind one interface: the embedded
+// engine (a tse::Db + tse::Session in-process, the default) or a
+// remote tse_served instance (a tse::Client over the wire protocol).
+// Every command works identically against either — the shell is the
+// proof that the wire protocol and the embedded facade expose one
+// surface.
+//
+//   build/examples/tse_shell                    # embedded demo schema
+//   build/examples/tse_shell connect HOST:PORT  # drive a tse_served
 //   > add_attribute register:bool to Student
 //   > add_method is_adult = age >= 18 to Person
 //   > show
 //   > history
 //
 // Extra shell commands: `show` (current view), `extents`, `history`,
-// `session <view>` (open/switch the bound view), `new <Class>`,
+// `session <view>` (open/switch the bound view), `sessionat <id>`
+// (pin a historical view version), `connect <host:port> [view]`
+// (switch to a remote backend), `new <Class>`,
 // `set <oid> <Class> <attr> <expr>`, `get <oid> <Class> <attr>`,
 // `begin`/`commit`/`rollback`, `stats [reset]`,
 // `trace on|off|json|tree|clear`, `quit`.
@@ -19,12 +27,13 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
-#include "db/db.h"
-#include "db/session.h"
-#include "objmodel/expr_parser.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
+#include <tse/client.h>
+#include <tse/db.h>
+#include <tse/obs.h>
+#include <tse/query.h>
+#include <tse/session.h>
 
 using namespace tse;
 using objmodel::Value;
@@ -33,53 +42,315 @@ using schema::PropertySpec;
 
 namespace {
 
-struct Shell {
-  std::unique_ptr<Db> db;
-  std::unique_ptr<Session> session;
+/// What the shell needs from an engine — implemented by the embedded
+/// Db/Session pair and by the wire-protocol Client. Command handlers
+/// are written once against this.
+class Backend {
+ public:
+  virtual ~Backend() = default;
 
-  Shell() {
+  virtual std::string Where() const = 0;
+  virtual const std::string& view_name() const = 0;
+  virtual int view_version() const = 0;
+
+  virtual Status OpenSession(const std::string& view_name) = 0;
+  virtual Status OpenSessionAt(ViewId view_id) = 0;
+
+  virtual Result<std::string> ViewToString() = 0;
+  virtual Result<std::vector<std::string>> ListClasses() = 0;
+  virtual Result<std::vector<Oid>> Extent(const std::string& class_name) = 0;
+  virtual Result<std::string> History() = 0;
+
+  virtual Result<Oid> Create(const std::string& class_name) = 0;
+  virtual Result<Value> Get(Oid oid, const std::string& class_name,
+                            const std::string& attr) = 0;
+  /// `expr_text` interpretation is backend-specific: embedded evaluates
+  /// full expressions against the target object; remote accepts
+  /// literals (the expression language does not travel over the wire).
+  virtual Status Set(Oid oid, const std::string& class_name,
+                     const std::string& attr, const std::string& expr_text) = 0;
+
+  virtual Status Begin() = 0;
+  virtual Status Commit() = 0;
+  virtual Status Rollback() = 0;
+
+  virtual Status Apply(const std::string& change_text) = 0;
+  virtual Result<std::string> Stats(bool reset) = 0;
+};
+
+/// The embedded engine: a Db owned by the shell process.
+class LocalBackend : public Backend {
+ public:
+  /// Boots the demo schema (Person <- Student <- TA, view "Shell") with
+  /// a couple of objects, mirroring tse_served --demo.
+  LocalBackend() {
     DbOptions options;
     options.closure_policy = update::ValueClosurePolicy::kAllow;
-    db = Db::Open(options).value();
+    db_ = Db::Open(options).value();
     ClassId person =
-        db->AddBaseClass("Person", {},
-                         {PropertySpec::Attribute("name", ValueType::kString),
-                          PropertySpec::Attribute("age", ValueType::kInt)})
+        db_->AddBaseClass("Person", {},
+                          {PropertySpec::Attribute("name", ValueType::kString),
+                           PropertySpec::Attribute("age", ValueType::kInt)})
             .value();
     ClassId student =
-        db->AddBaseClass("Student", {person},
-                         {PropertySpec::Attribute("major",
-                                                  ValueType::kString)})
+        db_->AddBaseClass("Student", {person},
+                          {PropertySpec::Attribute("major",
+                                                   ValueType::kString)})
             .value();
-    ClassId ta = db->AddBaseClass("TA", {student}, {}).value();
-    db->CreateView("Shell", {{person, ""}, {student, ""}, {ta, ""}}).value();
-    session = db->OpenSession("Shell").value();
-    session->Create("Student", {{"name", Value::Str("alice")},
-                                {"age", Value::Int(20)}})
+    ClassId ta = db_->AddBaseClass("TA", {student}, {}).value();
+    db_->CreateView("Shell", {{person, ""}, {student, ""}, {ta, ""}}).value();
+    session_ = db_->OpenSession("Shell").value();
+    session_->Create("Student", {{"name", Value::Str("alice")},
+                                 {"age", Value::Int(20)}})
         .value();
-    session->Create("TA", {{"name", Value::Str("carol")},
-                           {"age", Value::Int(24)}})
+    session_->Create("TA", {{"name", Value::Str("carol")},
+                            {"age", Value::Int(24)}})
         .value();
   }
 
-  void Show() { std::cout << session->ViewToString() << "\n"; }
+  std::string Where() const override { return "embedded"; }
+  const std::string& view_name() const override {
+    return session_->view_name();
+  }
+  int view_version() const override { return session_->view_version(); }
+
+  Status OpenSession(const std::string& view_name) override {
+    TSE_ASSIGN_OR_RETURN(auto next, db_->OpenSession(view_name));
+    session_ = std::move(next);
+    return Status::OK();
+  }
+
+  Status OpenSessionAt(ViewId view_id) override {
+    TSE_ASSIGN_OR_RETURN(auto next, db_->OpenSessionAt(view_id));
+    session_ = std::move(next);
+    return Status::OK();
+  }
+
+  Result<std::string> ViewToString() override {
+    return session_->ViewToString();
+  }
+
+  Result<std::vector<std::string>> ListClasses() override {
+    TSE_ASSIGN_OR_RETURN(const view::ViewSchema* vs,
+                         db_->views().GetView(session_->view_id()));
+    std::vector<std::string> names;
+    for (ClassId cls : vs->classes()) {
+      TSE_ASSIGN_OR_RETURN(std::string name, vs->DisplayName(cls));
+      names.push_back(std::move(name));
+    }
+    return names;
+  }
+
+  Result<std::vector<Oid>> Extent(const std::string& class_name) override {
+    TSE_ASSIGN_OR_RETURN(auto extent, session_->Extent(class_name));
+    return std::vector<Oid>(extent->begin(), extent->end());
+  }
+
+  Result<std::string> History() override {
+    std::ostringstream out;
+    for (const std::string& name : db_->views().ViewNames()) {
+      out << name << ": " << db_->views().History(name).size()
+          << " version(s)\n";
+    }
+    return out.str();
+  }
+
+  Result<Oid> Create(const std::string& class_name) override {
+    return session_->Create(class_name, {});
+  }
+
+  Result<Value> Get(Oid oid, const std::string& class_name,
+                    const std::string& attr) override {
+    return session_->Get(oid, class_name, attr);
+  }
+
+  Status Set(Oid oid, const std::string& class_name, const std::string& attr,
+             const std::string& expr_text) override {
+    TSE_ASSIGN_OR_RETURN(ClassId cls, session_->Resolve(class_name));
+    TSE_ASSIGN_OR_RETURN(auto expr, objmodel::ParseExpr(expr_text));
+    TSE_ASSIGN_OR_RETURN(
+        Value value,
+        expr->Evaluate(oid, db_->engine().accessor().ResolverFor(oid, cls)));
+    return session_->Set(oid, class_name, attr, std::move(value));
+  }
+
+  Status Begin() override { return session_->Begin(); }
+  Status Commit() override { return session_->Commit(); }
+  Status Rollback() override { return session_->Rollback(); }
+
+  Status Apply(const std::string& change_text) override {
+    return session_->Apply(change_text).status();
+  }
+
+  Result<std::string> Stats(bool reset) override {
+    if (reset) {
+      obs::MetricsRegistry::Instance().ResetValues();
+      return std::string("stats reset\n");
+    }
+    return obs::MetricsRegistry::Instance().Snapshot().ToText();
+  }
+
+ private:
+  std::unique_ptr<Db> db_;
+  std::unique_ptr<Session> session_;
+};
+
+/// A tse_served instance over the wire protocol.
+class RemoteBackend : public Backend {
+ public:
+  RemoteBackend(std::unique_ptr<Client> client, std::string where)
+      : client_(std::move(client)), where_(std::move(where)) {}
+
+  std::string Where() const override { return where_; }
+  const std::string& view_name() const override {
+    return client_->view_name();
+  }
+  int view_version() const override { return client_->view_version(); }
+
+  Status OpenSession(const std::string& view_name) override {
+    return client_->OpenSession(view_name);
+  }
+  Status OpenSessionAt(ViewId view_id) override {
+    return client_->OpenSessionAt(view_id);
+  }
+
+  Result<std::string> ViewToString() override {
+    return client_->ViewToString();
+  }
+  Result<std::vector<std::string>> ListClasses() override {
+    return client_->ListClasses();
+  }
+  Result<std::vector<Oid>> Extent(const std::string& class_name) override {
+    return client_->Extent(class_name);
+  }
+  Result<std::string> History() override {
+    return Status::InvalidArgument(
+        "history needs the embedded engine; the wire protocol exposes only "
+        "the bound view");
+  }
+
+  Result<Oid> Create(const std::string& class_name) override {
+    return client_->Create(class_name, {});
+  }
+  Result<Value> Get(Oid oid, const std::string& class_name,
+                    const std::string& attr) override {
+    return client_->Get(oid, class_name, attr);
+  }
+
+  Status Set(Oid oid, const std::string& class_name, const std::string& attr,
+             const std::string& expr_text) override {
+    TSE_ASSIGN_OR_RETURN(Value value, ParseLiteral(expr_text));
+    return client_->Set(oid, class_name, attr, std::move(value));
+  }
+
+  Status Begin() override { return client_->Begin(); }
+  Status Commit() override { return client_->Commit(); }
+  Status Rollback() override { return client_->Rollback(); }
+
+  Status Apply(const std::string& change_text) override {
+    return client_->Apply(change_text).status();
+  }
+
+  Result<std::string> Stats(bool reset) override {
+    if (reset) {
+      return Status::InvalidArgument("stats reset is embedded-only");
+    }
+    return client_->ServerStats();
+  }
+
+ private:
+  /// Remote `set` takes literal values only — the expression language
+  /// evaluates next to the data, not on the client.
+  static Result<Value> ParseLiteral(std::string text) {
+    size_t begin = text.find_first_not_of(" \t");
+    size_t end = text.find_last_not_of(" \t");
+    if (begin == std::string::npos) {
+      return Status::InvalidArgument("empty value");
+    }
+    text = text.substr(begin, end - begin + 1);
+    if (text == "true") return Value::Bool(true);
+    if (text == "false") return Value::Bool(false);
+    if (text == "null") return Value::Null();
+    if (text.size() >= 2 && (text.front() == '"' || text.front() == '\'') &&
+        text.back() == text.front()) {
+      return Value::Str(text.substr(1, text.size() - 2));
+    }
+    try {
+      size_t used = 0;
+      if (text.find('.') != std::string::npos) {
+        double real = std::stod(text, &used);
+        if (used == text.size()) return Value::Real(real);
+      } else {
+        int64_t whole = std::stoll(text, &used);
+        if (used == text.size()) return Value::Int(whole);
+      }
+    } catch (const std::exception&) {
+    }
+    return Status::InvalidArgument(
+        "remote set takes a literal (int, real, true/false, 'string'); "
+        "expressions evaluate only against the embedded engine");
+  }
+
+  std::unique_ptr<Client> client_;
+  std::string where_;
+};
+
+/// Connects to `host_port` ("HOST:PORT") and wraps the client in a
+/// backend; opens a session on `view` when non-empty.
+Result<std::unique_ptr<Backend>> ConnectRemote(const std::string& host_port,
+                                               const std::string& view) {
+  size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == host_port.size()) {
+    return Status::InvalidArgument("expected HOST:PORT, got '" + host_port +
+                                   "'");
+  }
+  int port = 0;
+  try {
+    port = std::stoi(host_port.substr(colon + 1));
+  } catch (const std::exception&) {
+    port = -1;
+  }
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in '" + host_port + "'");
+  }
+  TSE_ASSIGN_OR_RETURN(
+      auto client,
+      Client::Connect(host_port.substr(0, colon), static_cast<uint16_t>(port)));
+  if (!view.empty()) {
+    TSE_RETURN_IF_ERROR(client->OpenSession(view));
+  }
+  return std::unique_ptr<Backend>(
+      new RemoteBackend(std::move(client), host_port));
+}
+
+struct Shell {
+  std::unique_ptr<Backend> backend;
+
+  void Show() {
+    auto text = backend->ViewToString();
+    if (!text.ok()) {
+      std::cout << "error: " << text.status().ToString() << "\n";
+      return;
+    }
+    std::cout << text.value() << "\n";
+  }
 
   void Extents() {
-    const view::ViewSchema* vs =
-        db->views().GetView(session->view_id()).value();
-    for (ClassId cls : vs->classes()) {
-      std::string name = vs->DisplayName(cls).value();
-      auto extent = session->Extent(name).value();
-      std::cout << name << " (#" << extent->size() << "):";
-      for (Oid oid : *extent) std::cout << " " << oid.ToString();
-      std::cout << "\n";
+    auto classes = backend->ListClasses();
+    if (!classes.ok()) {
+      std::cout << "error: " << classes.status().ToString() << "\n";
+      return;
     }
-  }
-
-  void History() {
-    for (const std::string& name : db->views().ViewNames()) {
-      std::cout << name << ": " << db->views().History(name).size()
-                << " version(s)\n";
+    for (const std::string& name : classes.value()) {
+      auto extent = backend->Extent(name);
+      if (!extent.ok()) {
+        std::cout << name << ": error: " << extent.status().ToString() << "\n";
+        continue;
+      }
+      std::cout << name << " (#" << extent.value().size() << "):";
+      for (Oid oid : extent.value()) std::cout << " " << oid.ToString();
+      std::cout << "\n";
     }
   }
 
@@ -98,37 +369,73 @@ struct Shell {
       return true;
     }
     if (head == "history") {
-      History();
+      auto text = backend->History();
+      if (!text.ok()) {
+        std::cout << "error: " << text.status().ToString() << "\n";
+      } else {
+        std::cout << text.value();
+      }
+      return true;
+    }
+    if (head == "connect") {
+      std::string host_port, view;
+      in >> host_port >> view;
+      auto remote = ConnectRemote(host_port, view);
+      if (!remote.ok()) {
+        std::cout << "error: " << remote.status().ToString() << "\n";
+        return true;
+      }
+      backend = std::move(remote).value();
+      std::cout << "connected to " << backend->Where();
+      if (!view.empty()) {
+        std::cout << ", session on " << backend->view_name() << " v"
+                  << backend->view_version();
+      }
+      std::cout << "\n";
       return true;
     }
     if (head == "session") {
       std::string view_name;
       in >> view_name;
-      auto next = db->OpenSession(view_name);
-      if (!next.ok()) {
-        std::cout << "error: " << next.status().ToString() << "\n";
+      Status s = backend->OpenSession(view_name);
+      if (!s.ok()) {
+        std::cout << "error: " << s.ToString() << "\n";
         return true;
       }
-      session = std::move(next).value();
-      std::cout << "session now on " << session->view_name() << " v"
-                << session->view_version() << "\n";
+      std::cout << "session now on " << backend->view_name() << " v"
+                << backend->view_version() << "\n";
+      return true;
+    }
+    if (head == "sessionat") {
+      uint64_t raw = 0;
+      if (!(in >> raw)) {
+        std::cout << "usage: sessionat <view-id>\n";
+        return true;
+      }
+      Status s = backend->OpenSessionAt(ViewId(raw));
+      if (!s.ok()) {
+        std::cout << "error: " << s.ToString() << "\n";
+        return true;
+      }
+      std::cout << "session pinned to " << backend->view_name() << " v"
+                << backend->view_version() << "\n";
       return true;
     }
     if (head == "begin" || head == "commit" || head == "rollback") {
-      Status s = head == "begin"    ? session->Begin()
-                 : head == "commit" ? session->Commit()
-                                    : session->Rollback();
+      Status s = head == "begin"    ? backend->Begin()
+                 : head == "commit" ? backend->Commit()
+                                    : backend->Rollback();
       std::cout << (s.ok() ? "ok" : "error: " + s.ToString()) << "\n";
       return true;
     }
     if (head == "stats") {
       std::string arg;
       in >> arg;
-      if (arg == "reset") {
-        obs::MetricsRegistry::Instance().ResetValues();
-        std::cout << "stats reset\n";
+      auto text = backend->Stats(arg == "reset");
+      if (!text.ok()) {
+        std::cout << "error: " << text.status().ToString() << "\n";
       } else {
-        std::cout << obs::MetricsRegistry::Instance().Snapshot().ToText();
+        std::cout << text.value();
       }
       return true;
     }
@@ -161,7 +468,7 @@ struct Shell {
     if (head == "new") {
       std::string cls_name;
       in >> cls_name;
-      auto oid = session->Create(cls_name, {});
+      auto oid = backend->Create(cls_name);
       std::cout << (oid.ok() ? "created object " + oid.value().ToString()
                              : "error: " + oid.status().ToString())
                 << "\n";
@@ -172,32 +479,15 @@ struct Shell {
       std::string cls_name, attr;
       in >> raw >> cls_name >> attr;
       if (head == "get") {
-        auto v = session->Get(Oid(raw), cls_name, attr);
+        auto v = backend->Get(Oid(raw), cls_name, attr);
         std::cout << (v.ok() ? v.value().ToString()
                              : "error: " + v.status().ToString())
                   << "\n";
         return true;
       }
-      auto cls = session->Resolve(cls_name);
-      if (!cls.ok()) {
-        std::cout << "error: " << cls.status().ToString() << "\n";
-        return true;
-      }
       std::string expr_text;
       std::getline(in, expr_text);
-      auto expr = objmodel::ParseExpr(expr_text);
-      if (!expr.ok()) {
-        std::cout << "error: " << expr.status().ToString() << "\n";
-        return true;
-      }
-      auto value = expr.value()->Evaluate(
-          Oid(raw),
-          db->engine().accessor().ResolverFor(Oid(raw), cls.value()));
-      if (!value.ok()) {
-        std::cout << "error: " << value.status().ToString() << "\n";
-        return true;
-      }
-      Status s = session->Set(Oid(raw), cls_name, attr, value.value());
+      Status s = backend->Set(Oid(raw), cls_name, attr, expr_text);
       std::cout << (s.ok() ? "ok" : "error: " + s.ToString()) << "\n";
       return true;
     }
@@ -207,12 +497,12 @@ struct Shell {
     // TSEM pipeline (translate, integrate, regenerate) appear as its
     // descendants.
     TSE_TRACE_SPAN("shell.schema_change");
-    auto next = session->Apply(line);
-    if (!next.ok()) {
-      std::cout << "rejected: " << next.status().ToString() << "\n";
+    Status s = backend->Apply(line);
+    if (!s.ok()) {
+      std::cout << "rejected: " << s.ToString() << "\n";
       return true;
     }
-    std::cout << "ok — view now at version " << session->view_version()
+    std::cout << "ok — view now at version " << backend->view_version()
               << "\n";
     return true;
   }
@@ -222,11 +512,35 @@ struct Shell {
 
 int main(int argc, char** argv) {
   Shell shell;
-  std::cout << "TSE shell — initial view:\n";
-  shell.Show();
+  bool demo = false;
+  if (argc > 1 && std::string(argv[1]) == "--demo") {
+    demo = true;
+  } else if (argc > 2 && std::string(argv[1]) == "connect") {
+    // Start directly against a tse_served: `tse_shell connect HOST:PORT
+    // [view]`. Defaults to the server demo view "Main".
+    std::string view = argc > 3 ? argv[3] : "Main";
+    auto remote = ConnectRemote(argv[2], view);
+    if (!remote.ok()) {
+      std::cerr << "cannot connect: " << remote.status().ToString() << "\n";
+      return 1;
+    }
+    shell.backend = std::move(remote).value();
+    std::cout << "TSE shell — connected to " << shell.backend->Where()
+              << ", view " << shell.backend->view_name() << " v"
+              << shell.backend->view_version() << "\n";
+  } else if (argc > 1) {
+    std::cerr << "usage: " << argv[0] << " [--demo | connect HOST:PORT [view]]\n";
+    return 2;
+  }
+
+  if (!shell.backend) {
+    shell.backend = std::unique_ptr<Backend>(new LocalBackend());
+    std::cout << "TSE shell — initial view:\n";
+    shell.Show();
+  }
 
   // Scripted demo when requested (also exercised by the test drive).
-  if (argc > 1 && std::string(argv[1]) == "--demo") {
+  if (demo) {
     const char* script[] = {
         "add_attribute register:bool to Student",
         "add_method is_adult = age >= 18 to Person",

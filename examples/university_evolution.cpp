@@ -8,10 +8,9 @@
 
 #include <iostream>
 
-#include "db/db.h"
-#include "db/session.h"
-#include "evolution/schema_change.h"
-#include "objmodel/method.h"
+#include <tse/db.h>
+#include <tse/schema_change.h>
+#include <tse/session.h>
 
 using namespace tse;
 using namespace tse::evolution;

@@ -8,8 +8,8 @@
 
 #include <iostream>
 
-#include "db/db.h"
-#include "db/session.h"
+#include <tse/db.h>
+#include <tse/session.h>
 
 using namespace tse;
 using objmodel::Value;

@@ -1,0 +1,15 @@
+// Public TSE API — the embedding facade.
+//
+// One `tse::Db` per database: open/own the engine, run global DDL,
+// hand out view-pinned sessions, control durability. Everything a
+// caller needs alongside it (status, values, property specs) comes in
+// via the sibling public headers.
+#ifndef TSE_PUBLIC_DB_H_
+#define TSE_PUBLIC_DB_H_
+
+#include "db/db.h"
+#include "tse/schema_change.h"
+#include "tse/status.h"
+#include "tse/value.h"
+
+#endif  // TSE_PUBLIC_DB_H_

@@ -1,0 +1,13 @@
+// Public TSE API — observability.
+//
+// The process-wide metrics registry and tracer (docs/METRICS.md).
+// Read-side only for embedders: snapshot counters/histograms, dump
+// traces. The TSE_COUNT / TSE_TRACE_SPAN instrumentation macros are an
+// internal affair.
+#ifndef TSE_PUBLIC_OBS_H_
+#define TSE_PUBLIC_OBS_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#endif  // TSE_PUBLIC_OBS_H_

@@ -1,0 +1,11 @@
+// Public TSE API — query ASTs and expression parsing.
+//
+// `algebra::Query` builders for `Db::DefineVirtualClass` and
+// `objmodel::ParseExpr` for predicate / method-body expressions.
+#ifndef TSE_PUBLIC_QUERY_H_
+#define TSE_PUBLIC_QUERY_H_
+
+#include "algebra/query.h"
+#include "objmodel/expr_parser.h"
+
+#endif  // TSE_PUBLIC_QUERY_H_

@@ -1,0 +1,14 @@
+// Public TSE API — schema evolution operators.
+//
+// The eleven schema-change structs (`AddAttribute`, `DeleteEdge`, …)
+// for programmatic `Session::Apply`, the textual parser behind
+// `Session::Apply("add_attribute x:int to C")`, and
+// `schema::PropertySpec` for declaring properties in DDL.
+#ifndef TSE_PUBLIC_SCHEMA_CHANGE_H_
+#define TSE_PUBLIC_SCHEMA_CHANGE_H_
+
+#include "evolution/change_parser.h"
+#include "evolution/schema_change.h"
+#include "schema/property.h"
+
+#endif  // TSE_PUBLIC_SCHEMA_CHANGE_H_

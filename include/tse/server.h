@@ -1,0 +1,14 @@
+// Public TSE API — the wire-protocol server.
+//
+// `tse::net::Server` serves one `tse::Db` over TCP: each connection
+// gets a `tse::Session` pinned to the view version it requested, N
+// worker threads multiplex the connections, and overload/timeout/idle
+// policies are explicit (`kOverloaded`, `kTimeout`). Embed it, or run
+// the stock `tse_served` binary.
+#ifndef TSE_PUBLIC_SERVER_H_
+#define TSE_PUBLIC_SERVER_H_
+
+#include "net/server.h"
+#include "tse/db.h"
+
+#endif  // TSE_PUBLIC_SERVER_H_

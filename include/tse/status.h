@@ -1,0 +1,13 @@
+// Public TSE API — error reporting.
+//
+// Every fallible operation on the supported surface (`tse::Db`,
+// `tse::Session`, `tse::Client`) returns a `tse::Status` or a
+// `tse::Result<T>`; no exceptions, no bare bools. See docs/API.md for
+// the code-by-code contract.
+#ifndef TSE_PUBLIC_STATUS_H_
+#define TSE_PUBLIC_STATUS_H_
+
+#include "common/result.h"
+#include "common/status.h"
+
+#endif  // TSE_PUBLIC_STATUS_H_

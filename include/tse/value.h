@@ -1,0 +1,13 @@
+// Public TSE API — values and identifiers.
+//
+// `tse::objmodel::Value` (`Value::Int/Real/Bool/Str/Ref`) is the
+// dynamically-typed attribute value used by reads and updates;
+// `tse::Oid`, `tse::ClassId`, `tse::ViewId` are the strongly-typed
+// identifiers the facade hands out.
+#ifndef TSE_PUBLIC_VALUE_H_
+#define TSE_PUBLIC_VALUE_H_
+
+#include "common/ids.h"
+#include "objmodel/value.h"
+
+#endif  // TSE_PUBLIC_VALUE_H_

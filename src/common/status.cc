@@ -18,6 +18,9 @@ constexpr const char* kStatusCodeNames[] = {
     "aborted",              // kAborted
     "unimplemented",        // kUnimplemented
     "internal",             // kInternal
+    "overloaded",           // kOverloaded
+    "timeout",              // kTimeout
+    "connection_closed",    // kConnectionClosed
 };
 static_assert(sizeof(kStatusCodeNames) / sizeof(kStatusCodeNames[0]) ==
                   kStatusCodeCount,

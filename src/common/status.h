@@ -22,12 +22,15 @@ enum class StatusCode {
   kAborted,         ///< Lock timeout / concurrency conflict.
   kUnimplemented,
   kInternal,
+  kOverloaded,        ///< Server request queue full — back off and retry.
+  kTimeout,           ///< Request exceeded its deadline before executing.
+  kConnectionClosed,  ///< The wire-protocol peer went away mid-exchange.
 };
 
 /// Number of StatusCode values; keep in sync when extending the enum
 /// (the name table in status.cc and its coverage test key off this).
 inline constexpr int kStatusCodeCount =
-    static_cast<int>(StatusCode::kInternal) + 1;
+    static_cast<int>(StatusCode::kConnectionClosed) + 1;
 
 /// Returns the canonical lowercase name of a status code ("ok",
 /// "invalid_argument", ...), or "unknown" for an out-of-range value.
@@ -80,6 +83,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status ConnectionClosed(std::string msg) {
+    return Status(StatusCode::kConnectionClosed, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -91,6 +103,11 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsConnectionClosed() const {
+    return code_ == StatusCode::kConnectionClosed;
+  }
 
   /// "ok" or "<code>: <message>".
   std::string ToString() const;

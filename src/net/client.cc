@@ -1,0 +1,381 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace tse {
+
+namespace {
+
+/// Applies `timeout` to both socket directions so every read/write
+/// blocks at most that long.
+void SetSocketTimeouts(int fd, std::chrono::milliseconds timeout) {
+  timeval tv;
+  tv.tv_sec = timeout.count() / 1000;
+  tv.tv_usec = (timeout.count() % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Non-blocking connect bounded by `timeout`; returns the connected fd.
+Result<int> ConnectWithTimeout(const std::string& host, uint16_t port,
+                               std::chrono::milliseconds timeout) {
+  addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* addrs = nullptr;
+  const std::string service = std::to_string(port);
+  int rc = getaddrinfo(host.c_str(), service.c_str(), &hints, &addrs);
+  if (rc != 0) {
+    return Status::InvalidArgument("cannot resolve " + host + ": " +
+                                   gai_strerror(rc));
+  }
+  Status last = Status::IOError("no addresses for " + host);
+  for (addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    int fd = socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                    ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::IOError(std::string("socket: ") + std::strerror(errno));
+      continue;
+    }
+    fcntl(fd, F_SETFL, O_NONBLOCK);
+    rc = connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd pfd = {fd, POLLOUT, 0};
+      rc = poll(&pfd, 1, static_cast<int>(timeout.count()));
+      if (rc == 0) {
+        close(fd);
+        freeaddrinfo(addrs);
+        return Status::Timeout("connect to " + host + ":" + service +
+                               " timed out");
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      rc = err == 0 ? 0 : -1;
+      errno = err;
+    }
+    if (rc != 0) {
+      last = Status::IOError("connect " + host + ":" + service + ": " +
+                             std::strerror(errno));
+      close(fd);
+      continue;
+    }
+    // Back to blocking; per-request deadlines come from SO_*TIMEO.
+    fcntl(fd, F_SETFL, fcntl(fd, F_GETFL) & ~O_NONBLOCK);
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    freeaddrinfo(addrs);
+    return fd;
+  }
+  freeaddrinfo(addrs);
+  return last;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                ClientOptions options) {
+  TSE_ASSIGN_OR_RETURN(int fd,
+                       ConnectWithTimeout(host, port, options.connect_timeout));
+  SetSocketTimeouts(fd, options.request_timeout);
+  std::unique_ptr<Client> client(new Client(fd, std::move(options)));
+  std::string hello;
+  net::AppendU32(&hello, net::kMagic);
+  net::AppendU16(&hello, net::kProtoVersion);
+  TSE_RETURN_IF_ERROR(
+      client->RoundTrip(net::Opcode::kHello, hello).status());
+  return client;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status Client::Poison(Status status) {
+  broken_ = true;
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  return status;
+}
+
+Status Client::SendAll(const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Poison(Status::Timeout("send timed out"));
+    }
+    return Poison(
+        Status::ConnectionClosed(std::string("send: ") + std::strerror(errno)));
+  }
+  TSE_COUNT_N("net.client.bytes_sent", data.size());
+  return Status::OK();
+}
+
+Status Client::RecvFrame(net::Frame* out) {
+  char buf[4096];
+  while (true) {
+    if (reader_.Next(out)) return Status::OK();
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      TSE_COUNT_N("net.client.bytes_received", static_cast<uint64_t>(n));
+      Status fed = reader_.Feed(buf, static_cast<size_t>(n));
+      if (!fed.ok()) return Poison(fed);
+      continue;
+    }
+    if (n == 0) {
+      return Poison(Status::ConnectionClosed("server closed the connection"));
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Poison(Status::Timeout("no response within request_timeout"));
+    }
+    return Poison(
+        Status::ConnectionClosed(std::string("recv: ") + std::strerror(errno)));
+  }
+}
+
+Result<std::string> Client::RoundTrip(net::Opcode op, const std::string& body) {
+  TSE_LATENCY_US("net.client.request_us");
+  TSE_COUNT("net.client.requests");
+  if (broken_ || fd_ < 0) {
+    return Status::ConnectionClosed("client connection is closed");
+  }
+  TSE_RETURN_IF_ERROR(SendAll(net::EncodeFrame(op, body)));
+  net::Frame frame;
+  TSE_RETURN_IF_ERROR(RecvFrame(&frame));
+  if (frame.opcode != op) {
+    return Poison(Status::Corruption(
+        std::string("response opcode mismatch: sent ") + net::OpcodeName(op) +
+        ", got " + net::OpcodeName(frame.opcode)));
+  }
+  auto response = net::DecodeResponse(frame.body);
+  if (!response.ok()) return Poison(response.status());
+  if (!response.value().status.ok()) return response.value().status;
+  return std::move(response).value().payload;
+}
+
+Status Client::AbsorbSessionInfo(const std::string& payload) {
+  net::Cursor cursor(payload);
+  TSE_ASSIGN_OR_RETURN(view_name_, cursor.Str());
+  TSE_ASSIGN_OR_RETURN(uint64_t raw_id, cursor.U64());
+  TSE_ASSIGN_OR_RETURN(view_version_, cursor.I32());
+  view_id_ = ViewId(raw_id);
+  return Status::OK();
+}
+
+Status Client::Ping() { return RoundTrip(net::Opcode::kPing, "").status(); }
+
+Status Client::OpenSession(const std::string& view_name) {
+  std::string body;
+  net::AppendString(&body, view_name);
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kOpenSession, body));
+  return AbsorbSessionInfo(payload);
+}
+
+Status Client::OpenSessionAt(ViewId view_id) {
+  std::string body;
+  net::AppendU64(&body, view_id.value());
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kOpenSessionAt, body));
+  return AbsorbSessionInfo(payload);
+}
+
+Result<ClassId> Client::Resolve(const std::string& display_name) {
+  std::string body;
+  net::AppendString(&body, display_name);
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kResolve, body));
+  net::Cursor cursor(payload);
+  TSE_ASSIGN_OR_RETURN(uint64_t raw, cursor.U64());
+  return ClassId(raw);
+}
+
+Result<objmodel::Value> Client::Get(Oid oid, const std::string& class_name,
+                                    const std::string& path) {
+  std::string body;
+  net::AppendU64(&body, oid.value());
+  net::AppendString(&body, class_name);
+  net::AppendString(&body, path);
+  TSE_ASSIGN_OR_RETURN(std::string payload, RoundTrip(net::Opcode::kGet, body));
+  net::Cursor cursor(payload);
+  return cursor.Val();
+}
+
+Result<std::vector<Oid>> Client::Extent(const std::string& class_name) {
+  std::string body;
+  net::AppendString(&body, class_name);
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kExtent, body));
+  net::Cursor cursor(payload);
+  TSE_ASSIGN_OR_RETURN(uint32_t count, cursor.U32());
+  std::vector<Oid> oids;
+  oids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TSE_ASSIGN_OR_RETURN(uint64_t raw, cursor.U64());
+    oids.push_back(Oid(raw));
+  }
+  return oids;
+}
+
+Result<std::string> Client::ViewToString() {
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kViewToString, ""));
+  net::Cursor cursor(payload);
+  return cursor.Str();
+}
+
+Result<std::vector<std::string>> Client::ListClasses() {
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kListClasses, ""));
+  net::Cursor cursor(payload);
+  TSE_ASSIGN_OR_RETURN(uint32_t count, cursor.U32());
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TSE_ASSIGN_OR_RETURN(std::string name, cursor.Str());
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+Result<Oid> Client::Create(const std::string& class_name,
+                           const std::vector<update::Assignment>& assignments) {
+  std::string body;
+  net::AppendString(&body, class_name);
+  net::AppendU32(&body, static_cast<uint32_t>(assignments.size()));
+  for (const update::Assignment& a : assignments) {
+    net::AppendString(&body, a.name);
+    net::AppendValue(&body, a.value);
+  }
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kCreate, body));
+  net::Cursor cursor(payload);
+  TSE_ASSIGN_OR_RETURN(uint64_t raw, cursor.U64());
+  return Oid(raw);
+}
+
+Status Client::Set(Oid oid, const std::string& class_name,
+                   const std::string& name, objmodel::Value value) {
+  std::string body;
+  net::AppendU64(&body, oid.value());
+  net::AppendString(&body, class_name);
+  net::AppendString(&body, name);
+  net::AppendValue(&body, value);
+  return RoundTrip(net::Opcode::kSet, body).status();
+}
+
+Status Client::Add(Oid oid, const std::string& class_name) {
+  std::string body;
+  net::AppendU64(&body, oid.value());
+  net::AppendString(&body, class_name);
+  return RoundTrip(net::Opcode::kAdd, body).status();
+}
+
+Status Client::Remove(Oid oid, const std::string& class_name) {
+  std::string body;
+  net::AppendU64(&body, oid.value());
+  net::AppendString(&body, class_name);
+  return RoundTrip(net::Opcode::kRemove, body).status();
+}
+
+Status Client::Delete(Oid oid) {
+  std::string body;
+  net::AppendU64(&body, oid.value());
+  return RoundTrip(net::Opcode::kDelete, body).status();
+}
+
+Status Client::Begin() { return RoundTrip(net::Opcode::kBegin, "").status(); }
+Status Client::Commit() { return RoundTrip(net::Opcode::kCommit, "").status(); }
+Status Client::Rollback() {
+  return RoundTrip(net::Opcode::kRollback, "").status();
+}
+
+Result<ViewId> Client::Apply(const std::string& change_text) {
+  std::string body;
+  net::AppendString(&body, change_text);
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kApply, body));
+  TSE_RETURN_IF_ERROR(AbsorbSessionInfo(payload));
+  return view_id_;
+}
+
+Status Client::Refresh() {
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kRefresh, ""));
+  return AbsorbSessionInfo(payload);
+}
+
+Result<std::string> Client::ServerStats(bool as_json) {
+  std::string body;
+  net::AppendU8(&body, as_json ? 1 : 0);
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kStats, body));
+  net::Cursor cursor(payload);
+  return cursor.Str();
+}
+
+Result<ClassId> Client::AddBaseClass(
+    const std::string& name, const std::vector<ClassId>& supers,
+    const std::vector<schema::PropertySpec>& props) {
+  std::string body;
+  net::AppendString(&body, name);
+  net::AppendU32(&body, static_cast<uint32_t>(supers.size()));
+  for (ClassId super : supers) net::AppendU64(&body, super.value());
+  net::AppendU32(&body, static_cast<uint32_t>(props.size()));
+  for (const schema::PropertySpec& spec : props) {
+    if (spec.kind != schema::PropertyKind::kStoredAttribute) {
+      return Status::InvalidArgument(
+          "remote AddBaseClass carries stored attributes only; add methods "
+          "with the add_method schema-change text");
+    }
+    net::AppendString(&body, spec.name);
+    net::AppendU8(&body, static_cast<uint8_t>(spec.value_type));
+    net::AppendU64(&body, spec.ref_target.value());
+  }
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kAddBaseClass, body));
+  net::Cursor cursor(payload);
+  TSE_ASSIGN_OR_RETURN(uint64_t raw, cursor.U64());
+  return ClassId(raw);
+}
+
+Result<ViewId> Client::CreateView(
+    const std::string& logical_name,
+    const std::vector<view::ViewClassSpec>& classes) {
+  std::string body;
+  net::AppendString(&body, logical_name);
+  net::AppendU32(&body, static_cast<uint32_t>(classes.size()));
+  for (const view::ViewClassSpec& spec : classes) {
+    net::AppendU64(&body, spec.cls.value());
+    net::AppendString(&body, spec.display_name);
+  }
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kCreateView, body));
+  net::Cursor cursor(payload);
+  TSE_ASSIGN_OR_RETURN(uint64_t raw, cursor.U64());
+  return ViewId(raw);
+}
+
+}  // namespace tse

@@ -1,0 +1,151 @@
+#ifndef TSE_NET_CLIENT_H_
+#define TSE_NET_CLIENT_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "net/wire.h"
+#include "objmodel/value.h"
+#include "schema/property.h"
+#include "update/update_engine.h"
+#include "view/view_manager.h"
+
+namespace tse {
+
+/// Configuration for Client::Connect.
+struct ClientOptions {
+  /// TCP connect budget before giving up with kTimeout.
+  std::chrono::milliseconds connect_timeout{2000};
+  /// Per-request send+receive budget; an expired wait returns kTimeout
+  /// and poisons the connection (the response may still be in flight).
+  std::chrono::milliseconds request_timeout{5000};
+  size_t max_frame_bytes = net::kDefaultMaxFrameBytes;
+};
+
+/// A blocking wire-protocol client for a `tse_served` instance. The
+/// method surface mirrors `tse::Session` one-to-one — same names, same
+/// Status/Result contract — plus the handful of `tse::Db` DDL entry
+/// points the server exposes, so code written against the embedded
+/// facade ports to remote access by swapping the handle type.
+///
+/// One Client = one TCP connection = one server-side Session, strictly
+/// request-response (no pipelining). Like a Session, a Client is a
+/// single-thread handle; open one per thread. Any transport failure
+/// (peer closed, timeout) poisons the client: every later call returns
+/// kConnectionClosed and the server aborts whatever transaction the
+/// connection had in flight.
+class Client {
+ public:
+  /// Connects and performs the hello exchange. `host` may be an IP
+  /// literal or a resolvable name.
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port,
+                                                 ClientOptions options = {});
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Round-trips an empty frame; cheap liveness probe.
+  Status Ping();
+
+  // --- Session lifecycle (Db::OpenSession / OpenSessionAt) --------------
+
+  /// Binds this connection's server-side session to the current version
+  /// of `view_name`. Reopening replaces the previous session (rolling
+  /// back any open transaction).
+  Status OpenSession(const std::string& view_name);
+
+  /// Binds to an explicit (possibly historical) view version.
+  Status OpenSessionAt(ViewId view_id);
+
+  // --- Identity (cached from the last session-info exchange) ------------
+
+  const std::string& view_name() const { return view_name_; }
+  ViewId view_id() const { return view_id_; }
+  int view_version() const { return view_version_; }
+
+  // --- Reads ------------------------------------------------------------
+
+  Result<ClassId> Resolve(const std::string& display_name);
+  Result<objmodel::Value> Get(Oid oid, const std::string& class_name,
+                              const std::string& path);
+  /// The extent of view class `class_name`, materialized client-side.
+  Result<std::vector<Oid>> Extent(const std::string& class_name);
+  Result<std::string> ViewToString();
+  /// Display names of every class in the bound view.
+  Result<std::vector<std::string>> ListClasses();
+
+  // --- Updates ----------------------------------------------------------
+
+  Result<Oid> Create(const std::string& class_name,
+                     const std::vector<update::Assignment>& assignments);
+  Status Set(Oid oid, const std::string& class_name, const std::string& name,
+             objmodel::Value value);
+  Status Add(Oid oid, const std::string& class_name);
+  Status Remove(Oid oid, const std::string& class_name);
+  Status Delete(Oid oid);
+
+  // --- Transactions -----------------------------------------------------
+
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+
+  // --- Schema evolution -------------------------------------------------
+
+  /// Parses and applies a textual schema change to the bound view; the
+  /// server-side session (and this client's cached identity) rebind to
+  /// the new version.
+  Result<ViewId> Apply(const std::string& change_text);
+  Status Refresh();
+
+  // --- Server observability ---------------------------------------------
+
+  /// The server's metrics snapshot, rendered as text or JSON.
+  Result<std::string> ServerStats(bool as_json = false);
+
+  // --- Global DDL (Db surface) ------------------------------------------
+
+  /// Defines a base class with stored attributes (method properties
+  /// travel as `add_method` schema-change text, not through DDL).
+  Result<ClassId> AddBaseClass(const std::string& name,
+                               const std::vector<ClassId>& supers,
+                               const std::vector<schema::PropertySpec>& props);
+  Result<ViewId> CreateView(const std::string& logical_name,
+                            const std::vector<view::ViewClassSpec>& classes);
+
+ private:
+  Client(int fd, ClientOptions options)
+      : fd_(fd),
+        options_(std::move(options)),
+        reader_(options_.max_frame_bytes) {}
+
+  /// Sends one request frame and blocks for its response; returns the
+  /// result payload (or the wire status). Transport errors poison the
+  /// connection.
+  Result<std::string> RoundTrip(net::Opcode op, const std::string& body);
+  Status SendAll(const std::string& data);
+  Status RecvFrame(net::Frame* out);
+  Status Poison(Status status);
+  /// Decodes + caches a session-info payload (name, id, version).
+  Status AbsorbSessionInfo(const std::string& payload);
+
+  int fd_ = -1;
+  ClientOptions options_;
+  net::FrameReader reader_;
+  bool broken_ = false;
+
+  std::string view_name_;
+  ViewId view_id_;
+  int view_version_ = 0;
+};
+
+}  // namespace tse
+
+#endif  // TSE_NET_CLIENT_H_

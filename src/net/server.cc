@@ -1,0 +1,746 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "db/db.h"
+#include "db/session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "view/view_schema.h"
+
+namespace tse::net {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Encodes the session-identity payload every session-binding response
+/// carries (open/apply/refresh): view name, view id, version.
+std::string SessionInfoPayload(const Session& session) {
+  std::string payload;
+  AppendString(&payload, session.view_name());
+  AppendU64(&payload, session.view_id().value());
+  AppendI32(&payload, session.view_version());
+  return payload;
+}
+
+}  // namespace
+
+Server::Connection::Connection(int fd, size_t max_frame)
+    : fd(fd), reader(max_frame) {}
+
+Server::Connection::~Connection() = default;
+
+Server::Server(Db* db, ServerOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("cannot parse listen host " +
+                                   options_.host);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = Status::IOError("bind " + options_.host + ":" +
+                                    std::to_string(options_.port) + ": " +
+                                    std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (listen(listen_fd_, 128) != 0) {
+    Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (wake_fd_ < 0 || epoll_fd_ < 0) {
+    Stop();
+    return Status::IOError("cannot create epoll/eventfd");
+  }
+  epoll_event ev = {};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stopping_.store(false, std::memory_order_release);
+  started_ = true;
+  io_thread_ = std::thread([this] { IoLoop(); });
+  const int workers = options_.workers > 0 ? options_.workers : 1;
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!started_) return;
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+
+  uint64_t ping = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &ping, sizeof(ping));
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  io_thread_.join();
+
+  // Single-threaded from here: abort whatever each surviving connection
+  // had in flight (Session teardown rolls back and releases locks).
+  for (auto& [fd, conn] : connections_) {
+    conn->session.reset();
+    close(conn->fd);
+    TSE_COUNT("net.server.connections_closed");
+  }
+  connections_.clear();
+  active_connections_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.clear();
+  }
+
+  close(epoll_fd_);
+  close(wake_fd_);
+  close(listen_fd_);
+  epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+  started_ = false;
+}
+
+// --- I/O thread --------------------------------------------------------------
+
+void Server::IoLoop() {
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int n = epoll_wait(epoll_fd_, events, 64, 200);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n && !stopping_.load(std::memory_order_acquire);
+         ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drain;
+        while (read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (fd == listen_fd_) {
+        while (true) {
+          int conn_fd = accept4(listen_fd_, nullptr, nullptr,
+                                SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (conn_fd < 0) break;
+          int one = 1;
+          setsockopt(conn_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          auto conn = std::make_shared<Connection>(conn_fd,
+                                                   options_.max_frame_bytes);
+          conn->last_active_ms.store(NowMs(), std::memory_order_relaxed);
+          connections_.emplace(conn_fd, conn);
+          epoll_event ev = {};
+          ev.events = EPOLLIN;
+          ev.data.fd = conn_fd;
+          epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn_fd, &ev);
+          active_connections_.fetch_add(1, std::memory_order_relaxed);
+          TSE_COUNT("net.server.connections_accepted");
+        }
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      std::shared_ptr<Connection> conn = it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        BeginClose(conn);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) HandleReadable(conn);
+    }
+    ReapIdle();
+  }
+}
+
+void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  char buf[65536];
+  while (true) {
+    ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      TSE_COUNT_N("net.server.bytes_read", static_cast<uint64_t>(n));
+      conn->last_active_ms.store(NowMs(), std::memory_order_relaxed);
+      Status fed = conn->reader.Feed(buf, static_cast<size_t>(n));
+      if (!fed.ok()) {
+        // Framing abuse (oversized announcement, malformed header):
+        // tell the peer once, then drop it.
+        TSE_COUNT("net.server.bad_frames");
+        WriteResponse(conn, EncodeResponse(Opcode::kHello,
+                                           Status::InvalidArgument(
+                                               fed.message())));
+        BeginClose(conn);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      BeginClose(conn);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    BeginClose(conn);
+    return;
+  }
+  Frame frame;
+  while (conn->reader.Next(&frame)) ScheduleFrame(conn, std::move(frame));
+}
+
+void Server::ScheduleFrame(const std::shared_ptr<Connection>& conn,
+                           Frame frame) {
+  bool overloaded = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closing) return;
+    if (conn->busy || !conn->pending.empty()) {
+      if (conn->pending.size() >= options_.max_pending_per_conn) {
+        overloaded = true;
+      } else {
+        conn->pending.push_back(std::move(frame));
+        return;
+      }
+    } else {
+      conn->busy = true;
+    }
+  }
+  if (overloaded) {
+    TSE_COUNT("net.server.overloaded");
+    WriteResponse(conn,
+                  EncodeResponse(frame.opcode,
+                                 Status::Overloaded(
+                                     "connection pipeline depth exceeded")));
+    return;
+  }
+  Request request{conn, std::move(frame), std::chrono::steady_clock::now()};
+  if (!TryEnqueue(std::move(request))) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->busy = false;
+  }
+}
+
+bool Server::TryEnqueue(Request request) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_.load(std::memory_order_acquire)) return false;
+    if (queue_.size() < options_.max_queue) {
+      queue_.push_back(std::move(request));
+      queue_cv_.notify_one();
+      return true;
+    }
+  }
+  // Queue full: explicit backpressure, never a silent stall.
+  TSE_COUNT("net.server.overloaded");
+  WriteResponse(request.conn,
+                EncodeResponse(request.frame.opcode,
+                               Status::Overloaded("server request queue full")));
+  return false;
+}
+
+void Server::ReapIdle() {
+  if (options_.idle_timeout.count() <= 0) return;
+  const int64_t cutoff = NowMs() - options_.idle_timeout.count();
+  std::vector<std::shared_ptr<Connection>> idle;
+  for (auto& [fd, conn] : connections_) {
+    if (conn->last_active_ms.load(std::memory_order_relaxed) < cutoff) {
+      idle.push_back(conn);
+    }
+  }
+  for (auto& conn : idle) {
+    TSE_COUNT("net.server.idle_reaped");
+    BeginClose(conn);
+  }
+}
+
+void Server::BeginClose(const std::shared_ptr<Connection>& conn) {
+  // I/O-thread only. Detach from epoll *before* publishing `closing`:
+  // once a busy worker can observe the flag it may FinishClose — and
+  // close(fd) — concurrently, leaving epoll_ctl aimed at a dead
+  // (possibly recycled) descriptor.
+  if (conn->io_detached) return;
+  conn->io_detached = true;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  connections_.erase(conn->fd);
+  bool finish_now;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->closing = true;
+    finish_now = !conn->busy;
+  }
+  if (finish_now) FinishClose(conn);
+}
+
+void Server::FinishClose(const std::shared_ptr<Connection>& conn) {
+  {
+    // Destroying the session rolls back any open transaction and
+    // releases its 2PL locks — a dead client never wedges the rest.
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->session.reset();
+  }
+  close(conn->fd);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  TSE_COUNT("net.server.connections_closed");
+}
+
+void Server::WriteResponse(const std::shared_ptr<Connection>& conn,
+                           const std::string& response) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  size_t sent = 0;
+  int stalls = 0;
+  while (sent < response.size()) {
+    ssize_t n = send(conn->fd, response.data() + sent, response.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Short-write handling: wait for the socket to drain, bounded so
+      // a dead peer cannot pin a worker. Give up after ~2s and let the
+      // I/O thread reap the connection.
+      if (++stalls > 20) {
+        shutdown(conn->fd, SHUT_RDWR);
+        return;
+      }
+      pollfd pfd = {conn->fd, POLLOUT, 0};
+      poll(&pfd, 1, 100);
+      continue;
+    }
+    // Peer vanished mid-write; the I/O thread will observe HUP.
+    shutdown(conn->fd, SHUT_RDWR);
+    return;
+  }
+  TSE_COUNT_N("net.server.bytes_written", response.size());
+}
+
+// --- Workers -----------------------------------------------------------------
+
+void Server::WorkerLoop() {
+  while (true) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (stopping_.load(std::memory_order_acquire)) return;
+      request = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    if (options_.debug_handler_delay.count() > 0) {
+      std::this_thread::sleep_for(options_.debug_handler_delay);
+    }
+
+    const auto waited = std::chrono::steady_clock::now() - request.enqueued;
+    std::string response;
+    bool close_after = false;
+    if (waited > options_.request_timeout) {
+      TSE_COUNT("net.server.timeouts");
+      response = EncodeResponse(
+          request.frame.opcode,
+          Status::Timeout("request waited " +
+                          std::to_string(
+                              std::chrono::duration_cast<
+                                  std::chrono::milliseconds>(waited)
+                                  .count()) +
+                          " ms in queue, over the " +
+                          std::to_string(options_.request_timeout.count()) +
+                          " ms budget"));
+    } else {
+      response = Dispatch(*request.conn, request.frame, &close_after);
+    }
+
+    WriteResponse(request.conn, response);
+    request.conn->last_active_ms.store(NowMs(), std::memory_order_relaxed);
+    if (close_after) shutdown(request.conn->fd, SHUT_RDWR);
+
+    // Hand the connection back: either finish a close the I/O thread
+    // started while we were executing, or schedule the next pipelined
+    // frame.
+    bool finish = false;
+    bool have_next = false;
+    Frame next;
+    {
+      std::lock_guard<std::mutex> lock(request.conn->mu);
+      request.conn->busy = false;
+      if (request.conn->closing) {
+        finish = true;
+      } else if (!request.conn->pending.empty()) {
+        next = std::move(request.conn->pending.front());
+        request.conn->pending.pop_front();
+        request.conn->busy = true;
+        have_next = true;
+      }
+    }
+    if (finish) {
+      FinishClose(request.conn);
+    } else if (have_next) {
+      Request follow{request.conn, std::move(next),
+                     std::chrono::steady_clock::now()};
+      if (!TryEnqueue(std::move(follow))) {
+        std::lock_guard<std::mutex> lock(request.conn->mu);
+        request.conn->busy = false;
+      }
+    }
+  }
+}
+
+// --- Request dispatch --------------------------------------------------------
+
+std::string Server::Dispatch(Connection& conn, const Frame& frame,
+                             bool* close_after) {
+  TSE_LATENCY_US("net.server.request_us");
+  TSE_TRACE_SPAN("net.server.request");
+  TSE_COUNT("net.server.requests");
+  const Opcode op = frame.opcode;
+  Cursor cursor(frame.body);
+
+  if (!IsKnownOpcode(static_cast<uint8_t>(op))) {
+    TSE_COUNT("net.server.bad_frames");
+    return EncodeResponse(
+        op, Status::InvalidArgument(
+                "unknown opcode " +
+                std::to_string(static_cast<int>(frame.opcode))));
+  }
+
+  // The hello exchange gates everything: a peer that speaks first with
+  // anything else (wrong magic, random bytes that framed by accident)
+  // is not a TSE client and forfeits the connection.
+  if (!conn.hello_done) {
+    if (op != Opcode::kHello) {
+      *close_after = true;
+      TSE_COUNT("net.server.bad_frames");
+      return EncodeResponse(
+          op, Status::FailedPrecondition("hello required before any request"));
+    }
+    auto magic = cursor.U32();
+    auto version = magic.ok() ? cursor.U16() : Result<uint16_t>(magic.status());
+    if (!version.ok() || magic.value() != kMagic) {
+      *close_after = true;
+      TSE_COUNT("net.server.bad_frames");
+      return EncodeResponse(op,
+                            Status::InvalidArgument("bad hello magic"));
+    }
+    if (version.value() != kProtoVersion) {
+      *close_after = true;
+      return EncodeResponse(
+          op, Status::InvalidArgument(
+                  "protocol version " + std::to_string(version.value()) +
+                  " unsupported; server speaks " +
+                  std::to_string(kProtoVersion)));
+    }
+    conn.hello_done = true;
+    std::string payload;
+    AppendU16(&payload, kProtoVersion);
+    return EncodeResponse(op, Status::OK(), payload);
+  }
+
+  // Helpers keeping each case a straight transcription of the public
+  // surface: decode arguments, call the facade, encode the result.
+  auto error = [op](const Status& status) {
+    return EncodeResponse(op, status);
+  };
+  auto ok = [op](const std::string& payload = "") {
+    return EncodeResponse(op, Status::OK(), payload);
+  };
+  auto need_session = [&]() -> Session* { return conn.session.get(); };
+
+  switch (op) {
+    case Opcode::kHello: {
+      std::string payload;
+      AppendU16(&payload, kProtoVersion);
+      return ok(payload);
+    }
+    case Opcode::kPing:
+      return ok();
+
+    case Opcode::kOpenSession: {
+      auto view_name = cursor.Str();
+      if (!view_name.ok()) return error(view_name.status());
+      auto session = db_->OpenSession(view_name.value());
+      if (!session.ok()) return error(session.status());
+      conn.session = std::move(session).value();
+      TSE_COUNT("net.server.sessions_opened");
+      return ok(SessionInfoPayload(*conn.session));
+    }
+    case Opcode::kOpenSessionAt: {
+      auto raw = cursor.U64();
+      if (!raw.ok()) return error(raw.status());
+      auto session = db_->OpenSessionAt(ViewId(raw.value()));
+      if (!session.ok()) return error(session.status());
+      conn.session = std::move(session).value();
+      TSE_COUNT("net.server.sessions_opened");
+      return ok(SessionInfoPayload(*conn.session));
+    }
+
+    case Opcode::kStats: {
+      auto as_json = cursor.U8();
+      obs::MetricsSnapshot snapshot =
+          obs::MetricsRegistry::Instance().Snapshot();
+      std::string payload;
+      AppendString(&payload, as_json.ok() && as_json.value() != 0
+                                 ? snapshot.ToJson()
+                                 : snapshot.ToText());
+      return ok(payload);
+    }
+
+    // Global DDL needs no session — a fresh database is bootstrapped
+    // over the wire before any view exists to bind to.
+    case Opcode::kAddBaseClass: {
+      auto name = cursor.Str();
+      if (!name.ok()) return error(name.status());
+      auto n_supers = cursor.U32();
+      if (!n_supers.ok()) return error(n_supers.status());
+      std::vector<ClassId> supers;
+      supers.reserve(n_supers.value());
+      for (uint32_t i = 0; i < n_supers.value(); ++i) {
+        auto raw = cursor.U64();
+        if (!raw.ok()) return error(raw.status());
+        supers.push_back(ClassId(raw.value()));
+      }
+      auto n_props = cursor.U32();
+      if (!n_props.ok()) return error(n_props.status());
+      std::vector<schema::PropertySpec> props;
+      props.reserve(n_props.value());
+      for (uint32_t i = 0; i < n_props.value(); ++i) {
+        auto prop_name = cursor.Str();
+        if (!prop_name.ok()) return error(prop_name.status());
+        auto type_raw = cursor.U8();
+        if (!type_raw.ok()) return error(type_raw.status());
+        auto ref_raw = cursor.U64();
+        if (!ref_raw.ok()) return error(ref_raw.status());
+        if (type_raw.value() > static_cast<uint8_t>(objmodel::ValueType::kRef)) {
+          return error(Status::InvalidArgument(
+              "unknown value type " + std::to_string(type_raw.value()) +
+              " for attribute " + prop_name.value()));
+        }
+        auto type = static_cast<objmodel::ValueType>(type_raw.value());
+        props.push_back(type == objmodel::ValueType::kRef
+                            ? schema::PropertySpec::RefAttribute(
+                                  std::move(prop_name).value(),
+                                  ClassId(ref_raw.value()))
+                            : schema::PropertySpec::Attribute(
+                                  std::move(prop_name).value(), type));
+      }
+      auto cls = db_->AddBaseClass(name.value(), supers, props);
+      if (!cls.ok()) return error(cls.status());
+      std::string payload;
+      AppendU64(&payload, cls.value().value());
+      return ok(payload);
+    }
+    case Opcode::kCreateView: {
+      auto name = cursor.Str();
+      if (!name.ok()) return error(name.status());
+      auto count = cursor.U32();
+      if (!count.ok()) return error(count.status());
+      std::vector<view::ViewClassSpec> classes;
+      classes.reserve(count.value());
+      for (uint32_t i = 0; i < count.value(); ++i) {
+        auto raw = cursor.U64();
+        if (!raw.ok()) return error(raw.status());
+        auto display = cursor.Str();
+        if (!display.ok()) return error(display.status());
+        classes.push_back(
+            {ClassId(raw.value()), std::move(display).value()});
+      }
+      auto view = db_->CreateView(name.value(), classes);
+      if (!view.ok()) return error(view.status());
+      std::string payload;
+      AppendU64(&payload, view.value().value());
+      return ok(payload);
+    }
+
+    default:
+      break;
+  }
+
+  Session* session = need_session();
+  if (session == nullptr) {
+    return error(Status::FailedPrecondition(
+        std::string("no session open; send open_session before ") +
+        OpcodeName(op)));
+  }
+
+  switch (op) {
+    case Opcode::kSessionInfo:
+      return ok(SessionInfoPayload(*session));
+
+    case Opcode::kResolve: {
+      auto name = cursor.Str();
+      if (!name.ok()) return error(name.status());
+      auto cls = session->Resolve(name.value());
+      if (!cls.ok()) return error(cls.status());
+      std::string payload;
+      AppendU64(&payload, cls.value().value());
+      return ok(payload);
+    }
+    case Opcode::kGet: {
+      auto oid = cursor.U64();
+      auto cls = oid.ok() ? cursor.Str() : Result<std::string>(oid.status());
+      auto path = cls.ok() ? cursor.Str() : Result<std::string>(cls.status());
+      if (!path.ok()) return error(path.status());
+      auto value = session->Get(Oid(oid.value()), cls.value(), path.value());
+      if (!value.ok()) return error(value.status());
+      std::string payload;
+      AppendValue(&payload, value.value());
+      return ok(payload);
+    }
+    case Opcode::kExtent: {
+      auto cls = cursor.Str();
+      if (!cls.ok()) return error(cls.status());
+      auto extent = session->Extent(cls.value());
+      if (!extent.ok()) return error(extent.status());
+      std::string payload;
+      AppendU32(&payload, static_cast<uint32_t>(extent.value()->size()));
+      for (Oid oid : *extent.value()) AppendU64(&payload, oid.value());
+      return ok(payload);
+    }
+    case Opcode::kViewToString: {
+      std::string payload;
+      AppendString(&payload, session->ViewToString());
+      return ok(payload);
+    }
+    case Opcode::kListClasses: {
+      auto view = db_->views().GetView(session->view_id());
+      if (!view.ok()) return error(view.status());
+      std::string payload;
+      AppendU32(&payload,
+                static_cast<uint32_t>(view.value()->classes().size()));
+      for (ClassId cls : view.value()->classes()) {
+        auto name = view.value()->DisplayName(cls);
+        AppendString(&payload, name.ok() ? name.value() : std::string());
+      }
+      return ok(payload);
+    }
+
+    case Opcode::kCreate: {
+      auto cls = cursor.Str();
+      if (!cls.ok()) return error(cls.status());
+      auto count = cursor.U32();
+      if (!count.ok()) return error(count.status());
+      std::vector<update::Assignment> assignments;
+      assignments.reserve(count.value());
+      for (uint32_t i = 0; i < count.value(); ++i) {
+        auto name = cursor.Str();
+        if (!name.ok()) return error(name.status());
+        auto value = cursor.Val();
+        if (!value.ok()) return error(value.status());
+        assignments.push_back({std::move(name).value(),
+                               std::move(value).value()});
+      }
+      auto oid = session->Create(cls.value(), assignments);
+      if (!oid.ok()) return error(oid.status());
+      std::string payload;
+      AppendU64(&payload, oid.value().value());
+      return ok(payload);
+    }
+    case Opcode::kSet: {
+      auto oid = cursor.U64();
+      auto cls = oid.ok() ? cursor.Str() : Result<std::string>(oid.status());
+      auto name = cls.ok() ? cursor.Str() : Result<std::string>(cls.status());
+      if (!name.ok()) return error(name.status());
+      auto value = cursor.Val();
+      if (!value.ok()) return error(value.status());
+      Status status = session->Set(Oid(oid.value()), cls.value(), name.value(),
+                                   std::move(value).value());
+      return status.ok() ? ok() : error(status);
+    }
+    case Opcode::kAdd:
+    case Opcode::kRemove: {
+      auto oid = cursor.U64();
+      auto cls = oid.ok() ? cursor.Str() : Result<std::string>(oid.status());
+      if (!cls.ok()) return error(cls.status());
+      Status status = op == Opcode::kAdd
+                          ? session->Add(Oid(oid.value()), cls.value())
+                          : session->Remove(Oid(oid.value()), cls.value());
+      return status.ok() ? ok() : error(status);
+    }
+    case Opcode::kDelete: {
+      auto oid = cursor.U64();
+      if (!oid.ok()) return error(oid.status());
+      Status status = session->Delete(Oid(oid.value()));
+      return status.ok() ? ok() : error(status);
+    }
+
+    case Opcode::kBegin: {
+      Status status = session->Begin();
+      return status.ok() ? ok() : error(status);
+    }
+    case Opcode::kCommit: {
+      Status status = session->Commit();
+      return status.ok() ? ok() : error(status);
+    }
+    case Opcode::kRollback: {
+      Status status = session->Rollback();
+      return status.ok() ? ok() : error(status);
+    }
+
+    case Opcode::kApply: {
+      auto text = cursor.Str();
+      if (!text.ok()) return error(text.status());
+      auto view = session->Apply(text.value());
+      if (!view.ok()) return error(view.status());
+      TSE_COUNT("net.server.schema_changes");
+      return ok(SessionInfoPayload(*session));
+    }
+    case Opcode::kRefresh: {
+      Status status = session->Refresh();
+      return status.ok() ? ok(SessionInfoPayload(*session)) : error(status);
+    }
+
+    case Opcode::kHello:
+    case Opcode::kPing:
+    case Opcode::kStats:
+    case Opcode::kAddBaseClass:
+    case Opcode::kCreateView:
+    case Opcode::kOpenSession:
+    case Opcode::kOpenSessionAt:
+      break;  // handled above
+  }
+  return error(Status::Internal("unhandled opcode"));
+}
+
+}  // namespace tse::net

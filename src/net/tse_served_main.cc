@@ -1,0 +1,132 @@
+// tse_served — the TSE wire-protocol server.
+//
+//   tse_served [--host H] [--port N] [--data-dir DIR] [--workers N]
+//              [--demo] [--idle-timeout-ms N] [--request-timeout-ms N]
+//
+// Serves one tse::Db over TCP (see docs/API.md "Remote access" for the
+// protocol). With --data-dir the database is durable and restored on
+// start; --demo bootstraps the Person/Student/TA schema with a "Main"
+// view when the database is empty, so a fresh server is immediately
+// usable by `tse_shell connect` and the smoke scripts. Prints
+// "listening on <host>:<port>" once ready (with --port 0 this is the
+// only way to learn the bound port). SIGINT/SIGTERM drain cleanly:
+// stop accepting, abort in-flight transactions, checkpoint when
+// durable, exit 0.
+
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <tse/db.h>
+#include <tse/server.h>
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+/// Creates the demo schema unless the database (restored from
+/// --data-dir) already has views to serve.
+tse::Status BootstrapDemo(tse::Db* db) {
+  using tse::objmodel::ValueType;
+  using tse::schema::PropertySpec;
+  if (!db->views().ViewNames().empty()) return tse::Status::OK();
+  TSE_ASSIGN_OR_RETURN(
+      tse::ClassId person,
+      db->AddBaseClass("Person", {},
+                       {PropertySpec::Attribute("name", ValueType::kString),
+                        PropertySpec::Attribute("age", ValueType::kInt)}));
+  TSE_ASSIGN_OR_RETURN(
+      tse::ClassId student,
+      db->AddBaseClass("Student", {person},
+                       {PropertySpec::Attribute("major", ValueType::kString)}));
+  TSE_ASSIGN_OR_RETURN(tse::ClassId ta, db->AddBaseClass("TA", {student}, {}));
+  TSE_RETURN_IF_ERROR(
+      db->CreateView("Main", {{person, ""}, {student, ""}, {ta, ""}})
+          .status());
+  return tse::Status::OK();
+}
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--host H] [--port N] [--data-dir DIR] [--workers N]"
+               " [--demo] [--idle-timeout-ms N] [--request-timeout-ms N]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tse::DbOptions db_options;
+  db_options.closure_policy = tse::update::ValueClosurePolicy::kAllow;
+  tse::net::ServerOptions server_options;
+  server_options.port = 7453;
+  bool demo = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--host" && has_value) {
+      server_options.host = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      server_options.port = static_cast<uint16_t>(std::stoi(argv[++i]));
+    } else if (arg == "--data-dir" && has_value) {
+      db_options.data_dir = argv[++i];
+    } else if (arg == "--workers" && has_value) {
+      server_options.workers = std::stoi(argv[++i]);
+    } else if (arg == "--idle-timeout-ms" && has_value) {
+      server_options.idle_timeout = std::chrono::milliseconds(
+          std::stol(argv[++i]));
+    } else if (arg == "--request-timeout-ms" && has_value) {
+      server_options.request_timeout = std::chrono::milliseconds(
+          std::stol(argv[++i]));
+    } else if (arg == "--demo") {
+      demo = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  auto db = tse::Db::Open(db_options);
+  if (!db.ok()) {
+    std::cerr << "cannot open database: " << db.status().ToString() << "\n";
+    return 1;
+  }
+  if (demo) {
+    tse::Status status = BootstrapDemo(db.value().get());
+    if (!status.ok()) {
+      std::cerr << "demo bootstrap failed: " << status.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  tse::net::Server server(db.value().get(), server_options);
+  tse::Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "cannot start server: " << started.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "listening on " << server.host() << ":" << server.port()
+            << std::endl;
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop_requested) {
+    timespec nap{0, 100 * 1000 * 1000};
+    nanosleep(&nap, nullptr);
+  }
+
+  std::cout << "shutting down" << std::endl;
+  server.Stop();  // drains workers, aborts in-flight transactions
+  if (db.value()->durable()) {
+    tse::Status checkpoint = db.value()->Checkpoint();
+    if (!checkpoint.ok()) {
+      std::cerr << "checkpoint on shutdown failed: "
+                << checkpoint.ToString() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

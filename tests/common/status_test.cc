@@ -48,6 +48,9 @@ TEST(StatusTest, NameTableIsExactAndUnique) {
       {StatusCode::kAborted, "aborted"},
       {StatusCode::kUnimplemented, "unimplemented"},
       {StatusCode::kInternal, "internal"},
+      {StatusCode::kOverloaded, "overloaded"},
+      {StatusCode::kTimeout, "timeout"},
+      {StatusCode::kConnectionClosed, "connection_closed"},
   };
   ASSERT_EQ(expected.size(), static_cast<size_t>(kStatusCodeCount));
   std::set<std::string> seen;
@@ -61,6 +64,14 @@ TEST(StatusTest, OutOfRangeCodeIsUnknown) {
   EXPECT_STREQ(StatusCodeName(static_cast<StatusCode>(kStatusCodeCount)),
                "unknown");
   EXPECT_STREQ(StatusCodeName(static_cast<StatusCode>(-1)), "unknown");
+}
+
+TEST(StatusTest, WireProtocolCodes) {
+  EXPECT_TRUE(Status::Overloaded("queue full").IsOverloaded());
+  EXPECT_TRUE(Status::Timeout("deadline").IsTimeout());
+  EXPECT_TRUE(Status::ConnectionClosed("peer gone").IsConnectionClosed());
+  EXPECT_EQ(Status::Overloaded("q").ToString(), "overloaded: q");
+  EXPECT_FALSE(Status::Timeout("t").IsAborted());
 }
 
 TEST(StatusTest, RejectedIsDistinctFromInvalidArgument) {

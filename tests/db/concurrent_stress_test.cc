@@ -18,8 +18,8 @@
 #include <thread>
 #include <vector>
 
-#include "db/db.h"
-#include "db/session.h"
+#include <tse/db.h>
+#include <tse/session.h>
 #include "update/update_engine.h"
 
 namespace tse {

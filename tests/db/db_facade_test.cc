@@ -1,10 +1,10 @@
-#include "db/db.h"
+#include <tse/db.h>
 
 #include <gtest/gtest.h>
 
 #include <filesystem>
 
-#include "db/session.h"
+#include <tse/session.h>
 #include "evolution/change_parser.h"
 
 namespace tse {

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
-#include "db/db.h"
-#include "db/session.h"
+#include <tse/db.h>
+#include <tse/session.h>
 
 namespace tse {
 namespace {

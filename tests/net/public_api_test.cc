@@ -1,0 +1,109 @@
+// The frozen public API surface: this test includes ONLY <tse/...>
+// headers — never "src/..." paths — and walks every entry point an
+// embedder or remote client is promised. If a public header stops
+// re-exporting something used here, this file stops compiling, which
+// is the point.
+
+#include <gtest/gtest.h>
+
+#include <tse/client.h>
+#include <tse/db.h>
+#include <tse/obs.h>
+#include <tse/query.h>
+#include <tse/schema_change.h>
+#include <tse/server.h>
+#include <tse/session.h>
+#include <tse/status.h>
+#include <tse/value.h>
+
+namespace {
+
+using tse::ClassId;
+using tse::Oid;
+using tse::Status;
+using tse::objmodel::Value;
+using tse::objmodel::ValueType;
+using tse::schema::PropertySpec;
+
+TEST(PublicApiTest, EmbeddedSurface) {
+  // Db + DDL.
+  tse::DbOptions options;
+  options.closure_policy = tse::update::ValueClosurePolicy::kAllow;
+  auto db = tse::Db::Open(options).value();
+  ClassId person =
+      db->AddBaseClass("Person", {},
+                       {PropertySpec::Attribute("name", ValueType::kString),
+                        PropertySpec::Attribute("age", ValueType::kInt)})
+          .value();
+  db->CreateView("V", {{person, ""}}).value();
+
+  // Session: reads, updates, transactions.
+  auto session = db->OpenSession("V").value();
+  EXPECT_EQ(session->view_version(), 1);
+  Oid bob = session
+                ->Create("Person", {{"name", Value::Str("bob")},
+                                    {"age", Value::Int(30)}})
+                .value();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Set(bob, "Person", "age", Value::Int(31)).ok());
+  ASSERT_TRUE(session->Commit().ok());
+  EXPECT_EQ(session->Get(bob, "Person", "age").value(), Value::Int(31));
+
+  // Schema evolution: textual and typed forms.
+  ASSERT_TRUE(session->Apply("add_attribute zip:string to Person").ok());
+  tse::evolution::AddMethod add_method;
+  add_method.class_name = "Person";
+  add_method.spec = PropertySpec::Method(
+      "is_adult",
+      tse::objmodel::MethodExpr::Ge(tse::objmodel::MethodExpr::Attr("age"),
+                                    tse::objmodel::MethodExpr::Lit(
+                                        Value::Int(18))),
+      ValueType::kBool);
+  ASSERT_TRUE(session->Apply(add_method).ok());
+  EXPECT_EQ(session->view_version(), 3);
+  EXPECT_EQ(session->Get(bob, "Person", "is_adult").value(),
+            Value::Bool(true));
+
+  // Query/expression surface.
+  auto expr = tse::objmodel::ParseExpr("age >= 21");
+  ASSERT_TRUE(expr.ok());
+
+  // Status taxonomy, including the wire-protocol codes.
+  EXPECT_TRUE(Status::Overloaded("x").IsOverloaded());
+  EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  EXPECT_TRUE(Status::ConnectionClosed("x").IsConnectionClosed());
+  EXPECT_STREQ(tse::StatusCodeName(tse::StatusCode::kOverloaded),
+               "overloaded");
+
+  // Observability read side.
+  auto snapshot = tse::obs::MetricsRegistry::Instance().Snapshot();
+  EXPECT_FALSE(snapshot.ToText().empty());
+}
+
+TEST(PublicApiTest, RemoteSurface) {
+  // Server + Client round trip through the public headers alone.
+  auto db = tse::Db::Open(tse::DbOptions{}).value();
+  ClassId person =
+      db->AddBaseClass("Person", {},
+                       {PropertySpec::Attribute("name", ValueType::kString)})
+          .value();
+  db->CreateView("V", {{person, ""}}).value();
+
+  tse::net::ServerOptions server_options;
+  tse::net::Server server(db.get(), server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  tse::ClientOptions client_options;
+  auto client =
+      tse::Client::Connect("127.0.0.1", server.port(), client_options)
+          .value();
+  ASSERT_TRUE(client->Ping().ok());
+  ASSERT_TRUE(client->OpenSession("V").ok());
+  Oid eve = client->Create("Person", {{"name", Value::Str("eve")}}).value();
+  EXPECT_EQ(client->Get(eve, "Person", "name").value(), Value::Str("eve"));
+  ASSERT_TRUE(client->Apply("add_attribute zip:string to Person").ok());
+  EXPECT_EQ(client->view_version(), 2);
+  server.Stop();
+}
+
+}  // namespace

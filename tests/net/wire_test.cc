@@ -1,0 +1,204 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tse::net {
+namespace {
+
+using objmodel::Value;
+
+TEST(WireCodecTest, ScalarRoundTrip) {
+  std::string body;
+  AppendU8(&body, 0xab);
+  AppendU16(&body, 0xbeef);
+  AppendU32(&body, 0xdeadbeef);
+  AppendU64(&body, 0x0123456789abcdefULL);
+  AppendI32(&body, -42);
+  AppendString(&body, "hello");
+  AppendString(&body, "");
+
+  Cursor cursor(body);
+  EXPECT_EQ(cursor.U8().value(), 0xab);
+  EXPECT_EQ(cursor.U16().value(), 0xbeef);
+  EXPECT_EQ(cursor.U32().value(), 0xdeadbeefu);
+  EXPECT_EQ(cursor.U64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(cursor.I32().value(), -42);
+  EXPECT_EQ(cursor.Str().value(), "hello");
+  EXPECT_EQ(cursor.Str().value(), "");
+  EXPECT_TRUE(cursor.AtEnd());
+}
+
+TEST(WireCodecTest, ValueRoundTrip) {
+  const Value values[] = {Value::Null(), Value::Int(-7), Value::Real(2.5),
+                          Value::Bool(true), Value::Str("señor"),
+                          Value::Ref(Oid(12))};
+  std::string body;
+  for (const Value& v : values) AppendValue(&body, v);
+  Cursor cursor(body);
+  for (const Value& v : values) {
+    auto decoded = cursor.Val();
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value(), v);
+  }
+  EXPECT_TRUE(cursor.AtEnd());
+}
+
+TEST(WireCodecTest, CursorRejectsEveryTruncation) {
+  std::string body;
+  AppendU64(&body, 99);
+  AppendString(&body, "abcdef");
+  // Chop the body at every length; no prefix may decode fully, and no
+  // getter may read out of bounds.
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    std::string partial = body.substr(0, cut);
+    Cursor cursor(partial);
+    auto num = cursor.U64();
+    if (!num.ok()) {
+      EXPECT_TRUE(num.status().IsCorruption());
+      continue;
+    }
+    auto str = cursor.Str();
+    EXPECT_FALSE(str.ok());
+    EXPECT_TRUE(str.status().IsCorruption());
+  }
+}
+
+TEST(WireCodecTest, StringLengthBeyondBodyIsCorruption) {
+  std::string body;
+  AppendU32(&body, 1000);  // announces 1000 bytes...
+  body += "xy";            // ...delivers 2
+  Cursor cursor(body);
+  auto str = cursor.Str();
+  ASSERT_FALSE(str.ok());
+  EXPECT_TRUE(str.status().IsCorruption());
+}
+
+TEST(WireResponseTest, OkRoundTrip) {
+  std::string payload;
+  AppendU64(&payload, 7);
+  std::string frame = EncodeResponse(Opcode::kResolve, Status::OK(), payload);
+
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(frame.data(), frame.size()).ok());
+  Frame decoded;
+  ASSERT_TRUE(reader.Next(&decoded));
+  EXPECT_EQ(decoded.opcode, Opcode::kResolve);
+  auto response = DecodeResponse(decoded.body);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response.value().status.ok());
+  Cursor cursor(response.value().payload);
+  EXPECT_EQ(cursor.U64().value(), 7u);
+}
+
+TEST(WireResponseTest, ErrorPreservesCodeAndMessage) {
+  std::string frame = EncodeResponse(
+      Opcode::kGet, Status::Overloaded("server request queue full"));
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(frame.data(), frame.size()).ok());
+  Frame decoded;
+  ASSERT_TRUE(reader.Next(&decoded));
+  auto response = DecodeResponse(decoded.body);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response.value().status.IsOverloaded());
+  EXPECT_NE(response.value().status.message().find("queue full"),
+            std::string::npos);
+}
+
+TEST(WireResponseTest, UnknownStatusCodeIsCorruption) {
+  std::string body;
+  AppendU8(&body, 0xee);  // far past kStatusCodeCount
+  AppendString(&body, "whatever");
+  auto response = DecodeResponse(body);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsCorruption());
+}
+
+TEST(FrameReaderTest, ByteAtATimeDelivery) {
+  // Two frames, drip-fed one byte per Feed: framing must tolerate every
+  // partial-read boundary TCP can produce.
+  std::string stream = EncodeFrame(Opcode::kPing, "");
+  std::string body;
+  AppendString(&body, "Registrar");
+  stream += EncodeFrame(Opcode::kOpenSession, body);
+
+  FrameReader reader;
+  std::vector<Frame> frames;
+  for (char byte : stream) {
+    ASSERT_TRUE(reader.Feed(&byte, 1).ok());
+    Frame frame;
+    while (reader.Next(&frame)) frames.push_back(frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].opcode, Opcode::kPing);
+  EXPECT_TRUE(frames[0].body.empty());
+  EXPECT_EQ(frames[1].opcode, Opcode::kOpenSession);
+  Cursor cursor(frames[1].body);
+  EXPECT_EQ(cursor.Str().value(), "Registrar");
+}
+
+TEST(FrameReaderTest, TruncatedHeaderStaysPending) {
+  std::string frame = EncodeFrame(Opcode::kPing, "");
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(frame.data(), 3).ok());  // header is 4 bytes
+  Frame out;
+  EXPECT_FALSE(reader.Next(&out));
+  EXPECT_EQ(reader.pending_bytes(), 3u);
+}
+
+TEST(FrameReaderTest, OversizedAnnouncementPoisons) {
+  FrameReader reader(/*max_frame_bytes=*/64);
+  std::string header;
+  AppendU32(&header, 65);  // one past the limit
+  Status fed = reader.Feed(header.data(), header.size());
+  ASSERT_FALSE(fed.ok());
+  EXPECT_TRUE(fed.IsCorruption());
+  // Poisoned: even innocent bytes now fail.
+  std::string ping = EncodeFrame(Opcode::kPing, "");
+  EXPECT_FALSE(reader.Feed(ping.data(), ping.size()).ok());
+}
+
+TEST(FrameReaderTest, ZeroLengthFrameIsRejected) {
+  // payload_len counts the opcode, so 0 cannot frame a message.
+  std::string header;
+  AppendU32(&header, 0);
+  FrameReader reader;
+  EXPECT_FALSE(reader.Feed(header.data(), header.size()).ok());
+}
+
+TEST(FrameReaderTest, MaxSizedFrameIsAccepted) {
+  FrameReader reader(/*max_frame_bytes=*/64);
+  std::string body(63, 'x');  // 1 opcode byte + 63 = 64 exactly
+  std::string frame = EncodeFrame(Opcode::kSet, body);
+  ASSERT_TRUE(reader.Feed(frame.data(), frame.size()).ok());
+  Frame out;
+  ASSERT_TRUE(reader.Next(&out));
+  EXPECT_EQ(out.body.size(), 63u);
+}
+
+TEST(FrameReaderTest, UnknownOpcodeStillFrames) {
+  // Framing is below dispatch: an unknown opcode is the server's call,
+  // not the reader's.
+  std::string frame;
+  AppendU32(&frame, 1);
+  AppendU8(&frame, 0xee);
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(frame.data(), frame.size()).ok());
+  Frame out;
+  ASSERT_TRUE(reader.Next(&out));
+  EXPECT_FALSE(IsKnownOpcode(static_cast<uint8_t>(out.opcode)));
+}
+
+TEST(WireOpcodeTest, NamesAndKnownness) {
+  EXPECT_TRUE(IsKnownOpcode(static_cast<uint8_t>(Opcode::kHello)));
+  EXPECT_TRUE(IsKnownOpcode(static_cast<uint8_t>(Opcode::kCreateView)));
+  EXPECT_FALSE(IsKnownOpcode(0));
+  EXPECT_FALSE(IsKnownOpcode(
+      static_cast<uint8_t>(Opcode::kCreateView) + 1));
+  EXPECT_STREQ(OpcodeName(Opcode::kApply), "apply");
+  EXPECT_STREQ(OpcodeName(static_cast<Opcode>(0xee)), "unknown");
+}
+
+}  // namespace
+}  // namespace tse::net

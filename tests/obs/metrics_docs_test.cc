@@ -20,6 +20,8 @@
 #include "db/session.h"
 #include "evolution/change_parser.h"
 #include "evolution/tse_manager.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "storage/lock_manager.h"
 #include "storage/pager.h"
@@ -148,6 +150,33 @@ void RunDbFacadeWorkload(const std::string& dir) {
   ASSERT_TRUE(lagging->Refresh().ok());
 }
 
+void RunNetWorkload() {
+  // Wire protocol: loopback server + client covering accept, session
+  // bind, request dispatch, a schema change over the wire, and close.
+  DbOptions options;
+  options.closure_policy = update::ValueClosurePolicy::kAllow;
+  auto db = Db::Open(options).value();
+  ClassId person =
+      db->AddBaseClass("Person", {},
+                       {PropertySpec::Attribute("age", ValueType::kInt)})
+          .value();
+  ASSERT_TRUE(db->CreateView("Wire", {{person, ""}}).ok());
+
+  net::ServerOptions server_options;
+  net::Server server(db.get(), server_options);
+  ASSERT_TRUE(server.Start().ok());
+  {
+    auto client = Client::Connect("127.0.0.1", server.port()).value();
+    ASSERT_TRUE(client->Ping().ok());
+    ASSERT_TRUE(client->OpenSession("Wire").ok());
+    Oid p = client->Create("Person", {{"age", Value::Int(9)}}).value();
+    ASSERT_TRUE(client->Set(p, "Person", "age", Value::Int(10)).ok());
+    ASSERT_TRUE(client->Get(p, "Person", "age").ok());
+    ASSERT_TRUE(client->Apply("add_attribute wired:int to Person").ok());
+  }
+  server.Stop();
+}
+
 void RunStorageWorkload(const std::string& dir) {
   // WAL: append, fsync on commit, replay.
   auto wal = storage::Wal::Open(dir + "/metrics_docs.wal").value();
@@ -187,6 +216,7 @@ void RunStorageWorkload(const std::string& dir) {
 TEST(MetricsDocs, EveryRegisteredMetricIsDocumented) {
   RunEvolutionPipeline();
   RunDbFacadeWorkload(::testing::TempDir());
+  RunNetWorkload();
   RunStorageWorkload(::testing::TempDir());
 
   std::ifstream doc(TSE_METRICS_DOC);
