@@ -1,0 +1,291 @@
+// Schema-change-storm benchmark for the online schema-change path
+// (DESIGN.md §10).
+//
+// Workload: 4 pinned sessions run a paced 2:1 read/update mix (plus
+// periodic extent scans) over an in-memory Db while an evolver session
+// applies a capacity-augmenting schema change every 2 ms through the
+// versioned catalog. A change-free baseline phase of the same wall
+// duration runs first on its own Db. The acceptance bar is the
+// DESIGN.md §10 claim: zero pinned-session failures, every change
+// applied, the backlog fully drained by the background migrator, and a
+// storm-phase read/update p99 within 2x the change-free baseline (plus
+// a small additive allowance for scheduler noise on one-core CI boxes,
+// where both phases' tails are preemption, not engine time).
+//
+// The workers are open-loop (fixed think time between ops) so the
+// measurement does not degenerate into a lock-occupancy contest: a
+// closed loop would keep the schema locks continuously read-held and
+// measure rwlock reader preference instead of schema-change impact.
+//
+// Emits human-readable text, or machine-readable JSON with --json
+// <path> (the `bench_report` CMake target writes BENCH_storm.json at
+// the repo root). --quick shrinks the storm to smoke-test size.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/db.h"
+#include "db/session.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace tse;
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+constexpr int kWorkers = 4;
+constexpr int kSeedPerWorker = 16;
+constexpr auto kChangeInterval = std::chrono::milliseconds(2);
+constexpr auto kThinkTime = std::chrono::microseconds(200);
+
+struct PhaseResult {
+  uint64_t ops = 0;
+  uint64_t failures = 0;
+  double read_p50_us = 0;
+  double read_p99_us = 0;
+  double update_p50_us = 0;
+  double update_p99_us = 0;
+};
+
+double Quantile(std::vector<double>* v, double q) {
+  if (v->empty()) return 0;
+  std::sort(v->begin(), v->end());
+  return (*v)[static_cast<size_t>(q * (v->size() - 1))];
+}
+
+struct Fixture {
+  std::unique_ptr<Db> db;
+  std::vector<std::vector<Oid>> oids;  ///< worker-partitioned
+
+  Fixture() {
+    DbOptions options;
+    options.closure_policy = update::ValueClosurePolicy::kAllow;
+    db = Db::Open(std::move(options)).value();
+    ClassId person =
+        db->AddBaseClass("Person", {},
+                         {PropertySpec::Attribute("name", ValueType::kString)})
+            .value();
+    ClassId student =
+        db->AddBaseClass("Student", {person},
+                         {PropertySpec::Attribute("gpa", ValueType::kReal)})
+            .value();
+    db->CreateView("Main", {{person, "Person"}, {student, "Student"}}).value();
+    auto seeder = db->OpenSession("Main").value();
+    oids.resize(kWorkers);
+    for (int w = 0; w < kWorkers; ++w) {
+      for (int i = 0; i < kSeedPerWorker; ++i) {
+        oids[w].push_back(
+            seeder
+                ->Create("Student",
+                         {{"name",
+                           Value::Str("s" + std::to_string(w * 100 + i))}})
+                .value());
+      }
+    }
+  }
+};
+
+/// Runs one phase: kWorkers pinned sessions operate until the pacer is
+/// done. With `changes` > 0 the pacer is the evolver (one schema change
+/// per kChangeInterval); with 0 it just sleeps the same wall duration,
+/// giving the change-free baseline.
+PhaseResult RunPhase(Fixture* fx, int changes, int duration_intervals,
+                     uint64_t* changes_applied) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::vector<double>> reads(kWorkers), updates(kWorkers);
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      auto session = fx->db->OpenSession("Main").value();
+      const std::vector<Oid>& mine = fx->oids[w];
+      for (int op = 0; !stop.load(std::memory_order_relaxed); ++op) {
+        Oid oid = mine[op % mine.size()];
+        const auto t0 = std::chrono::steady_clock::now();
+        bool ok;
+        if (op % 3 == 2) {
+          ok = session->Set(oid, "Student", "gpa", Value::Real(op * 0.01))
+                   .ok();
+        } else if (op % 6 == 1) {
+          ok = session->Extent("Student").ok();
+        } else {
+          ok = session->Get(oid, "Student", "gpa").ok();
+        }
+        const double us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        (op % 3 == 2 ? updates[w] : reads[w]).push_back(us);
+        if (!ok) failures.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(kThinkTime);
+      }
+    });
+  }
+
+  if (changes > 0) {
+    auto evolver = fx->db->OpenSession("Main").value();
+    for (int i = 0; i < changes; ++i) {
+      if (evolver
+              ->Apply("add_attribute storm_" + std::to_string(i) +
+                      ":int to Student")
+              .ok()) {
+        ++*changes_applied;
+      }
+      std::this_thread::sleep_for(kChangeInterval);
+    }
+  } else {
+    std::this_thread::sleep_for(kChangeInterval * duration_intervals);
+  }
+  stop.store(true);
+  for (auto& th : workers) th.join();
+
+  std::vector<double> all_reads, all_updates;
+  for (auto& r : reads) all_reads.insert(all_reads.end(), r.begin(), r.end());
+  for (auto& u : updates) {
+    all_updates.insert(all_updates.end(), u.begin(), u.end());
+  }
+  PhaseResult result;
+  result.ops = all_reads.size() + all_updates.size();
+  result.failures = failures.load();
+  result.read_p50_us = Quantile(&all_reads, 0.5);
+  result.read_p99_us = Quantile(&all_reads, 0.99);
+  result.update_p50_us = Quantile(&all_updates, 0.5);
+  result.update_p99_us = Quantile(&all_updates, 0.99);
+  return result;
+}
+
+std::string PhaseJson(const PhaseResult& r) {
+  std::ostringstream out;
+  out << "{\"ops\": " << r.ops << ", \"failures\": " << r.failures
+      << ", \"read_p50_us\": " << r.read_p50_us
+      << ", \"read_p99_us\": " << r.read_p99_us
+      << ", \"update_p50_us\": " << r.update_p50_us
+      << ", \"update_p99_us\": " << r.update_p99_us << "}";
+  return out.str();
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Instance().GetCounter(name)->value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--quick] [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  const int changes = quick ? 8 : 48;
+
+  // Change-free baseline of the same wall duration on its own Db.
+  Fixture baseline_fx;
+  uint64_t unused = 0;
+  PhaseResult baseline = RunPhase(&baseline_fx, 0, changes, &unused);
+
+  // Storm phase, bracketing the online-path counters.
+  Fixture storm_fx;
+  const uint64_t publishes_before =
+      CounterValue("db.schema_change.online.publishes");
+  const uint64_t lazy_before = CounterValue("db.schema_change.lazy.tasks");
+  const uint64_t first_touch_before =
+      CounterValue("db.schema_change.lazy.first_touch");
+  const uint64_t migrated_before = CounterValue("db.backfill.migrated");
+  uint64_t changes_applied = 0;
+  PhaseResult storm = RunPhase(&storm_fx, changes, changes, &changes_applied);
+
+  // The background migrator must finish the lazy backlog on its own.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (storm_fx.db->BackfillPending() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const uint64_t pending_after = storm_fx.db->BackfillPending();
+
+  const double read_bound = 2.0 * baseline.read_p99_us + 500.0;
+  const double update_bound = 2.0 * baseline.update_p99_us + 500.0;
+  const double read_ratio =
+      baseline.read_p99_us > 0 ? storm.read_p99_us / baseline.read_p99_us : 0;
+  const double update_ratio =
+      baseline.update_p99_us > 0
+          ? storm.update_p99_us / baseline.update_p99_us
+          : 0;
+  const uint64_t pinned_failures = baseline.failures + storm.failures;
+  const bool pass = pinned_failures == 0 &&
+                    changes_applied == static_cast<uint64_t>(changes) &&
+                    pending_after == 0 && storm.read_p99_us < read_bound &&
+                    storm.update_p99_us < update_bound;
+
+  std::cout << "baseline: read p99 " << baseline.read_p99_us
+            << " us, update p99 " << baseline.update_p99_us << " us over "
+            << baseline.ops << " ops\n"
+            << "storm:    read p99 " << storm.read_p99_us << " us, update p99 "
+            << storm.update_p99_us << " us over " << storm.ops << " ops, "
+            << changes_applied << " schema changes applied\n"
+            << "p99 ratio: read " << read_ratio << "x, update " << update_ratio
+            << "x (bound: 2x + 500 us slack)\n"
+            << "pinned failures: " << pinned_failures
+            << ", backfill left: " << pending_after << "\n"
+            << (pass ? "PASS" : "FAIL") << "\n";
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"schema_storm\",\n  \"quick\": "
+       << (quick ? "true" : "false")
+       << ",\n  \"change_interval_ms\": " << kChangeInterval.count()
+       << ",\n  \"baseline\": " << PhaseJson(baseline)
+       << ",\n  \"storm\": " << PhaseJson(storm)
+       << ",\n  \"changes_applied\": " << changes_applied
+       << ",\n  \"counters\": {\"online_publishes\": "
+       << CounterValue("db.schema_change.online.publishes") - publishes_before
+       << ", \"lazy_tasks\": "
+       << CounterValue("db.schema_change.lazy.tasks") - lazy_before
+       << ", \"lazy_first_touch\": "
+       << CounterValue("db.schema_change.lazy.first_touch") -
+              first_touch_before
+       << ", \"backfill_migrated\": "
+       << CounterValue("db.backfill.migrated") - migrated_before
+       << ", \"backfill_left\": " << pending_after
+       << "},\n  \"acceptance\": {\"target_p99_ratio\": 2.0, "
+          "\"read_p99_ratio\": "
+       << read_ratio << ", \"update_p99_ratio\": " << update_ratio
+       << ", \"pinned_session_failures\": " << pinned_failures
+       << ", \"pass\": " << (pass ? "true" : "false")
+       << "},\n  \"metrics\": "
+       << tse::obs::MetricsRegistry::Instance().Snapshot().ToJson() << "\n}\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << json.str();
+    std::cout << "wrote " << json_path << "\n";
+  }
+  if (!quick && !pass) {
+    std::cerr << "FAIL: see acceptance block\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "db/catalog.h"
+
+#include "obs/metrics.h"
+
+namespace tse::db {
+
+uint64_t VersionedCatalog::Publish(ViewId view,
+                                   const view::ViewSchema* schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Publications are serialized by the caller's DDL latch; mu_ only
+  // protects the log against concurrent Log() snapshots.
+  uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  log_.push_back(Published{epoch, view, schema});
+  epoch_.store(epoch, std::memory_order_release);
+  TSE_COUNT("db.schema_change.online.publishes");
+  return epoch;
+}
+
+uint64_t VersionedCatalog::BumpEpoch() {
+  return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+std::vector<VersionedCatalog::Published> VersionedCatalog::Log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+size_t VersionedCatalog::published_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.size();
+}
+
+}  // namespace tse::db

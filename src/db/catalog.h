@@ -1,0 +1,68 @@
+#ifndef TSE_DB_CATALOG_H_
+#define TSE_DB_CATALOG_H_
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace tse::view {
+class ViewSchema;
+}  // namespace tse::view
+
+namespace tse::db {
+
+/// The versioned catalog of the online schema-change path (DESIGN.md
+/// §10): an append-only publication log of view versions plus the
+/// atomically readable head epoch.
+///
+/// A schema change is *published* by a single `Publish` call after the
+/// new view version has been fully assembled in the SchemaGraph and
+/// ViewManager — the epoch store with release ordering is the one
+/// visibility flip. Sessions opened before the flip keep running on
+/// their pinned view untouched; sessions opened (or refreshed) after it
+/// see the new version. Nothing is ever removed, so old epochs remain
+/// resolvable for as long as a pinned session cares.
+class VersionedCatalog {
+ public:
+  struct Published {
+    uint64_t epoch = 0;
+    ViewId view;
+    const view::ViewSchema* schema = nullptr;
+  };
+
+  VersionedCatalog() = default;
+  VersionedCatalog(const VersionedCatalog&) = delete;
+  VersionedCatalog& operator=(const VersionedCatalog&) = delete;
+
+  /// The current publication epoch. Lock-free; pairs with the release
+  /// store in Publish/BumpEpoch, so a reader that observes epoch e also
+  /// observes every catalog entry published at or before e.
+  uint64_t head_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Records a new view version and flips the head epoch to cover it.
+  /// Returns the publication epoch.
+  uint64_t Publish(ViewId view, const view::ViewSchema* schema);
+
+  /// Advances the epoch without a view publication (non-view DDL such
+  /// as base-class or virtual-class definition). Returns the new epoch.
+  uint64_t BumpEpoch();
+
+  /// Snapshot of the publication log, oldest first. Epochs are strictly
+  /// increasing.
+  std::vector<Published> Log() const;
+
+  size_t published_count() const;
+
+ private:
+  std::atomic<uint64_t> epoch_{0};
+  mutable std::mutex mu_;
+  std::vector<Published> log_;
+};
+
+}  // namespace tse::db
+
+#endif  // TSE_DB_CATALOG_H_

@@ -33,46 +33,126 @@ Status Db::Bootstrap(DbOptions options) {
   locks_ = std::make_unique<storage::LockManager>(options_.lock_timeout);
   txns_ =
       std::make_unique<update::TransactionManager>(engine_.get(), locks_.get());
+  catalog_ = std::make_unique<db::VersionedCatalog>();
+  backfill_ =
+      std::make_unique<update::BackfillManager>(schema_.get(), store_.get());
 
-  if (options_.data_dir.empty()) return Status::OK();
+  Status restored = Status::OK();
+  if (!options_.data_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.data_dir, ec);
+    if (ec) {
+      return Status::IOError("cannot create data dir " + options_.data_dir +
+                             ": " + ec.message());
+    }
+    storage::RecordStoreOptions store_opts;
+    TSE_ASSIGN_OR_RETURN(
+        catalog_db_,
+        storage::RecordStore::Open(options_.data_dir + "/catalog", store_opts));
+    TSE_ASSIGN_OR_RETURN(
+        objects_db_,
+        storage::RecordStore::Open(options_.data_dir + "/objects", store_opts));
+    committer_ = std::make_unique<db::GroupCommitter>(objects_db_.get());
 
-  std::error_code ec;
-  std::filesystem::create_directories(options_.data_dir, ec);
-  if (ec) {
-    return Status::IOError("cannot create data dir " + options_.data_dir +
-                           ": " + ec.message());
+    if (catalog_db_->size() > 0) {
+      TSE_RETURN_IF_ERROR(view::CatalogIO::Load(catalog_db_.get(),
+                                                schema_.get(), views_.get()));
+      TSE_RETURN_IF_ERROR(objmodel::PersistenceBridge::LoadAll(
+          objects_db_.get(), store_.get()));
+      // Resume any backfill a previous run left unfinished: slice
+      // *absence* in the durable store is the pending marker, so a
+      // crash mid-backfill loses no work and repeats none persisted.
+      if (options_.online_schema_change) {
+        size_t pending = backfill_->RecoverPending(extents_.get());
+        if (pending > 0) TSE_COUNT_N("db.backfill.recovered", pending);
+      }
+    }
   }
-  storage::RecordStoreOptions store_opts;
-  TSE_ASSIGN_OR_RETURN(
-      catalog_db_,
-      storage::RecordStore::Open(options_.data_dir + "/catalog", store_opts));
-  TSE_ASSIGN_OR_RETURN(
-      objects_db_,
-      storage::RecordStore::Open(options_.data_dir + "/objects", store_opts));
-  committer_ = std::make_unique<db::GroupCommitter>(objects_db_.get());
 
-  if (catalog_db_->size() > 0) {
-    TSE_RETURN_IF_ERROR(
-        view::CatalogIO::Load(catalog_db_.get(), schema_.get(), views_.get()));
-    TSE_RETURN_IF_ERROR(
-        objmodel::PersistenceBridge::LoadAll(objects_db_.get(), store_.get()));
+  if (options_.online_schema_change && options_.background_backfill) {
+    migrator_ = std::thread([this] { MigratorLoop(); });
   }
-  return Status::OK();
+  return restored;
 }
 
-Db::~Db() = default;
+Db::~Db() { StopMigrator(); }
+
+void Db::StopMigrator() {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_stop_ = true;
+  }
+  bg_cv_.notify_all();
+  if (migrator_.joinable()) migrator_.join();
+}
+
+void Db::NotifyMigrator() {
+  if (!migrator_.joinable()) return;
+  // Briefly acquire bg_mu_ so a migrator between its predicate check
+  // and the wait cannot miss this wakeup.
+  { std::lock_guard<std::mutex> lock(bg_mu_); }
+  bg_cv_.notify_one();
+}
+
+void Db::MigratorLoop() {
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  while (!bg_stop_) {
+    bg_cv_.wait(lock, [this] { return bg_stop_ || backfill_->pending_any(); });
+    while (!bg_stop_ && backfill_->pending_any()) {
+      lock.unlock();
+      Result<size_t> step = BackfillStep(options_.backfill_batch);
+      (void)step;  // IO errors surface through counters / next Save
+      lock.lock();
+      // Low priority: yield the data latch between bounded passes.
+      if (backfill_->pending_any()) {
+        bg_cv_.wait_for(lock, options_.backfill_interval,
+                        [this] { return bg_stop_; });
+      }
+    }
+  }
+}
+
+Result<size_t> Db::BackfillStep(size_t budget) {
+  std::vector<Oid> touched;
+  size_t created = 0;
+  {
+    std::unique_lock<std::shared_mutex> data_lock(data_mu_);
+    created = backfill_->RunBudget(budget, &touched);
+    if (objects_db_ && options_.durable_updates) {
+      for (Oid oid : touched) {
+        TSE_RETURN_IF_ERROR(objmodel::PersistenceBridge::SaveObject(
+            *store_, oid, objects_db_.get()));
+      }
+    }
+  }
+  if (created > 0) {
+    TSE_COUNT("db.backfill.passes");
+    if (objects_db_ && options_.durable_updates) {
+      TSE_RETURN_IF_ERROR(committer_->CommitDurable());
+    }
+  }
+  return created;
+}
 
 Status Db::PersistCatalog() {
   if (!catalog_db_) return Status::OK();
   return view::CatalogIO::Save(*schema_, *views_, catalog_db_.get());
 }
 
+std::unique_lock<std::shared_mutex> Db::EagerDrainLock() {
+  if (options_.online_schema_change) {
+    return std::unique_lock<std::shared_mutex>(schema_mu_, std::defer_lock);
+  }
+  return std::unique_lock<std::shared_mutex>(schema_mu_);
+}
+
 Result<ClassId> Db::AddBaseClass(
     const std::string& name, const std::vector<ClassId>& supers,
     const std::vector<schema::PropertySpec>& props) {
-  std::unique_lock<std::shared_mutex> lock(schema_mu_);
+  std::lock_guard<std::mutex> ddl_lock(ddl_mu_);
+  std::unique_lock<std::shared_mutex> drain = EagerDrainLock();
   TSE_ASSIGN_OR_RETURN(ClassId cls, schema_->AddBaseClass(name, supers, props));
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  catalog_->BumpEpoch();
   TSE_COUNT("db.epoch.bumps");
   TSE_RETURN_IF_ERROR(PersistCatalog());
   return cls;
@@ -80,11 +160,12 @@ Result<ClassId> Db::AddBaseClass(
 
 Result<ClassId> Db::DefineVirtualClass(const std::string& name,
                                        const algebra::Query::Ptr& query) {
-  std::unique_lock<std::shared_mutex> lock(schema_mu_);
+  std::lock_guard<std::mutex> ddl_lock(ddl_mu_);
+  std::unique_lock<std::shared_mutex> drain = EagerDrainLock();
   TSE_ASSIGN_OR_RETURN(ClassId cls, algebra_->DefineVC(name, query));
   TSE_ASSIGN_OR_RETURN(classifier::ClassifyResult classified,
                        classifier_->Classify(cls));
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  catalog_->BumpEpoch();
   TSE_COUNT("db.epoch.bumps");
   TSE_RETURN_IF_ERROR(PersistCatalog());
   return classified.cls;
@@ -92,9 +173,11 @@ Result<ClassId> Db::DefineVirtualClass(const std::string& name,
 
 Result<ViewId> Db::CreateView(const std::string& logical_name,
                               const std::vector<view::ViewClassSpec>& classes) {
-  std::unique_lock<std::shared_mutex> lock(schema_mu_);
+  std::lock_guard<std::mutex> ddl_lock(ddl_mu_);
+  std::unique_lock<std::shared_mutex> drain = EagerDrainLock();
   TSE_ASSIGN_OR_RETURN(ViewId id, tse_->CreateView(logical_name, classes));
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  TSE_ASSIGN_OR_RETURN(const view::ViewSchema* vs, views_->GetView(id));
+  catalog_->Publish(id, vs);
   TSE_COUNT("db.epoch.bumps");
   TSE_RETURN_IF_ERROR(PersistCatalog());
   return id;
@@ -102,10 +185,12 @@ Result<ViewId> Db::CreateView(const std::string& logical_name,
 
 Result<ViewId> Db::MergeViews(ViewId a, ViewId b,
                               const std::string& merged_logical_name) {
-  std::unique_lock<std::shared_mutex> lock(schema_mu_);
+  std::lock_guard<std::mutex> ddl_lock(ddl_mu_);
+  std::unique_lock<std::shared_mutex> drain = EagerDrainLock();
   TSE_ASSIGN_OR_RETURN(ViewId id,
                        tse_->MergeVersions(a, b, merged_logical_name));
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  TSE_ASSIGN_OR_RETURN(const view::ViewSchema* vs, views_->GetView(id));
+  catalog_->Publish(id, vs);
   TSE_COUNT("db.epoch.bumps");
   TSE_RETURN_IF_ERROR(PersistCatalog());
   return id;
@@ -128,6 +213,7 @@ Result<std::unique_ptr<Session>> Db::OpenSessionAt(ViewId view_id) {
 
 Status Db::Save() {
   if (!durable()) return Status::OK();
+  std::lock_guard<std::mutex> ddl_lock(ddl_mu_);
   std::unique_lock<std::shared_mutex> schema_lock(schema_mu_);
   std::unique_lock<std::shared_mutex> data_lock(data_mu_);
   TSE_RETURN_IF_ERROR(PersistCatalog());
@@ -137,6 +223,7 @@ Status Db::Save() {
 Status Db::Checkpoint() {
   if (!durable()) return Status::OK();
   TSE_RETURN_IF_ERROR(Save());
+  std::lock_guard<std::mutex> ddl_lock(ddl_mu_);
   std::unique_lock<std::shared_mutex> schema_lock(schema_mu_);
   std::unique_lock<std::shared_mutex> data_lock(data_mu_);
   TSE_RETURN_IF_ERROR(catalog_db_->Checkpoint());

@@ -2,10 +2,12 @@
 #define TSE_DB_DB_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algebra/extent_eval.h"
@@ -13,12 +15,14 @@
 #include "classifier/classifier.h"
 #include "common/ids.h"
 #include "common/result.h"
+#include "db/catalog.h"
 #include "db/group_commit.h"
 #include "evolution/tse_manager.h"
 #include "objmodel/slicing_store.h"
 #include "schema/schema_graph.h"
 #include "storage/lock_manager.h"
 #include "storage/record_store.h"
+#include "update/backfill.h"
 #include "update/transaction.h"
 #include "update/update_engine.h"
 #include "view/view_manager.h"
@@ -49,6 +53,28 @@ struct DbOptions {
   /// pre-optimization whole-cache invalidation baseline.
   bool incremental_extents = true;
 
+  /// Online, non-blocking schema change (DESIGN.md §10): schema changes
+  /// publish through the versioned catalog without draining in-flight
+  /// session operations, and capacity-augmenting implementation objects
+  /// backfill lazily on first touch. Off = the eager path: the change
+  /// holds the schema latch exclusive (draining every session op) and
+  /// materializes the whole extent before returning — kept as the
+  /// differential oracle for the fuzzer's lazy-vs-eager mode.
+  bool online_schema_change = true;
+
+  /// With online_schema_change, run the low-priority background
+  /// migrator thread that drains remaining backfill in bounded-work
+  /// passes. Off = backfill happens only on first touch (or explicit
+  /// BackfillStep calls) — the deterministic setting used by tests.
+  bool background_backfill = true;
+
+  /// Objects materialized per background-migrator pass (the bounded
+  /// work budget; the data latch is held for one pass at most).
+  size_t backfill_batch = 64;
+
+  /// Idle time between background-migrator passes while work remains.
+  std::chrono::milliseconds backfill_interval{2};
+
   /// How long a transaction waits for a contended object lock before
   /// giving up with Aborted (timeout-based deadlock resolution).
   std::chrono::milliseconds lock_timeout{200};
@@ -57,10 +83,11 @@ struct DbOptions {
 /// The embedding facade over the whole TSE engine (Figure 6 in one
 /// object): owns and wires the global schema graph, the slicing object
 /// store, the view manager + history, the TSEM, the update engine, a
-/// shared incremental extent evaluator, the transaction manager, and
-/// (when durable) the WAL/pager record stores.
+/// shared incremental extent evaluator, the transaction manager, the
+/// versioned catalog + backfill manager of the online schema-change
+/// path, and (when durable) the WAL/pager record stores.
 ///
-/// ## Concurrency model (DESIGN.md §8)
+/// ## Concurrency model (DESIGN.md §8, §10)
 ///
 /// Many sessions share one Db from many threads:
 ///
@@ -68,16 +95,24 @@ struct DbOptions {
 ///     parallel: both hold `schema_mu_` shared; updates additionally
 ///     hold `data_mu_` exclusive while mutating the store (reads hold
 ///     it shared).
-///   - *Schema changes* (Session::Apply, Db DDL, MergeViews) take
-///     `schema_mu_` exclusive: they drain every in-flight session
-///     operation, mutate the global schema, bump the epoch, and
-///     release. Sessions bound to older view versions are untouched —
-///     the paper's transparency guarantee is the isolation story, so
-///     no session is ever aborted by a schema change.
+///   - *Schema changes* are serialized by `ddl_mu_`. On the online path
+///     (the default) they hold **no** session-visible latch: the
+///     SchemaGraph and ViewManager are internally synchronized, the
+///     change only ever *adds* invisible classes, and the new view
+///     version becomes visible with the single atomic epoch flip of
+///     `VersionedCatalog::Publish`. In-flight sessions finish untouched
+///     on their pinned version; no session is ever aborted or even
+///     stalled by a schema change. With online_schema_change=false the
+///     change additionally takes `schema_mu_` exclusive — the historic
+///     stop-the-world drain, kept as the differential oracle.
+///   - Capacity-augmenting implementation objects materialize lazily:
+///     on first touch by read/update/extent paths, or from the
+///     background migrator's bounded passes (see update::BackfillManager).
 ///   - Durability waits (group-commit fsync) happen with no latch
 ///     held, so one session's fsync never blocks another's reads.
 ///
-/// Lock order: schema_mu_ → data_mu_ → (component-internal locks).
+/// Lock order: ddl_mu_ → schema_mu_ → data_mu_ → (component-internal
+/// locks, including the backfill manager's).
 class Db {
  public:
   /// Opens a database. With options.data_dir set, restores persisted
@@ -88,7 +123,7 @@ class Db {
   Db(const Db&) = delete;
   Db& operator=(const Db&) = delete;
 
-  // --- Global DDL (exclusive; epoch-bumping) ----------------------------
+  // --- Global DDL (serialized; epoch-bumping) ---------------------------
 
   /// Defines a base class with declared is-a supers and local props.
   Result<ClassId> AddBaseClass(const std::string& name,
@@ -123,7 +158,21 @@ class Db {
 
   /// Monotone schema-change counter: bumped by every DDL call and every
   /// session schema change. A session records the epoch it bound at.
-  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  uint64_t epoch() const { return catalog_->head_epoch(); }
+
+  /// The versioned catalog: publication log + head epoch.
+  const db::VersionedCatalog& catalog() const { return *catalog_; }
+
+  // --- Backfill ---------------------------------------------------------
+
+  /// Runs one bounded backfill pass (up to `budget` objects), persisting
+  /// the materialized slices when durable. Returns the number of slices
+  /// created. This is what the background migrator calls; tests call it
+  /// directly for deterministic draining.
+  Result<size_t> BackfillStep(size_t budget);
+
+  /// Objects still awaiting lazy materialization.
+  size_t BackfillPending() const { return backfill_->pending_count(); }
 
   // --- Durability -------------------------------------------------------
 
@@ -147,6 +196,7 @@ class Db {
   evolution::TseManager& tsem() { return *tse_; }
   update::UpdateEngine& engine() { return *engine_; }
   algebra::ExtentEvaluator& extents() { return *extents_; }
+  update::BackfillManager& backfill() { return *backfill_; }
 
  private:
   friend class Session;
@@ -158,8 +208,20 @@ class Db {
   Status Bootstrap(DbOptions options);
 
   /// Writes the catalog through CatalogIO (commits internally).
-  /// Requires schema_mu_ exclusive.
+  /// Requires ddl_mu_ (DDL serialization keeps the snapshot
+  /// consistent; the component-internal locks cover concurrent
+  /// readers).
   Status PersistCatalog();
+
+  /// Locked on the eager path (online_schema_change=false) to drain
+  /// every in-flight session op; deferred (no-op) on the online path.
+  std::unique_lock<std::shared_mutex> EagerDrainLock();
+
+  /// Wakes the background migrator after a schema change registered
+  /// backfill work.
+  void NotifyMigrator();
+  void StopMigrator();
+  void MigratorLoop();
 
   DbOptions options_;
   std::unique_ptr<schema::SchemaGraph> schema_;
@@ -172,15 +234,26 @@ class Db {
   std::unique_ptr<update::UpdateEngine> engine_;
   std::unique_ptr<storage::LockManager> locks_;
   std::unique_ptr<update::TransactionManager> txns_;
+  std::unique_ptr<db::VersionedCatalog> catalog_;
+  std::unique_ptr<update::BackfillManager> backfill_;
   std::unique_ptr<storage::RecordStore> objects_db_;  ///< null when in-memory
   std::unique_ptr<storage::RecordStore> catalog_db_;  ///< null when in-memory
   std::unique_ptr<db::GroupCommitter> committer_;
 
-  /// Schema latch: session ops shared, schema changes exclusive.
+  /// Serializes schema changes (and catalog persistence) against each
+  /// other. Never touched by session read/update paths.
+  std::mutex ddl_mu_;
+  /// Schema latch: session ops shared; *eager* schema changes exclusive
+  /// (online ones never take it).
   mutable std::shared_mutex schema_mu_;
   /// Data latch: object reads shared, object mutations exclusive.
   mutable std::shared_mutex data_mu_;
-  std::atomic<uint64_t> epoch_{0};
+
+  /// Background migrator state.
+  std::thread migrator_;
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool bg_stop_ = false;
 };
 
 }  // namespace tse

@@ -33,13 +33,24 @@ Result<ClassId> Session::Resolve(const std::string& display_name) const {
   return view_->Resolve(display_name);
 }
 
+void Session::TouchForRead(Oid oid) const {
+  // Lock-free fast path: one relaxed load when no backfill is in
+  // flight. Read-path materializations are deliberately not persisted —
+  // slice absence is the durable pending marker, and the background
+  // migrator (or the next durable write) catches up.
+  if (!db_->backfill_->pending_any()) return;
+  std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+  db_->backfill_->MaterializeObject(oid);
+}
+
 Result<objmodel::Value> Session::Get(Oid oid, const std::string& class_name,
                                      const std::string& path) const {
   TSE_LATENCY_US("db.session.read_us");
   std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
-  std::shared_lock<std::shared_mutex> data_lock(db_->data_mu_);
   TSE_COUNT("db.session.reads");
   TSE_ASSIGN_OR_RETURN(ClassId cls, view_->Resolve(class_name));
+  TouchForRead(oid);
+  std::shared_lock<std::shared_mutex> data_lock(db_->data_mu_);
   if (txn_ && txn_->active()) return txn_->Read(oid, cls, path);
   return db_->engine_->accessor().Read(oid, cls, path);
 }
@@ -48,10 +59,20 @@ Result<algebra::ExtentEvaluator::ExtentPtr> Session::Extent(
     const std::string& class_name) const {
   TSE_LATENCY_US("db.session.read_us");
   std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
-  std::shared_lock<std::shared_mutex> data_lock(db_->data_mu_);
   TSE_COUNT("db.session.reads");
   TSE_ASSIGN_OR_RETURN(ClassId cls, view_->Resolve(class_name));
-  return db_->extents_->Extent(cls);
+  algebra::ExtentEvaluator::ExtentPtr ext;
+  {
+    std::shared_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    TSE_ASSIGN_OR_RETURN(ext, db_->extents_->Extent(cls));
+  }
+  // Extent-scan first touch: the caller is about to iterate these
+  // members, so make their pending slices real.
+  if (db_->backfill_->pending_any()) {
+    std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    db_->backfill_->MaterializeMembers(*ext);
+  }
+  return ext;
 }
 
 std::string Session::ViewToString() const {
@@ -101,6 +122,7 @@ Status Session::Set(Oid oid, const std::string& class_name,
     TSE_COUNT("db.session.updates");
     TSE_ASSIGN_OR_RETURN(ClassId cls, view_->Resolve(class_name));
     std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    if (db_->backfill_->pending_any()) db_->backfill_->MaterializeObject(oid);
     if (txn_ && txn_->active()) {
       TSE_RETURN_IF_ERROR(txn_->Set(oid, cls, name, std::move(value)));
       txn_touched_.push_back(oid);
@@ -118,6 +140,7 @@ Status Session::Add(Oid oid, const std::string& class_name) {
     TSE_COUNT("db.session.updates");
     TSE_ASSIGN_OR_RETURN(ClassId cls, view_->Resolve(class_name));
     std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    if (db_->backfill_->pending_any()) db_->backfill_->MaterializeObject(oid);
     if (txn_ && txn_->active()) {
       TSE_RETURN_IF_ERROR(txn_->Add(oid, cls));
       txn_touched_.push_back(oid);
@@ -135,6 +158,7 @@ Status Session::Remove(Oid oid, const std::string& class_name) {
     TSE_COUNT("db.session.updates");
     TSE_ASSIGN_OR_RETURN(ClassId cls, view_->Resolve(class_name));
     std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    if (db_->backfill_->pending_any()) db_->backfill_->MaterializeObject(oid);
     if (txn_ && txn_->active()) {
       TSE_RETURN_IF_ERROR(txn_->Remove(oid, cls));
       txn_touched_.push_back(oid);
@@ -151,6 +175,9 @@ Status Session::Delete(Oid oid) {
     std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
     TSE_COUNT("db.session.updates");
     std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    // Clears any pending backfill entries so the task table never
+    // references a destroyed object.
+    if (db_->backfill_->pending_any()) db_->backfill_->MaterializeObject(oid);
     if (txn_ && txn_->active()) {
       TSE_RETURN_IF_ERROR(txn_->Delete(oid));
       txn_touched_.push_back(oid);
@@ -220,12 +247,61 @@ Result<ViewId> Session::Apply(const evolution::SchemaChange& change) {
     return Status::FailedPrecondition(
         "cannot change the schema inside an open transaction");
   }
-  std::unique_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+  return db_->options_.online_schema_change ? ApplyOnline(change)
+                                            : ApplyEager(change);
+}
+
+Result<ViewId> Session::ApplyOnline(const evolution::SchemaChange& change) {
+  std::lock_guard<std::mutex> ddl_lock(db_->ddl_mu_);
+  // Assemble the new version invisibly: the TSEM only ever *adds*
+  // classes to the internally-synchronized schema graph, and the new
+  // view version is unreachable until published — so in-flight session
+  // operations keep running throughout.
+  const uint64_t class_lo = db_->schema_->class_alloc_next();
   TSE_ASSIGN_OR_RETURN(ViewId new_view,
                        db_->tse_->ApplyChange(view_->id(), change));
-  TSE_ASSIGN_OR_RETURN(view_, db_->views_->GetView(new_view));
-  db_->epoch_.fetch_add(1, std::memory_order_acq_rel);
-  bound_epoch_ = db_->epoch();
+  const uint64_t class_hi = db_->schema_->class_alloc_next();
+  TSE_ASSIGN_OR_RETURN(const view::ViewSchema* vs,
+                       db_->views_->GetView(new_view));
+  {
+    // Register lazy backfill for any capacity-augmenting class the
+    // change created, from its extent as of now (shared data latch:
+    // reads only — materialization happens on first touch or in the
+    // background migrator).
+    std::shared_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    db_->backfill_->RegisterNewClasses(class_lo, class_hi,
+                                       db_->extents_.get());
+  }
+  db_->catalog_->Publish(new_view, vs);  // the atomic visibility flip
+  view_ = vs;
+  bound_epoch_ = db_->catalog_->head_epoch();
+  TSE_COUNT("db.epoch.bumps");
+  TSE_COUNT("db.session.schema_changes");
+  db_->NotifyMigrator();
+  TSE_RETURN_IF_ERROR(db_->PersistCatalog());
+  return new_view;
+}
+
+Result<ViewId> Session::ApplyEager(const evolution::SchemaChange& change) {
+  std::lock_guard<std::mutex> ddl_lock(db_->ddl_mu_);
+  // Stop-the-world oracle: drain every in-flight session op, then
+  // translate, backfill the whole extent, and publish inside the latch.
+  std::unique_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+  const uint64_t class_lo = db_->schema_->class_alloc_next();
+  TSE_ASSIGN_OR_RETURN(ViewId new_view,
+                       db_->tse_->ApplyChange(view_->id(), change));
+  const uint64_t class_hi = db_->schema_->class_alloc_next();
+  TSE_ASSIGN_OR_RETURN(const view::ViewSchema* vs,
+                       db_->views_->GetView(new_view));
+  {
+    std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    db_->backfill_->RegisterNewClasses(class_lo, class_hi,
+                                       db_->extents_.get());
+    db_->backfill_->RunBudget(static_cast<size_t>(-1), nullptr);
+  }
+  db_->catalog_->Publish(new_view, vs);
+  view_ = vs;
+  bound_epoch_ = db_->catalog_->head_epoch();
   TSE_COUNT("db.epoch.bumps");
   TSE_COUNT("db.session.schema_changes");
   TSE_RETURN_IF_ERROR(db_->PersistCatalog());

@@ -90,11 +90,17 @@ class Session {
 
   // --- Schema evolution -------------------------------------------------
 
-  /// Applies a schema change to the bound view (exclusive writer path:
-  /// drains all in-flight session ops, bumps the Db epoch) and rebinds
-  /// this session to the new version. Other sessions — including ones
-  /// on older versions of the same logical view — are untouched.
-  /// Rejected inside an open transaction.
+  /// Applies a schema change to the bound view and rebinds this session
+  /// to the new version. On the online path (the default) the change
+  /// runs without draining any in-flight session operation: new classes
+  /// are assembled invisibly, the version becomes visible with one
+  /// atomic catalog publish, and capacity-augmenting implementation
+  /// objects backfill lazily afterwards. With
+  /// DbOptions::online_schema_change=false the change instead holds the
+  /// schema latch exclusive and materializes eagerly (the differential
+  /// oracle). Either way, other sessions — including ones on older
+  /// versions of the same logical view — are untouched. Rejected inside
+  /// an open transaction.
   Result<ViewId> Apply(const evolution::SchemaChange& change);
 
   /// Parses `change_text` ("add_attribute x:int to C", …) and applies.
@@ -114,6 +120,17 @@ class Session {
   /// Auto-commit tail for a durable mutation: persist `oid` under the
   /// data latch, then group-commit with no latch held.
   Status PersistAndCommit(Oid oid);
+
+  /// The two Apply implementations (see Apply). Both require no open
+  /// transaction; ApplyEager is the stop-the-world differential oracle.
+  Result<ViewId> ApplyOnline(const evolution::SchemaChange& change);
+  Result<ViewId> ApplyEager(const evolution::SchemaChange& change);
+
+  /// First-touch hook: materializes `oid`'s pending backfill slices
+  /// before a read, taking the data latch exclusive only when the
+  /// lock-free pending guard fires. Caller must NOT hold the data
+  /// latch.
+  void TouchForRead(Oid oid) const;
 
   Db* db_;
   /// Stable pointer: ViewManager never erases registered versions.

@@ -1,0 +1,36 @@
+#ifndef TSE_FUZZ_LAZY_EAGER_DIFF_H_
+#define TSE_FUZZ_LAZY_EAGER_DIFF_H_
+
+#include <cstddef>
+
+#include "fuzz/differential_executor.h"
+#include "fuzz/fuzz_case.h"
+
+namespace tse::fuzz {
+
+/// Knobs for one lazy-vs-eager replay.
+struct LazyEagerOptions {
+  /// Backfill budget pumped through Db::BackfillStep on the lazy side
+  /// after every accepted change, so the comparison crosses a mix of
+  /// migrator-materialized, first-touch-materialized, and still-pending
+  /// objects. 0 = rely on first touch alone until the final drain.
+  size_t pump_budget = 1;
+};
+
+/// Replays a FuzzCase through two full Db facades in lockstep: one on
+/// the online schema-change path (versioned-catalog publish + lazy
+/// backfill; background migrator off for determinism), one on the eager
+/// stop-the-world drain (the differential oracle). Both replay the same
+/// base schema, population, change script, merges, and churn, so their
+/// oid streams coincide and the whole logical surface is directly
+/// comparable. After every accepted operator the view display names,
+/// per-class extents, and every unambiguous attribute value must match;
+/// rejected operators must not advance the lazy catalog epoch; and a
+/// final full drain must leave nothing pending. Proves DESIGN.md §10's
+/// central claim: lazy materialization is semantically invisible.
+RunReport RunLazyEagerDiff(const FuzzCase& c,
+                           const LazyEagerOptions& options = {});
+
+}  // namespace tse::fuzz
+
+#endif  // TSE_FUZZ_LAZY_EAGER_DIFF_H_

@@ -29,13 +29,15 @@ const char* DerivationOpName(DerivationOp op) {
 }
 
 uint64_t SchemaGraph::class_version(ClassId cls) const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
   auto it = class_versions_.find(cls.value());
   return it == class_versions_.end() ? 0 : it->second;
 }
 
 void SchemaGraph::BumpClassVersion(ClassId cls) {
-  class_versions_[cls.value()] = generation_;
-  auto node = GetClass(cls);
+  const uint64_t generation = generation_.load(std::memory_order_relaxed);
+  class_versions_[cls.value()] = generation;
+  auto node = GetClassUnlocked(cls);
   if (!node.ok() || !node.value()->is_base()) return;
   // A base class's computed extent unions the direct extents of every
   // base class beneath it; attaching a new base class changes that
@@ -46,8 +48,8 @@ void SchemaGraph::BumpClassVersion(ClassId cls) {
     ClassId cur = queue.back();
     queue.pop_back();
     if (!seen.insert(cur).second) continue;
-    class_versions_[cur.value()] = generation_;
-    auto cur_node = GetClass(cur);
+    class_versions_[cur.value()] = generation;
+    auto cur_node = GetClassUnlocked(cur);
     if (cur_node.ok()) {
       for (ClassId sup : cur_node.value()->declared_supers) {
         queue.push_back(sup);
@@ -71,6 +73,7 @@ SchemaGraph::SchemaGraph() {
 Result<ClassId> SchemaGraph::AddBaseClass(
     const std::string& name, const std::vector<ClassId>& supers_in,
     const std::vector<PropertySpec>& props) {
+  std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
   if (by_name_.count(name)) {
     return Status::AlreadyExists(StrCat("class ", name));
   }
@@ -79,7 +82,7 @@ Result<ClassId> SchemaGraph::AddBaseClass(
   std::vector<ClassId> supers = supers_in;
   if (supers.empty()) supers.push_back(root_);
   for (ClassId sup : supers) {
-    TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClass(sup));
+    TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClassUnlocked(sup));
     if (!node->is_base()) {
       return Status::InvalidArgument(
           StrCat("declared superclass ", node->name, " is not a base class"));
@@ -117,13 +120,19 @@ Result<ClassId> SchemaGraph::AddBaseClass(
   // type between *existing* classes (derivations are immutable and new
   // proof paths through the newcomer reduce to pre-existing ones), so
   // the memos survive; only the affected classes' versions move.
-  ++generation_;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   BumpClassVersion(id);
   return id;
 }
 
 Result<ClassId> SchemaGraph::AddVirtualClass(const std::string& name,
                                              Derivation derivation) {
+  std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
+  return AddVirtualClassUnlocked(name, std::move(derivation));
+}
+
+Result<ClassId> SchemaGraph::AddVirtualClassUnlocked(const std::string& name,
+                                                     Derivation derivation) {
   if (by_name_.count(name)) {
     return Status::AlreadyExists(StrCat("class ", name));
   }
@@ -142,7 +151,7 @@ Result<ClassId> SchemaGraph::AddVirtualClass(const std::string& name,
                " source(s), got ", derivation.sources.size()));
   }
   for (ClassId src : derivation.sources) {
-    TSE_RETURN_IF_ERROR(GetClass(src).status());
+    TSE_RETURN_IF_ERROR(GetClassUnlocked(src).status());
   }
   if (derivation.op == DerivationOp::kSelect && !derivation.predicate) {
     return Status::InvalidArgument("select derivation needs a predicate");
@@ -160,14 +169,20 @@ Result<ClassId> SchemaGraph::AddVirtualClass(const std::string& name,
   // Monotone addition: existing memo entries stay valid (see
   // AddBaseClass); dependents rebuild their dependency graphs off the
   // generation bump.
-  ++generation_;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   BumpClassVersion(id);
   return id;
 }
 
 Result<PropertyDefId> SchemaGraph::DefineProperty(const PropertySpec& spec,
                                                   ClassId definer) {
-  TSE_RETURN_IF_ERROR(GetClass(definer).status());
+  std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
+  return DefinePropertyUnlocked(spec, definer);
+}
+
+Result<PropertyDefId> SchemaGraph::DefinePropertyUnlocked(
+    const PropertySpec& spec, ClassId definer) {
+  TSE_RETURN_IF_ERROR(GetClassUnlocked(definer).status());
   PropertyDef def;
   def.id = prop_alloc_.Allocate();
   def.name = spec.name;
@@ -185,28 +200,30 @@ Result<ClassId> SchemaGraph::AddRefineClass(
     const std::string& name, ClassId source,
     const std::vector<PropertySpec>& new_props,
     const std::vector<PropertyDefId>& imported) {
-  TSE_RETURN_IF_ERROR(GetClass(source).status());
+  std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
+  TSE_RETURN_IF_ERROR(GetClassUnlocked(source).status());
   for (PropertyDefId def : imported) {
-    TSE_RETURN_IF_ERROR(GetProperty(def).status());
+    TSE_RETURN_IF_ERROR(GetPropertyUnlocked(def).status());
   }
   // Paper semantics (Section 3.2): every refining property name must
   // differ from the functions already defined on the source type.
-  TSE_ASSIGN_OR_RETURN(TypeSet source_type, EffectiveType(source));
+  TSE_ASSIGN_OR_RETURN(TypeSet source_type, EffectiveTypeLocked(source));
   Derivation derivation;
   derivation.op = DerivationOp::kRefine;
   derivation.sources = {source};
-  TSE_ASSIGN_OR_RETURN(ClassId cls, AddVirtualClass(name, derivation));
+  TSE_ASSIGN_OR_RETURN(ClassId cls,
+                       AddVirtualClassUnlocked(name, derivation));
   ClassNode* node = GetMutable(cls).value();
   for (const PropertySpec& spec : new_props) {
     if (source_type.ContainsName(spec.name)) {
       // Roll the class back before failing.
-      Status remove = RemoveClass(cls);
+      Status remove = RemoveClassUnlocked(cls);
       (void)remove;
       return Status::Rejected(
           StrCat("property '", spec.name, "' already defined for type of ",
-                 GetClass(source).value()->name));
+                 GetClassUnlocked(source).value()->name));
     }
-    TSE_ASSIGN_OR_RETURN(PropertyDefId def, DefineProperty(spec, cls));
+    TSE_ASSIGN_OR_RETURN(PropertyDefId def, DefinePropertyUnlocked(spec, cls));
     node->derivation.added.push_back(def);
   }
   for (PropertyDefId def : imported) {
@@ -214,6 +231,8 @@ Result<ClassId> SchemaGraph::AddRefineClass(
   }
   // The derivation gained properties after AddVirtualClass; only the new
   // class's own type could have been computed in between — drop it.
+  // (Concurrent readers never saw the intermediate node: the whole
+  // assembly ran under the exclusive graph latch.)
   {
     std::unique_lock<std::shared_mutex> lock(memo_mu_);
     type_cache_.erase(cls.value());
@@ -222,8 +241,9 @@ Result<ClassId> SchemaGraph::AddRefineClass(
 }
 
 Status SchemaGraph::AddLocalProperty(ClassId cls, PropertyDefId def) {
+  std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
   TSE_ASSIGN_OR_RETURN(ClassNode * node, GetMutable(cls));
-  TSE_RETURN_IF_ERROR(GetProperty(def).status());
+  TSE_RETURN_IF_ERROR(GetPropertyUnlocked(def).status());
   if (!node->is_base()) {
     return Status::InvalidArgument(
         "local properties can only be added to base classes; virtual "
@@ -236,13 +256,19 @@ Status SchemaGraph::AddLocalProperty(ClassId cls, PropertyDefId def) {
     std::unique_lock<std::shared_mutex> lock(memo_mu_);
     type_cache_.clear();
   }
-  ++generation_;
-  invalidate_floor_ = generation_;
+  const uint64_t generation =
+      generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  invalidate_floor_.store(generation, std::memory_order_release);
   return Status::OK();
 }
 
 Status SchemaGraph::RemoveClass(ClassId cls) {
-  TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClass(cls));
+  std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
+  return RemoveClassUnlocked(cls);
+}
+
+Status SchemaGraph::RemoveClassUnlocked(ClassId cls) {
+  TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClassUnlocked(cls));
   if (node->is_base()) {
     return Status::InvalidArgument("cannot remove a base class");
   }
@@ -250,7 +276,7 @@ Status SchemaGraph::RemoveClass(ClassId cls) {
     return Status::FailedPrecondition(
         StrCat("class ", node->name, " is classified; unlink it first"));
   }
-  if (!DerivedFrom(cls).empty()) {
+  if (!DerivedFromUnlocked(cls).empty()) {
     return Status::FailedPrecondition(
         StrCat("class ", node->name, " has derived classes"));
   }
@@ -288,11 +314,12 @@ Status SchemaGraph::RemoveClass(ClassId cls) {
     type_cache_.erase(cls.value());
   }
   class_versions_.erase(cls.value());
-  ++generation_;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
 Status SchemaGraph::SetUnionCreateTarget(ClassId union_cls, ClassId target) {
+  std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
   TSE_ASSIGN_OR_RETURN(ClassNode * node, GetMutable(union_cls));
   if (node->derivation.op != DerivationOp::kUnion) {
     return Status::InvalidArgument(
@@ -309,7 +336,19 @@ Status SchemaGraph::SetUnionCreateTarget(ClassId union_cls, ClassId target) {
   return Status::OK();
 }
 
+Result<ClassId> SchemaGraph::UnionPropagationSource(ClassId union_cls) const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClassUnlocked(union_cls));
+  if (node->derivation.op != DerivationOp::kUnion) {
+    return Status::InvalidArgument(
+        StrCat("class ", node->name, " is not a union class"));
+  }
+  return node->union_create_target.valid() ? node->union_create_target
+                                           : node->derivation.sources[0];
+}
+
 Result<ClassId> SchemaGraph::FindClass(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound(StrCat("class ", name));
@@ -318,11 +357,26 @@ Result<ClassId> SchemaGraph::FindClass(const std::string& name) const {
 }
 
 Result<const ClassNode*> SchemaGraph::GetClass(ClassId id) const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  return GetClassUnlocked(id);
+}
+
+Result<const ClassNode*> SchemaGraph::GetClassUnlocked(ClassId id) const {
   auto it = classes_.find(id.value());
   if (it == classes_.end()) {
     return Status::NotFound(StrCat("class id ", id.ToString()));
   }
   return &it->second;
+}
+
+bool SchemaGraph::HasClass(ClassId id) const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  return classes_.count(id.value()) != 0;
+}
+
+size_t SchemaGraph::class_count() const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  return classes_.size();
 }
 
 Result<ClassNode*> SchemaGraph::GetMutable(ClassId id) {
@@ -334,6 +388,12 @@ Result<ClassNode*> SchemaGraph::GetMutable(ClassId id) {
 }
 
 Result<const PropertyDef*> SchemaGraph::GetProperty(PropertyDefId id) const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  return GetPropertyUnlocked(id);
+}
+
+Result<const PropertyDef*> SchemaGraph::GetPropertyUnlocked(
+    PropertyDefId id) const {
   auto it = props_.find(id.value());
   if (it == props_.end()) {
     return Status::NotFound(StrCat("property def ", id.ToString()));
@@ -343,6 +403,7 @@ Result<const PropertyDef*> SchemaGraph::GetProperty(PropertyDefId id) const {
 
 Status SchemaGraph::RenameProperty(PropertyDefId id,
                                    const std::string& new_name) {
+  std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
   auto it = props_.find(id.value());
   if (it == props_.end()) {
     return Status::NotFound(StrCat("property def ", id.ToString()));
@@ -354,12 +415,14 @@ Status SchemaGraph::RenameProperty(PropertyDefId id,
     std::unique_lock<std::shared_mutex> lock(memo_mu_);
     type_cache_.clear();
   }
-  ++generation_;
-  invalidate_floor_ = generation_;
+  const uint64_t generation =
+      generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  invalidate_floor_.store(generation, std::memory_order_release);
   return Status::OK();
 }
 
 std::vector<ClassId> SchemaGraph::AllClasses() const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
   std::vector<ClassId> out;
   out.reserve(classes_.size());
   for (const auto& [raw, _] : classes_) out.push_back(ClassId(raw));
@@ -367,13 +430,19 @@ std::vector<ClassId> SchemaGraph::AllClasses() const {
 }
 
 std::vector<ClassId> SchemaGraph::DerivedFrom(ClassId cls) const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  return DerivedFromUnlocked(cls);
+}
+
+std::vector<ClassId> SchemaGraph::DerivedFromUnlocked(ClassId cls) const {
   auto it = derived_index_.find(cls.value());
   if (it == derived_index_.end()) return {};
   return it->second;
 }
 
 Result<std::vector<ClassId>> SchemaGraph::OriginClasses(ClassId cls) const {
-  TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClass(cls));
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClassUnlocked(cls));
   if (node->is_base()) return std::vector<ClassId>{cls};
   std::set<ClassId> origins;
   std::deque<ClassId> queue(node->derivation.sources.begin(),
@@ -383,7 +452,7 @@ Result<std::vector<ClassId>> SchemaGraph::OriginClasses(ClassId cls) const {
     ClassId cur = queue.front();
     queue.pop_front();
     if (!seen.insert(cur).second) continue;
-    TSE_ASSIGN_OR_RETURN(const ClassNode* cur_node, GetClass(cur));
+    TSE_ASSIGN_OR_RETURN(const ClassNode* cur_node, GetClassUnlocked(cur));
     if (cur_node->is_base()) {
       origins.insert(cur);
     } else {
@@ -396,6 +465,11 @@ Result<std::vector<ClassId>> SchemaGraph::OriginClasses(ClassId cls) const {
 // --- Effective types -------------------------------------------------------
 
 Result<TypeSet> SchemaGraph::EffectiveType(ClassId cls) const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  return EffectiveTypeLocked(cls);
+}
+
+Result<TypeSet> SchemaGraph::EffectiveTypeLocked(ClassId cls) const {
   {
     std::shared_lock<std::shared_mutex> lock(memo_mu_);
     auto hit = type_cache_.find(cls.value());
@@ -415,7 +489,7 @@ Status SchemaGraph::ComputeType(ClassId cls, TypeSet* out,
     *out = hit->second;
     return Status::OK();
   }
-  TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClass(cls));
+  TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClassUnlocked(cls));
   if (!in_progress->insert(cls).second) {
     return Status::FailedPrecondition(
         StrCat("cyclic derivation through class ", node->name));
@@ -433,7 +507,7 @@ Status SchemaGraph::ComputeType(ClassId cls, TypeSet* out,
       }
       if (status.ok()) {
         for (PropertyDefId def : node->local_props) {
-          auto prop = GetProperty(def);
+          auto prop = GetPropertyUnlocked(def);
           if (!prop.ok()) {
             status = prop.status();
             break;
@@ -461,7 +535,7 @@ Status SchemaGraph::ComputeType(ClassId cls, TypeSet* out,
       status = ComputeType(node->derivation.sources[0], out, in_progress);
       if (status.ok()) {
         for (PropertyDefId def : node->derivation.added) {
-          auto prop = GetProperty(def);
+          auto prop = GetPropertyUnlocked(def);
           if (!prop.ok()) {
             status = prop.status();
             break;
@@ -527,16 +601,17 @@ Status SchemaGraph::ComputeType(ClassId cls, TypeSet* out,
 
 Result<const PropertyDef*> SchemaGraph::ResolveProperty(
     ClassId cls, const std::string& name) const {
-  TSE_ASSIGN_OR_RETURN(TypeSet type, EffectiveType(cls));
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  TSE_ASSIGN_OR_RETURN(TypeSet type, EffectiveTypeLocked(cls));
   TSE_ASSIGN_OR_RETURN(PropertyDefId def, type.Lookup(name));
-  return GetProperty(def);
+  return GetPropertyUnlocked(def);
 }
 
 // --- Subsumption -------------------------------------------------------------
 
 std::vector<ClassId> SchemaGraph::DirectExtentUps(ClassId cls) const {
   std::vector<ClassId> ups;
-  auto node_or = GetClass(cls);
+  auto node_or = GetClassUnlocked(cls);
   if (!node_or.ok()) return ups;
   const ClassNode* node = node_or.value();
   switch (node->derivation.op) {
@@ -564,8 +639,8 @@ std::vector<ClassId> SchemaGraph::DirectExtentUps(ClassId cls) const {
   //  - hide/refine classes have exactly their source's extent, so the
   //    source is subsumed by them;
   //  - a union always contains each of its sources.
-  for (ClassId derived : DerivedFrom(cls)) {
-    auto derived_or = GetClass(derived);
+  for (ClassId derived : DerivedFromUnlocked(cls)) {
+    auto derived_or = GetClassUnlocked(derived);
     if (!derived_or.ok()) continue;
     DerivationOp op = derived_or.value()->derivation.op;
     if (op == DerivationOp::kHide || op == DerivationOp::kRefine ||
@@ -577,6 +652,16 @@ std::vector<ClassId> SchemaGraph::DirectExtentUps(ClassId cls) const {
 }
 
 bool SchemaGraph::ExtentSubsumedBy(ClassId a, ClassId b) const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  return ExtentSubsumedByLocked(a, b);
+}
+
+bool SchemaGraph::ExtentEquivalent(ClassId a, ClassId b) const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  return ExtentEquivalentLocked(a, b);
+}
+
+bool SchemaGraph::ExtentSubsumedByLocked(ClassId a, ClassId b) const {
   auto key = std::make_pair(a.value(), b.value());
   {
     std::shared_lock<std::shared_mutex> lock(memo_mu_);
@@ -614,7 +699,7 @@ bool SchemaGraph::ExtentSubsumedByImpl(ClassId a, ClassId b,
     return false;
   }
   bool local_tainted = false;
-  auto node_or = GetClass(a);
+  auto node_or = GetClassUnlocked(a);
   if (!node_or.ok()) {
     in_progress->erase(a);
     return false;
@@ -696,26 +781,32 @@ bool SchemaGraph::ExtentSubsumedByImpl(ClassId a, ClassId b,
 }
 
 bool SchemaGraph::IsaSubsumedBy(ClassId a, ClassId b) const {
-  if (!ExtentSubsumedBy(a, b)) return false;
-  auto ta = EffectiveType(a);
-  auto tb = EffectiveType(b);
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  return IsaSubsumedByLocked(a, b);
+}
+
+bool SchemaGraph::IsaSubsumedByLocked(ClassId a, ClassId b) const {
+  if (!ExtentSubsumedByLocked(a, b)) return false;
+  auto ta = EffectiveTypeLocked(a);
+  auto tb = EffectiveTypeLocked(b);
   if (!ta.ok() || !tb.ok()) return false;
   return ta.value().CoversNamesOf(tb.value());
 }
 
 bool SchemaGraph::IsDuplicateOf(ClassId a, ClassId b) const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
   if (a == b) return false;
-  if (!ExtentEquivalent(a, b)) return false;
-  auto ta = EffectiveType(a);
-  auto tb = EffectiveType(b);
+  if (!ExtentEquivalentLocked(a, b)) return false;
+  auto ta = EffectiveTypeLocked(a);
+  auto tb = EffectiveTypeLocked(b);
   if (!ta.ok() || !tb.ok()) return false;
   if (ta.value() == tb.value()) return true;
   // Refine classes over the same source adding *structurally identical*
   // fresh properties are duplicates even though the freshly-allocated
   // definitions differ — the case where two users request the very same
   // add_attribute (Section 7: duplicates are detected and reused).
-  auto na = GetClass(a);
-  auto nb = GetClass(b);
+  auto na = GetClassUnlocked(a);
+  auto nb = GetClassUnlocked(b);
   if (!na.ok() || !nb.ok()) return false;
   const Derivation& da = na.value()->derivation;
   const Derivation& db = nb.value()->derivation;
@@ -724,8 +815,8 @@ bool SchemaGraph::IsDuplicateOf(ClassId a, ClassId b) const {
     return false;
   }
   for (size_t i = 0; i < da.added.size(); ++i) {
-    auto pa = GetProperty(da.added[i]);
-    auto pb = GetProperty(db.added[i]);
+    auto pa = GetPropertyUnlocked(da.added[i]);
+    auto pb = GetPropertyUnlocked(db.added[i]);
     if (!pa.ok() || !pb.ok()) return false;
     const PropertyDef* x = pa.value();
     const PropertyDef* y = pb.value();
@@ -752,6 +843,7 @@ bool SchemaGraph::IsDuplicateOf(ClassId a, ClassId b) const {
 
 Status SchemaGraph::AddIsaEdge(ClassId sub, ClassId sup) {
   if (sub == sup) return Status::InvalidArgument("self is-a edge");
+  std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
   TSE_ASSIGN_OR_RETURN(ClassNode * sub_node, GetMutable(sub));
   TSE_ASSIGN_OR_RETURN(ClassNode * sup_node, GetMutable(sup));
   sub_node->supers.insert(sup);
@@ -760,6 +852,7 @@ Status SchemaGraph::AddIsaEdge(ClassId sub, ClassId sup) {
 }
 
 Status SchemaGraph::RemoveIsaEdge(ClassId sub, ClassId sup) {
+  std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
   TSE_ASSIGN_OR_RETURN(ClassNode * sub_node, GetMutable(sub));
   TSE_ASSIGN_OR_RETURN(ClassNode * sup_node, GetMutable(sup));
   if (!sub_node->supers.erase(sup)) {
@@ -771,44 +864,49 @@ Status SchemaGraph::RemoveIsaEdge(ClassId sub, ClassId sup) {
 }
 
 Result<std::vector<ClassId>> SchemaGraph::DirectSupers(ClassId cls) const {
-  TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClass(cls));
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClassUnlocked(cls));
   return std::vector<ClassId>(node->supers.begin(), node->supers.end());
 }
 
 Result<std::vector<ClassId>> SchemaGraph::DirectSubs(ClassId cls) const {
-  TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClass(cls));
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClassUnlocked(cls));
   return std::vector<ClassId>(node->subs.begin(), node->subs.end());
 }
 
 Result<std::set<ClassId>> SchemaGraph::TransitiveSupers(ClassId cls) const {
-  TSE_RETURN_IF_ERROR(GetClass(cls).status());
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  TSE_RETURN_IF_ERROR(GetClassUnlocked(cls).status());
   std::set<ClassId> out;
   std::deque<ClassId> queue{cls};
   while (!queue.empty()) {
     ClassId cur = queue.front();
     queue.pop_front();
     if (!out.insert(cur).second) continue;
-    TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClass(cur));
+    TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClassUnlocked(cur));
     for (ClassId sup : node->supers) queue.push_back(sup);
   }
   return out;
 }
 
 Result<std::set<ClassId>> SchemaGraph::TransitiveSubs(ClassId cls) const {
-  TSE_RETURN_IF_ERROR(GetClass(cls).status());
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
+  TSE_RETURN_IF_ERROR(GetClassUnlocked(cls).status());
   std::set<ClassId> out;
   std::deque<ClassId> queue{cls};
   while (!queue.empty()) {
     ClassId cur = queue.front();
     queue.pop_front();
     if (!out.insert(cur).second) continue;
-    TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClass(cur));
+    TSE_ASSIGN_OR_RETURN(const ClassNode* node, GetClassUnlocked(cur));
     for (ClassId sub : node->subs) queue.push_back(sub);
   }
   return out;
 }
 
 Status SchemaGraph::RestoreProperty(PropertyDef def) {
+  std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
   if (!def.id.valid() || props_.count(def.id.value())) {
     return Status::InvalidArgument(
         StrCat("cannot restore property ", def.id.ToString()));
@@ -819,6 +917,7 @@ Status SchemaGraph::RestoreProperty(PropertyDef def) {
 }
 
 Status SchemaGraph::RestoreClass(ClassNode node) {
+  std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
   if (!node.id.valid() || classes_.count(node.id.value())) {
     return Status::InvalidArgument(
         StrCat("cannot restore class ", node.id.ToString()));
@@ -827,10 +926,10 @@ Status SchemaGraph::RestoreClass(ClassNode node) {
     return Status::AlreadyExists(StrCat("class name ", node.name));
   }
   for (ClassId src : node.derivation.sources) {
-    TSE_RETURN_IF_ERROR(GetClass(src).status());
+    TSE_RETURN_IF_ERROR(GetClassUnlocked(src).status());
   }
   for (ClassId sup : node.supers) {
-    TSE_RETURN_IF_ERROR(GetClass(sup).status());
+    TSE_RETURN_IF_ERROR(GetClassUnlocked(sup).status());
   }
   node.subs.clear();  // rebuilt from later classes' supers
   ClassId id = node.id;
@@ -844,17 +943,19 @@ Status SchemaGraph::RestoreClass(ClassNode node) {
   }
   classes_.emplace(id.value(), std::move(node));
   // Same monotone-addition argument as AddBaseClass/AddVirtualClass.
-  ++generation_;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   BumpClassVersion(id);
   return Status::OK();
 }
 
 void SchemaGraph::RestoreAllocators(uint64_t class_next, uint64_t prop_next) {
+  std::unique_lock<std::shared_mutex> graph_lock(graph_mu_);
   if (class_next > 0) class_alloc_.BumpPast(ClassId(class_next - 1));
   if (prop_next > 0) prop_alloc_.BumpPast(PropertyDefId(prop_next - 1));
 }
 
 std::vector<const PropertyDef*> SchemaGraph::AllProperties() const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
   std::vector<const PropertyDef*> out;
   out.reserve(props_.size());
   for (const auto& [_, def] : props_) out.push_back(&def);
@@ -862,12 +963,13 @@ std::vector<const PropertyDef*> SchemaGraph::AllProperties() const {
 }
 
 std::string SchemaGraph::ToDot() const {
+  std::shared_lock<std::shared_mutex> graph_lock(graph_mu_);
   std::string out = "digraph schema {\n";
   for (const auto& [raw, node] : classes_) {
     out += StrCat("  \"", node.name, "\" [shape=",
                   node.is_base() ? "box" : "ellipse", "];\n");
     for (ClassId sup : node.supers) {
-      auto sup_node = GetClass(sup);
+      auto sup_node = GetClassUnlocked(sup);
       if (sup_node.ok()) {
         out += StrCat("  \"", node.name, "\" -> \"", sup_node.value()->name,
                       "\";\n");

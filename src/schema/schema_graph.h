@@ -1,6 +1,7 @@
 #ifndef TSE_SCHEMA_SCHEMA_GRAPH_H_
 #define TSE_SCHEMA_SCHEMA_GRAPH_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -29,6 +30,29 @@ namespace tse::schema {
 /// Classifier relies on: extent containment provable from derivations
 /// and declared base edges (not from the current database state), and
 /// type containment from effective types.
+///
+/// ## Thread safety
+///
+/// The graph is internally synchronized so that any number of reader
+/// threads may run concurrently with one mutating (DDL) thread — the
+/// foundation of the online schema-change path (DESIGN.md §10):
+///
+///   - `graph_mu_` guards the structural state (classes, properties,
+///     name index, derived index, per-class versions). Public readers
+///     take it shared; mutators take it exclusive. Internal helpers use
+///     *Unlocked variants so a public method never re-enters the lock.
+///   - `memo_mu_` guards the two lazily-filled memo caches; it nests
+///     strictly *inside* graph_mu_.
+///   - `generation_` / `invalidate_floor_` are atomics readable without
+///     any lock (extent caches poll them on their hot path).
+///
+/// Returned `const ClassNode*` / `const PropertyDef*` pointers are
+/// stable: nodes live in node-based maps and only *unpublished*
+/// duplicate virtual classes (never reachable from a registered view)
+/// are ever removed. The immutable parts of a node (derivation op,
+/// sources, predicate, name) are safe to read through such a pointer;
+/// fields mutated after publication (classified supers/subs, the union
+/// create-target) must be read through the locked accessors.
 class SchemaGraph {
  public:
   /// Constructs a graph containing only the system root class "OBJECT"
@@ -45,7 +69,10 @@ class SchemaGraph {
   /// Monotone counter bumped by every structural change (class added or
   /// removed). Extent caches rebuild their derivation dependency graph
   /// when it moves; per-entry validity is keyed on class_version().
-  uint64_t generation() const { return generation_; }
+  /// Lock-free (atomic).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   /// Per-class structural version: the generation at which `cls` was
   /// last (re)defined or had its extent-defining surroundings change (a
@@ -58,7 +85,10 @@ class SchemaGraph {
   /// resolution on *existing* classes (property rename, local property
   /// addition). Extent cache entries older than this floor are dropped
   /// wholesale — such changes can silently retarget select predicates.
-  uint64_t invalidate_floor() const { return invalidate_floor_; }
+  /// Lock-free (atomic).
+  uint64_t invalidate_floor() const {
+    return invalidate_floor_.load(std::memory_order_acquire);
+  }
 
   // --- Construction -----------------------------------------------------
 
@@ -104,8 +134,14 @@ class SchemaGraph {
   Result<ClassId> FindClass(const std::string& name) const;
   Result<const ClassNode*> GetClass(ClassId id) const;
   Result<const PropertyDef*> GetProperty(PropertyDefId id) const;
-  bool HasClass(ClassId id) const { return classes_.count(id.value()) != 0; }
-  size_t class_count() const { return classes_.size(); }
+  bool HasClass(ClassId id) const;
+  size_t class_count() const;
+
+  /// The create/add propagation source of a union class: its designated
+  /// create target when one was set, else its first source. Locked
+  /// accessor — the field itself may be retargeted by concurrent DDL,
+  /// so hot update paths must not read it through a raw node pointer.
+  Result<ClassId> UnionPropagationSource(ClassId union_cls) const;
 
   /// Renames a property definition (user disambiguation of a
   /// multiple-inheritance conflict).
@@ -140,9 +176,7 @@ class SchemaGraph {
   bool ExtentSubsumedBy(ClassId a, ClassId b) const;
 
   /// True when the extents are provably equal.
-  bool ExtentEquivalent(ClassId a, ClassId b) const {
-    return ExtentSubsumedBy(a, b) && ExtentSubsumedBy(b, a);
-  }
+  bool ExtentEquivalent(ClassId a, ClassId b) const;
 
   /// Is-a subsumption: extent(a) ⊆ extent(b) and type(a) covers
   /// type(b)'s names. This is the ordering the Classifier materializes.
@@ -189,43 +223,71 @@ class SchemaGraph {
   std::vector<const PropertyDef*> AllProperties() const;
 
  private:
+  // Unlocked structural accessors: require graph_mu_ held (shared for
+  // reads, exclusive for GetMutable).
+  Result<const ClassNode*> GetClassUnlocked(ClassId id) const;
+  Result<const PropertyDef*> GetPropertyUnlocked(PropertyDefId id) const;
   Result<ClassNode*> GetMutable(ClassId id);
+  std::vector<ClassId> DerivedFromUnlocked(ClassId cls) const;
+
+  // Unlocked mutators backing the public ones (AddRefineClass composes
+  // them under one exclusive section). Require graph_mu_ exclusive.
+  Result<ClassId> AddVirtualClassUnlocked(const std::string& name,
+                                          Derivation derivation);
+  Result<PropertyDefId> DefinePropertyUnlocked(const PropertySpec& spec,
+                                               ClassId definer);
+  Status RemoveClassUnlocked(ClassId cls);
+
+  // Locked-query internals: require graph_mu_ held (shared or
+  // exclusive); acquire memo_mu_ themselves.
+  Result<TypeSet> EffectiveTypeLocked(ClassId cls) const;
+  bool ExtentSubsumedByLocked(ClassId a, ClassId b) const;
+  bool ExtentEquivalentLocked(ClassId a, ClassId b) const {
+    return ExtentSubsumedByLocked(a, b) && ExtentSubsumedByLocked(b, a);
+  }
+  bool IsaSubsumedByLocked(ClassId a, ClassId b) const;
 
   /// One-step provable "extent ⊆" targets of `cls` (select → source,
   /// base → declared supers, plus extent-preserving derived classes).
+  /// Requires graph_mu_ held.
   std::vector<ClassId> DirectExtentUps(ClassId cls) const;
 
   /// `tainted` is set when the computation was pruned by the cycle
   /// guard; tainted *negative* results are path-dependent and must not
   /// be cached (positive results are always sound to cache). Requires
-  /// memo_mu_ held exclusive (reads and fills extent_cache_ freely).
+  /// graph_mu_ held and memo_mu_ held exclusive (reads and fills
+  /// extent_cache_ freely).
   bool ExtentSubsumedByImpl(ClassId a, ClassId b,
                             std::set<ClassId>* in_progress,
                             bool* tainted) const;
 
-  /// Requires memo_mu_ held exclusive (reads and fills type_cache_).
+  /// Requires graph_mu_ held and memo_mu_ held exclusive (reads and
+  /// fills type_cache_).
   Status ComputeType(ClassId cls, TypeSet* out,
                      std::set<ClassId>* in_progress) const;
 
   /// Stamps `cls` (and, for base classes, its transitive declared
   /// supers, whose computed-extent source sets change) with the current
-  /// generation. Call after ++generation_.
+  /// generation. Call after bumping generation_; requires graph_mu_
+  /// exclusive.
   void BumpClassVersion(ClassId cls);
 
   IdAllocator<ClassId> class_alloc_;
   IdAllocator<PropertyDefId> prop_alloc_;
   ClassId root_;
-  uint64_t generation_ = 0;
-  uint64_t invalidate_floor_ = 0;
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<uint64_t> invalidate_floor_{0};
+  /// Guards every structural member below (classes_, props_, by_name_,
+  /// derived_index_, class_versions_). Readers shared, mutators
+  /// exclusive; acquired *before* memo_mu_ everywhere.
+  mutable std::shared_mutex graph_mu_;
   /// ClassId.value() -> class_version().
   std::unordered_map<uint64_t, uint64_t> class_versions_;
   /// Guards the two memo caches below, which are filled lazily during
   /// logically-const queries and may therefore race when many sessions
   /// read one schema concurrently. Hits take the lock shared; memo
-  /// fills and invalidations take it exclusive. Everything *else* in
-  /// the graph is protected by the embedding layer's schema latch
-  /// (mutations are exclusive there), so only the memos need a lock of
-  /// their own.
+  /// fills and invalidations take it exclusive. Nested strictly inside
+  /// graph_mu_.
   mutable std::shared_mutex memo_mu_;
   /// Top-level ExtentSubsumedBy memo; invalidated whenever the
   /// derivation structure changes (class added/removed).

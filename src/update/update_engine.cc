@@ -21,9 +21,10 @@ Result<std::set<ClassId>> UpdateEngine::PropagationTargets(
     case DerivationOp::kDifference:
       return PropagationTargets(node->derivation.sources[0]);
     case DerivationOp::kUnion: {
-      ClassId target = node->union_create_target.valid()
-                           ? node->union_create_target
-                           : node->derivation.sources[0];
+      // union_create_target may be retargeted by concurrent DDL; the
+      // locked accessor keeps this read safe on the online path.
+      TSE_ASSIGN_OR_RETURN(ClassId target,
+                           schema_->UnionPropagationSource(cls));
       return PropagationTargets(target);
     }
     case DerivationOp::kIntersect: {

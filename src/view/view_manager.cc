@@ -15,12 +15,12 @@ Result<ViewId> ViewManager::CreateVersion(
   if (classes.empty()) {
     return Status::InvalidArgument("a view needs at least one class");
   }
-  int version = static_cast<int>(history_[logical_name].size()) + 1;
-  ViewId id = view_alloc_.Allocate();
-  auto view = std::make_unique<ViewSchema>(id, logical_name, version);
-
+  // Everything that reads the schema graph (validation, subsumption
+  // queries for edge generation) runs before mu_ is taken; only the
+  // registration itself needs the exclusive section.
   std::set<ClassId> selected;
   std::set<std::string> names_seen;
+  std::vector<std::pair<ClassId, std::string>> members;
   for (const ViewClassSpec& spec : classes) {
     TSE_ASSIGN_OR_RETURN(const schema::ClassNode* node,
                          schema_->GetClass(spec.cls));
@@ -34,11 +34,12 @@ Result<ViewId> ViewManager::CreateVersion(
       return Status::InvalidArgument(
           StrCat("duplicate display name '", display, "' in view"));
     }
-    view->AddClass(spec.cls, display);
+    members.emplace_back(spec.cls, std::move(display));
   }
 
   // View schema generation: a -> b direct iff a ⊑ b with no selected
   // class strictly between.
+  std::vector<std::pair<ClassId, ClassId>> edges;
   for (ClassId a : selected) {
     for (ClassId b : selected) {
       if (a == b) continue;
@@ -58,12 +59,16 @@ Result<ViewId> ViewManager::CreateVersion(
           break;
         }
       }
-      if (direct) view->AddEdge(a, b);
+      if (direct) edges.emplace_back(a, b);
     }
   }
 
-  const ViewSchema* raw = view.get();
-  (void)raw;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  int version = static_cast<int>(history_[logical_name].size()) + 1;
+  ViewId id = view_alloc_.Allocate();
+  auto view = std::make_unique<ViewSchema>(id, logical_name, version);
+  for (const auto& [cls, display] : members) view->AddClass(cls, display);
+  for (const auto& [a, b] : edges) view->AddEdge(a, b);
   views_.emplace(id.value(), std::move(view));
   history_[logical_name].push_back(id);
   return id;
@@ -129,6 +134,11 @@ Result<ViewId> ViewManager::CreateVersionClosed(
 }
 
 Result<const ViewSchema*> ViewManager::GetView(ViewId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return GetViewUnlocked(id);
+}
+
+Result<const ViewSchema*> ViewManager::GetViewUnlocked(ViewId id) const {
   auto it = views_.find(id.value());
   if (it == views_.end()) {
     return Status::NotFound(StrCat("view ", id.ToString()));
@@ -138,21 +148,24 @@ Result<const ViewSchema*> ViewManager::GetView(ViewId id) const {
 
 Result<const ViewSchema*> ViewManager::Current(
     const std::string& logical_name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = history_.find(logical_name);
   if (it == history_.end() || it->second.empty()) {
     return Status::NotFound(StrCat("no view named ", logical_name));
   }
-  return GetView(it->second.back());
+  return GetViewUnlocked(it->second.back());
 }
 
 std::vector<ViewId> ViewManager::History(
     const std::string& logical_name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = history_.find(logical_name);
   if (it == history_.end()) return {};
   return it->second;
 }
 
 std::vector<ViewId> ViewManager::AllViews() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<ViewId> out;
   out.reserve(views_.size());
   for (const auto& [raw, _] : views_) out.push_back(ViewId(raw));
@@ -163,6 +176,7 @@ Status ViewManager::RestoreVersion(
     ViewId id, const std::string& logical_name, int version,
     const std::vector<std::pair<ClassId, std::string>>& classes,
     const std::vector<std::pair<ClassId, ClassId>>& edges) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (!id.valid() || views_.count(id.value())) {
     return Status::InvalidArgument(
         StrCat("cannot restore view ", id.ToString()));
@@ -185,6 +199,7 @@ Status ViewManager::RestoreVersion(
 }
 
 std::vector<std::string> ViewManager::ViewNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   for (const auto& [name, ids] : history_) {
     if (!ids.empty()) out.push_back(name);

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,13 @@ struct ViewClassSpec {
 /// version history that makes schema-change transparency possible (the
 /// old version keeps serving old programs while the new version is
 /// handed to the requester).
+///
+/// Internally synchronized: version registration takes `mu_` exclusive,
+/// lookups take it shared, so sessions can open/refresh views while a
+/// schema change publishes a new version (DESIGN.md §10). Returned
+/// `const ViewSchema*` pointers are stable — versions are never removed.
+/// Schema reads (subsumption, type closure) happen *before* `mu_` is
+/// taken; the lock order is mu_ → SchemaGraph internals, never reverse.
 class ViewManager {
  public:
   explicit ViewManager(const schema::SchemaGraph* schema)
@@ -78,7 +86,12 @@ class ViewManager {
   uint64_t view_alloc_next() const { return view_alloc_.next_raw(); }
 
  private:
+  Result<const ViewSchema*> GetViewUnlocked(ViewId id) const;
+
   const schema::SchemaGraph* schema_;
+  /// Guards view_alloc_, views_, history_. Readers shared, version
+  /// registration exclusive.
+  mutable std::shared_mutex mu_;
   IdAllocator<ViewId> view_alloc_;
   std::map<uint64_t, std::unique_ptr<ViewSchema>> views_;
   std::map<std::string, std::vector<ViewId>> history_;

@@ -170,6 +170,52 @@ TEST_F(ServerClientTest, PinnedSessionSurvivesSchemaChangeUntilRefresh) {
   EXPECT_EQ(historian->view_version(), 1);
 }
 
+TEST_F(ServerClientTest, OnlineSchemaChangeMidPipelineDrainsNoConnection) {
+  StartServer();  // online schema change is the DbOptions default
+
+  // A writer holds an open strict-2PL transaction at version 1.
+  auto writer = Connect();
+  ASSERT_TRUE(writer->OpenSession("Main").ok());
+  Oid oid = writer->Create("Student", {{"name", Value::Str("w")}}).value();
+  ASSERT_TRUE(writer->Begin().ok());
+  ASSERT_TRUE(writer->Set(oid, "Student", "age", Value::Int(30)).ok());
+  const size_t conns_before = server_->active_connections();
+
+  // Another connection evolves the view mid-pipeline. The online path
+  // publishes without draining: the apply returns while the writer's
+  // transaction still holds its object lock.
+  auto evolver = Connect();
+  ASSERT_TRUE(evolver->OpenSession("Main").ok());
+  const uint64_t epoch_before = db_->epoch();
+  ASSERT_TRUE(evolver->Apply("add_attribute gpa:real to Student").ok());
+  EXPECT_EQ(evolver->view_version(), 2);
+  EXPECT_GT(db_->epoch(), epoch_before);
+
+  // No connection was dropped or drained by the change.
+  EXPECT_EQ(server_->active_connections(), conns_before + 1);
+
+  // The old-version client completes its open transaction untouched,
+  // still pinned at version 1 — where the new attribute does not exist.
+  EXPECT_EQ(writer->view_version(), 1);
+  ASSERT_TRUE(writer->Set(oid, "Student", "age", Value::Int(31)).ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  EXPECT_EQ(writer->Get(oid, "Student", "age").value(), Value::Int(31));
+  EXPECT_FALSE(writer->Set(oid, "Student", "gpa", Value::Real(3.5)).ok());
+
+  // The evolved session reads the lazy default and can write through.
+  EXPECT_TRUE(evolver->Get(oid, "Student", "gpa").value().is_null());
+  ASSERT_TRUE(evolver->Set(oid, "Student", "gpa", Value::Real(3.5)).ok());
+  EXPECT_EQ(evolver->Get(oid, "Student", "gpa").value(), Value::Real(3.5));
+
+  // The online schema-change counters surface over the wire.
+  auto stats = evolver->ServerStats();
+  ASSERT_TRUE(stats.ok());
+#ifndef TSE_OBS_DISABLE
+  EXPECT_NE(stats.value().find("db.schema_change.online.publishes"),
+            std::string::npos);
+#endif
+}
+
 TEST_F(ServerClientTest, DisconnectMidTransactionReleasesLocks) {
   StartServer();
   auto writer = Connect();
