@@ -1,0 +1,242 @@
+// Select-query benchmark for secondary indexes + the cost-based
+// planner (DESIGN.md §11).
+//
+// Workload: one class of N objects (1M by default) with a unique
+// `id` (ordered index) and a 1000-bucket `bucket` (hash index). A
+// selectivity sweep of `id < K` selects from 0.001% to 50% of the
+// population, plus one equality point (`bucket == 7`). Every point is
+// timed twice through the same evaluator — planner forced classic vs
+// cost-based auto — invalidating the select's cache entry between
+// repetitions so each rep pays the full arm, while the source extent
+// stays warm (the contest is the select arm, not the base scan).
+//
+// In-bench acceptance: the auto planner must pick the index arm at
+// every sweep point with selectivity <= 1%, must NOT pick it at 50%,
+// and the indexed arm must be >= 100x faster than the classic scan at
+// the lowest selectivity (>= 10x in --quick mode, which runs 50k
+// objects). Emits text, or JSON with --json <path> (the bench_report
+// target writes BENCH_query.json at the repo root); exits 1 on any
+// gate failure.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algebra/extent_eval.h"
+#include "algebra/planner.h"
+#include "index/index_manager.h"
+#include "objmodel/slicing_store.h"
+#include "obs/metrics.h"
+#include "schema/schema_graph.h"
+
+namespace {
+
+using namespace tse;
+using algebra::ExtentEvaluator;
+using algebra::PlanArm;
+using algebra::PlannerMode;
+using objmodel::MethodExpr;
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+constexpr int64_t kBuckets = 1000;
+
+struct Fixture {
+  schema::SchemaGraph graph;
+  objmodel::SlicingStore store;
+  ClassId row;
+  index::IndexManager indexes;
+  ExtentEvaluator eval;
+
+  explicit Fixture(size_t n) : indexes(&graph, &store), eval(&graph, &store) {
+    row = graph
+              .AddBaseClass("Row", {},
+                            {PropertySpec::Attribute("id", ValueType::kInt),
+                             PropertySpec::Attribute("bucket",
+                                                     ValueType::kInt)})
+              .value();
+    PropertyDefId id_def = graph.ResolveProperty(row, "id").value()->id;
+    PropertyDefId bucket_def =
+        graph.ResolveProperty(row, "bucket").value()->id;
+    for (size_t i = 0; i < n; ++i) {
+      Oid o = store.CreateObject();
+      if (!store.AddMembership(o, row).ok()) std::abort();
+      const int64_t id = static_cast<int64_t>(i);
+      if (!store.SetValue(o, row, id_def, Value::Int(id)).ok()) std::abort();
+      if (!store.SetValue(o, row, bucket_def, Value::Int(id % kBuckets)).ok())
+        std::abort();
+    }
+    if (!indexes.CreateIndex(id_def, index::IndexKind::kOrdered).ok())
+      std::abort();
+    if (!indexes.CreateIndex(bucket_def, index::IndexKind::kHash).ok())
+      std::abort();
+    eval.set_index_manager(&indexes);
+  }
+
+  ClassId Select(const std::string& name, const std::string& attr,
+                 objmodel::ExprOp op, int64_t literal) {
+    schema::Derivation d;
+    d.op = schema::DerivationOp::kSelect;
+    d.sources = {row};
+    d.predicate = MethodExpr::Binary(op, MethodExpr::Attr(attr),
+                                     MethodExpr::Lit(Value::Int(literal)));
+    return graph.AddVirtualClass(name, std::move(d)).value();
+  }
+
+  /// Mean seconds per cold select evaluation under `mode`.
+  double Time(ClassId cls, PlannerMode mode, int reps) {
+    eval.set_planner_mode(mode);
+    double total = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      eval.Invalidate(cls);
+      const auto t0 = std::chrono::steady_clock::now();
+      if (!eval.Extent(cls).ok()) std::abort();
+      const auto t1 = std::chrono::steady_clock::now();
+      total += std::chrono::duration<double>(t1 - t0).count();
+    }
+    return total / reps;
+  }
+};
+
+struct Point {
+  std::string name;
+  double selectivity = 0;  ///< requested fraction of the population
+  size_t members = 0;
+  const char* arm = "";
+  double est_selectivity = 0;
+  double classic_s = 0;
+  double auto_s = 0;
+  double speedup = 0;
+};
+
+std::string PointJson(const Point& p) {
+  std::ostringstream out;
+  out << "{\"query\": \"" << p.name << "\", \"selectivity\": " << p.selectivity
+      << ", \"members\": " << p.members << ", \"plan_arm\": \"" << p.arm
+      << "\", \"est_selectivity\": " << p.est_selectivity
+      << ", \"classic_s\": " << p.classic_s << ", \"auto_s\": " << p.auto_s
+      << ", \"speedup\": " << p.speedup << "}";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--quick] [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  const size_t n = quick ? 50000 : 1000000;
+  const int classic_reps = quick ? 2 : 2;
+  const int auto_reps = quick ? 5 : 5;
+  const double target_speedup = quick ? 10.0 : 100.0;
+  const std::vector<double> sweep = {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5};
+
+  std::cout << "populating " << n << " objects..." << std::endl;
+  Fixture fx(n);
+  // Warm the source extent once: every arm intersects against it, and
+  // the sweep times the select arm, not the base-extent scan.
+  if (!fx.eval.Extent(fx.row).ok()) std::abort();
+
+  std::vector<Point> points;
+  bool pass = true;
+  std::ostringstream why;
+
+  auto measure = [&](const std::string& name, ClassId cls,
+                     double selectivity) {
+    Point p;
+    p.name = name;
+    p.selectivity = selectivity;
+    auto plan = fx.eval.ExplainSelect(cls);
+    if (!plan.ok()) std::abort();
+    p.arm = algebra::PlanArmName(plan.value().arm);
+    p.est_selectivity = plan.value().est_selectivity;
+    p.classic_s = fx.Time(cls, PlannerMode::kForceClassic, classic_reps);
+    p.auto_s = fx.Time(cls, PlannerMode::kAuto, auto_reps);
+    p.speedup = p.auto_s > 0 ? p.classic_s / p.auto_s : 0;
+    p.members = fx.eval.Extent(cls).value()->size();
+    points.push_back(p);
+    std::cout << "  " << name << ": " << p.members << " members, arm "
+              << p.arm << ", classic " << p.classic_s * 1e3 << " ms, auto "
+              << p.auto_s * 1e3 << " ms, speedup " << p.speedup << "x\n";
+    return plan.value().arm;
+  };
+
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const double sel = sweep[i];
+    const int64_t k =
+        std::max<int64_t>(1, static_cast<int64_t>(sel * static_cast<double>(n)));
+    ClassId cls = fx.Select("Sweep" + std::to_string(i), "id",
+                            objmodel::ExprOp::kLt, k);
+    PlanArm arm = measure("id<" + std::to_string(k), cls, sel);
+    // Planner gates: index at every point <= 1%, never at 50%.
+    if (sel <= 0.01 && arm != PlanArm::kIndex) {
+      pass = false;
+      why << "planner skipped the index at selectivity " << sel << "; ";
+    }
+    if (sel >= 0.5 && arm == PlanArm::kIndex) {
+      pass = false;
+      why << "planner chose the index at selectivity " << sel << "; ";
+    }
+  }
+  ClassId eq = fx.Select("Bucket7", "bucket", objmodel::ExprOp::kEq, 7);
+  if (measure("bucket==7", eq, 1.0 / kBuckets) != PlanArm::kIndex) {
+    pass = false;
+    why << "planner skipped the hash index for bucket==7; ";
+  }
+  const double low_sel_speedup = points.front().speedup;
+  if (low_sel_speedup < target_speedup) {
+    pass = false;
+    why << "low-selectivity speedup " << low_sel_speedup << " < "
+        << target_speedup << "; ";
+  }
+
+  std::cout << "low-selectivity speedup: " << low_sel_speedup << "x (target "
+            << target_speedup << "x)\n";
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"query\",\n  \"workload\": "
+          "\"select_selectivity_sweep\",\n  \"objects\": "
+       << n << ",\n  \"quick\": " << (quick ? "true" : "false")
+       << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    json << "    " << PointJson(points[i])
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"acceptance\": {\"target_low_selectivity_speedup\": "
+       << target_speedup
+       << ", \"achieved_low_selectivity_speedup\": " << low_sel_speedup
+       << ", \"pass\": " << (pass ? "true" : "false") << "},\n  \"metrics\": "
+       << tse::obs::MetricsRegistry::Instance().Snapshot().ToJson() << "\n}\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << json.str();
+    std::cout << "wrote " << json_path << "\n";
+  }
+  if (!pass) {
+    std::cerr << "FAIL: " << why.str() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -17,6 +17,7 @@
 //   > history
 //
 // Extra shell commands: `show` (current view), `extents`, `history`,
+// `explain <Class>` (the select plan the cost-based planner would run),
 // `session <view>` (open/switch the bound view), `sessionat <id>`
 // (pin a historical view version), `connect <host:port> [view]`
 // (switch to a remote backend), `new <Class>`,
@@ -60,6 +61,7 @@ class Backend {
   virtual Result<std::vector<std::string>> ListClasses() = 0;
   virtual Result<std::vector<Oid>> Extent(const std::string& class_name) = 0;
   virtual Result<std::string> History() = 0;
+  virtual Result<std::string> Explain(const std::string& class_name) = 0;
 
   virtual Result<Oid> Create(const std::string& class_name) = 0;
   virtual Result<Value> Get(Oid oid, const std::string& class_name,
@@ -155,6 +157,18 @@ class LocalBackend : public Backend {
     return out.str();
   }
 
+  Result<std::string> Explain(const std::string& class_name) override {
+    TSE_ASSIGN_OR_RETURN(ClassId cls, session_->Resolve(class_name));
+    TSE_ASSIGN_OR_RETURN(algebra::SelectPlan plan,
+                         db_->extents().ExplainSelect(cls));
+    std::ostringstream out;
+    out << class_name << ": arm=" << algebra::PlanArmName(plan.arm)
+        << ", est_selectivity=" << plan.est_selectivity
+        << ", source_size=" << plan.source_size << "\n  " << plan.reason
+        << "\n";
+    return out.str();
+  }
+
   Result<Oid> Create(const std::string& class_name) override {
     return session_->Create(class_name, {});
   }
@@ -227,6 +241,12 @@ class RemoteBackend : public Backend {
     return Status::InvalidArgument(
         "history needs the embedded engine; the wire protocol exposes only "
         "the bound view");
+  }
+
+  Result<std::string> Explain(const std::string&) override {
+    return Status::InvalidArgument(
+        "explain needs the embedded engine; the wire protocol does not "
+        "expose query plans");
   }
 
   Result<Oid> Create(const std::string& class_name) override {
@@ -370,6 +390,21 @@ struct Shell {
     }
     if (head == "history") {
       auto text = backend->History();
+      if (!text.ok()) {
+        std::cout << "error: " << text.status().ToString() << "\n";
+      } else {
+        std::cout << text.value();
+      }
+      return true;
+    }
+    if (head == "explain") {
+      std::string cls_name;
+      in >> cls_name;
+      if (cls_name.empty()) {
+        std::cout << "usage: explain <Class>\n";
+        return true;
+      }
+      auto text = backend->Explain(cls_name);
       if (!text.ok()) {
         std::cout << "error: " << text.status().ToString() << "\n";
       } else {

@@ -1,11 +1,16 @@
-// Public TSE API — query ASTs and expression parsing.
+// Public TSE API — query ASTs, expression parsing, and query planning.
 //
-// `algebra::Query` builders for `Db::DefineVirtualClass` and
-// `objmodel::ParseExpr` for predicate / method-body expressions.
+// `algebra::Query` builders for `Db::DefineVirtualClass`,
+// `objmodel::ParseExpr` for predicate / method-body expressions, and
+// the secondary-index DDL surface (`index::IndexKind` for
+// `Db::CreateIndex`, `algebra::SelectPlan` from
+// `ExtentEvaluator::ExplainSelect`).
 #ifndef TSE_PUBLIC_QUERY_H_
 #define TSE_PUBLIC_QUERY_H_
 
+#include "algebra/planner.h"
 #include "algebra/query.h"
+#include "index/index_manager.h"
 #include "objmodel/expr_parser.h"
 
 #endif  // TSE_PUBLIC_QUERY_H_

@@ -1,8 +1,12 @@
 #include "algebra/extent_eval.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <vector>
 
+#include "objmodel/method.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tse::algebra {
 
@@ -74,11 +78,22 @@ void ExtentEvaluator::Sync() const {
     journal_cursor_ = head;
     return;
   }
+  if (records.size() >= kDeltaAbandonThreshold) {
+    // Cost cutover: a batch this large costs more to replay record by
+    // record than re-deriving the touched extents lazily does.
+    TSE_COUNT("algebra.plan.delta_abandoned");
+    DropAll();
+    journal_cursor_ = head;
+    return;
+  }
+  TSE_COUNT("algebra.plan.delta_maintain");
   for (const ChangeRecord& rec : records) {
     if (!ApplyRecord(rec).ok()) {
       // Delta application hit an evaluation error (e.g. a predicate
       // error on the changed object). Fall back to dropping the cache;
       // the lazy recompute will surface the error to whoever asks.
+      stats_.delta_eval_errors.fetch_add(1, std::memory_order_relaxed);
+      TSE_COUNT("algebra.extent.delta_eval_errors");
       DropAll();
       break;
     }
@@ -205,6 +220,114 @@ Result<bool> ExtentEvaluator::ComputeMember(ClassId cls, Oid oid) const {
   return Status::Internal("unknown derivation op");
 }
 
+Status ExtentEvaluator::ClassicSelect(const ClassNode* node,
+                                      const std::set<Oid>& source,
+                                      std::set<Oid>* out) const {
+  TSE_COUNT("algebra.plan.full_scan");
+  for (Oid oid : source) {
+    TSE_ASSIGN_OR_RETURN(
+        Value verdict,
+        node->derivation.predicate->Evaluate(
+            oid, accessor_.ResolverFor(oid, node->derivation.sources[0])));
+    TSE_ASSIGN_OR_RETURN(bool keep, verdict.AsBool());
+    if (keep) out->insert(oid);
+  }
+  return Status::OK();
+}
+
+Status ExtentEvaluator::EvalSelect(const ClassNode* node,
+                                   const std::set<Oid>& source,
+                                   std::set<Oid>* out) const {
+  TSE_TRACE_SPAN("algebra.plan.select");
+  if (!node->derivation.predicate) {
+    return Status::FailedPrecondition("select class has no predicate");
+  }
+  SelectPlanner planner(schema_, indexes_);
+  const SelectPlan plan =
+      planner.Plan(node->derivation.sources[0],
+                   node->derivation.predicate.get(), source.size(),
+                   planner_mode_);
+  switch (plan.arm) {
+    case PlanArm::kIndex: {
+      std::vector<Oid> candidates;
+      const bool answered =
+          plan.pred->op == objmodel::ExprOp::kEq
+              ? indexes_->LookupEq(plan.def->id, plan.pred->literal,
+                                   &candidates)
+              : indexes_->LookupRange(plan.def->id, plan.pred->op,
+                                      plan.pred->literal, &candidates);
+      if (!answered) {
+        // Index vanished between planning and probing (concurrent
+        // drop). Semantics are unchanged either way — scan instead.
+        return ClassicSelect(node, source, out);
+      }
+      TSE_COUNT("algebra.plan.index_scan");
+      for (Oid oid : candidates) {
+        if (source.count(oid) != 0) out->insert(oid);
+      }
+      return Status::OK();
+    }
+    case PlanArm::kBatch: {
+      TSE_COUNT("algebra.plan.batch_scan");
+      // One clustered pass over the defining class's slice arena (the
+      // store's struct-of-arrays layout), then a cheap per-member
+      // compare — no per-oid resolver indirection.
+      std::unordered_map<uint64_t, const Value*> column;
+      const uint64_t def_raw = plan.def->id.value();
+      store_->ForEachSlice(
+          plan.def->definer,
+          [&](Oid conceptual,
+              const std::unordered_map<uint64_t, Value>& values) {
+            auto it = values.find(def_raw);
+            if (it != values.end()) {
+              column.emplace(conceptual.value(), &it->second);
+            }
+          });
+      const Value null_value = Value::Null();
+      for (Oid oid : source) {
+        auto it = column.find(oid.value());
+        const Value& v = it == column.end() ? null_value : *it->second;
+        TSE_ASSIGN_OR_RETURN(
+            Value verdict,
+            objmodel::CompareValues(plan.pred->op, v, plan.pred->literal));
+        TSE_ASSIGN_OR_RETURN(bool keep, verdict.AsBool());
+        if (keep) out->insert(oid);
+      }
+      return Status::OK();
+    }
+    case PlanArm::kClassic:
+      return ClassicSelect(node, source, out);
+  }
+  return Status::Internal("unknown plan arm");
+}
+
+Result<SelectPlan> ExtentEvaluator::ExplainSelect(ClassId cls) const {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Sync();
+  TSE_ASSIGN_OR_RETURN(const ClassNode* node, schema_->GetClass(cls));
+  if (node->derivation.op != DerivationOp::kSelect) {
+    return Status::InvalidArgument("explain: class is not a select");
+  }
+  std::set<ClassId> in_progress;
+  TSE_ASSIGN_OR_RETURN(std::shared_ptr<std::set<Oid>> source,
+                       EvalWithMemo(node->derivation.sources[0],
+                                    &in_progress));
+  SelectPlanner planner(schema_, indexes_);
+  return planner.Plan(node->derivation.sources[0],
+                      node->derivation.predicate.get(), source->size(),
+                      planner_mode_);
+}
+
+void ExtentEvaluator::Invalidate(ClassId cls) const {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  DropEntryAndDependents(cls);
+}
+
+void ExtentEvaluator::InvalidateAll() const {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  DropAll();
+}
+
 Result<bool> ExtentEvaluator::MemberNow(ClassId cls, Oid oid) const {
   auto it = cache_.find(cls);
   if (it != cache_.end()) return it->second.extent->count(oid) != 0;
@@ -314,6 +437,8 @@ ExtentEvaluator::CacheStats ExtentEvaluator::stats() const {
   out.full_rebuilds = stats_.full_rebuilds.load(std::memory_order_relaxed);
   out.entries_invalidated =
       stats_.entries_invalidated.load(std::memory_order_relaxed);
+  out.delta_eval_errors =
+      stats_.delta_eval_errors.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -324,6 +449,7 @@ void ExtentEvaluator::ResetStats() {
   stats_.delta_updates.store(0, std::memory_order_relaxed);
   stats_.full_rebuilds.store(0, std::memory_order_relaxed);
   stats_.entries_invalidated.store(0, std::memory_order_relaxed);
+  stats_.delta_eval_errors.store(0, std::memory_order_relaxed);
 }
 
 Result<bool> ExtentEvaluator::IsMemberImpl(
@@ -421,14 +547,7 @@ Result<std::shared_ptr<std::set<Oid>>> ExtentEvaluator::EvalWithMemo(
       TSE_ASSIGN_OR_RETURN(
           std::shared_ptr<std::set<Oid>> source,
           EvalWithMemo(node->derivation.sources[0], in_progress));
-      for (Oid oid : *source) {
-        TSE_ASSIGN_OR_RETURN(
-            Value verdict,
-            node->derivation.predicate->Evaluate(
-                oid, accessor_.ResolverFor(oid, node->derivation.sources[0])));
-        TSE_ASSIGN_OR_RETURN(bool keep, verdict.AsBool());
-        if (keep) out->insert(oid);
-      }
+      TSE_RETURN_IF_ERROR(EvalSelect(node, *source, out.get()));
       break;
     }
     case DerivationOp::kHide:

@@ -12,7 +12,9 @@
 
 #include "algebra/extent_deps.h"
 #include "algebra/object_accessor.h"
+#include "algebra/planner.h"
 #include "common/result.h"
+#include "index/index_manager.h"
 #include "objmodel/slicing_store.h"
 #include "schema/schema_graph.h"
 
@@ -69,6 +71,8 @@ class ExtentEvaluator {
     uint64_t delta_updates = 0;   ///< single-oid cache updates performed
     uint64_t full_rebuilds = 0;   ///< whole-cache drops (gap/baseline/fallback)
     uint64_t entries_invalidated = 0;  ///< entries dropped by schema changes
+    uint64_t delta_eval_errors = 0;    ///< delta-apply predicate errors
+                                       ///< (each forced a fallback rebuild)
 
     double HitRate() const {
       uint64_t total = hits + misses;
@@ -102,6 +106,41 @@ class ExtentEvaluator {
     return incremental_;
   }
 
+  /// Wires in the secondary-index manager the select planner may probe.
+  /// May stay null (no index manager => classic/batch plans only).
+  void set_index_manager(const index::IndexManager* indexes) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    indexes_ = indexes;
+  }
+
+  /// Planner policy for select derivations (default kAuto). The force
+  /// modes drive benchmarks and the fuzzer's differential arms.
+  void set_planner_mode(PlannerMode mode) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    planner_mode_ = mode;
+  }
+  PlannerMode planner_mode() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return planner_mode_;
+  }
+
+  /// Plans `cls` (which must be a select derivation) against the
+  /// current store without executing it — the `explain` surface. Fills
+  /// the source extent cache as a side effect.
+  Result<SelectPlan> ExplainSelect(ClassId cls) const;
+
+  /// Drops `cls`'s cache entry (and every dependent); the next Extent()
+  /// call re-derives it. Benchmark/test aid for timing cold
+  /// evaluations without discarding the rest of the cache.
+  void Invalidate(ClassId cls) const;
+  void InvalidateAll() const;
+
+  /// Journal batches at least this large abandon per-record delta
+  /// maintenance and rebuild lazily instead — the cost-based cutover
+  /// between plan arm (a) and a fresh derivation.
+  static constexpr size_t kDeltaAbandonThreshold =
+      objmodel::SlicingStore::kJournalCapacity / 2;
+
   /// Point-in-time snapshot of the cache counters (counters are relaxed
   /// atomics internally so concurrent sessions can bump them in
   /// parallel).
@@ -126,6 +165,7 @@ class ExtentEvaluator {
     std::atomic<uint64_t> delta_updates{0};
     std::atomic<uint64_t> full_rebuilds{0};
     std::atomic<uint64_t> entries_invalidated{0};
+    std::atomic<uint64_t> delta_eval_errors{0};
   };
 
   /// True when the cache already reflects the current schema generation
@@ -150,6 +190,14 @@ class ExtentEvaluator {
   void DropAll() const;
   std::set<Oid>* MutableSet(Entry* entry) const;
 
+  /// Fills `out` with the select's members over `source`, dispatching
+  /// on the planner's chosen arm. Requires the exclusive lock.
+  Status EvalSelect(const schema::ClassNode* node,
+                    const std::set<Oid>& source, std::set<Oid>* out) const;
+  /// The pre-planner per-oid loop (classic arm).
+  Status ClassicSelect(const schema::ClassNode* node,
+                       const std::set<Oid>& source, std::set<Oid>* out) const;
+
   Result<bool> IsMemberImpl(Oid oid, ClassId cls,
                             std::set<ClassId>* in_progress) const;
   Result<std::shared_ptr<std::set<Oid>>> EvalWithMemo(
@@ -158,6 +206,8 @@ class ExtentEvaluator {
   const schema::SchemaGraph* schema_;
   objmodel::SlicingStore* store_;
   ObjectAccessor accessor_;
+  const index::IndexManager* indexes_ = nullptr;
+  PlannerMode planner_mode_ = PlannerMode::kAuto;
   bool incremental_ = true;
   /// Guards every mutable member below (and incremental_). Cache hits
   /// on a synced cache hold it shared; sync/fill/invalidation hold it

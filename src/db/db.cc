@@ -28,6 +28,9 @@ Status Db::Bootstrap(DbOptions options) {
   extents_ =
       std::make_unique<algebra::ExtentEvaluator>(schema_.get(), store_.get());
   extents_->set_incremental(options_.incremental_extents);
+  indexes_ =
+      std::make_unique<index::IndexManager>(schema_.get(), store_.get());
+  extents_->set_index_manager(indexes_.get());
   engine_ = std::make_unique<update::UpdateEngine>(
       schema_.get(), store_.get(), extents_.get(), options_.closure_policy);
   locks_ = std::make_unique<storage::LockManager>(options_.lock_timeout);
@@ -55,10 +58,17 @@ Status Db::Bootstrap(DbOptions options) {
     committer_ = std::make_unique<db::GroupCommitter>(objects_db_.get());
 
     if (catalog_db_->size() > 0) {
-      TSE_RETURN_IF_ERROR(view::CatalogIO::Load(catalog_db_.get(),
-                                                schema_.get(), views_.get()));
+      std::vector<index::IndexSpec> index_specs;
+      TSE_RETURN_IF_ERROR(view::CatalogIO::Load(
+          catalog_db_.get(), schema_.get(), views_.get(), &index_specs));
       TSE_RETURN_IF_ERROR(objmodel::PersistenceBridge::LoadAll(
           objects_db_.get(), store_.get()));
+      // Index contents are not persisted: recreate each declared index
+      // with a fresh build over the restored store (rebuild-on-replay
+      // crash recovery — same consistency story as a journal gap).
+      for (const index::IndexSpec& spec : index_specs) {
+        TSE_RETURN_IF_ERROR(indexes_->CreateIndex(spec.def, spec.kind));
+      }
       // Resume any backfill a previous run left unfinished: slice
       // *absence* in the durable store is the pending marker, so a
       // crash mid-backfill loses no work and repeats none persisted.
@@ -136,7 +146,8 @@ Result<size_t> Db::BackfillStep(size_t budget) {
 
 Status Db::PersistCatalog() {
   if (!catalog_db_) return Status::OK();
-  return view::CatalogIO::Save(*schema_, *views_, catalog_db_.get());
+  const std::vector<index::IndexSpec> specs = indexes_->List();
+  return view::CatalogIO::Save(*schema_, *views_, catalog_db_.get(), &specs);
 }
 
 std::unique_lock<std::shared_mutex> Db::EagerDrainLock() {
@@ -194,6 +205,38 @@ Result<ViewId> Db::MergeViews(ViewId a, ViewId b,
   TSE_COUNT("db.epoch.bumps");
   TSE_RETURN_IF_ERROR(PersistCatalog());
   return id;
+}
+
+Result<PropertyDefId> Db::CreateIndex(const std::string& class_name,
+                                      const std::string& attr_name,
+                                      index::IndexKind kind) {
+  TSE_ASSIGN_OR_RETURN(ClassId cls, schema_->FindClass(class_name));
+  TSE_ASSIGN_OR_RETURN(const schema::PropertyDef* def,
+                       schema_->ResolveProperty(cls, attr_name));
+  return CreateIndexOn(def->id, kind);
+}
+
+Result<PropertyDefId> Db::CreateIndexOn(PropertyDefId def,
+                                        index::IndexKind kind) {
+  std::lock_guard<std::mutex> ddl_lock(ddl_mu_);
+  std::unique_lock<std::shared_mutex> drain = EagerDrainLock();
+  {
+    // The build scans the store: hold the data latch shared so no
+    // session mutates underneath (readers keep running).
+    std::shared_lock<std::shared_mutex> data_lock(data_mu_);
+    TSE_RETURN_IF_ERROR(indexes_->CreateIndex(def, kind));
+  }
+  TSE_COUNT("db.index.creates");
+  TSE_RETURN_IF_ERROR(PersistCatalog());
+  return def;
+}
+
+Status Db::DropIndex(PropertyDefId def) {
+  std::lock_guard<std::mutex> ddl_lock(ddl_mu_);
+  std::unique_lock<std::shared_mutex> drain = EagerDrainLock();
+  TSE_RETURN_IF_ERROR(indexes_->DropIndex(def));
+  TSE_COUNT("db.index.drops");
+  return PersistCatalog();
 }
 
 Result<std::unique_ptr<Session>> Db::OpenSession(

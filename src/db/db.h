@@ -18,6 +18,7 @@
 #include "db/catalog.h"
 #include "db/group_commit.h"
 #include "evolution/tse_manager.h"
+#include "index/index_manager.h"
 #include "objmodel/slicing_store.h"
 #include "schema/schema_graph.h"
 #include "storage/lock_manager.h"
@@ -145,6 +146,28 @@ class Db {
   Result<ViewId> MergeViews(ViewId a, ViewId b,
                             const std::string& merged_logical_name);
 
+  // --- Secondary indexes (serialized with DDL; catalog-persisted) -------
+
+  /// Declares and builds a secondary index over the stored attribute
+  /// `attr_name` of global class `class_name` (kHash answers equality
+  /// probes, kOrdered adds ranges). Transparent to sessions: the select
+  /// planner picks it up when profitable; results never change. Returns
+  /// the indexed PropertyDefId.
+  Result<PropertyDefId> CreateIndex(const std::string& class_name,
+                                    const std::string& attr_name,
+                                    index::IndexKind kind);
+
+  /// Same, for an already-resolved property definition.
+  Result<PropertyDefId> CreateIndexOn(PropertyDefId def,
+                                      index::IndexKind kind);
+
+  Status DropIndex(PropertyDefId def);
+
+  /// Every declared index.
+  std::vector<index::IndexSpec> ListIndexes() const {
+    return indexes_->List();
+  }
+
   // --- Sessions ---------------------------------------------------------
 
   /// Binds a new session to the *current* version of `view_name`
@@ -197,6 +220,7 @@ class Db {
   update::UpdateEngine& engine() { return *engine_; }
   algebra::ExtentEvaluator& extents() { return *extents_; }
   update::BackfillManager& backfill() { return *backfill_; }
+  index::IndexManager& indexes() { return *indexes_; }
 
  private:
   friend class Session;
@@ -231,6 +255,7 @@ class Db {
   std::unique_ptr<algebra::AlgebraProcessor> algebra_;
   std::unique_ptr<classifier::Classifier> classifier_;
   std::unique_ptr<algebra::ExtentEvaluator> extents_;
+  std::unique_ptr<index::IndexManager> indexes_;
   std::unique_ptr<update::UpdateEngine> engine_;
   std::unique_ptr<storage::LockManager> locks_;
   std::unique_ptr<update::TransactionManager> txns_;

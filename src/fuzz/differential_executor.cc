@@ -6,6 +6,7 @@
 
 #include "algebra/extent_eval.h"
 #include "algebra/object_accessor.h"
+#include "index/index_manager.h"
 #include "baseline/direct_engine.h"
 #include "baseline/oracle.h"
 #include "common/random.h"
@@ -192,6 +193,81 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
   // through it, so the fuzzer exercises delta propagation on each op.
   algebra::ExtentEvaluator& live_extents = updates.extents();
 
+  // Indexed-vs-scan differential arm: index up to three of the
+  // workload's int attributes (alternating hash/ordered), define global
+  // select classes probing them (outside the view, so the equivalence
+  // checks above stay untouched), and keep one evaluator forced onto
+  // the index arm for the whole run — its indexes are maintained from
+  // the change journal across every schema change and churn step.
+  ::tse::index::IndexManager indexes(&graph, &store);
+  algebra::ExtentEvaluator indexed_eval(&graph, &store);
+  indexed_eval.set_index_manager(&indexes);
+  indexed_eval.set_planner_mode(algebra::PlannerMode::kForceIndex);
+  std::vector<ClassId> probe_classes;
+  if (options_.check_index_vs_scan) {
+    size_t declared = 0;
+    for (const std::string& name : class_names) {
+      if (declared >= 3) break;
+      auto cls = graph.FindClass(name);
+      if (!cls.ok()) continue;
+      auto node = graph.GetClass(cls.value());
+      if (!node.ok()) continue;
+      for (PropertyDefId prop : node.value()->local_props) {
+        if (declared >= 3) break;
+        auto def = graph.GetProperty(prop);
+        if (!def.ok() || !def.value()->is_attribute()) continue;
+        if (def.value()->value_type != objmodel::ValueType::kInt) continue;
+        const ::tse::index::IndexKind kind =
+            declared % 2 == 0 ? ::tse::index::IndexKind::kOrdered
+                              : ::tse::index::IndexKind::kHash;
+        if (!indexes.CreateIndex(prop, kind).ok()) continue;
+        ++declared;
+        using objmodel::MethodExpr;
+        schema::Derivation eq_sel;
+        eq_sel.op = schema::DerivationOp::kSelect;
+        eq_sel.sources = {def.value()->definer};
+        eq_sel.predicate = MethodExpr::Eq(
+            MethodExpr::Attr(def.value()->name),
+            MethodExpr::Lit(Value::Int(1)));
+        auto eq_cls = graph.AddVirtualClass(
+            StrCat("IxEq_", prop.value()), std::move(eq_sel));
+        if (eq_cls.ok()) probe_classes.push_back(eq_cls.value());
+        schema::Derivation rg_sel;
+        rg_sel.op = schema::DerivationOp::kSelect;
+        rg_sel.sources = {def.value()->definer};
+        rg_sel.predicate = MethodExpr::Lt(
+            MethodExpr::Attr(def.value()->name),
+            MethodExpr::Lit(Value::Int(50)));
+        auto rg_cls = graph.AddVirtualClass(
+            StrCat("IxRg_", prop.value()), std::move(rg_sel));
+        if (rg_cls.ok()) probe_classes.push_back(rg_cls.value());
+      }
+    }
+  }
+  auto check_index_vs_scan = [&]() -> Status {
+    algebra::ExtentEvaluator scan_eval(&graph, &store);
+    scan_eval.set_planner_mode(algebra::PlannerMode::kForceClassic);
+    for (ClassId cls : probe_classes) {
+      auto via_index = indexed_eval.Extent(cls);
+      auto via_scan = scan_eval.Extent(cls);
+      if (via_index.ok() != via_scan.ok()) {
+        return Status::FailedPrecondition(StrCat(
+            "select class ", cls.ToString(),
+            (via_index.ok() ? " evaluates via index but the scan fails: "
+                            : " fails via index but the scan succeeds: "),
+            (via_index.ok() ? via_scan.status() : via_index.status())
+                .ToString()));
+      }
+      if (via_index.ok() && *via_index.value() != *via_scan.value()) {
+        return Status::FailedPrecondition(
+            StrCat("select class ", cls.ToString(), " has ",
+                   via_index.value()->size(), " members via index, ",
+                   via_scan.value()->size(), " via scan"));
+      }
+    }
+    return Status::OK();
+  };
+
   // Textual digest of a view version (shape + types + extent sizes),
   // used to prove rejected changes leave the view untouched.
   auto snapshot = [&](ViewId vid) -> Result<std::string> {
@@ -320,6 +396,15 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
                          scratch.value()->size()));
           return report;
         }
+      }
+    }
+    if (options_.check_index_vs_scan) {
+      // Journal-maintained indexes must answer every probe class exactly
+      // like a cold scan-forced evaluation, including error status.
+      Status st = check_index_vs_scan();
+      if (!st.ok()) {
+        diverge(step, op, st.ToString());
+        return report;
       }
     }
     if (options_.check_values) {

@@ -34,6 +34,13 @@ struct ExecutorOptions {
   /// from-scratch evaluation. Catches delta-propagation bugs the moment
   /// they happen instead of steps later.
   bool check_incremental_extents = true;
+  /// Declare secondary indexes over the workload's int attributes plus
+  /// equality/range select classes probing them, then compare a
+  /// long-lived index-forced evaluator (journal-maintained indexes
+  /// riding through every schema change and churn step) against a cold
+  /// scan-forced evaluation after every accepted change — ok-status and
+  /// extents must agree exactly.
+  bool check_index_vs_scan = true;
   /// Test-only divergence plant used to validate the shrinker: accepted
   /// add_attribute changes are mirrored into the oracle under the wrong
   /// name (suffix "_sab"), so the very next equivalence check diverges.

@@ -1,0 +1,149 @@
+#include "index/attr_index.h"
+
+namespace tse::index {
+
+using objmodel::ExprOp;
+using objmodel::Value;
+using objmodel::ValueType;
+
+size_t ValueHash::operator()(const Value& v) const {
+  const size_t tag = static_cast<size_t>(v.type());
+  size_t payload = 0;
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      payload = std::hash<int64_t>{}(v.AsInt().value());
+      break;
+    case ValueType::kReal:
+      payload = std::hash<double>{}(v.AsReal().value());
+      break;
+    case ValueType::kBool:
+      payload = std::hash<bool>{}(v.AsBool().value());
+      break;
+    case ValueType::kString:
+      payload = std::hash<std::string>{}(v.AsString().value());
+      break;
+    case ValueType::kRef:
+      payload = std::hash<uint64_t>{}(v.AsRef().value().value());
+      break;
+  }
+  // Boost-style combine so equal payloads of different types split.
+  return payload ^ (tag + 0x9e3779b97f4a7c15ULL + (payload << 6) +
+                    (payload >> 2));
+}
+
+const char* IndexKindName(IndexKind kind) {
+  return kind == IndexKind::kHash ? "hash" : "ordered";
+}
+
+void AttrIndex::Set(Oid oid, const Value& value) {
+  if (value.is_null()) {
+    Erase(oid);
+    return;
+  }
+  auto it = col_.find(oid.value());
+  if (it != col_.end()) {
+    if (it->second == value) return;
+    Erase(oid);
+  }
+  col_.emplace(oid.value(), value);
+  type_counts_[static_cast<uint8_t>(value.type())]++;
+  if (kind_ == IndexKind::kHash) {
+    hash_[value].insert(oid);
+  } else {
+    ordered_[value].insert(oid);
+  }
+}
+
+void AttrIndex::Erase(Oid oid) {
+  auto it = col_.find(oid.value());
+  if (it == col_.end()) return;
+  const Value& key = it->second;
+  type_counts_[static_cast<uint8_t>(key.type())]--;
+  if (kind_ == IndexKind::kHash) {
+    auto bucket = hash_.find(key);
+    bucket->second.erase(oid);
+    if (bucket->second.empty()) hash_.erase(bucket);
+  } else {
+    auto bucket = ordered_.find(key);
+    bucket->second.erase(oid);
+    if (bucket->second.empty()) ordered_.erase(bucket);
+  }
+  col_.erase(it);
+}
+
+void AttrIndex::Clear() {
+  col_.clear();
+  hash_.clear();
+  ordered_.clear();
+  for (uint64_t& c : type_counts_) c = 0;
+}
+
+size_t AttrIndex::distinct() const {
+  return kind_ == IndexKind::kHash ? hash_.size() : ordered_.size();
+}
+
+IndexProbe AttrIndex::Probe() const {
+  IndexProbe probe;
+  probe.kind = kind_;
+  probe.entries = col_.size();
+  probe.distinct = distinct();
+  int populated_types = 0;
+  for (int t = 0; t < 6; ++t) {
+    if (type_counts_[t] == 0) continue;
+    ++populated_types;
+    probe.only_type = static_cast<ValueType>(t);
+  }
+  probe.single_type = populated_types == 1;
+  if (probe.single_type && kind_ == IndexKind::kOrdered &&
+      !ordered_.empty()) {
+    probe.min_key = ordered_.begin()->first;
+    probe.max_key = ordered_.rbegin()->first;
+  }
+  return probe;
+}
+
+void AttrIndex::CollectEq(const Value& key, std::vector<Oid>* out) const {
+  if (kind_ == IndexKind::kHash) {
+    auto it = hash_.find(key);
+    if (it == hash_.end()) return;
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  } else {
+    auto it = ordered_.find(key);
+    if (it == ordered_.end()) return;
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+}
+
+bool AttrIndex::CollectRange(ExprOp op, const Value& key,
+                             std::vector<Oid>* out) const {
+  if (kind_ != IndexKind::kOrdered) return false;
+  // With keys single-typed to match `key` (planner-proved), Value's
+  // type-tag-first order coincides with the comparison order used by
+  // predicate evaluation, so the map bounds are exact.
+  auto first = ordered_.begin();
+  auto last = ordered_.end();
+  switch (op) {
+    case ExprOp::kLt:
+      last = ordered_.lower_bound(key);
+      break;
+    case ExprOp::kLe:
+      last = ordered_.upper_bound(key);
+      break;
+    case ExprOp::kGt:
+      first = ordered_.upper_bound(key);
+      break;
+    case ExprOp::kGe:
+      first = ordered_.lower_bound(key);
+      break;
+    default:
+      return false;
+  }
+  for (auto it = first; it != last; ++it) {
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+  return true;
+}
+
+}  // namespace tse::index

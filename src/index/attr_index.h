@@ -1,0 +1,106 @@
+#ifndef TSE_INDEX_ATTR_INDEX_H_
+#define TSE_INDEX_ATTR_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "objmodel/method.h"
+#include "objmodel/value.h"
+
+namespace tse::index {
+
+/// Hash functor over Value consistent with Value::operator== (type tag
+/// first, then payload), so hash buckets never merge values that
+/// compare unequal.
+struct ValueHash {
+  size_t operator()(const objmodel::Value& v) const;
+};
+
+enum class IndexKind : uint8_t {
+  kHash = 0,     ///< equality probes only
+  kOrdered = 1,  ///< equality + range probes (sorted by Value order)
+};
+
+const char* IndexKindName(IndexKind kind);
+
+/// Summary statistics a planner can read in O(1)-ish time to estimate
+/// predicate selectivity and prove probe eligibility.
+struct IndexProbe {
+  IndexKind kind = IndexKind::kHash;
+  uint64_t entries = 0;       ///< oids with a non-null indexed value
+  uint64_t distinct = 0;      ///< distinct key values
+  /// Conceptual objects in the whole store at probe time. When equal to
+  /// `entries`, *every* object holds a non-null value of this attribute
+  /// — the coverage proof the planner needs before a range probe may
+  /// stand in for a scan (a scan over any source cannot hit a Null).
+  uint64_t store_objects = 0;
+  bool single_type = false;   ///< all keys share one ValueType
+  objmodel::ValueType only_type = objmodel::ValueType::kNull;
+  /// Smallest/largest key of the (single-type) ordered index; Null when
+  /// empty, hash-kind, or mixed-type.
+  objmodel::Value min_key;
+  objmodel::Value max_key;
+};
+
+/// A secondary index over one stored attribute (one PropertyDefId):
+/// maps attribute value -> set of conceptual oids currently holding it.
+/// Null values are never indexed — a missing slice and an unset
+/// property both read Null, so "not in the index" and "reads Null" are
+/// the same statement.
+///
+/// Not thread-safe; IndexManager serializes access under its mutex.
+class AttrIndex {
+ public:
+  AttrIndex(PropertyDefId def, ClassId definer, IndexKind kind)
+      : def_(def), definer_(definer), kind_(kind) {}
+
+  PropertyDefId def() const { return def_; }
+  ClassId definer() const { return definer_; }
+  IndexKind kind() const { return kind_; }
+
+  /// Upserts `oid`'s entry. A Null value erases (unindexed).
+  void Set(Oid oid, const objmodel::Value& value);
+
+  /// Removes `oid`'s entry if present.
+  void Erase(Oid oid);
+
+  void Clear();
+
+  size_t entries() const { return col_.size(); }
+  size_t distinct() const;
+
+  IndexProbe Probe() const;
+
+  /// Appends every oid whose value equals `key` (any kind).
+  void CollectEq(const objmodel::Value& key, std::vector<Oid>* out) const;
+
+  /// Appends every oid whose value satisfies `op key` for an ordering
+  /// op (kLt/kLe/kGt/kGe). Only meaningful on kOrdered indexes whose
+  /// keys are single-typed with `key`'s type — the planner proves that
+  /// before dispatching here. Returns false on a hash index.
+  bool CollectRange(objmodel::ExprOp op, const objmodel::Value& key,
+                    std::vector<Oid>* out) const;
+
+ private:
+  PropertyDefId def_;
+  ClassId definer_;
+  IndexKind kind_;
+  /// Reverse map: oid.value() -> currently indexed key (for O(1)
+  /// maintenance on value change / object destruction).
+  std::unordered_map<uint64_t, objmodel::Value> col_;
+  /// Forward maps; exactly one is populated, per kind_.
+  std::unordered_map<objmodel::Value, std::set<Oid>, ValueHash> hash_;
+  std::map<objmodel::Value, std::set<Oid>> ordered_;
+  /// Entry counts per ValueType tag (index = static_cast<uint8_t>).
+  uint64_t type_counts_[6] = {0, 0, 0, 0, 0, 0};
+};
+
+}  // namespace tse::index
+
+#endif  // TSE_INDEX_ATTR_INDEX_H_

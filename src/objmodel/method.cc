@@ -297,4 +297,8 @@ std::string MethodExpr::ToString() const {
   }
 }
 
+Result<Value> CompareValues(ExprOp op, const Value& a, const Value& b) {
+  return Compare(op, a, b);
+}
+
 }  // namespace tse::objmodel

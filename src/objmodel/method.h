@@ -81,6 +81,9 @@ class MethodExpr {
   static Result<Ptr> DecodeFrom(const std::string& data, size_t* pos);
 
   ExprOp op() const { return op_; }
+  const Value& literal() const { return literal_; }
+  const std::string& attr_name() const { return attr_; }
+  const std::vector<Ptr>& children() const { return children_; }
 
  private:
   MethodExpr(ExprOp op, Value literal, std::string attr,
@@ -95,6 +98,11 @@ class MethodExpr {
   std::string attr_;
   std::vector<Ptr> children_;
 };
+
+/// The comparison semantics of kEq/kNe/kLt/kLe/kGt/kGe, exposed so the
+/// algebra layer's batched predicate evaluation and index probes apply
+/// exactly the same rules (and error cases) as MethodExpr::Evaluate.
+Result<Value> CompareValues(ExprOp op, const Value& a, const Value& b);
 
 }  // namespace tse::objmodel
 

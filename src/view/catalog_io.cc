@@ -13,6 +13,7 @@ constexpr uint64_t kHeaderKey = 0;
 constexpr uint64_t kClassSpace = uint64_t{1} << 56;
 constexpr uint64_t kPropSpace = uint64_t{2} << 56;
 constexpr uint64_t kViewSpace = uint64_t{3} << 56;
+constexpr uint64_t kIndexSpace = uint64_t{4} << 56;
 
 void PutU8(std::string* out, uint8_t v) {
   out->push_back(static_cast<char>(v));
@@ -92,8 +93,8 @@ std::string CatalogIO::EncodeClass(const schema::SchemaGraph& schema,
 }
 
 Status CatalogIO::Save(const schema::SchemaGraph& schema,
-                       const ViewManager& views,
-                       storage::RecordStore* db) {
+                       const ViewManager& views, storage::RecordStore* db,
+                       const std::vector<index::IndexSpec>* indexes) {
   // Drop stale catalog records (classes/views removed since last save).
   std::vector<uint64_t> stale;
   TSE_RETURN_IF_ERROR(db->Scan([&](uint64_t key, const std::string&) {
@@ -144,17 +145,25 @@ Status CatalogIO::Save(const schema::SchemaGraph& schema,
     out += edges;
     TSE_RETURN_IF_ERROR(db->Put(kViewSpace | vid.value(), out));
   }
+  if (indexes != nullptr) {
+    for (const index::IndexSpec& spec : *indexes) {
+      std::string out;
+      PutU8(&out, static_cast<uint8_t>(spec.kind));
+      TSE_RETURN_IF_ERROR(db->Put(kIndexSpace | spec.def.value(), out));
+    }
+  }
   return db->Commit();
 }
 
 Status CatalogIO::Load(storage::RecordStore* db, schema::SchemaGraph* schema,
-                       ViewManager* views) {
+                       ViewManager* views,
+                       std::vector<index::IndexSpec>* indexes) {
   if (schema->class_count() != 1) {
     return Status::FailedPrecondition(
         "target schema graph must contain only the root class");
   }
   // Collect records by namespace; restore in id order within each.
-  std::map<uint64_t, std::string> props, classes, view_records;
+  std::map<uint64_t, std::string> props, classes, view_records, index_records;
   std::string header;
   TSE_RETURN_IF_ERROR(db->Scan([&](uint64_t key, const std::string& payload) {
     uint64_t id = key & ~(uint64_t{0xff} << 56);
@@ -170,6 +179,9 @@ Status CatalogIO::Load(storage::RecordStore* db, schema::SchemaGraph* schema,
         break;
       case 3:
         view_records[id] = payload;
+        break;
+      case 4:
+        index_records[id] = payload;
         break;
       default:
         break;
@@ -268,6 +280,15 @@ Status CatalogIO::Load(storage::RecordStore* db, schema::SchemaGraph* schema,
     }
     TSE_RETURN_IF_ERROR(views->RestoreVersion(
         ViewId(raw_id), logical, static_cast<int>(version), specs, edges));
+  }
+
+  if (indexes != nullptr) {
+    for (const auto& [raw_id, payload] : index_records) {
+      size_t pos = 0;
+      TSE_ASSIGN_OR_RETURN(uint8_t kind, GetU8(payload, &pos));
+      indexes->push_back(index::IndexSpec{
+          PropertyDefId(raw_id), static_cast<index::IndexKind>(kind)});
+    }
   }
 
   size_t pos = 0;

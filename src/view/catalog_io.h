@@ -1,7 +1,10 @@
 #ifndef TSE_VIEW_CATALOG_IO_H_
 #define TSE_VIEW_CATALOG_IO_H_
 
+#include <vector>
+
 #include "common/status.h"
+#include "index/index_manager.h"
 #include "schema/schema_graph.h"
 #include "storage/record_store.h"
 #include "view/view_manager.h"
@@ -21,17 +24,25 @@ namespace tse::view {
 ///   0x01 << 56 | class_id     one record per class
 ///   0x02 << 56 | prop_id      one record per property definition
 ///   0x03 << 56 | view_id      one record per view version
+///   0x04 << 56 | prop_id      one record per secondary-index spec
+///
+/// Index *specs* are catalog state; index *contents* are not persisted —
+/// a restore rebuilds each index from one store scan (the same fallback
+/// a journal gap takes), which doubles as crash recovery.
 class CatalogIO {
  public:
   /// Writes the complete catalog (replacing any previous catalog
-  /// records) and commits.
+  /// records) and commits. `indexes` may be null (no index records).
   static Status Save(const schema::SchemaGraph& schema, const ViewManager& views,
-                     storage::RecordStore* db);
+                     storage::RecordStore* db,
+                     const std::vector<index::IndexSpec>* indexes = nullptr);
 
   /// Restores into a fresh schema::SchemaGraph (containing only OBJECT) and an
-  /// empty ViewManager bound to it.
+  /// empty ViewManager bound to it. Persisted index specs are appended
+  /// to `indexes` when non-null (older catalogs simply have none).
   static Status Load(storage::RecordStore* db, schema::SchemaGraph* schema,
-                     ViewManager* views);
+                     ViewManager* views,
+                     std::vector<index::IndexSpec>* indexes = nullptr);
 
  private:
   static std::string EncodeClass(const schema::SchemaGraph& schema,

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "algebra/object_accessor.h"
+#include "index/attr_index.h"
+#include "index/index_manager.h"
+#include "objmodel/slicing_store.h"
+#include "schema/schema_graph.h"
+
+namespace tse::index {
+namespace {
+
+using algebra::ObjectAccessor;
+using objmodel::ExprOp;
+using objmodel::MethodExpr;
+using objmodel::SlicingStore;
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+using schema::SchemaGraph;
+
+Oid MakeOid(uint64_t v) { return Oid(v); }
+
+std::set<Oid> AsSet(const std::vector<Oid>& oids) {
+  return std::set<Oid>(oids.begin(), oids.end());
+}
+
+// --- AttrIndex unit surface ---------------------------------------------
+
+TEST(AttrIndexTest, SetEraseAndNullSemantics) {
+  AttrIndex ix(PropertyDefId(1), ClassId(1), IndexKind::kHash);
+  ix.Set(MakeOid(10), Value::Int(7));
+  ix.Set(MakeOid(11), Value::Int(7));
+  ix.Set(MakeOid(12), Value::Int(9));
+  EXPECT_EQ(ix.entries(), 3u);
+  EXPECT_EQ(ix.distinct(), 2u);
+
+  // Upsert moves the oid between buckets.
+  ix.Set(MakeOid(10), Value::Int(9));
+  std::vector<Oid> hits;
+  ix.CollectEq(Value::Int(7), &hits);
+  EXPECT_EQ(AsSet(hits), std::set<Oid>({MakeOid(11)}));
+
+  // Null value = unindexed (a missing slice reads Null too).
+  ix.Set(MakeOid(11), Value::Null());
+  EXPECT_EQ(ix.entries(), 2u);
+  hits.clear();
+  ix.CollectEq(Value::Int(7), &hits);
+  EXPECT_TRUE(hits.empty());
+
+  ix.Erase(MakeOid(12));
+  ix.Erase(MakeOid(12));  // idempotent
+  EXPECT_EQ(ix.entries(), 1u);
+  ix.Clear();
+  EXPECT_EQ(ix.entries(), 0u);
+  EXPECT_EQ(ix.distinct(), 0u);
+}
+
+TEST(AttrIndexTest, ProbeStatsTrackTypesAndBounds) {
+  AttrIndex ix(PropertyDefId(1), ClassId(1), IndexKind::kOrdered);
+  for (int i = 0; i < 10; ++i) ix.Set(MakeOid(i), Value::Int(i * 5));
+  IndexProbe probe = ix.Probe();
+  EXPECT_EQ(probe.kind, IndexKind::kOrdered);
+  EXPECT_EQ(probe.entries, 10u);
+  EXPECT_EQ(probe.distinct, 10u);
+  EXPECT_TRUE(probe.single_type);
+  EXPECT_EQ(probe.only_type, ValueType::kInt);
+  EXPECT_EQ(probe.min_key, Value::Int(0));
+  EXPECT_EQ(probe.max_key, Value::Int(45));
+
+  // A second key type flips single_type off (and back on when it goes).
+  ix.Set(MakeOid(99), Value::Str("zed"));
+  EXPECT_FALSE(ix.Probe().single_type);
+  ix.Erase(MakeOid(99));
+  EXPECT_TRUE(ix.Probe().single_type);
+}
+
+TEST(AttrIndexTest, CollectRangeBoundsMatchOperators) {
+  AttrIndex ix(PropertyDefId(1), ClassId(1), IndexKind::kOrdered);
+  for (int i = 1; i <= 5; ++i) ix.Set(MakeOid(i), Value::Int(i));
+
+  auto range = [&](ExprOp op, int64_t key) {
+    std::vector<Oid> hits;
+    EXPECT_TRUE(ix.CollectRange(op, Value::Int(key), &hits));
+    return AsSet(hits);
+  };
+  EXPECT_EQ(range(ExprOp::kLt, 3),
+            std::set<Oid>({MakeOid(1), MakeOid(2)}));
+  EXPECT_EQ(range(ExprOp::kLe, 3),
+            std::set<Oid>({MakeOid(1), MakeOid(2), MakeOid(3)}));
+  EXPECT_EQ(range(ExprOp::kGt, 3),
+            std::set<Oid>({MakeOid(4), MakeOid(5)}));
+  EXPECT_EQ(range(ExprOp::kGe, 3),
+            std::set<Oid>({MakeOid(3), MakeOid(4), MakeOid(5)}));
+  // Keys missing from the map still bound correctly.
+  EXPECT_EQ(range(ExprOp::kLt, 100).size(), 5u);
+  EXPECT_EQ(range(ExprOp::kGt, 100).size(), 0u);
+
+  std::vector<Oid> hits;
+  EXPECT_FALSE(ix.CollectRange(ExprOp::kEq, Value::Int(1), &hits));
+
+  AttrIndex hash(PropertyDefId(2), ClassId(1), IndexKind::kHash);
+  hash.Set(MakeOid(1), Value::Int(1));
+  EXPECT_FALSE(hash.CollectRange(ExprOp::kLt, Value::Int(5), &hits));
+}
+
+TEST(AttrIndexTest, ValueHashConsistentWithEquality) {
+  ValueHash h;
+  EXPECT_EQ(h(Value::Int(42)), h(Value::Int(42)));
+  EXPECT_EQ(h(Value::Str("abc")), h(Value::Str("abc")));
+  EXPECT_EQ(h(Value::Null()), h(Value::Null()));
+  // Equal values must collide; the int 1 and the bool true compare
+  // unequal (type tag first), so they may NOT share a bucket entry.
+  AttrIndex ix(PropertyDefId(1), ClassId(1), IndexKind::kHash);
+  ix.Set(MakeOid(1), Value::Int(1));
+  ix.Set(MakeOid(2), Value::Bool(true));
+  std::vector<Oid> hits;
+  ix.CollectEq(Value::Int(1), &hits);
+  EXPECT_EQ(AsSet(hits), std::set<Oid>({MakeOid(1)}));
+}
+
+// --- IndexManager over a live store -------------------------------------
+
+class IndexManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cls_ = graph_
+               .AddBaseClass(
+                   "Item", {},
+                   {PropertySpec::Attribute("n", ValueType::kInt),
+                    PropertySpec::Attribute("tag", ValueType::kString),
+                    PropertySpec::Method("twice",
+                                         MethodExpr::Mul(
+                                             MethodExpr::Attr("n"),
+                                             MethodExpr::Lit(Value::Int(2))),
+                                         ValueType::kInt)})
+               .value();
+    n_def_ = graph_.ResolveProperty(cls_, "n").value()->id;
+    tag_def_ = graph_.ResolveProperty(cls_, "tag").value()->id;
+    method_def_ = graph_.ResolveProperty(cls_, "twice").value()->id;
+  }
+
+  Oid MakeItem(int64_t n) {
+    Oid o = store_.CreateObject();
+    EXPECT_TRUE(store_.AddMembership(o, cls_).ok());
+    ObjectAccessor acc(&graph_, &store_);
+    EXPECT_TRUE(acc.Write(o, cls_, "n", Value::Int(n)).ok());
+    return o;
+  }
+
+  SchemaGraph graph_;
+  SlicingStore store_;
+  ClassId cls_;
+  PropertyDefId n_def_, tag_def_, method_def_;
+};
+
+TEST_F(IndexManagerTest, CreateDropListAndValidation) {
+  IndexManager mgr(&graph_, &store_);
+  EXPECT_TRUE(mgr.CreateIndex(n_def_, IndexKind::kOrdered).ok());
+  EXPECT_TRUE(mgr.CreateIndex(tag_def_, IndexKind::kHash).ok());
+  EXPECT_TRUE(mgr.HasIndex(n_def_));
+  EXPECT_EQ(mgr.index_count(), 2u);
+
+  // Duplicate, method, and unknown defs are all rejected.
+  EXPECT_FALSE(mgr.CreateIndex(n_def_, IndexKind::kHash).ok());
+  EXPECT_FALSE(mgr.CreateIndex(method_def_, IndexKind::kHash).ok());
+  EXPECT_FALSE(mgr.CreateIndex(PropertyDefId(999999), IndexKind::kHash).ok());
+
+  std::vector<IndexSpec> list = mgr.List();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_TRUE(list[0].def.value() < list[1].def.value());
+
+  EXPECT_TRUE(mgr.DropIndex(tag_def_).ok());
+  EXPECT_FALSE(mgr.DropIndex(tag_def_).ok());
+  EXPECT_FALSE(mgr.HasIndex(tag_def_));
+  EXPECT_EQ(mgr.index_count(), 1u);
+}
+
+TEST_F(IndexManagerTest, BuildIndexesExistingPopulation) {
+  for (int i = 0; i < 50; ++i) MakeItem(i % 5);
+  IndexManager mgr(&graph_, &store_);
+  ASSERT_TRUE(mgr.CreateIndex(n_def_, IndexKind::kOrdered).ok());
+  std::vector<Oid> hits;
+  ASSERT_TRUE(mgr.LookupEq(n_def_, Value::Int(3), &hits));
+  EXPECT_EQ(hits.size(), 10u);
+  std::optional<IndexProbe> probe = mgr.Probe(n_def_);
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_EQ(probe->entries, 50u);
+  EXPECT_EQ(probe->distinct, 5u);
+  EXPECT_EQ(probe->store_objects, store_.object_count());
+}
+
+TEST_F(IndexManagerTest, MaintainsFromJournalAcrossMutations) {
+  IndexManager mgr(&graph_, &store_);
+  ASSERT_TRUE(mgr.CreateIndex(n_def_, IndexKind::kOrdered).ok());
+
+  Oid a = MakeItem(1);
+  Oid b = MakeItem(1);
+  std::vector<Oid> hits;
+  ASSERT_TRUE(mgr.LookupEq(n_def_, Value::Int(1), &hits));
+  EXPECT_EQ(AsSet(hits), std::set<Oid>({a, b}));
+
+  // Value change moves the entry; destroying the object removes it.
+  ObjectAccessor acc(&graph_, &store_);
+  ASSERT_TRUE(acc.Write(a, cls_, "n", Value::Int(2)).ok());
+  ASSERT_TRUE(store_.DestroyObject(b).ok());
+  hits.clear();
+  ASSERT_TRUE(mgr.LookupEq(n_def_, Value::Int(1), &hits));
+  EXPECT_TRUE(hits.empty());
+  hits.clear();
+  ASSERT_TRUE(mgr.LookupEq(n_def_, Value::Int(2), &hits));
+  EXPECT_EQ(AsSet(hits), std::set<Oid>({a}));
+
+  // Writing Null un-indexes without destroying.
+  ASSERT_TRUE(acc.Write(a, cls_, "n", Value::Null()).ok());
+  EXPECT_EQ(mgr.total_entries(), 0u);
+}
+
+TEST_F(IndexManagerTest, JournalGapTriggersConsistentRebuild) {
+  IndexManager mgr(&graph_, &store_);
+  ASSERT_TRUE(mgr.CreateIndex(n_def_, IndexKind::kHash).ok());
+  Oid keeper = MakeItem(7);
+  std::vector<Oid> hits;
+  ASSERT_TRUE(mgr.LookupEq(n_def_, Value::Int(7), &hits));
+  EXPECT_EQ(hits.size(), 1u);
+
+  // Overflow the bounded journal between syncs: far more records than
+  // SlicingStore::kJournalCapacity, so ChangesSince reports a gap and
+  // the manager must fall back to a full rebuild.
+  ObjectAccessor acc(&graph_, &store_);
+  Oid churn = MakeItem(0);
+  for (size_t i = 0; i < objmodel::SlicingStore::kJournalCapacity + 50; ++i) {
+    ASSERT_TRUE(
+        acc.Write(churn, cls_, "n", Value::Int(static_cast<int64_t>(i))).ok());
+  }
+  ASSERT_TRUE(acc.Write(churn, cls_, "n", Value::Int(7)).ok());
+
+  hits.clear();
+  ASSERT_TRUE(mgr.LookupEq(n_def_, Value::Int(7), &hits));
+  EXPECT_EQ(AsSet(hits), std::set<Oid>({keeper, churn}));
+  std::optional<IndexProbe> probe = mgr.Probe(n_def_);
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_EQ(probe->entries, store_.object_count());
+}
+
+TEST_F(IndexManagerTest, LookupRangeOnlyOnOrderedIndexes) {
+  for (int i = 0; i < 10; ++i) MakeItem(i);
+  IndexManager mgr(&graph_, &store_);
+  ASSERT_TRUE(mgr.CreateIndex(n_def_, IndexKind::kHash).ok());
+  std::vector<Oid> hits;
+  EXPECT_FALSE(mgr.LookupRange(n_def_, ExprOp::kLt, Value::Int(5), &hits));
+  ASSERT_TRUE(mgr.DropIndex(n_def_).ok());
+  ASSERT_TRUE(mgr.CreateIndex(n_def_, IndexKind::kOrdered).ok());
+  EXPECT_TRUE(mgr.LookupRange(n_def_, ExprOp::kLt, Value::Int(5), &hits));
+  EXPECT_EQ(hits.size(), 5u);
+  // No index at all: the caller must fall back to a scan.
+  EXPECT_FALSE(mgr.LookupEq(tag_def_, Value::Str("x"), &hits));
+}
+
+}  // namespace
+}  // namespace tse::index

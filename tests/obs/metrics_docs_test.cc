@@ -14,8 +14,11 @@
 #include <string>
 #include <thread>
 
+#include "algebra/extent_eval.h"
+#include "algebra/object_accessor.h"
 #include "algebra/processor.h"
 #include "algebra/query.h"
+#include "index/index_manager.h"
 #include "db/db.h"
 #include "db/session.h"
 #include "evolution/change_parser.h"
@@ -119,6 +122,90 @@ void RunEvolutionPipeline() {
   ASSERT_TRUE(aborted->Abort().ok());
 }
 
+void RunIndexPlannerWorkload() {
+  // Secondary indexes + the select planner (DESIGN.md §11): index
+  // lifecycle, journal maintenance, gap rebuild, every plan arm, the
+  // delta-abandon cutover, and the delta-eval-error fallback.
+  schema::SchemaGraph schema;
+  objmodel::SlicingStore store;
+  ClassId q = schema
+                  .AddBaseClass("Q", {},
+                                {PropertySpec::Attribute("n", ValueType::kInt)})
+                  .value();
+  PropertyDefId n_def = schema.ResolveProperty(q, "n").value()->id;
+  algebra::ObjectAccessor acc(&schema, &store);
+  std::vector<Oid> oids;
+  for (int i = 0; i < 100; ++i) {
+    Oid o = store.CreateObject();
+    ASSERT_TRUE(store.AddMembership(o, q).ok());
+    ASSERT_TRUE(acc.Write(o, q, "n", Value::Int(i)).ok());
+    oids.push_back(o);
+  }
+  index::IndexManager indexes(&schema, &store);
+  ASSERT_TRUE(indexes.CreateIndex(n_def, index::IndexKind::kOrdered).ok());
+  std::vector<Oid> hits;
+  ASSERT_TRUE(indexes.LookupEq(n_def, Value::Int(7), &hits));     // lookups
+  ASSERT_TRUE(acc.Write(oids[0], q, "n", Value::Int(0)).ok());
+  ASSERT_TRUE(indexes.Probe(n_def).has_value());        // maintain_records
+
+  auto add_select = [&](const std::string& name, int64_t below) {
+    schema::Derivation d;
+    d.op = schema::DerivationOp::kSelect;
+    d.sources = {q};
+    d.predicate = objmodel::MethodExpr::Lt(objmodel::MethodExpr::Attr("n"),
+                                           objmodel::MethodExpr::Lit(
+                                               Value::Int(below)));
+    return schema.AddVirtualClass(name, std::move(d)).value();
+  };
+  ClassId narrow = add_select("QNarrow", 5);   // ~5%  -> index arm
+  ClassId wide = add_select("QWide", 80);      // ~80% -> batch arm
+
+  algebra::ExtentEvaluator eval(&schema, &store);
+  eval.set_index_manager(&indexes);
+  ASSERT_TRUE(eval.Extent(narrow).ok());                // plan.index_scan
+  ASSERT_TRUE(eval.Extent(wide).ok());                  // plan.batch_scan
+  eval.set_planner_mode(algebra::PlannerMode::kForceClassic);
+  eval.Invalidate(wide);
+  ASSERT_TRUE(eval.Extent(wide).ok());                  // plan.full_scan
+  eval.set_planner_mode(algebra::PlannerMode::kAuto);
+  ASSERT_TRUE(eval.ExplainSelect(narrow).ok());
+
+  // One small journal batch -> delta maintenance; a giant one -> the
+  // abandon cutover; an overflowing one -> index gap + rebuild.
+  ASSERT_TRUE(acc.Write(oids[1], q, "n", Value::Int(1)).ok());
+  ASSERT_TRUE(eval.Extent(narrow).ok());                // plan.delta_maintain
+  for (size_t i = 0; i < algebra::ExtentEvaluator::kDeltaAbandonThreshold;
+       ++i) {
+    ASSERT_TRUE(acc.Write(oids[2], q, "n", Value::Int(2)).ok());
+  }
+  ASSERT_TRUE(eval.Extent(narrow).ok());                // plan.delta_abandoned
+  for (size_t i = 0; i < objmodel::SlicingStore::kJournalCapacity + 10; ++i) {
+    ASSERT_TRUE(acc.Write(oids[3], q, "n", Value::Int(3)).ok());
+  }
+  ASSERT_TRUE(indexes.Probe(n_def).has_value());  // journal_gaps + rebuilds
+
+  // A member whose `n` reads Null: delta application cannot evaluate
+  // the predicate -> counted error + fallback rebuild.
+  ASSERT_TRUE(eval.Extent(narrow).ok());
+  Oid hole = store.CreateObject();
+  ASSERT_TRUE(store.AddMembership(hole, q).ok());
+  ASSERT_FALSE(eval.Extent(narrow).ok());     // extent.delta_eval_errors
+  ASSERT_TRUE(indexes.DropIndex(n_def).ok());           // index.drops
+
+  // The Db-facade index DDL surface.
+  DbOptions options;
+  options.closure_policy = update::ValueClosurePolicy::kAllow;
+  auto db = Db::Open(options).value();
+  ClassId c = db->AddBaseClass(
+                    "IxDoc", {},
+                    {PropertySpec::Attribute("a", ValueType::kInt)})
+                  .value();
+  ASSERT_TRUE(db->CreateView("IxDocs", {{c, ""}}).ok());
+  PropertyDefId a_def =
+      db->CreateIndex("IxDoc", "a", index::IndexKind::kHash).value();
+  ASSERT_TRUE(db->DropIndex(a_def).ok());
+}
+
 void RunDbFacadeWorkload(const std::string& dir) {
   // Every session-facing path: open/read/update, a transaction commit
   // and rollback, a schema change + refresh, durable group commit.
@@ -215,6 +302,7 @@ void RunStorageWorkload(const std::string& dir) {
 
 TEST(MetricsDocs, EveryRegisteredMetricIsDocumented) {
   RunEvolutionPipeline();
+  RunIndexPlannerWorkload();
   RunDbFacadeWorkload(::testing::TempDir());
   RunNetWorkload();
   RunStorageWorkload(::testing::TempDir());
