@@ -1,0 +1,325 @@
+// Adaptive physical layout benchmark (DESIGN.md §12): packed records
+// vs object slicing, the paper's Table 1 trade-off measured on this
+// codebase.
+//
+// Three phases:
+//
+//   1. *In-memory point reads.* A 6-deep is-a chain scatters each
+//      conceptual object's state over 6 implementation slices. Reading
+//      every attribute through the accessor is timed against the slice
+//      arenas and against a pinned packed layout; the packed pass must
+//      be served entirely from packed cells (layout.packed.hits).
+//
+//   2. *On-disk reads per access.* The same state is laid out in two
+//      RecordStores — one record per implementation slice (slicing)
+//      vs one contiguous record per conceptual object (packed) — then
+//      reopened behind a tiny pager cache and point-read cold. The
+//      pager read counters must show >= 3x fewer page reads per
+//      conceptual-object access for the packed layout; per-access
+//      distributions land in the storage.pager.reads_per_access
+//      histogram via ReadAttributionScope.
+//
+//   3. *Batch scans.* A low-selectivity select over the chain class is
+//      evaluated through the packed column block (the planner must
+//      choose the batch arm on a promoted source) and must return
+//      exactly the classic scan's extent.
+//
+// Emits text, or JSON with --json <path> (the bench_report target
+// writes BENCH_layout.json at the repo root); exits 1 on any gate
+// failure.
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algebra/extent_eval.h"
+#include "algebra/object_accessor.h"
+#include "algebra/planner.h"
+#include "layout/packed_record_cache.h"
+#include "objmodel/method.h"
+#include "objmodel/slicing_store.h"
+#include "obs/metrics.h"
+#include "schema/schema_graph.h"
+#include "storage/record_store.h"
+
+namespace {
+
+using namespace tse;
+using algebra::ExtentEvaluator;
+using algebra::ObjectAccessor;
+using algebra::PlanArm;
+using algebra::PlannerMode;
+using objmodel::MethodExpr;
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+constexpr size_t kDepth = 6;  ///< is-a chain length == slices per object
+
+uint64_t Counter(const std::string& name) {
+  for (const auto& [n, v] : obs::MetricsRegistry::Instance().Snapshot().counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+/// Deterministic access shuffle (no library RNG: reproducible runs).
+uint64_t Lcg(uint64_t& state) {
+  state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+  return state >> 33;
+}
+
+struct Fixture {
+  schema::SchemaGraph graph;
+  objmodel::SlicingStore store;
+  std::vector<ClassId> chain;
+  std::vector<std::string> attrs;
+  std::vector<Oid> oids;
+
+  explicit Fixture(size_t n) {
+    for (size_t d = 0; d < kDepth; ++d) {
+      attrs.push_back("a" + std::to_string(d));
+      std::vector<ClassId> supers;
+      if (d > 0) supers.push_back(chain.back());
+      chain.push_back(
+          graph
+              .AddBaseClass("C" + std::to_string(d), supers,
+                            {PropertySpec::Attribute(attrs[d],
+                                                     ValueType::kInt)})
+              .value());
+    }
+    ObjectAccessor acc(&graph, &store);
+    for (size_t i = 0; i < n; ++i) {
+      Oid o = store.CreateObject();
+      if (!store.AddMembership(o, chain.back()).ok()) std::abort();
+      for (size_t d = 0; d < kDepth; ++d) {
+        // One write per slice: each attribute stores at its definer.
+        if (!acc.Write(o, chain.back(), attrs[d],
+                       Value::Int(static_cast<int64_t>(i * kDepth + d)))
+                 .ok()) {
+          std::abort();
+        }
+      }
+      oids.push_back(o);
+    }
+  }
+
+  /// Mean seconds per full conceptual-object read (all kDepth attrs).
+  double TimePointReads(ObjectAccessor& acc, size_t accesses) {
+    uint64_t rng = 42;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < accesses; ++i) {
+      Oid o = oids[Lcg(rng) % oids.size()];
+      for (size_t d = 0; d < kDepth; ++d) {
+        if (!acc.Read(o, chain.back(), attrs[d]).ok()) std::abort();
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count() /
+           static_cast<double>(accesses);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--quick] [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  const size_t n = quick ? 3000 : 30000;
+  const size_t mem_accesses = quick ? 2000 : 20000;
+  const size_t disk_objects = quick ? 1000 : 6000;
+  const size_t disk_accesses = quick ? 400 : 1500;
+  const double target_read_ratio = 3.0;
+
+  bool pass = true;
+  std::ostringstream why;
+
+  // --- Phase 1: in-memory point reads, slices vs packed -------------------
+  std::cout << "phase 1: " << n << " objects x " << kDepth
+            << " slices, in-memory point reads" << std::endl;
+  Fixture fx(n);
+  ObjectAccessor sliced_acc(&fx.graph, &fx.store);
+  const double sliced_s = fx.TimePointReads(sliced_acc, mem_accesses);
+
+  layout::AdvisorOptions manual;
+  manual.enabled = false;
+  layout::PackedRecordCache cache(&fx.graph, &fx.store, manual);
+  if (!cache.Pin(fx.chain.back()).ok()) std::abort();
+  ObjectAccessor packed_acc(&fx.graph, &fx.store);
+  packed_acc.set_layout(&cache);
+  const uint64_t hits_before = Counter("layout.packed.hits");
+  const double packed_s = fx.TimePointReads(packed_acc, mem_accesses);
+  const uint64_t packed_hits = Counter("layout.packed.hits") - hits_before;
+  const double point_speedup = packed_s > 0 ? sliced_s / packed_s : 0;
+  std::cout << "  slices " << sliced_s * 1e6 << " us/object, packed "
+            << packed_s * 1e6 << " us/object, speedup " << point_speedup
+            << "x, packed hits " << packed_hits << "\n";
+  if (packed_hits != mem_accesses * kDepth) {
+    pass = false;
+    why << "packed pass was not fully served from packed cells ("
+        << packed_hits << " hits, expected " << mem_accesses * kDepth
+        << "); ";
+  }
+
+  // --- Phase 2: on-disk reads per conceptual-object access ----------------
+  std::cout << "phase 2: " << disk_objects
+            << " objects on disk, slice records vs packed records"
+            << std::endl;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "tse_bench_layout").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string value(48, 'x');  // one attribute's stored payload
+
+  storage::RecordStoreOptions build_options;
+  build_options.durable = false;  // throwaway stores: no WAL
+  {
+    // Slicing layout: one record per implementation slice, written
+    // slice-major (arena order), so one object's state spans kDepth
+    // far-apart pages — exactly how the slice arenas age on disk.
+    auto sliced =
+        storage::RecordStore::Open(dir + "/sliced", build_options).value();
+    for (size_t d = 0; d < kDepth; ++d) {
+      for (size_t i = 0; i < disk_objects; ++i) {
+        if (!sliced->Put(d * disk_objects + i, value).ok()) std::abort();
+      }
+    }
+    if (!sliced->Checkpoint().ok()) std::abort();
+    // Packed layout: one contiguous record per conceptual object.
+    std::string packed_value;
+    for (size_t d = 0; d < kDepth; ++d) packed_value += value;
+    auto packed =
+        storage::RecordStore::Open(dir + "/packed", build_options).value();
+    for (size_t i = 0; i < disk_objects; ++i) {
+      if (!packed->Put(i, packed_value).ok()) std::abort();
+    }
+    if (!packed->Checkpoint().ok()) std::abort();
+  }
+
+  // Reopen cold behind a tiny page cache and point-read conceptual
+  // objects: the slicing layout pays ~kDepth page reads per object, the
+  // packed layout one.
+  storage::RecordStoreOptions cold_options = build_options;
+  cold_options.pager.cache_capacity = 16;
+  auto measure_disk = [&](const std::string& path,
+                          size_t records_per_object) -> double {
+    auto rs = storage::RecordStore::Open(dir + path, cold_options).value();
+    const uint64_t before = Counter("storage.pager.page_reads");
+    uint64_t rng = 7;
+    for (size_t i = 0; i < disk_accesses; ++i) {
+      const uint64_t obj = Lcg(rng) % disk_objects;
+      // One scope = one conceptual-object access: inner per-Get scopes
+      // propagate into it and it lands in the
+      // storage.pager.reads_per_access histogram.
+      storage::ReadAttributionScope access;
+      for (size_t d = 0; d < records_per_object; ++d) {
+        if (!rs->Get(d * disk_objects + obj).ok()) std::abort();
+      }
+    }
+    return static_cast<double>(Counter("storage.pager.page_reads") - before) /
+           static_cast<double>(disk_accesses);
+  };
+  const double sliced_reads = measure_disk("/sliced", kDepth);
+  const double packed_reads = measure_disk("/packed", 1);
+  const double read_ratio = packed_reads > 0 ? sliced_reads / packed_reads : 0;
+  std::cout << "  slices " << sliced_reads << " page reads/access, packed "
+            << packed_reads << ", ratio " << read_ratio << "x (target "
+            << target_read_ratio << "x)\n";
+  if (read_ratio < target_read_ratio) {
+    pass = false;
+    why << "pager reads per access improved only " << read_ratio << "x < "
+        << target_read_ratio << "x; ";
+  }
+  std::filesystem::remove_all(dir);
+
+  // --- Phase 3: batch scan over the packed column block -------------------
+  std::cout << "phase 3: select scan, classic vs packed batch" << std::endl;
+  schema::Derivation sel;
+  sel.op = schema::DerivationOp::kSelect;
+  sel.sources = {fx.chain.back()};
+  sel.predicate = MethodExpr::Lt(
+      MethodExpr::Attr(fx.attrs[0]),
+      MethodExpr::Lit(Value::Int(static_cast<int64_t>(n))));
+  ClassId low = fx.graph.AddVirtualClass("Low", std::move(sel)).value();
+
+  ExtentEvaluator classic_eval(&fx.graph, &fx.store);
+  classic_eval.set_planner_mode(PlannerMode::kForceClassic);
+  const auto c0 = std::chrono::steady_clock::now();
+  auto classic = classic_eval.Extent(low);
+  const auto c1 = std::chrono::steady_clock::now();
+  if (!classic.ok()) std::abort();
+
+  ExtentEvaluator packed_eval(&fx.graph, &fx.store);
+  packed_eval.set_layout(&cache);
+  auto plan = packed_eval.ExplainSelect(low);
+  if (!plan.ok()) std::abort();
+  const char* arm = algebra::PlanArmName(plan.value().arm);
+  if (plan.value().arm != PlanArm::kBatch) {
+    pass = false;
+    why << "planner did not choose the batch arm on a promoted source (got "
+        << arm << "); ";
+  }
+  const auto p0 = std::chrono::steady_clock::now();
+  auto packed_extent = packed_eval.Extent(low);
+  const auto p1 = std::chrono::steady_clock::now();
+  if (!packed_extent.ok()) std::abort();
+  if (*packed_extent.value() != *classic.value()) {
+    pass = false;
+    why << "packed batch scan diverged from the classic scan; ";
+  }
+  const double classic_scan_s = std::chrono::duration<double>(c1 - c0).count();
+  const double packed_scan_s = std::chrono::duration<double>(p1 - p0).count();
+  std::cout << "  classic " << classic_scan_s * 1e3 << " ms, packed batch "
+            << packed_scan_s * 1e3 << " ms, arm " << arm << ", "
+            << packed_extent.value()->size() << " members\n";
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"layout\",\n  \"workload\": "
+          "\"packed_vs_slices\",\n  \"objects\": "
+       << n << ",\n  \"slices_per_object\": " << kDepth
+       << ",\n  \"quick\": " << (quick ? "true" : "false")
+       << ",\n  \"point_reads\": {\"sliced_s\": " << sliced_s
+       << ", \"packed_s\": " << packed_s << ", \"speedup\": " << point_speedup
+       << ", \"packed_hits\": " << packed_hits
+       << "},\n  \"disk_reads_per_access\": {\"sliced\": " << sliced_reads
+       << ", \"packed\": " << packed_reads << ", \"ratio\": " << read_ratio
+       << "},\n  \"batch_scan\": {\"classic_s\": " << classic_scan_s
+       << ", \"packed_s\": " << packed_scan_s << ", \"plan_arm\": \"" << arm
+       << "\", \"members\": " << packed_extent.value()->size()
+       << "},\n  \"acceptance\": {\"target_read_ratio\": " << target_read_ratio
+       << ", \"achieved_read_ratio\": " << read_ratio
+       << ", \"pass\": " << (pass ? "true" : "false") << "},\n  \"metrics\": "
+       << obs::MetricsRegistry::Instance().Snapshot().ToJson() << "\n}\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << json.str();
+    std::cout << "wrote " << json_path << "\n";
+  }
+  if (!pass) {
+    std::cerr << "FAIL: " << why.str() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -18,6 +18,8 @@
 //
 // Extra shell commands: `show` (current view), `extents`, `history`,
 // `explain <Class>` (the select plan the cost-based planner would run),
+// `layout [pin|unpin] <Class>` (inspect or pin/unpin the packed-record
+// layout of a hot class, DESIGN.md §12),
 // `session <view>` (open/switch the bound view), `sessionat <id>`
 // (pin a historical view version), `connect <host:port> [view]`
 // (switch to a remote backend), `new <Class>`,
@@ -62,6 +64,9 @@ class Backend {
   virtual Result<std::vector<Oid>> Extent(const std::string& class_name) = 0;
   virtual Result<std::string> History() = 0;
   virtual Result<std::string> Explain(const std::string& class_name) = 0;
+  /// action is "" (inspect), "pin", or "unpin".
+  virtual Result<std::string> Layout(const std::string& action,
+                                     const std::string& class_name) = 0;
 
   virtual Result<Oid> Create(const std::string& class_name) = 0;
   virtual Result<Value> Get(Oid oid, const std::string& class_name,
@@ -169,6 +174,24 @@ class LocalBackend : public Backend {
     return out.str();
   }
 
+  Result<std::string> Layout(const std::string& action,
+                             const std::string& class_name) override {
+    if (action == "pin") {
+      TSE_RETURN_IF_ERROR(db_->PinLayout(class_name).status());
+    } else if (action == "unpin") {
+      TSE_RETURN_IF_ERROR(db_->UnpinLayout(class_name));
+    }
+    TSE_ASSIGN_OR_RETURN(auto stats, db_->ExplainLayout(class_name));
+    std::ostringstream out;
+    out << class_name << ": state=" << stats.state
+        << (stats.scan_complete ? " (scan-complete)" : "")
+        << ", rows=" << stats.rows << ", columns=" << stats.columns
+        << ", hits=" << stats.hits << "\n  window: point_reads="
+        << stats.window_point_reads << ", scans=" << stats.window_scans
+        << "\n";
+    return out.str();
+  }
+
   Result<Oid> Create(const std::string& class_name) override {
     return session_->Create(class_name, {});
   }
@@ -247,6 +270,13 @@ class RemoteBackend : public Backend {
     return Status::InvalidArgument(
         "explain needs the embedded engine; the wire protocol does not "
         "expose query plans");
+  }
+
+  Result<std::string> Layout(const std::string&,
+                             const std::string&) override {
+    return Status::InvalidArgument(
+        "layout needs the embedded engine; the wire protocol does not "
+        "expose physical tuning");
   }
 
   Result<Oid> Create(const std::string& class_name) override {
@@ -405,6 +435,29 @@ struct Shell {
         return true;
       }
       auto text = backend->Explain(cls_name);
+      if (!text.ok()) {
+        std::cout << "error: " << text.status().ToString() << "\n";
+      } else {
+        std::cout << text.value();
+      }
+      return true;
+    }
+    if (head == "layout") {
+      std::string action, cls_name;
+      in >> action >> cls_name;
+      if (cls_name.empty() && (action == "pin" || action == "unpin")) {
+        std::cout << "usage: layout [pin|unpin] <Class>\n";
+        return true;
+      }
+      if (cls_name.empty()) {
+        cls_name = action;
+        action.clear();
+      }
+      if (cls_name.empty()) {
+        std::cout << "usage: layout [pin|unpin] <Class>\n";
+        return true;
+      }
+      auto text = backend->Layout(action, cls_name);
       if (!text.ok()) {
         std::cout << "error: " << text.status().ToString() << "\n";
       } else {

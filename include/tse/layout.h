@@ -1,0 +1,14 @@
+// Public TSE API — adaptive physical layout (DESIGN.md §12).
+//
+// The entry points live on `tse::Db` (<tse/db.h>): `PinLayout` /
+// `UnpinLayout` pin a packed-record layout for a hot class, and
+// `ExplainLayout` reports its state. This header names the stats type
+// those calls return (`tse::layout::PackedRecordCache::ClassStats`)
+// for callers that want to branch on it.
+#ifndef TSE_PUBLIC_LAYOUT_H_
+#define TSE_PUBLIC_LAYOUT_H_
+
+#include "layout/packed_record_cache.h"
+#include "tse/status.h"
+
+#endif  // TSE_PUBLIC_LAYOUT_H_

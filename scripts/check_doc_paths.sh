@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Fails when a markdown doc references a source path that no longer
+# exists — the docs-drift guard run by CI.
+#
+# Scans docs/*.md plus the top-level architecture docs for things that
+# look like repo paths (src/..., tests/..., bench/..., examples/...,
+# include/..., scripts/..., docs/...) and requires each to exist,
+# resolving globs. `.cc`/`.h` pairs written as `name.{h,cc}` or
+# `name.*` are expanded.
+#
+# Usage: scripts/check_doc_paths.sh  (from anywhere inside the repo)
+set -u
+
+cd "$(dirname "$0")/.."
+
+docs=(docs/*.md README.md DESIGN.md EXPERIMENTS.md ROADMAP.md)
+fail=0
+
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || continue
+  # Candidate paths: a known top-level dir, then /-separated
+  # path-character runs. Trim trailing punctuation that is prose, not
+  # path: quotes, parens, commas, periods, colons, backticks.
+  # Drop build-output paths (build/src/net/tse_served is a binary, not
+  # a tree path) before extracting candidates.
+  sed 's|build/[A-Za-z0-9_./*{},-]*||g' "$doc" \
+    | grep -oE '(src|tests|bench|examples|include|scripts|docs)/[A-Za-z0-9_./*{},-]*' \
+    | sed -e 's/[),.:`"]*$//' -e 's/\.$//' \
+    | sort -u \
+    | while read -r ref; do
+        [ -n "$ref" ] || continue
+        case "$ref" in
+          *\{*\}*)
+            base="${ref%%\{*}"; rest="${ref#*\}}"
+            inner="${ref#*\{}"; inner="${inner%%\}*}"
+            ok=1
+            IFS=',' read -ra parts <<< "$inner"
+            for part in "${parts[@]}"; do
+              compgen -G "${base}${part}${rest}" > /dev/null || ok=0
+            done
+            [ "$ok" = 1 ] || { echo "$doc: dangling path: $ref"; exit 1; }
+            ;;
+          *)
+            # A bare path, or a build-target name whose source carries
+            # an extension (bench/bench_ops -> bench/bench_ops.cc).
+            compgen -G "$ref" > /dev/null \
+              || compgen -G "$ref.*" > /dev/null \
+              || { echo "$doc: dangling path: $ref"; exit 1; }
+            ;;
+        esac
+      done || fail=1
+done
+
+if [ "$fail" != 0 ]; then
+  echo "check_doc_paths: FAILED — fix the references above or update the doc" >&2
+  exit 1
+fi
+echo "check_doc_paths: OK"

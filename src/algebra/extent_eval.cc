@@ -243,10 +243,13 @@ Status ExtentEvaluator::EvalSelect(const ClassNode* node,
     return Status::FailedPrecondition("select class has no predicate");
   }
   SelectPlanner planner(schema_, indexes_);
+  const bool packed_source =
+      layout_ != nullptr &&
+      layout_->IsPromoted(node->derivation.sources[0]);
   const SelectPlan plan =
       planner.Plan(node->derivation.sources[0],
                    node->derivation.predicate.get(), source.size(),
-                   planner_mode_);
+                   planner_mode_, packed_source);
   switch (plan.arm) {
     case PlanArm::kIndex: {
       std::vector<Oid> candidates;
@@ -269,6 +272,39 @@ Status ExtentEvaluator::EvalSelect(const ClassNode* node,
     }
     case PlanArm::kBatch: {
       TSE_COUNT("algebra.plan.batch_scan");
+      // Packed-layout fast path: a promoted source class already holds
+      // this attribute as one contiguous column block (DESIGN.md §12) —
+      // scan it instead of walking the slice arena. The cache and the
+      // source extent are synced against the same journal head (both
+      // under the data latch), so a missing row reads Null exactly like
+      // a missing slice value below.
+      if (layout_ != nullptr && plan.pred) {
+        Status scan_status = Status::OK();
+        const bool served = layout_->WithColumn(
+            node->derivation.sources[0], plan.def->id,
+            [&](const std::unordered_map<uint64_t, size_t>& row_of,
+                const std::vector<Value>& cells) {
+              const Value null_value = Value::Null();
+              for (Oid oid : source) {
+                auto it = row_of.find(oid.value());
+                const Value& v =
+                    it == row_of.end() ? null_value : cells[it->second];
+                auto verdict = objmodel::CompareValues(plan.pred->op, v,
+                                                       plan.pred->literal);
+                if (!verdict.ok()) {
+                  scan_status = verdict.status();
+                  return;
+                }
+                auto keep = verdict.value().AsBool();
+                if (!keep.ok()) {
+                  scan_status = keep.status();
+                  return;
+                }
+                if (keep.value()) out->insert(oid);
+              }
+            });
+        if (served) return scan_status;
+      }
       // One clustered pass over the defining class's slice arena (the
       // store's struct-of-arrays layout), then a cheap per-member
       // compare — no per-oid resolver indirection.
@@ -315,7 +351,9 @@ Result<SelectPlan> ExtentEvaluator::ExplainSelect(ClassId cls) const {
   SelectPlanner planner(schema_, indexes_);
   return planner.Plan(node->derivation.sources[0],
                       node->derivation.predicate.get(), source->size(),
-                      planner_mode_);
+                      planner_mode_,
+                      layout_ != nullptr &&
+                          layout_->IsPromoted(node->derivation.sources[0]));
 }
 
 void ExtentEvaluator::Invalidate(ClassId cls) const {

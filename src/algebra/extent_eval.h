@@ -113,6 +113,18 @@ class ExtentEvaluator {
     indexes_ = indexes;
   }
 
+  /// Wires in the adaptive packed-record cache (DESIGN.md §12): the
+  /// batch arm scans a promoted class's packed attribute column instead
+  /// of the slice arena, and the embedded accessor probes packed
+  /// records before slice reads. May stay null. Lock order: the cache's
+  /// internal mutex nests strictly inside this evaluator's lock (the
+  /// cache never calls back into the evaluator).
+  void set_layout(const layout::PackedRecordCache* layout) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    layout_ = layout;
+    accessor_.set_layout(layout);
+  }
+
   /// Planner policy for select derivations (default kAuto). The force
   /// modes drive benchmarks and the fuzzer's differential arms.
   void set_planner_mode(PlannerMode mode) {
@@ -207,6 +219,7 @@ class ExtentEvaluator {
   objmodel::SlicingStore* store_;
   ObjectAccessor accessor_;
   const index::IndexManager* indexes_ = nullptr;
+  const layout::PackedRecordCache* layout_ = nullptr;
   PlannerMode planner_mode_ = PlannerMode::kAuto;
   bool incremental_ = true;
   /// Guards every mutable member below (and incremental_). Cache hits

@@ -36,6 +36,10 @@ Result<Value> ObjectAccessor::Read(Oid oid, ClassId cls,
     }
     return def->body->Evaluate(oid, ResolverFor(oid, cls));
   }
+  if (layout_ != nullptr) {
+    Value packed;
+    if (layout_->TryGetPacked(oid, *def, &packed)) return packed;
+  }
   return store_->GetValue(oid, def->definer, def->id);
 }
 
@@ -74,6 +78,10 @@ Result<Value> ObjectAccessor::ReadDynamic(Oid oid, ClassId cls,
         oid, [this, oid, best_holder](const std::string& attr) {
           return ReadDynamic(oid, best_holder, attr);
         });
+  }
+  if (layout_ != nullptr) {
+    Value packed;
+    if (layout_->TryGetPacked(oid, *best, &packed)) return packed;
   }
   return store_->GetValue(oid, best->definer, best->id);
 }

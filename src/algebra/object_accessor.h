@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "layout/packed_record_cache.h"
 #include "objmodel/slicing_store.h"
 #include "schema/schema_graph.h"
 
@@ -50,9 +51,18 @@ class ObjectAccessor {
   const schema::SchemaGraph* schema() const { return schema_; }
   objmodel::SlicingStore* store() const { return store_; }
 
+  /// Attaches the adaptive packed-record cache (DESIGN.md §12). Stored
+  /// attribute reads probe it before falling back to slice reads; the
+  /// probe doubles as the advisor's per-class access feed. May be null.
+  void set_layout(const layout::PackedRecordCache* layout) {
+    layout_ = layout;
+  }
+  const layout::PackedRecordCache* layout() const { return layout_; }
+
  private:
   const schema::SchemaGraph* schema_;
   objmodel::SlicingStore* store_;
+  const layout::PackedRecordCache* layout_ = nullptr;
 };
 
 }  // namespace tse::algebra

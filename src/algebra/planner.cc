@@ -82,7 +82,8 @@ std::optional<SimplePredicate> ExtractSimplePredicate(
 
 SelectPlan SelectPlanner::Plan(ClassId source_cls,
                                const MethodExpr* predicate,
-                               size_t source_size, PlannerMode mode) const {
+                               size_t source_size, PlannerMode mode,
+                               bool packed_source) const {
   SelectPlan plan;
   plan.source_size = source_size;
   auto classic = [&](std::string why) {
@@ -189,10 +190,15 @@ SelectPlan SelectPlanner::Plan(ClassId source_cls,
                std::to_string(plan.est_selectivity), ")");
     return plan;
   }
-  if (mode == PlannerMode::kAuto && source_size < kBatchMinSource) {
+  if (mode == PlannerMode::kAuto && source_size < kBatchMinSource &&
+      !packed_source) {
     return classic("source too small for an arena pass");
   }
   plan.arm = PlanArm::kBatch;
+  if (packed_source) {
+    plan.reason = StrCat("batch scan over packed layout on ", sp->attr);
+    return plan;
+  }
   plan.reason = StrCat(
       "batch arena scan on ", sp->attr,
       index_ok ? StrCat(" (index declined: est selectivity ",

@@ -31,8 +31,12 @@ Status Db::Bootstrap(DbOptions options) {
   indexes_ =
       std::make_unique<index::IndexManager>(schema_.get(), store_.get());
   extents_->set_index_manager(indexes_.get());
+  layout_ = std::make_unique<layout::PackedRecordCache>(schema_.get(),
+                                                        store_.get());
+  extents_->set_layout(layout_.get());
   engine_ = std::make_unique<update::UpdateEngine>(
       schema_.get(), store_.get(), extents_.get(), options_.closure_policy);
+  engine_->accessor().set_layout(layout_.get());
   locks_ = std::make_unique<storage::LockManager>(options_.lock_timeout);
   txns_ =
       std::make_unique<update::TransactionManager>(engine_.get(), locks_.get());
@@ -59,8 +63,10 @@ Status Db::Bootstrap(DbOptions options) {
 
     if (catalog_db_->size() > 0) {
       std::vector<index::IndexSpec> index_specs;
+      std::vector<ClassId> pinned_layouts;
       TSE_RETURN_IF_ERROR(view::CatalogIO::Load(
-          catalog_db_.get(), schema_.get(), views_.get(), &index_specs));
+          catalog_db_.get(), schema_.get(), views_.get(), &index_specs,
+          &pinned_layouts));
       TSE_RETURN_IF_ERROR(objmodel::PersistenceBridge::LoadAll(
           objects_db_.get(), store_.get()));
       // Index contents are not persisted: recreate each declared index
@@ -68,6 +74,12 @@ Status Db::Bootstrap(DbOptions options) {
       // crash recovery — same consistency story as a journal gap).
       for (const index::IndexSpec& spec : index_specs) {
         TSE_RETURN_IF_ERROR(indexes_->CreateIndex(spec.def, spec.kind));
+      }
+      // Packed-record contents are not persisted either: re-pin each
+      // class, rebuilding its layout from the restored store. A pin
+      // whose class no longer packs an attribute is simply dropped.
+      for (ClassId cls : pinned_layouts) {
+        (void)layout_->Pin(cls);
       }
       // Resume any backfill a previous run left unfinished: slice
       // *absence* in the durable store is the pending marker, so a
@@ -147,7 +159,9 @@ Result<size_t> Db::BackfillStep(size_t budget) {
 Status Db::PersistCatalog() {
   if (!catalog_db_) return Status::OK();
   const std::vector<index::IndexSpec> specs = indexes_->List();
-  return view::CatalogIO::Save(*schema_, *views_, catalog_db_.get(), &specs);
+  const std::vector<ClassId> pins = layout_->Pinned();
+  return view::CatalogIO::Save(*schema_, *views_, catalog_db_.get(), &specs,
+                               &pins);
 }
 
 std::unique_lock<std::shared_mutex> Db::EagerDrainLock() {
@@ -237,6 +251,45 @@ Status Db::DropIndex(PropertyDefId def) {
   TSE_RETURN_IF_ERROR(indexes_->DropIndex(def));
   TSE_COUNT("db.index.drops");
   return PersistCatalog();
+}
+
+Result<ClassId> Db::PinLayout(const std::string& class_name) {
+  TSE_ASSIGN_OR_RETURN(ClassId cls, schema_->FindClass(class_name));
+  return PinLayoutOn(cls);
+}
+
+Result<ClassId> Db::PinLayoutOn(ClassId cls) {
+  std::lock_guard<std::mutex> ddl_lock(ddl_mu_);
+  std::unique_lock<std::shared_mutex> drain = EagerDrainLock();
+  {
+    // The build scans the store: hold the data latch shared so no
+    // session mutates underneath (readers keep running).
+    std::shared_lock<std::shared_mutex> data_lock(data_mu_);
+    TSE_RETURN_IF_ERROR(layout_->Pin(cls));
+  }
+  TSE_RETURN_IF_ERROR(PersistCatalog());
+  return cls;
+}
+
+Status Db::UnpinLayout(const std::string& class_name) {
+  TSE_ASSIGN_OR_RETURN(ClassId cls, schema_->FindClass(class_name));
+  std::lock_guard<std::mutex> ddl_lock(ddl_mu_);
+  std::unique_lock<std::shared_mutex> drain = EagerDrainLock();
+  {
+    std::shared_lock<std::shared_mutex> data_lock(data_mu_);
+    TSE_RETURN_IF_ERROR(layout_->Unpin(cls));
+  }
+  return PersistCatalog();
+}
+
+Result<layout::PackedRecordCache::ClassStats> Db::ExplainLayout(
+    const std::string& class_name) const {
+  TSE_ASSIGN_OR_RETURN(ClassId cls, schema_->FindClass(class_name));
+  // Explain syncs against the journal: keep the store stable under a
+  // shared data latch while it runs.
+  std::shared_lock<std::shared_mutex> schema_lock(schema_mu_);
+  std::shared_lock<std::shared_mutex> data_lock(data_mu_);
+  return layout_->Explain(cls);
 }
 
 Result<std::unique_ptr<Session>> Db::OpenSession(

@@ -19,6 +19,7 @@
 #include "db/group_commit.h"
 #include "evolution/tse_manager.h"
 #include "index/index_manager.h"
+#include "layout/packed_record_cache.h"
 #include "objmodel/slicing_store.h"
 #include "schema/schema_graph.h"
 #include "storage/lock_manager.h"
@@ -168,6 +169,28 @@ class Db {
     return indexes_->List();
   }
 
+  // --- Adaptive physical layout (serialized with DDL; pins persisted) ----
+
+  /// Pins a packed-record layout for the global class `class_name`
+  /// (DESIGN.md §12): one contiguous record per member object,
+  /// co-locating every attribute of its effective type. Transparent to
+  /// sessions — reads consult it first and fall back to slice reads.
+  /// The pin survives restarts (catalog-persisted); the advisor never
+  /// auto-demotes a pinned class. Returns the pinned ClassId.
+  Result<ClassId> PinLayout(const std::string& class_name);
+
+  /// Same, for an already-resolved class id.
+  Result<ClassId> PinLayoutOn(ClassId cls);
+
+  /// Removes the pin (and the packed layout; the advisor may re-promote
+  /// a hot class later). NotFound when the class is not pinned.
+  Status UnpinLayout(const std::string& class_name);
+
+  /// Layout state of one class: promoted/pinned/cold, packed row and
+  /// column counts, window activity (the tse_shell `layout` surface).
+  Result<layout::PackedRecordCache::ClassStats> ExplainLayout(
+      const std::string& class_name) const;
+
   // --- Sessions ---------------------------------------------------------
 
   /// Binds a new session to the *current* version of `view_name`
@@ -221,6 +244,7 @@ class Db {
   algebra::ExtentEvaluator& extents() { return *extents_; }
   update::BackfillManager& backfill() { return *backfill_; }
   index::IndexManager& indexes() { return *indexes_; }
+  layout::PackedRecordCache& layout() { return *layout_; }
 
  private:
   friend class Session;
@@ -256,6 +280,7 @@ class Db {
   std::unique_ptr<classifier::Classifier> classifier_;
   std::unique_ptr<algebra::ExtentEvaluator> extents_;
   std::unique_ptr<index::IndexManager> indexes_;
+  std::unique_ptr<layout::PackedRecordCache> layout_;
   std::unique_ptr<update::UpdateEngine> engine_;
   std::unique_ptr<storage::LockManager> locks_;
   std::unique_ptr<update::TransactionManager> txns_;

@@ -13,6 +13,7 @@
 #include "common/str_util.h"
 #include "evolution/tse_manager.h"
 #include "fuzz/intersection_replica.h"
+#include "layout/packed_record_cache.h"
 #include "update/update_engine.h"
 #include "view/view_manager.h"
 
@@ -268,6 +269,95 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
     return Status::OK();
   };
 
+  // Packed-vs-slices differential arm: keep one PackedRecordCache pinned
+  // over the workload's base classes for the whole run (packed records
+  // maintained from the change journal through every schema change and
+  // churn step), one accessor reading through it, and one evaluator
+  // forced onto the batch arm so select derivations scan the packed
+  // column blocks. The advisor is disabled so promotion timing can never
+  // make a run depend on anything but the case.
+  layout::AdvisorOptions packed_options;
+  packed_options.enabled = false;
+  layout::PackedRecordCache packed(&graph, &store, packed_options);
+  algebra::ObjectAccessor packed_accessor(&graph, &store);
+  packed_accessor.set_layout(&packed);
+  algebra::ExtentEvaluator packed_eval(&graph, &store);
+  packed_eval.set_layout(&packed);
+  packed_eval.set_planner_mode(algebra::PlannerMode::kForceBatch);
+  // (Re-)pins every surviving base class. Pin is idempotent; a class that
+  // packs no stored attribute is legitimately unpinnable, so skip it.
+  auto pin_base_classes = [&]() {
+    if (!options_.check_packed_vs_slices) return;
+    for (const std::string& name : class_names) {
+      auto cls = graph.FindClass(name);
+      if (!cls.ok()) continue;
+      (void)packed.Pin(cls.value());
+    }
+  };
+  pin_base_classes();
+  auto check_packed_vs_slices =
+      [&](const view::ViewSchema* vs) -> Status {
+    pin_base_classes();
+    algebra::ObjectAccessor plain(&graph, &store);
+    for (ClassId cls : vs->classes()) {
+      TSE_ASSIGN_OR_RETURN(std::string display, vs->DisplayName(cls));
+      TSE_ASSIGN_OR_RETURN(schema::TypeSet type, graph.EffectiveType(cls));
+      TSE_ASSIGN_OR_RETURN(algebra::ExtentEvaluator::ExtentPtr extent,
+                           live_extents.Extent(cls));
+      for (Oid oid : *extent) {
+        for (const auto& [name, defs] : type.bindings()) {
+          if (defs.size() != 1) continue;  // ambiguous: not invocable
+          TSE_ASSIGN_OR_RETURN(const schema::PropertyDef* def,
+                               graph.GetProperty(defs[0]));
+          if (!def->is_attribute()) continue;
+          auto via_packed = packed_accessor.Read(oid, cls, name);
+          auto via_slices = plain.Read(oid, cls, name);
+          if (via_packed.ok() != via_slices.ok()) {
+            return Status::FailedPrecondition(StrCat(
+                "reading ", name, " on object ", oid.ToString(),
+                " through class ", display,
+                (via_packed.ok() ? " succeeds packed but fails via slices: "
+                                 : " fails packed but succeeds via slices: "),
+                (via_packed.ok() ? via_slices.status() : via_packed.status())
+                    .ToString()));
+          }
+          if (via_packed.ok() &&
+              !(via_packed.value() == via_slices.value())) {
+            return Status::FailedPrecondition(
+                StrCat("value of ", name, " on object ", oid.ToString(),
+                       " through class ", display, ": packed reads ",
+                       via_packed.value().ToString(), ", slices read ",
+                       via_slices.value().ToString()));
+          }
+        }
+      }
+      // Batch scans over packed column blocks must agree with a cold
+      // from-scratch evaluation, including error status.
+      algebra::ExtentEvaluator cold(&graph, &store);
+      auto via_packed = packed_eval.Extent(cls);
+      auto via_cold = cold.Extent(cls);
+      if (via_packed.ok() != via_cold.ok()) {
+        return Status::FailedPrecondition(StrCat(
+            "extent of class ", display,
+            (via_packed.ok()
+                 ? " evaluates over the packed layout but a cold "
+                   "evaluation fails: "
+                 : " fails over the packed layout but a cold "
+                   "evaluation succeeds: "),
+            (via_packed.ok() ? via_cold.status() : via_packed.status())
+                .ToString()));
+      }
+      if (via_packed.ok() && *via_packed.value() != *via_cold.value()) {
+        return Status::FailedPrecondition(
+            StrCat("extent of class ", display, " has ",
+                   via_packed.value()->size(),
+                   " members over the packed layout, ",
+                   via_cold.value()->size(), " via cold evaluation"));
+      }
+    }
+    return Status::OK();
+  };
+
   // Textual digest of a view version (shape + types + extent sizes),
   // used to prove rejected changes leave the view untouched.
   auto snapshot = [&](ViewId vid) -> Result<std::string> {
@@ -402,6 +492,15 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
       // Journal-maintained indexes must answer every probe class exactly
       // like a cold scan-forced evaluation, including error status.
       Status st = check_index_vs_scan();
+      if (!st.ok()) {
+        diverge(step, op, st.ToString());
+        return report;
+      }
+    }
+    if (options_.check_packed_vs_slices) {
+      // Journal-maintained packed records must read and scan exactly
+      // like the slice arenas after every accepted operator.
+      Status st = check_packed_vs_slices(vs);
       if (!st.ok()) {
         diverge(step, op, st.ToString());
         return report;

@@ -41,6 +41,14 @@ struct ExecutorOptions {
   /// scan-forced evaluation after every accepted change — ok-status and
   /// extents must agree exactly.
   bool check_index_vs_scan = true;
+  /// Keep a long-lived PackedRecordCache pinned over the workload's base
+  /// classes (journal-maintained packed records riding through every
+  /// schema change and churn step) and, after every accepted change,
+  /// compare packed point reads against plain slice reads over the view
+  /// value surface, plus a packed batch-forced evaluator against a cold
+  /// evaluation on the view classes — values, ok-status, and extents
+  /// must agree exactly.
+  bool check_packed_vs_slices = true;
   /// Test-only divergence plant used to validate the shrinker: accepted
   /// add_attribute changes are mirrored into the oracle under the wrong
   /// name (suffix "_sab"), so the very next equivalence check diverges.

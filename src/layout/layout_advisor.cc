@@ -1,0 +1,48 @@
+#include "layout/layout_advisor.h"
+
+#include <algorithm>
+
+namespace tse::layout {
+
+LayoutAdvisor::Decision LayoutAdvisor::Decide(
+    const std::vector<ClassActivity>& window) const {
+  Decision decision;
+  if (!options_.enabled) return decision;
+
+  size_t auto_promoted = 0;
+  for (const ClassActivity& a : window) {
+    if (a.promoted && !a.pinned) ++auto_promoted;
+  }
+
+  // Demotions first: they free auto slots for this window's hot classes.
+  for (const ClassActivity& a : window) {
+    if (a.promoted && !a.pinned && a.point_reads == 0 && a.scans == 0) {
+      decision.demote.push_back(a.cls);
+      --auto_promoted;
+    }
+  }
+
+  std::vector<const ClassActivity*> hot;
+  for (const ClassActivity& a : window) {
+    if (a.promoted || !a.eligible) continue;
+    if (a.point_reads >= options_.hot_point_reads ||
+        a.scans >= options_.hot_scans) {
+      hot.push_back(&a);
+    }
+  }
+  std::sort(hot.begin(), hot.end(),
+            [](const ClassActivity* x, const ClassActivity* y) {
+              const uint64_t xs = x->point_reads + x->scans;
+              const uint64_t ys = y->point_reads + y->scans;
+              if (xs != ys) return xs > ys;
+              return x->cls < y->cls;  // deterministic tie-break
+            });
+  for (const ClassActivity* a : hot) {
+    if (auto_promoted >= options_.max_auto_promotions) break;
+    decision.promote.push_back(a->cls);
+    ++auto_promoted;
+  }
+  return decision;
+}
+
+}  // namespace tse::layout

@@ -1,0 +1,69 @@
+#ifndef TSE_LAYOUT_LAYOUT_ADVISOR_H_
+#define TSE_LAYOUT_LAYOUT_ADVISOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace tse::layout {
+
+/// Tuning knobs for the automatic promotion policy. The defaults suit
+/// steady read-heavy workloads; tests shrink the interval/thresholds to
+/// drive decisions deterministically with a handful of accesses.
+struct AdvisorOptions {
+  /// Noted accesses (point reads + scans) between policy decisions.
+  uint64_t decision_interval = 1024;
+  /// Point reads inside one decision window that make a class hot.
+  uint64_t hot_point_reads = 256;
+  /// Batch scans inside one decision window that make a class hot.
+  uint64_t hot_scans = 8;
+  /// Ceiling on concurrently auto-promoted classes (pins don't count).
+  size_t max_auto_promotions = 8;
+  /// Master switch; off = only manual pins ever promote.
+  bool enabled = true;
+};
+
+/// One class's activity inside the current decision window, paired with
+/// its present layout state. The PackedRecordCache assembles these; the
+/// advisor only ranks them.
+struct ClassActivity {
+  ClassId cls;
+  uint64_t point_reads = 0;
+  uint64_t scans = 0;
+  bool promoted = false;  ///< currently carries a packed layout
+  bool pinned = false;    ///< manual override: never auto-demote
+  bool eligible = false;  ///< base class with >= 1 packable attribute
+};
+
+/// Pure promotion/demotion policy over per-class access rates — the
+/// paper's Table 1 choice (object slicing vs intersection-style
+/// records) made dynamically per class from observed behaviour. Holds
+/// no locks and touches no storage, so it is trivially unit-testable;
+/// the PackedRecordCache owns one and applies its decisions.
+class LayoutAdvisor {
+ public:
+  explicit LayoutAdvisor(AdvisorOptions options = {})
+      : options_(options) {}
+
+  struct Decision {
+    std::vector<ClassId> promote;
+    std::vector<ClassId> demote;
+  };
+
+  /// Ranks one decision window. Promotes eligible, un-promoted classes
+  /// whose window activity crosses a hot threshold (hottest first,
+  /// bounded by max_auto_promotions across already-promoted ones);
+  /// demotes auto-promoted classes that went fully cold. Pinned classes
+  /// are never demoted and never count against the auto ceiling.
+  Decision Decide(const std::vector<ClassActivity>& window) const;
+
+  const AdvisorOptions& options() const { return options_; }
+
+ private:
+  AdvisorOptions options_;
+};
+
+}  // namespace tse::layout
+
+#endif  // TSE_LAYOUT_LAYOUT_ADVISOR_H_

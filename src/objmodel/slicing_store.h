@@ -30,9 +30,14 @@ struct Slice {
 };
 
 /// One entry of the store's change journal: the smallest unit of state
-/// change that can move a class extent. Extent caches subscribe by
-/// pulling records since their last-seen sequence number and applying
-/// them as deltas instead of re-deriving every extent from scratch.
+/// change that can move a class extent or an attribute value. Consumers
+/// subscribe by pulling records since their last-seen sequence number
+/// and applying them as deltas instead of re-deriving from scratch;
+/// falling behind the bounded journal (ChangesSince returns false)
+/// means rebuild. Three consumers ride this contract today: the extent
+/// cache (algebra::ExtentEvaluator), the secondary indexes
+/// (index::IndexManager), and the packed-record layout cache
+/// (layout::PackedRecordCache) — see docs/ARCHITECTURE.md.
 struct ChangeRecord {
   enum class Kind : uint8_t {
     kObjectCreated,      ///< oid

@@ -55,7 +55,27 @@ uint32_t DecodeU32(const uint8_t* at) {
   return v;
 }
 
+thread_local ReadAttributionScope* tls_attribution = nullptr;
+
 }  // namespace
+
+ReadAttributionScope::ReadAttributionScope() : prev_(tls_attribution) {
+  tls_attribution = this;
+}
+
+ReadAttributionScope::~ReadAttributionScope() {
+  tls_attribution = prev_;
+#ifndef TSE_OBS_DISABLE
+  static obs::Histogram* hist = obs::MetricsRegistry::Instance().GetHistogram(
+      "storage.pager.reads_per_access");
+  hist->Record(static_cast<double>(reads_));
+#endif
+  if (prev_ != nullptr) prev_->reads_ += reads_;
+}
+
+void ReadAttributionScope::NoteDiskRead() {
+  if (tls_attribution != nullptr) ++tls_attribution->reads_;
+}
 
 Pager::~Pager() {
   if (fd_ >= 0) ::close(fd_);
@@ -142,6 +162,7 @@ Result<Pager::Frame*> Pager::FetchFrame(PageId page) {
   TSE_RETURN_IF_ERROR(
       PReadFull(fd_, frame.data.data(), kPageSize, page.value() * kPageSize));
   TSE_COUNT("storage.pager.page_reads");
+  ReadAttributionScope::NoteDiskRead();
   TSE_RETURN_IF_ERROR(EvictIfNeeded());
   auto [ins, _] = frames_.emplace(page.value(), std::move(frame));
   lru_.push_front(page.value());

@@ -25,6 +25,33 @@ struct PagerOptions {
   size_t cache_capacity = 256;
 };
 
+/// RAII scope attributing pager *disk* reads (frame loads; cache hits
+/// don't count) to one logical access — e.g. one RecordStore::Get, or
+/// one conceptual-object read in a bench. On destruction the count is
+/// recorded into the `storage.pager.reads_per_access` histogram (the
+/// histogram machinery is unit-agnostic: the unit here is page reads,
+/// not µs). Scopes are thread-local and nest: an inner scope's reads
+/// also propagate to its enclosing scope, so a coarse outer scope sees
+/// the total its finer-grained children saw.
+class ReadAttributionScope {
+ public:
+  ReadAttributionScope();
+  ~ReadAttributionScope();
+  ReadAttributionScope(const ReadAttributionScope&) = delete;
+  ReadAttributionScope& operator=(const ReadAttributionScope&) = delete;
+
+  /// Disk reads observed so far in this scope (inner scopes included
+  /// once they close).
+  uint64_t reads() const { return reads_; }
+
+  /// Called by the pager on every frame loaded from disk.
+  static void NoteDiskRead();
+
+ private:
+  ReadAttributionScope* prev_;
+  uint64_t reads_ = 0;
+};
+
 /// File-backed array of kPageSize pages with an in-memory frame cache.
 ///
 /// Page 0 is a meta page owned by the pager (magic, page count, free

@@ -147,6 +147,8 @@ Status RecordStore::Put(uint64_t key, const std::string& payload) {
 }
 
 Result<std::string> RecordStore::Get(uint64_t key) const {
+  // One record get == one logical access for pager read attribution.
+  ReadAttributionScope access_scope;
   auto it = index_.find(key);
   if (it == index_.end()) {
     return Status::NotFound(StrCat("no record for key ", key));

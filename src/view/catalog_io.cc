@@ -14,6 +14,7 @@ constexpr uint64_t kClassSpace = uint64_t{1} << 56;
 constexpr uint64_t kPropSpace = uint64_t{2} << 56;
 constexpr uint64_t kViewSpace = uint64_t{3} << 56;
 constexpr uint64_t kIndexSpace = uint64_t{4} << 56;
+constexpr uint64_t kLayoutSpace = uint64_t{5} << 56;
 
 void PutU8(std::string* out, uint8_t v) {
   out->push_back(static_cast<char>(v));
@@ -94,7 +95,8 @@ std::string CatalogIO::EncodeClass(const schema::SchemaGraph& schema,
 
 Status CatalogIO::Save(const schema::SchemaGraph& schema,
                        const ViewManager& views, storage::RecordStore* db,
-                       const std::vector<index::IndexSpec>* indexes) {
+                       const std::vector<index::IndexSpec>* indexes,
+                       const std::vector<ClassId>* pinned_layouts) {
   // Drop stale catalog records (classes/views removed since last save).
   std::vector<uint64_t> stale;
   TSE_RETURN_IF_ERROR(db->Scan([&](uint64_t key, const std::string&) {
@@ -152,12 +154,20 @@ Status CatalogIO::Save(const schema::SchemaGraph& schema,
       TSE_RETURN_IF_ERROR(db->Put(kIndexSpace | spec.def.value(), out));
     }
   }
+  if (pinned_layouts != nullptr) {
+    for (ClassId cls : *pinned_layouts) {
+      // The pin itself is the whole state; packed contents rebuild from
+      // a store scan on restore.
+      TSE_RETURN_IF_ERROR(db->Put(kLayoutSpace | cls.value(), std::string()));
+    }
+  }
   return db->Commit();
 }
 
 Status CatalogIO::Load(storage::RecordStore* db, schema::SchemaGraph* schema,
                        ViewManager* views,
-                       std::vector<index::IndexSpec>* indexes) {
+                       std::vector<index::IndexSpec>* indexes,
+                       std::vector<ClassId>* pinned_layouts) {
   if (schema->class_count() != 1) {
     return Status::FailedPrecondition(
         "target schema graph must contain only the root class");
@@ -182,6 +192,9 @@ Status CatalogIO::Load(storage::RecordStore* db, schema::SchemaGraph* schema,
         break;
       case 4:
         index_records[id] = payload;
+        break;
+      case 5:
+        if (pinned_layouts != nullptr) pinned_layouts->push_back(ClassId(id));
         break;
       default:
         break;

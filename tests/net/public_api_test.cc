@@ -8,6 +8,7 @@
 
 #include <tse/client.h>
 #include <tse/db.h>
+#include <tse/layout.h>
 #include <tse/obs.h>
 #include <tse/query.h>
 #include <tse/schema_change.h>
@@ -63,6 +64,14 @@ TEST(PublicApiTest, EmbeddedSurface) {
   EXPECT_EQ(session->view_version(), 3);
   EXPECT_EQ(session->Get(bob, "Person", "is_adult").value(),
             Value::Bool(true));
+
+  // Adaptive physical layout: pin, inspect, unpin.
+  ASSERT_TRUE(db->PinLayout("Person").ok());
+  tse::layout::PackedRecordCache::ClassStats layout_stats =
+      db->ExplainLayout("Person").value();
+  EXPECT_EQ(layout_stats.state, "pinned");
+  EXPECT_EQ(session->Get(bob, "Person", "age").value(), Value::Int(31));
+  ASSERT_TRUE(db->UnpinLayout("Person").ok());
 
   // Query/expression surface.
   auto expr = tse::objmodel::ParseExpr("age >= 21");
