@@ -1,0 +1,327 @@
+// Snapshot-first read benchmark for the tse::Snapshot API (DESIGN.md
+// §13): MVCC reads must scale with reader count and keep their tail
+// latency when a writer commits concurrently.
+//
+// Phase 1 — read-only scaling: N sessions (1, 2, 4, 8), each pinning a
+// snapshot and hammering epoch-bound Get reads over a shared pool,
+// re-pinning every few hundred ops so the vacuum horizon advances. The
+// bench asserts in-process that the whole phase touches the lock
+// manager ZERO times (storage.lock.* counter deltas all zero) — the
+// "snapshot reads take no object locks" contract, enforced as an
+// acceptance gate rather than prose.
+//
+// Phase 2 — tail under a writer: the 4-reader configuration re-runs
+// next to a dedicated strict-2PL writer committing continuously. The
+// read p99 must stay within 1.5x of the writer-free baseline, and the
+// lock manager must record zero waits (the writer never blocks on a
+// reader, because readers hold no locks to block on).
+//
+// Emits human-readable text, or machine-readable JSON with --json
+// <path> (the `bench_report` CMake target writes BENCH_snapshot.json
+// at the repo root). --quick shrinks the workload to smoke-test size.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "db/db.h"
+#include "db/session.h"
+#include "db/snapshot.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace tse;
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+constexpr int kPoolSize = 256;
+constexpr int kRepinEvery = 256;  // reads per snapshot before re-pinning
+
+// In the contended phase, readers keep measuring until the writer has
+// landed at least this many commits beside them — on a one-core box
+// under a parallel test load, a fixed op count can finish before the
+// writer thread is even scheduled, which would make the "p99 under a
+// writer" number writer-free by accident.
+constexpr uint64_t kMinWriterCommits = 8;
+
+struct LockDelta {
+  uint64_t acquires = 0;
+  uint64_t waits = 0;
+  uint64_t timeouts = 0;
+};
+
+struct Counters {
+  obs::Counter* acquires;
+  obs::Counter* waits;
+  obs::Counter* timeouts;
+
+  Counters()
+      : acquires(obs::MetricsRegistry::Instance().GetCounter(
+            "storage.lock.acquires")),
+        waits(obs::MetricsRegistry::Instance().GetCounter(
+            "storage.lock.waits")),
+        timeouts(obs::MetricsRegistry::Instance().GetCounter(
+            "storage.lock.timeouts")) {}
+
+  LockDelta Since(const LockDelta& before) const {
+    return {acquires->value() - before.acquires,
+            waits->value() - before.waits,
+            timeouts->value() - before.timeouts};
+  }
+  LockDelta Now() const {
+    return {acquires->value(), waits->value(), timeouts->value()};
+  }
+};
+
+struct ConfigResult {
+  int sessions = 0;
+  bool with_writer = false;
+  uint64_t ops = 0;
+  double seconds = 0;
+  double ops_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  uint64_t failures = 0;
+  uint64_t writer_commits = 0;
+  LockDelta locks;
+};
+
+struct Fixture {
+  std::unique_ptr<Db> db;
+  std::vector<Oid> pool;
+
+  Fixture() {
+    DbOptions options;
+    options.closure_policy = update::ValueClosurePolicy::kAllow;
+    db = Db::Open(options).value();
+    ClassId person =
+        db->AddBaseClass("Person", {},
+                         {PropertySpec::Attribute("name", ValueType::kString),
+                          PropertySpec::Attribute("score", ValueType::kInt)})
+            .value();
+    db->CreateView("Main", {{person, ""}}).value();
+    auto seeder = db->OpenSession("Main").value();
+    for (int i = 0; i < kPoolSize; ++i) {
+      pool.push_back(
+          seeder
+              ->Create("Person", {{"name", Value::Str("p" + std::to_string(i))},
+                                  {"score", Value::Int(i)}})
+              .value());
+    }
+  }
+};
+
+/// One configuration: n reader threads doing snapshot-pinned reads,
+/// optionally next to one transactional writer. A fresh Db per run so
+/// version-chain state never leaks between configurations.
+ConfigResult RunConfig(int n_readers, uint64_t ops_per_reader,
+                       bool with_writer) {
+  Fixture fx;
+  Counters counters;
+
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (int i = 0; i < n_readers; ++i) {
+    sessions.push_back(fx.db->OpenSession("Main").value());
+  }
+
+  std::atomic<uint64_t> failures{0};
+  std::atomic<uint64_t> writer_commits{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop_writer{false};
+  std::vector<std::vector<double>> latencies(n_readers);
+
+  std::thread writer;
+  if (with_writer) {
+    writer = std::thread([&] {
+      auto session = fx.db->OpenSession("Main").value();
+      Rng rng(7);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      uint64_t i = 0;
+      while (!stop_writer.load(std::memory_order_relaxed)) {
+        Oid target = fx.pool[rng.Uniform(fx.pool.size())];
+        bool ok = session->Begin().ok() &&
+                  session->Set(target, "Person", "score",
+                               Value::Int(static_cast<int64_t>(++i)))
+                      .ok() &&
+                  session->Commit().ok();
+        if (ok) {
+          writer_commits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        // A hot but not latch-saturating writer, ~15k commits/s. Busy
+        // spin rather than sleep_for: timer slack rounds a 50us sleep
+        // up to a whole scheduler tick, which would starve the writer.
+        const auto until =
+            std::chrono::steady_clock::now() + std::chrono::microseconds(50);
+        while (std::chrono::steady_clock::now() < until) {
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < n_readers; ++t) {
+    readers.emplace_back([&, t] {
+      Session& s = *sessions[t];
+      Rng rng(1000 + t);
+      auto& lat = latencies[t];
+      lat.reserve(ops_per_reader);
+      auto snap = s.GetSnapshot().value();
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      const uint64_t max_ops = ops_per_reader * 64;
+      for (uint64_t op = 0;
+           op < ops_per_reader ||
+           (with_writer && op < max_ops &&
+            writer_commits.load(std::memory_order_relaxed) < kMinWriterCommits);
+           ++op) {
+        if (op % kRepinEvery == kRepinEvery - 1) {
+          auto next = s.GetSnapshot();
+          if (next.ok()) {
+            snap = std::move(next).value();
+          } else {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        Oid target = fx.pool[rng.Uniform(fx.pool.size())];
+        const auto t0 = std::chrono::steady_clock::now();
+        bool ok = snap->Get(target, "Person", "score").ok();
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!ok) failures.fetch_add(1, std::memory_order_relaxed);
+        lat.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+    });
+  }
+
+  const LockDelta before = counters.Now();
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  const auto end = std::chrono::steady_clock::now();
+  stop_writer.store(true);
+  if (writer.joinable()) writer.join();
+
+  std::vector<double> all;
+  for (auto& lat : latencies) all.insert(all.end(), lat.begin(), lat.end());
+  std::sort(all.begin(), all.end());
+
+  ConfigResult r;
+  r.sessions = n_readers;
+  r.with_writer = with_writer;
+  r.ops = all.size();
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  r.ops_per_sec = r.seconds > 0 ? static_cast<double>(r.ops) / r.seconds : 0;
+  r.p50_us = all[all.size() / 2];
+  r.p99_us = all[all.size() * 99 / 100];
+  r.failures = failures.load();
+  r.writer_commits = writer_commits.load();
+  r.locks = counters.Since(before);
+  return r;
+}
+
+std::string ConfigJson(const ConfigResult& r) {
+  std::ostringstream out;
+  out << "{\"sessions\": " << r.sessions << ", \"with_writer\": "
+      << (r.with_writer ? "true" : "false") << ", \"ops\": " << r.ops
+      << ", \"seconds\": " << r.seconds
+      << ", \"ops_per_sec\": " << r.ops_per_sec << ", \"p50_us\": " << r.p50_us
+      << ", \"p99_us\": " << r.p99_us << ", \"failures\": " << r.failures
+      << ", \"writer_commits\": " << r.writer_commits
+      << ", \"lock_acquires\": " << r.locks.acquires
+      << ", \"lock_waits\": " << r.locks.waits
+      << ", \"lock_timeouts\": " << r.locks.timeouts << "}";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--quick] [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  const uint64_t ops_per_reader = quick ? 2000 : 50000;
+  const std::vector<int> fleet = {1, 2, 4, 8};
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"snapshot_reads\",\n  \"workload\": "
+          "\"snapshot_pinned_point_reads\",\n  \"quick\": "
+       << (quick ? "true" : "false") << ",\n  \"read_only_scaling\": [\n";
+
+  // Phase 1: read-only scaling; the lock manager must stay untouched.
+  uint64_t read_only_lock_acquires = 0;
+  uint64_t total_failures = 0;
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    ConfigResult r = RunConfig(fleet[i], ops_per_reader, false);
+    total_failures += r.failures;
+    read_only_lock_acquires +=
+        r.locks.acquires + r.locks.waits + r.locks.timeouts;
+    std::cout << r.sessions << " reader(s): " << r.ops_per_sec
+              << " ops/s  p50 " << r.p50_us << " us  p99 " << r.p99_us
+              << " us  lock acquires " << r.locks.acquires << "\n";
+    json << "    " << ConfigJson(r) << (i + 1 < fleet.size() ? "," : "")
+         << "\n";
+  }
+  json << "  ],\n";
+
+  // Phase 2: 4 readers, writer-free baseline vs concurrent writer.
+  ConfigResult baseline = RunConfig(4, ops_per_reader, false);
+  ConfigResult contended = RunConfig(4, ops_per_reader, true);
+  total_failures += baseline.failures + contended.failures;
+  const double p99_ratio =
+      baseline.p99_us > 0 ? contended.p99_us / baseline.p99_us : 0;
+  std::cout << "4 readers, no writer:   p99 " << baseline.p99_us << " us\n"
+            << "4 readers, hot writer:  p99 " << contended.p99_us << " us  ("
+            << contended.writer_commits << " commits beside them, "
+            << contended.locks.waits << " lock waits)\n"
+            << "p99 ratio under writer: " << p99_ratio << "x (target <= 1.5x)\n"
+            << "read-only lock-manager touches: " << read_only_lock_acquires
+            << " (target 0)\n";
+
+  const bool pass = p99_ratio <= 1.5 && read_only_lock_acquires == 0 &&
+                    contended.locks.waits == 0 && total_failures == 0 &&
+                    contended.writer_commits > 0;
+
+  json << "  \"writer_tail\": {\n    \"baseline\": " << ConfigJson(baseline)
+       << ",\n    \"contended\": " << ConfigJson(contended)
+       << "\n  },\n  \"acceptance\": {\"target_p99_ratio\": 1.5, "
+          "\"achieved_p99_ratio\": "
+       << p99_ratio
+       << ", \"read_only_lock_acquires\": " << read_only_lock_acquires
+       << ", \"contended_lock_waits\": " << contended.locks.waits
+       << ", \"failures\": " << total_failures
+       << ", \"pass\": " << (pass ? "true" : "false") << "},\n  \"metrics\": "
+       << tse::obs::MetricsRegistry::Instance().Snapshot().ToJson() << "\n}\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << json.str();
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return pass ? 0 : 1;
+}

@@ -24,7 +24,9 @@
 // (pin a historical view version), `connect <host:port> [view]`
 // (switch to a remote backend), `new <Class>`,
 // `set <oid> <Class> <attr> <expr>`, `get <oid> <Class> <attr>`,
-// `begin`/`commit`/`rollback`, `stats [reset]`,
+// `snapshot open` / `snapshot read <oid> <Class> <path>` /
+// `snapshot close` (pin an MVCC snapshot and read through it,
+// DESIGN.md §13), `begin`/`commit`/`rollback`, `stats [reset]`,
 // `trace on|off|json|tree|clear`, `quit`.
 
 #include <iostream>
@@ -67,6 +69,15 @@ class Backend {
   /// action is "" (inspect), "pin", or "unpin".
   virtual Result<std::string> Layout(const std::string& action,
                                      const std::string& class_name) = 0;
+
+  /// Pins an MVCC snapshot of the bound view at the current epoch
+  /// (replacing any previous one); returns a one-line description.
+  virtual Result<std::string> SnapshotOpen() = 0;
+  /// Reads through the pinned snapshot.
+  virtual Result<Value> SnapshotRead(Oid oid, const std::string& class_name,
+                                     const std::string& path) = 0;
+  /// Releases the pinned snapshot (and its epoch, for the vacuum).
+  virtual Status SnapshotClose() = 0;
 
   virtual Result<Oid> Create(const std::string& class_name) = 0;
   virtual Result<Value> Get(Oid oid, const std::string& class_name,
@@ -170,8 +181,35 @@ class LocalBackend : public Backend {
     out << class_name << ": arm=" << algebra::PlanArmName(plan.arm)
         << ", est_selectivity=" << plan.est_selectivity
         << ", source_size=" << plan.source_size << "\n  " << plan.reason
+        << "\n  epoch: visible=" << db_->visible_epoch();
+    if (snapshot_) out << ", snapshot=" << snapshot_->epoch();
+    out << "\n";
+    return out.str();
+  }
+
+  Result<std::string> SnapshotOpen() override {
+    TSE_ASSIGN_OR_RETURN(snapshot_, session_->GetSnapshot());
+    std::ostringstream out;
+    out << "snapshot open: view " << snapshot_->view_name() << " v"
+        << snapshot_->view_version() << " at epoch " << snapshot_->epoch()
         << "\n";
     return out.str();
+  }
+
+  Result<Value> SnapshotRead(Oid oid, const std::string& class_name,
+                             const std::string& path) override {
+    if (!snapshot_) {
+      return Status::FailedPrecondition("no snapshot open; run snapshot open");
+    }
+    return snapshot_->Get(oid, class_name, path);
+  }
+
+  Status SnapshotClose() override {
+    if (!snapshot_) {
+      return Status::FailedPrecondition("no snapshot open");
+    }
+    snapshot_.reset();
+    return Status::OK();
   }
 
   Result<std::string> Layout(const std::string& action,
@@ -230,6 +268,7 @@ class LocalBackend : public Backend {
  private:
   std::unique_ptr<Db> db_;
   std::unique_ptr<Session> session_;
+  std::unique_ptr<Snapshot> snapshot_;
 };
 
 /// A tse_served instance over the wire protocol.
@@ -277,6 +316,31 @@ class RemoteBackend : public Backend {
     return Status::InvalidArgument(
         "layout needs the embedded engine; the wire protocol does not "
         "expose physical tuning");
+  }
+
+  Result<std::string> SnapshotOpen() override {
+    TSE_ASSIGN_OR_RETURN(snapshot_, client_->GetSnapshot());
+    std::ostringstream out;
+    out << "snapshot open: view " << snapshot_->view_name() << " v"
+        << snapshot_->view_version() << " at epoch " << snapshot_->epoch()
+        << " (remote)\n";
+    return out.str();
+  }
+
+  Result<Value> SnapshotRead(Oid oid, const std::string& class_name,
+                             const std::string& path) override {
+    if (!snapshot_) {
+      return Status::FailedPrecondition("no snapshot open; run snapshot open");
+    }
+    return snapshot_->Get(oid, class_name, path);
+  }
+
+  Status SnapshotClose() override {
+    if (!snapshot_) {
+      return Status::FailedPrecondition("no snapshot open");
+    }
+    snapshot_.reset();
+    return Status::OK();
   }
 
   Result<Oid> Create(const std::string& class_name) override {
@@ -342,6 +406,9 @@ class RemoteBackend : public Backend {
   }
 
   std::unique_ptr<Client> client_;
+  // Declared after client_: the handle's best-effort close frame must
+  // go out before the connection it rides on is torn down.
+  std::unique_ptr<Client::Snapshot> snapshot_;
   std::string where_;
 };
 
@@ -553,6 +620,41 @@ struct Shell {
       }
       return true;
     }
+    if (head == "snapshot") {
+      std::string action;
+      in >> action;
+      if (action == "open") {
+        auto text = backend->SnapshotOpen();
+        if (!text.ok()) {
+          std::cout << "error: " << text.status().ToString() << "\n";
+        } else {
+          std::cout << text.value();
+        }
+        return true;
+      }
+      if (action == "read") {
+        uint64_t raw = 0;
+        std::string cls_name, path;
+        if (!(in >> raw >> cls_name >> path)) {
+          std::cout << "usage: snapshot read <oid> <Class> <attr-or-path>\n";
+          return true;
+        }
+        auto v = backend->SnapshotRead(Oid(raw), cls_name, path);
+        std::cout << (v.ok() ? v.value().ToString()
+                             : "error: " + v.status().ToString())
+                  << "\n";
+        return true;
+      }
+      if (action == "close") {
+        Status s = backend->SnapshotClose();
+        std::cout << (s.ok() ? "snapshot closed" : "error: " + s.ToString())
+                  << "\n";
+        return true;
+      }
+      std::cout << "usage: snapshot open | snapshot read <oid> <Class> "
+                   "<attr-or-path> | snapshot close\n";
+      return true;
+    }
     if (head == "new") {
       std::string cls_name;
       in >> cls_name;
@@ -634,6 +736,9 @@ int main(int argc, char** argv) {
         "add_method is_adult = age >= 18 to Person",
         "show",
         "get 0 Person is_adult",
+        "snapshot open",
+        "snapshot read 0 Person name",
+        "snapshot close",
         "insert_class SeniorStudent between Student-TA",
         "show",
         "session Shell",

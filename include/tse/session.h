@@ -7,6 +7,7 @@
 #define TSE_PUBLIC_SESSION_H_
 
 #include "db/session.h"
+#include "tse/snapshot.h"
 #include "tse/status.h"
 #include "tse/value.h"
 

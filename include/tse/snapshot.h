@@ -1,0 +1,13 @@
+// Public TSE API — the snapshot read handle.
+//
+// A `tse::Snapshot` pins one (view-version, data-epoch) pair: its
+// Get/GetAttr/Extent/Select are const, repeatable, and take no object
+// locks. Obtain one from Session::GetSnapshot() or Db::OpenSnapshot.
+#ifndef TSE_PUBLIC_SNAPSHOT_H_
+#define TSE_PUBLIC_SNAPSHOT_H_
+
+#include "db/snapshot.h"
+#include "tse/status.h"
+#include "tse/value.h"
+
+#endif  // TSE_PUBLIC_SNAPSHOT_H_

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/str_util.h"
 #include "objmodel/method.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -556,6 +557,101 @@ Result<bool> ExtentEvaluator::IsMemberImpl(
   }
   in_progress->erase(cls);
   return result;
+}
+
+Result<std::set<Oid>> ExtentEvaluator::ExtentAt(ClassId cls,
+                                                uint64_t epoch) const {
+  std::map<ClassId, std::set<Oid>> memo;
+  std::set<ClassId> in_progress;
+  TSE_ASSIGN_OR_RETURN(const std::set<Oid>* extent,
+                       ExtentAtImpl(cls, epoch, &memo, &in_progress));
+  return *extent;
+}
+
+Result<const std::set<Oid>*> ExtentEvaluator::ExtentAtImpl(
+    ClassId cls, uint64_t epoch, std::map<ClassId, std::set<Oid>>* memo,
+    std::set<ClassId>* in_progress) const {
+  auto hit = memo->find(cls);
+  if (hit != memo->end()) return &hit->second;
+  if (!in_progress->insert(cls).second) {
+    return Status::FailedPrecondition("cyclic derivation in extent eval");
+  }
+  TSE_ASSIGN_OR_RETURN(const ClassNode* node, schema_->GetClass(cls));
+  std::set<Oid> out;
+  switch (node->derivation.op) {
+    case DerivationOp::kBase: {
+      for (ClassId other : schema_->AllClasses()) {
+        auto other_node = schema_->GetClass(other);
+        if (!other_node.ok() || !other_node.value()->is_base()) continue;
+        if (!schema_->ExtentSubsumedBy(other, cls)) continue;
+        std::set<Oid> direct = store_->DirectExtentAt(other, epoch);
+        out.insert(direct.begin(), direct.end());
+      }
+      break;
+    }
+    case DerivationOp::kSelect: {
+      TSE_ASSIGN_OR_RETURN(
+          const std::set<Oid>* source,
+          ExtentAtImpl(node->derivation.sources[0], epoch, memo, in_progress));
+      if (!node->derivation.predicate) {
+        return Status::FailedPrecondition(
+            StrCat("select class ", cls.ToString(), " has no predicate"));
+      }
+      for (Oid oid : *source) {
+        TSE_ASSIGN_OR_RETURN(
+            Value v, node->derivation.predicate->Evaluate(
+                         oid, accessor_.ResolverAt(
+                                  oid, node->derivation.sources[0], epoch)));
+        TSE_ASSIGN_OR_RETURN(bool keep, v.AsBool());
+        if (keep) out.insert(oid);
+      }
+      break;
+    }
+    case DerivationOp::kHide:
+    case DerivationOp::kRefine: {
+      TSE_ASSIGN_OR_RETURN(
+          const std::set<Oid>* source,
+          ExtentAtImpl(node->derivation.sources[0], epoch, memo, in_progress));
+      out = *source;
+      break;
+    }
+    case DerivationOp::kUnion: {
+      TSE_ASSIGN_OR_RETURN(
+          const std::set<Oid>* a,
+          ExtentAtImpl(node->derivation.sources[0], epoch, memo, in_progress));
+      TSE_ASSIGN_OR_RETURN(
+          const std::set<Oid>* b,
+          ExtentAtImpl(node->derivation.sources[1], epoch, memo, in_progress));
+      out = *a;
+      out.insert(b->begin(), b->end());
+      break;
+    }
+    case DerivationOp::kIntersect: {
+      TSE_ASSIGN_OR_RETURN(
+          const std::set<Oid>* a,
+          ExtentAtImpl(node->derivation.sources[0], epoch, memo, in_progress));
+      TSE_ASSIGN_OR_RETURN(
+          const std::set<Oid>* b,
+          ExtentAtImpl(node->derivation.sources[1], epoch, memo, in_progress));
+      std::set_intersection(a->begin(), a->end(), b->begin(), b->end(),
+                            std::inserter(out, out.begin()));
+      break;
+    }
+    case DerivationOp::kDifference: {
+      TSE_ASSIGN_OR_RETURN(
+          const std::set<Oid>* a,
+          ExtentAtImpl(node->derivation.sources[0], epoch, memo, in_progress));
+      TSE_ASSIGN_OR_RETURN(
+          const std::set<Oid>* b,
+          ExtentAtImpl(node->derivation.sources[1], epoch, memo, in_progress));
+      std::set_difference(a->begin(), a->end(), b->begin(), b->end(),
+                          std::inserter(out, out.begin()));
+      break;
+    }
+  }
+  in_progress->erase(cls);
+  auto [it, _] = memo->emplace(cls, std::move(out));
+  return &it->second;
 }
 
 Result<std::shared_ptr<std::set<Oid>>> ExtentEvaluator::EvalWithMemo(

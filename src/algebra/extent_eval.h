@@ -93,6 +93,16 @@ class ExtentEvaluator {
   /// value-closure and membership checks stay cheap on large databases.
   Result<bool> IsMember(Oid oid, ClassId cls) const;
 
+  /// The extent of `cls` as of data epoch `epoch`, derived fresh from
+  /// the store's version chains (SlicingStore::DirectExtentAt /
+  /// GetValueAt). Purely const: it never touches the shared cache, the
+  /// journal cursor, or the planner — the index and packed-record arms
+  /// mirror *live* state and are ineligible at a pinned epoch, so
+  /// selects always take the classic per-oid arm with an epoch-bound
+  /// resolver. Safe under the embedding layer's shared latches; serves
+  /// tse::Snapshot reads.
+  Result<std::set<Oid>> ExtentAt(ClassId cls, uint64_t epoch) const;
+
   /// Toggles incremental maintenance. When off, the evaluator reverts
   /// to whole-cache invalidation on any data write or schema change —
   /// the pre-optimization behaviour, kept as the benchmark baseline and
@@ -212,6 +222,9 @@ class ExtentEvaluator {
 
   Result<bool> IsMemberImpl(Oid oid, ClassId cls,
                             std::set<ClassId>* in_progress) const;
+  Result<const std::set<Oid>*> ExtentAtImpl(
+      ClassId cls, uint64_t epoch, std::map<ClassId, std::set<Oid>>* memo,
+      std::set<ClassId>* in_progress) const;
   Result<std::shared_ptr<std::set<Oid>>> EvalWithMemo(
       ClassId cls, std::set<ClassId>* in_progress) const;
 

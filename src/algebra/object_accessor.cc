@@ -86,6 +86,46 @@ Result<Value> ObjectAccessor::ReadDynamic(Oid oid, ClassId cls,
   return store_->GetValue(oid, best->definer, best->id);
 }
 
+Result<Value> ObjectAccessor::ReadAt(Oid oid, ClassId cls,
+                                     const std::string& name,
+                                     uint64_t epoch) const {
+  size_t dot = name.find('.');
+  if (dot != std::string::npos) {
+    std::string head = name.substr(0, dot);
+    std::string tail = name.substr(dot + 1);
+    TSE_ASSIGN_OR_RETURN(const schema::PropertyDef* def,
+                         schema_->ResolveProperty(cls, head));
+    if (def->value_type != objmodel::ValueType::kRef ||
+        !def->ref_target.valid()) {
+      return Status::InvalidArgument(
+          StrCat("'", head, "' is not a reference attribute; cannot "
+                 "navigate '.", tail, "'"));
+    }
+    TSE_ASSIGN_OR_RETURN(Value ref, ReadAt(oid, cls, head, epoch));
+    if (ref.is_null()) return Value::Null();  // broken/unset link
+    TSE_ASSIGN_OR_RETURN(Oid target, ref.AsRef());
+    return ReadAt(target, def->ref_target, tail, epoch);
+  }
+
+  TSE_ASSIGN_OR_RETURN(const schema::PropertyDef* def,
+                       schema_->ResolveProperty(cls, name));
+  if (def->is_method()) {
+    if (!def->body) {
+      return Status::FailedPrecondition(
+          StrCat("method '", name, "' has no body"));
+    }
+    return def->body->Evaluate(oid, ResolverAt(oid, cls, epoch));
+  }
+  return store_->GetValueAt(oid, def->definer, def->id, epoch);
+}
+
+objmodel::AttrResolver ObjectAccessor::ResolverAt(Oid oid, ClassId cls,
+                                                  uint64_t epoch) const {
+  return [this, oid, cls, epoch](const std::string& name) -> Result<Value> {
+    return ReadAt(oid, cls, name, epoch);
+  };
+}
+
 Status ObjectAccessor::Write(Oid oid, ClassId cls, const std::string& name,
                              Value value) {
   TSE_ASSIGN_OR_RETURN(const schema::PropertyDef* def,

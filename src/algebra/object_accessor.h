@@ -48,6 +48,17 @@ class ObjectAccessor {
   /// An AttrResolver bound to (oid, cls), for predicate/method bodies.
   objmodel::AttrResolver ResolverFor(Oid oid, ClassId cls) const;
 
+  /// Read() pinned at a data epoch: stored attributes come from the
+  /// store's version chains (SlicingStore::GetValueAt), method bodies
+  /// evaluate with epoch-bound attribute reads, and the packed layout is
+  /// skipped (it mirrors live state only). Serves tse::Snapshot reads.
+  Result<objmodel::Value> ReadAt(Oid oid, ClassId cls, const std::string& name,
+                                 uint64_t epoch) const;
+
+  /// ResolverFor() pinned at a data epoch.
+  objmodel::AttrResolver ResolverAt(Oid oid, ClassId cls,
+                                    uint64_t epoch) const;
+
   const schema::SchemaGraph* schema() const { return schema_; }
   objmodel::SlicingStore* store() const { return store_; }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "db/session.h"
+#include "db/snapshot.h"
 #include "obs/metrics.h"
 #include "objmodel/persistence.h"
 #include "view/catalog_io.h"
@@ -119,7 +120,17 @@ void Db::NotifyMigrator() {
 void Db::MigratorLoop() {
   std::unique_lock<std::mutex> lock(bg_mu_);
   while (!bg_stop_) {
-    bg_cv_.wait(lock, [this] { return bg_stop_ || backfill_->pending_any(); });
+    // Timed wait doubles as the version-vacuum heartbeat: backfill work
+    // wakes the loop immediately, and otherwise it comes up for air to
+    // trim version chains behind the oldest live snapshot.
+    bg_cv_.wait_for(lock, std::chrono::milliseconds(100), [this] {
+      return bg_stop_ || backfill_->pending_any();
+    });
+    if (!bg_stop_ && options_.mvcc_snapshots && options_.vacuum_every != 0) {
+      lock.unlock();
+      (void)VacuumVersions();
+      lock.lock();
+    }
     while (!bg_stop_ && backfill_->pending_any()) {
       lock.unlock();
       Result<size_t> step = BackfillStep(options_.backfill_batch);
@@ -290,6 +301,85 @@ Result<layout::PackedRecordCache::ClassStats> Db::ExplainLayout(
   std::shared_lock<std::shared_mutex> schema_lock(schema_mu_);
   std::shared_lock<std::shared_mutex> data_lock(data_mu_);
   return layout_->Explain(cls);
+}
+
+Result<std::unique_ptr<Snapshot>> Db::OpenSnapshot(
+    const std::string& view_name) {
+  std::shared_lock<std::shared_mutex> lock(schema_mu_);
+  TSE_ASSIGN_OR_RETURN(const view::ViewSchema* vs, views_->Current(view_name));
+  return OpenSnapshotAt(vs->id(), visible_epoch());
+}
+
+Result<std::unique_ptr<Snapshot>> Db::OpenSnapshotAt(ViewId view_id,
+                                                     uint64_t epoch) {
+  if (!options_.mvcc_snapshots) {
+    return Status::FailedPrecondition(
+        "snapshots require DbOptions::mvcc_snapshots");
+  }
+  const view::ViewSchema* vs = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(schema_mu_);
+    TSE_ASSIGN_OR_RETURN(vs, views_->GetView(view_id));
+  }
+  if (epoch > visible_epoch()) {
+    return Status::InvalidArgument("snapshot epoch is in the future");
+  }
+  {
+    // Register under snap_mu_ before the floor check concludes: the
+    // vacuum computes its horizon under the same mutex, so an epoch
+    // that passes the check here can no longer be reclaimed.
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    if (epoch < vacuum_floor_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition("snapshot epoch has been vacuumed");
+    }
+    live_snapshots_.insert(epoch);
+  }
+  TSE_COUNT("db.snapshot.open");
+  return std::unique_ptr<Snapshot>(new Snapshot(this, vs, epoch));
+}
+
+void Db::UnregisterSnapshot(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  auto it = live_snapshots_.find(epoch);
+  if (it != live_snapshots_.end()) live_snapshots_.erase(it);
+}
+
+uint64_t Db::SnapshotHorizon() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  if (live_snapshots_.empty()) return visible_epoch();
+  // A snapshot at E still reads pre-images stamped > E, so only entries
+  // stamped <= E are reclaimable: horizon = min live epoch.
+  return *live_snapshots_.begin();
+}
+
+size_t Db::VacuumLocked() {
+  uint64_t horizon;
+  {
+    // One critical section for horizon + floor: a concurrent
+    // OpenSnapshotAt either registers first (lowering the horizon) or
+    // sees the raised floor and is rejected — no epoch can slip between
+    // the two and get reclaimed out from under a fresh snapshot.
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    horizon = live_snapshots_.empty() ? visible_epoch()
+                                      : *live_snapshots_.begin();
+    if (horizon > vacuum_floor_.load(std::memory_order_relaxed)) {
+      vacuum_floor_.store(horizon, std::memory_order_release);
+    }
+  }
+  size_t reclaimed = store_->VacuumVersions(horizon);
+  if (reclaimed > 0) TSE_COUNT_N("db.snapshot.vacuumed_versions", reclaimed);
+  return reclaimed;
+}
+
+size_t Db::VacuumVersions() {
+  std::unique_lock<std::shared_mutex> data_lock(data_mu_);
+  return VacuumLocked();
+}
+
+void Db::MaybeVacuum() {
+  if (!options_.mvcc_snapshots || options_.vacuum_every == 0) return;
+  if (visible_epoch() % options_.vacuum_every != 0) return;
+  (void)VacuumVersions();
 }
 
 Result<std::unique_ptr<Session>> Db::OpenSession(

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <thread>
@@ -32,6 +33,7 @@
 namespace tse {
 
 class Session;
+class Snapshot;
 
 /// Configuration for Db::Open.
 struct DbOptions {
@@ -80,6 +82,21 @@ struct DbOptions {
   /// How long a transaction waits for a contended object lock before
   /// giving up with Aborted (timeout-based deadlock resolution).
   std::chrono::milliseconds lock_timeout{200};
+
+  /// Object-level multi-versioning for snapshot reads (DESIGN.md §13):
+  /// committed mutations record pre-image version chains stamped with a
+  /// monotonic commit epoch, so tse::Snapshot handles read a consistent
+  /// past state with no object locks. When false, mutations record no
+  /// versions (zero write-path overhead) and OpenSnapshot fails with
+  /// FailedPrecondition.
+  bool mvcc_snapshots = true;
+
+  /// Write epochs between amortized in-line vacuum passes (version
+  /// chains are additionally vacuumed by the background migrator's
+  /// heartbeat and by explicit VacuumVersions() calls). 0 disables all
+  /// automatic vacuuming — chains then trim only on explicit calls,
+  /// which tests use to make reclamation deterministic.
+  uint64_t vacuum_every = 256;
 };
 
 /// The embedding facade over the whole TSE engine (Figure 6 in one
@@ -165,7 +182,7 @@ class Db {
   Status DropIndex(PropertyDefId def);
 
   /// Every declared index.
-  std::vector<index::IndexSpec> ListIndexes() const {
+  [[nodiscard]] std::vector<index::IndexSpec> ListIndexes() const {
     return indexes_->List();
   }
 
@@ -188,7 +205,7 @@ class Db {
 
   /// Layout state of one class: promoted/pinned/cold, packed row and
   /// column counts, window activity (the tse_shell `layout` surface).
-  Result<layout::PackedRecordCache::ClassStats> ExplainLayout(
+  [[nodiscard]] Result<layout::PackedRecordCache::ClassStats> ExplainLayout(
       const std::string& class_name) const;
 
   // --- Sessions ---------------------------------------------------------
@@ -204,10 +221,41 @@ class Db {
 
   /// Monotone schema-change counter: bumped by every DDL call and every
   /// session schema change. A session records the epoch it bound at.
-  uint64_t epoch() const { return catalog_->head_epoch(); }
+  [[nodiscard]] uint64_t epoch() const { return catalog_->head_epoch(); }
 
   /// The versioned catalog: publication log + head epoch.
-  const db::VersionedCatalog& catalog() const { return *catalog_; }
+  [[nodiscard]] const db::VersionedCatalog& catalog() const {
+    return *catalog_;
+  }
+
+  // --- Snapshots (MVCC lock-free reads; DESIGN.md §13) -------------------
+
+  /// Opens a read-only snapshot of the *current* version of `view_name`
+  /// at the newest committed data epoch. The snapshot's reads are
+  /// repeatable and take no object locks; its epoch stays safe from the
+  /// vacuum until the handle is destroyed. FailedPrecondition when
+  /// DbOptions::mvcc_snapshots is off.
+  [[nodiscard]] Result<std::unique_ptr<Snapshot>> OpenSnapshot(
+      const std::string& view_name);
+
+  /// Opens a snapshot of an explicit view version at an explicit data
+  /// epoch. InvalidArgument when `epoch` is in the future;
+  /// FailedPrecondition when it has already been vacuumed away.
+  [[nodiscard]] Result<std::unique_ptr<Snapshot>> OpenSnapshotAt(
+      ViewId view_id, uint64_t epoch);
+
+  /// The newest committed data epoch (what a snapshot opened now would
+  /// read at). Distinct from epoch(): that counts schema publications,
+  /// this counts data commits.
+  [[nodiscard]] uint64_t visible_epoch() const {
+    return visible_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Trims version-chain entries below the oldest live snapshot epoch.
+  /// Runs automatically (amortized in the write path and from the
+  /// background migrator); exposed for deterministic tests. Returns the
+  /// number of version entries reclaimed.
+  size_t VacuumVersions();
 
   // --- Backfill ---------------------------------------------------------
 
@@ -218,11 +266,13 @@ class Db {
   Result<size_t> BackfillStep(size_t budget);
 
   /// Objects still awaiting lazy materialization.
-  size_t BackfillPending() const { return backfill_->pending_count(); }
+  [[nodiscard]] size_t BackfillPending() const {
+    return backfill_->pending_count();
+  }
 
   // --- Durability -------------------------------------------------------
 
-  bool durable() const { return objects_db_ != nullptr; }
+  [[nodiscard]] bool durable() const { return objects_db_ != nullptr; }
 
   /// Persists the full catalog + object snapshot (no-op when
   /// in-memory).
@@ -248,8 +298,21 @@ class Db {
 
  private:
   friend class Session;
+  friend class Snapshot;
 
   Db() = default;
+
+  /// Snapshot registry bookkeeping (snap_mu_ is the innermost lock:
+  /// taken with any combination of the latches above held, never the
+  /// other way around).
+  void UnregisterSnapshot(uint64_t epoch);
+  /// Oldest epoch any live snapshot reads at (visible epoch when none).
+  uint64_t SnapshotHorizon() const;
+  /// VacuumVersions body; requires data_mu_ exclusive.
+  size_t VacuumLocked();
+  /// Amortized write-path vacuum: a full pass every
+  /// DbOptions::vacuum_every data epochs. No latch may be held.
+  void MaybeVacuum();
 
   /// Wires components; with a data_dir, opens the record stores and
   /// restores persisted state.
@@ -298,6 +361,18 @@ class Db {
   mutable std::shared_mutex schema_mu_;
   /// Data latch: object reads shared, object mutations exclusive.
   mutable std::shared_mutex data_mu_;
+
+  /// Newest committed data epoch: bumped (release) by every auto-commit
+  /// mutation and every transaction commit, with data_mu_ held
+  /// exclusive, after the store captured that epoch's pre-images.
+  std::atomic<uint64_t> visible_epoch_{0};
+  /// Epochs at or below this may have had their versions vacuumed:
+  /// OpenSnapshotAt rejects them.
+  std::atomic<uint64_t> vacuum_floor_{0};
+  /// Guards live_snapshots_ (innermost lock; see UnregisterSnapshot).
+  mutable std::mutex snap_mu_;
+  /// Epochs of live Snapshot handles (multiset: many per epoch).
+  std::multiset<uint64_t> live_snapshots_;
 
   /// Background migrator state.
   std::thread migrator_;

@@ -5,11 +5,56 @@
 #include <utility>
 
 #include "db/db.h"
+#include "db/snapshot.h"
 #include "evolution/change_parser.h"
 #include "obs/metrics.h"
 #include "objmodel/persistence.h"
 
 namespace tse {
+
+namespace {
+
+/// Arms MVCC pre-image capture around one engine mutation executed
+/// under the exclusive data latch. Auto-commit ops stamp the next data
+/// epoch directly and publish it on scope exit (even when the engine
+/// call failed — the epoch is consumed so any partially captured
+/// pre-images stay consistent with the live state); transactional ops
+/// stamp kPendingEpoch tagged with the txn id, resolved at
+/// Commit/Rollback.
+class MvccWriteGuard {
+ public:
+  MvccWriteGuard(objmodel::SlicingStore* store,
+                 std::atomic<uint64_t>* visible_epoch, bool enabled,
+                 uint64_t txn_marker)
+      : store_(store), visible_epoch_(visible_epoch), enabled_(enabled) {
+    if (!enabled_) return;
+    if (txn_marker != 0) {
+      pending_ = true;
+      store_->BeginMvccPending(txn_marker);
+    } else {
+      next_ = visible_epoch_->load(std::memory_order_relaxed) + 1;
+      store_->BeginMvccOp(next_);
+    }
+  }
+  ~MvccWriteGuard() {
+    if (!enabled_) return;
+    store_->EndMvccOp();
+    if (!pending_) {
+      visible_epoch_->store(next_, std::memory_order_release);
+    }
+  }
+  MvccWriteGuard(const MvccWriteGuard&) = delete;
+  MvccWriteGuard& operator=(const MvccWriteGuard&) = delete;
+
+ private:
+  objmodel::SlicingStore* store_;
+  std::atomic<uint64_t>* visible_epoch_;
+  bool enabled_;
+  bool pending_ = false;
+  uint64_t next_ = 0;
+};
+
+}  // namespace
 
 Session::Session(Db* db, const view::ViewSchema* view)
     : db_(db), view_(view), bound_epoch_(db->epoch()) {}
@@ -31,6 +76,10 @@ int Session::view_version() const { return view_->version(); }
 Result<ClassId> Session::Resolve(const std::string& display_name) const {
   std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
   return view_->Resolve(display_name);
+}
+
+Result<std::unique_ptr<Snapshot>> Session::GetSnapshot() const {
+  return db_->OpenSnapshotAt(view_->id(), db_->visible_epoch());
 }
 
 void Session::TouchForRead(Oid oid) const {
@@ -103,6 +152,9 @@ Result<Oid> Session::Create(const std::string& class_name,
     TSE_COUNT("db.session.updates");
     TSE_ASSIGN_OR_RETURN(ClassId cls, view_->Resolve(class_name));
     std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    MvccWriteGuard mvcc(db_->store_.get(), &db_->visible_epoch_,
+                        db_->options_.mvcc_snapshots,
+                        in_transaction() ? txn_->id().value() : 0);
     if (txn_ && txn_->active()) {
       TSE_ASSIGN_OR_RETURN(oid, txn_->Create(cls, assignments));
       txn_touched_.push_back(oid);
@@ -110,6 +162,7 @@ Result<Oid> Session::Create(const std::string& class_name,
     }
     TSE_ASSIGN_OR_RETURN(oid, db_->engine_->Create(cls, assignments));
   }
+  db_->MaybeVacuum();
   TSE_RETURN_IF_ERROR(PersistAndCommit(oid));
   return oid;
 }
@@ -123,6 +176,9 @@ Status Session::Set(Oid oid, const std::string& class_name,
     TSE_ASSIGN_OR_RETURN(ClassId cls, view_->Resolve(class_name));
     std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
     if (db_->backfill_->pending_any()) db_->backfill_->MaterializeObject(oid);
+    MvccWriteGuard mvcc(db_->store_.get(), &db_->visible_epoch_,
+                        db_->options_.mvcc_snapshots,
+                        in_transaction() ? txn_->id().value() : 0);
     if (txn_ && txn_->active()) {
       TSE_RETURN_IF_ERROR(txn_->Set(oid, cls, name, std::move(value)));
       txn_touched_.push_back(oid);
@@ -130,6 +186,7 @@ Status Session::Set(Oid oid, const std::string& class_name,
     }
     TSE_RETURN_IF_ERROR(db_->engine_->Set(oid, cls, name, std::move(value)));
   }
+  db_->MaybeVacuum();
   return PersistAndCommit(oid);
 }
 
@@ -141,6 +198,9 @@ Status Session::Add(Oid oid, const std::string& class_name) {
     TSE_ASSIGN_OR_RETURN(ClassId cls, view_->Resolve(class_name));
     std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
     if (db_->backfill_->pending_any()) db_->backfill_->MaterializeObject(oid);
+    MvccWriteGuard mvcc(db_->store_.get(), &db_->visible_epoch_,
+                        db_->options_.mvcc_snapshots,
+                        in_transaction() ? txn_->id().value() : 0);
     if (txn_ && txn_->active()) {
       TSE_RETURN_IF_ERROR(txn_->Add(oid, cls));
       txn_touched_.push_back(oid);
@@ -148,6 +208,7 @@ Status Session::Add(Oid oid, const std::string& class_name) {
     }
     TSE_RETURN_IF_ERROR(db_->engine_->Add(oid, cls));
   }
+  db_->MaybeVacuum();
   return PersistAndCommit(oid);
 }
 
@@ -159,6 +220,9 @@ Status Session::Remove(Oid oid, const std::string& class_name) {
     TSE_ASSIGN_OR_RETURN(ClassId cls, view_->Resolve(class_name));
     std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
     if (db_->backfill_->pending_any()) db_->backfill_->MaterializeObject(oid);
+    MvccWriteGuard mvcc(db_->store_.get(), &db_->visible_epoch_,
+                        db_->options_.mvcc_snapshots,
+                        in_transaction() ? txn_->id().value() : 0);
     if (txn_ && txn_->active()) {
       TSE_RETURN_IF_ERROR(txn_->Remove(oid, cls));
       txn_touched_.push_back(oid);
@@ -166,6 +230,7 @@ Status Session::Remove(Oid oid, const std::string& class_name) {
     }
     TSE_RETURN_IF_ERROR(db_->engine_->Remove(oid, cls));
   }
+  db_->MaybeVacuum();
   return PersistAndCommit(oid);
 }
 
@@ -178,6 +243,9 @@ Status Session::Delete(Oid oid) {
     // Clears any pending backfill entries so the task table never
     // references a destroyed object.
     if (db_->backfill_->pending_any()) db_->backfill_->MaterializeObject(oid);
+    MvccWriteGuard mvcc(db_->store_.get(), &db_->visible_epoch_,
+                        db_->options_.mvcc_snapshots,
+                        in_transaction() ? txn_->id().value() : 0);
     if (txn_ && txn_->active()) {
       TSE_RETURN_IF_ERROR(txn_->Delete(oid));
       txn_touched_.push_back(oid);
@@ -185,6 +253,7 @@ Status Session::Delete(Oid oid) {
     }
     TSE_RETURN_IF_ERROR(db_->engine_->Delete(oid));
   }
+  db_->MaybeVacuum();
   return PersistAndCommit(oid);
 }
 
@@ -203,6 +272,17 @@ Status Session::Begin() {
 Status Session::Commit() {
   if (!in_transaction()) {
     return Status::FailedPrecondition("no open transaction");
+  }
+  if (db_->options_.mvcc_snapshots) {
+    // The commit point for snapshot readers: stamp every pending
+    // pre-image this transaction captured with the next data epoch and
+    // publish it, under the exclusive data latch and *before* the 2PL
+    // locks release — new snapshots see all of the transaction or none.
+    std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+    std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    uint64_t next = db_->visible_epoch_.load(std::memory_order_relaxed) + 1;
+    db_->store_->StampPending(txn_->id().value(), next);
+    db_->visible_epoch_.store(next, std::memory_order_release);
   }
   TSE_RETURN_IF_ERROR(txn_->Commit());
   txn_.reset();
@@ -232,7 +312,13 @@ Status Session::Rollback() {
   Status status;
   {
     std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    // The undo replay mutates with no MVCC context armed (it restores
+    // pre-change live state, which every snapshot already reads), then
+    // the transaction's now-redundant pending pre-images are dropped.
     status = txn_->Abort();
+    if (db_->options_.mvcc_snapshots) {
+      db_->store_->DropPending(txn_->id().value());
+    }
   }
   txn_.reset();
   txn_touched_.clear();

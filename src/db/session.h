@@ -17,6 +17,7 @@
 namespace tse {
 
 class Db;
+class Snapshot;
 
 /// A client's handle on the database, bound to one view version — the
 /// paper's unit of user isolation (Section 7): every name the session
@@ -42,30 +43,53 @@ class Session {
 
   // --- Identity ---------------------------------------------------------
 
-  const std::string& view_name() const;
-  ViewId view_id() const;
-  int view_version() const;
+  [[nodiscard]] const std::string& view_name() const;
+  [[nodiscard]] ViewId view_id() const;
+  [[nodiscard]] int view_version() const;
   /// The Db epoch when this session last (re)bound its view.
-  uint64_t bound_epoch() const { return bound_epoch_; }
+  [[nodiscard]] uint64_t bound_epoch() const { return bound_epoch_; }
+
+  // --- Snapshot reads (preferred read path; DESIGN.md §13) --------------
+
+  /// Opens a tse::Snapshot of this session's bound view version at the
+  /// newest committed data epoch: a consistent, repeatable, read-only
+  /// handle whose Get/GetAttr/Extent/Select take no object locks and
+  /// never block on writers. Inside an open transaction the snapshot
+  /// sees only *committed* state — this session's own pending writes
+  /// are invisible to it (use the locked Get for read-your-writes).
+  [[nodiscard]] Result<std::unique_ptr<Snapshot>> GetSnapshot() const;
 
   // --- Reads ------------------------------------------------------------
 
   /// Resolves a display name in the bound view to its global class.
-  Result<ClassId> Resolve(const std::string& display_name) const;
+  [[nodiscard]] Result<ClassId> Resolve(const std::string& display_name) const;
 
   /// Reads `path` (dotted reference navigation allowed) of `oid` in the
   /// context of view class `class_name`. Inside a transaction the read
   /// takes a shared object lock.
-  Result<objmodel::Value> Get(Oid oid, const std::string& class_name,
-                              const std::string& path) const;
+  ///
+  /// DEPRECATED as the default read path: this implicit "read whatever
+  /// is live right now" call blocks on writers' 2PL locks inside a
+  /// transaction and gives no repeatability across calls. Prefer
+  /// `GetSnapshot()->Get(...)` for read-mostly workloads; Get remains
+  /// for transactional read-your-writes (see docs/API.md §Snapshot
+  /// reads for the migration table).
+  [[nodiscard]] Result<objmodel::Value> Get(Oid oid,
+                                            const std::string& class_name,
+                                            const std::string& path) const;
 
   /// The extent of view class `class_name` as a shared immutable
   /// snapshot (stable even as other sessions keep writing).
-  Result<algebra::ExtentEvaluator::ExtentPtr> Extent(
+  ///
+  /// DEPRECATED as the default read path: reflects live (including
+  /// other sessions' just-committed) state on every call. Prefer
+  /// `GetSnapshot()->Extent(...)` when iterating with value reads — one
+  /// epoch for the whole scan (see docs/API.md §Snapshot reads).
+  [[nodiscard]] Result<algebra::ExtentEvaluator::ExtentPtr> Extent(
       const std::string& class_name) const;
 
   /// Pretty-prints the bound view schema.
-  std::string ViewToString() const;
+  [[nodiscard]] std::string ViewToString() const;
 
   // --- Updates (Section 3.3 generic operators, view-name addressed) -----
 
@@ -86,7 +110,9 @@ class Session {
   Status Commit();
   /// Rolls back every effect of the open transaction.
   Status Rollback();
-  bool in_transaction() const { return txn_ != nullptr && txn_->active(); }
+  [[nodiscard]] bool in_transaction() const {
+    return txn_ != nullptr && txn_->active();
+  }
 
   // --- Schema evolution -------------------------------------------------
 

@@ -109,6 +109,17 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
   DirectEngine direct;
   OidBijection oids;
 
+  // Snapshot-vs-locked arm: every store mutation below runs inside an
+  // MVCC commit epoch, stamped exactly like Db commits stamp them, so
+  // the version chains the snapshot path reads are the real thing.
+  uint64_t mvcc_epoch = 0;
+  auto begin_epoch = [&]() {
+    if (options_.check_snapshot_vs_locked) store.BeginMvccOp(++mvcc_epoch);
+  };
+  auto end_epoch = [&]() {
+    if (options_.check_snapshot_vs_locked) store.EndMvccOp();
+  };
+
   std::vector<std::string> class_names;
   for (const workload::ClassDef& def : c.workload.classes) {
     // Tolerate supers that no longer exist (the shrinker drops whole
@@ -166,13 +177,16 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
     }
     return oids.Link(tse_oid.value(), direct_oid.value());
   };
+  begin_epoch();
   for (const workload::ObjectDef& obj : c.workload.objects) {
     Status st = create_twin(obj.cls, obj.int_values);
     if (!st.ok()) {
+      end_epoch();
       report.error = st;
       return report;
     }
   }
+  end_epoch();
 
   // The user's view covers the whole base schema, so the oracle surface
   // and the view surface coincide.
@@ -358,6 +372,117 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
     return Status::OK();
   };
 
+  // Snapshot-vs-locked differential arm (DESIGN.md §13): after every
+  // accepted change the view surface is read twice — live locked path
+  // vs epoch-pinned snapshot path — and must agree exactly. One older
+  // epoch is kept pinned and its full surface digest re-verified a few
+  // steps later, after a store-level vacuum up to (and including) that
+  // epoch, proving chains keep reachable versions repeatable.
+  struct RetainedEpoch {
+    uint64_t epoch = 0;
+    size_t step = 0;
+    const view::ViewSchema* vs = nullptr;
+    std::string digest;
+  };
+  std::optional<RetainedEpoch> retained;
+  // Full read surface of `vs` at `epoch`, rendered to text: per-class
+  // extents plus every unambiguous attribute of every member.
+  auto surface_at = [&](const view::ViewSchema* vs,
+                        uint64_t epoch) -> Result<std::string> {
+    algebra::ObjectAccessor accessor(&graph, &store);
+    algebra::ExtentEvaluator eval(&graph, &store);
+    std::string out;
+    for (ClassId cls : vs->classes()) {
+      TSE_ASSIGN_OR_RETURN(std::string display, vs->DisplayName(cls));
+      TSE_ASSIGN_OR_RETURN(std::set<Oid> extent, eval.ExtentAt(cls, epoch));
+      TSE_ASSIGN_OR_RETURN(schema::TypeSet type, graph.EffectiveType(cls));
+      out += StrCat("\n", display, "#", extent.size());
+      for (Oid oid : extent) {
+        out += StrCat("|", oid.ToString());
+        for (const auto& [name, defs] : type.bindings()) {
+          if (defs.size() != 1) continue;  // ambiguous: not invocable
+          TSE_ASSIGN_OR_RETURN(const schema::PropertyDef* def,
+                               graph.GetProperty(defs[0]));
+          if (!def->is_attribute()) continue;
+          auto value = accessor.ReadAt(oid, cls, name, epoch);
+          out += StrCat(",", name, "=",
+                        value.ok() ? value.value().ToString()
+                                   : value.status().ToString());
+        }
+      }
+    }
+    return out;
+  };
+  auto check_snapshot_vs_locked = [&](const view::ViewSchema* vs,
+                                      size_t step) -> Status {
+    algebra::ObjectAccessor accessor(&graph, &store);
+    algebra::ExtentEvaluator snap_eval(&graph, &store);
+    for (ClassId cls : vs->classes()) {
+      TSE_ASSIGN_OR_RETURN(std::string display, vs->DisplayName(cls));
+      TSE_ASSIGN_OR_RETURN(std::set<Oid> at_epoch,
+                           snap_eval.ExtentAt(cls, mvcc_epoch));
+      TSE_ASSIGN_OR_RETURN(algebra::ExtentEvaluator::ExtentPtr live,
+                           live_extents.Extent(cls));
+      if (at_epoch != *live) {
+        return Status::FailedPrecondition(
+            StrCat("extent of class ", display, " has ", at_epoch.size(),
+                   " members at epoch ", mvcc_epoch, ", ", live->size(),
+                   " through the locked path"));
+      }
+      TSE_ASSIGN_OR_RETURN(schema::TypeSet type, graph.EffectiveType(cls));
+      for (Oid oid : at_epoch) {
+        for (const auto& [name, defs] : type.bindings()) {
+          if (defs.size() != 1) continue;  // ambiguous: not invocable
+          TSE_ASSIGN_OR_RETURN(const schema::PropertyDef* def,
+                               graph.GetProperty(defs[0]));
+          if (!def->is_attribute()) continue;
+          auto via_snapshot = accessor.ReadAt(oid, cls, name, mvcc_epoch);
+          auto via_locked = accessor.Read(oid, cls, name);
+          if (via_snapshot.ok() != via_locked.ok()) {
+            return Status::FailedPrecondition(StrCat(
+                "reading ", name, " on object ", oid.ToString(),
+                " through class ", display,
+                (via_snapshot.ok()
+                     ? " succeeds at the snapshot epoch but fails locked: "
+                     : " fails at the snapshot epoch but succeeds locked: "),
+                (via_snapshot.ok() ? via_locked.status()
+                                   : via_snapshot.status())
+                    .ToString()));
+          }
+          if (via_snapshot.ok() &&
+              !(via_snapshot.value() == via_locked.value())) {
+            return Status::FailedPrecondition(StrCat(
+                "value of ", name, " on object ", oid.ToString(),
+                " through class ", display, ": snapshot reads ",
+                via_snapshot.value().ToString(), ", locked path reads ",
+                via_locked.value().ToString()));
+          }
+        }
+      }
+    }
+    // Repeatable-read + vacuum-safety audit: the retained epoch's whole
+    // surface must render byte-for-byte the same after further schema
+    // changes, churn, and a vacuum up to that very epoch.
+    if (retained && step - retained->step >= 3) {
+      (void)store.VacuumVersions(retained->epoch);
+      TSE_ASSIGN_OR_RETURN(std::string now,
+                           surface_at(retained->vs, retained->epoch));
+      if (now != retained->digest) {
+        return Status::FailedPrecondition(
+            StrCat("surface pinned at epoch ", retained->epoch,
+                   " (step ", retained->step,
+                   ") is not repeatable after vacuum; drifted to:", now,
+                   "\nexpected:", retained->digest));
+      }
+      retained.reset();
+    }
+    if (!retained) {
+      TSE_ASSIGN_OR_RETURN(std::string digest, surface_at(vs, mvcc_epoch));
+      retained = RetainedEpoch{mvcc_epoch, step, vs, std::move(digest)};
+    }
+    return Status::OK();
+  };
+
   // Textual digest of a view version (shape + types + extent sizes),
   // used to prove rejected changes leave the view untouched.
   auto snapshot = [&](ViewId vid) -> Result<std::string> {
@@ -421,7 +546,9 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
       report.error = before.status();
       return report;
     }
+    begin_epoch();
     auto result = manager.ApplyChange(view_id, change);
+    end_epoch();
     if (!result.ok()) {
       // TSE refused (duplicate name, inherited attribute, cycle, ...);
       // the current version must be byte-for-byte untouched.
@@ -506,6 +633,16 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
         return report;
       }
     }
+    if (options_.check_snapshot_vs_locked) {
+      // The snapshot path pinned at the current epoch must read exactly
+      // what the locked path reads, and older pinned epochs must stay
+      // repeatable (checked against their retained digests).
+      Status st = check_snapshot_vs_locked(vs, step);
+      if (!st.ok()) {
+        diverge(step, op, st.ToString());
+        return report;
+      }
+    }
     if (options_.check_values) {
       Status st = check_values(vs);
       if (!st.ok()) {
@@ -541,8 +678,10 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
     if (c.exercise_merges && history.size() >= 2 &&
         report.accepted % 3 == 0) {
       ViewId other = history[merge_rng.Uniform(history.size() - 1)];
+      begin_epoch();
       auto merged = manager.MergeVersions(view_id, other,
                                           StrCat("M", step));
+      end_epoch();
       if (!merged.ok()) {
         diverge(step, op,
                 StrCat("merging with a historical version failed: ",
@@ -585,7 +724,9 @@ RunReport DifferentialExecutor::Run(const FuzzCase& c) const {
           class_names[churn_rng.Uniform(class_names.size())];
       if (vs->Resolve(cls).ok() && direct.HasClass(cls) &&
           graph.FindClass(cls).ok()) {
+        begin_epoch();
         Status st = create_twin(cls, {});
+        end_epoch();
         if (!st.ok()) {
           report.error = st;
           return report;

@@ -49,6 +49,16 @@ struct ExecutorOptions {
   /// evaluation on the view classes — values, ok-status, and extents
   /// must agree exactly.
   bool check_packed_vs_slices = true;
+  /// Run every store mutation inside an MVCC commit epoch (exactly how
+  /// Db stamps them) and, after every accepted change, read the whole
+  /// view surface twice — once through the live locked read path and
+  /// once through the snapshot path pinned at the current epoch — and
+  /// require extents, values, and ok-status to agree exactly. One
+  /// earlier epoch's surface digest is retained and re-verified a few
+  /// steps (and many mutations, plus a vacuum up to that epoch) later,
+  /// proving version chains keep old epochs repeatable and the vacuum
+  /// never trims a reachable version.
+  bool check_snapshot_vs_locked = true;
   /// Test-only divergence plant used to validate the shrinker: accepted
   /// add_attribute changes are mirrored into the oracle under the wrong
   /// name (suffix "_sab"), so the very next equivalence check diverges.

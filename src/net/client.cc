@@ -260,6 +260,121 @@ Result<std::vector<std::string>> Client::ListClasses() {
   return names;
 }
 
+// --- Snapshot reads ---------------------------------------------------------
+
+namespace {
+// snapshot_open body: mode:u8 then mode-specific arguments (see
+// net/wire.h). The shared tail decodes the open response.
+constexpr uint8_t kSnapOpenByName = 0;
+constexpr uint8_t kSnapOpenExplicit = 1;
+constexpr uint8_t kSnapOpenSession = 2;
+}  // namespace
+
+Result<std::unique_ptr<Client::Snapshot>> Client::OpenSnapshotBody(
+    const std::string& body) {
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kSnapshotOpen, body));
+  net::Cursor cursor(payload);
+  TSE_ASSIGN_OR_RETURN(uint64_t id, cursor.U64());
+  TSE_ASSIGN_OR_RETURN(uint64_t epoch, cursor.U64());
+  TSE_ASSIGN_OR_RETURN(uint64_t view_raw, cursor.U64());
+  TSE_ASSIGN_OR_RETURN(uint32_t version, cursor.U32());
+  TSE_ASSIGN_OR_RETURN(std::string view_name, cursor.Str());
+  auto snap = std::unique_ptr<Snapshot>(new Snapshot(this, id));
+  snap->epoch_ = epoch;
+  snap->view_id_ = ViewId(view_raw);
+  snap->view_version_ = static_cast<int>(version);
+  snap->view_name_ = std::move(view_name);
+  return snap;
+}
+
+Result<std::unique_ptr<Client::Snapshot>> Client::GetSnapshot() {
+  std::string body;
+  net::AppendU8(&body, kSnapOpenSession);
+  return OpenSnapshotBody(body);
+}
+
+Result<std::unique_ptr<Client::Snapshot>> Client::OpenSnapshot(
+    const std::string& view_name) {
+  std::string body;
+  net::AppendU8(&body, kSnapOpenByName);
+  net::AppendString(&body, view_name);
+  return OpenSnapshotBody(body);
+}
+
+Result<std::unique_ptr<Client::Snapshot>> Client::OpenSnapshotAt(
+    ViewId view_id, uint64_t epoch) {
+  std::string body;
+  net::AppendU8(&body, kSnapOpenExplicit);
+  net::AppendU64(&body, view_id.value());
+  net::AppendU64(&body, epoch);
+  return OpenSnapshotBody(body);
+}
+
+Client::Snapshot::~Snapshot() {
+  // Best-effort close; on a poisoned connection the server releases the
+  // snapshot with the connection itself.
+  std::string body;
+  net::AppendU64(&body, id_);
+  (void)client_->RoundTrip(net::Opcode::kSnapshotClose, body);
+}
+
+Result<objmodel::Value> Client::Snapshot::Get(Oid oid,
+                                              const std::string& class_name,
+                                              const std::string& path) {
+  std::string body;
+  net::AppendU64(&body, id_);
+  net::AppendU64(&body, oid.value());
+  net::AppendString(&body, class_name);
+  net::AppendString(&body, path);
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       client_->RoundTrip(net::Opcode::kSnapshotGet, body));
+  net::Cursor cursor(payload);
+  return cursor.Val();
+}
+
+Result<objmodel::Value> Client::Snapshot::GetAttr(
+    Oid oid, const std::string& class_name, const std::string& attr) {
+  return Get(oid, class_name, attr);
+}
+
+Result<std::vector<Oid>> Client::Snapshot::Extent(
+    const std::string& class_name) {
+  std::string body;
+  net::AppendU64(&body, id_);
+  net::AppendString(&body, class_name);
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       client_->RoundTrip(net::Opcode::kSnapshotExtent, body));
+  net::Cursor cursor(payload);
+  TSE_ASSIGN_OR_RETURN(uint32_t count, cursor.U32());
+  std::vector<Oid> oids;
+  oids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TSE_ASSIGN_OR_RETURN(uint64_t raw, cursor.U64());
+    oids.push_back(Oid(raw));
+  }
+  return oids;
+}
+
+Result<std::vector<Oid>> Client::Snapshot::Select(
+    const std::string& class_name, const std::string& predicate_text) {
+  std::string body;
+  net::AppendU64(&body, id_);
+  net::AppendString(&body, class_name);
+  net::AppendString(&body, predicate_text);
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       client_->RoundTrip(net::Opcode::kSnapshotSelect, body));
+  net::Cursor cursor(payload);
+  TSE_ASSIGN_OR_RETURN(uint32_t count, cursor.U32());
+  std::vector<Oid> oids;
+  oids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TSE_ASSIGN_OR_RETURN(uint64_t raw, cursor.U64());
+    oids.push_back(Oid(raw));
+  }
+  return oids;
+}
+
 Result<Oid> Client::Create(const std::string& class_name,
                            const std::vector<update::Assignment>& assignments) {
   std::string body;

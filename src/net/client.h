@@ -70,6 +70,60 @@ class Client {
   ViewId view_id() const { return view_id_; }
   int view_version() const { return view_version_; }
 
+  // --- Snapshot reads (MVCC; DESIGN.md §13) -----------------------------
+
+  /// A remote snapshot handle mirroring `tse::Snapshot`: a server-side
+  /// (view-version, data-epoch) pair whose reads are repeatable and
+  /// take no object locks on the server. Release it by destroying the
+  /// handle (best-effort close frame) — the server also releases every
+  /// snapshot when the connection drops. A Snapshot must not outlive
+  /// the Client that produced it, and shares the client's
+  /// single-thread, request-response discipline.
+  class Snapshot {
+   public:
+    ~Snapshot();
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+
+    [[nodiscard]] uint64_t epoch() const { return epoch_; }
+    [[nodiscard]] const std::string& view_name() const { return view_name_; }
+    [[nodiscard]] ViewId view_id() const { return view_id_; }
+    [[nodiscard]] int view_version() const { return view_version_; }
+
+    [[nodiscard]] Result<objmodel::Value> Get(Oid oid,
+                                              const std::string& class_name,
+                                              const std::string& path);
+    [[nodiscard]] Result<objmodel::Value> GetAttr(Oid oid,
+                                                  const std::string& class_name,
+                                                  const std::string& attr);
+    [[nodiscard]] Result<std::vector<Oid>> Extent(
+        const std::string& class_name);
+    [[nodiscard]] Result<std::vector<Oid>> Select(
+        const std::string& class_name, const std::string& predicate_text);
+
+   private:
+    friend class Client;
+    Snapshot(Client* client, uint64_t id) : client_(client), id_(id) {}
+
+    Client* client_;
+    uint64_t id_;
+    uint64_t epoch_ = 0;
+    std::string view_name_;
+    ViewId view_id_;
+    int view_version_ = 0;
+  };
+
+  /// Opens a snapshot of this connection's bound view at the current
+  /// epoch — the remote twin of `Session::GetSnapshot()`.
+  Result<std::unique_ptr<Snapshot>> GetSnapshot();
+  /// Snapshot of the current version of `view_name` at the current
+  /// epoch (`Db::OpenSnapshot`).
+  Result<std::unique_ptr<Snapshot>> OpenSnapshot(const std::string& view_name);
+  /// Snapshot of an explicit view version at an explicit epoch
+  /// (`Db::OpenSnapshotAt`).
+  Result<std::unique_ptr<Snapshot>> OpenSnapshotAt(ViewId view_id,
+                                                   uint64_t epoch);
+
   // --- Reads ------------------------------------------------------------
 
   Result<ClassId> Resolve(const std::string& display_name);
@@ -130,6 +184,8 @@ class Client {
   /// result payload (or the wire status). Transport errors poison the
   /// connection.
   Result<std::string> RoundTrip(net::Opcode op, const std::string& body);
+  /// Round-trips a snapshot_open body and decodes the handle.
+  Result<std::unique_ptr<Snapshot>> OpenSnapshotBody(const std::string& body);
   Status SendAll(const std::string& data);
   Status RecvFrame(net::Frame* out);
   Status Poison(Status status);

@@ -16,6 +16,7 @@
 
 #include "db/db.h"
 #include "db/session.h"
+#include "db/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "view/view_schema.h"
@@ -593,6 +594,113 @@ std::string Server::Dispatch(Connection& conn, const Frame& frame,
       return ok(payload);
     }
 
+    // --- Snapshot reads (MVCC; DESIGN.md §13) --------------------------
+    // Snapshots are independent of the connection's session (a handle
+    // can outlive a session rebind), so they live in the pre-session
+    // section; mode 2 below borrows the session only to pick its view.
+    case Opcode::kSnapshotOpen: {
+      auto mode = cursor.U8();
+      if (!mode.ok()) return error(mode.status());
+      Result<std::unique_ptr<Snapshot>> snap =
+          Status::InvalidArgument("bad snapshot_open mode");
+      switch (mode.value()) {
+        case 0: {  // by view name, current epoch
+          auto view_name = cursor.Str();
+          if (!view_name.ok()) return error(view_name.status());
+          snap = db_->OpenSnapshot(view_name.value());
+          break;
+        }
+        case 1: {  // explicit (view id, epoch)
+          auto view_raw = cursor.U64();
+          auto epoch = view_raw.ok() ? cursor.U64()
+                                     : Result<uint64_t>(view_raw.status());
+          if (!epoch.ok()) return error(epoch.status());
+          snap = db_->OpenSnapshotAt(ViewId(view_raw.value()), epoch.value());
+          break;
+        }
+        case 2: {  // the session's bound view version, current epoch
+          Session* session = conn.session.get();
+          if (session == nullptr) {
+            return error(Status::FailedPrecondition(
+                "snapshot_open mode 2 needs an open session"));
+          }
+          snap = session->GetSnapshot();
+          break;
+        }
+        default:
+          return error(Status::InvalidArgument(
+              "unknown snapshot_open mode " +
+              std::to_string(static_cast<int>(mode.value()))));
+      }
+      if (!snap.ok()) return error(snap.status());
+      uint64_t id = conn.next_snapshot_id++;
+      const Snapshot& s = *snap.value();
+      std::string payload;
+      AppendU64(&payload, id);
+      AppendU64(&payload, s.epoch());
+      AppendU64(&payload, s.view_id().value());
+      AppendU32(&payload, static_cast<uint32_t>(s.view_version()));
+      AppendString(&payload, s.view_name());
+      conn.snapshots.emplace(id, std::move(snap).value());
+      return ok(payload);
+    }
+    case Opcode::kSnapshotGet: {
+      auto id = cursor.U64();
+      auto oid = id.ok() ? cursor.U64() : Result<uint64_t>(id.status());
+      auto cls = oid.ok() ? cursor.Str() : Result<std::string>(oid.status());
+      auto path = cls.ok() ? cursor.Str() : Result<std::string>(cls.status());
+      if (!path.ok()) return error(path.status());
+      auto it = conn.snapshots.find(id.value());
+      if (it == conn.snapshots.end()) {
+        return error(Status::NotFound("no such snapshot id"));
+      }
+      auto value =
+          it->second->Get(Oid(oid.value()), cls.value(), path.value());
+      if (!value.ok()) return error(value.status());
+      std::string payload;
+      AppendValue(&payload, value.value());
+      return ok(payload);
+    }
+    case Opcode::kSnapshotExtent: {
+      auto id = cursor.U64();
+      auto cls = id.ok() ? cursor.Str() : Result<std::string>(id.status());
+      if (!cls.ok()) return error(cls.status());
+      auto it = conn.snapshots.find(id.value());
+      if (it == conn.snapshots.end()) {
+        return error(Status::NotFound("no such snapshot id"));
+      }
+      auto extent = it->second->Extent(cls.value());
+      if (!extent.ok()) return error(extent.status());
+      std::string payload;
+      AppendU32(&payload, static_cast<uint32_t>(extent.value().size()));
+      for (Oid oid : extent.value()) AppendU64(&payload, oid.value());
+      return ok(payload);
+    }
+    case Opcode::kSnapshotSelect: {
+      auto id = cursor.U64();
+      auto cls = id.ok() ? cursor.Str() : Result<std::string>(id.status());
+      auto pred = cls.ok() ? cursor.Str() : Result<std::string>(cls.status());
+      if (!pred.ok()) return error(pred.status());
+      auto it = conn.snapshots.find(id.value());
+      if (it == conn.snapshots.end()) {
+        return error(Status::NotFound("no such snapshot id"));
+      }
+      auto oids = it->second->Select(cls.value(), pred.value());
+      if (!oids.ok()) return error(oids.status());
+      std::string payload;
+      AppendU32(&payload, static_cast<uint32_t>(oids.value().size()));
+      for (Oid oid : oids.value()) AppendU64(&payload, oid.value());
+      return ok(payload);
+    }
+    case Opcode::kSnapshotClose: {
+      auto id = cursor.U64();
+      if (!id.ok()) return error(id.status());
+      if (conn.snapshots.erase(id.value()) == 0) {
+        return error(Status::NotFound("no such snapshot id"));
+      }
+      return ok();
+    }
+
     default:
       break;
   }
@@ -738,6 +846,11 @@ std::string Server::Dispatch(Connection& conn, const Frame& frame,
     case Opcode::kCreateView:
     case Opcode::kOpenSession:
     case Opcode::kOpenSessionAt:
+    case Opcode::kSnapshotOpen:
+    case Opcode::kSnapshotGet:
+    case Opcode::kSnapshotExtent:
+    case Opcode::kSnapshotSelect:
+    case Opcode::kSnapshotClose:
       break;  // handled above
   }
   return error(Status::Internal("unhandled opcode"));

@@ -19,6 +19,7 @@
 namespace tse {
 class Db;
 class Session;
+class Snapshot;
 }  // namespace tse
 
 namespace tse::net {
@@ -120,6 +121,12 @@ class Server {
 
     std::mutex write_mu;
     std::unique_ptr<Session> session;
+    /// Snapshot handles opened over this connection, keyed by the wire
+    /// snapshot id. Owned here so a disconnect (or idle reap) releases
+    /// every pinned epoch exactly like it rolls back the session. Only
+    /// the worker holding `busy` touches the map.
+    std::unordered_map<uint64_t, std::unique_ptr<Snapshot>> snapshots;
+    uint64_t next_snapshot_id = 1;
     std::atomic<int64_t> last_active_ms{0};
   };
 

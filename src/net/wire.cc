@@ -17,7 +17,7 @@ void AppendRaw(std::string* out, T v) {
 
 bool IsKnownOpcode(uint8_t raw) {
   return raw >= static_cast<uint8_t>(Opcode::kHello) &&
-         raw <= static_cast<uint8_t>(Opcode::kCreateView);
+         raw <= static_cast<uint8_t>(Opcode::kSnapshotClose);
 }
 
 const char* OpcodeName(Opcode op) {
@@ -45,6 +45,11 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kStats: return "stats";
     case Opcode::kAddBaseClass: return "add_base_class";
     case Opcode::kCreateView: return "create_view";
+    case Opcode::kSnapshotOpen: return "snapshot_open";
+    case Opcode::kSnapshotGet: return "snapshot_get";
+    case Opcode::kSnapshotExtent: return "snapshot_extent";
+    case Opcode::kSnapshotSelect: return "snapshot_select";
+    case Opcode::kSnapshotClose: return "snapshot_close";
   }
   return "unknown";
 }

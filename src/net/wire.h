@@ -66,6 +66,15 @@ enum class Opcode : uint8_t {
   // Global DDL (Db surface).
   kAddBaseClass = 22,
   kCreateView = 23,
+  // Snapshot reads (MVCC; appended by protocol revision "snapshot").
+  // A snapshot is a per-connection server-side handle: open returns a
+  // u64 snapshot id + the pinned epoch, the read ops take that id, and
+  // close (or disconnect) releases it.
+  kSnapshotOpen = 24,
+  kSnapshotGet = 25,
+  kSnapshotExtent = 26,
+  kSnapshotSelect = 27,
+  kSnapshotClose = 28,
 };
 
 /// True when `raw` names a defined opcode.

@@ -3,8 +3,30 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
 
 namespace tse::objmodel {
+
+namespace {
+
+/// Chain read rule: the entry with the smallest epoch > `epoch` is the
+/// pre-image that was current at `epoch` (earliest-appended wins ties —
+/// later captures at the same epoch describe states that never became
+/// visible). Returns nullptr when the live state applies. Scans instead
+/// of assuming sortedness: pending entries stamped at commit can land
+/// out of append order relative to interleaved auto-commit captures.
+template <typename Entry>
+const Entry* VersionAt(const std::deque<Entry>& chain, uint64_t epoch) {
+  const Entry* best = nullptr;
+  for (const Entry& e : chain) {
+    if (e.epoch > epoch && (best == nullptr || e.epoch < best->epoch)) {
+      best = &e;
+    }
+  }
+  return best;
+}
+
+}  // namespace
 
 void SlicingStore::Record(ChangeRecord::Kind kind, Oid oid, ClassId cls,
                           PropertyDefId prop) {
@@ -36,6 +58,7 @@ Oid SlicingStore::CreateObject() {
   ConceptualObject obj;
   obj.oid = oid;
   objects_.emplace(oid.value(), std::move(obj));
+  CaptureExistence(oid, false);
   Record(ChangeRecord::Kind::kObjectCreated, oid);
   return oid;
 }
@@ -49,6 +72,7 @@ Status SlicingStore::CreateObjectWithOid(Oid oid) {
   obj.oid = oid;
   objects_.emplace(oid.value(), std::move(obj));
   oid_alloc_.BumpPast(oid);
+  CaptureExistence(oid, false);
   Record(ChangeRecord::Kind::kObjectCreated, oid);
   return Status::OK();
 }
@@ -72,6 +96,21 @@ Result<const SlicingStore::ConceptualObject*> SlicingStore::Find(
 
 Status SlicingStore::DestroyObject(Oid oid) {
   TSE_ASSIGN_OR_RETURN(ConceptualObject * obj, Find(oid));
+  if (capture_active()) {
+    // Pre-image the whole object before any state is dropped: every
+    // stored value (unset properties read Null both live and versioned,
+    // so only stored ones need entries), every direct membership, and
+    // finally existence itself.
+    for (const auto& [cls, index] : obj->slices) {
+      for (const auto& [def, val] : arenas_.at(cls)[index].values) {
+        CaptureValue(oid, ClassId(cls), PropertyDefId(def), val);
+      }
+    }
+    for (ClassId cls : obj->direct_classes) {
+      CaptureMembership(oid, cls, true);
+    }
+    CaptureExistence(oid, true);
+  }
   // Detach all slices (copy keys first: ArenaRemove mutates obj->slices
   // indirectly through swap fix-ups of *other* objects only, but we
   // iterate safely anyway).
@@ -167,8 +206,10 @@ Status SlicingStore::RemoveSlice(Oid oid, ClassId cls) {
   }
   size_t index = it->second;
   // Discarding the slice drops its stored values: journal each one as a
-  // value change (it now reads Null) so select predicates re-check.
-  for (const auto& [def, _] : arenas_.at(cls.value())[index].values) {
+  // value change (it now reads Null) so select predicates re-check, and
+  // capture the pre-image so snapshots keep reading the dropped value.
+  for (const auto& [def, val] : arenas_.at(cls.value())[index].values) {
+    CaptureValue(oid, cls, PropertyDefId(def), val);
     Record(ChangeRecord::Kind::kValueChanged, oid, cls, PropertyDefId(def));
   }
   obj->slices.erase(it);
@@ -202,6 +243,7 @@ Status SlicingStore::SetValue(Oid oid, ClassId cls, PropertyDefId def,
   if (it != values.end() && it->second == value) {
     return Status::OK();  // no-op write: state unchanged, caches live on
   }
+  CaptureValue(oid, cls, def, it != values.end() ? it->second : Value::Null());
   values[def.value()] = std::move(value);
   Record(ChangeRecord::Kind::kValueChanged, oid, cls, def);
   return Status::OK();
@@ -223,6 +265,7 @@ Status SlicingStore::AddMembership(Oid oid, ClassId cls) {
   if (!obj->direct_classes.insert(cls).second) {
     return Status::OK();  // already a member: no state change
   }
+  CaptureMembership(oid, cls, false);
   extents_[cls.value()].insert(oid);
   Record(ChangeRecord::Kind::kMembershipAdded, oid, cls);
   return Status::OK();
@@ -235,6 +278,7 @@ Status SlicingStore::RemoveMembership(Oid oid, ClassId cls) {
                                    " not a direct member of class ",
                                    cls.ToString()));
   }
+  CaptureMembership(oid, cls, true);
   extents_[cls.value()].erase(oid);
   Record(ChangeRecord::Kind::kMembershipRemoved, oid, cls);
   return Status::OK();
@@ -275,6 +319,236 @@ void SlicingStore::ForEachObject(const std::function<void(Oid)>& fn) const {
   for (const auto& [raw, _] : objects_) {
     fn(Oid(raw));
   }
+}
+
+void SlicingStore::BeginMvccOp(uint64_t epoch) {
+  mvcc_ctx_.active = true;
+  mvcc_ctx_.epoch = epoch;
+  mvcc_ctx_.marker = 0;
+}
+
+void SlicingStore::BeginMvccPending(uint64_t marker) {
+  mvcc_ctx_.active = true;
+  mvcc_ctx_.epoch = kPendingEpoch;
+  mvcc_ctx_.marker = marker;
+}
+
+void SlicingStore::EndMvccOp() { mvcc_ctx_ = MvccContext{}; }
+
+void SlicingStore::CaptureValue(Oid oid, ClassId cls, PropertyDefId def,
+                                const Value& old_value) {
+  if (!mvcc_ctx_.active) return;
+  auto& chain = value_chains_[{oid.value(), cls.value(), def.value()}];
+  chain.push_back(ValueVersion{mvcc_ctx_.epoch, mvcc_ctx_.marker, old_value});
+  ++version_entries_;
+  if (mvcc_ctx_.marker != 0) {
+    pending_refs_[mvcc_ctx_.marker].push_back(
+        {PendingRef::kValue, oid.value(), cls.value(), def.value()});
+  }
+#ifndef TSE_OBS_DISABLE
+  static obs::Histogram* hist = obs::MetricsRegistry::Instance().GetHistogram(
+      "storage.version_chain_len");
+  hist->Record(static_cast<double>(chain.size()));
+#endif
+}
+
+void SlicingStore::CaptureMembership(Oid oid, ClassId cls, bool was_member) {
+  if (!mvcc_ctx_.active) return;
+  member_chains_[{oid.value(), cls.value()}].push_back(
+      MemberVersion{mvcc_ctx_.epoch, mvcc_ctx_.marker, was_member});
+  member_chain_by_class_[cls.value()].insert(oid);
+  ++version_entries_;
+  if (mvcc_ctx_.marker != 0) {
+    pending_refs_[mvcc_ctx_.marker].push_back(
+        {PendingRef::kMember, oid.value(), cls.value(), 0});
+  }
+}
+
+void SlicingStore::CaptureExistence(Oid oid, bool existed) {
+  if (!mvcc_ctx_.active) return;
+  exist_chains_[oid.value()].push_back(
+      ExistVersion{mvcc_ctx_.epoch, mvcc_ctx_.marker, existed});
+  ++version_entries_;
+  if (mvcc_ctx_.marker != 0) {
+    pending_refs_[mvcc_ctx_.marker].push_back(
+        {PendingRef::kExist, oid.value(), 0, 0});
+  }
+}
+
+void SlicingStore::StampPending(uint64_t marker, uint64_t epoch) {
+  auto it = pending_refs_.find(marker);
+  if (it == pending_refs_.end()) return;
+  for (const PendingRef& ref : it->second) {
+    switch (ref.kind) {
+      case PendingRef::kValue: {
+        auto cit = value_chains_.find({ref.oid, ref.cls, ref.def});
+        if (cit == value_chains_.end()) break;
+        for (ValueVersion& v : cit->second) {
+          if (v.marker == marker && v.epoch == kPendingEpoch) v.epoch = epoch;
+        }
+        break;
+      }
+      case PendingRef::kMember: {
+        auto cit = member_chains_.find({ref.oid, ref.cls});
+        if (cit == member_chains_.end()) break;
+        for (MemberVersion& v : cit->second) {
+          if (v.marker == marker && v.epoch == kPendingEpoch) v.epoch = epoch;
+        }
+        break;
+      }
+      case PendingRef::kExist: {
+        auto cit = exist_chains_.find(ref.oid);
+        if (cit == exist_chains_.end()) break;
+        for (ExistVersion& v : cit->second) {
+          if (v.marker == marker && v.epoch == kPendingEpoch) v.epoch = epoch;
+        }
+        break;
+      }
+    }
+  }
+  pending_refs_.erase(it);
+}
+
+void SlicingStore::DropPending(uint64_t marker) {
+  auto it = pending_refs_.find(marker);
+  if (it == pending_refs_.end()) return;
+  auto prune = [&](auto& chain) {
+    size_t before = chain.size();
+    chain.erase(std::remove_if(chain.begin(), chain.end(),
+                               [&](const auto& v) {
+                                 return v.marker == marker &&
+                                        v.epoch == kPendingEpoch;
+                               }),
+                chain.end());
+    version_entries_ -= before - chain.size();
+  };
+  for (const PendingRef& ref : it->second) {
+    switch (ref.kind) {
+      case PendingRef::kValue: {
+        auto cit = value_chains_.find({ref.oid, ref.cls, ref.def});
+        if (cit == value_chains_.end()) break;
+        prune(cit->second);
+        if (cit->second.empty()) value_chains_.erase(cit);
+        break;
+      }
+      case PendingRef::kMember: {
+        auto cit = member_chains_.find({ref.oid, ref.cls});
+        if (cit == member_chains_.end()) break;
+        prune(cit->second);
+        if (cit->second.empty()) {
+          auto bit = member_chain_by_class_.find(ref.cls);
+          if (bit != member_chain_by_class_.end()) {
+            bit->second.erase(Oid(ref.oid));
+            if (bit->second.empty()) member_chain_by_class_.erase(bit);
+          }
+          member_chains_.erase(cit);
+        }
+        break;
+      }
+      case PendingRef::kExist: {
+        auto cit = exist_chains_.find(ref.oid);
+        if (cit == exist_chains_.end()) break;
+        prune(cit->second);
+        if (cit->second.empty()) exist_chains_.erase(cit);
+        break;
+      }
+    }
+  }
+  pending_refs_.erase(it);
+}
+
+size_t SlicingStore::VacuumVersions(uint64_t horizon) {
+  // Every live snapshot reads at an epoch >= horizon, and the chain read
+  // rule only ever selects entries with epoch > snapshot-epoch, so an
+  // entry stamped <= horizon can never be selected again. Chains grow by
+  // append and epochs are near-monotone, so dead entries cluster at the
+  // front; popping until the front survives is conservative (out-of-order
+  // stamping can strand a dead entry behind a live one — it is reclaimed
+  // by a later pass).
+  size_t reclaimed = 0;
+  auto sweep = [&](auto& chains, auto on_empty) {
+    for (auto it = chains.begin(); it != chains.end();) {
+      auto& chain = it->second;
+      while (!chain.empty() && chain.front().epoch <= horizon) {
+        chain.pop_front();
+        ++reclaimed;
+      }
+      if (chain.empty()) {
+        on_empty(it->first);
+        it = chains.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  sweep(value_chains_, [](const ValueKey&) {});
+  sweep(member_chains_, [&](const MemberKey& key) {
+    auto bit = member_chain_by_class_.find(key.second);
+    if (bit != member_chain_by_class_.end()) {
+      bit->second.erase(Oid(key.first));
+      if (bit->second.empty()) member_chain_by_class_.erase(bit);
+    }
+  });
+  sweep(exist_chains_, [](uint64_t) {});
+  version_entries_ -= reclaimed;
+  return reclaimed;
+}
+
+size_t SlicingStore::version_entry_count() const { return version_entries_; }
+
+bool SlicingStore::ExistsAt(Oid oid, uint64_t epoch) const {
+  auto it = exist_chains_.find(oid.value());
+  if (it != exist_chains_.end()) {
+    if (const ExistVersion* v = VersionAt(it->second, epoch)) {
+      return v->existed;
+    }
+  }
+  return Exists(oid);
+}
+
+Result<Value> SlicingStore::GetValueAt(Oid oid, ClassId cls, PropertyDefId def,
+                                       uint64_t epoch) const {
+  if (!ExistsAt(oid, epoch)) {
+    return Status::NotFound(StrCat("object ", oid.ToString()));
+  }
+  auto it = value_chains_.find({oid.value(), cls.value(), def.value()});
+  if (it != value_chains_.end()) {
+    if (const ValueVersion* v = VersionAt(it->second, epoch)) {
+      return v->old_value;
+    }
+  }
+  // No chain entry applies: the live state was already current at
+  // `epoch`. The object may have been destroyed since (existence chain
+  // said it was alive at `epoch`); any value it held then was captured,
+  // so reaching here means the property was unset — Null, like GetValue.
+  if (!Exists(oid)) return Value::Null();
+  return GetValue(oid, cls, def);
+}
+
+bool SlicingStore::HasMembershipAt(Oid oid, ClassId cls,
+                                   uint64_t epoch) const {
+  if (!ExistsAt(oid, epoch)) return false;
+  auto it = member_chains_.find({oid.value(), cls.value()});
+  if (it != member_chains_.end()) {
+    if (const MemberVersion* v = VersionAt(it->second, epoch)) {
+      return v->was_member;
+    }
+  }
+  return HasMembership(oid, cls);
+}
+
+std::set<Oid> SlicingStore::DirectExtentAt(ClassId cls, uint64_t epoch) const {
+  std::set<Oid> out = DirectExtent(cls);
+  auto it = member_chain_by_class_.find(cls.value());
+  if (it == member_chain_by_class_.end()) return out;
+  for (Oid oid : it->second) {
+    if (HasMembershipAt(oid, cls, epoch)) {
+      out.insert(oid);
+    } else {
+      out.erase(oid);
+    }
+  }
+  return out;
 }
 
 SlicingStats SlicingStore::Stats() const {

@@ -4,7 +4,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <set>
+#include <tuple>
+#include <utility>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -192,6 +195,62 @@ class SlicingStore {
   /// Allocator access for the persistence bridge.
   IdAllocator<Oid>& oid_allocator() { return oid_alloc_; }
 
+  // --- MVCC version chains ---------------------------------------------
+  //
+  // Undo-based multi-versioning for snapshot reads (docs/ARCHITECTURE.md,
+  // DESIGN.md §13). The live maps above always hold the *newest* state;
+  // whenever a mutation supersedes committed state while an MVCC stamp
+  // context is active, the *pre-image* is pushed onto a version chain,
+  // stamped with the epoch at which the old state stopped being current.
+  // A snapshot pinned at epoch E reads the chain entry with the smallest
+  // epoch > E (earliest-appended on ties) and falls back to the live
+  // state when no entry applies. Capture is off when no context is
+  // active (persistence reload, direct-store tests), so those paths
+  // record nothing and cost nothing.
+
+  /// Epoch stamp carried by version entries whose transaction has not
+  /// committed yet. Greater than every real epoch, so pending pre-images
+  /// mask the txn's uncommitted live mutations from every snapshot.
+  static constexpr uint64_t kPendingEpoch = ~0ull;
+
+  /// Arms capture for one auto-committed operation: pre-images produced
+  /// until EndMvccOp() are stamped `epoch` (the epoch the operation's
+  /// commit will publish).
+  void BeginMvccOp(uint64_t epoch);
+
+  /// Arms capture for a transactional operation: pre-images are stamped
+  /// kPendingEpoch and tagged `marker` (the txn id, nonzero) so
+  /// StampPending/DropPending can resolve them at commit/rollback.
+  void BeginMvccPending(uint64_t marker);
+
+  /// Disarms capture.
+  void EndMvccOp();
+
+  /// Commit: stamps every pending entry tagged `marker` with `epoch`.
+  void StampPending(uint64_t marker, uint64_t epoch);
+
+  /// Rollback: discards every pending entry tagged `marker` (the undo
+  /// replay restored the live state, so the pre-images are redundant).
+  void DropPending(uint64_t marker);
+
+  /// Trims version entries no snapshot can reach: an entry stamped
+  /// epoch <= `horizon` is dead once every live snapshot reads at an
+  /// epoch >= `horizon`. Returns the number of entries reclaimed.
+  size_t VacuumVersions(uint64_t horizon);
+
+  /// Total version entries currently retained (all chains).
+  size_t version_entry_count() const;
+
+  // Epoch-bound reads. Semantics mirror the live readers, evaluated as
+  // of epoch `epoch`: Exists/GetValue/HasMembership/DirectExtent.
+  bool ExistsAt(Oid oid, uint64_t epoch) const;
+  Result<Value> GetValueAt(Oid oid, ClassId cls, PropertyDefId def,
+                           uint64_t epoch) const;
+  bool HasMembershipAt(Oid oid, ClassId cls, uint64_t epoch) const;
+  /// Live direct extent adjusted by membership/existence chains; returns
+  /// by value (a snapshot must not alias mutable live state).
+  std::set<Oid> DirectExtentAt(ClassId cls, uint64_t epoch) const;
+
  private:
   struct ConceptualObject {
     Oid oid;
@@ -210,6 +269,67 @@ class SlicingStore {
 
   Result<ConceptualObject*> Find(Oid oid);
   Result<const ConceptualObject*> Find(Oid oid) const;
+
+  // --- MVCC internals ----------------------------------------------------
+
+  /// Pre-image of a stored value: what (oid, cls, def) read before the
+  /// mutation stamped `epoch` superseded it. A missing slice / unset
+  /// property reads Null, so Null doubles as the "was absent" pre-image
+  /// (exactly the live GetValue contract).
+  struct ValueVersion {
+    uint64_t epoch = 0;
+    uint64_t marker = 0;
+    Value old_value;
+  };
+  /// Pre-image of a direct membership bit for (oid, cls).
+  struct MemberVersion {
+    uint64_t epoch = 0;
+    uint64_t marker = 0;
+    bool was_member = false;
+  };
+  /// Pre-image of object existence for oid.
+  struct ExistVersion {
+    uint64_t epoch = 0;
+    uint64_t marker = 0;
+    bool existed = false;
+  };
+
+  struct MvccContext {
+    bool active = false;
+    uint64_t epoch = 0;   ///< stamp for auto-commit capture
+    uint64_t marker = 0;  ///< nonzero => pending (transactional) capture
+  };
+
+  /// Which chain a pending entry lives in, by key (deque-stable: entries
+  /// are only appended while pending, never erased from the middle).
+  struct PendingRef {
+    enum Kind : uint8_t { kValue, kMember, kExist };
+    Kind kind = kValue;
+    uint64_t oid = 0;
+    uint64_t cls = 0;
+    uint64_t def = 0;
+  };
+
+  using ValueKey = std::tuple<uint64_t, uint64_t, uint64_t>;  // oid, cls, def
+  using MemberKey = std::pair<uint64_t, uint64_t>;            // oid, cls
+
+  bool capture_active() const { return mvcc_ctx_.active; }
+  /// Pre-image push sites (no-ops unless a stamp context is active).
+  void CaptureValue(Oid oid, ClassId cls, PropertyDefId def,
+                    const Value& old_value);
+  void CaptureMembership(Oid oid, ClassId cls, bool was_member);
+  void CaptureExistence(Oid oid, bool existed);
+
+  MvccContext mvcc_ctx_;
+  std::map<ValueKey, std::deque<ValueVersion>> value_chains_;
+  std::map<MemberKey, std::deque<MemberVersion>> member_chains_;
+  std::map<uint64_t, std::deque<ExistVersion>> exist_chains_;
+  /// ClassId.value() -> oids with a membership chain touching that class
+  /// (lets DirectExtentAt adjust the live extent without a full scan).
+  std::map<uint64_t, std::set<Oid>> member_chain_by_class_;
+  /// marker -> chains holding that txn's pending entries.
+  std::unordered_map<uint64_t, std::vector<PendingRef>> pending_refs_;
+  size_t version_entries_ = 0;
 
   IdAllocator<Oid> oid_alloc_;
   uint64_t mutations_ = 0;

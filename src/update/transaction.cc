@@ -79,7 +79,7 @@ Status Transaction::Set(Oid oid, ClassId cls, const std::string& name,
   return engine_->Set(oid, cls, name, std::move(value));
 }
 
-Result<Transaction::ObjectSnapshot> Transaction::Snapshot(Oid oid) const {
+Result<Transaction::ObjectSnapshot> Transaction::ObjectImageAt(Oid oid) const {
   objmodel::SlicingStore* store = engine_->accessor().store();
   if (!store->Exists(oid)) {
     return Status::NotFound(StrCat("object ", oid.ToString()));
@@ -118,7 +118,7 @@ Status Transaction::Remove(Oid oid, ClassId cls) {
 Status Transaction::Delete(Oid oid) {
   if (!active_) return Status::FailedPrecondition("transaction finished");
   TSE_RETURN_IF_ERROR(LockExclusive(oid));
-  TSE_ASSIGN_OR_RETURN(ObjectSnapshot snap, Snapshot(oid));
+  TSE_ASSIGN_OR_RETURN(ObjectSnapshot snap, ObjectImageAt(oid));
   TSE_RETURN_IF_ERROR(engine_->Delete(oid));
   undo_log_.push_back(UndoDelete{std::move(snap)});
   return Status::OK();

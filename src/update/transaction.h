@@ -93,7 +93,9 @@ class Transaction {
 
   Status LockShared(Oid oid);
   Status LockExclusive(Oid oid);
-  Result<ObjectSnapshot> Snapshot(Oid oid) const;
+  /// Named ObjectImageAt (not Snapshot) to keep the private pre-image
+  /// helper from colliding with the public tse::Snapshot read handle.
+  Result<ObjectSnapshot> ObjectImageAt(Oid oid) const;
   Status ApplyUndo(const UndoRecord& record);
   void Finish();
 

@@ -14,6 +14,7 @@
 #include <tse/schema_change.h>
 #include <tse/server.h>
 #include <tse/session.h>
+#include <tse/snapshot.h>
 #include <tse/status.h>
 #include <tse/value.h>
 
@@ -65,6 +66,27 @@ TEST(PublicApiTest, EmbeddedSurface) {
   EXPECT_EQ(session->Get(bob, "Person", "is_adult").value(),
             Value::Bool(true));
 
+  // Snapshot reads: the preferred read path. Session::GetSnapshot pins
+  // (view version, epoch); Db::OpenSnapshot / OpenSnapshotAt address
+  // views explicitly. All read methods are const and repeatable.
+  std::unique_ptr<tse::Snapshot> snap = session->GetSnapshot().value();
+  EXPECT_EQ(snap->epoch(), db->visible_epoch());
+  EXPECT_EQ(snap->view_name(), "V");
+  EXPECT_EQ(snap->Get(bob, "Person", "age").value(), Value::Int(31));
+  EXPECT_EQ(snap->GetAttr(bob, "Person", "age").value(), Value::Int(31));
+  EXPECT_EQ(snap->Extent("Person").value().count(bob), 1u);
+  EXPECT_EQ(snap->Select("Person", "age >= 21").value().size(), 1u);
+  ASSERT_TRUE(snap->Resolve("Person").ok());
+  ASSERT_TRUE(session->Set(bob, "Person", "age", Value::Int(40)).ok());
+  EXPECT_EQ(snap->Get(bob, "Person", "age").value(), Value::Int(31));
+  snap = db->OpenSnapshot("V").value();
+  EXPECT_EQ(snap->Get(bob, "Person", "age").value(), Value::Int(40));
+  snap = db->OpenSnapshotAt(session->view_id(), db->visible_epoch()).value();
+  EXPECT_EQ(snap->view_id(), session->view_id());
+  snap.reset();
+  (void)db->VacuumVersions();
+  ASSERT_TRUE(session->Set(bob, "Person", "age", Value::Int(31)).ok());
+
   // Adaptive physical layout: pin, inspect, unpin.
   ASSERT_TRUE(db->PinLayout("Person").ok());
   tse::layout::PackedRecordCache::ClassStats layout_stats =
@@ -112,6 +134,23 @@ TEST(PublicApiTest, RemoteSurface) {
   EXPECT_EQ(client->Get(eve, "Person", "name").value(), Value::Str("eve"));
   ASSERT_TRUE(client->Apply("add_attribute zip:string to Person").ok());
   EXPECT_EQ(client->view_version(), 2);
+
+  // Remote snapshot handles mirror the embedded tse::Snapshot surface.
+  std::unique_ptr<tse::Client::Snapshot> snap = client->GetSnapshot().value();
+  EXPECT_EQ(snap->view_name(), "V");
+  EXPECT_EQ(snap->Get(eve, "Person", "name").value(), Value::Str("eve"));
+  EXPECT_EQ(snap->GetAttr(eve, "Person", "name").value(), Value::Str("eve"));
+  ASSERT_TRUE(client->Set(eve, "Person", "name", Value::Str("eva")).ok());
+  EXPECT_EQ(snap->Get(eve, "Person", "name").value(), Value::Str("eve"));
+  std::vector<Oid> extent = snap->Extent("Person").value();
+  EXPECT_EQ(extent.size(), 1u);
+  EXPECT_FALSE(snap->Select("Person", "name == \"eve\"").value().empty());
+  uint64_t pinned = snap->epoch();
+  snap = client->OpenSnapshot("V").value();
+  EXPECT_GT(snap->epoch(), pinned);
+  EXPECT_EQ(snap->Get(eve, "Person", "name").value(), Value::Str("eva"));
+  snap = client->OpenSnapshotAt(snap->view_id(), snap->epoch()).value();
+  snap.reset();
   server.Stop();
 }
 

@@ -193,10 +193,13 @@ TEST(FrameReaderTest, UnknownOpcodeStillFrames) {
 TEST(WireOpcodeTest, NamesAndKnownness) {
   EXPECT_TRUE(IsKnownOpcode(static_cast<uint8_t>(Opcode::kHello)));
   EXPECT_TRUE(IsKnownOpcode(static_cast<uint8_t>(Opcode::kCreateView)));
+  EXPECT_TRUE(IsKnownOpcode(static_cast<uint8_t>(Opcode::kSnapshotOpen)));
+  EXPECT_TRUE(IsKnownOpcode(static_cast<uint8_t>(Opcode::kSnapshotClose)));
   EXPECT_FALSE(IsKnownOpcode(0));
   EXPECT_FALSE(IsKnownOpcode(
-      static_cast<uint8_t>(Opcode::kCreateView) + 1));
+      static_cast<uint8_t>(Opcode::kSnapshotClose) + 1));
   EXPECT_STREQ(OpcodeName(Opcode::kApply), "apply");
+  EXPECT_STREQ(OpcodeName(Opcode::kSnapshotOpen), "snapshot_open");
   EXPECT_STREQ(OpcodeName(static_cast<Opcode>(0xee)), "unknown");
 }
 

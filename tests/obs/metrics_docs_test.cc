@@ -22,6 +22,7 @@
 #include "layout/packed_record_cache.h"
 #include "db/db.h"
 #include "db/session.h"
+#include "db/snapshot.h"
 #include "evolution/change_parser.h"
 #include "evolution/tse_manager.h"
 #include "net/client.h"
@@ -287,6 +288,31 @@ void RunDbFacadeWorkload(const std::string& dir) {
   ASSERT_TRUE(lagging->Refresh().ok());
 }
 
+void RunSnapshotWorkload() {
+  // MVCC snapshot reads: open, epoch-pinned Get/Extent (db.snapshot.*),
+  // version-chain growth (storage.version_chain_len), and an explicit
+  // vacuum reclaiming trimmed entries (db.snapshot.vacuumed_versions).
+  DbOptions options;
+  options.closure_policy = update::ValueClosurePolicy::kAllow;
+  options.vacuum_every = 0;  // explicit vacuum below, deterministically
+  auto db = Db::Open(options).value();
+  ClassId person =
+      db->AddBaseClass("Person", {},
+                       {PropertySpec::Attribute("age", ValueType::kInt)})
+          .value();
+  ASSERT_TRUE(db->CreateView("Snap", {{person, ""}}).ok());
+  auto session = db->OpenSession("Snap").value();
+  Oid p = session->Create("Person", {{"age", Value::Int(1)}}).value();
+  auto snap = session->GetSnapshot().value();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(session->Set(p, "Person", "age", Value::Int(10 + i)).ok());
+  }
+  ASSERT_TRUE(snap->Get(p, "Person", "age").ok());
+  ASSERT_TRUE(snap->Extent("Person").ok());
+  snap.reset();
+  ASSERT_GT(db->VacuumVersions(), 0u);
+}
+
 void RunNetWorkload() {
   // Wire protocol: loopback server + client covering accept, session
   // bind, request dispatch, a schema change over the wire, and close.
@@ -363,6 +389,7 @@ TEST(MetricsDocs, EveryRegisteredMetricIsDocumented) {
   RunIndexPlannerWorkload();
   RunLayoutWorkload();
   RunDbFacadeWorkload(::testing::TempDir());
+  RunSnapshotWorkload();
   RunNetWorkload();
   RunStorageWorkload(::testing::TempDir());
 
