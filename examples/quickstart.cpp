@@ -4,40 +4,50 @@
 // a `register` attribute on Student; instead of changing the shared
 // schema (and breaking developer B), the change is applied to A's view.
 // Both developers keep working against the same objects — each through
-// a tse::Session bound to their own view.
+// a tse::Backend handle bound to their own view.
 //
-// Build & run:  ./build/examples/quickstart
+// The program is written against the deployment-agnostic access layer:
+// pass a tse::Connect spec to run it against any deployment (the
+// database must be empty — the program bootstraps its own schema).
+//
+// Build & run:  ./build/examples/quickstart                 # embedded
+//               ./build/examples/quickstart tcp:HOST:PORT   # tse_served
+//               ./build/examples/quickstart cluster:H:P1,H:P2
 
 #include <iostream>
 
-#include <tse/db.h>
-#include <tse/session.h>
+#include <tse/backend.h>
 
 using namespace tse;
 using objmodel::Value;
 using objmodel::ValueType;
 using schema::PropertySpec;
 
-int main() {
-  // --- 1. One Db owns the whole engine (Figure 6 in one object) -----------
-  auto db = Db::Open().value();
+int main(int argc, char** argv) {
+  // --- 1. One Connect spec decides the deployment; nothing else does -------
+  auto dev_a = Connect(argc > 1 ? argv[1] : "embedded:").value();
 
   ClassId person =
-      db->AddBaseClass("Person", {},
-                       {PropertySpec::Attribute("name", ValueType::kString)})
+      dev_a
+          ->AddBaseClass("Person", {},
+                         {PropertySpec::Attribute("name", ValueType::kString)})
           .value();
   ClassId student =
-      db->AddBaseClass("Student", {person},
-                       {PropertySpec::Attribute("major", ValueType::kString)})
+      dev_a
+          ->AddBaseClass("Student", {person},
+                         {PropertySpec::Attribute("major",
+                                                  ValueType::kString)})
           .value();
-  ClassId ta = db->AddBaseClass("TA", {student}, {}).value();
+  ClassId ta = dev_a->AddBaseClass("TA", {student}, {}).value();
 
-  db->CreateView("DevA", {{person, ""}, {student, ""}, {ta, ""}}).value();
-  db->CreateView("DevB", {{person, ""}, {student, ""}}).value();
+  dev_a->CreateView("DevA", {{person, ""}, {student, ""}, {ta, ""}}).value();
+  dev_a->CreateView("DevB", {{person, ""}, {student, ""}}).value();
 
-  // --- 2. Each developer opens a session on their view ---------------------
-  auto dev_a = db->OpenSession("DevA").value();
-  auto dev_b = db->OpenSession("DevB").value();
+  // --- 2. Each developer binds their own view ------------------------------
+  // Clone() is the deployment-agnostic "second connection".
+  auto dev_b = dev_a->Clone().value();
+  dev_a->OpenSession("DevA");
+  dev_b->OpenSession("DevB");
 
   Oid alice = dev_a
                   ->Create("Student", {{"name", Value::Str("alice")},
@@ -49,7 +59,7 @@ int main() {
   dev_a->Apply("add_attribute register:bool to Student").value();
 
   std::cout << "Developer A's view after the change:\n"
-            << dev_a->ViewToString() << "\n\n";
+            << dev_a->ViewToString().value() << "\n\n";
 
   // --- 4. Transparency: A sees the new attribute under the old names -------
   dev_a->Set(alice, "Student", "register", Value::Bool(true)).ok();
@@ -66,7 +76,7 @@ int main() {
   std::cout << "B sees register?         "
             << (b_sees_register ? "yes (BUG)" : "no (transparent)") << "\n";
   // A's old view version also survives for her already-deployed programs.
-  std::cout << "A's view history depth:  "
-            << db->views().History("DevA").size() << " versions\n";
+  std::cout << "A's view is now version " << dev_a->view_version()
+            << " (v1 survives for deployed programs)\n";
   return 0;
 }

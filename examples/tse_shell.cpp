@@ -2,15 +2,16 @@
 // paper's textual operator syntax. Reads commands from stdin (or runs a
 // scripted demo when stdin is not a TTY and no input arrives).
 //
-// The shell talks to a backend behind one interface: the embedded
-// engine (a tse::Db + tse::Session in-process, the default) or a
-// remote tse_served instance (a tse::Client over the wire protocol).
-// Every command works identically against either — the shell is the
-// proof that the wire protocol and the embedded facade expose one
-// surface.
+// The shell is written once against `tse::Backend` and obtains every
+// engine through `tse::Connect` — the embedded engine (the default), a
+// remote tse_served, or a sharded cluster. Every command works
+// identically against all three — the shell is the proof that the
+// deployment-agnostic access layer exposes one surface, with no
+// per-deployment branches outside Connect.
 //
 //   build/examples/tse_shell                    # embedded demo schema
 //   build/examples/tse_shell connect HOST:PORT  # drive a tse_served
+//   build/examples/tse_shell cluster H:P1,H:P2  # drive a shard fleet
 //   > add_attribute register:bool to Student
 //   > add_method is_adult = age >= 18 to Person
 //   > show
@@ -22,8 +23,10 @@
 // layout of a hot class, DESIGN.md §12),
 // `session <view>` (open/switch the bound view), `sessionat <id>`
 // (pin a historical view version), `connect <host:port> [view]`
-// (switch to a remote backend), `new <Class>`,
-// `set <oid> <Class> <attr> <expr>`, `get <oid> <Class> <attr>`,
+// (switch to a remote backend), `cluster <h:p1,h:p2,...> [view]`
+// (switch to a sharded fleet), `select <Class> <predicate>`,
+// `new <Class>`, `set <oid> <Class> <attr> <expr>`,
+// `get <oid> <Class> <attr>`,
 // `snapshot open` / `snapshot read <oid> <Class> <path>` /
 // `snapshot close` (pin an MVCC snapshot and read through it,
 // DESIGN.md §13), `begin`/`commit`/`rollback`, `stats [reset]`,
@@ -34,11 +37,8 @@
 #include <string>
 #include <vector>
 
-#include <tse/client.h>
-#include <tse/db.h>
+#include <tse/backend.h>
 #include <tse/obs.h>
-#include <tse/query.h>
-#include <tse/session.h>
 
 using namespace tse;
 using objmodel::Value;
@@ -47,402 +47,55 @@ using schema::PropertySpec;
 
 namespace {
 
-/// What the shell needs from an engine — implemented by the embedded
-/// Db/Session pair and by the wire-protocol Client. Command handlers
-/// are written once against this.
-class Backend {
- public:
-  virtual ~Backend() = default;
-
-  virtual std::string Where() const = 0;
-  virtual const std::string& view_name() const = 0;
-  virtual int view_version() const = 0;
-
-  virtual Status OpenSession(const std::string& view_name) = 0;
-  virtual Status OpenSessionAt(ViewId view_id) = 0;
-
-  virtual Result<std::string> ViewToString() = 0;
-  virtual Result<std::vector<std::string>> ListClasses() = 0;
-  virtual Result<std::vector<Oid>> Extent(const std::string& class_name) = 0;
-  virtual Result<std::string> History() = 0;
-  virtual Result<std::string> Explain(const std::string& class_name) = 0;
-  /// action is "" (inspect), "pin", or "unpin".
-  virtual Result<std::string> Layout(const std::string& action,
-                                     const std::string& class_name) = 0;
-
-  /// Pins an MVCC snapshot of the bound view at the current epoch
-  /// (replacing any previous one); returns a one-line description.
-  virtual Result<std::string> SnapshotOpen() = 0;
-  /// Reads through the pinned snapshot.
-  virtual Result<Value> SnapshotRead(Oid oid, const std::string& class_name,
-                                     const std::string& path) = 0;
-  /// Releases the pinned snapshot (and its epoch, for the vacuum).
-  virtual Status SnapshotClose() = 0;
-
-  virtual Result<Oid> Create(const std::string& class_name) = 0;
-  virtual Result<Value> Get(Oid oid, const std::string& class_name,
-                            const std::string& attr) = 0;
-  /// `expr_text` interpretation is backend-specific: embedded evaluates
-  /// full expressions against the target object; remote accepts
-  /// literals (the expression language does not travel over the wire).
-  virtual Status Set(Oid oid, const std::string& class_name,
-                     const std::string& attr, const std::string& expr_text) = 0;
-
-  virtual Status Begin() = 0;
-  virtual Status Commit() = 0;
-  virtual Status Rollback() = 0;
-
-  virtual Status Apply(const std::string& change_text) = 0;
-  virtual Result<std::string> Stats(bool reset) = 0;
-};
-
-/// The embedded engine: a Db owned by the shell process.
-class LocalBackend : public Backend {
- public:
-  /// Boots the demo schema (Person <- Student <- TA, view "Shell") with
-  /// a couple of objects, mirroring tse_served --demo.
-  LocalBackend() {
-    DbOptions options;
-    options.closure_policy = update::ValueClosurePolicy::kAllow;
-    db_ = Db::Open(options).value();
-    ClassId person =
-        db_->AddBaseClass("Person", {},
-                          {PropertySpec::Attribute("name", ValueType::kString),
-                           PropertySpec::Attribute("age", ValueType::kInt)})
-            .value();
-    ClassId student =
-        db_->AddBaseClass("Student", {person},
-                          {PropertySpec::Attribute("major",
-                                                   ValueType::kString)})
-            .value();
-    ClassId ta = db_->AddBaseClass("TA", {student}, {}).value();
-    db_->CreateView("Shell", {{person, ""}, {student, ""}, {ta, ""}}).value();
-    session_ = db_->OpenSession("Shell").value();
-    session_->Create("Student", {{"name", Value::Str("alice")},
-                                 {"age", Value::Int(20)}})
-        .value();
-    session_->Create("TA", {{"name", Value::Str("carol")},
-                            {"age", Value::Int(24)}})
-        .value();
-  }
-
-  std::string Where() const override { return "embedded"; }
-  const std::string& view_name() const override {
-    return session_->view_name();
-  }
-  int view_version() const override { return session_->view_version(); }
-
-  Status OpenSession(const std::string& view_name) override {
-    TSE_ASSIGN_OR_RETURN(auto next, db_->OpenSession(view_name));
-    session_ = std::move(next);
-    return Status::OK();
-  }
-
-  Status OpenSessionAt(ViewId view_id) override {
-    TSE_ASSIGN_OR_RETURN(auto next, db_->OpenSessionAt(view_id));
-    session_ = std::move(next);
-    return Status::OK();
-  }
-
-  Result<std::string> ViewToString() override {
-    return session_->ViewToString();
-  }
-
-  Result<std::vector<std::string>> ListClasses() override {
-    TSE_ASSIGN_OR_RETURN(const view::ViewSchema* vs,
-                         db_->views().GetView(session_->view_id()));
-    std::vector<std::string> names;
-    for (ClassId cls : vs->classes()) {
-      TSE_ASSIGN_OR_RETURN(std::string name, vs->DisplayName(cls));
-      names.push_back(std::move(name));
-    }
-    return names;
-  }
-
-  Result<std::vector<Oid>> Extent(const std::string& class_name) override {
-    TSE_ASSIGN_OR_RETURN(auto extent, session_->Extent(class_name));
-    return std::vector<Oid>(extent->begin(), extent->end());
-  }
-
-  Result<std::string> History() override {
-    std::ostringstream out;
-    for (const std::string& name : db_->views().ViewNames()) {
-      out << name << ": " << db_->views().History(name).size()
-          << " version(s)\n";
-    }
-    return out.str();
-  }
-
-  Result<std::string> Explain(const std::string& class_name) override {
-    TSE_ASSIGN_OR_RETURN(ClassId cls, session_->Resolve(class_name));
-    TSE_ASSIGN_OR_RETURN(algebra::SelectPlan plan,
-                         db_->extents().ExplainSelect(cls));
-    std::ostringstream out;
-    out << class_name << ": arm=" << algebra::PlanArmName(plan.arm)
-        << ", est_selectivity=" << plan.est_selectivity
-        << ", source_size=" << plan.source_size << "\n  " << plan.reason
-        << "\n  epoch: visible=" << db_->visible_epoch();
-    if (snapshot_) out << ", snapshot=" << snapshot_->epoch();
-    out << "\n";
-    return out.str();
-  }
-
-  Result<std::string> SnapshotOpen() override {
-    TSE_ASSIGN_OR_RETURN(snapshot_, session_->GetSnapshot());
-    std::ostringstream out;
-    out << "snapshot open: view " << snapshot_->view_name() << " v"
-        << snapshot_->view_version() << " at epoch " << snapshot_->epoch()
-        << "\n";
-    return out.str();
-  }
-
-  Result<Value> SnapshotRead(Oid oid, const std::string& class_name,
-                             const std::string& path) override {
-    if (!snapshot_) {
-      return Status::FailedPrecondition("no snapshot open; run snapshot open");
-    }
-    return snapshot_->Get(oid, class_name, path);
-  }
-
-  Status SnapshotClose() override {
-    if (!snapshot_) {
-      return Status::FailedPrecondition("no snapshot open");
-    }
-    snapshot_.reset();
-    return Status::OK();
-  }
-
-  Result<std::string> Layout(const std::string& action,
-                             const std::string& class_name) override {
-    if (action == "pin") {
-      TSE_RETURN_IF_ERROR(db_->PinLayout(class_name).status());
-    } else if (action == "unpin") {
-      TSE_RETURN_IF_ERROR(db_->UnpinLayout(class_name));
-    }
-    TSE_ASSIGN_OR_RETURN(auto stats, db_->ExplainLayout(class_name));
-    std::ostringstream out;
-    out << class_name << ": state=" << stats.state
-        << (stats.scan_complete ? " (scan-complete)" : "")
-        << ", rows=" << stats.rows << ", columns=" << stats.columns
-        << ", hits=" << stats.hits << "\n  window: point_reads="
-        << stats.window_point_reads << ", scans=" << stats.window_scans
-        << "\n";
-    return out.str();
-  }
-
-  Result<Oid> Create(const std::string& class_name) override {
-    return session_->Create(class_name, {});
-  }
-
-  Result<Value> Get(Oid oid, const std::string& class_name,
-                    const std::string& attr) override {
-    return session_->Get(oid, class_name, attr);
-  }
-
-  Status Set(Oid oid, const std::string& class_name, const std::string& attr,
-             const std::string& expr_text) override {
-    TSE_ASSIGN_OR_RETURN(ClassId cls, session_->Resolve(class_name));
-    TSE_ASSIGN_OR_RETURN(auto expr, objmodel::ParseExpr(expr_text));
-    TSE_ASSIGN_OR_RETURN(
-        Value value,
-        expr->Evaluate(oid, db_->engine().accessor().ResolverFor(oid, cls)));
-    return session_->Set(oid, class_name, attr, std::move(value));
-  }
-
-  Status Begin() override { return session_->Begin(); }
-  Status Commit() override { return session_->Commit(); }
-  Status Rollback() override { return session_->Rollback(); }
-
-  Status Apply(const std::string& change_text) override {
-    return session_->Apply(change_text).status();
-  }
-
-  Result<std::string> Stats(bool reset) override {
-    if (reset) {
-      obs::MetricsRegistry::Instance().ResetValues();
-      return std::string("stats reset\n");
-    }
-    return obs::MetricsRegistry::Instance().Snapshot().ToText();
-  }
-
- private:
-  std::unique_ptr<Db> db_;
-  std::unique_ptr<Session> session_;
-  std::unique_ptr<Snapshot> snapshot_;
-};
-
-/// A tse_served instance over the wire protocol.
-class RemoteBackend : public Backend {
- public:
-  RemoteBackend(std::unique_ptr<Client> client, std::string where)
-      : client_(std::move(client)), where_(std::move(where)) {}
-
-  std::string Where() const override { return where_; }
-  const std::string& view_name() const override {
-    return client_->view_name();
-  }
-  int view_version() const override { return client_->view_version(); }
-
-  Status OpenSession(const std::string& view_name) override {
-    return client_->OpenSession(view_name);
-  }
-  Status OpenSessionAt(ViewId view_id) override {
-    return client_->OpenSessionAt(view_id);
-  }
-
-  Result<std::string> ViewToString() override {
-    return client_->ViewToString();
-  }
-  Result<std::vector<std::string>> ListClasses() override {
-    return client_->ListClasses();
-  }
-  Result<std::vector<Oid>> Extent(const std::string& class_name) override {
-    return client_->Extent(class_name);
-  }
-  Result<std::string> History() override {
-    return Status::InvalidArgument(
-        "history needs the embedded engine; the wire protocol exposes only "
-        "the bound view");
-  }
-
-  Result<std::string> Explain(const std::string&) override {
-    return Status::InvalidArgument(
-        "explain needs the embedded engine; the wire protocol does not "
-        "expose query plans");
-  }
-
-  Result<std::string> Layout(const std::string&,
-                             const std::string&) override {
-    return Status::InvalidArgument(
-        "layout needs the embedded engine; the wire protocol does not "
-        "expose physical tuning");
-  }
-
-  Result<std::string> SnapshotOpen() override {
-    TSE_ASSIGN_OR_RETURN(snapshot_, client_->GetSnapshot());
-    std::ostringstream out;
-    out << "snapshot open: view " << snapshot_->view_name() << " v"
-        << snapshot_->view_version() << " at epoch " << snapshot_->epoch()
-        << " (remote)\n";
-    return out.str();
-  }
-
-  Result<Value> SnapshotRead(Oid oid, const std::string& class_name,
-                             const std::string& path) override {
-    if (!snapshot_) {
-      return Status::FailedPrecondition("no snapshot open; run snapshot open");
-    }
-    return snapshot_->Get(oid, class_name, path);
-  }
-
-  Status SnapshotClose() override {
-    if (!snapshot_) {
-      return Status::FailedPrecondition("no snapshot open");
-    }
-    snapshot_.reset();
-    return Status::OK();
-  }
-
-  Result<Oid> Create(const std::string& class_name) override {
-    return client_->Create(class_name, {});
-  }
-  Result<Value> Get(Oid oid, const std::string& class_name,
-                    const std::string& attr) override {
-    return client_->Get(oid, class_name, attr);
-  }
-
-  Status Set(Oid oid, const std::string& class_name, const std::string& attr,
-             const std::string& expr_text) override {
-    TSE_ASSIGN_OR_RETURN(Value value, ParseLiteral(expr_text));
-    return client_->Set(oid, class_name, attr, std::move(value));
-  }
-
-  Status Begin() override { return client_->Begin(); }
-  Status Commit() override { return client_->Commit(); }
-  Status Rollback() override { return client_->Rollback(); }
-
-  Status Apply(const std::string& change_text) override {
-    return client_->Apply(change_text).status();
-  }
-
-  Result<std::string> Stats(bool reset) override {
-    if (reset) {
-      return Status::InvalidArgument("stats reset is embedded-only");
-    }
-    return client_->ServerStats();
-  }
-
- private:
-  /// Remote `set` takes literal values only — the expression language
-  /// evaluates next to the data, not on the client.
-  static Result<Value> ParseLiteral(std::string text) {
-    size_t begin = text.find_first_not_of(" \t");
-    size_t end = text.find_last_not_of(" \t");
-    if (begin == std::string::npos) {
-      return Status::InvalidArgument("empty value");
-    }
-    text = text.substr(begin, end - begin + 1);
-    if (text == "true") return Value::Bool(true);
-    if (text == "false") return Value::Bool(false);
-    if (text == "null") return Value::Null();
-    if (text.size() >= 2 && (text.front() == '"' || text.front() == '\'') &&
-        text.back() == text.front()) {
-      return Value::Str(text.substr(1, text.size() - 2));
-    }
-    try {
-      size_t used = 0;
-      if (text.find('.') != std::string::npos) {
-        double real = std::stod(text, &used);
-        if (used == text.size()) return Value::Real(real);
-      } else {
-        int64_t whole = std::stoll(text, &used);
-        if (used == text.size()) return Value::Int(whole);
-      }
-    } catch (const std::exception&) {
-    }
-    return Status::InvalidArgument(
-        "remote set takes a literal (int, real, true/false, 'string'); "
-        "expressions evaluate only against the embedded engine");
-  }
-
-  std::unique_ptr<Client> client_;
-  // Declared after client_: the handle's best-effort close frame must
-  // go out before the connection it rides on is torn down.
-  std::unique_ptr<Client::Snapshot> snapshot_;
-  std::string where_;
-};
-
-/// Connects to `host_port` ("HOST:PORT") and wraps the client in a
-/// backend; opens a session on `view` when non-empty.
-Result<std::unique_ptr<Backend>> ConnectRemote(const std::string& host_port,
-                                               const std::string& view) {
-  size_t colon = host_port.rfind(':');
-  if (colon == std::string::npos || colon == 0 ||
-      colon + 1 == host_port.size()) {
-    return Status::InvalidArgument("expected HOST:PORT, got '" + host_port +
-                                   "'");
-  }
-  int port = 0;
-  try {
-    port = std::stoi(host_port.substr(colon + 1));
-  } catch (const std::exception&) {
-    port = -1;
-  }
-  if (port <= 0 || port > 65535) {
-    return Status::InvalidArgument("bad port in '" + host_port + "'");
-  }
+/// Boots the demo schema (Person <- Student <- TA, view "Shell") with
+/// a couple of objects, mirroring tse_served --demo — through the
+/// Backend DDL surface, so it works against any deployment whose
+/// database is empty.
+Status BootstrapShellDemo(Backend* backend) {
   TSE_ASSIGN_OR_RETURN(
-      auto client,
-      Client::Connect(host_port.substr(0, colon), static_cast<uint16_t>(port)));
+      ClassId person,
+      backend->AddBaseClass("Person", {},
+                            {PropertySpec::Attribute("name",
+                                                     ValueType::kString),
+                             PropertySpec::Attribute("age",
+                                                     ValueType::kInt)}));
+  TSE_ASSIGN_OR_RETURN(
+      ClassId student,
+      backend->AddBaseClass("Student", {person},
+                            {PropertySpec::Attribute("major",
+                                                     ValueType::kString)}));
+  TSE_ASSIGN_OR_RETURN(ClassId ta, backend->AddBaseClass("TA", {student}, {}));
+  TSE_RETURN_IF_ERROR(
+      backend->CreateView("Shell", {{person, ""}, {student, ""}, {ta, ""}})
+          .status());
+  TSE_RETURN_IF_ERROR(backend->OpenSession("Shell"));
+  TSE_RETURN_IF_ERROR(backend
+                          ->Create("Student", {{"name", Value::Str("alice")},
+                                               {"age", Value::Int(20)}})
+                          .status());
+  TSE_RETURN_IF_ERROR(backend
+                          ->Create("TA", {{"name", Value::Str("carol")},
+                                          {"age", Value::Int(24)}})
+                          .status());
+  return Status::OK();
+}
+
+/// Connects `spec` via tse::Connect and opens a session on `view` when
+/// non-empty.
+Result<std::unique_ptr<Backend>> ConnectSpec(const std::string& spec,
+                                             const std::string& view) {
+  TSE_ASSIGN_OR_RETURN(auto backend, Connect(spec));
   if (!view.empty()) {
-    TSE_RETURN_IF_ERROR(client->OpenSession(view));
+    TSE_RETURN_IF_ERROR(backend->OpenSession(view));
   }
-  return std::unique_ptr<Backend>(
-      new RemoteBackend(std::move(client), host_port));
+  return backend;
 }
 
 struct Shell {
   std::unique_ptr<Backend> backend;
+  // After backend: a remote snapshot's best-effort close frame must go
+  // out before the connection it rides on is torn down.
+  std::unique_ptr<SnapshotHandle> snapshot;
 
   void Show() {
     auto text = backend->ViewToString();
@@ -469,6 +122,20 @@ struct Shell {
       for (Oid oid : extent.value()) std::cout << " " << oid.ToString();
       std::cout << "\n";
     }
+  }
+
+  /// Replaces the backend (dropping any pinned snapshot first — it
+  /// reads through the connection being torn down).
+  void SwitchBackend(std::unique_ptr<Backend> next, const std::string& label,
+                     const std::string& view) {
+    snapshot.reset();
+    backend = std::move(next);
+    std::cout << "connected to " << label;
+    if (!view.empty()) {
+      std::cout << ", session on " << backend->view_name() << " v"
+                << backend->view_version();
+    }
+    std::cout << "\n";
   }
 
   bool Handle(const std::string& line) {
@@ -532,21 +199,17 @@ struct Shell {
       }
       return true;
     }
-    if (head == "connect") {
-      std::string host_port, view;
-      in >> host_port >> view;
-      auto remote = ConnectRemote(host_port, view);
-      if (!remote.ok()) {
-        std::cout << "error: " << remote.status().ToString() << "\n";
+    if (head == "connect" || head == "cluster") {
+      std::string target, view;
+      in >> target >> view;
+      const std::string spec =
+          (head == "connect" ? "tcp:" : "cluster:") + target;
+      auto next = ConnectSpec(spec, view);
+      if (!next.ok()) {
+        std::cout << "error: " << next.status().ToString() << "\n";
         return true;
       }
-      backend = std::move(remote).value();
-      std::cout << "connected to " << backend->Where();
-      if (!view.empty()) {
-        std::cout << ", session on " << backend->view_name() << " v"
-                  << backend->view_version();
-      }
-      std::cout << "\n";
+      SwitchBackend(std::move(next).value(), target, view);
       return true;
     }
     if (head == "session") {
@@ -586,7 +249,13 @@ struct Shell {
     if (head == "stats") {
       std::string arg;
       in >> arg;
-      auto text = backend->Stats(arg == "reset");
+      if (arg == "reset") {
+        Status s = backend->ResetStats();
+        std::cout << (s.ok() ? std::string("stats reset\n")
+                             : "error: " + s.ToString() + "\n");
+        return true;
+      }
+      auto text = backend->Stats(arg == "json");
       if (!text.ok()) {
         std::cout << "error: " << text.status().ToString() << "\n";
       } else {
@@ -624,12 +293,15 @@ struct Shell {
       std::string action;
       in >> action;
       if (action == "open") {
-        auto text = backend->SnapshotOpen();
-        if (!text.ok()) {
-          std::cout << "error: " << text.status().ToString() << "\n";
-        } else {
-          std::cout << text.value();
+        auto snap = backend->GetSnapshot();
+        if (!snap.ok()) {
+          std::cout << "error: " << snap.status().ToString() << "\n";
+          return true;
         }
+        snapshot = std::move(snap).value();
+        std::cout << "snapshot open: view " << snapshot->view_name() << " v"
+                  << snapshot->view_version() << " at epoch "
+                  << snapshot->epoch() << "\n";
         return true;
       }
       if (action == "read") {
@@ -639,26 +311,52 @@ struct Shell {
           std::cout << "usage: snapshot read <oid> <Class> <attr-or-path>\n";
           return true;
         }
-        auto v = backend->SnapshotRead(Oid(raw), cls_name, path);
+        if (!snapshot) {
+          std::cout << "error: no snapshot open; run snapshot open\n";
+          return true;
+        }
+        auto v = snapshot->Get(Oid(raw), cls_name, path);
         std::cout << (v.ok() ? v.value().ToString()
                              : "error: " + v.status().ToString())
                   << "\n";
         return true;
       }
       if (action == "close") {
-        Status s = backend->SnapshotClose();
-        std::cout << (s.ok() ? "snapshot closed" : "error: " + s.ToString())
-                  << "\n";
+        if (!snapshot) {
+          std::cout << "error: no snapshot open\n";
+          return true;
+        }
+        snapshot.reset();
+        std::cout << "snapshot closed\n";
         return true;
       }
       std::cout << "usage: snapshot open | snapshot read <oid> <Class> "
                    "<attr-or-path> | snapshot close\n";
       return true;
     }
+    if (head == "select") {
+      std::string cls_name, predicate;
+      in >> cls_name;
+      std::getline(in, predicate);
+      if (cls_name.empty() ||
+          predicate.find_first_not_of(" \t") == std::string::npos) {
+        std::cout << "usage: select <Class> <predicate>\n";
+        return true;
+      }
+      auto hits = backend->Select(cls_name, predicate);
+      if (!hits.ok()) {
+        std::cout << "error: " << hits.status().ToString() << "\n";
+        return true;
+      }
+      std::cout << cls_name << " (#" << hits.value().size() << "):";
+      for (Oid oid : hits.value()) std::cout << " " << oid.ToString();
+      std::cout << "\n";
+      return true;
+    }
     if (head == "new") {
       std::string cls_name;
       in >> cls_name;
-      auto oid = backend->Create(cls_name);
+      auto oid = backend->Create(cls_name, {});
       std::cout << (oid.ok() ? "created object " + oid.value().ToString()
                              : "error: " + oid.status().ToString())
                 << "\n";
@@ -677,17 +375,18 @@ struct Shell {
       }
       std::string expr_text;
       std::getline(in, expr_text);
-      Status s = backend->Set(Oid(raw), cls_name, attr, expr_text);
+      Status s = backend->SetFromText(Oid(raw), cls_name, attr, expr_text);
       std::cout << (s.ok() ? "ok" : "error: " + s.ToString()) << "\n";
       return true;
     }
     // Everything else is a schema-change command, applied to the bound
-    // view; the session transparently rebinds to the new version. The
-    // root span makes each request one tree in the trace: parse and the
-    // TSEM pipeline (translate, integrate, regenerate) appear as its
+    // view; the session transparently rebinds to the new version (on a
+    // cluster, via the two-phase fleet coordinator). The root span
+    // makes each request one tree in the trace: parse and the TSEM
+    // pipeline (translate, integrate, regenerate) appear as its
     // descendants.
     TSE_TRACE_SPAN("shell.schema_change");
-    Status s = backend->Apply(line);
+    Status s = backend->Apply(line).status();
     if (!s.ok()) {
       std::cout << "rejected: " << s.ToString() << "\n";
       return true;
@@ -705,26 +404,44 @@ int main(int argc, char** argv) {
   bool demo = false;
   if (argc > 1 && std::string(argv[1]) == "--demo") {
     demo = true;
-  } else if (argc > 2 && std::string(argv[1]) == "connect") {
-    // Start directly against a tse_served: `tse_shell connect HOST:PORT
-    // [view]`. Defaults to the server demo view "Main".
-    std::string view = argc > 3 ? argv[3] : "Main";
-    auto remote = ConnectRemote(argv[2], view);
+  } else if (argc > 2 && (std::string(argv[1]) == "connect" ||
+                          std::string(argv[1]) == "cluster")) {
+    // Start directly against a running deployment: `tse_shell connect
+    // HOST:PORT [view]` or `tse_shell cluster H:P1,H:P2,... [view]`.
+    // Defaults to the server demo view "Main".
+    const std::string target = argv[2];
+    const std::string view = argc > 3 ? argv[3] : "Main";
+    const std::string spec =
+        (std::string(argv[1]) == "connect" ? "tcp:" : "cluster:") + target;
+    auto remote = ConnectSpec(spec, view);
     if (!remote.ok()) {
       std::cerr << "cannot connect: " << remote.status().ToString() << "\n";
       return 1;
     }
     shell.backend = std::move(remote).value();
-    std::cout << "TSE shell — connected to " << shell.backend->Where()
-              << ", view " << shell.backend->view_name() << " v"
+    std::cout << "TSE shell — connected to " << target << ", view "
+              << shell.backend->view_name() << " v"
               << shell.backend->view_version() << "\n";
   } else if (argc > 1) {
-    std::cerr << "usage: " << argv[0] << " [--demo | connect HOST:PORT [view]]\n";
+    std::cerr << "usage: " << argv[0]
+              << " [--demo | connect HOST:PORT [view]"
+                 " | cluster H:P1,H:P2,... [view]]\n";
     return 2;
   }
 
   if (!shell.backend) {
-    shell.backend = std::unique_ptr<Backend>(new LocalBackend());
+    auto embedded = Connect("embedded:");
+    if (!embedded.ok()) {
+      std::cerr << "cannot open embedded engine: "
+                << embedded.status().ToString() << "\n";
+      return 1;
+    }
+    shell.backend = std::move(embedded).value();
+    Status booted = BootstrapShellDemo(shell.backend.get());
+    if (!booted.ok()) {
+      std::cerr << "demo bootstrap failed: " << booted.ToString() << "\n";
+      return 1;
+    }
     std::cout << "TSE shell — initial view:\n";
     shell.Show();
   }

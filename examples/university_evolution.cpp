@@ -2,63 +2,64 @@
 // the paper (Sections 6.1-6.9) against the Figure 2 university schema,
 // printing the view after each step. Mirrors the worked examples of
 // Figures 7, 8, 9, 10, 12, 14 and 15. The whole tour runs through one
-// tse::Session, which transparently follows the view as it evolves.
+// tse::Backend handle, which transparently follows the view as it
+// evolves — and, being written against the deployment-agnostic access
+// layer, runs unchanged against any deployment (the database must be
+// empty; the tour bootstraps its own schema).
 //
-// Build & run:  ./build/examples/university_evolution
+// Build & run:  ./build/examples/university_evolution            # embedded
+//               ./build/examples/university_evolution tcp:HOST:PORT
+//               ./build/examples/university_evolution cluster:H:P1,H:P2
 
 #include <iostream>
 
-#include <tse/db.h>
-#include <tse/schema_change.h>
-#include <tse/session.h>
+#include <tse/backend.h>
 
 using namespace tse;
-using namespace tse::evolution;
-using objmodel::MethodExpr;
 using objmodel::Value;
 using objmodel::ValueType;
 using schema::PropertySpec;
 
 namespace {
 
-void Show(const Session& session, const char* title) {
-  std::cout << "== " << title << " ==\n" << session.ViewToString() << "\n\n";
+void Show(Backend& uni, const char* title) {
+  std::cout << "== " << title << " ==\n" << uni.ViewToString().value()
+            << "\n\n";
 }
 
 }  // namespace
 
-int main() {
-  DbOptions options;
-  options.closure_policy = update::ValueClosurePolicy::kAllow;
-  auto db = Db::Open(options).value();
+int main(int argc, char** argv) {
+  auto uni = Connect(argc > 1 ? argv[1] : "embedded:").value();
 
   // Figure 2's university schema.
   ClassId person =
-      db->AddBaseClass("Person", {},
-                       {PropertySpec::Attribute("name", ValueType::kString),
-                        PropertySpec::Attribute("age", ValueType::kInt)})
+      uni->AddBaseClass("Person", {},
+                        {PropertySpec::Attribute("name", ValueType::kString),
+                         PropertySpec::Attribute("age", ValueType::kInt)})
           .value();
   ClassId staff =
-      db->AddBaseClass("SupportStaff", {person},
-                       {PropertySpec::Attribute("boss", ValueType::kString)})
+      uni->AddBaseClass("SupportStaff", {person},
+                        {PropertySpec::Attribute("boss", ValueType::kString)})
           .value();
   ClassId teaching =
-      db->AddBaseClass("TeachingStaff", {person},
-                       {PropertySpec::Attribute("lecture", ValueType::kString)})
+      uni->AddBaseClass("TeachingStaff", {person},
+                        {PropertySpec::Attribute("lecture",
+                                                 ValueType::kString)})
           .value();
   ClassId student =
-      db->AddBaseClass("Student", {person},
-                       {PropertySpec::Attribute("major", ValueType::kString)})
+      uni->AddBaseClass("Student", {person},
+                        {PropertySpec::Attribute("major", ValueType::kString)})
           .value();
-  ClassId ta = db->AddBaseClass("TA", {teaching, student}, {}).value();
+  ClassId ta = uni->AddBaseClass("TA", {teaching, student}, {}).value();
 
-  db->CreateView("Uni", {{person, ""},
-                         {staff, ""},
-                         {teaching, ""},
-                         {student, ""},
-                         {ta, ""}})
+  uni->CreateView("Uni", {{person, ""},
+                          {staff, ""},
+                          {teaching, ""},
+                          {student, ""},
+                          {ta, ""}})
       .value();
-  auto uni = db->OpenSession("Uni").value();
+  uni->OpenSession("Uni");
 
   // A small population.
   uni->Create("Person", {{"name", Value::Str("o1")}}).value();
@@ -77,13 +78,7 @@ int main() {
             << " (stored through the capacity-augmenting view)\n\n";
 
   // --- add_method (Section 6.3) ---------------------------------------------
-  AddMethod add_method;
-  add_method.class_name = "Person";
-  add_method.spec = PropertySpec::Method(
-      "is_adult",
-      MethodExpr::Ge(MethodExpr::Attr("age"), MethodExpr::Lit(Value::Int(18))),
-      ValueType::kBool);
-  uni->Apply(add_method).value();
+  uni->Apply("add_method is_adult = age >= 18 to Person").value();
   Show(*uni, "after add_method is_adult to Person");
 
   // --- delete_attribute (Figure 8) ------------------------------------------
@@ -118,8 +113,7 @@ int main() {
   uni->Apply("delete_class Grader").value();
   Show(*uni, "after delete_class Grader");
 
-  std::cout << "view versions accumulated: " << db->views().History("Uni").size()
-            << "\nglobal schema classes:     " << db->schema().class_count()
+  std::cout << "view version reached:      v" << uni->view_version()
             << "\nall data shared; no object was copied or migrated.\n";
   return 0;
 }

@@ -1,0 +1,16 @@
+// Public TSE API — client-side sharding.
+//
+// `tse::Cluster` serves one conceptual database partitioned by OID
+// hash across N tse_served shards, behind the same `tse::Backend`
+// surface as a single node: client-side routing for point ops,
+// fan-out unions for extents and selects, and a two-phase coordinator
+// that prepares a schema change on every shard before flipping every
+// catalog epoch. See docs/API.md "Deployments" and
+// docs/ARCHITECTURE.md "Cluster layer".
+#ifndef TSE_PUBLIC_CLUSTER_H_
+#define TSE_PUBLIC_CLUSTER_H_
+
+#include "cluster/cluster.h"
+#include "tse/backend.h"
+
+#endif  // TSE_PUBLIC_CLUSTER_H_

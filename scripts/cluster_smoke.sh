@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the sharded deployment, run by CI against a
+# built tree: boots three `tse_served --demo` shard processes on
+# ephemeral loopback ports, then drives the fleet with
+# `tse_shell cluster h:p1,h:p2,h:p3` twice —
+#
+#   1. open a session, create objects on every shard (creates route
+#      round-robin, so three creates land one per shard), read them
+#      back through the router, and apply a fleet-wide schema change
+#      (two-phase: prepare on every shard, then flip all epochs);
+#   2. reconnect and pin the *old* version with `sessionat`, proving a
+#      late client can still work against the pre-change view on every
+#      shard while the fleet's schema has moved on.
+#
+# Finishes by SIGTERM-ing all three shards and requiring clean drains.
+#
+# Usage: scripts/cluster_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVED="$BUILD_DIR/src/net/tse_served"
+SHELL_BIN="$BUILD_DIR/examples/tse_shell"
+[ -x "$SERVED" ] || { echo "missing $SERVED (build first)"; exit 2; }
+[ -x "$SHELL_BIN" ] || { echo "missing $SHELL_BIN (build first)"; exit 2; }
+
+SHARDS=3
+LOGS=()
+PIDS=()
+PORTS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+}
+trap cleanup EXIT
+
+for i in $(seq 0 $((SHARDS - 1))); do
+  LOG="$(mktemp)"
+  "$SERVED" --demo --shard-id "$i" --shard-count "$SHARDS" --port 0 \
+    >"$LOG" 2>&1 &
+  LOGS+=("$LOG")
+  PIDS+=("$!")
+done
+
+for i in $(seq 0 $((SHARDS - 1))); do
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "${LOGS[$i]}" && break
+    kill -0 "${PIDS[$i]}" 2>/dev/null || { cat "${LOGS[$i]}"; exit 1; }
+    sleep 0.1
+  done
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "${LOGS[$i]}")"
+  [ -n "$PORT" ] || { echo "no port in shard $i banner"; cat "${LOGS[$i]}"; exit 1; }
+  PORTS+=("$PORT")
+done
+ENDPOINTS="127.0.0.1:${PORTS[0]},127.0.0.1:${PORTS[1]},127.0.0.1:${PORTS[2]}"
+echo "fleet: $ENDPOINTS (pids ${PIDS[*]})"
+
+expect() {  # expect <label> <needle> <haystack>
+  if ! grep -qF -- "$2" <<<"$3"; then
+    echo "FAIL($1): expected '$2' in output:"
+    echo "$3"
+    exit 1
+  fi
+}
+
+# --- Session 1: create on every shard, read back, evolve the fleet ---
+OUT1="$(printf 'show\nnew Student\nnew Student\nnew Student\nset 0 Student name "ada"\nset 1 Student name "grace"\nset 2 Student name "edsger"\nget 0 Student name\nget 1 Student name\nget 2 Student name\nadd_attribute register:bool to Student\nget 0 Student register\nquit\n' \
+  | "$SHELL_BIN" cluster "$ENDPOINTS" 2>&1)"
+expect connect "connected to $ENDPOINTS" "$OUT1"
+expect fresh-view "view Main v1" "$OUT1"
+# Round-robin creates: oid 0 -> shard 0, oid 1 -> shard 1, oid 2 -> shard 2.
+expect create-s0 "created object 0" "$OUT1"
+expect create-s1 "created object 1" "$OUT1"
+expect create-s2 "created object 2" "$OUT1"
+expect read-s0 '"ada"' "$OUT1"
+expect read-s1 '"grace"' "$OUT1"
+expect read-s2 '"edsger"' "$OUT1"
+expect evolve "view now at version 2" "$OUT1"
+expect new-attr "null" "$OUT1"
+
+# --- Session 2: reconnect, pinned at the pre-change version ----------
+OUT2="$(printf 'sessionat 0\nget 1 Student name\nget 1 Student register\nquit\n' \
+  | "$SHELL_BIN" cluster "$ENDPOINTS" 2>&1)"
+# A fresh fleet connection lands on the flipped version; `sessionat`
+# pins the pre-change view (the demo's first view version has ViewId 0)
+# on every shard at once.
+expect latest-view "view Main v2" "$OUT2"
+expect old-view "pinned to Main v1" "$OUT2"
+expect old-read '"grace"' "$OUT2"
+# v1 predates the fleet-wide change: the attribute must not exist there.
+expect invisible "error" "$OUT2"
+
+# --- Clean shutdown of every shard -----------------------------------
+for pid in "${PIDS[@]}"; do kill -TERM "$pid"; done
+for pid in "${PIDS[@]}"; do
+  for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  wait "$pid" 2>/dev/null || true
+done
+trap - EXIT
+for i in $(seq 0 $((SHARDS - 1))); do
+  grep -q "shutting down" "${LOGS[$i]}" || {
+    echo "FAIL(shutdown): shard $i did not drain cleanly:"
+    cat "${LOGS[$i]}"
+    exit 1
+  }
+done
+echo "cluster smoke OK"

@@ -57,24 +57,56 @@ using TxnId = Id<TxnIdTag>;
 
 /// Monotonically increasing id allocator (not thread-safe; callers
 /// serialize through the owning catalog).
+///
+/// Optionally allocates on a residue lattice: after
+/// `ConfigureStride(offset, stride)` every id satisfies
+/// `id % stride == offset`. Cluster shards use this so a conceptual
+/// object's id self-describes its owning shard (`oid % shard_count ==
+/// shard_id`) and client-side routing needs no directory service.
 template <typename IdType>
 class IdAllocator {
  public:
   IdAllocator() : next_(0) {}
   explicit IdAllocator(uint64_t first) : next_(first) {}
 
-  IdType Allocate() { return IdType(next_++); }
+  IdType Allocate() {
+    IdType id(next_);
+    next_ += stride_;
+    return id;
+  }
 
   /// Ensures future ids do not collide with `id` (used when reloading a
-  /// persisted catalog).
+  /// persisted catalog). Keeps the residue lattice when one is set.
   void BumpPast(IdType id) {
-    if (id.valid() && id.value() >= next_) next_ = id.value() + 1;
+    if (id.valid() && id.value() >= next_) {
+      next_ = id.value() + 1;
+      Realign();
+    }
+  }
+
+  /// Restricts future ids to `id % stride == offset` (offset < stride).
+  /// Existing ids are untouched; the next allocation realigns forward.
+  void ConfigureStride(uint64_t offset, uint64_t stride) {
+    stride_ = stride == 0 ? 1 : stride;
+    offset_ = offset % stride_;
+    Realign();
   }
 
   uint64_t next_raw() const { return next_; }
+  uint64_t stride() const { return stride_; }
+  uint64_t stride_offset() const { return offset_; }
 
  private:
+  /// Advances next_ to the smallest lattice point >= next_.
+  void Realign() {
+    if (stride_ == 1) return;
+    const uint64_t rem = next_ % stride_;
+    if (rem != offset_) next_ += (offset_ + stride_ - rem) % stride_;
+  }
+
   uint64_t next_;
+  uint64_t stride_ = 1;
+  uint64_t offset_ = 0;
 };
 
 }  // namespace tse

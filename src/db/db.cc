@@ -19,8 +19,18 @@ Result<std::unique_ptr<Db>> Db::Open(DbOptions options) {
 
 Status Db::Bootstrap(DbOptions options) {
   options_ = std::move(options);
+  if (options_.shard_count == 0 || options_.shard_id >= options_.shard_count) {
+    return Status::InvalidArgument("shard_id must be < shard_count");
+  }
   schema_ = std::make_unique<schema::SchemaGraph>();
   store_ = std::make_unique<objmodel::SlicingStore>();
+  if (options_.shard_count > 1) {
+    // Lattice allocation: every oid this shard mints satisfies
+    // oid % shard_count == shard_id (BumpPast on restore realigns too),
+    // so cluster clients route point ops without a directory.
+    store_->oid_allocator().ConfigureStride(options_.shard_id,
+                                            options_.shard_count);
+  }
   views_ = std::make_unique<view::ViewManager>(schema_.get());
   tse_ = std::make_unique<evolution::TseManager>(schema_.get(), store_.get(),
                                                  views_.get());
@@ -306,7 +316,8 @@ Result<layout::PackedRecordCache::ClassStats> Db::ExplainLayout(
 Result<std::unique_ptr<Snapshot>> Db::OpenSnapshot(
     const std::string& view_name) {
   std::shared_lock<std::shared_mutex> lock(schema_mu_);
-  TSE_ASSIGN_OR_RETURN(const view::ViewSchema* vs, views_->Current(view_name));
+  TSE_ASSIGN_OR_RETURN(const view::ViewSchema* vs,
+                       CurrentPublished(view_name));
   return OpenSnapshotAt(vs->id(), visible_epoch());
 }
 
@@ -382,10 +393,24 @@ void Db::MaybeVacuum() {
   (void)VacuumVersions();
 }
 
+Result<const view::ViewSchema*> Db::CurrentPublished(
+    const std::string& view_name) const {
+  const auto log = catalog_->Log();
+  for (auto it = log.rbegin(); it != log.rend(); ++it) {
+    if (it->schema != nullptr && it->schema->logical_name() == view_name) {
+      return it->schema;
+    }
+  }
+  // Not in the publication log (a catalog restored from disk publishes
+  // no entries): the ViewManager's latest version is the published one.
+  return views_->Current(view_name);
+}
+
 Result<std::unique_ptr<Session>> Db::OpenSession(
     const std::string& view_name) {
   std::shared_lock<std::shared_mutex> lock(schema_mu_);
-  TSE_ASSIGN_OR_RETURN(const view::ViewSchema* vs, views_->Current(view_name));
+  TSE_ASSIGN_OR_RETURN(const view::ViewSchema* vs,
+                       CurrentPublished(view_name));
   TSE_COUNT("db.session.opens");
   return std::unique_ptr<Session>(new Session(this, vs));
 }

@@ -97,6 +97,14 @@ struct DbOptions {
   /// automatic vacuuming — chains then trim only on explicit calls,
   /// which tests use to make reclamation deterministic.
   uint64_t vacuum_every = 256;
+
+  /// Shard identity when this store is one partition of a cluster
+  /// (src/cluster/): conceptual oids are allocated on the residue
+  /// lattice `oid % shard_count == shard_id`, so a client can route any
+  /// point op from the oid alone. The defaults (0 of 1) are a
+  /// standalone store with the historic dense allocation.
+  uint32_t shard_id = 0;
+  uint32_t shard_count = 1;
 };
 
 /// The embedding facade over the whole TSE engine (Figure 6 in one
@@ -223,6 +231,9 @@ class Db {
   /// session schema change. A session records the epoch it bound at.
   [[nodiscard]] uint64_t epoch() const { return catalog_->head_epoch(); }
 
+  /// The options this database was opened with (shard identity, etc).
+  [[nodiscard]] const DbOptions& options() const { return options_; }
+
   /// The versioned catalog: publication log + head epoch.
   [[nodiscard]] const db::VersionedCatalog& catalog() const {
     return *catalog_;
@@ -301,6 +312,14 @@ class Db {
   friend class Snapshot;
 
   Db() = default;
+
+  /// The newest *published* version of `view_name`, resolved through
+  /// the catalog's publication log — never through the ViewManager's
+  /// latest version, which also holds versions assembled by an
+  /// in-flight two-phase prepare (Session::Prepare) that must stay
+  /// unreachable until their flip. Requires schema_mu_ shared.
+  Result<const view::ViewSchema*> CurrentPublished(
+      const std::string& view_name) const;
 
   /// Snapshot registry bookkeeping (snap_mu_ is the innermost lock:
   /// taken with any combination of the latches above held, never the

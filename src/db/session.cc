@@ -8,6 +8,7 @@
 #include "db/snapshot.h"
 #include "evolution/change_parser.h"
 #include "obs/metrics.h"
+#include "objmodel/expr_parser.h"
 #include "objmodel/persistence.h"
 
 namespace tse {
@@ -104,6 +105,12 @@ Result<objmodel::Value> Session::Get(Oid oid, const std::string& class_name,
   return db_->engine_->accessor().Read(oid, cls, path);
 }
 
+Result<objmodel::Value> Session::GetAttr(Oid oid,
+                                         const std::string& class_name,
+                                         const std::string& attr) const {
+  return Get(oid, class_name, attr);
+}
+
 Result<algebra::ExtentEvaluator::ExtentPtr> Session::Extent(
     const std::string& class_name) const {
   TSE_LATENCY_US("db.session.read_us");
@@ -122,6 +129,27 @@ Result<algebra::ExtentEvaluator::ExtentPtr> Session::Extent(
     db_->backfill_->MaterializeMembers(*ext);
   }
   return ext;
+}
+
+Result<std::vector<Oid>> Session::Select(
+    const std::string& class_name, const std::string& predicate_text) const {
+  TSE_LATENCY_US("db.session.read_us");
+  TSE_ASSIGN_OR_RETURN(objmodel::MethodExpr::Ptr predicate,
+                       objmodel::ParseExpr(predicate_text));
+  TSE_ASSIGN_OR_RETURN(algebra::ExtentEvaluator::ExtentPtr extent,
+                       Extent(class_name));
+  std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
+  TSE_ASSIGN_OR_RETURN(ClassId cls, view_->Resolve(class_name));
+  std::shared_lock<std::shared_mutex> data_lock(db_->data_mu_);
+  std::vector<Oid> out;
+  const algebra::ObjectAccessor& accessor = db_->engine_->accessor();
+  for (Oid oid : *extent) {
+    TSE_ASSIGN_OR_RETURN(objmodel::Value v,
+                         predicate->Evaluate(oid, accessor.ResolverFor(oid, cls)));
+    TSE_ASSIGN_OR_RETURN(bool keep, v.AsBool());
+    if (keep) out.push_back(oid);
+  }
+  return out;
 }
 
 std::string Session::ViewToString() const {
@@ -337,35 +365,94 @@ Result<ViewId> Session::Apply(const evolution::SchemaChange& change) {
                                             : ApplyEager(change);
 }
 
-Result<ViewId> Session::ApplyOnline(const evolution::SchemaChange& change) {
-  std::lock_guard<std::mutex> ddl_lock(db_->ddl_mu_);
+Result<PreparedSchemaChange> Session::PrepareLocked(
+    const evolution::SchemaChange& change) {
   // Assemble the new version invisibly: the TSEM only ever *adds*
   // classes to the internally-synchronized schema graph, and the new
   // view version is unreachable until published — so in-flight session
   // operations keep running throughout.
-  const uint64_t class_lo = db_->schema_->class_alloc_next();
-  TSE_ASSIGN_OR_RETURN(ViewId new_view,
+  PreparedSchemaChange prepared;
+  prepared.expected_epoch = db_->catalog_->head_epoch();
+  prepared.class_lo = db_->schema_->class_alloc_next();
+  TSE_ASSIGN_OR_RETURN(prepared.new_view,
                        db_->tse_->ApplyChange(view_->id(), change));
-  const uint64_t class_hi = db_->schema_->class_alloc_next();
-  TSE_ASSIGN_OR_RETURN(const view::ViewSchema* vs,
-                       db_->views_->GetView(new_view));
+  prepared.class_hi = db_->schema_->class_alloc_next();
+  TSE_ASSIGN_OR_RETURN(prepared.schema,
+                       db_->views_->GetView(prepared.new_view));
+  return prepared;
+}
+
+Result<ViewId> Session::FlipLocked(const PreparedSchemaChange& prepared,
+                                   bool check_epoch) {
+  if (check_epoch &&
+      db_->catalog_->head_epoch() != prepared.expected_epoch) {
+    return Status::FailedPrecondition(
+        "another schema change published since the prepare");
+  }
   {
     // Register lazy backfill for any capacity-augmenting class the
     // change created, from its extent as of now (shared data latch:
     // reads only — materialization happens on first touch or in the
     // background migrator).
     std::shared_lock<std::shared_mutex> data_lock(db_->data_mu_);
-    db_->backfill_->RegisterNewClasses(class_lo, class_hi,
+    db_->backfill_->RegisterNewClasses(prepared.class_lo, prepared.class_hi,
                                        db_->extents_.get());
   }
-  db_->catalog_->Publish(new_view, vs);  // the atomic visibility flip
-  view_ = vs;
+  db_->catalog_->Publish(prepared.new_view,
+                         prepared.schema);  // the atomic visibility flip
+  view_ = prepared.schema;
   bound_epoch_ = db_->catalog_->head_epoch();
   TSE_COUNT("db.epoch.bumps");
   TSE_COUNT("db.session.schema_changes");
   db_->NotifyMigrator();
   TSE_RETURN_IF_ERROR(db_->PersistCatalog());
-  return new_view;
+  return prepared.new_view;
+}
+
+Result<ViewId> Session::ApplyOnline(const evolution::SchemaChange& change) {
+  std::lock_guard<std::mutex> ddl_lock(db_->ddl_mu_);
+  TSE_ASSIGN_OR_RETURN(PreparedSchemaChange prepared, PrepareLocked(change));
+  // One ddl_mu_ hold covers both phases, so concurrent Apply calls
+  // serialize and never see each other's epoch bumps as conflicts.
+  return FlipLocked(prepared, /*check_epoch=*/false);
+}
+
+Result<PreparedSchemaChange> Session::Prepare(
+    const evolution::SchemaChange& change) {
+  if (in_transaction()) {
+    return Status::FailedPrecondition(
+        "cannot change the schema inside an open transaction");
+  }
+  if (!db_->options_.online_schema_change) {
+    return Status::FailedPrecondition(
+        "two-phase schema change requires DbOptions::online_schema_change");
+  }
+  std::lock_guard<std::mutex> ddl_lock(db_->ddl_mu_);
+  TSE_COUNT("db.session.schema_prepares");
+  return PrepareLocked(change);
+}
+
+Result<PreparedSchemaChange> Session::Prepare(const std::string& change_text) {
+  TSE_ASSIGN_OR_RETURN(evolution::SchemaChange change,
+                       evolution::ParseChange(change_text));
+  return Prepare(change);
+}
+
+Result<ViewId> Session::CommitPrepared(const PreparedSchemaChange& prepared) {
+  if (prepared.schema == nullptr) {
+    return Status::InvalidArgument("prepared change has no schema");
+  }
+  std::lock_guard<std::mutex> ddl_lock(db_->ddl_mu_);
+  return FlipLocked(prepared, /*check_epoch=*/true);
+}
+
+Status Session::AbortPrepared(const PreparedSchemaChange& prepared) {
+  // Nothing to undo: the assembled classes and the unpublished view
+  // version are unreachable, the same residue a crash between the two
+  // phases leaves behind. The token is simply forgotten.
+  (void)prepared;
+  TSE_COUNT("db.session.schema_aborts");
+  return Status::OK();
 }
 
 Result<ViewId> Session::ApplyEager(const evolution::SchemaChange& change) {
@@ -412,7 +499,7 @@ Result<ViewId> Session::ApplyScript(
 Status Session::Refresh() {
   std::shared_lock<std::shared_mutex> schema_lock(db_->schema_mu_);
   TSE_ASSIGN_OR_RETURN(const view::ViewSchema* current,
-                       db_->views_->Current(view_->logical_name()));
+                       db_->CurrentPublished(view_->logical_name()));
   view_ = current;
   bound_epoch_ = db_->epoch();
   TSE_COUNT("db.session.refreshes");

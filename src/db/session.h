@@ -19,6 +19,27 @@ namespace tse {
 class Db;
 class Snapshot;
 
+/// An assembled-but-unpublished schema change: the first half of the
+/// two-phase schema change used by cluster coordinators
+/// (Session::Prepare / CommitPrepared / AbortPrepared). The successor
+/// view version and its classes exist in the schema graph but are
+/// unreachable — no session can observe them — until CommitPrepared
+/// publishes the version with the usual single atomic epoch flip.
+/// Dropping the token without committing (AbortPrepared, a server
+/// disconnect, or a crash) is a clean rollback: the invisible classes
+/// are unreferenced garbage, exactly as after a mid-DDL crash.
+struct PreparedSchemaChange {
+  ViewId new_view;
+  const view::ViewSchema* schema = nullptr;
+  /// Class-id range the change allocated (backfill registration is
+  /// deferred to the flip).
+  uint64_t class_lo = 0;
+  uint64_t class_hi = 0;
+  /// Catalog epoch observed at prepare time: CommitPrepared fails with
+  /// FailedPrecondition when another schema change published since.
+  uint64_t expected_epoch = 0;
+};
+
 /// A client's handle on the database, bound to one view version — the
 /// paper's unit of user isolation (Section 7): every name the session
 /// speaks is a *display name in its view*, and the session keeps
@@ -78,6 +99,13 @@ class Session {
                                             const std::string& class_name,
                                             const std::string& path) const;
 
+  /// Reads one direct attribute. Same normalized signature as
+  /// Snapshot::GetAttr and Client::GetAttr (the tse::ReadSurface
+  /// contract): (oid, class, attr), value-returning, [[nodiscard]].
+  [[nodiscard]] Result<objmodel::Value> GetAttr(Oid oid,
+                                                const std::string& class_name,
+                                                const std::string& attr) const;
+
   /// The extent of view class `class_name` as a shared immutable
   /// snapshot (stable even as other sessions keep writing).
   ///
@@ -87,6 +115,12 @@ class Session {
   /// epoch for the whole scan (see docs/API.md §Snapshot reads).
   [[nodiscard]] Result<algebra::ExtentEvaluator::ExtentPtr> Extent(
       const std::string& class_name) const;
+
+  /// Members of `class_name` satisfying `predicate_text` ("age >= 30"),
+  /// evaluated against live state — the live counterpart of
+  /// Snapshot::Select, with the same signature and return convention.
+  [[nodiscard]] Result<std::vector<Oid>> Select(
+      const std::string& class_name, const std::string& predicate_text) const;
 
   /// Pretty-prints the bound view schema.
   [[nodiscard]] std::string ViewToString() const;
@@ -135,6 +169,27 @@ class Session {
   /// Applies a script in order; returns the final version.
   Result<ViewId> ApplyScript(const std::vector<evolution::SchemaChange>& script);
 
+  // --- Two-phase schema change (cluster coordination) -------------------
+
+  /// Phase one: assembles the successor version of the bound view
+  /// without publishing it. No session (including this one) can observe
+  /// the new version until CommitPrepared. Requires
+  /// DbOptions::online_schema_change and no open transaction.
+  Result<PreparedSchemaChange> Prepare(const evolution::SchemaChange& change);
+  Result<PreparedSchemaChange> Prepare(const std::string& change_text);
+
+  /// Phase two: publishes a prepared change with the single atomic
+  /// epoch flip and rebinds this session to the new version.
+  /// FailedPrecondition when any other schema change published since
+  /// the prepare (the coordinator then aborts and retries) — so a fleet
+  /// of shards either all flip from the same epoch or none do.
+  Result<ViewId> CommitPrepared(const PreparedSchemaChange& prepared);
+
+  /// Drops a prepared change without publishing. The assembled classes
+  /// stay unreachable garbage — the same harmless residue as a crash
+  /// between prepare and flip.
+  Status AbortPrepared(const PreparedSchemaChange& prepared);
+
   /// Rebinds to the current (newest) version of the logical view.
   Status Refresh();
 
@@ -151,6 +206,14 @@ class Session {
   /// transaction; ApplyEager is the stop-the-world differential oracle.
   Result<ViewId> ApplyOnline(const evolution::SchemaChange& change);
   Result<ViewId> ApplyEager(const evolution::SchemaChange& change);
+
+  /// Two-phase bodies; both require ddl_mu_ held. FlipLocked publishes
+  /// and rebinds; with `check_epoch` it first verifies no other change
+  /// published since the prepare.
+  Result<PreparedSchemaChange> PrepareLocked(
+      const evolution::SchemaChange& change);
+  Result<ViewId> FlipLocked(const PreparedSchemaChange& prepared,
+                            bool check_epoch);
 
   /// First-touch hook: materializes `oid`'s pending backfill slices
   /// before a read, taking the data latch exclusive only when the

@@ -1,0 +1,260 @@
+#include "fuzz/backend_workload.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "objmodel/value.h"
+#include "schema/property.h"
+
+namespace tse::fuzz {
+namespace {
+
+using objmodel::Value;
+using objmodel::ValueType;
+using schema::PropertySpec;
+
+/// splitmix64 — deterministic, seed-stable across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+/// One live object the workload knows about, named by creation index.
+struct Tracked {
+  size_t index;
+  Oid oid;
+  bool is_student;
+};
+
+class WorkloadRun {
+ public:
+  WorkloadRun(Backend* b, const BackendWorkloadOptions& opts)
+      : b_(b), opts_(opts), rng_(opts.seed) {}
+
+  Result<std::string> Run() {
+    TSE_RETURN_IF_ERROR(Bootstrap());
+    for (size_t step = 0; step < opts_.ops; ++step) {
+      TSE_RETURN_IF_ERROR(Step(step));
+    }
+    Footer();
+    return out_.str();
+  }
+
+ private:
+  /// "#k" for tracked oids; "#?" for an oid the workload never created
+  /// (would indicate a backend inventing objects).
+  std::string Name(Oid oid) const {
+    auto it = index_of_.find(oid.value());
+    return it == index_of_.end() ? "#?" : "#" + std::to_string(it->second);
+  }
+
+  /// Canonical extent rendering: creation-index order, creation-index
+  /// names — identical across oid-allocation policies.
+  std::string Canon(std::vector<Oid> oids) const {
+    std::vector<size_t> indexes;
+    indexes.reserve(oids.size());
+    for (Oid oid : oids) {
+      auto it = index_of_.find(oid.value());
+      indexes.push_back(it == index_of_.end() ? SIZE_MAX : it->second);
+    }
+    std::sort(indexes.begin(), indexes.end());
+    std::string s = "[";
+    for (size_t i = 0; i < indexes.size(); ++i) {
+      if (i) s += " ";
+      s += indexes[i] == SIZE_MAX ? "#?" : "#" + std::to_string(indexes[i]);
+    }
+    return s + "]";
+  }
+
+  static std::string Code(const Status& s) {
+    return "err:" + std::to_string(static_cast<int>(s.code()));
+  }
+
+  Status Bootstrap() {
+    TSE_ASSIGN_OR_RETURN(
+        ClassId person,
+        b_->AddBaseClass("FzPerson", {},
+                         {PropertySpec::Attribute("name", ValueType::kString),
+                          PropertySpec::Attribute("age", ValueType::kInt)}));
+    TSE_ASSIGN_OR_RETURN(
+        ClassId student,
+        b_->AddBaseClass(
+            "FzStudent", {person},
+            {PropertySpec::Attribute("major", ValueType::kString)}));
+    TSE_RETURN_IF_ERROR(
+        b_->CreateView("Fz", {{person, ""}, {student, ""}}).status());
+    TSE_RETURN_IF_ERROR(b_->OpenSession("Fz"));
+    out_ << "bootstrap Fz v" << b_->view_version() << "\n";
+    return Status::OK();
+  }
+
+  Status DoCreate() {
+    bool student = rng_.Below(2) == 0;
+    const char* cls = student ? "FzStudent" : "FzPerson";
+    std::vector<update::Assignment> assigns = {
+        {"name", Value::Str("o" + std::to_string(next_index_))},
+        {"age", Value::Int(static_cast<int64_t>(rng_.Below(60)))}};
+    if (student) assigns.push_back({"major", Value::Str("db")});
+    auto created = b_->Create(cls, assigns);
+    if (!created.ok()) {
+      out_ << "create " << cls << " -> " << Code(created.status()) << "\n";
+      return Status::OK();
+    }
+    size_t index = next_index_++;
+    index_of_[created.value().value()] = index;
+    alive_.push_back({index, created.value(), student});
+    out_ << "create " << cls << " -> #" << index << "\n";
+    return Status::OK();
+  }
+
+  Status Step(size_t step) {
+    if (opts_.schema_changes && step > 0 && step % 32 == 0) {
+      return DoSchemaChange();
+    }
+    if (alive_.empty()) return DoCreate();
+    const Tracked& t = alive_[rng_.Below(alive_.size())];
+    switch (rng_.Below(10)) {
+      case 0:
+      case 1:
+        return DoCreate();
+      case 2: {  // set age
+        Status s = b_->Set(t.oid, t.is_student ? "FzStudent" : "FzPerson",
+                           "age", Value::Int(static_cast<int64_t>(
+                                      rng_.Below(60))));
+        out_ << "set " << Name(t.oid) << ".age -> "
+             << (s.ok() ? "ok" : Code(s)) << "\n";
+        return Status::OK();
+      }
+      case 3: {  // get a valid attribute
+        const char* attr = t.is_student && rng_.Below(2) ? "major" : "age";
+        auto v = b_->Get(t.oid, t.is_student ? "FzStudent" : "FzPerson", attr);
+        out_ << "get " << Name(t.oid) << "." << attr << " -> "
+             << (v.ok() ? v.value().ToString() : Code(v.status())) << "\n";
+        return Status::OK();
+      }
+      case 4: {  // get an attribute that never existed: codes must agree
+        auto v = b_->GetAttr(t.oid, "FzPerson", "fz_never");
+        out_ << "get " << Name(t.oid) << ".fz_never -> "
+             << (v.ok() ? v.value().ToString() : Code(v.status())) << "\n";
+        return Status::OK();
+      }
+      case 5: {
+        const char* cls = rng_.Below(2) ? "FzStudent" : "FzPerson";
+        auto e = b_->Extent(cls);
+        out_ << "extent " << cls << " -> "
+             << (e.ok() ? Canon(std::move(e).value()) : Code(e.status()))
+             << "\n";
+        return Status::OK();
+      }
+      case 6: {
+        std::string pred = "age >= " + std::to_string(rng_.Below(60));
+        auto e = b_->Select("FzPerson", pred);
+        out_ << "select FzPerson " << pred << " -> "
+             << (e.ok() ? Canon(std::move(e).value()) : Code(e.status()))
+             << "\n";
+        return Status::OK();
+      }
+      case 7: {  // snapshot read: pinned extent must match the live one
+        auto snap = b_->GetSnapshot();
+        if (!snap.ok()) {
+          out_ << "snapshot -> " << Code(snap.status()) << "\n";
+          return Status::OK();
+        }
+        auto e = snap.value()->Extent("FzPerson");
+        out_ << "snapshot v" << snap.value()->view_version()
+             << " extent FzPerson -> "
+             << (e.ok() ? Canon(std::move(e).value()) : Code(e.status()))
+             << "\n";
+        return Status::OK();
+      }
+      case 8: {  // transactional set
+        Status s = b_->Begin();
+        if (s.ok()) {
+          s = b_->Set(t.oid, "FzPerson", "age",
+                      Value::Int(static_cast<int64_t>(rng_.Below(60))));
+          Status fin = rng_.Below(4) == 0 ? b_->Rollback() : b_->Commit();
+          out_ << "txn set " << Name(t.oid) << " -> "
+               << (s.ok() ? "ok" : Code(s)) << "/"
+               << (fin.ok() ? "ok" : Code(fin)) << "\n";
+        } else {
+          out_ << "txn -> " << Code(s) << "\n";
+        }
+        return Status::OK();
+      }
+      default: {  // delete
+        Status s = b_->Delete(t.oid);
+        out_ << "delete " << Name(t.oid) << " -> "
+             << (s.ok() ? "ok" : Code(s)) << "\n";
+        if (s.ok()) {
+          alive_.erase(std::find_if(alive_.begin(), alive_.end(),
+                                    [&](const Tracked& a) {
+                                      return a.oid.value() == t.oid.value();
+                                    }));
+        }
+        return Status::OK();
+      }
+    }
+  }
+
+  /// Alternates adding and deleting fz_a<i> on FzStudent. Against a
+  /// cluster every Apply is a fleet-wide two-phase prepare/flip.
+  Status DoSchemaChange() {
+    std::string change;
+    if (pending_attr_.empty()) {
+      pending_attr_ = "fz_a" + std::to_string(next_attr_++);
+      change = "add_attribute " + pending_attr_ + ":int to FzStudent";
+    } else {
+      change = "delete_attribute " + pending_attr_ + " from FzStudent";
+      pending_attr_.clear();
+    }
+    auto applied = b_->Apply(change);
+    out_ << "apply " << change << " -> "
+         << (applied.ok() ? "v" + std::to_string(b_->view_version())
+                          : Code(applied.status()))
+         << "\n";
+    return Status::OK();
+  }
+
+  void Footer() {
+    for (const char* cls : {"FzPerson", "FzStudent"}) {
+      auto e = b_->Extent(cls);
+      out_ << "final extent " << cls << " -> "
+           << (e.ok() ? Canon(std::move(e).value()) : Code(e.status()))
+           << "\n";
+    }
+    auto view = b_->ViewToString();
+    out_ << "final view v" << b_->view_version() << "\n"
+         << (view.ok() ? view.value() : Code(view.status())) << "\n";
+  }
+
+  Backend* b_;
+  BackendWorkloadOptions opts_;
+  Rng rng_;
+  std::ostringstream out_;
+  std::unordered_map<uint64_t, size_t> index_of_;
+  std::vector<Tracked> alive_;
+  size_t next_index_ = 0;
+  int next_attr_ = 0;
+  std::string pending_attr_;
+};
+
+}  // namespace
+
+Result<std::string> RunBackendWorkload(Backend* backend,
+                                       const BackendWorkloadOptions& options) {
+  return WorkloadRun(backend, options).Run();
+}
+
+}  // namespace tse::fuzz

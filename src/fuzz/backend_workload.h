@@ -1,0 +1,44 @@
+#ifndef TSE_FUZZ_BACKEND_WORKLOAD_H_
+#define TSE_FUZZ_BACKEND_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/backend.h"
+#include "common/result.h"
+
+namespace tse::fuzz {
+
+/// Knobs for one deployment-differential run.
+struct BackendWorkloadOptions {
+  uint64_t seed = 1;
+  /// Mutation/read steps after the bootstrap.
+  size_t ops = 200;
+  /// Interleave textual schema changes (Apply) into the run — against a
+  /// cluster every one of them is a fleet-wide two-phase flip.
+  bool schema_changes = true;
+};
+
+/// The deployment-differential half of the fuzzer: drives a seeded,
+/// deterministic workload through the backend-agnostic tse::Backend
+/// surface — DDL bootstrap, creates, sets, reads, extents, selects,
+/// deletes, transactions, snapshot reads, and (optionally) textual
+/// schema changes — and returns a canonical trace of every result.
+///
+/// The trace names objects by creation index ("#k"), never by raw oid,
+/// and orders extents by creation index, so runs against deployments
+/// with different oid-allocation policies (the embedded engine's dense
+/// oids vs. a cluster's strided per-shard oids) produce byte-identical
+/// traces whenever the deployments behave identically. Any divergence —
+/// a value, an extent, a status code, a view version — shows up as a
+/// trace diff pointing at the first differing step.
+///
+/// The backend must be freshly connected to an *empty* database with no
+/// session open; the workload bootstraps its own "Fz" view over an
+/// FzPerson/FzStudent hierarchy.
+Result<std::string> RunBackendWorkload(Backend* backend,
+                                       const BackendWorkloadOptions& options);
+
+}  // namespace tse::fuzz
+
+#endif  // TSE_FUZZ_BACKEND_WORKLOAD_H_

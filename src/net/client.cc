@@ -239,6 +239,29 @@ Result<std::vector<Oid>> Client::Extent(const std::string& class_name) {
   return oids;
 }
 
+Result<objmodel::Value> Client::GetAttr(Oid oid, const std::string& class_name,
+                                        const std::string& attr) {
+  return Get(oid, class_name, attr);
+}
+
+Result<std::vector<Oid>> Client::Select(const std::string& class_name,
+                                        const std::string& predicate_text) {
+  std::string body;
+  net::AppendString(&body, class_name);
+  net::AppendString(&body, predicate_text);
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kSelect, body));
+  net::Cursor cursor(payload);
+  TSE_ASSIGN_OR_RETURN(uint32_t count, cursor.U32());
+  std::vector<Oid> oids;
+  oids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TSE_ASSIGN_OR_RETURN(uint64_t raw, cursor.U64());
+    oids.push_back(Oid(raw));
+  }
+  return oids;
+}
+
 Result<std::string> Client::ViewToString() {
   TSE_ASSIGN_OR_RETURN(std::string payload,
                        RoundTrip(net::Opcode::kViewToString, ""));
@@ -442,7 +465,49 @@ Status Client::Refresh() {
   return AbsorbSessionInfo(payload);
 }
 
-Result<std::string> Client::ServerStats(bool as_json) {
+Result<Client::Prepared> Client::SchemaPrepare(const std::string& change_text) {
+  std::string body;
+  net::AppendString(&body, change_text);
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kSchemaPrepare, body));
+  net::Cursor cursor(payload);
+  Prepared prepared;
+  TSE_ASSIGN_OR_RETURN(prepared.token, cursor.U64());
+  TSE_ASSIGN_OR_RETURN(uint64_t view_raw, cursor.U64());
+  prepared.new_view = ViewId(view_raw);
+  TSE_ASSIGN_OR_RETURN(int32_t version, cursor.I32());
+  prepared.new_version = version;
+  TSE_ASSIGN_OR_RETURN(prepared.expected_epoch, cursor.U64());
+  return prepared;
+}
+
+Result<ViewId> Client::SchemaFlip(uint64_t token) {
+  std::string body;
+  net::AppendU64(&body, token);
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kSchemaFlip, body));
+  TSE_RETURN_IF_ERROR(AbsorbSessionInfo(payload));
+  return view_id_;
+}
+
+Status Client::SchemaAbort(uint64_t token) {
+  std::string body;
+  net::AppendU64(&body, token);
+  return RoundTrip(net::Opcode::kSchemaAbort, body).status();
+}
+
+Result<Client::ShardIdentity> Client::GetShardInfo() {
+  TSE_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip(net::Opcode::kShardInfo, ""));
+  net::Cursor cursor(payload);
+  ShardIdentity info;
+  TSE_ASSIGN_OR_RETURN(info.shard_id, cursor.U32());
+  TSE_ASSIGN_OR_RETURN(info.shard_count, cursor.U32());
+  TSE_ASSIGN_OR_RETURN(info.epoch, cursor.U64());
+  return info;
+}
+
+Result<std::string> Client::Stats(bool as_json) {
   std::string body;
   net::AppendU8(&body, as_json ? 1 : 0);
   TSE_ASSIGN_OR_RETURN(std::string payload,

@@ -125,15 +125,27 @@ class Client {
                                                    uint64_t epoch);
 
   // --- Reads ------------------------------------------------------------
+  // Normalized read surface (tse::ReadSurface contract): same
+  // signatures and return conventions as Session and Snapshot.
 
-  Result<ClassId> Resolve(const std::string& display_name);
-  Result<objmodel::Value> Get(Oid oid, const std::string& class_name,
-                              const std::string& path);
+  [[nodiscard]] Result<ClassId> Resolve(const std::string& display_name);
+  [[nodiscard]] Result<objmodel::Value> Get(Oid oid,
+                                            const std::string& class_name,
+                                            const std::string& path);
+  /// Reads one direct attribute (same normalized signature as
+  /// Session::GetAttr / Snapshot::GetAttr).
+  [[nodiscard]] Result<objmodel::Value> GetAttr(Oid oid,
+                                                const std::string& class_name,
+                                                const std::string& attr);
   /// The extent of view class `class_name`, materialized client-side.
-  Result<std::vector<Oid>> Extent(const std::string& class_name);
-  Result<std::string> ViewToString();
+  [[nodiscard]] Result<std::vector<Oid>> Extent(const std::string& class_name);
+  /// Members of `class_name` satisfying `predicate_text`, evaluated
+  /// against live server state (Session::Select over the wire).
+  [[nodiscard]] Result<std::vector<Oid>> Select(
+      const std::string& class_name, const std::string& predicate_text);
+  [[nodiscard]] Result<std::string> ViewToString();
   /// Display names of every class in the bound view.
-  Result<std::vector<std::string>> ListClasses();
+  [[nodiscard]] Result<std::vector<std::string>> ListClasses();
 
   // --- Updates ----------------------------------------------------------
 
@@ -159,10 +171,48 @@ class Client {
   Result<ViewId> Apply(const std::string& change_text);
   Status Refresh();
 
+  // --- Two-phase schema change (cluster coordination) -------------------
+
+  /// A phase-one schema change held server-side awaiting flip/abort.
+  struct Prepared {
+    uint64_t token = 0;
+    ViewId new_view;
+    int new_version = 0;
+    /// Catalog epoch the prepare was taken against (flip fails with
+    /// FailedPrecondition when the shard's catalog moved since).
+    uint64_t expected_epoch = 0;
+  };
+
+  /// Phase one: assembles the successor version of the bound view on
+  /// the server without publishing it (Session::Prepare over the wire).
+  Result<Prepared> SchemaPrepare(const std::string& change_text);
+  /// Phase two: publishes the prepared change; rebinds this client's
+  /// cached identity to the new version.
+  Result<ViewId> SchemaFlip(uint64_t token);
+  /// Discards a prepared change (clean rollback).
+  Status SchemaAbort(uint64_t token);
+
+  // --- Cluster support --------------------------------------------------
+
+  /// This server's shard identity + catalog epoch (kShardInfo).
+  /// Standalone servers report shard 0 of 1.
+  struct ShardIdentity {
+    uint32_t shard_id = 0;
+    uint32_t shard_count = 1;
+    uint64_t epoch = 0;
+  };
+  Result<ShardIdentity> GetShardInfo();
+
   // --- Server observability ---------------------------------------------
 
   /// The server's metrics snapshot, rendered as text or JSON.
-  Result<std::string> ServerStats(bool as_json = false);
+  Result<std::string> Stats(bool as_json = false);
+
+  /// DEPRECATED: alias of Stats(), kept one release for callers written
+  /// against the pre-Backend surface.
+  Result<std::string> ServerStats(bool as_json = false) {
+    return Stats(as_json);
+  }
 
   // --- Global DDL (Db surface) ------------------------------------------
 

@@ -701,6 +701,16 @@ std::string Server::Dispatch(Connection& conn, const Frame& frame,
       return ok();
     }
 
+    // Shard identity for cluster routers: available pre-session so a
+    // router can verify fleet agreement before binding views.
+    case Opcode::kShardInfo: {
+      std::string payload;
+      AppendU32(&payload, db_->options().shard_id);
+      AppendU32(&payload, db_->options().shard_count);
+      AppendU64(&payload, db_->epoch());
+      return ok(payload);
+    }
+
     default:
       break;
   }
@@ -839,6 +849,60 @@ std::string Server::Dispatch(Connection& conn, const Frame& frame,
       return status.ok() ? ok(SessionInfoPayload(*session)) : error(status);
     }
 
+    case Opcode::kSelect: {
+      auto cls = cursor.Str();
+      auto pred = cls.ok() ? cursor.Str() : Result<std::string>(cls.status());
+      if (!pred.ok()) return error(pred.status());
+      auto oids = session->Select(cls.value(), pred.value());
+      if (!oids.ok()) return error(oids.status());
+      std::string payload;
+      AppendU32(&payload, static_cast<uint32_t>(oids.value().size()));
+      for (Oid oid : oids.value()) AppendU64(&payload, oid.value());
+      return ok(payload);
+    }
+
+    // --- Two-phase schema change (cluster coordination) ----------------
+    case Opcode::kSchemaPrepare: {
+      auto text = cursor.Str();
+      if (!text.ok()) return error(text.status());
+      auto prepared = session->Prepare(text.value());
+      if (!prepared.ok()) return error(prepared.status());
+      const uint64_t token = conn.next_prepared_id++;
+      std::string payload;
+      AppendU64(&payload, token);
+      AppendU64(&payload, prepared.value().new_view.value());
+      AppendI32(&payload,
+                static_cast<int32_t>(prepared.value().schema->version()));
+      AppendU64(&payload, prepared.value().expected_epoch);
+      conn.prepared.emplace(token, std::move(prepared).value());
+      TSE_COUNT("net.server.schema_prepares");
+      return ok(payload);
+    }
+    case Opcode::kSchemaFlip: {
+      auto token = cursor.U64();
+      if (!token.ok()) return error(token.status());
+      auto it = conn.prepared.find(token.value());
+      if (it == conn.prepared.end()) {
+        return error(Status::NotFound("no such prepared change"));
+      }
+      auto view = session->CommitPrepared(it->second);
+      conn.prepared.erase(it);
+      if (!view.ok()) return error(view.status());
+      TSE_COUNT("net.server.schema_changes");
+      return ok(SessionInfoPayload(*session));
+    }
+    case Opcode::kSchemaAbort: {
+      auto token = cursor.U64();
+      if (!token.ok()) return error(token.status());
+      auto it = conn.prepared.find(token.value());
+      if (it == conn.prepared.end()) {
+        return error(Status::NotFound("no such prepared change"));
+      }
+      Status status = session->AbortPrepared(it->second);
+      conn.prepared.erase(it);
+      return status.ok() ? ok() : error(status);
+    }
+
     case Opcode::kHello:
     case Opcode::kPing:
     case Opcode::kStats:
@@ -851,6 +915,7 @@ std::string Server::Dispatch(Connection& conn, const Frame& frame,
     case Opcode::kSnapshotExtent:
     case Opcode::kSnapshotSelect:
     case Opcode::kSnapshotClose:
+    case Opcode::kShardInfo:
       break;  // handled above
   }
   return error(Status::Internal("unhandled opcode"));

@@ -14,11 +14,11 @@
 #include <vector>
 
 #include "common/result.h"
+#include "db/session.h"
 #include "net/wire.h"
 
 namespace tse {
 class Db;
-class Session;
 class Snapshot;
 }  // namespace tse
 
@@ -127,6 +127,12 @@ class Server {
     /// the worker holding `busy` touches the map.
     std::unordered_map<uint64_t, std::unique_ptr<Snapshot>> snapshots;
     uint64_t next_snapshot_id = 1;
+    /// Prepared (phase-one) schema changes awaiting flip or abort,
+    /// keyed by the wire token. Dropping the connection discards them —
+    /// an unflipped prepare is a clean rollback by construction. Only
+    /// the worker holding `busy` touches the map.
+    std::unordered_map<uint64_t, PreparedSchemaChange> prepared;
+    uint64_t next_prepared_id = 1;
     std::atomic<int64_t> last_active_ms{0};
   };
 

@@ -52,7 +52,8 @@ tse::Status BootstrapDemo(tse::Db* db) {
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--host H] [--port N] [--data-dir DIR] [--workers N]"
-               " [--demo] [--idle-timeout-ms N] [--request-timeout-ms N]\n";
+               " [--demo] [--idle-timeout-ms N] [--request-timeout-ms N]"
+               " [--shard-id N --shard-count N]\n";
   return 2;
 }
 
@@ -82,6 +83,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--request-timeout-ms" && has_value) {
       server_options.request_timeout = std::chrono::milliseconds(
           std::stol(argv[++i]));
+    } else if (arg == "--shard-id" && has_value) {
+      db_options.shard_id = static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--shard-count" && has_value) {
+      db_options.shard_count = static_cast<uint32_t>(std::stoul(argv[++i]));
     } else if (arg == "--demo") {
       demo = true;
     } else {

@@ -17,7 +17,7 @@ void AppendRaw(std::string* out, T v) {
 
 bool IsKnownOpcode(uint8_t raw) {
   return raw >= static_cast<uint8_t>(Opcode::kHello) &&
-         raw <= static_cast<uint8_t>(Opcode::kSnapshotClose);
+         raw <= static_cast<uint8_t>(Opcode::kSchemaAbort);
 }
 
 const char* OpcodeName(Opcode op) {
@@ -50,6 +50,11 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kSnapshotExtent: return "snapshot_extent";
     case Opcode::kSnapshotSelect: return "snapshot_select";
     case Opcode::kSnapshotClose: return "snapshot_close";
+    case Opcode::kShardInfo: return "shard_info";
+    case Opcode::kSelect: return "select";
+    case Opcode::kSchemaPrepare: return "schema_prepare";
+    case Opcode::kSchemaFlip: return "schema_flip";
+    case Opcode::kSchemaAbort: return "schema_abort";
   }
   return "unknown";
 }

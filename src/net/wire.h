@@ -75,6 +75,22 @@ enum class Opcode : uint8_t {
   kSnapshotExtent = 26,
   kSnapshotSelect = 27,
   kSnapshotClose = 28,
+  // Cluster support (appended by protocol revision "cluster").
+  // Shard identity + catalog epoch, so a router can verify at connect
+  // time that every shard agrees on the partition count and schema
+  // epoch. Available before a session is opened.
+  kShardInfo = 29,
+  // Live (locked-read) predicate select over the session's view —
+  // mirrors Session::Select the way kSnapshotSelect mirrors
+  // Snapshot::Select.
+  kSelect = 30,
+  // Two-phase schema change: prepare assembles the successor version
+  // without publishing and returns a per-connection token; flip
+  // publishes it (FailedPrecondition when the catalog moved since);
+  // abort — or disconnect — discards it.
+  kSchemaPrepare = 31,
+  kSchemaFlip = 32,
+  kSchemaAbort = 33,
 };
 
 /// True when `raw` names a defined opcode.

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <tse/backend.h>
 #include <tse/client.h>
+#include <tse/cluster.h>
 #include <tse/db.h>
 #include <tse/layout.h>
 #include <tse/obs.h>
@@ -50,6 +52,8 @@ TEST(PublicApiTest, EmbeddedSurface) {
   ASSERT_TRUE(session->Set(bob, "Person", "age", Value::Int(31)).ok());
   ASSERT_TRUE(session->Commit().ok());
   EXPECT_EQ(session->Get(bob, "Person", "age").value(), Value::Int(31));
+  EXPECT_EQ(session->GetAttr(bob, "Person", "age").value(), Value::Int(31));
+  EXPECT_EQ(session->Select("Person", "age >= 21").value().size(), 1u);
 
   // Schema evolution: textual and typed forms.
   ASSERT_TRUE(session->Apply("add_attribute zip:string to Person").ok());
@@ -151,6 +155,120 @@ TEST(PublicApiTest, RemoteSurface) {
   EXPECT_EQ(snap->Get(eve, "Person", "name").value(), Value::Str("eva"));
   snap = client->OpenSnapshotAt(snap->view_id(), snap->epoch()).value();
   snap.reset();
+
+  // Live selects, shard identity, and the server stats snapshot —
+  // ServerStats is the deprecated alias kept one release for Stats.
+  EXPECT_FALSE(client->Select("Person", "name == \"eva\"").value().empty());
+  tse::Client::ShardIdentity identity = client->GetShardInfo().value();
+  EXPECT_EQ(identity.shard_id, 0u);
+  EXPECT_EQ(identity.shard_count, 1u);
+  EXPECT_FALSE(client->Stats().value().empty());
+  EXPECT_FALSE(client->ServerStats(/*as_json=*/true).value().empty());
+  server.Stop();
+}
+
+TEST(PublicApiTest, BackendSurface) {
+  // The deployment-agnostic access layer: one Connect spec decides the
+  // deployment, everything after it is the same Backend surface.
+  std::unique_ptr<tse::Backend> backend = tse::Connect("embedded:").value();
+  EXPECT_EQ(backend->Where(), "embedded:");
+  EXPECT_FALSE(tse::Connect("carrier-pigeon:coop").ok());
+
+  ClassId person =
+      backend
+          ->AddBaseClass("Person", {},
+                         {PropertySpec::Attribute("name", ValueType::kString),
+                          PropertySpec::Attribute("age", ValueType::kInt)})
+          .value();
+  backend->CreateView("V", {{person, ""}}).value();
+  ASSERT_TRUE(backend->OpenSession("V").ok());
+  EXPECT_EQ(backend->view_name(), "V");
+  EXPECT_EQ(backend->view_version(), 1);
+
+  Oid bob = backend
+                ->Create("Person", {{"name", Value::Str("bob")},
+                                    {"age", Value::Int(30)}})
+                .value();
+  ASSERT_TRUE(backend->Set(bob, "Person", "age", Value::Int(31)).ok());
+  ASSERT_TRUE(backend->SetFromText(bob, "Person", "name", "\"bobby\"").ok());
+  EXPECT_EQ(backend->Get(bob, "Person", "name").value(), Value::Str("bobby"));
+  EXPECT_EQ(backend->GetAttr(bob, "Person", "age").value(), Value::Int(31));
+  EXPECT_EQ(backend->Extent("Person").value().size(), 1u);
+  EXPECT_EQ(backend->Select("Person", "age >= 21").value().size(), 1u);
+  ASSERT_TRUE(backend->Resolve("Person").ok());
+  EXPECT_FALSE(backend->ViewToString().value().empty());
+  EXPECT_EQ(backend->ListClasses().value().size(), 1u);
+
+  ASSERT_TRUE(backend->Begin().ok());
+  ASSERT_TRUE(backend->Set(bob, "Person", "age", Value::Int(99)).ok());
+  ASSERT_TRUE(backend->Rollback().ok());
+  EXPECT_EQ(backend->GetAttr(bob, "Person", "age").value(), Value::Int(31));
+
+  // Clone: the deployment-agnostic second connection, same objects.
+  std::unique_ptr<tse::Backend> other = backend->Clone().value();
+  ASSERT_TRUE(other->OpenSession("V").ok());
+  EXPECT_EQ(other->GetAttr(bob, "Person", "age").value(), Value::Int(31));
+
+  // Schema evolution rebinds the handle; the clone refreshes to follow.
+  backend->Apply("add_attribute zip:string to Person").value();
+  EXPECT_EQ(backend->view_version(), 2);
+  ASSERT_TRUE(other->Refresh().ok());
+  EXPECT_EQ(other->view_version(), 2);
+
+  // SnapshotHandle: the normalized pinned-read surface.
+  std::unique_ptr<tse::SnapshotHandle> snap = backend->GetSnapshot().value();
+  EXPECT_EQ(snap->view_name(), "V");
+  EXPECT_EQ(snap->view_version(), 2);
+  ASSERT_TRUE(backend->Set(bob, "Person", "age", Value::Int(40)).ok());
+  EXPECT_EQ(snap->GetAttr(bob, "Person", "age").value(), Value::Int(31));
+  EXPECT_EQ(snap->Extent("Person").value().size(), 1u);
+  EXPECT_EQ(snap->Select("Person", "age >= 21").value().size(), 1u);
+  snap.reset();
+
+  // Observability + embedded-engine extras through the same surface.
+  EXPECT_FALSE(backend->Stats(/*as_json=*/true).value().empty());
+  EXPECT_TRUE(backend->ResetStats().ok());
+  EXPECT_FALSE(backend->History().value().empty());
+  // Explain reaches the embedded planner (which rejects a base class),
+  // not the remote backends' "needs the embedded engine" stub.
+  EXPECT_NE(backend->Explain("Person").status().message().find("not a select"),
+            std::string::npos);
+  ASSERT_NE(backend->db(), nullptr);
+  EXPECT_EQ(backend->client(), nullptr);
+
+  ASSERT_TRUE(backend->Delete(bob).ok());
+  EXPECT_TRUE(backend->Extent("Person").value().empty());
+
+  // The same surface over the wire, plus the cluster coordinator: a
+  // one-shard fleet is a degenerate but fully exercised cluster.
+  auto db = tse::Db::Open(tse::DbOptions{}).value();
+  tse::net::Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+  const std::string host_port = "127.0.0.1:" + std::to_string(server.port());
+
+  std::unique_ptr<tse::Backend> remote = tse::Connect("tcp:" + host_port)
+                                             .value();
+  ClassId r_person =
+      remote
+          ->AddBaseClass("Person", {},
+                         {PropertySpec::Attribute("name", ValueType::kString)})
+          .value();
+  remote->CreateView("V", {{r_person, ""}}).value();
+  ASSERT_TRUE(remote->OpenSession("V").ok());
+  ASSERT_NE(remote->client(), nullptr);
+
+  std::unique_ptr<tse::Backend> fleet =
+      tse::Connect("cluster:" + host_port).value();
+  tse::Cluster* cluster = dynamic_cast<tse::Cluster*>(fleet.get());
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(cluster->shard_count(), 1u);
+  ASSERT_TRUE(fleet->OpenSession("V").ok());
+  Oid eve = fleet->Create("Person", {{"name", Value::Str("eve")}}).value();
+  EXPECT_EQ(cluster->ShardOf(eve), 0u);
+  EXPECT_EQ(fleet->GetAttr(eve, "Person", "name").value(), Value::Str("eve"));
+  fleet->Apply("add_attribute zip:string to Person").value();
+  EXPECT_EQ(fleet->view_version(), 2);
+  EXPECT_FALSE(fleet->Stats(/*as_json=*/true).value().empty());
   server.Stop();
 }
 

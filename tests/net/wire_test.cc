@@ -195,11 +195,16 @@ TEST(WireOpcodeTest, NamesAndKnownness) {
   EXPECT_TRUE(IsKnownOpcode(static_cast<uint8_t>(Opcode::kCreateView)));
   EXPECT_TRUE(IsKnownOpcode(static_cast<uint8_t>(Opcode::kSnapshotOpen)));
   EXPECT_TRUE(IsKnownOpcode(static_cast<uint8_t>(Opcode::kSnapshotClose)));
+  EXPECT_TRUE(IsKnownOpcode(static_cast<uint8_t>(Opcode::kShardInfo)));
+  EXPECT_TRUE(IsKnownOpcode(static_cast<uint8_t>(Opcode::kSelect)));
+  EXPECT_TRUE(IsKnownOpcode(static_cast<uint8_t>(Opcode::kSchemaPrepare)));
+  EXPECT_TRUE(IsKnownOpcode(static_cast<uint8_t>(Opcode::kSchemaAbort)));
   EXPECT_FALSE(IsKnownOpcode(0));
   EXPECT_FALSE(IsKnownOpcode(
-      static_cast<uint8_t>(Opcode::kSnapshotClose) + 1));
+      static_cast<uint8_t>(Opcode::kSchemaAbort) + 1));
   EXPECT_STREQ(OpcodeName(Opcode::kApply), "apply");
   EXPECT_STREQ(OpcodeName(Opcode::kSnapshotOpen), "snapshot_open");
+  EXPECT_STREQ(OpcodeName(Opcode::kSchemaPrepare), "schema_prepare");
   EXPECT_STREQ(OpcodeName(static_cast<Opcode>(0xee)), "unknown");
 }
 

@@ -25,6 +25,7 @@
 #include "db/snapshot.h"
 #include "evolution/change_parser.h"
 #include "evolution/tse_manager.h"
+#include "cluster/backend.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "obs/metrics.h"
@@ -340,6 +341,35 @@ void RunNetWorkload() {
   server.Stop();
 }
 
+void RunClusterWorkload() {
+  // The sharded access layer: routed point ops, fan-outs, and a
+  // fleet-wide two-phase schema change through tse::Cluster (a
+  // one-shard fleet exercises every cluster.* call site).
+  DbOptions options;
+  options.closure_policy = update::ValueClosurePolicy::kAllow;
+  auto db = Db::Open(options).value();
+  ClassId person =
+      db->AddBaseClass("Person", {},
+                       {PropertySpec::Attribute("age", ValueType::kInt)})
+          .value();
+  ASSERT_TRUE(db->CreateView("Fleet", {{person, ""}}).ok());
+
+  net::Server server(db.get());
+  ASSERT_TRUE(server.Start().ok());
+  {
+    auto fleet = Connect("cluster:127.0.0.1:" +
+                         std::to_string(server.port()))
+                     .value();
+    ASSERT_TRUE(fleet->OpenSession("Fleet").ok());
+    Oid p = fleet->Create("Person", {{"age", Value::Int(1)}}).value();
+    ASSERT_TRUE(fleet->Set(p, "Person", "age", Value::Int(2)).ok());
+    ASSERT_TRUE(fleet->Get(p, "Person", "age").ok());
+    ASSERT_TRUE(fleet->Extent("Person").ok());
+    ASSERT_TRUE(fleet->Apply("add_attribute fleet_x:int to Person").ok());
+  }
+  server.Stop();
+}
+
 void RunStorageWorkload(const std::string& dir) {
   // WAL: append, fsync on commit, replay.
   auto wal = storage::Wal::Open(dir + "/metrics_docs.wal").value();
@@ -391,6 +421,7 @@ TEST(MetricsDocs, EveryRegisteredMetricIsDocumented) {
   RunDbFacadeWorkload(::testing::TempDir());
   RunSnapshotWorkload();
   RunNetWorkload();
+  RunClusterWorkload();
   RunStorageWorkload(::testing::TempDir());
 
   std::ifstream doc(TSE_METRICS_DOC);
